@@ -1,0 +1,144 @@
+// Ablation of the two Section III.D latency optimizations on the QuerySCN
+// advancement critical path:
+//   1. Cooperative Flush (III.D.2): recovery workers help drain the worklink
+//      vs the recovery coordinator flushing alone, serially.
+//   2. IM-ADG Commit Table partitioning (III.D.1): multiple sorted linked
+//      lists vs the single-list insertion bottleneck.
+//
+// Metric: time spent inside Quiesce Periods per QuerySCN advancement (the
+// paper's "latency in publishing the new QuerySCN") under a high-throughput
+// small-transaction update workload, plus commit-table insertion walk/
+// contention counters.
+
+#include "bench_util.h"
+#include "common/clock.h"
+#include "common/random.h"
+
+#include <thread>
+
+namespace stratus {
+namespace {
+
+struct Outcome {
+  uint64_t advancements = 0;
+  double avg_quiesce_us = 0;
+  uint64_t flushed_txns = 0;
+  uint64_t cooperative_steps = 0;
+  uint64_t coordinator_steps = 0;
+  uint64_t insert_walk_steps = 0;
+  uint64_t partition_contention = 0;
+  double commits_per_sec = 0;
+};
+
+Outcome RunOnce(bool cooperative, size_t partitions, int duration_ms) {
+  DatabaseOptions db_options = DefaultClusterOptions();
+  db_options.flush.cooperative = cooperative;
+  db_options.commit_table_partitions = partitions;
+  AdgCluster cluster(db_options);
+  cluster.Start();
+  const ObjectId table =
+      cluster
+          .CreateTable("t", kDefaultTenant, Schema::WideTable(3, 1),
+                       ImService::kStandbyOnly, true)
+          .value();
+  {
+    Transaction txn = cluster.primary()->Begin();
+    for (int64_t id = 0; id < 8000; ++id) {
+      (void)cluster.primary()->Insert(
+          &txn, table,
+          Row{Value(id), Value(id % 3), Value(id % 5), Value(id % 7),
+              Value(std::string("x"))},
+          nullptr);
+    }
+    (void)cluster.primary()->Commit(&txn);
+  }
+  cluster.WaitForCatchup();
+  (void)cluster.standby()->PopulateNow(table);
+
+  // Small-transaction firehose: every commit carries a handful of
+  // invalidation records that must flush before each QuerySCN publish.
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    Random rng(3);
+    while (!stop.load(std::memory_order_acquire)) {
+      Transaction txn = cluster.primary()->Begin();
+      for (int i = 0; i < 4; ++i) {
+        const int64_t id = rng.UniformInt(0, 7999);
+        (void)cluster.primary()->UpdateByKey(
+            &txn, table, id,
+            Row{Value(id), Value(static_cast<int64_t>(rng.Uniform(10))),
+                Value(id % 5), Value(id % 7), Value(std::string("y"))});
+      }
+      (void)cluster.primary()->Commit(&txn);
+    }
+  });
+  const uint64_t t0 = NowNanos();
+  std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
+  stop.store(true, std::memory_order_release);
+  writer.join();
+  cluster.WaitForCatchup();
+  const double wall_sec = static_cast<double>(NowNanos() - t0) / 1e9;
+
+  Outcome out;
+  RecoveryCoordinator* coordinator = cluster.standby()->coordinator();
+  out.advancements = coordinator->advancements();
+  out.avg_quiesce_us =
+      out.advancements == 0
+          ? 0
+          : static_cast<double>(coordinator->quiesce_nanos()) / 1000.0 /
+                static_cast<double>(out.advancements);
+  const FlushStats fs = cluster.standby()->flush()->stats();
+  out.flushed_txns = fs.flushed_txns;
+  out.cooperative_steps = fs.cooperative_steps;
+  out.coordinator_steps = fs.coordinator_steps;
+  out.insert_walk_steps = cluster.standby()->commit_table()->insert_walk_steps();
+  out.partition_contention =
+      cluster.standby()->commit_table()->partition_contention();
+  out.commits_per_sec =
+      static_cast<double>(cluster.primary()->txn_manager()->commits()) / wall_sec;
+  cluster.Stop();
+  return out;
+}
+
+}  // namespace
+}  // namespace stratus
+
+int main() {
+  using namespace stratus;
+  const int duration_ms = static_cast<int>(EnvInt("STRATUS_DURATION_MS", 4'000));
+  PrintHeader("Ablation — Cooperative Flush and Commit Table partitioning",
+              "ICDE'20 Section III.D: both exist to keep QuerySCN publication fast");
+
+  struct Config {
+    const char* name;
+    bool cooperative;
+    size_t partitions;
+  };
+  const Config configs[] = {
+      {"serial flush, 1 partition", false, 1},
+      {"serial flush, 8 partitions", false, 8},
+      {"cooperative flush, 1 partition", true, 1},
+      {"cooperative flush, 8 partitions", true, 8},
+  };
+
+  ReportTable table({"Configuration", "advancements", "avg quiesce (us)",
+                     "flushed txns", "coop steps", "coord steps",
+                     "insert walk steps", "commits/s"});
+  for (const Config& c : configs) {
+    std::printf("\nRunning: %s...\n", c.name);
+    const Outcome out = RunOnce(c.cooperative, c.partitions, duration_ms);
+    table.AddRow({c.name, std::to_string(out.advancements),
+                  Fmt(out.avg_quiesce_us, 1), std::to_string(out.flushed_txns),
+                  std::to_string(out.cooperative_steps),
+                  std::to_string(out.coordinator_steps),
+                  std::to_string(out.insert_walk_steps),
+                  Fmt(out.commits_per_sec, 0)});
+  }
+  table.Print("ABLATION — invalidation flush on the QuerySCN critical path");
+  std::printf(
+      "\nExpected shape: cooperative flush moves worklink draining onto the\n"
+      "recovery workers (coop steps >> 0) and keeps quiesce time low; the\n"
+      "single-partition commit table shows head-walk steps under out-of-order\n"
+      "commit mining where the partitioned one stays near zero.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+#ifndef STRATUS_BENCH_BENCH_UTIL_H_
+#define STRATUS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "db/database.h"
+#include "workload/oltap.h"
+#include "workload/report.h"
+
+namespace stratus {
+
+/// Environment-overridable knob: STRATUS_<NAME> (integer).
+inline int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strtoll(v, nullptr, 10);
+}
+
+/// Shared defaults for the paper harnesses. The paper's testbed used a 6M-row
+/// × 101-column table on Exadata; defaults here are scaled to finish on one
+/// core in minutes (see DESIGN.md substitutions). Override via environment:
+/// STRATUS_ROWS, STRATUS_DURATION_MS, STRATUS_NUM_COLS, STRATUS_VARCHAR_COLS,
+/// STRATUS_TARGET_OPS.
+inline OltapOptions DefaultOltapOptions() {
+  OltapOptions options;
+  options.initial_rows = static_cast<size_t>(EnvInt("STRATUS_ROWS", 60'000));
+  options.num_cols = static_cast<int>(EnvInt("STRATUS_NUM_COLS", 10));
+  options.varchar_cols = static_cast<int>(EnvInt("STRATUS_VARCHAR_COLS", 10));
+  options.duration_ms = static_cast<int>(EnvInt("STRATUS_DURATION_MS", 5'000));
+  options.target_ops_per_sec =
+      static_cast<int>(EnvInt("STRATUS_TARGET_OPS", 4'000));
+  options.num_threads = 2;
+  options.value_domain = 1'000;
+  return options;
+}
+
+inline DatabaseOptions DefaultClusterOptions() {
+  DatabaseOptions options;
+  options.apply.num_workers = static_cast<int>(EnvInt("STRATUS_WORKERS", 4));
+  options.population.blocks_per_imcu = 16;
+  options.population.manager_interval_us = 5'000;
+  // Keep IMCU invalidity low so scans rarely pay the row-path reconciliation
+  // (the paper's repopulation heuristics serve the same purpose).
+  options.population.repop_invalid_threshold = 0.05;
+  options.shipping.heartbeat_interval_us = 1'000;
+  return options;
+}
+
+/// CPU percentage of one core over the run.
+inline double CpuPct(uint64_t cpu_ns, uint64_t wall_ns) {
+  return wall_ns == 0 ? 0.0
+                      : 100.0 * static_cast<double>(cpu_ns) /
+                            static_cast<double>(wall_ns);
+}
+
+inline void PrintHeader(const char* title, const char* paper_ref) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("Paper reference: %s\n", paper_ref);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace stratus
+
+#endif  // STRATUS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,143 @@
+// Reproduces Figure 9 (Section IV.A.1): speedup in median / average / 95th
+// percentile response times of Q1 and Q2 on the standby under an Update-only
+// OLTAP workload (70% updates + 29% index fetches on the primary, 1% ad-hoc
+// scans against the standby), with and without DBIM-on-ADG.
+//
+// Also reproduces the Section IV.A.1 CPU observation: offloading the scans to
+// a DBIM-enabled standby cuts the primary's CPU while raising the standby's.
+//
+// The paper reports ~100x improvements on a 6M-row × 101-column table on
+// Exadata; the scaled-down default here reproduces the *shape* (two to three
+// orders of magnitude, dominated by the row-path scan cost).
+
+#include "bench_util.h"
+
+namespace stratus {
+namespace {
+
+struct RunOutcome {
+  Histogram q1;
+  Histogram q2;
+  Histogram q1_quiet;
+  Histogram q2_quiet;
+  double achieved_ops = 0;
+  double primary_cpu_pct = 0;
+  double scan_cpu_pct = 0;
+  uint64_t flushed_records = 0;
+};
+
+RunOutcome RunOnce(bool imadg_enabled, bool scans_on_standby) {
+  DatabaseOptions db_options = DefaultClusterOptions();
+  db_options.standby_imadg_enabled = imadg_enabled;
+  AdgCluster cluster(db_options);
+  cluster.Start();
+
+  OltapOptions options = DefaultOltapOptions();
+  options.update_pct = 70;
+  options.insert_pct = 0;
+  options.scan_pct = 1;
+  options.scans_on_standby = scans_on_standby;
+  OltapWorkload workload(&cluster, options);
+  const ImService service =
+      scans_on_standby ? ImService::kStandbyOnly : ImService::kBoth;
+  Status st = workload.Setup(service);
+  if (!st.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  workload.Run();
+
+  RunOutcome out;
+  out.q1.Merge(workload.stats().q1_latency);
+  out.q2.Merge(workload.stats().q2_latency);
+  // Quiescent phase: DMLs stopped, scans measured without single-core
+  // scheduling contention (the paper's testbed had idle cores for scans).
+  workload.MeasureQuiescentScans(30, &out.q1_quiet, &out.q2_quiet);
+  out.achieved_ops = workload.stats().AchievedOpsPerSec();
+  out.primary_cpu_pct =
+      CpuPct(workload.stats().primary_op_cpu_ns.load(), workload.stats().wall_ns);
+  out.scan_cpu_pct =
+      CpuPct(workload.stats().scan_cpu_ns.load(), workload.stats().wall_ns);
+  if (imadg_enabled && cluster.standby()->flush() != nullptr)
+    out.flushed_records = cluster.standby()->flush()->stats().flushed_records;
+  cluster.Stop();
+  return out;
+}
+
+}  // namespace
+}  // namespace stratus
+
+int main() {
+  using namespace stratus;
+  PrintHeader("Figure 9 — Update-only workload: Q1/Q2 response times on the standby",
+              "ICDE'20 Fig. 9: ~100x improvement in median/avg/p95 with DBIM-on-ADG");
+
+  std::printf("\n[1/3] Standby WITHOUT DBIM-on-ADG (row-path scans)...\n");
+  RunOutcome without = RunOnce(/*imadg_enabled=*/false, /*scans_on_standby=*/true);
+  std::printf("[2/3] Standby WITH DBIM-on-ADG (IMCS scans)...\n");
+  RunOutcome with_im = RunOnce(/*imadg_enabled=*/true, /*scans_on_standby=*/true);
+  std::printf("[3/3] All operations on the primary (CPU comparison)...\n");
+  RunOutcome on_primary = RunOnce(/*imadg_enabled=*/true, /*scans_on_standby=*/false);
+
+  ReportTable fig9({"Query", "Metric", "w/o DBIM-on-ADG (ms)", "w/ DBIM-on-ADG (ms)",
+                    "Speedup", "Paper"});
+  const struct {
+    const char* name;
+    const Histogram* base;
+    const Histogram* improved;
+  } rows[] = {
+      {"Q1 (n1 = :1)", &without.q1, &with_im.q1},
+      {"Q2 (c1 = :2)", &without.q2, &with_im.q2},
+  };
+  for (const auto& r : rows) {
+    fig9.AddRow({r.name, "median", UsToMs(r.base->Percentile(50)),
+                 UsToMs(r.improved->Percentile(50)),
+                 Speedup(r.base->Percentile(50), r.improved->Percentile(50)),
+                 "~100x"});
+    fig9.AddRow({r.name, "average", UsToMs(r.base->Average()),
+                 UsToMs(r.improved->Average()),
+                 Speedup(r.base->Average(), r.improved->Average()), "~100x"});
+    fig9.AddRow({r.name, "p95", UsToMs(r.base->Percentile(95)),
+                 UsToMs(r.improved->Percentile(95)),
+                 Speedup(r.base->Percentile(95), r.improved->Percentile(95)),
+                 "~100x"});
+  }
+  fig9.Print("FIGURE 9 — Update-only workload (70% upd / 29% fetch / 1% scan)");
+
+  ReportTable quiet({"Query", "Metric", "w/o DBIM-on-ADG (ms)", "w/ DBIM-on-ADG (ms)",
+                     "Speedup", "Paper"});
+  const struct {
+    const char* name;
+    const Histogram* base;
+    const Histogram* improved;
+  } qrows[] = {
+      {"Q1 (n1 = :1)", &without.q1_quiet, &with_im.q1_quiet},
+      {"Q2 (c1 = :2)", &without.q2_quiet, &with_im.q2_quiet},
+  };
+  for (const auto& r : qrows) {
+    quiet.AddRow({r.name, "median", UsToMs(r.base->Percentile(50)),
+                  UsToMs(r.improved->Percentile(50)),
+                  Speedup(r.base->Percentile(50), r.improved->Percentile(50)),
+                  "~100x"});
+    quiet.AddRow({r.name, "average", UsToMs(r.base->Average()),
+                  UsToMs(r.improved->Average()),
+                  Speedup(r.base->Average(), r.improved->Average()), "~100x"});
+  }
+  quiet.Print("FIGURE 9 (quiescent phase) — raw scan gap without single-core "
+              "scheduling contention");
+
+  ReportTable cpu({"Configuration", "Primary op CPU %", "Standby scan CPU %", "Paper"});
+  cpu.AddRow({"scans on primary", Fmt(on_primary.primary_cpu_pct + on_primary.scan_cpu_pct),
+              "0.00", "11.7% / 2%"});
+  cpu.AddRow({"scans offloaded (DBIM-on-ADG)", Fmt(with_im.primary_cpu_pct),
+              Fmt(with_im.scan_cpu_pct), "4.7% / 17%"});
+  cpu.Print("Section IV.A.1 — CPU usage transfer (share of one core)");
+
+  std::printf("\nAchieved throughput: without=%.0f ops/s, with=%.0f ops/s "
+              "(the paper notes the target cannot be sustained without DBIM;\n"
+              " shared threads backpressure the mix when scans are slow)\n",
+              without.achieved_ops, with_im.achieved_ops);
+  std::printf("Invalidation records flushed during the DBIM-on-ADG run: %llu\n",
+              static_cast<unsigned long long>(with_im.flushed_records));
+  return 0;
+}

@@ -1,0 +1,157 @@
+// Microbenchmarks of the scan paths (Section II.B's raw IMCS advantage):
+// row-store scan vs In-Memory Scan Engine over the same table, plus the cost
+// of SMU reconciliation (fraction of rows invalid) and of population itself.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "imcs/population.h"
+#include "imcs/scan_engine.h"
+#include "txn/txn_manager.h"
+
+namespace stratus {
+namespace {
+
+/// Shared fixture: one table with N rows, populated once.
+class ScanFixture {
+ public:
+  static constexpr int64_t kDomain = 1000;
+
+  explicit ScanFixture(size_t rows)
+      : log_(0, &scns_),
+        mgr_(&scns_, &txns_, &store_, {&log_}, nullptr),
+        cache_(&store_),
+        table_(10, kDefaultTenant, "t", Schema::WideTable(10, 10), &store_),
+        im_store_(0, 4ull << 30),
+        snapshot_(&mgr_, &sync_) {
+    Random rng(42);
+    size_t loaded = 0;
+    while (loaded < rows) {
+      Transaction txn = mgr_.Begin();
+      for (int i = 0; i < 1024 && loaded < rows; ++i, ++loaded) {
+        Row row;
+        row.push_back(Value(static_cast<int64_t>(loaded)));
+        for (int c = 0; c < 10; ++c)
+          row.push_back(Value(static_cast<int64_t>(rng.Uniform(kDomain))));
+        for (int c = 0; c < 10; ++c)
+          row.push_back(Value("v" + std::to_string(rng.Uniform(kDomain))));
+        (void)mgr_.Insert(&txn, &table_, std::move(row), nullptr);
+      }
+      (void)mgr_.Commit(&txn);
+    }
+    PopulationOptions options;
+    options.blocks_per_imcu = 32;
+    populator_ = std::make_unique<Populator>(&im_store_, &snapshot_, &store_, options);
+    populator_->EnableObject(&table_);
+    (void)populator_->PopulateNow(10);
+  }
+
+  uint64_t Scan(bool use_imcs, int64_t pivot) {
+    ReadView view;
+    view.snapshot_scn = mgr_.visible_scn();
+    view.resolver = &txns_;
+    std::vector<Predicate> preds = {{1, PredOp::kEq, Value(pivot)}};
+    std::vector<const ImStore*> stores;
+    if (use_imcs) stores.push_back(&im_store_);
+    uint64_t n = 0;
+    ScanEngine engine;
+    (void)engine.Scan(table_, preds, view, stores, cache_,
+                      [&](const Row&) { ++n; }, nullptr);
+    return n;
+  }
+
+  void InvalidateFraction(double fraction) {
+    Random rng(7);
+    for (const auto& smu : im_store_.SmusForObject(10)) {
+      const size_t target = static_cast<size_t>(fraction * smu->num_rows());
+      for (size_t i = 0; i < target; ++i) {
+        const Dba dba = smu->dbas()[rng.Uniform(smu->dbas().size())];
+        smu->MarkRowInvalid(dba, static_cast<SlotId>(rng.Uniform(kRowsPerBlock)));
+      }
+    }
+  }
+
+  ScnAllocator scns_;
+  TxnTable txns_;
+  BlockStore store_;
+  RedoLog log_;
+  TxnManager mgr_;
+  BufferCache cache_;
+  Table table_;
+  ImStore im_store_;
+  PrimaryImSync sync_;
+  PrimarySnapshotSource snapshot_;
+  std::unique_ptr<Populator> populator_;
+};
+
+ScanFixture& Fixture() {
+  static auto* fixture = new ScanFixture(64 * kRowsPerBlock);  // 16384 rows.
+  return *fixture;
+}
+
+void BM_RowStoreScan(benchmark::State& state) {
+  ScanFixture& f = Fixture();
+  Random rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.Scan(false, static_cast<int64_t>(rng.Uniform(ScanFixture::kDomain))));
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * kRowsPerBlock);
+}
+BENCHMARK(BM_RowStoreScan)->Unit(benchmark::kMillisecond);
+
+void BM_ImcsScan(benchmark::State& state) {
+  ScanFixture& f = Fixture();
+  Random rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.Scan(true, static_cast<int64_t>(rng.Uniform(ScanFixture::kDomain))));
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * kRowsPerBlock);
+}
+BENCHMARK(BM_ImcsScan)->Unit(benchmark::kMicrosecond);
+
+void BM_ImcsScanStorageIndexMiss(benchmark::State& state) {
+  // Pivot outside every IMCU's min/max: pure storage-index pruning.
+  ScanFixture& f = Fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.Scan(true, ScanFixture::kDomain + 12345));
+  }
+}
+BENCHMARK(BM_ImcsScanStorageIndexMiss)->Unit(benchmark::kMicrosecond);
+
+void BM_ImcsScanWithInvalidRows(benchmark::State& state) {
+  // One-time fixture mutation: ~5% invalid rows → SMU reconciliation cost.
+  static bool invalidated = [] {
+    Fixture().InvalidateFraction(0.05);
+    return true;
+  }();
+  (void)invalidated;
+  ScanFixture& f = Fixture();
+  Random rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.Scan(true, static_cast<int64_t>(rng.Uniform(ScanFixture::kDomain))));
+  }
+}
+BENCHMARK(BM_ImcsScanWithInvalidRows)->Unit(benchmark::kMicrosecond);
+
+void BM_Population(benchmark::State& state) {
+  // Cost of building IMCUs for a 4-block chunk (encoding + dictionaries).
+  ScanFixture& f = Fixture();
+  for (auto _ : state) {
+    state.PauseTiming();
+    ImStore scratch(0, 4ull << 30);
+    PopulationOptions options;
+    options.blocks_per_imcu = 4;
+    Populator populator(&scratch, &f.snapshot_, &f.store_, options);
+    populator.EnableObject(&f.table_);
+    state.ResumeTiming();
+    populator.RunOnePass();
+    benchmark::DoNotOptimize(scratch.used_bytes());
+  }
+}
+BENCHMARK(BM_Population)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace stratus

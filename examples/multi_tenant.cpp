@@ -1,0 +1,129 @@
+// Multi-tenant DBIM-on-ADG: the paper's infrastructure is tenant-aware —
+// invalidation records carry tenant information and coarse invalidation
+// (Section III.E) is scoped to one tenant's IMCUs. This example runs two
+// tenants through one cluster and shows tenant isolation of the coarse path.
+//
+// Build & run:   ./build/examples/multi_tenant
+
+#include <cstdio>
+
+#include "db/database.h"
+
+using namespace stratus;
+
+namespace {
+
+constexpr TenantId kTenantA = 1;
+constexpr TenantId kTenantB = 2;
+
+ObjectId MakeTenantTable(AdgCluster* cluster, TenantId tenant, const char* name) {
+  const ObjectId table =
+      cluster
+          ->CreateTable(name, tenant, Schema::WideTable(3, 1),
+                        ImService::kStandbyOnly, true)
+          .value();
+  Transaction txn = cluster->primary()->Begin(0, tenant);
+  for (int64_t id = 0; id < 3000; ++id) {
+    (void)cluster->primary()->Insert(
+        &txn, table,
+        Row{Value(id), Value(id % 10), Value(id % 20), Value(id % 30),
+            Value(std::string("t") + std::to_string(tenant))},
+        nullptr);
+  }
+  (void)cluster->primary()->Commit(&txn);
+  return table;
+}
+
+uint64_t ImcsRows(StandbyDb* standby, ObjectId table) {
+  ScanQuery q;
+  q.object = table;
+  q.agg = AggKind::kCount;
+  auto result = standby->Query(q);
+  return result.ok() ? result->stats.rows_from_imcs : 0;
+}
+
+}  // namespace
+
+int main() {
+  DatabaseOptions options;
+  options.apply.num_workers = 4;
+  options.population.manager_interval_us = 500'000;
+  AdgCluster cluster(options);
+  cluster.Start();
+
+  std::printf("Creating one IM-enabled table per tenant and loading 3,000 rows each...\n");
+  const ObjectId table_a = MakeTenantTable(&cluster, kTenantA, "events");
+  const ObjectId table_b = MakeTenantTable(&cluster, kTenantB, "events");
+  cluster.WaitForCatchup();
+  (void)cluster.standby()->PopulateNow(table_a);
+  (void)cluster.standby()->PopulateNow(table_b);
+
+  std::printf("IMCS serving: tenant A=%llu rows, tenant B=%llu rows\n",
+              static_cast<unsigned long long>(ImcsRows(cluster.standby(), table_a)),
+              static_cast<unsigned long long>(ImcsRows(cluster.standby(), table_b)));
+
+  // Per-tenant maintenance: tenant A's updates invalidate only A's IMCUs.
+  std::printf("\nTenant A updates 100 rows...\n");
+  Transaction txn = cluster.primary()->Begin(0, kTenantA);
+  for (int64_t id = 0; id < 100; ++id) {
+    (void)cluster.primary()->UpdateByKey(
+        &txn, table_a, id,
+        Row{Value(id), Value(int64_t{777}), Value(id % 20), Value(id % 30),
+            Value(std::string("t1"))});
+  }
+  (void)cluster.primary()->Commit(&txn);
+  cluster.WaitForCatchup();
+
+  // Simulate the restart+straddler scenario for tenant B only: coarse
+  // invalidation is tenant-scoped.
+  std::printf("Simulating a straddling-transaction restart for tenant B...\n");
+  Transaction straddler = cluster.primary()->Begin(0, kTenantB);
+  (void)cluster.primary()->UpdateByKey(
+      &straddler, table_b,
+      1, Row{Value(int64_t{1}), Value(int64_t{5}), Value(int64_t{5}),
+             Value(int64_t{5}), Value(std::string("t2"))});
+  {
+    Transaction marker = cluster.primary()->Begin(0, kTenantB);
+    (void)cluster.primary()->Insert(
+        &marker, table_b,
+        Row{Value(int64_t{3000}), Value(int64_t{0}), Value(int64_t{0}),
+            Value(int64_t{0}), Value(std::string("t2"))},
+        nullptr);
+    (void)cluster.primary()->Commit(&marker);
+  }
+  cluster.WaitForCatchup();
+  cluster.standby()->Restart();
+  cluster.WaitForCatchup();
+  (void)cluster.standby()->PopulateNow(table_a);
+  (void)cluster.standby()->PopulateNow(table_b);
+  (void)cluster.primary()->Commit(&straddler);
+  cluster.WaitForCatchup();
+
+  std::printf("\nAfter tenant B's coarse invalidation:\n");
+  std::printf("  tenant A IMCS rows: %llu  (unaffected — isolation)\n",
+              static_cast<unsigned long long>(ImcsRows(cluster.standby(), table_a)));
+  std::printf("  tenant B IMCS rows: %llu  (coarse-invalidated → row path)\n",
+              static_cast<unsigned long long>(ImcsRows(cluster.standby(), table_b)));
+  std::printf("  coarse invalidations recorded: %llu\n",
+              static_cast<unsigned long long>(
+                  cluster.standby()->im_store()->Stats().coarse_invalidations));
+
+  // Both tenants' queries remain correct.
+  ScanQuery qa;
+  qa.object = table_a;
+  qa.predicates = {{1, PredOp::kEq, Value(int64_t{777})}};
+  qa.agg = AggKind::kCount;
+  ScanQuery qb;
+  qb.object = table_b;
+  qb.agg = AggKind::kCount;
+  auto ra = cluster.standby()->Query(qa);
+  auto rb = cluster.standby()->Query(qb);
+  std::printf("\nCorrectness: tenant A updated rows = %llu (expected 100), "
+              "tenant B total rows = %llu (expected 3001)\n",
+              static_cast<unsigned long long>(ra.ok() ? ra->count : 0),
+              static_cast<unsigned long long>(rb.ok() ? rb->count : 0));
+
+  cluster.Stop();
+  std::printf("\nDone.\n");
+  return 0;
+}

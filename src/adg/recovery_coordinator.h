@@ -1,0 +1,102 @@
+#ifndef STRATUS_ADG_RECOVERY_COORDINATOR_H_
+#define STRATUS_ADG_RECOVERY_COORDINATOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/latch.h"
+#include "common/types.h"
+#include "adg/recovery_worker.h"
+
+namespace stratus {
+
+/// Work the DBIM-on-ADG infrastructure contributes to a QuerySCN advancement
+/// (Section III.D). Implemented by `imadg::InvalidationFlushComponent`; when
+/// DBIM-on-ADG is disabled the coordinator advances without a driver.
+class FlushDriver {
+ public:
+  virtual ~FlushDriver() = default;
+
+  /// Chops the IM-ADG Commit Table at `target` and builds the worklinks.
+  /// Called inside the Quiesce Period, before any flush step.
+  virtual void PrepareAdvance(Scn target) = 0;
+
+  /// Performs one batch of invalidation flush; returns true if more remains.
+  virtual bool FlushStep(WorkerId invoker) = 0;
+
+  /// True once every worklink node has been flushed and every remote
+  /// instance has acknowledged its invalidation groups.
+  virtual bool AdvanceComplete() const = 0;
+
+  /// Called after the new QuerySCN has been published (outside the Quiesce
+  /// Period); used to propagate the QuerySCN to non-master RAC instances.
+  virtual void OnPublished(Scn published) = 0;
+};
+
+/// The recovery coordinator (Section II.A): tracks recovery workers' applied
+/// watermarks, establishes consistency points, and publishes the QuerySCN.
+/// During each advancement it runs the DBIM-on-ADG invalidation flush inside
+/// the Quiesce Period so queries at the new QuerySCN find every stale IMCU
+/// row marked invalid.
+class RecoveryCoordinator {
+ public:
+  /// `workers` outlive the coordinator. `driver` may be null.
+  RecoveryCoordinator(std::vector<RecoveryWorker*> workers, FlushDriver* driver,
+                      int64_t poll_interval_us = 500);
+  ~RecoveryCoordinator();
+
+  RecoveryCoordinator(const RecoveryCoordinator&) = delete;
+  RecoveryCoordinator& operator=(const RecoveryCoordinator&) = delete;
+
+  void Start();
+  void Stop();
+
+  /// The published QuerySCN: the Consistent Read snapshot for every query on
+  /// the standby.
+  Scn query_scn() const { return query_scn_.load(std::memory_order_acquire); }
+
+  /// Blocks until query_scn() >= scn or timeout. Returns the QuerySCN seen.
+  Scn WaitForQueryScn(Scn scn, int64_t timeout_us) const;
+
+  /// The Quiesce lock population synchronizes with (Section III.A).
+  QuiesceLock* quiesce() { return &quiesce_; }
+
+  /// Candidate consistency point: min applied watermark across workers.
+  Scn CandidateScn() const;
+
+  /// Forces one advancement attempt synchronously (used by tests to step the
+  /// protocol deterministically; the background thread does the same).
+  bool TryAdvanceOnce();
+
+  uint64_t advancements() const { return advancements_.load(std::memory_order_relaxed); }
+
+  /// Total wall time spent inside Quiesce Periods, for redo-apply impact
+  /// accounting (Section IV.C).
+  uint64_t quiesce_nanos() const { return quiesce_nanos_.load(std::memory_order_relaxed); }
+
+ private:
+  void Run();
+
+  std::vector<RecoveryWorker*> workers_;
+  FlushDriver* driver_;
+  int64_t poll_interval_us_;
+
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<Scn> query_scn_{kInvalidScn};
+  QuiesceLock quiesce_;
+
+  mutable std::mutex publish_mu_;
+  mutable std::condition_variable published_;
+
+  std::atomic<uint64_t> advancements_{0};
+  std::atomic<uint64_t> quiesce_nanos_{0};
+};
+
+}  // namespace stratus
+
+#endif  // STRATUS_ADG_RECOVERY_COORDINATOR_H_

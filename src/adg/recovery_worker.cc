@@ -1,0 +1,85 @@
+#include "adg/recovery_worker.h"
+
+#include <chrono>
+
+namespace stratus {
+
+RecoveryWorker::RecoveryWorker(WorkerId id, ApplySink* sink, ApplyHooks* hooks,
+                               FlushParticipant* flush, size_t queue_capacity)
+    : id_(id), sink_(sink), hooks_(hooks), flush_(flush), capacity_(queue_capacity) {}
+
+RecoveryWorker::~RecoveryWorker() {
+  if (thread_.joinable()) Stop();
+}
+
+void RecoveryWorker::Start() {
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { Run(); });
+}
+
+void RecoveryWorker::Stop() {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    stop_.store(true, std::memory_order_release);
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+void RecoveryWorker::Enqueue(ApplyEntry entry) {
+  std::unique_lock<std::mutex> g(mu_);
+  not_full_.wait(g, [&] {
+    return queue_.size() < capacity_ || stop_.load(std::memory_order_relaxed);
+  });
+  if (stop_.load(std::memory_order_relaxed)) return;
+  queue_.push_back(std::move(entry));
+  not_empty_.notify_one();
+}
+
+bool RecoveryWorker::Pop(ApplyEntry* out, int64_t timeout_us) {
+  std::unique_lock<std::mutex> g(mu_);
+  not_empty_.wait_for(g, std::chrono::microseconds(timeout_us), [&] {
+    return !queue_.empty() || stop_.load(std::memory_order_relaxed);
+  });
+  if (queue_.empty()) return false;
+  *out = std::move(queue_.front());
+  queue_.pop_front();
+  not_full_.notify_one();
+  return true;
+}
+
+void RecoveryWorker::Run() {
+  uint64_t since_flush_check = 0;
+  while (true) {
+    ApplyEntry entry;
+    if (!Pop(&entry, /*timeout_us=*/1000)) {
+      if (stop_.load(std::memory_order_acquire)) {
+        std::lock_guard<std::mutex> g(mu_);
+        if (queue_.empty()) break;
+        continue;
+      }
+      // Idle: volunteer for cooperative flush (Section III.D.2).
+      if (flush_ != nullptr && flush_->WantsHelp()) flush_->FlushStep(id_);
+      continue;
+    }
+    if (entry.kind == ApplyEntry::Kind::kBarrier) {
+      if (entry.scn > watermark_.load(std::memory_order_relaxed))
+        watermark_.store(entry.scn, std::memory_order_release);
+      continue;
+    }
+    const Status st = sink_->ApplyCv(entry.cv);
+    if (!st.ok()) apply_errors_.fetch_add(1, std::memory_order_relaxed);
+    applied_cvs_.fetch_add(1, std::memory_order_relaxed);
+    if (hooks_ != nullptr) hooks_->OnCvApplied(entry.cv, id_);
+
+    // Periodically lend a hand to a pending invalidation flush, without
+    // starving redo apply (one batch every few applies).
+    if (flush_ != nullptr && ++since_flush_check >= 16) {
+      since_flush_check = 0;
+      if (flush_->WantsHelp()) flush_->FlushStep(id_);
+    }
+  }
+}
+
+}  // namespace stratus

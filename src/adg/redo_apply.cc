@@ -1,0 +1,88 @@
+#include "adg/redo_apply.h"
+
+namespace stratus {
+
+RedoApplyEngine::RedoApplyEngine(std::unique_ptr<LogMerger> merger,
+                                 ApplySink* sink, ApplyHooks* hooks,
+                                 FlushParticipant* flush, FlushDriver* driver,
+                                 const RedoApplyOptions& options)
+    : merger_(std::move(merger)), sink_(sink), options_(options) {
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.push_back(std::make_unique<RecoveryWorker>(
+        static_cast<WorkerId>(i), sink_, hooks, flush,
+        options_.worker_queue_capacity));
+  }
+  if (options_.create_coordinator) {
+    std::vector<RecoveryWorker*> worker_ptrs;
+    for (auto& w : workers_) worker_ptrs.push_back(w.get());
+    coordinator_ = std::make_unique<RecoveryCoordinator>(
+        std::move(worker_ptrs), driver, options_.coordinator_poll_us);
+  }
+}
+
+RedoApplyEngine::~RedoApplyEngine() {
+  if (dispatch_thread_.joinable()) Stop();
+}
+
+void RedoApplyEngine::Start() {
+  stop_.store(false, std::memory_order_release);
+  for (auto& w : workers_) w->Start();
+  if (coordinator_ != nullptr) coordinator_->Start();
+  dispatch_thread_ = std::thread([this] { DispatchLoop(); });
+}
+
+void RedoApplyEngine::Stop() {
+  stop_.store(true, std::memory_order_release);
+  if (dispatch_thread_.joinable()) dispatch_thread_.join();
+  for (auto& w : workers_) w->Stop();
+  if (coordinator_ != nullptr) coordinator_->Stop();
+}
+
+void RedoApplyEngine::BroadcastBarrier(Scn scn) {
+  if (scn == kInvalidScn) return;
+  for (auto& w : workers_) {
+    ApplyEntry barrier;
+    barrier.kind = ApplyEntry::Kind::kBarrier;
+    barrier.scn = scn;
+    w->Enqueue(std::move(barrier));
+  }
+}
+
+void RedoApplyEngine::DispatchLoop() {
+  int since_barrier = 0;
+  Scn last_scn = kInvalidScn;
+  while (!stop_.load(std::memory_order_acquire)) {
+    RedoRecord rec;
+    if (!merger_->Next(&rec, /*timeout_us=*/1000)) {
+      // Idle or stalled: nothing new to dispatch. Any barrier for `last_scn`
+      // has already been broadcast below, so just retry.
+      if (merger_->Finished()) break;
+      continue;
+    }
+    bool heartbeat_only = true;
+    for (ChangeVector& cv : rec.cvs) {
+      if (cv.kind == CvKind::kHeartbeat) continue;
+      heartbeat_only = false;
+      ApplyEntry entry;
+      entry.kind = ApplyEntry::Kind::kCv;
+      entry.cv = std::move(cv);
+      const size_t target = static_cast<size_t>(entry.cv.dba) % workers_.size();
+      workers_[target]->Enqueue(std::move(entry));
+    }
+    last_scn = rec.scn;
+    dispatched_scn_.store(rec.scn, std::memory_order_release);
+    dispatched_records_.fetch_add(1, std::memory_order_relaxed);
+
+    // A heartbeat record proves every stream has delivered up to rec.scn, so
+    // broadcast a barrier immediately; otherwise barrier periodically.
+    if (heartbeat_only || ++since_barrier >= options_.barrier_interval) {
+      BroadcastBarrier(last_scn);
+      since_barrier = 0;
+    }
+  }
+  // Final barrier so watermarks (and thus the QuerySCN) cover everything
+  // dispatched before shutdown.
+  BroadcastBarrier(last_scn);
+}
+
+}  // namespace stratus

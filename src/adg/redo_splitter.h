@@ -1,0 +1,56 @@
+#ifndef STRATUS_ADG_REDO_SPLITTER_H_
+#define STRATUS_ADG_REDO_SPLITTER_H_
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+#include "redo/log_merger.h"
+#include "redo/log_shipping.h"
+
+namespace stratus {
+
+/// The Multi-Instance Redo Apply (MIRA, Section V / [2]) splitter: consumes
+/// the globally SCN-ordered stream from the log merger and routes each change
+/// vector to the apply instance that owns its DBA (hash partitioning), so
+/// several apply engines recover the database in parallel.
+///
+/// Every record's SCN is delivered to *every* instance (instances that get no
+/// CVs from a record receive it empty, i.e. as a heartbeat), so each
+/// instance's applied watermark — and hence the global QuerySCN, the minimum
+/// across all instances' workers — keeps advancing even for instances the
+/// workload doesn't touch.
+class RedoSplitter {
+ public:
+  /// `outputs[i]` feeds apply instance i.
+  RedoSplitter(std::unique_ptr<LogMerger> merger,
+               std::vector<ReceivedLog*> outputs);
+  ~RedoSplitter();
+
+  RedoSplitter(const RedoSplitter&) = delete;
+  RedoSplitter& operator=(const RedoSplitter&) = delete;
+
+  void Start();
+  void Stop();
+
+  /// Which instance applies `dba` (same hash the engines use for workers is
+  /// fine — partitioning only has to be deterministic).
+  size_t InstanceFor(Dba dba) const { return dba % outputs_.size(); }
+
+  uint64_t routed_records() const { return routed_.load(std::memory_order_relaxed); }
+
+ private:
+  void Run();
+
+  std::unique_ptr<LogMerger> merger_;
+  std::vector<ReceivedLog*> outputs_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> routed_{0};
+};
+
+}  // namespace stratus
+
+#endif  // STRATUS_ADG_REDO_SPLITTER_H_

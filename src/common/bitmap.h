@@ -1,0 +1,74 @@
+#ifndef STRATUS_COMMON_BITMAP_H_
+#define STRATUS_COMMON_BITMAP_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace stratus {
+
+/// Fixed-size concurrent bitmap. Setters use `fetch_or` with release order;
+/// readers use acquire loads. This is the representation behind SMU row/block
+/// invalidity: invalidation flush sets bits concurrently with scans reading
+/// them, and publication of the QuerySCN provides the cross-thread ordering
+/// (flush happens-before publish happens-before any scan at that QuerySCN).
+class AtomicBitmap {
+ public:
+  explicit AtomicBitmap(size_t bits)
+      : bits_(bits), words_((bits + 63) / 64) {
+    words_ptr_ = std::make_unique<std::atomic<uint64_t>[]>(words_);
+    for (size_t i = 0; i < words_; ++i) words_ptr_[i].store(0, std::memory_order_relaxed);
+  }
+
+  AtomicBitmap(const AtomicBitmap&) = delete;
+  AtomicBitmap& operator=(const AtomicBitmap&) = delete;
+
+  size_t size() const { return bits_; }
+
+  /// Sets bit `i`; returns true if the bit was newly set.
+  bool Set(size_t i) {
+    const uint64_t mask = 1ull << (i & 63);
+    const uint64_t prev =
+        words_ptr_[i >> 6].fetch_or(mask, std::memory_order_release);
+    return (prev & mask) == 0;
+  }
+
+  bool Test(size_t i) const {
+    const uint64_t mask = 1ull << (i & 63);
+    return (words_ptr_[i >> 6].load(std::memory_order_acquire) & mask) != 0;
+  }
+
+  /// Raw 64-bit word access for word-at-a-time scans over sparse bitmaps.
+  uint64_t Word(size_t w) const {
+    return words_ptr_[w].load(std::memory_order_acquire);
+  }
+  size_t NumWords() const { return words_; }
+
+  /// Sets every bit. Used by coarse invalidation (Section III.E).
+  void SetAll() {
+    for (size_t i = 0; i < words_; ++i)
+      words_ptr_[i].store(~0ull, std::memory_order_release);
+  }
+
+  /// Number of set bits (linear scan; used for repopulation heuristics and
+  /// stats, not on hot paths).
+  size_t PopCount() const {
+    size_t n = 0;
+    for (size_t i = 0; i < words_; ++i)
+      n += static_cast<size_t>(
+          __builtin_popcountll(words_ptr_[i].load(std::memory_order_acquire)));
+    // Bits beyond size() are never set, so no mask correction is needed.
+    return n;
+  }
+
+ private:
+  size_t bits_;
+  size_t words_;
+  std::unique_ptr<std::atomic<uint64_t>[]> words_ptr_;
+};
+
+}  // namespace stratus
+
+#endif  // STRATUS_COMMON_BITMAP_H_

@@ -1,0 +1,14 @@
+#include "common/clock.h"
+
+#include <ctime>
+
+namespace stratus {
+
+uint64_t ThreadCpuNanos() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
+}  // namespace stratus

@@ -1,0 +1,40 @@
+#ifndef STRATUS_COMMON_CLOCK_H_
+#define STRATUS_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace stratus {
+
+/// Monotonic wall-clock time in nanoseconds, for latency measurement.
+inline uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Monotonic wall-clock time in microseconds.
+inline uint64_t NowMicros() { return NowNanos() / 1000; }
+
+/// CPU time consumed by the calling thread, in nanoseconds. Used by the
+/// workload harness to reproduce the paper's per-role CPU-usage numbers
+/// (Section IV.A/IV.B) without an external monitor.
+uint64_t ThreadCpuNanos();
+
+/// Accumulates CPU time of a scope into a caller-provided counter.
+class ScopedCpuTimer {
+ public:
+  explicit ScopedCpuTimer(uint64_t* sink) : sink_(sink), start_(ThreadCpuNanos()) {}
+  ~ScopedCpuTimer() { *sink_ += ThreadCpuNanos() - start_; }
+  ScopedCpuTimer(const ScopedCpuTimer&) = delete;
+  ScopedCpuTimer& operator=(const ScopedCpuTimer&) = delete;
+
+ private:
+  uint64_t* sink_;
+  uint64_t start_;
+};
+
+}  // namespace stratus
+
+#endif  // STRATUS_COMMON_CLOCK_H_

@@ -1,0 +1,94 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+namespace stratus {
+
+Histogram::Histogram(const Histogram& other) {
+  std::lock_guard<std::mutex> g(other.mu_);
+  samples_ = other.samples_;
+}
+
+Histogram& Histogram::operator=(const Histogram& other) {
+  if (this == &other) return *this;
+  std::vector<uint64_t> copy;
+  {
+    std::lock_guard<std::mutex> g(other.mu_);
+    copy = other.samples_;
+  }
+  std::lock_guard<std::mutex> g(mu_);
+  samples_ = std::move(copy);
+  return *this;
+}
+
+void Histogram::Record(uint64_t value_us) {
+  std::lock_guard<std::mutex> g(mu_);
+  samples_.push_back(value_us);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  std::vector<uint64_t> theirs;
+  {
+    std::lock_guard<std::mutex> g(other.mu_);
+    theirs = other.samples_;
+  }
+  std::lock_guard<std::mutex> g(mu_);
+  samples_.insert(samples_.end(), theirs.begin(), theirs.end());
+}
+
+uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return samples_.size();
+}
+
+double Histogram::Average() const {
+  std::lock_guard<std::mutex> g(mu_);
+  if (samples_.empty()) return 0.0;
+  const double sum = std::accumulate(samples_.begin(), samples_.end(), 0.0);
+  return sum / static_cast<double>(samples_.size());
+}
+
+double Histogram::Percentile(double p) const {
+  std::lock_guard<std::mutex> g(mu_);
+  if (samples_.empty()) return 0.0;
+  std::vector<uint64_t> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  if (p <= 0) return static_cast<double>(sorted.front());
+  if (p >= 100) return static_cast<double>(sorted.back());
+  // Nearest-rank with linear interpolation.
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return static_cast<double>(sorted[lo]) * (1.0 - frac) +
+         static_cast<double>(sorted[hi]) * frac;
+}
+
+uint64_t Histogram::Min() const {
+  std::lock_guard<std::mutex> g(mu_);
+  if (samples_.empty()) return 0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+uint64_t Histogram::Max() const {
+  std::lock_guard<std::mutex> g(mu_);
+  if (samples_.empty()) return 0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+void Histogram::Reset() {
+  std::lock_guard<std::mutex> g(mu_);
+  samples_.clear();
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "median=%.1fus avg=%.1fus p95=%.1fus (n=%llu)",
+                Percentile(50), Average(), Percentile(95),
+                static_cast<unsigned long long>(count()));
+  return buf;
+}
+
+}  // namespace stratus

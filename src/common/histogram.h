@@ -1,0 +1,49 @@
+#ifndef STRATUS_COMMON_HISTOGRAM_H_
+#define STRATUS_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace stratus {
+
+/// Thread-safe latency recorder producing the median / average / 95th
+/// percentile statistics reported throughout the paper's Section IV.
+///
+/// Values are recorded exactly (microseconds) and percentiles are computed on
+/// a sorted copy at read time; the evaluation harnesses record at most a few
+/// hundred thousand samples, so exactness is affordable and avoids bucket
+/// error in the reproduced tables.
+class Histogram {
+ public:
+  Histogram() = default;
+  /// Copyable (snapshot semantics) so result structs can carry histograms.
+  Histogram(const Histogram& other);
+  Histogram& operator=(const Histogram& other);
+
+  void Record(uint64_t value_us);
+
+  /// Merges another histogram's samples into this one.
+  void Merge(const Histogram& other);
+
+  uint64_t count() const;
+  double Average() const;
+  /// p in [0,100]; Percentile(50) is the median.
+  double Percentile(double p) const;
+  uint64_t Min() const;
+  uint64_t Max() const;
+
+  void Reset();
+
+  /// "median=…us avg=…us p95=…us (n=…)" one-line summary.
+  std::string Summary() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<uint64_t> samples_;
+};
+
+}  // namespace stratus
+
+#endif  // STRATUS_COMMON_HISTOGRAM_H_

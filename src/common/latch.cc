@@ -1,0 +1,5 @@
+#include "common/latch.h"
+
+// Header-only today; this translation unit anchors the library's vtable-free
+// latch types and keeps the build layout uniform (one .cc per module header).
+namespace stratus {}  // namespace stratus

@@ -1,0 +1,104 @@
+#ifndef STRATUS_COMMON_LATCH_H_
+#define STRATUS_COMMON_LATCH_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
+
+namespace stratus {
+
+/// A short-duration exclusive latch with acquisition counting, used where
+/// Oracle would use a latch (journal hash buckets, SMU headers, block
+/// headers). Thin wrapper over std::mutex so contention is visible in stats.
+class Latch {
+ public:
+  Latch() = default;
+  Latch(const Latch&) = delete;
+  Latch& operator=(const Latch&) = delete;
+
+  void Lock() {
+    if (!mu_.try_lock()) {
+      contended_.fetch_add(1, std::memory_order_relaxed);
+      mu_.lock();
+    }
+    acquisitions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void Unlock() { mu_.unlock(); }
+
+  /// Total successful acquisitions (diagnostic).
+  uint64_t acquisitions() const {
+    return acquisitions_.load(std::memory_order_relaxed);
+  }
+  /// Acquisitions that had to wait (diagnostic; drives ablation benches).
+  uint64_t contended() const {
+    return contended_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::mutex mu_;
+  std::atomic<uint64_t> acquisitions_{0};
+  std::atomic<uint64_t> contended_{0};
+};
+
+/// RAII guard for `Latch`.
+class LatchGuard {
+ public:
+  explicit LatchGuard(Latch& latch) : latch_(latch) { latch_.Lock(); }
+  ~LatchGuard() { latch_.Unlock(); }
+  LatchGuard(const LatchGuard&) = delete;
+  LatchGuard& operator=(const LatchGuard&) = delete;
+
+ private:
+  Latch& latch_;
+};
+
+/// The Quiesce lock from the paper (Section III.A): the recovery coordinator
+/// holds it exclusively while flushing invalidations and publishing a new
+/// QuerySCN ("Quiesce Period"); population infrastructure holds it shared
+/// while capturing an IMCU snapshot SCN, and is blocked out of capturing a
+/// snapshot during the Quiesce Period.
+class QuiesceLock {
+ public:
+  /// Begin the Quiesce Period (exclusive).
+  void BeginQuiesce() {
+    mu_.lock();
+    in_quiesce_.store(true, std::memory_order_release);
+  }
+  /// End the Quiesce Period.
+  void EndQuiesce() {
+    in_quiesce_.store(false, std::memory_order_release);
+    mu_.unlock();
+  }
+
+  /// Shared acquisition used by population while capturing a snapshot SCN.
+  void EnterSnapshotCapture() { mu_.lock_shared(); }
+  void ExitSnapshotCapture() { mu_.unlock_shared(); }
+
+  /// True while the coordinator is inside a Quiesce Period. Advisory only;
+  /// synchronization is via the shared lock.
+  bool InQuiesce() const { return in_quiesce_.load(std::memory_order_acquire); }
+
+ private:
+  std::shared_mutex mu_;
+  std::atomic<bool> in_quiesce_{false};
+};
+
+/// RAII shared-side guard of the quiesce lock for snapshot capture.
+class SnapshotCaptureGuard {
+ public:
+  explicit SnapshotCaptureGuard(QuiesceLock& lock) : lock_(lock) {
+    lock_.EnterSnapshotCapture();
+  }
+  ~SnapshotCaptureGuard() { lock_.ExitSnapshotCapture(); }
+  SnapshotCaptureGuard(const SnapshotCaptureGuard&) = delete;
+  SnapshotCaptureGuard& operator=(const SnapshotCaptureGuard&) = delete;
+
+ private:
+  QuiesceLock& lock_;
+};
+
+}  // namespace stratus
+
+#endif  // STRATUS_COMMON_LATCH_H_

@@ -1,0 +1,65 @@
+#ifndef STRATUS_COMMON_RANDOM_H_
+#define STRATUS_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace stratus {
+
+/// Small, fast, deterministic PRNG (xorshift128+). Used by workload
+/// generators and property tests; seeded explicitly so every test and bench
+/// run is reproducible.
+class Random {
+ public:
+  explicit Random(uint64_t seed) {
+    // SplitMix64 expansion of the seed into two non-zero words.
+    s0_ = Mix(seed + 0x9E3779B97F4A7C15ull);
+    s1_ = Mix(seed + 2 * 0x9E3779B97F4A7C15ull);
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// True with probability `percent`/100.
+  bool Percent(uint32_t percent) { return Uniform(100) < percent; }
+
+  double NextDouble() {  // in [0, 1)
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Random lowercase ASCII string of exactly `len` characters.
+  std::string NextString(size_t len) {
+    std::string s(len, 'a');
+    for (auto& c : s) c = static_cast<char>('a' + Uniform(26));
+    return s;
+  }
+
+ private:
+  static uint64_t Mix(uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace stratus
+
+#endif  // STRATUS_COMMON_RANDOM_H_

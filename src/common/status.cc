@@ -1,0 +1,35 @@
+#include "common/status.h"
+
+namespace stratus {
+namespace {
+
+const char* CodeName(Code code) {
+  switch (code) {
+    case Code::kOk: return "OK";
+    case Code::kNotFound: return "NotFound";
+    case Code::kAlreadyExists: return "AlreadyExists";
+    case Code::kInvalidArgument: return "InvalidArgument";
+    case Code::kFailedPrecondition: return "FailedPrecondition";
+    case Code::kAborted: return "Aborted";
+    case Code::kOutOfRange: return "OutOfRange";
+    case Code::kResourceExhausted: return "ResourceExhausted";
+    case Code::kUnavailable: return "Unavailable";
+    case Code::kCorruption: return "Corruption";
+    case Code::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace stratus

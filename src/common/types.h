@@ -1,0 +1,72 @@
+#ifndef STRATUS_COMMON_TYPES_H_
+#define STRATUS_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace stratus {
+
+/// System Change Number: the logical database clock. Every redo record is
+/// stamped with the SCN at which its changes were made; a transaction becomes
+/// visible at its commitSCN. SCN 0 is "before any change".
+using Scn = uint64_t;
+
+/// Sentinel for "no SCN" / "not yet committed".
+inline constexpr Scn kInvalidScn = 0;
+inline constexpr Scn kMaxScn = std::numeric_limits<Scn>::max();
+
+/// Transaction identifier, unique per primary database lifetime.
+using Xid = uint64_t;
+inline constexpr Xid kInvalidXid = 0;
+
+/// Database Block Address: identifies a single data block. Each redo change
+/// vector applies to exactly one DBA.
+using Dba = uint64_t;
+inline constexpr Dba kInvalidDba = std::numeric_limits<Dba>::max();
+
+/// Data object identifier (a table, partition, or index segment).
+using ObjectId = uint64_t;
+inline constexpr ObjectId kInvalidObjectId = 0;
+
+/// Tenant (pluggable database) identifier; DBIM-on-ADG runs multi-tenant.
+using TenantId = uint32_t;
+inline constexpr TenantId kDefaultTenant = 1;
+
+/// Slot of a row within its data block.
+using SlotId = uint32_t;
+
+/// A unique row address: block + slot.
+struct RowId {
+  Dba dba = kInvalidDba;
+  SlotId slot = 0;
+
+  friend bool operator==(const RowId&, const RowId&) = default;
+  friend auto operator<=>(const RowId&, const RowId&) = default;
+};
+
+/// Identifier of a redo-generating primary instance ("redo thread" in Oracle
+/// terms). A RAC primary has several.
+using RedoThreadId = uint32_t;
+
+/// Identifier of a recovery worker process on the standby.
+using WorkerId = uint32_t;
+/// Sentinel WorkerId used when the recovery coordinator itself (not a
+/// worker) drives a flush step.
+inline constexpr WorkerId kMaxWorkerId = std::numeric_limits<WorkerId>::max();
+
+/// Identifier of a standby RAC instance. Instance 0 is the redo-apply master
+/// (Single Instance Redo Apply).
+using InstanceId = uint32_t;
+inline constexpr InstanceId kMasterInstance = 0;
+
+}  // namespace stratus
+
+template <>
+struct std::hash<stratus::RowId> {
+  size_t operator()(const stratus::RowId& r) const noexcept {
+    return std::hash<uint64_t>()(r.dba * 1000003u + r.slot);
+  }
+};
+
+#endif  // STRATUS_COMMON_TYPES_H_

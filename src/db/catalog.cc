@@ -1,0 +1,174 @@
+#include "db/catalog.h"
+
+#include <mutex>
+
+namespace stratus {
+
+namespace {
+
+template <typename T>
+const T* VersionAt(const std::vector<std::pair<Scn, T>>& versions, Scn scn) {
+  const T* best = nullptr;
+  for (const auto& [vscn, v] : versions) {
+    if (vscn <= scn) best = &v;
+    else break;
+  }
+  return best;
+}
+
+}  // namespace
+
+StatusOr<ObjectId> Catalog::CreateTable(const std::string& name, TenantId tenant,
+                                        Schema schema, ImService service,
+                                        bool identity_index, Scn scn) {
+  std::unique_lock<std::shared_mutex> g(mu_);
+  if (by_name_.contains({tenant, name}))
+    return Status::AlreadyExists("table " + name);
+  const ObjectId oid = next_object_id_++;
+  TableMeta meta;
+  meta.object_id = oid;
+  meta.tenant = tenant;
+  meta.name = name;
+  meta.schema_versions.emplace_back(scn, std::move(schema));
+  meta.im_versions.emplace_back(scn, service);
+  meta.has_identity_index = identity_index;
+  tables_.emplace(oid, std::move(meta));
+  by_name_[{tenant, name}] = oid;
+  return oid;
+}
+
+Status Catalog::CreateTableWithId(ObjectId object_id, const std::string& name,
+                                  TenantId tenant, Schema schema,
+                                  ImService service, bool identity_index,
+                                  Scn scn) {
+  std::unique_lock<std::shared_mutex> g(mu_);
+  if (tables_.contains(object_id))
+    return Status::AlreadyExists("object " + std::to_string(object_id));
+  TableMeta meta;
+  meta.object_id = object_id;
+  meta.tenant = tenant;
+  meta.name = name;
+  meta.schema_versions.emplace_back(scn, std::move(schema));
+  meta.im_versions.emplace_back(scn, service);
+  meta.has_identity_index = identity_index;
+  tables_.emplace(object_id, std::move(meta));
+  by_name_[{tenant, name}] = object_id;
+  if (object_id >= next_object_id_) next_object_id_ = object_id + 1;
+  return Status::OK();
+}
+
+const Catalog::TableMeta* Catalog::FindLocked(ObjectId object_id) const {
+  auto it = tables_.find(object_id);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+StatusOr<ObjectId> Catalog::FindByName(const std::string& name,
+                                       TenantId tenant) const {
+  std::shared_lock<std::shared_mutex> g(mu_);
+  auto it = by_name_.find({tenant, name});
+  if (it == by_name_.end()) return Status::NotFound("table " + name);
+  return it->second;
+}
+
+bool Catalog::Exists(ObjectId object_id) const {
+  std::shared_lock<std::shared_mutex> g(mu_);
+  const TableMeta* meta = FindLocked(object_id);
+  return meta != nullptr && meta->dropped_scn == kMaxScn;
+}
+
+bool Catalog::ExistsAt(ObjectId object_id, Scn scn) const {
+  std::shared_lock<std::shared_mutex> g(mu_);
+  const TableMeta* meta = FindLocked(object_id);
+  if (meta == nullptr) return false;
+  if (meta->schema_versions.empty() || meta->schema_versions.front().first > scn)
+    return false;
+  return meta->dropped_scn == kMaxScn || scn < meta->dropped_scn;
+}
+
+StatusOr<Schema> Catalog::SchemaAt(ObjectId object_id, Scn scn) const {
+  std::shared_lock<std::shared_mutex> g(mu_);
+  const TableMeta* meta = FindLocked(object_id);
+  if (meta == nullptr) return Status::NotFound("no such object");
+  const Schema* s = VersionAt(meta->schema_versions, scn);
+  if (s == nullptr) return Status::NotFound("object not yet created at scn");
+  return *s;
+}
+
+StatusOr<Schema> Catalog::CurrentSchema(ObjectId object_id) const {
+  return SchemaAt(object_id, kMaxScn);
+}
+
+ImService Catalog::ImServiceAt(ObjectId object_id, Scn scn) const {
+  std::shared_lock<std::shared_mutex> g(mu_);
+  const TableMeta* meta = FindLocked(object_id);
+  if (meta == nullptr) return ImService::kNone;
+  if (meta->dropped_scn != kMaxScn && scn >= meta->dropped_scn)
+    return ImService::kNone;
+  const ImService* s = VersionAt(meta->im_versions, scn);
+  return s == nullptr ? ImService::kNone : *s;
+}
+
+ImService Catalog::CurrentImService(ObjectId object_id) const {
+  return ImServiceAt(object_id, kMaxScn);
+}
+
+TenantId Catalog::TenantOf(ObjectId object_id) const {
+  std::shared_lock<std::shared_mutex> g(mu_);
+  const TableMeta* meta = FindLocked(object_id);
+  return meta == nullptr ? kDefaultTenant : meta->tenant;
+}
+
+bool Catalog::HasIdentityIndex(ObjectId object_id) const {
+  std::shared_lock<std::shared_mutex> g(mu_);
+  const TableMeta* meta = FindLocked(object_id);
+  return meta != nullptr && meta->has_identity_index;
+}
+
+StatusOr<std::string> Catalog::NameOf(ObjectId object_id) const {
+  std::shared_lock<std::shared_mutex> g(mu_);
+  const TableMeta* meta = FindLocked(object_id);
+  if (meta == nullptr) return Status::NotFound("no such object");
+  return meta->name;
+}
+
+Status Catalog::DropTable(ObjectId object_id, Scn scn) {
+  std::unique_lock<std::shared_mutex> g(mu_);
+  auto it = tables_.find(object_id);
+  if (it == tables_.end()) return Status::NotFound("no such object");
+  if (it->second.dropped_scn != kMaxScn)
+    return Status::FailedPrecondition("already dropped");
+  it->second.dropped_scn = scn;
+  by_name_.erase({it->second.tenant, it->second.name});
+  return Status::OK();
+}
+
+Status Catalog::DropColumn(ObjectId object_id, uint32_t column_idx, Scn scn) {
+  std::unique_lock<std::shared_mutex> g(mu_);
+  auto it = tables_.find(object_id);
+  if (it == tables_.end()) return Status::NotFound("no such object");
+  const Schema& current = it->second.schema_versions.back().second;
+  if (column_idx >= current.num_columns())
+    return Status::InvalidArgument("no such column");
+  if (column_idx == 0)
+    return Status::InvalidArgument("cannot drop the identity column");
+  it->second.schema_versions.emplace_back(scn, current.WithDroppedColumn(column_idx));
+  return Status::OK();
+}
+
+Status Catalog::SetImService(ObjectId object_id, ImService service, Scn scn) {
+  std::unique_lock<std::shared_mutex> g(mu_);
+  auto it = tables_.find(object_id);
+  if (it == tables_.end()) return Status::NotFound("no such object");
+  it->second.im_versions.emplace_back(scn, service);
+  return Status::OK();
+}
+
+std::vector<ObjectId> Catalog::AllObjects() const {
+  std::shared_lock<std::shared_mutex> g(mu_);
+  std::vector<ObjectId> out;
+  out.reserve(tables_.size());
+  for (const auto& [oid, meta] : tables_) out.push_back(oid);
+  return out;
+}
+
+}  // namespace stratus

@@ -1,0 +1,94 @@
+#ifndef STRATUS_DB_CATALOG_H_
+#define STRATUS_DB_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/schema.h"
+
+namespace stratus {
+
+/// Where an object's data is populated in-memory — which database service the
+/// customer attached its INMEMORY attribute to (Figure 2's deployment model).
+enum class ImService : uint8_t {
+  kNone = 0,
+  kPrimaryOnly = 1,
+  kStandbyOnly = 2,
+  kBoth = 3,
+};
+
+inline bool ImOnPrimary(ImService s) {
+  return s == ImService::kPrimaryOnly || s == ImService::kBoth;
+}
+inline bool ImOnStandby(ImService s) {
+  return s == ImService::kStandbyOnly || s == ImService::kBoth;
+}
+
+/// The data dictionary. Schema and in-memory attributes are SCN-effective:
+/// each DDL adds a version stamped with its SCN, so standby queries running
+/// at an older QuerySCN keep resolving the old definition (Section III.G).
+class Catalog {
+ public:
+  struct TableMeta {
+    ObjectId object_id = kInvalidObjectId;
+    TenantId tenant = kDefaultTenant;
+    std::string name;
+    /// Ascending by SCN; front is the creation version.
+    std::vector<std::pair<Scn, Schema>> schema_versions;
+    std::vector<std::pair<Scn, ImService>> im_versions;
+    bool has_identity_index = false;
+    Scn dropped_scn = kMaxScn;
+  };
+
+  /// Registers a table created at `scn`. Fails on duplicate name per tenant.
+  StatusOr<ObjectId> CreateTable(const std::string& name, TenantId tenant,
+                                 Schema schema, ImService service,
+                                 bool identity_index, Scn scn);
+
+  /// Mirrors a table definition with a fixed object id (standby bootstrap).
+  Status CreateTableWithId(ObjectId object_id, const std::string& name,
+                           TenantId tenant, Schema schema, ImService service,
+                           bool identity_index, Scn scn);
+
+  StatusOr<ObjectId> FindByName(const std::string& name, TenantId tenant) const;
+
+  bool Exists(ObjectId object_id) const;
+  bool ExistsAt(ObjectId object_id, Scn scn) const;
+
+  /// Schema in effect at `scn` (the newest version with version-scn <= scn).
+  StatusOr<Schema> SchemaAt(ObjectId object_id, Scn scn) const;
+  StatusOr<Schema> CurrentSchema(ObjectId object_id) const;
+
+  ImService ImServiceAt(ObjectId object_id, Scn scn) const;
+  ImService CurrentImService(ObjectId object_id) const;
+
+  TenantId TenantOf(ObjectId object_id) const;
+  bool HasIdentityIndex(ObjectId object_id) const;
+  StatusOr<std::string> NameOf(ObjectId object_id) const;
+
+  // DDL mutators (each records a new SCN-effective version).
+  Status DropTable(ObjectId object_id, Scn scn);
+  Status DropColumn(ObjectId object_id, uint32_t column_idx, Scn scn);
+  Status SetImService(ObjectId object_id, ImService service, Scn scn);
+
+  std::vector<ObjectId> AllObjects() const;
+
+ private:
+  const TableMeta* FindLocked(ObjectId object_id) const;
+
+  mutable std::shared_mutex mu_;
+  std::unordered_map<ObjectId, TableMeta> tables_;
+  std::map<std::pair<TenantId, std::string>, ObjectId> by_name_;
+  ObjectId next_object_id_ = 1001;
+};
+
+}  // namespace stratus
+
+#endif  // STRATUS_DB_CATALOG_H_

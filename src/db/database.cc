@@ -1,0 +1,813 @@
+#include "db/database.h"
+
+#include <chrono>
+#include <thread>
+
+namespace stratus {
+
+// ---------------------------------------------------------------------------
+// PrimaryDb
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::vector<RedoLog*> MakeLogPtrs(
+    const std::vector<std::unique_ptr<RedoLog>>& logs) {
+  std::vector<RedoLog*> out;
+  for (const auto& l : logs) out.push_back(l.get());
+  return out;
+}
+
+std::vector<std::unique_ptr<RedoLog>> MakeLogs(int threads, ScnAllocator* scns) {
+  std::vector<std::unique_ptr<RedoLog>> logs;
+  for (int i = 0; i < threads; ++i)
+    logs.push_back(std::make_unique<RedoLog>(static_cast<RedoThreadId>(i), scns));
+  return logs;
+}
+
+}  // namespace
+
+PrimaryDb::PrimaryDb(const DatabaseOptions& options)
+    : options_(options),
+      redo_logs_(MakeLogs(options.primary_redo_threads, &scns_)),
+      txn_mgr_(&scns_, &txn_table_, &blocks_, MakeLogPtrs(redo_logs_),
+               /*im_object_checker=*/
+               [this](ObjectId oid) {
+                 return ImOnStandby(catalog_.CurrentImService(oid));
+               }) {
+  txn_mgr_.set_specialized_redo(options_.specialized_redo);
+  if (options_.primary_imcs_enabled) {
+    im_store_ = std::make_unique<ImStore>(kMasterInstance, options_.im_pool_bytes);
+    snapshot_source_ = std::make_unique<PrimarySnapshotSource>(&txn_mgr_, &im_sync_);
+    PopulationOptions pop = options_.population;
+    pop.home_fn = nullptr;  // The primary IMCS is not distributed here.
+    pop.expressions = &im_exprs_;
+    populator_ = std::make_unique<Populator>(im_store_.get(), snapshot_source_.get(),
+                                             &blocks_, pop);
+    commit_hooks_ = std::make_unique<PrimaryCommitHooks>(&im_sync_, im_store_.get());
+    txn_mgr_.SetPrimaryImIntegration(
+        [this](ObjectId oid) {
+          return ImOnPrimary(catalog_.CurrentImService(oid));
+        },
+        commit_hooks_.get());
+  }
+}
+
+PrimaryDb::~PrimaryDb() { Stop(); }
+
+void PrimaryDb::Start() {
+  if (started_) return;
+  started_ = true;
+  if (populator_ != nullptr) populator_->Start();
+}
+
+void PrimaryDb::Stop() {
+  if (!started_) return;
+  started_ = false;
+  if (populator_ != nullptr) populator_->Stop();
+}
+
+StatusOr<ObjectId> PrimaryDb::CreateTable(const std::string& name, TenantId tenant,
+                                          Schema schema, ImService service,
+                                          bool identity_index) {
+  StatusOr<ObjectId> oid =
+      catalog_.CreateTable(name, tenant, schema, service, identity_index,
+                           scns_.Current() + 1);
+  if (!oid.ok()) return oid;
+  auto table = std::make_unique<Table>(*oid, tenant, name, std::move(schema),
+                                       &blocks_);
+  if (identity_index) table->CreateIdentityIndex();
+  Table* raw = table.get();
+  {
+    std::unique_lock<std::shared_mutex> g(tables_mu_);
+    tables_.emplace(*oid, std::move(table));
+  }
+  if (populator_ != nullptr && ImOnPrimary(service)) populator_->EnableObject(raw);
+  return oid;
+}
+
+Table* PrimaryDb::table(ObjectId object) const {
+  std::shared_lock<std::shared_mutex> g(tables_mu_);
+  auto it = tables_.find(object);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Transaction PrimaryDb::Begin(RedoThreadId thread, TenantId tenant) {
+  return txn_mgr_.Begin(thread, tenant);
+}
+
+Status PrimaryDb::Insert(Transaction* txn, ObjectId object, Row row, RowId* rid) {
+  Table* t = table(object);
+  if (t == nullptr) return Status::NotFound("no such table");
+  return txn_mgr_.Insert(txn, t, std::move(row), rid);
+}
+
+Status PrimaryDb::Update(Transaction* txn, ObjectId object, RowId rid, Row row) {
+  Table* t = table(object);
+  if (t == nullptr) return Status::NotFound("no such table");
+  return txn_mgr_.Update(txn, t, rid, std::move(row));
+}
+
+Status PrimaryDb::UpdateByKey(Transaction* txn, ObjectId object, int64_t key,
+                              Row row) {
+  Table* t = table(object);
+  if (t == nullptr) return Status::NotFound("no such table");
+  if (t->index() == nullptr) return Status::FailedPrecondition("no identity index");
+  const std::optional<RowId> rid = t->index()->Lookup(key);
+  if (!rid.has_value()) return Status::NotFound("key not indexed");
+  return txn_mgr_.Update(txn, t, *rid, std::move(row));
+}
+
+Status PrimaryDb::Delete(Transaction* txn, ObjectId object, RowId rid) {
+  Table* t = table(object);
+  if (t == nullptr) return Status::NotFound("no such table");
+  return txn_mgr_.Delete(txn, t, rid);
+}
+
+StatusOr<Scn> PrimaryDb::Commit(Transaction* txn) { return txn_mgr_.Commit(txn); }
+
+void PrimaryDb::Abort(Transaction* txn) { txn_mgr_.Abort(txn); }
+
+QueryContext PrimaryDb::MakeQueryContext() {
+  QueryContext ctx;
+  ctx.catalog = &catalog_;
+  ctx.cache = &cache_;
+  ctx.resolver = &txn_table_;
+  ctx.table_lookup = [this](ObjectId oid) { return table(oid); };
+  if (im_store_ != nullptr) ctx.stores.push_back(im_store_.get());
+  ctx.snapshots = txn_mgr_.snapshots();
+  ctx.expressions = &im_exprs_;
+  return ctx;
+}
+
+StatusOr<QueryResult> PrimaryDb::Query(const ScanQuery& query) {
+  return query_engine_.ExecuteScan(MakeQueryContext(), query, current_scn());
+}
+
+StatusOr<QueryResult> PrimaryDb::QueryAt(const ScanQuery& query, Scn snapshot) {
+  return query_engine_.ExecuteScan(MakeQueryContext(), query, snapshot);
+}
+
+StatusOr<QueryResult> PrimaryDb::Join(const JoinQuery& query) {
+  return query_engine_.ExecuteJoin(MakeQueryContext(), query, current_scn());
+}
+
+StatusOr<std::optional<Row>> PrimaryDb::Fetch(ObjectId object, int64_t key) {
+  return query_engine_.IndexFetch(MakeQueryContext(), object, key, current_scn());
+}
+
+size_t PrimaryDb::PruneVersions() {
+  const Scn watermark = txn_mgr_.GcLowWatermark();
+  size_t freed = 0;
+  const Dba high = blocks_.HighWater();
+  for (Dba dba = kTxnTableDbaCount; dba < high; ++dba) {
+    Block* b = blocks_.GetBlock(dba);
+    if (b != nullptr) freed += b->Prune(watermark, txn_table_);
+  }
+  return freed;
+}
+
+Status PrimaryDb::PopulateNow(ObjectId object) {
+  if (populator_ == nullptr)
+    return Status::FailedPrecondition("primary IMCS disabled");
+  return populator_->PopulateNow(object);
+}
+
+StatusOr<uint32_t> PrimaryDb::RegisterImExpression(ObjectId object, Expression expr) {
+  StatusOr<Schema> schema = catalog_.CurrentSchema(object);
+  if (!schema.ok()) return schema.status();
+  StatusOr<uint32_t> idx = im_exprs_.Register(object, *schema, std::move(expr));
+  if (!idx.ok()) return idx;
+  // Existing IMCUs lack the virtual column: drop and rebuild (online — scans
+  // use the row path for the object until population completes).
+  Table* t = table(object);
+  if (populator_ != nullptr && t != nullptr &&
+      ImOnPrimary(catalog_.CurrentImService(object))) {
+    populator_->DisableObject(object);
+    populator_->EnableObject(t);
+  }
+  return idx;
+}
+
+// ---------------------------------------------------------------------------
+// StandbyDb
+// ---------------------------------------------------------------------------
+
+StandbyDb::StandbyDb(const DatabaseOptions& options, size_t num_streams)
+    : options_(options), home_map_(options.standby_instances) {
+  for (size_t i = 0; i < num_streams; ++i)
+    streams_.push_back(std::make_unique<ReceivedLog>());
+  instances_.resize(options_.standby_instances);
+  for (uint32_t i = 0; i < options_.standby_instances; ++i) {
+    instances_[i].store =
+        std::make_unique<ImStore>(i, options_.im_pool_bytes);
+  }
+}
+
+StandbyDb::~StandbyDb() { Stop(); }
+
+void StandbyDb::BuildPipeline() {
+  const size_t mira = static_cast<size_t>(
+      options_.mira_apply_instances < 1 ? 1 : options_.mira_apply_instances);
+  const size_t workers = static_cast<size_t>(options_.apply.num_workers) * mira;
+
+  FlushDriver* driver = nullptr;
+  ApplyHooks* hooks = nullptr;
+  FlushParticipant* participant = nullptr;
+  if (options_.standby_imadg_enabled) {
+    journal_ = std::make_unique<ImAdgJournal>(options_.journal_buckets, workers);
+    commit_table_ = std::make_unique<ImAdgCommitTable>(options_.commit_table_partitions);
+    ddl_table_ = std::make_unique<DdlInfoTable>();
+    applier_ = std::make_unique<StandbyApplier>(this);
+
+    // RAC: remote endpoints + the interconnect channel (master → remotes).
+    std::vector<RemoteInstance*> remotes;
+    for (uint32_t i = 1; i < options_.standby_instances; ++i) {
+      instances_[i].remote = std::make_unique<RemoteInstance>(
+          i, instances_[i].store.get(), &txn_table_);
+      remotes.push_back(instances_[i].remote.get());
+    }
+    if (!remotes.empty()) {
+      channel_ = std::make_unique<InvalidationChannel>(std::move(remotes),
+                                                       options_.transport);
+      channel_->Start();
+    }
+
+    flush_ = std::make_unique<InvalidationFlushComponent>(
+        journal_.get(), commit_table_.get(), ddl_table_.get(), applier_.get(),
+        options_.flush);
+    mining_ = std::make_unique<MiningComponent>(
+        journal_.get(), commit_table_.get(), ddl_table_.get(),
+        [this](ObjectId oid, TenantId) {
+          return ImOnStandby(catalog_.CurrentImService(oid));
+        });
+    driver = flush_.get();
+    hooks = mining_.get();
+    participant = flush_.get();
+  }
+
+  std::vector<ReceivedLog*> stream_ptrs;
+  for (const auto& s : streams_) stream_ptrs.push_back(s.get());
+  if (mira <= 1) {
+    // SIRA: one apply engine, its own recovery coordinator.
+    engine_ = std::make_unique<RedoApplyEngine>(
+        std::make_unique<LogMerger>(std::move(stream_ptrs)), this, hooks,
+        participant, driver, options_.apply);
+    engine_->Start();
+  } else {
+    // MIRA (Section V): split the merged stream by DBA across `mira` apply
+    // engines; one *global* recovery coordinator folds every instance's
+    // worker watermarks into a single QuerySCN, and the shared Mining /
+    // Flush components see globally unique worker ids via offset hooks.
+    mira_streams_.clear();
+    std::vector<ReceivedLog*> split_ptrs;
+    for (size_t i = 0; i < mira; ++i) {
+      mira_streams_.push_back(std::make_unique<ReceivedLog>());
+      split_ptrs.push_back(mira_streams_.back().get());
+    }
+    splitter_ = std::make_unique<RedoSplitter>(
+        std::make_unique<LogMerger>(std::move(stream_ptrs)), split_ptrs);
+
+    RedoApplyOptions per_instance = options_.apply;
+    per_instance.create_coordinator = false;
+    std::vector<RecoveryWorker*> all_workers;
+    for (size_t i = 0; i < mira; ++i) {
+      ApplyHooks* instance_hooks = nullptr;
+      if (hooks != nullptr) {
+        mira_hooks_.push_back(std::make_unique<OffsetApplyHooks>(
+            hooks, static_cast<WorkerId>(i * options_.apply.num_workers)));
+        instance_hooks = mira_hooks_.back().get();
+      }
+      mira_engines_.push_back(std::make_unique<RedoApplyEngine>(
+          std::make_unique<LogMerger>(std::vector<ReceivedLog*>{split_ptrs[i]}),
+          this, instance_hooks, participant, nullptr, per_instance));
+      for (const auto& w : mira_engines_.back()->workers())
+        all_workers.push_back(w.get());
+    }
+    mira_coordinator_ = std::make_unique<RecoveryCoordinator>(
+        std::move(all_workers), driver, options_.apply.coordinator_poll_us);
+    for (auto& e : mira_engines_) e->Start();
+    mira_coordinator_->Start();
+    splitter_->Start();
+  }
+
+  if (options_.standby_imadg_enabled) {
+    // Population per instance: the master captures snapshots under the
+    // Quiesce lock; remote instances capture through their endpoint.
+    for (uint32_t i = 0; i < options_.standby_instances; ++i) {
+      if (i == kMasterInstance) {
+        instances_[i].snapshot_source = std::make_unique<StandbySnapshotSource>(
+            coordinator(), &txn_table_);
+      }
+      PopulationOptions pop = options_.population;
+      pop.expressions = &im_exprs_;
+      if (options_.standby_instances > 1) {
+        pop.home_fn = [this](ObjectId oid, uint64_t ordinal) {
+          return home_map_.HomeOf(oid, ordinal);
+        };
+      }
+      SnapshotSource* src = i == kMasterInstance
+                                ? instances_[i].snapshot_source.get()
+                                : static_cast<SnapshotSource*>(
+                                      instances_[i].remote.get());
+      instances_[i].populator = std::make_unique<Populator>(
+          instances_[i].store.get(), src, &blocks_, pop);
+    }
+    EnableConfiguredObjects();
+    for (auto& inst : instances_) {
+      if (inst.populator != nullptr) inst.populator->Start();
+    }
+  }
+}
+
+void StandbyDb::EnableConfiguredObjects() {
+  for (ObjectId oid : catalog_.AllObjects()) {
+    if (!ImOnStandby(catalog_.CurrentImService(oid))) continue;
+    Table* t = FindOrNullTable(oid);
+    if (t == nullptr) continue;
+    for (auto& inst : instances_) {
+      if (inst.populator != nullptr) inst.populator->EnableObject(t);
+    }
+  }
+}
+
+void StandbyDb::TearDownPipeline() {
+  for (auto& inst : instances_) {
+    if (inst.populator != nullptr) inst.populator->Stop();
+  }
+  if (coordinator() != nullptr)
+    last_query_scn_.store(coordinator()->query_scn(), std::memory_order_release);
+  if (splitter_ != nullptr) splitter_->Stop();
+  if (engine_ != nullptr) {
+    engine_->Stop();
+    last_applied_scn_.store(engine_->dispatched_scn(), std::memory_order_release);
+  }
+  for (auto& e : mira_engines_) e->Stop();
+  if (!mira_engines_.empty()) {
+    Scn applied = kInvalidScn;
+    for (auto& e : mira_engines_) applied = std::max(applied, e->dispatched_scn());
+    last_applied_scn_.store(applied, std::memory_order_release);
+  }
+  if (mira_coordinator_ != nullptr) mira_coordinator_->Stop();
+  if (channel_ != nullptr) channel_->Stop();
+  // Destroy in reverse dependency order.
+  for (auto& inst : instances_) {
+    inst.populator.reset();
+    inst.snapshot_source.reset();
+  }
+  mira_coordinator_.reset();
+  mira_engines_.clear();
+  mira_hooks_.clear();
+  splitter_.reset();
+  mira_streams_.clear();
+  engine_.reset();
+  channel_.reset();
+  for (auto& inst : instances_) inst.remote.reset();
+  mining_.reset();
+  flush_.reset();
+  applier_.reset();
+  ddl_table_.reset();
+  commit_table_.reset();
+  journal_.reset();
+}
+
+void StandbyDb::Start() {
+  if (started_) return;
+  started_ = true;
+  BuildPipeline();
+}
+
+void StandbyDb::Stop() {
+  if (started_) {
+    started_ = false;
+    TearDownPipeline();
+  }
+  if (promoted_) {
+    for (auto& inst : instances_) {
+      if (inst.populator != nullptr) inst.populator->Stop();
+    }
+  }
+}
+
+void StandbyDb::Restart() {
+  if (promoted_) return;  // A promoted database no longer applies redo.
+  Stop();
+  // The IMCS and all DBIM-on-ADG state are non-persistent (Section III.E):
+  // an instance restart loses them; only the physical database (block store,
+  // transaction table) and not-yet-consumed shipped redo survive.
+  for (auto& inst : instances_) inst.store->Clear();
+  last_query_scn_.store(kInvalidScn, std::memory_order_release);
+  Start();
+}
+
+Status StandbyDb::MirrorCreateTable(ObjectId object_id, const std::string& name,
+                                    TenantId tenant, Schema schema,
+                                    ImService service, bool identity_index) {
+  STRATUS_RETURN_IF_ERROR(catalog_.CreateTableWithId(
+      object_id, name, tenant, schema, service, identity_index, /*scn=*/0));
+  auto table = std::make_unique<Table>(object_id, tenant, name, std::move(schema),
+                                       &blocks_);
+  if (identity_index) table->CreateIdentityIndex();
+  Table* raw = table.get();
+  {
+    std::unique_lock<std::shared_mutex> g(tables_mu_);
+    tables_.emplace(object_id, std::move(table));
+  }
+  if (started_ && ImOnStandby(service)) {
+    for (auto& inst : instances_) {
+      if (inst.populator != nullptr) inst.populator->EnableObject(raw);
+    }
+  }
+  return Status::OK();
+}
+
+Table* StandbyDb::FindOrNullTable(ObjectId object) const {
+  std::shared_lock<std::shared_mutex> g(tables_mu_);
+  auto it = tables_.find(object);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Table* StandbyDb::table(ObjectId object) const { return FindOrNullTable(object); }
+
+void StandbyDb::ApplyDdlDictionary(const DdlMarker& marker, Scn scn) {
+  switch (marker.op) {
+    case DdlOp::kDropTable:
+      (void)catalog_.DropTable(marker.object_id, scn);
+      return;
+    case DdlOp::kDropColumn: {
+      (void)catalog_.DropColumn(marker.object_id, marker.column_idx, scn);
+      StatusOr<Schema> schema = catalog_.CurrentSchema(marker.object_id);
+      Table* t = FindOrNullTable(marker.object_id);
+      if (schema.ok() && t != nullptr) t->UpdateSchema(*schema);
+      return;
+    }
+    case DdlOp::kAlterInMemory:
+      (void)catalog_.SetImService(marker.object_id,
+                                  static_cast<ImService>(marker.im_service), scn);
+      return;
+    case DdlOp::kNoInMemory:
+      (void)catalog_.SetImService(marker.object_id, ImService::kNone, scn);
+      return;
+    case DdlOp::kNone:
+      return;
+  }
+}
+
+Status StandbyDb::ApplyCv(const ChangeVector& cv) {
+  switch (cv.kind) {
+    case CvKind::kInsert: {
+      Block* b = blocks_.EnsureBlock(cv.dba, cv.object_id, cv.tenant);
+      if (b == nullptr) return Status::Internal("txn-table dba in data CV");
+      STRATUS_RETURN_IF_ERROR(b->ApplyInsert(cv.slot, cv.xid, cv.after, cv.scn));
+      Table* t = FindOrNullTable(cv.object_id);
+      if (t != nullptr) {
+        t->NoteBlock(cv.dba);
+        if (t->index() != nullptr && !cv.after.empty() &&
+            cv.after[0].type() == ValueType::kInt) {
+          t->index()->Insert(cv.after[0].as_int(), RowId{cv.dba, cv.slot});
+        }
+      }
+      return Status::OK();
+    }
+    case CvKind::kUpdate: {
+      Block* b = blocks_.EnsureBlock(cv.dba, cv.object_id, cv.tenant);
+      if (b == nullptr) return Status::Internal("txn-table dba in data CV");
+      return b->ApplyUpdate(cv.slot, cv.xid, cv.after, cv.scn);
+    }
+    case CvKind::kDelete: {
+      Block* b = blocks_.EnsureBlock(cv.dba, cv.object_id, cv.tenant);
+      if (b == nullptr) return Status::Internal("txn-table dba in data CV");
+      return b->ApplyDelete(cv.slot, cv.xid, cv.scn);
+    }
+    case CvKind::kTxnBegin:
+      txn_table_.Begin(cv.xid);
+      return Status::OK();
+    case CvKind::kTxnCommit:
+      txn_table_.Commit(cv.xid, cv.scn);
+      return Status::OK();
+    case CvKind::kTxnAbort:
+      txn_table_.Abort(cv.xid);
+      return Status::OK();
+    case CvKind::kDdlMarker:
+      // The dictionary change is SCN-effective immediately (queries at older
+      // QuerySCNs resolve old versions); IMCU drops wait for the QuerySCN
+      // advancement that covers the marker (Section III.G).
+      ApplyDdlDictionary(cv.ddl, cv.scn);
+      return Status::OK();
+    case CvKind::kHeartbeat:
+      return Status::OK();
+  }
+  return Status::Internal("unknown change vector kind");
+}
+
+Scn StandbyDb::query_scn(InstanceId instance) const {
+  if (promoted_) return promoted_mgr_->visible_scn();
+  if (instance != kMasterInstance && instance < instances_.size() &&
+      instances_[instance].remote != nullptr) {
+    return instances_[instance].remote->query_scn();
+  }
+  RecoveryCoordinator* coordinator =
+      const_cast<StandbyDb*>(this)->StandbyDb::coordinator();
+  if (coordinator != nullptr) return coordinator->query_scn();
+  return last_query_scn_.load(std::memory_order_acquire);
+}
+
+Scn StandbyDb::WaitForQueryScn(Scn target, int64_t timeout_us) const {
+  RecoveryCoordinator* coordinator =
+      const_cast<StandbyDb*>(this)->StandbyDb::coordinator();
+  if (coordinator == nullptr) return query_scn();
+  return coordinator->WaitForQueryScn(target, timeout_us);
+}
+
+QueryContext StandbyDb::MakeQueryContext() const {
+  QueryContext ctx;
+  ctx.catalog = &catalog_;
+  ctx.cache = &cache_;
+  ctx.resolver = &txn_table_;
+  ctx.table_lookup = [this](ObjectId oid) { return FindOrNullTable(oid); };
+  for (const auto& inst : instances_) ctx.stores.push_back(inst.store.get());
+  ctx.snapshots = const_cast<SnapshotRegistry*>(&snapshots_);
+  ctx.expressions = &im_exprs_;
+  return ctx;
+}
+
+StatusOr<QueryResult> StandbyDb::Query(const ScanQuery& query, InstanceId instance) {
+  const Scn scn = query_scn(instance);
+  if (scn == kInvalidScn)
+    return Status::Unavailable("no QuerySCN published yet");
+  return query_engine_.ExecuteScan(MakeQueryContext(), query, scn);
+}
+
+StatusOr<QueryResult> StandbyDb::Join(const JoinQuery& query, InstanceId instance) {
+  const Scn scn = query_scn(instance);
+  if (scn == kInvalidScn)
+    return Status::Unavailable("no QuerySCN published yet");
+  return query_engine_.ExecuteJoin(MakeQueryContext(), query, scn);
+}
+
+StatusOr<std::optional<Row>> StandbyDb::Fetch(ObjectId object, int64_t key,
+                                              InstanceId instance) {
+  const Scn scn = query_scn(instance);
+  if (scn == kInvalidScn)
+    return Status::Unavailable("no QuerySCN published yet");
+  return query_engine_.IndexFetch(MakeQueryContext(), object, key, scn);
+}
+
+Status StandbyDb::PopulateNow(ObjectId object) {
+  Status last = Status::OK();
+  for (auto& inst : instances_) {
+    if (inst.populator == nullptr)
+      return Status::FailedPrecondition("standby IMCS disabled");
+    Status st = inst.populator->PopulateNow(object);
+    if (!st.ok()) last = st;
+  }
+  return last;
+}
+
+Status StandbyDb::Promote() {
+  if (promoted_) return Status::FailedPrecondition("already promoted");
+  // Terminal recovery: stop apply at the last consistent point. Everything
+  // dispatched has been applied (workers drain on stop); shipped-but-
+  // undispatched redo is abandoned, as in a failover.
+  Stop();
+  promoted_ = true;
+
+  const Scn last_applied = std::max(last_applied_scn_.load(std::memory_order_acquire),
+                                    last_query_scn_.load(std::memory_order_acquire));
+  promoted_scns_.AdvancePast(last_applied == kInvalidScn ? 0 : last_applied);
+  promoted_logs_.push_back(std::make_unique<RedoLog>(0, &promoted_scns_));
+  promoted_mgr_ = std::make_unique<TxnManager>(
+      &promoted_scns_, &txn_table_, &blocks_,
+      std::vector<RedoLog*>{promoted_logs_[0].get()},
+      [this](ObjectId oid) { return ImOnStandby(catalog_.CurrentImService(oid)); });
+  promoted_mgr_->set_specialized_redo(options_.specialized_redo);
+  promoted_mgr_->Bootstrap(last_applied == kInvalidScn ? 0 : last_applied,
+                           txn_table_.max_xid() + 1);
+
+  // The IMCS survives promotion; its maintenance switches from redo mining to
+  // commit-time invalidation (the DBIM Transaction Manager role).
+  promoted_sync_ = std::make_unique<PrimaryImSync>();
+  std::vector<ImStore*> stores;
+  for (auto& inst : instances_) stores.push_back(inst.store.get());
+  promoted_hooks_ = std::make_unique<PromotedCommitHooks>(promoted_sync_.get(),
+                                                          std::move(stores));
+  promoted_mgr_->SetPrimaryImIntegration(
+      [this](ObjectId oid) { return ImOnStandby(catalog_.CurrentImService(oid)); },
+      promoted_hooks_.get());
+  promoted_snapshot_ = std::make_unique<PrimarySnapshotSource>(promoted_mgr_.get(),
+                                                               promoted_sync_.get());
+
+  // Population resumes against the promoted snapshot source. Existing SMUs
+  // keep serving; coverage bookkeeping restarts, so the populators treat the
+  // retained IMCUs as repopulation candidates only.
+  for (uint32_t i = 0; i < instances_.size(); ++i) {
+    PopulationOptions pop = options_.population;
+    pop.expressions = &im_exprs_;
+    if (options_.standby_instances > 1) {
+      pop.home_fn = [this](ObjectId oid, uint64_t ordinal) {
+        return home_map_.HomeOf(oid, ordinal);
+      };
+    }
+    instances_[i].populator = std::make_unique<Populator>(
+        instances_[i].store.get(), promoted_snapshot_.get(), &blocks_, pop);
+  }
+  // Drop retained SMUs so the restarted coverage bookkeeping stays truthful,
+  // then let population rebuild from the promoted snapshot.
+  for (auto& inst : instances_) inst.store->Clear();
+  for (ObjectId oid : catalog_.AllObjects()) {
+    if (!ImOnStandby(catalog_.CurrentImService(oid))) continue;
+    Table* t = FindOrNullTable(oid);
+    if (t == nullptr) continue;
+    for (auto& inst : instances_) inst.populator->EnableObject(t);
+  }
+  for (auto& inst : instances_) inst.populator->Start();
+  return Status::OK();
+}
+
+Transaction StandbyDb::Begin(RedoThreadId thread, TenantId tenant) {
+  return promoted_mgr_->Begin(thread, tenant);
+}
+
+Status StandbyDb::Insert(Transaction* txn, ObjectId object, Row row, RowId* rid) {
+  if (!promoted_) return Status::FailedPrecondition("standby is read-only");
+  Table* t = FindOrNullTable(object);
+  if (t == nullptr) return Status::NotFound("no such table");
+  return promoted_mgr_->Insert(txn, t, std::move(row), rid);
+}
+
+Status StandbyDb::UpdateByKey(Transaction* txn, ObjectId object, int64_t key,
+                              Row row) {
+  if (!promoted_) return Status::FailedPrecondition("standby is read-only");
+  Table* t = FindOrNullTable(object);
+  if (t == nullptr) return Status::NotFound("no such table");
+  if (t->index() == nullptr) return Status::FailedPrecondition("no identity index");
+  const std::optional<RowId> rid = t->index()->Lookup(key);
+  if (!rid.has_value()) return Status::NotFound("key not indexed");
+  return promoted_mgr_->Update(txn, t, *rid, std::move(row));
+}
+
+StatusOr<Scn> StandbyDb::Commit(Transaction* txn) {
+  if (!promoted_) return Status::FailedPrecondition("standby is read-only");
+  return promoted_mgr_->Commit(txn);
+}
+
+void StandbyDb::Abort(Transaction* txn) {
+  if (promoted_) promoted_mgr_->Abort(txn);
+}
+
+Status StandbyDb::MirrorImExpression(ObjectId object, Expression expr) {
+  StatusOr<Schema> schema = catalog_.CurrentSchema(object);
+  if (!schema.ok()) return schema.status();
+  StatusOr<uint32_t> idx = im_exprs_.Register(object, *schema, std::move(expr));
+  if (!idx.ok()) return idx.status();
+  Table* t = FindOrNullTable(object);
+  if (t != nullptr && ImOnStandby(catalog_.CurrentImService(object))) {
+    for (auto& inst : instances_) {
+      if (inst.populator == nullptr) continue;
+      inst.populator->DisableObject(object);
+      inst.populator->EnableObject(t);
+    }
+  }
+  return Status::OK();
+}
+
+size_t StandbyDb::PruneVersions() {
+  const Scn active = snapshots_.LowWatermark();
+  const Scn q = query_scn();
+  const Scn watermark = active == kMaxScn ? q : std::min(active, q);
+  if (watermark == kInvalidScn) return 0;
+  size_t freed = 0;
+  const Dba high = blocks_.HighWater();
+  for (Dba dba = kTxnTableDbaCount; dba < high; ++dba) {
+    Block* b = blocks_.GetBlock(dba);
+    if (b != nullptr) freed += b->Prune(watermark, txn_table_);
+  }
+  return freed;
+}
+
+// --- StandbyApplier ---------------------------------------------------------
+
+void StandbyDb::StandbyApplier::ApplyGroups(std::vector<InvalidationGroup> groups) {
+  // Local (master-homed) SMUs first; rows for remote chunks are no-ops here.
+  for (const InvalidationGroup& g : groups) {
+    for (const auto& [dba, slot] : g.rows) {
+      db_->instances_[kMasterInstance].store->MarkRowInvalid(dba, slot);
+    }
+  }
+  // Transmit to non-master instances (batched, pipelined — Section III.F).
+  if (db_->channel_ != nullptr) db_->channel_->SendGroups(std::move(groups));
+}
+
+void StandbyDb::StandbyApplier::ApplyCoarseInvalidation(TenantId tenant) {
+  db_->instances_[kMasterInstance].store->CoarseInvalidateTenant(tenant);
+  if (db_->channel_ != nullptr) db_->channel_->SendCoarse(tenant);
+}
+
+void StandbyDb::StandbyApplier::ApplyDdl(const DdlMarker& marker) {
+  // Inside the Quiesce Period: make the IMCUs disappear now (store-level
+  // drop only — no populator locks, see the lock-order note in DESIGN.md)…
+  switch (marker.op) {
+    case DdlOp::kDropTable:
+    case DdlOp::kDropColumn:
+    case DdlOp::kNoInMemory:
+    case DdlOp::kAlterInMemory:
+      for (auto& inst : db_->instances_) inst.store->DropObject(marker.object_id);
+      break;
+    case DdlOp::kNone:
+      return;
+  }
+  // …and defer populator bookkeeping to OnPublished (outside the quiesce).
+  std::lock_guard<std::mutex> g(ddl_mu_);
+  pending_ddl_.push_back(marker);
+}
+
+bool StandbyDb::StandbyApplier::Drained() const {
+  return db_->channel_ == nullptr || db_->channel_->Drained();
+}
+
+void StandbyDb::StandbyApplier::OnPublished(Scn query_scn) {
+  db_->last_query_scn_.store(query_scn, std::memory_order_release);
+  if (db_->channel_ != nullptr) db_->channel_->SendPublish(query_scn);
+
+  std::vector<DdlMarker> pending;
+  {
+    std::lock_guard<std::mutex> g(ddl_mu_);
+    pending.swap(pending_ddl_);
+  }
+  for (const DdlMarker& marker : pending) {
+    const bool enabled =
+        marker.op != DdlOp::kDropTable &&
+        ImOnStandby(db_->catalog_.CurrentImService(marker.object_id));
+    Table* t = db_->FindOrNullTable(marker.object_id);
+    for (auto& inst : db_->instances_) {
+      if (inst.populator == nullptr) continue;
+      inst.populator->DisableObject(marker.object_id);
+      if (enabled && t != nullptr) inst.populator->EnableObject(t);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AdgCluster
+// ---------------------------------------------------------------------------
+
+AdgCluster::AdgCluster(const DatabaseOptions& options)
+    : options_(options),
+      primary_(options),
+      standby_(options, static_cast<size_t>(options.primary_redo_threads)) {}
+
+AdgCluster::~AdgCluster() { Stop(); }
+
+void AdgCluster::Start() {
+  if (started_) return;
+  started_ = true;
+  primary_.Start();
+  standby_.Start();
+  for (int i = 0; i < primary_.redo_threads(); ++i) {
+    shippers_.push_back(std::make_unique<LogShipper>(
+        primary_.redo_log(i), standby_.stream(i), options_.shipping));
+    shippers_.back()->Start();
+  }
+}
+
+void AdgCluster::Stop() {
+  if (!started_) return;
+  started_ = false;
+  for (auto& s : shippers_) s->Stop();
+  shippers_.clear();
+  standby_.Stop();
+  primary_.Stop();
+}
+
+StatusOr<ObjectId> AdgCluster::CreateTable(const std::string& name, TenantId tenant,
+                                           Schema schema, ImService service,
+                                           bool identity_index) {
+  StatusOr<ObjectId> oid =
+      primary_.CreateTable(name, tenant, schema, service, identity_index);
+  if (!oid.ok()) return oid;
+  STRATUS_RETURN_IF_ERROR(standby_.MirrorCreateTable(
+      *oid, name, tenant, std::move(schema), service, identity_index));
+  return oid;
+}
+
+StatusOr<uint32_t> AdgCluster::RegisterImExpression(ObjectId object,
+                                                    const Expression& expr) {
+  StatusOr<uint32_t> idx = primary_.RegisterImExpression(object, expr);
+  if (!idx.ok()) return idx;
+  STRATUS_RETURN_IF_ERROR(standby_.MirrorImExpression(object, expr));
+  return idx;
+}
+
+Scn AdgCluster::WaitForCatchup(int64_t timeout_us) {
+  const Scn target = primary_.current_scn();
+  if (target == kInvalidScn) return standby_.query_scn();
+  return standby_.WaitForQueryScn(target, timeout_us);
+}
+
+uint64_t AdgCluster::shipped_bytes() const {
+  uint64_t total = 0;
+  for (const auto& s : shippers_) total += s->bytes_shipped();
+  return total;
+}
+
+}  // namespace stratus

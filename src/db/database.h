@@ -1,0 +1,404 @@
+#ifndef STRATUS_DB_DATABASE_H_
+#define STRATUS_DB_DATABASE_H_
+
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "adg/redo_apply.h"
+#include "adg/redo_splitter.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "db/catalog.h"
+#include "db/query.h"
+#include "imadg/flush.h"
+#include "imadg/mining.h"
+#include "imcs/expression.h"
+#include "imcs/population.h"
+#include "rac/home_location_map.h"
+#include "rac/transport.h"
+#include "redo/log_merger.h"
+#include "redo/log_shipping.h"
+#include "redo/redo_log.h"
+#include "storage/buffer_cache.h"
+#include "txn/txn_manager.h"
+
+namespace stratus {
+
+/// Cluster-wide configuration.
+struct DatabaseOptions {
+  /// Redo-generating primary instances (RAC redo threads).
+  int primary_redo_threads = 1;
+  /// Standby RAC instances; instance 0 is the redo-apply master (SIRA).
+  uint32_t standby_instances = 1;
+
+  RedoApplyOptions apply;
+  ShipperOptions shipping;
+
+  /// IM-ADG Journal buckets (sized to redo-apply parallelism).
+  size_t journal_buckets = 64;
+  /// IM-ADG Commit Table partitions (1 = the paper's single sorted list).
+  size_t commit_table_partitions = 4;
+  FlushOptions flush;
+
+  PopulationOptions population;
+  size_t im_pool_bytes = 2ull * 1024 * 1024 * 1024;
+
+  TransportOptions transport;
+
+  /// Multi-Instance Redo Apply (MIRA, Section V): number of apply instances
+  /// sharing recovery. 1 = Single Instance Redo Apply (SIRA, the paper's
+  /// shipping configuration); >1 splits the redo stream by DBA across several
+  /// apply engines under one global QuerySCN.
+  int mira_apply_instances = 1;
+
+  /// Specialized redo generation (Section III.E).
+  bool specialized_redo = true;
+  /// The paper's headline switch: DBIM-on-ADG infrastructure on the standby.
+  bool standby_imadg_enabled = true;
+  /// DBIM on the primary itself (dual-format primary).
+  bool primary_imcs_enabled = true;
+};
+
+/// The primary database: row store, transactions, redo generation, and its
+/// own dual-format IMCS maintained by the DBIM Transaction Manager.
+class PrimaryDb {
+ public:
+  explicit PrimaryDb(const DatabaseOptions& options);
+  ~PrimaryDb();
+
+  PrimaryDb(const PrimaryDb&) = delete;
+  PrimaryDb& operator=(const PrimaryDb&) = delete;
+
+  /// Starts background population (if primary IMCS is enabled).
+  void Start();
+  void Stop();
+
+  // --- DDL / bootstrap ----------------------------------------------------
+  StatusOr<ObjectId> CreateTable(const std::string& name, TenantId tenant,
+                                 Schema schema, ImService service,
+                                 bool identity_index);
+
+  // --- DML ------------------------------------------------------------------
+  Transaction Begin(RedoThreadId thread = 0, TenantId tenant = kDefaultTenant);
+  Status Insert(Transaction* txn, ObjectId object, Row row, RowId* rid = nullptr);
+  Status Update(Transaction* txn, ObjectId object, RowId rid, Row row);
+  /// Index lookup + update of the full row image (OLTAP's update op).
+  Status UpdateByKey(Transaction* txn, ObjectId object, int64_t key, Row row);
+  Status Delete(Transaction* txn, ObjectId object, RowId rid);
+  StatusOr<Scn> Commit(Transaction* txn);
+  void Abort(Transaction* txn);
+
+  // --- Queries ---------------------------------------------------------------
+  StatusOr<QueryResult> Query(const ScanQuery& query);
+  /// Runs the scan at an explicit snapshot SCN (flashback-style read; used to
+  /// compare primary and standby results at the same consistency point).
+  StatusOr<QueryResult> QueryAt(const ScanQuery& query, Scn snapshot);
+  StatusOr<QueryResult> Join(const JoinQuery& query);
+  StatusOr<std::optional<Row>> Fetch(ObjectId object, int64_t key);
+
+  // --- Maintenance -----------------------------------------------------------
+  /// One version-chain GC pass over all blocks; returns versions freed.
+  size_t PruneVersions();
+  /// Synchronously populates the object's primary IMCUs.
+  Status PopulateNow(ObjectId object);
+
+  /// Registers an In-Memory Expression (Section V) for `object` and schedules
+  /// the object's IMCUs for rebuild so the virtual column materializes.
+  /// Returns the expression's virtual column index.
+  StatusOr<uint32_t> RegisterImExpression(ObjectId object, Expression expr);
+
+  // --- Accessors ---------------------------------------------------------------
+  Catalog* catalog() { return &catalog_; }
+  Table* table(ObjectId object) const;
+  TxnManager* txn_manager() { return &txn_mgr_; }
+  ScnAllocator* scn_allocator() { return &scns_; }
+  RedoLog* redo_log(int thread) { return redo_logs_[thread].get(); }
+  int redo_threads() const { return static_cast<int>(redo_logs_.size()); }
+  BufferCache* cache() { return &cache_; }
+  BlockStore* block_store() { return &blocks_; }
+  ImStore* im_store() { return im_store_.get(); }
+  Populator* populator() { return populator_.get(); }
+  Scn current_scn() const { return txn_mgr_.visible_scn(); }
+  QueryContext MakeQueryContext();
+
+ private:
+  class PrimaryCommitHooks : public CommitHooks {
+   public:
+    PrimaryCommitHooks(PrimaryImSync* sync, ImStore* store)
+        : sync_(sync), store_(store) {}
+    void PreCommitLock() override { sync_->LockShared(); }
+    void OnCommit(const Transaction& txn, Scn commit_scn) override {
+      for (const auto& [oid, rid] : txn.im_touches)
+        store_->MarkRowInvalid(rid.dba, rid.slot);
+      (void)commit_scn;
+    }
+    void PostCommitUnlock() override { sync_->UnlockShared(); }
+
+   private:
+    PrimaryImSync* sync_;
+    ImStore* store_;
+  };
+
+  DatabaseOptions options_;
+  ScnAllocator scns_;
+  TxnTable txn_table_;
+  BlockStore blocks_;
+  BufferCache cache_{&blocks_};
+  Catalog catalog_;
+  std::vector<std::unique_ptr<RedoLog>> redo_logs_;
+  TxnManager txn_mgr_;
+
+  mutable std::shared_mutex tables_mu_;
+  std::unordered_map<ObjectId, std::unique_ptr<Table>> tables_;
+
+  // Primary IMCS (dual format).
+  ImExpressionRegistry im_exprs_;
+  PrimaryImSync im_sync_;
+  std::unique_ptr<ImStore> im_store_;
+  std::unique_ptr<PrimarySnapshotSource> snapshot_source_;
+  std::unique_ptr<Populator> populator_;
+  std::unique_ptr<PrimaryCommitHooks> commit_hooks_;
+
+  QueryEngine query_engine_;
+  bool started_ = false;
+
+  friend class AdgCluster;
+};
+
+/// The standby database: physical replica maintained by parallel redo apply,
+/// hosting the DBIM-on-ADG infrastructure and (optionally) a RAC-distributed
+/// IMCS across several instances.
+class StandbyDb : public ApplySink {
+ public:
+  StandbyDb(const DatabaseOptions& options, size_t num_streams);
+  ~StandbyDb() override;
+
+  StandbyDb(const StandbyDb&) = delete;
+  StandbyDb& operator=(const StandbyDb&) = delete;
+
+  /// Landing stream for primary redo thread `i` (wired to a LogShipper).
+  ReceivedLog* stream(size_t i) { return streams_[i].get(); }
+
+  /// Starts redo apply, the DBIM-on-ADG components, and population.
+  void Start();
+  /// Stops everything, retaining physical state (block store, txn table) and
+  /// unconsumed received redo.
+  void Stop();
+  /// The Section III.E scenario: instance restart. All non-persistent state —
+  /// the IMCS, the IM-ADG Journal and Commit Table — is lost; redo apply
+  /// resumes from the last consistent point.
+  void Restart();
+
+  // --- Bootstrap (physically replicated dictionary) -------------------------
+  Status MirrorCreateTable(ObjectId object_id, const std::string& name,
+                           TenantId tenant, Schema schema, ImService service,
+                           bool identity_index);
+
+  // --- Queries ----------------------------------------------------------------
+  /// The published QuerySCN of an instance (master or local coordinator).
+  Scn query_scn(InstanceId instance = kMasterInstance) const;
+  /// Waits until the master QuerySCN reaches `target`.
+  Scn WaitForQueryScn(Scn target, int64_t timeout_us) const;
+  StatusOr<QueryResult> Query(const ScanQuery& query,
+                              InstanceId instance = kMasterInstance);
+  StatusOr<QueryResult> Join(const JoinQuery& query,
+                             InstanceId instance = kMasterInstance);
+  StatusOr<std::optional<Row>> Fetch(ObjectId object, int64_t key,
+                                     InstanceId instance = kMasterInstance);
+
+  // --- Failover (role transition) -----------------------------------------
+  /// Promotes this standby to a read-write primary: terminates redo apply at
+  /// the last consistent point, bootstraps a transaction manager over the
+  /// physical database (SCN/XID allocation resume above everything applied),
+  /// and rewires the IMCS — which survives promotion intact — to commit-time
+  /// maintenance. Received-but-undispatched redo is discarded, as in a
+  /// failover. Irreversible for this object.
+  Status Promote();
+  bool promoted() const { return promoted_; }
+
+  // --- DML (valid only after Promote()) -------------------------------------
+  Transaction Begin(RedoThreadId thread = 0, TenantId tenant = kDefaultTenant);
+  Status Insert(Transaction* txn, ObjectId object, Row row, RowId* rid = nullptr);
+  Status UpdateByKey(Transaction* txn, ObjectId object, int64_t key, Row row);
+  StatusOr<Scn> Commit(Transaction* txn);
+  void Abort(Transaction* txn);
+  TxnManager* promoted_txn_manager() { return promoted_mgr_.get(); }
+
+  // --- Maintenance -------------------------------------------------------------
+  Status PopulateNow(ObjectId object);
+  size_t PruneVersions();
+
+  /// Mirrors an In-Memory Expression registration (the dictionary metadata
+  /// replicates physically in real ADG; the cluster bootstraps it here).
+  Status MirrorImExpression(ObjectId object, Expression expr);
+
+  // --- ApplySink -----------------------------------------------------------------
+  Status ApplyCv(const ChangeVector& cv) override;
+
+  // --- Introspection (tests, benches) ---------------------------------------------
+  RecoveryCoordinator* coordinator() {
+    if (mira_coordinator_ != nullptr) return mira_coordinator_.get();
+    return engine_ != nullptr ? engine_->coordinator() : nullptr;
+  }
+  /// MIRA introspection.
+  size_t mira_instances() const { return mira_engines_.size(); }
+  RedoApplyEngine* mira_engine(size_t i) { return mira_engines_[i].get(); }
+  RedoApplyEngine* apply_engine() { return engine_.get(); }
+  ImStore* im_store(InstanceId instance = kMasterInstance) {
+    return instances_[instance].store.get();
+  }
+  Populator* populator(InstanceId instance = kMasterInstance) {
+    return instances_[instance].populator.get();
+  }
+  ImAdgJournal* journal() { return journal_.get(); }
+  ImAdgCommitTable* commit_table() { return commit_table_.get(); }
+  MiningComponent* mining() { return mining_.get(); }
+  InvalidationFlushComponent* flush() { return flush_.get(); }
+  InvalidationChannel* channel() { return channel_.get(); }
+  TxnTable* txn_table() { return &txn_table_; }
+  Catalog* catalog() { return &catalog_; }
+  Table* table(ObjectId object) const;
+  BufferCache* cache() { return &cache_; }
+  BlockStore* block_store() { return &blocks_; }
+  QueryContext MakeQueryContext() const;
+
+ private:
+  class StandbyApplier : public InvalidationApplier {
+   public:
+    explicit StandbyApplier(StandbyDb* db) : db_(db) {}
+    void ApplyGroups(std::vector<InvalidationGroup> groups) override;
+    void ApplyCoarseInvalidation(TenantId tenant) override;
+    void ApplyDdl(const DdlMarker& marker) override;
+    bool Drained() const override;
+    void OnPublished(Scn query_scn) override;
+
+   private:
+    StandbyDb* db_;
+    std::mutex ddl_mu_;
+    std::vector<DdlMarker> pending_ddl_;  // Populator fixups, post-publish.
+  };
+
+  void BuildPipeline();
+  void TearDownPipeline();
+  void EnableConfiguredObjects();
+  Table* FindOrNullTable(ObjectId object) const;
+  void ApplyDdlDictionary(const DdlMarker& marker, Scn scn);
+
+  DatabaseOptions options_;
+  BlockStore blocks_;
+  BufferCache cache_{&blocks_};
+  TxnTable txn_table_;
+  Catalog catalog_;
+
+  mutable std::shared_mutex tables_mu_;
+  std::unordered_map<ObjectId, std::unique_ptr<Table>> tables_;
+
+  std::vector<std::unique_ptr<ReceivedLog>> streams_;
+
+  struct InstanceState {
+    std::unique_ptr<ImStore> store;
+    std::unique_ptr<RemoteInstance> remote;  // Null for the master instance.
+    std::unique_ptr<SnapshotSource> snapshot_source;
+    std::unique_ptr<Populator> populator;
+  };
+  std::vector<InstanceState> instances_;
+  HomeLocationMap home_map_;
+  ImExpressionRegistry im_exprs_;
+
+  // DBIM-on-ADG components (rebuilt on restart: no persistence).
+  std::unique_ptr<ImAdgJournal> journal_;
+  std::unique_ptr<ImAdgCommitTable> commit_table_;
+  std::unique_ptr<DdlInfoTable> ddl_table_;
+  std::unique_ptr<StandbyApplier> applier_;
+  std::unique_ptr<InvalidationFlushComponent> flush_;
+  std::unique_ptr<MiningComponent> mining_;
+  std::unique_ptr<InvalidationChannel> channel_;
+
+  std::unique_ptr<RedoApplyEngine> engine_;
+
+  // MIRA (Section V): splitter + per-instance engines + global coordinator.
+  std::vector<std::unique_ptr<ReceivedLog>> mira_streams_;
+  std::vector<std::unique_ptr<RedoApplyEngine>> mira_engines_;
+  std::vector<std::unique_ptr<OffsetApplyHooks>> mira_hooks_;
+  std::unique_ptr<RedoSplitter> splitter_;
+  std::unique_ptr<RecoveryCoordinator> mira_coordinator_;
+
+  SnapshotRegistry snapshots_;
+  mutable QueryEngine query_engine_;
+  std::atomic<Scn> last_query_scn_{kInvalidScn};    ///< Survives Stop().
+  std::atomic<Scn> last_applied_scn_{kInvalidScn};  ///< Survives Stop().
+  bool started_ = false;
+
+  // Failover state (the standby's new life as a primary).
+  class PromotedCommitHooks : public CommitHooks {
+   public:
+    PromotedCommitHooks(PrimaryImSync* sync, std::vector<ImStore*> stores)
+        : sync_(sync), stores_(std::move(stores)) {}
+    void PreCommitLock() override { sync_->LockShared(); }
+    void OnCommit(const Transaction& txn, Scn) override {
+      for (const auto& [oid, rid] : txn.im_touches) {
+        for (ImStore* store : stores_) store->MarkRowInvalid(rid.dba, rid.slot);
+      }
+    }
+    void PostCommitUnlock() override { sync_->UnlockShared(); }
+
+   private:
+    PrimaryImSync* sync_;
+    std::vector<ImStore*> stores_;
+  };
+
+  bool promoted_ = false;
+  ScnAllocator promoted_scns_;
+  std::vector<std::unique_ptr<RedoLog>> promoted_logs_;
+  std::unique_ptr<TxnManager> promoted_mgr_;
+  std::unique_ptr<PrimaryImSync> promoted_sync_;
+  std::unique_ptr<PrimarySnapshotSource> promoted_snapshot_;
+  std::unique_ptr<PromotedCommitHooks> promoted_hooks_;
+};
+
+/// A full deployment: primary + standby connected by redo shipping — the
+/// Figure 1 topology. Tables created here exist on both sides (the dictionary
+/// is physically replicated in ADG; we bootstrap it at creation).
+class AdgCluster {
+ public:
+  explicit AdgCluster(const DatabaseOptions& options);
+  ~AdgCluster();
+
+  AdgCluster(const AdgCluster&) = delete;
+  AdgCluster& operator=(const AdgCluster&) = delete;
+
+  void Start();
+  void Stop();
+
+  PrimaryDb* primary() { return &primary_; }
+  StandbyDb* standby() { return &standby_; }
+
+  StatusOr<ObjectId> CreateTable(const std::string& name, TenantId tenant,
+                                 Schema schema, ImService service,
+                                 bool identity_index);
+
+  /// Registers an In-Memory Expression on both databases and schedules IMCU
+  /// rebuilds; returns the expression's virtual column index.
+  StatusOr<uint32_t> RegisterImExpression(ObjectId object, const Expression& expr);
+
+  /// Blocks until the standby QuerySCN covers everything committed on the
+  /// primary as of the call. Returns the QuerySCN reached.
+  Scn WaitForCatchup(int64_t timeout_us = 30'000'000);
+
+  uint64_t shipped_bytes() const;
+
+ private:
+  DatabaseOptions options_;
+  PrimaryDb primary_;
+  StandbyDb standby_;
+  std::vector<std::unique_ptr<LogShipper>> shippers_;
+  bool started_ = false;
+};
+
+}  // namespace stratus
+
+#endif  // STRATUS_DB_DATABASE_H_

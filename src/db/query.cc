@@ -1,0 +1,164 @@
+#include "db/query.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace stratus {
+
+StatusOr<QueryResult> QueryEngine::ExecuteScan(const QueryContext& ctx,
+                                               const ScanQuery& query,
+                                               Scn snapshot) const {
+  if (!ctx.catalog->ExistsAt(query.object, snapshot))
+    return Status::NotFound("table does not exist at this snapshot");
+  Table* table = ctx.table_lookup(query.object);
+  if (table == nullptr) return Status::NotFound("no table object");
+
+  SnapshotGuard guard(ctx.snapshots, snapshot);
+  ReadView view;
+  view.snapshot_scn = snapshot;
+  view.resolver = ctx.resolver;
+
+  QueryResult result;
+  result.snapshot = snapshot;
+
+  bool agg_started = false;
+  auto fold = [&](int64_t x) {
+    if (!agg_started) {
+      result.agg_int = x;
+      agg_started = true;
+    } else if (query.agg == AggKind::kSum) {
+      result.agg_int += x;
+    } else if (query.agg == AggKind::kMin) {
+      result.agg_int = std::min(result.agg_int, x);
+    } else {
+      result.agg_int = std::max(result.agg_int, x);
+    }
+  };
+  auto sink = [&](const Row& row) {
+    ++result.count;
+    switch (query.agg) {
+      case AggKind::kNone:
+        result.rows.push_back(row);
+        return;
+      case AggKind::kCount:
+        return;
+      case AggKind::kSum:
+      case AggKind::kMin:
+      case AggKind::kMax: {
+        if (query.agg_column >= row.size()) return;
+        const Value& v = row[query.agg_column];
+        if (v.type() != ValueType::kInt) return;
+        fold(v.as_int());
+        return;
+      }
+    }
+  };
+
+  // In-Memory Expressions registered for this object (virtual columns).
+  std::vector<Expression> exprs;
+  if (ctx.expressions != nullptr) exprs = ctx.expressions->For(query.object);
+
+  // Aggregation push-down ([11]): kSum/kMin/kMax fold straight off the
+  // encoded column for IMCS-served rows, skipping materialization.
+  ImcsMatchHook hook;
+  const ImcsMatchHook* hook_ptr = nullptr;
+  if (query.agg == AggKind::kSum || query.agg == AggKind::kMin ||
+      query.agg == AggKind::kMax) {
+    hook = [&](const Imcu& imcu, uint32_t r) {
+      ++result.count;
+      if (query.agg_column >= imcu.num_columns()) return;
+      const Value v = imcu.column(query.agg_column).Get(r);
+      if (v.type() == ValueType::kInt) fold(v.as_int());
+    };
+    hook_ptr = &hook;
+  }
+
+  const std::vector<const ImStore*> stores =
+      query.force_row_store ? std::vector<const ImStore*>{} : ctx.stores;
+  // COUNT needs no row images from the IMCS: skip materialization.
+  const bool needs_rows = query.agg != AggKind::kCount;
+  STRATUS_RETURN_IF_ERROR(scan_engine_.Scan(
+      *table, query.predicates, view, stores, *ctx.cache, sink, &result.stats,
+      needs_rows, exprs.empty() ? nullptr : &exprs, hook_ptr));
+  result.agg_valid = agg_started || query.agg == AggKind::kCount;
+  return result;
+}
+
+StatusOr<QueryResult> QueryEngine::ExecuteJoin(const QueryContext& ctx,
+                                               const JoinQuery& query,
+                                               Scn snapshot) const {
+  // Build side (right input).
+  ScanQuery build;
+  build.object = query.right;
+  build.predicates = query.right_predicates;
+  StatusOr<QueryResult> build_result = ExecuteScan(ctx, build, snapshot);
+  if (!build_result.ok()) return build_result.status();
+
+  std::unordered_multimap<int64_t, const Row*> hash;
+  hash.reserve(build_result->rows.size());
+  for (const Row& r : build_result->rows) {
+    if (query.right_column < r.size() &&
+        r[query.right_column].type() == ValueType::kInt) {
+      hash.emplace(r[query.right_column].as_int(), &r);
+    }
+  }
+
+  // Probe side (left input), streaming.
+  if (!ctx.catalog->ExistsAt(query.left, snapshot))
+    return Status::NotFound("left table does not exist at this snapshot");
+  Table* left = ctx.table_lookup(query.left);
+  if (left == nullptr) return Status::NotFound("no left table object");
+
+  SnapshotGuard guard(ctx.snapshots, snapshot);
+  ReadView view;
+  view.snapshot_scn = snapshot;
+  view.resolver = ctx.resolver;
+
+  QueryResult result;
+  result.snapshot = snapshot;
+  auto sink = [&](const Row& row) {
+    if (query.left_column >= row.size() ||
+        row[query.left_column].type() != ValueType::kInt) {
+      return;
+    }
+    auto [lo, hi] = hash.equal_range(row[query.left_column].as_int());
+    for (auto it = lo; it != hi; ++it) {
+      Row joined = row;
+      joined.insert(joined.end(), it->second->begin(), it->second->end());
+      result.rows.push_back(std::move(joined));
+      ++result.count;
+    }
+  };
+  STRATUS_RETURN_IF_ERROR(scan_engine_.Scan(*left, query.left_predicates, view,
+                                            ctx.stores, *ctx.cache, sink,
+                                            &result.stats));
+  return result;
+}
+
+StatusOr<std::optional<Row>> QueryEngine::IndexFetch(const QueryContext& ctx,
+                                                     ObjectId object, int64_t key,
+                                                     Scn snapshot) const {
+  if (!ctx.catalog->ExistsAt(object, snapshot))
+    return Status::NotFound("table does not exist at this snapshot");
+  Table* table = ctx.table_lookup(object);
+  if (table == nullptr || table->index() == nullptr)
+    return Status::FailedPrecondition("no identity index");
+
+  SnapshotGuard guard(ctx.snapshots, snapshot);
+  const std::optional<RowId> rid = table->index()->Lookup(key);
+  if (!rid.has_value()) return std::optional<Row>{};
+
+  ReadView view;
+  view.snapshot_scn = snapshot;
+  view.resolver = ctx.resolver;
+  Block* block = ctx.cache->Get(rid->dba);
+  if (block == nullptr) return std::optional<Row>{};
+  Row row;
+  if (!block->ReadRow(rid->slot, view, &row).ok()) return std::optional<Row>{};
+  // Guard against a stale index entry (the row's visible version may predate
+  // the index insert of an uncommitted writer).
+  if (row.empty() || !(row[0] == Value(key))) return std::optional<Row>{};
+  return std::optional<Row>{std::move(row)};
+}
+
+}  // namespace stratus

@@ -1,0 +1,93 @@
+#ifndef STRATUS_DB_QUERY_H_
+#define STRATUS_DB_QUERY_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "db/catalog.h"
+#include "imcs/expression.h"
+#include "imcs/scan_engine.h"
+#include "storage/buffer_cache.h"
+#include "storage/table.h"
+#include "txn/txn_manager.h"
+
+namespace stratus {
+
+/// Aggregate applied to the matching rows.
+enum class AggKind : uint8_t { kNone = 0, kCount, kSum, kMin, kMax };
+
+/// A filtered full-table scan, the query shape of the paper's evaluation
+/// (Table 1: `SELECT * FROM t WHERE n1 = :1` / `WHERE c1 = :2`).
+struct ScanQuery {
+  ObjectId object = kInvalidObjectId;
+  std::vector<Predicate> predicates;
+  /// Bypass the IMCS (the paper's "without DBIM" baseline).
+  bool force_row_store = false;
+  AggKind agg = AggKind::kNone;
+  uint32_t agg_column = 0;  ///< For kSum/kMin/kMax (integer columns).
+};
+
+/// An equi-join between two scans (dimension-style joins of Figure 2): each
+/// output row is the concatenation left ++ right.
+struct JoinQuery {
+  ObjectId left = kInvalidObjectId;
+  ObjectId right = kInvalidObjectId;
+  uint32_t left_column = 0;
+  uint32_t right_column = 0;
+  std::vector<Predicate> left_predicates;
+  std::vector<Predicate> right_predicates;
+};
+
+/// Query execution outcome.
+struct QueryResult {
+  std::vector<Row> rows;     ///< Materialized rows (empty for aggregates).
+  uint64_t count = 0;        ///< Matching row count.
+  int64_t agg_int = 0;       ///< kSum/kMin/kMax result.
+  bool agg_valid = false;    ///< False when no non-null input reached the agg.
+  Scn snapshot = kInvalidScn;
+  ScanStats stats;
+};
+
+/// Everything a query needs from its database role — both roles (and every
+/// standby instance service) build one of these.
+struct QueryContext {
+  const Catalog* catalog = nullptr;
+  const BufferCache* cache = nullptr;
+  const VisibilityResolver* resolver = nullptr;
+  std::function<Table*(ObjectId)> table_lookup;
+  /// Column stores consulted by scans (all RAC instances of the role).
+  std::vector<const ImStore*> stores;
+  SnapshotRegistry* snapshots = nullptr;  ///< Optional (GC watermark).
+  /// In-Memory Expressions for virtual-column predicates/aggregates.
+  const ImExpressionRegistry* expressions = nullptr;
+};
+
+/// The query engine shared by primary and standby (the paper stresses the
+/// standby runs the same engine and inherits every In-Memory Scan Engine
+/// optimization).
+class QueryEngine {
+ public:
+  /// Runs `query` at `snapshot` (primary: current visible SCN; standby: the
+  /// QuerySCN).
+  StatusOr<QueryResult> ExecuteScan(const QueryContext& ctx, const ScanQuery& query,
+                                    Scn snapshot) const;
+
+  /// Hash equi-join: builds on the right input, probes with the left.
+  StatusOr<QueryResult> ExecuteJoin(const QueryContext& ctx, const JoinQuery& query,
+                                    Scn snapshot) const;
+
+  /// Point lookup through the identity index (the OLTAP workload's "fetch").
+  StatusOr<std::optional<Row>> IndexFetch(const QueryContext& ctx, ObjectId object,
+                                          int64_t key, Scn snapshot) const;
+
+ private:
+  ScanEngine scan_engine_;
+};
+
+}  // namespace stratus
+
+#endif  // STRATUS_DB_QUERY_H_

@@ -1,0 +1,89 @@
+#include "imadg/commit_table.h"
+
+namespace stratus {
+
+ImAdgCommitTable::ImAdgCommitTable(size_t partitions)
+    : parts_(partitions == 0 ? 1 : partitions) {}
+
+ImAdgCommitTable::~ImAdgCommitTable() { Clear(); }
+
+void ImAdgCommitTable::Insert(Xid xid, Scn commit_scn, bool im_flag,
+                              bool aborted, TenantId tenant,
+                              ImAdgJournal::AnchorNode* anchor) {
+  auto* node = new Node{xid, commit_scn, im_flag, aborted, tenant, anchor, nullptr};
+  Partition& part = PartitionFor(xid);
+  LatchGuard g(part.latch);
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+  live_nodes_.fetch_add(1, std::memory_order_relaxed);
+  if (part.tail == nullptr) {
+    part.head = part.tail = node;
+    return;
+  }
+  if (part.tail->commit_scn <= commit_scn) {  // Common case: in-order commit.
+    part.tail->next = node;
+    part.tail = node;
+    return;
+  }
+  // Out-of-order: walk from the head to the insertion point.
+  Node** link = &part.head;
+  uint64_t steps = 0;
+  while (*link != nullptr && (*link)->commit_scn <= commit_scn) {
+    link = &(*link)->next;
+    ++steps;
+  }
+  insert_walk_steps_.fetch_add(steps, std::memory_order_relaxed);
+  node->next = *link;
+  *link = node;
+  if (node->next == nullptr) part.tail = node;
+}
+
+ImAdgCommitTable::Node* ImAdgCommitTable::Chop(Scn target) {
+  Node* result = nullptr;
+  Node* result_tail = nullptr;
+  for (Partition& part : parts_) {
+    LatchGuard g(part.latch);
+    if (part.head == nullptr || part.head->commit_scn > target) continue;
+    // The prefix [head .. last <= target] comes off in one cut — this is the
+    // paper's "chop off the Commit Table and create a Worklink".
+    Node* first = part.head;
+    Node* last = first;
+    size_t chopped = 1;
+    while (last->next != nullptr && last->next->commit_scn <= target) {
+      last = last->next;
+      ++chopped;
+    }
+    live_nodes_.fetch_sub(chopped, std::memory_order_relaxed);
+    part.head = last->next;
+    if (part.head == nullptr) part.tail = nullptr;
+    last->next = nullptr;
+    if (result == nullptr) {
+      result = first;
+    } else {
+      result_tail->next = first;
+    }
+    result_tail = last;
+  }
+  return result;
+}
+
+void ImAdgCommitTable::Clear() {
+  for (Partition& part : parts_) {
+    LatchGuard g(part.latch);
+    Node* n = part.head;
+    while (n != nullptr) {
+      Node* next = n->next;
+      delete n;
+      live_nodes_.fetch_sub(1, std::memory_order_relaxed);
+      n = next;
+    }
+    part.head = part.tail = nullptr;
+  }
+}
+
+uint64_t ImAdgCommitTable::partition_contention() const {
+  uint64_t total = 0;
+  for (const Partition& p : parts_) total += p.latch.contended();
+  return total;
+}
+
+}  // namespace stratus

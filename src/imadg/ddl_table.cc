@@ -1,0 +1,34 @@
+#include "imadg/ddl_table.h"
+
+#include <algorithm>
+
+namespace stratus {
+
+void DdlInfoTable::Insert(Scn scn, const DdlMarker& marker) {
+  std::lock_guard<std::mutex> g(mu_);
+  Entry e{scn, marker};
+  auto it = std::upper_bound(entries_.begin(), entries_.end(), scn,
+                             [](Scn s, const Entry& x) { return s < x.scn; });
+  entries_.insert(it, e);
+}
+
+std::vector<DdlInfoTable::Entry> DdlInfoTable::Extract(Scn upto) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = std::upper_bound(entries_.begin(), entries_.end(), upto,
+                             [](Scn s, const Entry& x) { return s < x.scn; });
+  std::vector<Entry> out(entries_.begin(), it);
+  entries_.erase(entries_.begin(), it);
+  return out;
+}
+
+void DdlInfoTable::Clear() {
+  std::lock_guard<std::mutex> g(mu_);
+  entries_.clear();
+}
+
+size_t DdlInfoTable::size() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return entries_.size();
+}
+
+}  // namespace stratus

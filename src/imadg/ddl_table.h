@@ -1,0 +1,38 @@
+#ifndef STRATUS_IMADG_DDL_TABLE_H_
+#define STRATUS_IMADG_DDL_TABLE_H_
+
+#include <mutex>
+#include <vector>
+
+#include "common/types.h"
+#include "redo/change_vector.h"
+
+namespace stratus {
+
+/// The DDL Information Table (Section III.G): buffers DDL redo markers mined
+/// by the Mining Component, SCN-ordered, until QuerySCN advancement reaches
+/// them — at which point the affected objects' IMCUs are dropped and the
+/// dictionary change takes effect for queries.
+class DdlInfoTable {
+ public:
+  struct Entry {
+    Scn scn = kInvalidScn;
+    DdlMarker marker;
+  };
+
+  void Insert(Scn scn, const DdlMarker& marker);
+
+  /// Removes and returns (in SCN order) every marker with scn <= `upto`.
+  std::vector<Entry> Extract(Scn upto);
+
+  void Clear();
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;  // Kept sorted by scn.
+};
+
+}  // namespace stratus
+
+#endif  // STRATUS_IMADG_DDL_TABLE_H_

@@ -1,0 +1,143 @@
+#include "imadg/flush.h"
+
+namespace stratus {
+
+InvalidationFlushComponent::InvalidationFlushComponent(
+    ImAdgJournal* journal, ImAdgCommitTable* commit_table,
+    DdlInfoTable* ddl_table, InvalidationApplier* applier,
+    const FlushOptions& options)
+    : journal_(journal), commit_table_(commit_table), ddl_table_(ddl_table),
+      applier_(applier), options_(options) {}
+
+void InvalidationFlushComponent::PrepareAdvance(Scn target) {
+  // DDL markers first: object drops take effect at this consistency point
+  // (any row invalidations for the dropped object become no-ops afterwards).
+  for (const DdlInfoTable::Entry& e : ddl_table_->Extract(target)) {
+    applier_->ApplyDdl(e.marker);
+  }
+
+  ImAdgCommitTable::Node* chain = commit_table_->Chop(target);
+  size_t count = 0;
+  for (ImAdgCommitTable::Node* n = chain; n != nullptr; n = n->next) ++count;
+  {
+    LatchGuard g(worklink_latch_);
+    worklink_ = chain;
+  }
+  pending_.store(count, std::memory_order_release);
+}
+
+ImAdgCommitTable::Node* InvalidationFlushComponent::PopBatch(size_t max,
+                                                             size_t* popped) {
+  LatchGuard g(worklink_latch_);
+  ImAdgCommitTable::Node* first = worklink_;
+  if (first == nullptr) {
+    *popped = 0;
+    return nullptr;
+  }
+  ImAdgCommitTable::Node* last = first;
+  size_t n = 1;
+  while (n < max && last->next != nullptr) {
+    last = last->next;
+    ++n;
+  }
+  worklink_ = last->next;
+  last->next = nullptr;
+  *popped = n;
+  // in_flight must rise before pending falls, or AdvanceComplete could
+  // observe (pending==0, in_flight==0) mid-batch.
+  in_flight_.fetch_add(n, std::memory_order_acq_rel);
+  pending_.fetch_sub(n, std::memory_order_acq_rel);
+  return first;
+}
+
+bool InvalidationFlushComponent::FlushStep(WorkerId invoker) {
+  size_t popped = 0;
+  ImAdgCommitTable::Node* batch = PopBatch(options_.batch_size, &popped);
+  if (batch == nullptr) return false;
+  if (invoker == kMaxWorkerId) {
+    coordinator_steps_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    cooperative_steps_.fetch_add(1, std::memory_order_relaxed);
+  }
+  while (batch != nullptr) {
+    ImAdgCommitTable::Node* next = batch->next;
+    ProcessNode(batch);
+    delete batch;
+    batch = next;
+  }
+  in_flight_.fetch_sub(popped, std::memory_order_acq_rel);
+  return pending_.load(std::memory_order_acquire) > 0;
+}
+
+void InvalidationFlushComponent::ProcessNode(ImAdgCommitTable::Node* node) {
+  if (node->aborted) {
+    // Rolled back: the changes were never visible; discard buffered records.
+    if (node->anchor != nullptr) journal_->RemoveAnchor(node->xid);
+    aborted_discards_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
+  ImAdgJournal::AnchorNode* anchor = node->anchor;
+  if (anchor == nullptr || !anchor->has_begin.load(std::memory_order_acquire)) {
+    // Missing/partial record set — possible only when mining state was lost
+    // (standby restart, Section III.E). The commit record's flag tells us
+    // whether IMCS data may actually be stale.
+    if (node->im_flag) {
+      applier_->ApplyCoarseInvalidation(node->tenant);
+      coarse_invalidations_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (anchor != nullptr) journal_->RemoveAnchor(node->xid);
+    return;
+  }
+
+  // Gather all per-worker areas and chunk into invalidation groups by object.
+  std::vector<InvalidationGroup> groups;
+  uint64_t records = 0;
+  for (const auto& area : anchor->areas) {
+    for (const InvalidationRecord& rec : area) {
+      InvalidationGroup* group = nullptr;
+      for (auto& g : groups) {
+        if (g.object_id == rec.object_id && g.tenant == rec.tenant) {
+          group = &g;
+          break;
+        }
+      }
+      if (group == nullptr) {
+        groups.push_back(InvalidationGroup{rec.object_id, rec.tenant, {}});
+        group = &groups.back();
+      }
+      group->rows.emplace_back(rec.dba, rec.slot);
+      ++records;
+    }
+  }
+  if (!groups.empty()) {
+    flushed_groups_.fetch_add(groups.size(), std::memory_order_relaxed);
+    applier_->ApplyGroups(std::move(groups));
+  }
+  flushed_records_.fetch_add(records, std::memory_order_relaxed);
+  flushed_txns_.fetch_add(1, std::memory_order_relaxed);
+  journal_->RemoveAnchor(node->xid);
+}
+
+bool InvalidationFlushComponent::AdvanceComplete() const {
+  return pending_.load(std::memory_order_acquire) == 0 &&
+         in_flight_.load(std::memory_order_acquire) == 0 && applier_->Drained();
+}
+
+void InvalidationFlushComponent::OnPublished(Scn published) {
+  applier_->OnPublished(published);
+}
+
+FlushStats InvalidationFlushComponent::stats() const {
+  FlushStats s;
+  s.flushed_txns = flushed_txns_.load(std::memory_order_relaxed);
+  s.flushed_records = flushed_records_.load(std::memory_order_relaxed);
+  s.flushed_groups = flushed_groups_.load(std::memory_order_relaxed);
+  s.coarse_invalidations = coarse_invalidations_.load(std::memory_order_relaxed);
+  s.aborted_discards = aborted_discards_.load(std::memory_order_relaxed);
+  s.cooperative_steps = cooperative_steps_.load(std::memory_order_relaxed);
+  s.coordinator_steps = coordinator_steps_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace stratus

@@ -1,0 +1,98 @@
+#ifndef STRATUS_IMADG_FLUSH_H_
+#define STRATUS_IMADG_FLUSH_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "adg/recovery_coordinator.h"
+#include "adg/recovery_worker.h"
+#include "common/latch.h"
+#include "imadg/commit_table.h"
+#include "imadg/ddl_table.h"
+#include "imadg/invalidation.h"
+#include "imadg/journal.h"
+
+namespace stratus {
+
+/// Invalidation Flush tuning.
+struct FlushOptions {
+  /// Worklink nodes taken per flush step.
+  size_t batch_size = 32;
+  /// Cooperative Flush (Section III.D.2): recovery workers help drain the
+  /// worklink. Disable for the serial-coordinator ablation.
+  bool cooperative = true;
+};
+
+/// Flush statistics.
+struct FlushStats {
+  uint64_t flushed_txns = 0;
+  uint64_t flushed_records = 0;
+  uint64_t flushed_groups = 0;
+  uint64_t coarse_invalidations = 0;
+  uint64_t aborted_discards = 0;
+  uint64_t cooperative_steps = 0;
+  uint64_t coordinator_steps = 0;
+};
+
+/// The DBIM-on-ADG Invalidation Flush Component (Section III.D).
+///
+/// At each QuerySCN advancement the recovery coordinator (through the
+/// FlushDriver interface) chops the IM-ADG Commit Table at the target SCN,
+/// forming the Worklink. Worklink nodes are drained in batches — by the
+/// coordinator and, cooperatively, by the recovery workers (through the
+/// FlushParticipant interface) — grouping each transaction's invalidation
+/// records into Invalidation Groups and landing them on SMUs via the
+/// InvalidationApplier (locally, or across the RAC interconnect).
+///
+/// A committed node whose journal anchor is missing its transaction-begin
+/// control record signals a standby restart lost part of the record set: if
+/// the commit record's IM flag is set, the component falls back to coarse
+/// invalidation of the tenant's IMCUs (Section III.E).
+class InvalidationFlushComponent : public FlushDriver, public FlushParticipant {
+ public:
+  InvalidationFlushComponent(ImAdgJournal* journal, ImAdgCommitTable* commit_table,
+                             DdlInfoTable* ddl_table, InvalidationApplier* applier,
+                             const FlushOptions& options);
+
+  // FlushDriver:
+  void PrepareAdvance(Scn target) override;
+  bool FlushStep(WorkerId invoker) override;
+  bool AdvanceComplete() const override;
+  void OnPublished(Scn published) override;
+
+  // FlushParticipant:
+  bool WantsHelp() const override {
+    return options_.cooperative &&
+           pending_.load(std::memory_order_acquire) > 0;
+  }
+
+  FlushStats stats() const;
+
+ private:
+  /// Detaches up to `max` nodes from the worklink head.
+  ImAdgCommitTable::Node* PopBatch(size_t max, size_t* popped);
+  void ProcessNode(ImAdgCommitTable::Node* node);
+
+  ImAdgJournal* journal_;
+  ImAdgCommitTable* commit_table_;
+  DdlInfoTable* ddl_table_;
+  InvalidationApplier* applier_;
+  FlushOptions options_;
+
+  Latch worklink_latch_;
+  ImAdgCommitTable::Node* worklink_ = nullptr;
+  std::atomic<size_t> pending_{0};
+  std::atomic<size_t> in_flight_{0};
+
+  mutable std::atomic<uint64_t> flushed_txns_{0};
+  mutable std::atomic<uint64_t> flushed_records_{0};
+  mutable std::atomic<uint64_t> flushed_groups_{0};
+  mutable std::atomic<uint64_t> coarse_invalidations_{0};
+  mutable std::atomic<uint64_t> aborted_discards_{0};
+  mutable std::atomic<uint64_t> cooperative_steps_{0};
+  mutable std::atomic<uint64_t> coordinator_steps_{0};
+};
+
+}  // namespace stratus
+
+#endif  // STRATUS_IMADG_FLUSH_H_

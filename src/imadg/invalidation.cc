@@ -1,0 +1,4 @@
+#include "imadg/invalidation.h"
+
+// Interface-only header; this anchors the translation unit.
+namespace stratus {}  // namespace stratus

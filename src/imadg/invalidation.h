@@ -1,0 +1,64 @@
+#ifndef STRATUS_IMADG_INVALIDATION_H_
+#define STRATUS_IMADG_INVALIDATION_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "redo/change_vector.h"
+
+namespace stratus {
+
+/// An Invalidation Record (Section III.B, Figure 6): the tuple the Mining
+/// Component notes down when a sniffed change vector modifies an object
+/// populated in the standby's IMCS — object, tenant, block, and changed row.
+/// It is associated with its transaction through the IM-ADG Journal anchor
+/// node it is buffered under.
+struct InvalidationRecord {
+  ObjectId object_id = kInvalidObjectId;
+  TenantId tenant = kDefaultTenant;
+  Dba dba = kInvalidDba;
+  SlotId slot = 0;
+};
+
+/// An Invalidation Group (Section III.D): invalidation records of one object
+/// chunked together so the flush to SMUs — possibly across the RAC
+/// interconnect — is a batched, cheap operation.
+struct InvalidationGroup {
+  ObjectId object_id = kInvalidObjectId;
+  TenantId tenant = kDefaultTenant;
+  std::vector<std::pair<Dba, SlotId>> rows;
+};
+
+/// Where the Invalidation Flush Component lands its work. Implemented by the
+/// standby database: locally it marks SMU rows invalid; under RAC it routes
+/// each group to the instance the home-location map names and the publish
+/// notification to every non-master instance.
+class InvalidationApplier {
+ public:
+  virtual ~InvalidationApplier() = default;
+
+  /// Applies a batch of invalidation groups (marks rows invalid in SMUs,
+  /// possibly forwarding to remote instances).
+  virtual void ApplyGroups(std::vector<InvalidationGroup> groups) = 0;
+
+  /// Coarse invalidation (Section III.E): every IMCU of `tenant` becomes
+  /// invalid, on every instance.
+  virtual void ApplyCoarseInvalidation(TenantId tenant) = 0;
+
+  /// A mined DDL redo marker reached its QuerySCN: drop the object's IMCUs
+  /// (and apply the dictionary change).
+  virtual void ApplyDdl(const DdlMarker& marker) = 0;
+
+  /// True once all forwarded work (remote invalidation groups) has been
+  /// acknowledged; the QuerySCN may not publish before this.
+  virtual bool Drained() const = 0;
+
+  /// The new QuerySCN was published on the master.
+  virtual void OnPublished(Scn query_scn) = 0;
+};
+
+}  // namespace stratus
+
+#endif  // STRATUS_IMADG_INVALIDATION_H_

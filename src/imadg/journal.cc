@@ -1,0 +1,86 @@
+#include "imadg/journal.h"
+
+namespace stratus {
+
+ImAdgJournal::ImAdgJournal(size_t num_buckets, size_t num_workers)
+    : num_workers_(num_workers), buckets_(num_buckets == 0 ? 1 : num_buckets) {}
+
+ImAdgJournal::~ImAdgJournal() { Clear(); }
+
+ImAdgJournal::AnchorNode* ImAdgJournal::GetOrCreateAnchor(Xid xid) {
+  Bucket& bucket = BucketFor(xid);
+  LatchGuard g(bucket.latch);
+  for (AnchorNode* n = bucket.head; n != nullptr; n = n->next) {
+    if (n->xid == xid) return n;
+  }
+  auto* node = new AnchorNode(xid, num_workers_);
+  node->next = bucket.head;
+  bucket.head = node;
+  anchors_created_.fetch_add(1, std::memory_order_relaxed);
+  live_anchors_.fetch_add(1, std::memory_order_relaxed);
+  return node;
+}
+
+ImAdgJournal::AnchorNode* ImAdgJournal::Find(Xid xid) const {
+  const Bucket& bucket = BucketFor(xid);
+  LatchGuard g(bucket.latch);
+  for (AnchorNode* n = bucket.head; n != nullptr; n = n->next) {
+    if (n->xid == xid) return n;
+  }
+  return nullptr;
+}
+
+void ImAdgJournal::AddRecord(Xid xid, WorkerId worker, InvalidationRecord rec) {
+  AnchorNode* anchor = GetOrCreateAnchor(xid);
+  // The paper's key trick: each worker owns areas[worker]; appends need no
+  // synchronization even when several workers mine the same transaction.
+  anchor->areas[worker % num_workers_].push_back(rec);
+  records_buffered_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ImAdgJournal::MarkBegin(Xid xid) {
+  GetOrCreateAnchor(xid)->has_begin.store(true, std::memory_order_release);
+}
+
+void ImAdgJournal::MarkAborted(Xid xid) {
+  AnchorNode* anchor = Find(xid);
+  if (anchor != nullptr) anchor->aborted.store(true, std::memory_order_release);
+}
+
+void ImAdgJournal::RemoveAnchor(Xid xid) {
+  Bucket& bucket = BucketFor(xid);
+  LatchGuard g(bucket.latch);
+  AnchorNode** link = &bucket.head;
+  while (*link != nullptr) {
+    if ((*link)->xid == xid) {
+      AnchorNode* victim = *link;
+      *link = victim->next;
+      delete victim;
+      live_anchors_.fetch_sub(1, std::memory_order_relaxed);
+      return;
+    }
+    link = &(*link)->next;
+  }
+}
+
+void ImAdgJournal::Clear() {
+  for (Bucket& bucket : buckets_) {
+    LatchGuard g(bucket.latch);
+    AnchorNode* n = bucket.head;
+    while (n != nullptr) {
+      AnchorNode* next = n->next;
+      delete n;
+      n = next;
+      live_anchors_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    bucket.head = nullptr;
+  }
+}
+
+uint64_t ImAdgJournal::bucket_contention() const {
+  uint64_t total = 0;
+  for (const Bucket& b : buckets_) total += b.latch.contended();
+  return total;
+}
+
+}  // namespace stratus

@@ -1,0 +1,93 @@
+#ifndef STRATUS_IMADG_JOURNAL_H_
+#define STRATUS_IMADG_JOURNAL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/latch.h"
+#include "common/types.h"
+#include "imadg/invalidation.h"
+
+namespace stratus {
+
+/// The IM-ADG Journal (Section III.C, Figure 7): an in-memory hash table
+/// mapping a transaction to its buffered invalidation records.
+///
+/// Concurrency design follows the paper exactly:
+///  - The table is sized to the redo-apply parallelism so recovery workers
+///    rarely collide on a bucket; hash chains are protected by a per-bucket
+///    latch ("bucket latch").
+///  - Each anchor node gives every recovery worker its own record area, so
+///    the common operation — multiple workers mining records for the same
+///    transaction — needs no synchronization at all.
+class ImAdgJournal {
+ public:
+  /// An anchor node: the per-transaction hub for invalidation records.
+  struct AnchorNode {
+    explicit AnchorNode(Xid x, size_t num_workers) : xid(x), areas(num_workers) {}
+
+    Xid xid;
+    /// Set when the transaction-begin control record is mined. A missing
+    /// begin at flush time means the record set is (at most) partial — the
+    /// standby restarted mid-transaction (Section III.E).
+    std::atomic<bool> has_begin{false};
+    std::atomic<bool> aborted{false};
+    /// areas[w] is appended to exclusively by recovery worker w.
+    std::vector<std::vector<InvalidationRecord>> areas;
+    AnchorNode* next = nullptr;  ///< Hash-chain link, guarded by bucket latch.
+  };
+
+  ImAdgJournal(size_t num_buckets, size_t num_workers);
+  ~ImAdgJournal();
+
+  ImAdgJournal(const ImAdgJournal&) = delete;
+  ImAdgJournal& operator=(const ImAdgJournal&) = delete;
+
+  /// Finds or creates the anchor for `xid` (bucket latch held briefly).
+  AnchorNode* GetOrCreateAnchor(Xid xid);
+
+  /// Finds the anchor for `xid`, or nullptr.
+  AnchorNode* Find(Xid xid) const;
+
+  /// Buffers one invalidation record mined by `worker` (lock-free append to
+  /// the worker's own area after the anchor lookup).
+  void AddRecord(Xid xid, WorkerId worker, InvalidationRecord rec);
+
+  /// Control-information mining.
+  void MarkBegin(Xid xid);
+  void MarkAborted(Xid xid);
+
+  /// Unlinks and frees the anchor after its records were flushed/discarded.
+  void RemoveAnchor(Xid xid);
+
+  /// Drops everything (standby restart: the journal has no persistence).
+  void Clear();
+
+  size_t num_buckets() const { return buckets_.size(); }
+  size_t num_workers() const { return num_workers_; }
+  uint64_t anchors_created() const { return anchors_created_.load(std::memory_order_relaxed); }
+  uint64_t records_buffered() const { return records_buffered_.load(std::memory_order_relaxed); }
+  size_t live_anchors() const { return live_anchors_.load(std::memory_order_relaxed); }
+  /// Total contended bucket-latch acquisitions (drives the journal ablation).
+  uint64_t bucket_contention() const;
+
+ private:
+  struct Bucket {
+    mutable Latch latch;
+    AnchorNode* head = nullptr;
+  };
+  Bucket& BucketFor(Xid xid) { return buckets_[xid % buckets_.size()]; }
+  const Bucket& BucketFor(Xid xid) const { return buckets_[xid % buckets_.size()]; }
+
+  size_t num_workers_;
+  std::vector<Bucket> buckets_;
+  std::atomic<uint64_t> anchors_created_{0};
+  std::atomic<uint64_t> records_buffered_{0};
+  std::atomic<size_t> live_anchors_{0};
+};
+
+}  // namespace stratus
+
+#endif  // STRATUS_IMADG_JOURNAL_H_

@@ -1,0 +1,54 @@
+#include "imadg/mining.h"
+
+namespace stratus {
+
+void MiningComponent::OnCvApplied(const ChangeVector& cv, WorkerId worker) {
+  switch (cv.kind) {
+    case CvKind::kInsert:
+    case CvKind::kUpdate:
+    case CvKind::kDelete: {
+      if (!checker_(cv.object_id, cv.tenant)) return;
+      InvalidationRecord rec;
+      rec.object_id = cv.object_id;
+      rec.tenant = cv.tenant;
+      rec.dba = cv.dba;
+      rec.slot = cv.slot;
+      journal_->AddRecord(cv.xid, worker, rec);
+      mined_records_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    case CvKind::kTxnBegin:
+      journal_->MarkBegin(cv.xid);
+      return;
+    case CvKind::kTxnCommit: {
+      ImAdgJournal::AnchorNode* anchor = journal_->Find(cv.xid);
+      // Only transactions that matter to the IMCS enter the Commit Table:
+      // those whose commit record carries the IM flag (Section III.E) or for
+      // which an anchor exists (its resources must be reclaimed at flush).
+      if (anchor == nullptr && !cv.im_flag) return;
+      commit_table_->Insert(cv.xid, cv.scn, cv.im_flag, /*aborted=*/false,
+                            cv.tenant, anchor);
+      mined_commits_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    case CvKind::kTxnAbort: {
+      ImAdgJournal::AnchorNode* anchor = journal_->Find(cv.xid);
+      if (anchor == nullptr) return;
+      journal_->MarkAborted(cv.xid);
+      // Aborts ride the Commit Table too, so the anchor (and its buffered
+      // records) is reclaimed once the QuerySCN passes the abort — by which
+      // point no recovery worker can still be appending to it.
+      commit_table_->Insert(cv.xid, cv.scn, /*im_flag=*/false, /*aborted=*/true,
+                            cv.tenant, anchor);
+      return;
+    }
+    case CvKind::kDdlMarker:
+      ddl_table_->Insert(cv.scn, cv.ddl);
+      mined_ddl_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    case CvKind::kHeartbeat:
+      return;
+  }
+}
+
+}  // namespace stratus

@@ -1,0 +1,54 @@
+#ifndef STRATUS_IMADG_MINING_H_
+#define STRATUS_IMADG_MINING_H_
+
+#include <atomic>
+#include <functional>
+
+#include "adg/recovery_worker.h"
+#include "imadg/commit_table.h"
+#include "imadg/ddl_table.h"
+#include "imadg/journal.h"
+
+namespace stratus {
+
+/// Answers "is this object enabled for population into the standby's IMCS?".
+/// (Exactly the set the primary's specialized redo flag covers.)
+using ImEnabledChecker = std::function<bool(ObjectId, TenantId)>;
+
+/// The DBIM-on-ADG Mining Component (Section III.B): piggybacks on the
+/// recovery workers (via the ApplyHooks interface) to sniff every applied
+/// change vector.
+///
+///  - A data CV against an IM-enabled object yields an Invalidation Record,
+///    buffered in the IM-ADG Journal under the transaction's anchor node.
+///  - Control CVs (begin / commit / abort) maintain the anchors and the
+///    IM-ADG Commit Table, associating invalidation records with the
+///    transaction's commitSCN.
+///  - DDL redo markers are buffered in the DDL Information Table.
+class MiningComponent : public ApplyHooks {
+ public:
+  MiningComponent(ImAdgJournal* journal, ImAdgCommitTable* commit_table,
+                  DdlInfoTable* ddl_table, ImEnabledChecker checker)
+      : journal_(journal), commit_table_(commit_table), ddl_table_(ddl_table),
+        checker_(std::move(checker)) {}
+
+  void OnCvApplied(const ChangeVector& cv, WorkerId worker) override;
+
+  uint64_t mined_records() const { return mined_records_.load(std::memory_order_relaxed); }
+  uint64_t mined_commits() const { return mined_commits_.load(std::memory_order_relaxed); }
+  uint64_t mined_ddl() const { return mined_ddl_.load(std::memory_order_relaxed); }
+
+ private:
+  ImAdgJournal* journal_;
+  ImAdgCommitTable* commit_table_;
+  DdlInfoTable* ddl_table_;
+  ImEnabledChecker checker_;
+
+  std::atomic<uint64_t> mined_records_{0};
+  std::atomic<uint64_t> mined_commits_{0};
+  std::atomic<uint64_t> mined_ddl_{0};
+};
+
+}  // namespace stratus
+
+#endif  // STRATUS_IMADG_MINING_H_

@@ -1,0 +1,280 @@
+#include "imcs/column_vector.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace stratus {
+
+uint8_t BitPackedArray::WidthFor(uint64_t max_value) {
+  uint8_t w = 0;
+  while (max_value != 0) {
+    ++w;
+    max_value >>= 1;
+  }
+  return w;
+}
+
+BitPackedArray BitPackedArray::Pack(const std::vector<uint64_t>& values,
+                                    uint8_t width) {
+  BitPackedArray arr;
+  arr.size_ = values.size();
+  arr.width_ = width;
+  arr.mask_ = width >= 64 ? ~0ull : ((1ull << width) - 1);
+  if (width == 0) return arr;
+  arr.words_.assign((values.size() * width + 63) / 64 + 1, 0);
+  for (size_t i = 0; i < values.size(); ++i) {
+    const uint64_t v = values[i] & arr.mask_;
+    const size_t bit = i * width;
+    const size_t word = bit >> 6;
+    const unsigned shift = bit & 63;
+    arr.words_[word] |= v << shift;
+    if (shift + width > 64) arr.words_[word + 1] |= v >> (64 - shift);
+  }
+  return arr;
+}
+
+namespace {
+
+std::vector<uint64_t> MakeNullBitmap(size_t n) {
+  return std::vector<uint64_t>((n + 63) / 64, 0);
+}
+
+void SetBit(std::vector<uint64_t>* bm, size_t i) {
+  (*bm)[i >> 6] |= 1ull << (i & 63);
+}
+
+/// True if a code satisfying `op pivot_code` can exist given whether the
+/// probe value itself is present in the domain; used by both filter kernels.
+bool AnyBitSet(const std::vector<uint64_t>& words) {
+  for (uint64_t w : words) {
+    if (w != 0) return true;
+  }
+  return false;
+}
+
+template <bool kHasNulls, typename Emit>
+void FilterCodesImpl(const BitPackedArray& packed, const std::vector<uint64_t>& nulls,
+                     size_t n, PredOp op, uint64_t pivot, bool pivot_exact,
+                     const Emit& emit) {
+  for (size_t i = 0; i < n; ++i) {
+    if constexpr (kHasNulls) {
+      if ((nulls[i >> 6] >> (i & 63)) & 1) continue;
+    }
+    const uint64_t c = packed.Get(i);
+    bool match = false;
+    switch (op) {
+      case PredOp::kEq: match = pivot_exact && c == pivot; break;
+      case PredOp::kNe: match = !pivot_exact || c != pivot; break;
+      case PredOp::kLt: match = c < pivot; break;
+      case PredOp::kLe: match = c <= pivot; break;
+      case PredOp::kGt: match = c > pivot; break;
+      case PredOp::kGe: match = c >= pivot; break;
+    }
+    if (match) emit(static_cast<uint32_t>(i));
+  }
+}
+
+/// pivot is in code space. For kEq with !pivot_exact there is no match; for
+/// ordered ops with !pivot_exact, pivot is the lower-bound code and the
+/// comparisons are adjusted by the caller before calling.
+template <typename Emit>
+void FilterCodes(const BitPackedArray& packed, const std::vector<uint64_t>& nulls,
+                 size_t n, PredOp op, uint64_t pivot, bool pivot_exact,
+                 const Emit& emit) {
+  if (AnyBitSet(nulls)) {
+    FilterCodesImpl<true>(packed, nulls, n, op, pivot, pivot_exact, emit);
+  } else {
+    FilterCodesImpl<false>(packed, nulls, n, op, pivot, pivot_exact, emit);
+  }
+}
+
+}  // namespace
+
+IntColumnVector::IntColumnVector(const std::vector<std::optional<int64_t>>& values)
+    : n_(values.size()), nulls_(MakeNullBitmap(values.size())) {
+  for (const auto& v : values) {
+    if (!v.has_value()) continue;
+    if (all_null_) {
+      min_ = max_ = *v;
+      all_null_ = false;
+    } else {
+      min_ = std::min(min_, *v);
+      max_ = std::max(max_, *v);
+    }
+  }
+  base_ = min_;
+  std::vector<uint64_t> deltas(n_, 0);
+  for (size_t i = 0; i < n_; ++i) {
+    if (values[i].has_value()) {
+      deltas[i] = static_cast<uint64_t>(values[i].value() - base_);
+    } else {
+      SetBit(&nulls_, i);
+    }
+  }
+  const uint8_t width =
+      all_null_ ? 0 : BitPackedArray::WidthFor(static_cast<uint64_t>(max_ - min_));
+  packed_ = BitPackedArray::Pack(deltas, width);
+}
+
+Value IntColumnVector::Get(size_t row) const {
+  if (IsNull(row)) return Value::Null();
+  return Value(GetInt(row));
+}
+
+size_t IntColumnVector::ApproxBytes() const {
+  return packed_.ApproxBytes() + nulls_.capacity() * 8 + sizeof(*this);
+}
+
+bool IntColumnVector::MightMatch(PredOp op, const Value& value) const {
+  if (all_null_ || value.type() != ValueType::kInt) return false;
+  const int64_t v = value.as_int();
+  switch (op) {
+    case PredOp::kEq: return v >= min_ && v <= max_;
+    case PredOp::kNe: return true;
+    case PredOp::kLt: return min_ < v;
+    case PredOp::kLe: return min_ <= v;
+    case PredOp::kGt: return max_ > v;
+    case PredOp::kGe: return max_ >= v;
+  }
+  return true;
+}
+
+void IntColumnVector::Filter(PredOp op, const Value& value,
+                             std::vector<uint32_t>* out) const {
+  if (all_null_ || value.type() != ValueType::kInt) return;
+  const int64_t v = value.as_int();
+  // Translate into code (delta) space, clamping out-of-frame pivots.
+  if (!MightMatch(op, value) && op != PredOp::kNe) return;
+  int64_t pivot_signed;
+  bool exact = true;
+  if (v < min_) {
+    // All codes are > pivot.
+    switch (op) {
+      case PredOp::kEq: return;
+      case PredOp::kLt: case PredOp::kLe: return;
+      case PredOp::kNe: case PredOp::kGt: case PredOp::kGe:
+        pivot_signed = 0;
+        // Every non-null row matches >= min, encode as c >= 0.
+        FilterCodes(packed_, nulls_, n_, PredOp::kGe, 0, true,
+                    [&](uint32_t i) { out->push_back(i); });
+        return;
+    }
+  }
+  if (v > max_) {
+    switch (op) {
+      case PredOp::kEq: return;
+      case PredOp::kGt: case PredOp::kGe: return;
+      case PredOp::kNe: case PredOp::kLt: case PredOp::kLe:
+        FilterCodes(packed_, nulls_, n_, PredOp::kGe, 0, true,
+                    [&](uint32_t i) { out->push_back(i); });
+        return;
+    }
+  }
+  pivot_signed = v - base_;
+  const uint64_t pivot = static_cast<uint64_t>(pivot_signed);
+  FilterCodes(packed_, nulls_, n_, op, pivot, exact,
+              [&](uint32_t i) { out->push_back(i); });
+}
+
+StringColumnVector::StringColumnVector(const std::vector<const std::string*>& values)
+    : n_(values.size()), nulls_(MakeNullBitmap(values.size())) {
+  dict_ = Dictionary::Build(values);
+  all_null_ = dict_.empty();
+  std::vector<uint64_t> codes(n_, 0);
+  for (size_t i = 0; i < n_; ++i) {
+    if (values[i] == nullptr) {
+      SetBit(&nulls_, i);
+    } else {
+      codes[i] = dict_.Lookup(*values[i]).value();
+    }
+  }
+  const uint8_t width =
+      dict_.size() <= 1 ? 0 : BitPackedArray::WidthFor(dict_.size() - 1);
+  codes_ = BitPackedArray::Pack(codes, width);
+}
+
+Value StringColumnVector::Get(size_t row) const {
+  if (IsNull(row)) return Value::Null();
+  return Value(dict_.Decode(static_cast<uint32_t>(codes_.Get(row))));
+}
+
+size_t StringColumnVector::ApproxBytes() const {
+  return codes_.ApproxBytes() + dict_.ApproxBytes() + nulls_.capacity() * 8 +
+         sizeof(*this);
+}
+
+bool StringColumnVector::MightMatch(PredOp op, const Value& value) const {
+  if (all_null_ || value.type() != ValueType::kString) return false;
+  const std::string& v = value.as_string();
+  switch (op) {
+    case PredOp::kEq: return v >= dict_.MinValue() && v <= dict_.MaxValue();
+    case PredOp::kNe: return true;
+    case PredOp::kLt: return dict_.MinValue() < v;
+    case PredOp::kLe: return dict_.MinValue() <= v;
+    case PredOp::kGt: return dict_.MaxValue() > v;
+    case PredOp::kGe: return dict_.MaxValue() >= v;
+  }
+  return true;
+}
+
+void StringColumnVector::Filter(PredOp op, const Value& value,
+                                std::vector<uint32_t>* out) const {
+  if (all_null_ || value.type() != ValueType::kString) return;
+  const std::string& v = value.as_string();
+  const std::optional<uint32_t> code = dict_.Lookup(v);
+  // Order-preserving codes: translate the string comparison into a code
+  // comparison against the lower bound.
+  const uint32_t lb = dict_.LowerBound(v);
+  switch (op) {
+    case PredOp::kEq:
+      if (!code.has_value()) return;
+      FilterCodes(codes_, nulls_, n_, PredOp::kEq, *code, true,
+                  [&](uint32_t i) { out->push_back(i); });
+      return;
+    case PredOp::kNe:
+      FilterCodes(codes_, nulls_, n_, PredOp::kNe, code.value_or(0),
+                  code.has_value(), [&](uint32_t i) { out->push_back(i); });
+      return;
+    case PredOp::kLt:
+      // value < v  ⇔  code < lb.
+      FilterCodes(codes_, nulls_, n_, PredOp::kLt, lb, true,
+                  [&](uint32_t i) { out->push_back(i); });
+      return;
+    case PredOp::kLe:
+      // value <= v ⇔ code < lb, or code == lb when dict[lb] == v.
+      FilterCodes(codes_, nulls_, n_,
+                  code.has_value() ? PredOp::kLe : PredOp::kLt, lb, true,
+                  [&](uint32_t i) { out->push_back(i); });
+      return;
+    case PredOp::kGt:
+      // value > v ⇔ code > lb when dict[lb]==v, else code >= lb.
+      FilterCodes(codes_, nulls_, n_,
+                  code.has_value() ? PredOp::kGt : PredOp::kGe, lb, true,
+                  [&](uint32_t i) { out->push_back(i); });
+      return;
+    case PredOp::kGe:
+      FilterCodes(codes_, nulls_, n_, PredOp::kGe, lb, true,
+                  [&](uint32_t i) { out->push_back(i); });
+      return;
+  }
+}
+
+std::unique_ptr<ColumnVector> BuildColumnVector(
+    ValueType type, size_t n, const std::function<const Value*(size_t)>& get) {
+  if (type == ValueType::kString) {
+    std::vector<const std::string*> vals(n, nullptr);
+    for (size_t i = 0; i < n; ++i) {
+      const Value* v = get(i);
+      if (v != nullptr && v->type() == ValueType::kString) vals[i] = &v->as_string();
+    }
+    return std::make_unique<StringColumnVector>(vals);
+  }
+  std::vector<std::optional<int64_t>> vals(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Value* v = get(i);
+    if (v != nullptr && v->type() == ValueType::kInt) vals[i] = v->as_int();
+  }
+  return std::make_unique<IntColumnVector>(vals);
+}
+
+}  // namespace stratus

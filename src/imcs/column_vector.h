@@ -1,0 +1,139 @@
+#ifndef STRATUS_IMCS_COLUMN_VECTOR_H_
+#define STRATUS_IMCS_COLUMN_VECTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "imcs/dictionary.h"
+#include "storage/value.h"
+
+namespace stratus {
+
+/// Comparison operators supported by scan predicates.
+enum class PredOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Fixed-width bit-packed array of non-negative integers — the compressed
+/// physical layout shared by numeric columns (frame-of-reference deltas) and
+/// string columns (dictionary codes).
+class BitPackedArray {
+ public:
+  BitPackedArray() = default;
+
+  /// Packs `values` (each < 2^width). width 0 encodes the constant 0.
+  static BitPackedArray Pack(const std::vector<uint64_t>& values, uint8_t width);
+
+  /// Smallest width able to represent `max_value`.
+  static uint8_t WidthFor(uint64_t max_value);
+
+  uint64_t Get(size_t i) const {
+    if (width_ == 0) return 0;
+    const size_t bit = i * width_;
+    const size_t word = bit >> 6;
+    const unsigned shift = bit & 63;
+    uint64_t v = words_[word] >> shift;
+    if (shift + width_ > 64) v |= words_[word + 1] << (64 - shift);
+    return v & mask_;
+  }
+
+  size_t size() const { return size_; }
+  uint8_t width() const { return width_; }
+  size_t ApproxBytes() const { return words_.capacity() * sizeof(uint64_t); }
+
+ private:
+  std::vector<uint64_t> words_;
+  size_t size_ = 0;
+  uint8_t width_ = 0;
+  uint64_t mask_ = 0;
+};
+
+/// An encoded, immutable column inside an IMCU. Provides point access for row
+/// materialization and vectorized predicate filtering; per-column min/max
+/// form the in-memory storage index used for IMCU pruning.
+class ColumnVector {
+ public:
+  virtual ~ColumnVector() = default;
+
+  virtual ValueType type() const = 0;
+  virtual size_t size() const = 0;
+  virtual bool IsNull(size_t row) const = 0;
+  virtual Value Get(size_t row) const = 0;
+  virtual size_t ApproxBytes() const = 0;
+
+  /// Appends to `*out` every row id whose value satisfies `op value`.
+  /// NULLs never match (SQL semantics). Rows listed in the caller's skip set
+  /// are still emitted — the scan engine filters invalid rows afterwards.
+  virtual void Filter(PredOp op, const Value& value,
+                      std::vector<uint32_t>* out) const = 0;
+
+  /// Storage-index check: can any row of this column satisfy `op value`?
+  /// (false ⇒ the valid portion of the IMCU can be pruned for this predicate.)
+  virtual bool MightMatch(PredOp op, const Value& value) const = 0;
+};
+
+/// Frame-of-reference + bit-packed integer column.
+class IntColumnVector final : public ColumnVector {
+ public:
+  /// `values[i]` nullopt encodes NULL.
+  explicit IntColumnVector(const std::vector<std::optional<int64_t>>& values);
+
+  ValueType type() const override { return ValueType::kInt; }
+  size_t size() const override { return n_; }
+  bool IsNull(size_t row) const override {
+    return (nulls_[row >> 6] >> (row & 63)) & 1;
+  }
+  Value Get(size_t row) const override;
+  int64_t GetInt(size_t row) const { return base_ + static_cast<int64_t>(packed_.Get(row)); }
+  size_t ApproxBytes() const override;
+
+  void Filter(PredOp op, const Value& value, std::vector<uint32_t>* out) const override;
+  bool MightMatch(PredOp op, const Value& value) const override;
+
+  int64_t min_value() const { return min_; }
+  int64_t max_value() const { return max_; }
+
+ private:
+  size_t n_ = 0;
+  int64_t base_ = 0;  ///< Frame of reference (== min_).
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+  bool all_null_ = true;
+  BitPackedArray packed_;
+  std::vector<uint64_t> nulls_;
+};
+
+/// Dictionary-encoded string column.
+class StringColumnVector final : public ColumnVector {
+ public:
+  explicit StringColumnVector(const std::vector<const std::string*>& values);
+
+  ValueType type() const override { return ValueType::kString; }
+  size_t size() const override { return n_; }
+  bool IsNull(size_t row) const override {
+    return (nulls_[row >> 6] >> (row & 63)) & 1;
+  }
+  Value Get(size_t row) const override;
+  size_t ApproxBytes() const override;
+
+  void Filter(PredOp op, const Value& value, std::vector<uint32_t>* out) const override;
+  bool MightMatch(PredOp op, const Value& value) const override;
+
+  const Dictionary& dictionary() const { return dict_; }
+
+ private:
+  size_t n_ = 0;
+  bool all_null_ = true;
+  Dictionary dict_;
+  BitPackedArray codes_;
+  std::vector<uint64_t> nulls_;
+};
+
+/// Builds the encoded column for `type` from a generic value accessor.
+std::unique_ptr<ColumnVector> BuildColumnVector(
+    ValueType type, size_t n, const std::function<const Value*(size_t)>& get);
+
+}  // namespace stratus
+
+#endif  // STRATUS_IMCS_COLUMN_VECTOR_H_

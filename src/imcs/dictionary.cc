@@ -1,0 +1,37 @@
+#include "imcs/dictionary.h"
+
+#include <algorithm>
+
+namespace stratus {
+
+Dictionary Dictionary::Build(const std::vector<const std::string*>& values) {
+  Dictionary dict;
+  dict.entries_.reserve(values.size());
+  for (const std::string* s : values) {
+    if (s != nullptr) dict.entries_.push_back(*s);
+  }
+  std::sort(dict.entries_.begin(), dict.entries_.end());
+  dict.entries_.erase(std::unique(dict.entries_.begin(), dict.entries_.end()),
+                      dict.entries_.end());
+  dict.entries_.shrink_to_fit();
+  return dict;
+}
+
+std::optional<uint32_t> Dictionary::Lookup(const std::string& s) const {
+  auto it = std::lower_bound(entries_.begin(), entries_.end(), s);
+  if (it == entries_.end() || *it != s) return std::nullopt;
+  return static_cast<uint32_t>(it - entries_.begin());
+}
+
+uint32_t Dictionary::LowerBound(const std::string& s) const {
+  auto it = std::lower_bound(entries_.begin(), entries_.end(), s);
+  return static_cast<uint32_t>(it - entries_.begin());
+}
+
+size_t Dictionary::ApproxBytes() const {
+  size_t bytes = entries_.capacity() * sizeof(std::string);
+  for (const std::string& s : entries_) bytes += s.capacity();
+  return bytes;
+}
+
+}  // namespace stratus

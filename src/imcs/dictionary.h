@@ -1,0 +1,41 @@
+#ifndef STRATUS_IMCS_DICTIONARY_H_
+#define STRATUS_IMCS_DICTIONARY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace stratus {
+
+/// Order-preserving string dictionary used by string column vectors inside
+/// IMCUs. Codes are assigned in sorted order, so range predicates on strings
+/// translate to range predicates on codes.
+class Dictionary {
+ public:
+  /// Builds a dictionary over the distinct non-null strings in `values`.
+  static Dictionary Build(const std::vector<const std::string*>& values);
+
+  /// Code for `s`, or nullopt if `s` is not in the dictionary.
+  std::optional<uint32_t> Lookup(const std::string& s) const;
+
+  /// Smallest code whose string is >= `s` (for range predicates); equals
+  /// size() when every entry is < `s`.
+  uint32_t LowerBound(const std::string& s) const;
+
+  const std::string& Decode(uint32_t code) const { return entries_[code]; }
+  uint32_t size() const { return static_cast<uint32_t>(entries_.size()); }
+  bool empty() const { return entries_.empty(); }
+
+  const std::string& MinValue() const { return entries_.front(); }
+  const std::string& MaxValue() const { return entries_.back(); }
+
+  size_t ApproxBytes() const;
+
+ private:
+  std::vector<std::string> entries_;  // Sorted, unique.
+};
+
+}  // namespace stratus
+
+#endif  // STRATUS_IMCS_DICTIONARY_H_

@@ -1,0 +1,162 @@
+#include "imcs/expression.h"
+
+namespace stratus {
+
+Expression Expression::Column(uint32_t column) {
+  Expression e;
+  e.op_ = Op::kColumn;
+  e.column_ = column;
+  return e;
+}
+
+Expression Expression::Const(Value v) {
+  Expression e;
+  e.op_ = Op::kConst;
+  e.constant_ = std::move(v);
+  return e;
+}
+
+Expression Expression::Node(Op op, Expression l) {
+  Expression e;
+  e.op_ = op;
+  e.left_ = std::make_shared<const Expression>(std::move(l));
+  return e;
+}
+
+Expression Expression::Node(Op op, Expression l, Expression r) {
+  Expression e;
+  e.op_ = op;
+  e.left_ = std::make_shared<const Expression>(std::move(l));
+  e.right_ = std::make_shared<const Expression>(std::move(r));
+  return e;
+}
+
+Value Expression::Eval(const Row& row) const {
+  switch (op_) {
+    case Op::kColumn:
+      if (column_ >= row.size()) return Value::Null();
+      return row[column_];
+    case Op::kConst:
+      return constant_;
+    case Op::kLength: {
+      const Value v = left_->Eval(row);
+      if (v.type() != ValueType::kString) return Value::Null();
+      return Value(static_cast<int64_t>(v.as_string().size()));
+    }
+    case Op::kConcat: {
+      const Value l = left_->Eval(row);
+      const Value r = right_->Eval(row);
+      if (l.type() != ValueType::kString || r.type() != ValueType::kString)
+        return Value::Null();
+      return Value(l.as_string() + r.as_string());
+    }
+    default: {
+      const Value l = left_->Eval(row);
+      const Value r = right_->Eval(row);
+      if (l.type() != ValueType::kInt || r.type() != ValueType::kInt)
+        return Value::Null();
+      const int64_t a = l.as_int();
+      const int64_t b = r.as_int();
+      switch (op_) {
+        case Op::kAdd: return Value(a + b);
+        case Op::kSub: return Value(a - b);
+        case Op::kMul: return Value(a * b);
+        case Op::kDiv: return b == 0 ? Value::Null() : Value(a / b);
+        case Op::kMod: return b == 0 ? Value::Null() : Value(a % b);
+        default: return Value::Null();
+      }
+    }
+  }
+}
+
+ValueType Expression::ResultType(const Schema& schema) const {
+  switch (op_) {
+    case Op::kColumn:
+      if (column_ >= schema.num_columns()) return ValueType::kNull;
+      return schema.column(column_).type;
+    case Op::kConst:
+      return constant_.type();
+    case Op::kLength:
+      return ValueType::kInt;
+    case Op::kConcat:
+      return ValueType::kString;
+    default:
+      return ValueType::kInt;
+  }
+}
+
+std::string Expression::ToString(const Schema& schema) const {
+  switch (op_) {
+    case Op::kColumn:
+      return column_ < schema.num_columns() ? schema.column(column_).name
+                                            : "col?" + std::to_string(column_);
+    case Op::kConst:
+      return constant_.ToString();
+    case Op::kLength:
+      return "length(" + left_->ToString(schema) + ")";
+    case Op::kConcat:
+      return left_->ToString(schema) + " || " + right_->ToString(schema);
+    case Op::kAdd:
+      return "(" + left_->ToString(schema) + " + " + right_->ToString(schema) + ")";
+    case Op::kSub:
+      return "(" + left_->ToString(schema) + " - " + right_->ToString(schema) + ")";
+    case Op::kMul:
+      return "(" + left_->ToString(schema) + " * " + right_->ToString(schema) + ")";
+    case Op::kDiv:
+      return "(" + left_->ToString(schema) + " / " + right_->ToString(schema) + ")";
+    case Op::kMod:
+      return "(" + left_->ToString(schema) + " % " + right_->ToString(schema) + ")";
+  }
+  return "?";
+}
+
+Status Expression::Validate(const Schema& schema) const {
+  switch (op_) {
+    case Op::kColumn:
+      if (column_ >= schema.num_columns())
+        return Status::InvalidArgument("expression references column " +
+                                       std::to_string(column_) +
+                                       " beyond schema arity");
+      if (schema.IsDropped(column_))
+        return Status::InvalidArgument("expression references dropped column");
+      return Status::OK();
+    case Op::kConst:
+      return Status::OK();
+    case Op::kLength:
+      return left_->Validate(schema);
+    default: {
+      STRATUS_RETURN_IF_ERROR(left_->Validate(schema));
+      if (right_ != nullptr) STRATUS_RETURN_IF_ERROR(right_->Validate(schema));
+      return Status::OK();
+    }
+  }
+}
+
+StatusOr<uint32_t> ImExpressionRegistry::Register(ObjectId object,
+                                                  const Schema& schema,
+                                                  Expression expr) {
+  STRATUS_RETURN_IF_ERROR(expr.Validate(schema));
+  std::lock_guard<std::mutex> g(mu_);
+  auto& list = exprs_[object];
+  list.push_back(std::move(expr));
+  return static_cast<uint32_t>(schema.num_columns() + list.size() - 1);
+}
+
+std::vector<Expression> ImExpressionRegistry::For(ObjectId object) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = exprs_.find(object);
+  return it == exprs_.end() ? std::vector<Expression>{} : it->second;
+}
+
+void ImExpressionRegistry::Drop(ObjectId object) {
+  std::lock_guard<std::mutex> g(mu_);
+  exprs_.erase(object);
+}
+
+size_t ImExpressionRegistry::CountFor(ObjectId object) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = exprs_.find(object);
+  return it == exprs_.end() ? 0 : it->second.size();
+}
+
+}  // namespace stratus

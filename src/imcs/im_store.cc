@@ -1,0 +1,142 @@
+#include "imcs/im_store.h"
+
+#include <algorithm>
+#include <mutex>
+
+namespace stratus {
+
+Status ImStore::RegisterSmu(std::shared_ptr<Smu> smu,
+                            const std::shared_ptr<Smu>& replaces) {
+  std::unique_lock<std::shared_mutex> g(mu_);
+  for (Dba dba : smu->dbas()) dba_map_[dba].push_back(smu);
+  if (replaces == nullptr) {
+    objects_[smu->object_id()].push_back(std::move(smu));
+  }
+  // Repopulation: stays out of the scan list until AttachImcu swaps it in.
+  return Status::OK();
+}
+
+Status ImStore::AttachImcu(const std::shared_ptr<Smu>& smu,
+                           std::shared_ptr<const Imcu> imcu,
+                           const std::shared_ptr<Smu>& replaces) {
+  const size_t bytes = imcu->ApproxBytes();
+  smu->AttachImcu(std::move(imcu));  // Also flips state to kReady.
+  used_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+
+  if (replaces != nullptr) {
+    std::unique_lock<std::shared_mutex> g(mu_);
+    auto& list = objects_[smu->object_id()];
+    // Swap the scan-list entry: new SMU in, old out, atomically under the
+    // store lock so no scan observes both (or neither) as scannable.
+    bool swapped = false;
+    for (auto& entry : list) {
+      if (entry == replaces) {
+        entry = smu;
+        swapped = true;
+        break;
+      }
+    }
+    if (!swapped) list.push_back(smu);
+    UnmapSmuLocked(replaces);
+    replaces->set_state(SmuState::kDropped);
+    const auto old_imcu = replaces->imcu();
+    if (old_imcu != nullptr)
+      used_bytes_.fetch_sub(old_imcu->ApproxBytes(), std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+void ImStore::UnmapSmuLocked(const std::shared_ptr<Smu>& smu) {
+  for (Dba dba : smu->dbas()) {
+    auto it = dba_map_.find(dba);
+    if (it == dba_map_.end()) continue;
+    auto& vec = it->second;
+    vec.erase(std::remove(vec.begin(), vec.end(), smu), vec.end());
+    if (vec.empty()) dba_map_.erase(it);
+  }
+}
+
+std::vector<std::shared_ptr<Smu>> ImStore::FindSmus(Dba dba) const {
+  std::shared_lock<std::shared_mutex> g(mu_);
+  auto it = dba_map_.find(dba);
+  if (it == dba_map_.end()) return {};
+  return it->second;
+}
+
+std::vector<std::shared_ptr<Smu>> ImStore::SmusForObject(ObjectId object_id) const {
+  std::shared_lock<std::shared_mutex> g(mu_);
+  auto it = objects_.find(object_id);
+  if (it == objects_.end()) return {};
+  return it->second;
+}
+
+size_t ImStore::MarkRowInvalid(Dba dba, SlotId slot) {
+  size_t marked = 0;
+  for (const auto& smu : FindSmus(dba)) {
+    if (smu->MarkRowInvalid(dba, slot)) ++marked;
+  }
+  if (marked > 0) row_invalidations_.fetch_add(1, std::memory_order_relaxed);
+  return marked;
+}
+
+void ImStore::AbandonSmu(const std::shared_ptr<Smu>& smu) {
+  std::unique_lock<std::shared_mutex> g(mu_);
+  UnmapSmuLocked(smu);
+  auto it = objects_.find(smu->object_id());
+  if (it != objects_.end()) {
+    auto& vec = it->second;
+    vec.erase(std::remove(vec.begin(), vec.end(), smu), vec.end());
+  }
+  smu->set_state(SmuState::kDropped);
+}
+
+void ImStore::DropObject(ObjectId object_id) {
+  std::unique_lock<std::shared_mutex> g(mu_);
+  auto it = objects_.find(object_id);
+  if (it == objects_.end()) return;
+  for (const auto& smu : it->second) {
+    UnmapSmuLocked(smu);
+    smu->set_state(SmuState::kDropped);
+    const auto imcu = smu->imcu();
+    if (imcu != nullptr)
+      used_bytes_.fetch_sub(imcu->ApproxBytes(), std::memory_order_relaxed);
+  }
+  objects_.erase(it);
+}
+
+void ImStore::CoarseInvalidateTenant(TenantId tenant) {
+  std::shared_lock<std::shared_mutex> g(mu_);
+  for (auto& [oid, list] : objects_) {
+    for (const auto& smu : list) {
+      if (smu->tenant() == tenant) smu->MarkAllInvalid();
+    }
+  }
+  coarse_invalidations_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ImStore::Clear() {
+  std::unique_lock<std::shared_mutex> g(mu_);
+  for (auto& [oid, list] : objects_) {
+    for (const auto& smu : list) smu->set_state(SmuState::kDropped);
+  }
+  objects_.clear();
+  dba_map_.clear();
+  used_bytes_.store(0, std::memory_order_relaxed);
+}
+
+ImStoreStats ImStore::Stats() const {
+  std::shared_lock<std::shared_mutex> g(mu_);
+  ImStoreStats stats;
+  for (const auto& [oid, list] : objects_) {
+    for (const auto& smu : list) {
+      ++stats.smus_total;
+      if (smu->state() == SmuState::kReady) ++stats.smus_ready;
+    }
+  }
+  stats.used_bytes = used_bytes_.load(std::memory_order_relaxed);
+  stats.row_invalidations = row_invalidations_.load(std::memory_order_relaxed);
+  stats.coarse_invalidations = coarse_invalidations_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace stratus

@@ -1,0 +1,105 @@
+#ifndef STRATUS_IMCS_IM_STORE_H_
+#define STRATUS_IMCS_IM_STORE_H_
+
+#include <atomic>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "imcs/smu.h"
+
+namespace stratus {
+
+/// Aggregate statistics of one In-Memory Column Store.
+struct ImStoreStats {
+  size_t smus_total = 0;
+  size_t smus_ready = 0;
+  size_t used_bytes = 0;
+  uint64_t row_invalidations = 0;
+  uint64_t coarse_invalidations = 0;
+};
+
+/// One instance's In-Memory Column Store area (the "in-memory pool"): the
+/// registry of SMU/IMCU pairs, the DBA→SMU lookup used by invalidation flush,
+/// and memory accounting against a configured capacity.
+///
+/// During repopulation two SMUs may be registered for the same DBA (the old
+/// one keeps serving scans, the new one accumulates invalidations from its
+/// snapshot onward); lookups return all of them and flush marks all of them.
+class ImStore {
+ public:
+  ImStore(InstanceId instance, size_t capacity_bytes)
+      : instance_(instance), capacity_bytes_(capacity_bytes) {}
+
+  ImStore(const ImStore&) = delete;
+  ImStore& operator=(const ImStore&) = delete;
+
+  InstanceId instance() const { return instance_; }
+
+  /// Registers a freshly created (populating) SMU. If `replaces` is non-null
+  /// this is a repopulation: the new SMU joins the DBA map alongside the old
+  /// one but does not enter the scan list until its IMCU attaches.
+  Status RegisterSmu(std::shared_ptr<Smu> smu, const std::shared_ptr<Smu>& replaces);
+
+  /// Attaches the built IMCU, accounts its memory, makes the SMU scannable,
+  /// and (for repopulation) retires `replaces`.
+  Status AttachImcu(const std::shared_ptr<Smu>& smu,
+                    std::shared_ptr<const Imcu> imcu,
+                    const std::shared_ptr<Smu>& replaces);
+
+  /// All SMUs currently registered for `dba` (0, 1 or 2 entries).
+  std::vector<std::shared_ptr<Smu>> FindSmus(Dba dba) const;
+
+  /// Scannable SMU list for an object (kReady and kPopulating; scans skip the
+  /// latter's blocks to the row path).
+  std::vector<std::shared_ptr<Smu>> SmusForObject(ObjectId object_id) const;
+
+  /// Marks one row invalid in every SMU covering `dba`. Returns the number of
+  /// SMUs that recorded it.
+  size_t MarkRowInvalid(Dba dba, SlotId slot);
+
+  /// Abandons a registered SMU whose population failed (e.g. the pool is
+  /// full): unmaps it and drops it from the scan list.
+  void AbandonSmu(const std::shared_ptr<Smu>& smu);
+
+  /// Drops every SMU/IMCU of an object (DDL, Section III.G).
+  void DropObject(ObjectId object_id);
+
+  /// Coarse invalidation (Section III.E): marks every IMCU of `tenant`
+  /// entirely invalid. Queries stop using them until repopulated.
+  void CoarseInvalidateTenant(TenantId tenant);
+
+  /// Drops everything (standby restart loses the non-persistent IMCS).
+  void Clear();
+
+  /// True if `bytes` more would exceed capacity.
+  bool WouldExceedCapacity(size_t bytes) const {
+    return used_bytes_.load(std::memory_order_relaxed) + bytes > capacity_bytes_;
+  }
+
+  size_t used_bytes() const { return used_bytes_.load(std::memory_order_relaxed); }
+  size_t capacity_bytes() const { return capacity_bytes_; }
+
+  ImStoreStats Stats() const;
+
+ private:
+  void UnmapSmuLocked(const std::shared_ptr<Smu>& smu);
+
+  InstanceId instance_;
+  size_t capacity_bytes_;
+  std::atomic<size_t> used_bytes_{0};
+
+  mutable std::shared_mutex mu_;
+  std::unordered_map<ObjectId, std::vector<std::shared_ptr<Smu>>> objects_;
+  std::unordered_map<Dba, std::vector<std::shared_ptr<Smu>>> dba_map_;
+
+  std::atomic<uint64_t> row_invalidations_{0};
+  std::atomic<uint64_t> coarse_invalidations_{0};
+};
+
+}  // namespace stratus
+
+#endif  // STRATUS_IMCS_IM_STORE_H_

@@ -1,0 +1,42 @@
+#include "imcs/imcu.h"
+
+namespace stratus {
+
+Imcu::Imcu(ObjectId object_id, TenantId tenant, Scn snapshot_scn,
+           std::vector<Dba> dbas, Schema schema)
+    : object_id_(object_id),
+      tenant_(tenant),
+      snapshot_scn_(snapshot_scn),
+      dbas_(std::move(dbas)),
+      schema_(std::move(schema)),
+      num_rows_(dbas_.size() * kRowsPerBlock),
+      present_((num_rows_ + 63) / 64, 0) {
+  dba_index_.reserve(dbas_.size());
+  for (uint32_t i = 0; i < dbas_.size(); ++i) dba_index_[dbas_[i]] = i;
+}
+
+void Imcu::SetPresent(uint32_t row) {
+  present_[row >> 6] |= 1ull << (row & 63);
+  ++present_count_;
+}
+
+void Imcu::SetColumns(std::vector<std::unique_ptr<ColumnVector>> columns) {
+  columns_ = std::move(columns);
+}
+
+Row Imcu::Materialize(uint32_t row) const {
+  Row out;
+  out.reserve(columns_.size());
+  for (const auto& col : columns_) out.push_back(col->Get(row));
+  return out;
+}
+
+size_t Imcu::ApproxBytes() const {
+  size_t bytes = sizeof(*this) + present_.capacity() * 8 +
+                 dbas_.capacity() * sizeof(Dba) +
+                 dba_index_.size() * (sizeof(Dba) + sizeof(uint32_t) + 16);
+  for (const auto& col : columns_) bytes += col->ApproxBytes();
+  return bytes;
+}
+
+}  // namespace stratus

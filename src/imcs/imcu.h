@@ -1,0 +1,80 @@
+#ifndef STRATUS_IMCS_IMCU_H_
+#define STRATUS_IMCS_IMCU_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "imcs/column_vector.h"
+#include "storage/block.h"
+#include "storage/schema.h"
+
+namespace stratus {
+
+/// Sentinel for "this (dba, slot) is not covered by the IMCU".
+inline constexpr uint32_t kNoImcuRow = 0xFFFFFFFFu;
+
+/// An In-Memory Columnar Unit (Section II.B): an immutable, compressed,
+/// columnar snapshot of a contiguous run of a table's data blocks, consistent
+/// as of `snapshot_scn`. Geometry is fixed: row index = block position ×
+/// kRowsPerBlock + slot, with a present-bitmap marking slots that held a
+/// visible row at the snapshot. Synchronization with later changes lives in
+/// the accompanying SMU, never here.
+class Imcu {
+ public:
+  Imcu(ObjectId object_id, TenantId tenant, Scn snapshot_scn,
+       std::vector<Dba> dbas, Schema schema);
+
+  ObjectId object_id() const { return object_id_; }
+  TenantId tenant() const { return tenant_; }
+  Scn snapshot_scn() const { return snapshot_scn_; }
+  const std::vector<Dba>& dbas() const { return dbas_; }
+  const Schema& schema() const { return schema_; }
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Local row index for (dba, slot), or kNoImcuRow if dba is not covered.
+  uint32_t RowIndexFor(Dba dba, SlotId slot) const {
+    auto it = dba_index_.find(dba);
+    if (it == dba_index_.end()) return kNoImcuRow;
+    return it->second * kRowsPerBlock + slot;
+  }
+
+  /// True if `row` held a visible row at the snapshot.
+  bool Present(uint32_t row) const {
+    return (present_[row >> 6] >> (row & 63)) & 1;
+  }
+
+  const ColumnVector& column(size_t i) const { return *columns_[i]; }
+
+  /// Decodes the full row at local index `row`.
+  Row Materialize(uint32_t row) const;
+
+  /// Number of present rows.
+  size_t PresentCount() const { return present_count_; }
+
+  size_t ApproxBytes() const;
+
+  /// Construction hooks used by the population builder.
+  void SetPresent(uint32_t row);
+  void SetColumns(std::vector<std::unique_ptr<ColumnVector>> columns);
+
+ private:
+  ObjectId object_id_;
+  TenantId tenant_;
+  Scn snapshot_scn_;
+  std::vector<Dba> dbas_;
+  Schema schema_;
+  size_t num_rows_;
+
+  std::unordered_map<Dba, uint32_t> dba_index_;
+  std::vector<uint64_t> present_;
+  size_t present_count_ = 0;
+  std::vector<std::unique_ptr<ColumnVector>> columns_;
+};
+
+}  // namespace stratus
+
+#endif  // STRATUS_IMCS_IMCU_H_

@@ -1,0 +1,258 @@
+#include "imcs/population.h"
+
+#include <chrono>
+
+namespace stratus {
+
+Populator::Populator(ImStore* store, SnapshotSource* snapshot_source,
+                     BlockStore* blocks, const PopulationOptions& options)
+    : store_(store), snapshot_source_(snapshot_source), blocks_(blocks),
+      options_(options) {}
+
+Populator::~Populator() {
+  if (thread_.joinable()) Stop();
+}
+
+void Populator::EnableObject(Table* table) {
+  std::lock_guard<std::mutex> g(mu_);
+  objects_.try_emplace(table->object_id(), ObjectState{table, 0, nullptr, 0});
+}
+
+void Populator::DisableObject(ObjectId object_id) {
+  std::lock_guard<std::mutex> g(mu_);
+  objects_.erase(object_id);
+  store_->DropObject(object_id);
+}
+
+void Populator::Start() {
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { ManagerLoop(); });
+}
+
+void Populator::Stop() {
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+}
+
+void Populator::ManagerLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    RunOnePass();
+    std::this_thread::sleep_for(std::chrono::microseconds(options_.manager_interval_us));
+  }
+}
+
+void Populator::RunOnePass() {
+  std::lock_guard<std::mutex> g(mu_);
+  for (auto& [oid, state] : objects_) PassOverObject(&state);
+}
+
+Status Populator::PopulateNow(ObjectId object_id) {
+  for (int attempt = 0; attempt < 2000; ++attempt) {
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      auto it = objects_.find(object_id);
+      if (it == objects_.end())
+        return Status::NotFound("object not enabled for population");
+      if (!PassOverObject(&it->second)) {
+        const size_t total = it->second.table->SnapshotBlocks().size();
+        if (it->second.full_covered + it->second.tail_blocks >= total)
+          return Status::OK();
+        // Coverage incomplete: the consistency point is not available yet or
+        // another instance owns the tail chunk. Retry below.
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+  }
+  return Status::Unavailable("population could not complete (no consistency point?)");
+}
+
+InstanceId Populator::HomeOf(ObjectId object_id, uint64_t chunk_ordinal) const {
+  if (!options_.home_fn) return store_->instance();
+  return options_.home_fn(object_id, chunk_ordinal);
+}
+
+bool Populator::PassOverObject(ObjectState* state) {
+  bool worked = false;
+  Table* table = state->table;
+  const ObjectId oid = table->object_id();
+  const std::vector<Dba> blocks = table->SnapshotBlocks();
+  const size_t bpi = static_cast<size_t>(options_.blocks_per_imcu);
+
+  // A tail that has grown to a full chunk is simply promoted.
+  if (state->tail_smu != nullptr && state->tail_blocks == bpi) {
+    state->full_covered += bpi;
+    state->tail_smu.reset();
+    state->tail_blocks = 0;
+  }
+
+  // Cover complete chunks.
+  while (blocks.size() - state->full_covered >= bpi) {
+    const uint64_t ordinal = state->full_covered / bpi;
+    if (HomeOf(oid, ordinal) != store_->instance()) {
+      // Chunk homed on another instance; it populates, we just account.
+      state->full_covered += bpi;
+      state->tail_smu.reset();
+      state->tail_blocks = 0;
+      continue;
+    }
+    std::vector<Dba> dbas(blocks.begin() + state->full_covered,
+                          blocks.begin() + state->full_covered + bpi);
+    // Any partial tail is a prefix of this chunk and is replaced by it.
+    if (!BuildChunk(state, dbas, state->tail_smu, /*is_tail=*/false,
+                    /*is_repop=*/state->tail_smu != nullptr)) {
+      return worked;
+    }
+    state->full_covered += bpi;
+    state->tail_smu.reset();
+    state->tail_blocks = 0;
+    worked = true;
+  }
+
+  // Cover (or extend) the partial tail — the "edge IMCU" of Section IV.A.2.
+  const size_t rem = blocks.size() - state->full_covered;
+  if (rem > 0 && rem != state->tail_blocks) {
+    const uint64_t ordinal = state->full_covered / bpi;
+    if (HomeOf(oid, ordinal) == store_->instance()) {
+      std::vector<Dba> dbas(blocks.begin() + state->full_covered, blocks.end());
+      if (BuildChunk(state, dbas, state->tail_smu, /*is_tail=*/true,
+                     /*is_repop=*/state->tail_smu != nullptr)) {
+        worked = true;
+      }
+    }
+  }
+
+  // Repopulation of heavily invalidated IMCUs (Section II.B heuristics):
+  // either the invalid fraction crossed the threshold, or the SMU is stale
+  // (old enough with any invalidity at all — drains residual staleness).
+  for (const auto& smu : store_->SmusForObject(oid)) {
+    if (smu->state() != SmuState::kReady) continue;
+    const bool over_threshold =
+        smu->InvalidFraction() >= options_.repop_invalid_threshold ||
+        smu->AllInvalid();
+    const bool stale =
+        options_.repop_staleness_us > 0 && smu->invalid_count() > 0 &&
+        NowMicros() - smu->created_us() >
+            static_cast<uint64_t>(options_.repop_staleness_us);
+    if (!over_threshold && !stale) continue;
+    if (!smu->TrySetRepopScheduled()) continue;
+    const bool is_tail = smu == state->tail_smu;
+    std::vector<Dba> dbas = smu->dbas();
+    if (BuildChunk(state, dbas, smu, is_tail, /*is_repop=*/true)) {
+      std::lock_guard<std::mutex> g(stats_mu_);
+      ++stats_.repopulations;
+      worked = true;
+    } else {
+      smu->ClearRepopScheduled();
+    }
+  }
+  return worked;
+}
+
+bool Populator::BuildChunk(ObjectState* state, const std::vector<Dba>& dbas,
+                           const std::shared_ptr<Smu>& replaces, bool is_tail,
+                           bool is_repop) {
+  Table* table = state->table;
+  std::shared_ptr<Smu> smu;
+
+  // Snapshot capture + SMU registration are one protected step: once the SMU
+  // is in the DBA map, every invalidation flush for commits beyond the
+  // snapshot reaches it; changes at or before the snapshot are in the data.
+  const Scn snapshot = snapshot_source_->CaptureSnapshot([&](Scn scn) {
+    smu = std::make_shared<Smu>(table->object_id(), table->tenant(), scn, dbas);
+    store_->RegisterSmu(smu, replaces);
+  });
+  if (snapshot == kInvalidScn) {
+    std::lock_guard<std::mutex> g(stats_mu_);
+    ++stats_.snapshot_retries;
+    return false;
+  }
+
+  // Build the columnar data, reading rows as of the snapshot. Population is
+  // completely online: no lock on the blocks beyond per-read latches.
+  ReadView view;
+  view.snapshot_scn = snapshot;
+  view.resolver = snapshot_source_->resolver();
+
+  const size_t n_rows = dbas.size() * kRowsPerBlock;
+  std::vector<Row> rows(n_rows);
+  std::vector<bool> present(n_rows, false);
+  size_t present_rows = 0;
+  for (size_t b = 0; b < dbas.size(); ++b) {
+    Block* block = blocks_->GetBlock(dbas[b]);
+    if (block == nullptr) continue;
+    const SlotId used = block->used_slots();
+    for (SlotId slot = 0; slot < used; ++slot) {
+      const size_t idx = b * kRowsPerBlock + slot;
+      if (block->ReadRow(slot, view, &rows[idx]).ok()) {
+        present[idx] = true;
+        ++present_rows;
+      }
+    }
+  }
+
+  const std::shared_ptr<const Schema> schema_ptr = table->schema();
+  const Schema& schema = *schema_ptr;
+  auto imcu = std::make_shared<Imcu>(table->object_id(), table->tenant(),
+                                     snapshot, dbas, schema);
+  std::vector<std::unique_ptr<ColumnVector>> cols;
+  cols.reserve(schema.num_columns());
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    const bool dropped = schema.IsDropped(c);
+    cols.push_back(BuildColumnVector(
+        dropped ? ValueType::kInt : schema.column(c).type, n_rows,
+        [&](size_t i) -> const Value* {
+          if (dropped || !present[i] || c >= rows[i].size()) return nullptr;
+          return &rows[i][c];
+        }));
+  }
+  // In-Memory Expressions: evaluate once per present row at population and
+  // store the results as additional encoded virtual columns (Section V, [1]).
+  if (options_.expressions != nullptr) {
+    const std::vector<Expression> exprs =
+        options_.expressions->For(table->object_id());
+    std::vector<Value> computed(n_rows);
+    for (const Expression& expr : exprs) {
+      ValueType type = expr.ResultType(schema);
+      if (type == ValueType::kNull) type = ValueType::kInt;
+      for (size_t i = 0; i < n_rows; ++i) {
+        computed[i] = present[i] ? expr.Eval(rows[i]) : Value::Null();
+      }
+      cols.push_back(BuildColumnVector(type, n_rows, [&](size_t i) -> const Value* {
+        return computed[i].is_null() ? nullptr : &computed[i];
+      }));
+    }
+  }
+  for (size_t i = 0; i < n_rows; ++i) {
+    if (present[i]) imcu->SetPresent(static_cast<uint32_t>(i));
+  }
+  imcu->SetColumns(std::move(cols));
+
+  if (store_->WouldExceedCapacity(imcu->ApproxBytes())) {
+    store_->AbandonSmu(smu);
+    std::lock_guard<std::mutex> g(stats_mu_);
+    ++stats_.capacity_rejections;
+    return false;
+  }
+  store_->AttachImcu(smu, std::move(imcu), replaces);
+
+  if (is_tail) {
+    state->tail_smu = smu;
+    state->tail_blocks = dbas.size();
+  } else if (replaces != nullptr && replaces == state->tail_smu) {
+    state->tail_smu.reset();
+    state->tail_blocks = 0;
+  }
+
+  std::lock_guard<std::mutex> g(stats_mu_);
+  ++stats_.imcus_populated;
+  if (is_tail && !is_repop) ++stats_.tail_extensions;
+  stats_.rows_populated += present_rows;
+  return true;
+}
+
+PopulationStats Populator::stats() const {
+  std::lock_guard<std::mutex> g(stats_mu_);
+  return stats_;
+}
+
+}  // namespace stratus

@@ -1,0 +1,201 @@
+#ifndef STRATUS_IMCS_POPULATION_H_
+#define STRATUS_IMCS_POPULATION_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "adg/recovery_coordinator.h"
+#include "imcs/expression.h"
+#include "imcs/im_store.h"
+#include "storage/block_store.h"
+#include "storage/table.h"
+#include "txn/txn_manager.h"
+
+namespace stratus {
+
+/// Role-specific capture of a population snapshot SCN. The returned SCN is a
+/// consistency point; `register_fn` (which registers the new SMU) runs while
+/// the capture is protected against a concurrent invalidation pass, so the
+/// SMU either receives all post-snapshot invalidations or the snapshot
+/// already includes the changes — never neither.
+class SnapshotSource {
+ public:
+  virtual ~SnapshotSource() = default;
+  /// Returns kInvalidScn (and does not call `register_fn`) when no
+  /// consistency point is available yet.
+  virtual Scn CaptureSnapshot(const std::function<void(Scn)>& register_fn) = 0;
+  virtual const VisibilityResolver* resolver() const = 0;
+};
+
+/// Standby capture (Section III.A): the snapshot SCN is always the published
+/// QuerySCN, captured under the shared side of the Quiesce lock — never
+/// during a Quiesce Period.
+class StandbySnapshotSource : public SnapshotSource {
+ public:
+  StandbySnapshotSource(RecoveryCoordinator* coordinator, const TxnTable* txn_table)
+      : coordinator_(coordinator), txn_table_(txn_table) {}
+
+  Scn CaptureSnapshot(const std::function<void(Scn)>& register_fn) override {
+    SnapshotCaptureGuard guard(*coordinator_->quiesce());
+    const Scn scn = coordinator_->query_scn();
+    if (scn == kInvalidScn) return kInvalidScn;
+    register_fn(scn);
+    return scn;
+  }
+
+  const VisibilityResolver* resolver() const override { return txn_table_; }
+
+ private:
+  RecoveryCoordinator* coordinator_;
+  const TxnTable* txn_table_;
+};
+
+/// Synchronizes the primary's IMCS maintenance: transaction commits mark
+/// modified rows invalid under the shared side; population snapshot capture
+/// takes the exclusive side, so a commit is either included in the captured
+/// snapshot or lands in the already-registered SMU's bitmap.
+class PrimaryImSync {
+ public:
+  void LockExclusive() { mu_.lock(); }
+  void UnlockExclusive() { mu_.unlock(); }
+  void LockShared() { mu_.lock_shared(); }
+  void UnlockShared() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// Primary capture: the snapshot SCN is the transaction manager's visible
+/// SCN, captured exclusively against commit-time invalidation.
+class PrimarySnapshotSource : public SnapshotSource {
+ public:
+  PrimarySnapshotSource(const TxnManager* txn_mgr, PrimaryImSync* sync)
+      : txn_mgr_(txn_mgr), sync_(sync) {}
+
+  Scn CaptureSnapshot(const std::function<void(Scn)>& register_fn) override {
+    sync_->LockExclusive();
+    const Scn scn = txn_mgr_->visible_scn();
+    if (scn != kInvalidScn) register_fn(scn);
+    sync_->UnlockExclusive();
+    return scn == kInvalidScn ? kInvalidScn : scn;
+  }
+
+  const VisibilityResolver* resolver() const override {
+    return txn_mgr_->txn_table();
+  }
+
+ private:
+  const TxnManager* txn_mgr_;
+  PrimaryImSync* sync_;
+};
+
+/// Population tuning knobs.
+struct PopulationOptions {
+  /// Blocks per IMCU (the segment loader's chunk size).
+  int blocks_per_imcu = 16;
+  /// Repopulate an IMCU once this fraction of its rows is invalid.
+  double repop_invalid_threshold = 0.20;
+  /// Additionally repopulate any SMU older than this that has accumulated
+  /// *any* invalidity — drains residual staleness once churn subsides
+  /// (0 disables). Part of the paper's repopulation-frequency heuristics.
+  int64_t repop_staleness_us = 2'000'000;
+  /// Background manager pass interval.
+  int64_t manager_interval_us = 5000;
+  /// RAC home-location function: which instance populates (hosts) the chunk.
+  /// Defaults to "every chunk is mine" (single-instance IMCS).
+  std::function<InstanceId(ObjectId, uint64_t chunk_ordinal)> home_fn;
+  /// In-Memory Expressions (Section V): when set, population appends one
+  /// encoded virtual column per registered expression after the schema
+  /// columns of every IMCU it builds.
+  const ImExpressionRegistry* expressions = nullptr;
+};
+
+/// Population statistics.
+struct PopulationStats {
+  uint64_t imcus_populated = 0;
+  uint64_t repopulations = 0;
+  uint64_t tail_extensions = 0;
+  uint64_t rows_populated = 0;
+  uint64_t snapshot_retries = 0;
+  uint64_t capacity_rejections = 0;
+};
+
+/// The population infrastructure (Section III.A): a segment loader chunks
+/// enabled objects into DBA ranges and builds IMCUs for them in the
+/// background, entirely online — queries and redo apply never stop. The same
+/// component performs repopulation (Section II.B) when SMUs accumulate
+/// invalidations, and extends coverage over freshly inserted blocks (the
+/// "edge IMCU" churn visible in the paper's Figure 10 experiment).
+class Populator {
+ public:
+  Populator(ImStore* store, SnapshotSource* snapshot_source, BlockStore* blocks,
+            const PopulationOptions& options);
+  ~Populator();
+
+  Populator(const Populator&) = delete;
+  Populator& operator=(const Populator&) = delete;
+
+  /// Marks `table` for population into this store. Idempotent.
+  void EnableObject(Table* table);
+
+  /// Stops populating the object and drops its IMCUs.
+  void DisableObject(ObjectId object_id);
+
+  /// Starts / stops the background manager thread.
+  void Start();
+  void Stop();
+
+  /// Runs one manager pass synchronously (deterministic tests).
+  void RunOnePass();
+
+  /// Populates everything currently uncovered for `object_id`, synchronously.
+  /// Requires a consistency point to exist (standby: QuerySCN published).
+  Status PopulateNow(ObjectId object_id);
+
+  PopulationStats stats() const;
+
+ private:
+  struct ObjectState {
+    Table* table = nullptr;
+    /// Blocks covered by full-size chunks (populated by any instance).
+    size_t full_covered = 0;
+    /// This instance's partial tail SMU, if any.
+    std::shared_ptr<Smu> tail_smu;
+    size_t tail_blocks = 0;
+  };
+
+  void ManagerLoop();
+  /// One pass over `state`; returns true if it performed any work.
+  bool PassOverObject(ObjectState* state);
+  /// Builds one chunk; returns false on snapshot/capacity failure.
+  bool BuildChunk(ObjectState* state, const std::vector<Dba>& dbas,
+                  const std::shared_ptr<Smu>& replaces, bool is_tail,
+                  bool is_repop);
+  InstanceId HomeOf(ObjectId object_id, uint64_t chunk_ordinal) const;
+
+  ImStore* store_;
+  SnapshotSource* snapshot_source_;
+  BlockStore* blocks_;
+  PopulationOptions options_;
+
+  mutable std::mutex mu_;  ///< Guards objects_ map shape (manager is single).
+  std::unordered_map<ObjectId, ObjectState> objects_;
+
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+
+  mutable std::mutex stats_mu_;
+  PopulationStats stats_;
+};
+
+}  // namespace stratus
+
+#endif  // STRATUS_IMCS_POPULATION_H_

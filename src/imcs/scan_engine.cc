@@ -1,0 +1,235 @@
+#include "imcs/scan_engine.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace stratus {
+
+namespace {
+
+bool CompareValues(const Value& a, PredOp op, const Value& b) {
+  switch (op) {
+    case PredOp::kEq: return a == b;
+    case PredOp::kNe: return !(a == b);
+    case PredOp::kLt: return a < b;
+    case PredOp::kLe: return a < b || a == b;
+    case PredOp::kGt: return b < a;
+    case PredOp::kGe: return b < a || a == b;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool EvalPredicate(const Row& row, const Predicate& pred) {
+  if (pred.column >= row.size()) return false;
+  const Value& v = row[pred.column];
+  if (v.is_null() || pred.value.is_null()) return false;  // SQL 3VL: unknown.
+  if (v.type() != pred.value.type()) return false;
+  return CompareValues(v, pred.op, pred.value);
+}
+
+bool EvalPredicates(const Row& row, const std::vector<Predicate>& preds) {
+  for (const Predicate& p : preds) {
+    if (!EvalPredicate(row, p)) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Appends the evaluated In-Memory Expression values as virtual columns so
+/// row-path rows share the IMCU layout (schema columns + expression columns).
+void ExtendWithExpressions(const std::vector<Expression>* expressions, Row* row) {
+  if (expressions == nullptr || expressions->empty()) return;
+  const Row& base = *row;
+  row->reserve(row->size() + expressions->size());
+  for (const Expression& e : *expressions) row->push_back(e.Eval(base));
+}
+
+}  // namespace
+
+void ScanEngine::ScanBlockRowPath(Dba dba, const std::vector<Predicate>& preds,
+                                  const ReadView& view, const BufferCache& cache,
+                                  const RowSink& sink, ScanStats* stats,
+                                  const std::vector<Expression>* expressions) const {
+  Block* block = cache.Get(dba);
+  if (block == nullptr) return;
+  ++stats->blocks_rowpath;
+  const SlotId used = block->used_slots();
+  Row row;
+  for (SlotId slot = 0; slot < used; ++slot) {
+    if (!block->ReadRow(slot, view, &row).ok()) continue;
+    ExtendWithExpressions(expressions, &row);
+    if (EvalPredicates(row, preds)) {
+      ++stats->rows_from_rowstore;
+      sink(row);
+    }
+  }
+}
+
+Status ScanEngine::Scan(const Table& table, const std::vector<Predicate>& preds,
+                        const ReadView& view,
+                        const std::vector<const ImStore*>& stores,
+                        const BufferCache& cache, const RowSink& sink,
+                        ScanStats* stats, bool needs_rows,
+                        const std::vector<Expression>* expressions,
+                        const ImcsMatchHook* imcs_hook) const {
+  ScanStats local;
+  if (stats == nullptr) stats = &local;
+  const std::vector<Dba> blocks = table.SnapshotBlocks();
+
+  // Gather the usable SMUs covering this table across the given stores.
+  // "Usable" = ready, with a snapshot no newer than the read view (an IMCU
+  // populated beyond the query snapshot would contain future changes).
+  std::vector<std::shared_ptr<Smu>> usable;
+  std::unordered_set<Dba> covered;
+  for (const ImStore* store : stores) {
+    if (store == nullptr) continue;
+    for (const auto& smu : store->SmusForObject(table.object_id())) {
+      if (smu->state() != SmuState::kReady) {
+        ++stats->imcus_skipped;
+        continue;
+      }
+      if (smu->AllInvalid()) {
+        ++stats->imcus_skipped;
+        continue;  // Coarse-invalidated: whole range goes to the row path.
+      }
+      auto imcu = smu->imcu();
+      if (imcu == nullptr || imcu->snapshot_scn() > view.snapshot_scn) {
+        ++stats->imcus_skipped;
+        continue;
+      }
+      // An IMCU built before an expression was registered lacks the virtual
+      // column a predicate may reference: serve its range from the row path
+      // until repopulation rebuilds it with the expression column.
+      bool missing_column = false;
+      for (const Predicate& p : preds) {
+        if (p.column >= imcu->num_columns()) {
+          missing_column = true;
+          break;
+        }
+      }
+      if (missing_column) {
+        ++stats->imcus_skipped;
+        continue;
+      }
+      bool duplicate = false;
+      for (Dba dba : smu->dbas()) {
+        if (covered.contains(dba)) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (duplicate) continue;  // Defensive: ranges should be disjoint.
+      for (Dba dba : smu->dbas()) covered.insert(dba);
+      usable.push_back(smu);
+    }
+  }
+
+  // Columnar portion.
+  std::vector<uint64_t> invalid;  // Per-SMU invalidity snapshot (see below).
+  for (const auto& smu : usable) {
+    const auto imcu = smu->imcu();
+    ++stats->imcus_scanned;
+
+    // One consistent snapshot of the SMU's invalidity partitions the rows
+    // between the columnar pass and the row-store reconciliation pass; bits
+    // set by concurrent flushes (commits beyond this scan's snapshot SCN)
+    // must not split a row across both passes.
+    smu->SnapshotInvalid(&invalid);
+    const auto is_invalid = [&](uint32_t r) {
+      return ((invalid[r >> 6] >> (r & 63)) & 1) != 0;
+    };
+
+    // Storage index (min/max) pruning of the valid portion.
+    bool might_match = true;
+    for (const Predicate& p : preds) {
+      if (p.column >= imcu->num_columns() ||
+          !imcu->column(p.column).MightMatch(p.op, p.value)) {
+        might_match = false;
+        break;
+      }
+    }
+
+    if (might_match) {
+      // Candidate rows from the encoded first predicate (or all present rows
+      // for an unfiltered scan), re-checked against the remaining conjuncts.
+      std::vector<uint32_t> candidates;
+      if (!preds.empty()) {
+        imcu->column(preds[0].column).Filter(preds[0].op, preds[0].value,
+                                             &candidates);
+      } else {
+        candidates.reserve(imcu->num_rows());
+        for (uint32_t r = 0; r < imcu->num_rows(); ++r) candidates.push_back(r);
+      }
+      for (uint32_t r : candidates) {
+        if (!imcu->Present(r)) continue;
+        if (is_invalid(r)) continue;  // Served by the row path below.
+        bool ok = true;
+        for (size_t pi = 1; pi < preds.size(); ++pi) {
+          const Predicate& p = preds[pi];
+          if (p.column >= imcu->num_columns()) { ok = false; break; }
+          const Value v = imcu->column(p.column).Get(r);
+          if (v.is_null() || !(v.type() == p.value.type() &&
+                               CompareValues(v, p.op, p.value))) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) continue;
+        ++stats->rows_from_imcs;
+        if (imcs_hook != nullptr) {
+          (*imcs_hook)(*imcu, r);
+        } else if (needs_rows) {
+          sink(imcu->Materialize(r));
+        } else {
+          static const Row kEmpty;
+          sink(kEmpty);
+        }
+      }
+    } else {
+      ++stats->imcus_pruned;
+    }
+
+    // Invalid rows (changed after the IMCU snapshot) always re-fetch from the
+    // row store at the query snapshot — including rows absent at population
+    // time that a later insert invalidated. Word-wise iteration keeps this
+    // reconciliation cheap when invalidity is sparse.
+    Row row;
+    Dba cached_dba = kInvalidDba;
+    Block* cached_block = nullptr;
+    for (size_t w = 0; w < invalid.size(); ++w) {
+      uint64_t word = invalid[w];
+      while (word != 0) {
+        const unsigned bit = static_cast<unsigned>(__builtin_ctzll(word));
+        word &= word - 1;
+        const uint32_t r = static_cast<uint32_t>(w * 64 + bit);
+        if (r >= smu->num_rows()) break;
+        const Dba dba = smu->dbas()[r / kRowsPerBlock];
+        const SlotId slot = r % kRowsPerBlock;
+        if (dba != cached_dba) {
+          cached_dba = dba;
+          cached_block = cache.Get(dba);
+        }
+        if (cached_block == nullptr) continue;
+        if (!cached_block->ReadRow(slot, view, &row).ok()) continue;
+        ++stats->invalid_rowpath;
+        ExtendWithExpressions(expressions, &row);
+        if (EvalPredicates(row, preds)) {
+          ++stats->rows_from_rowstore;
+          sink(row);
+        }
+      }
+    }
+  }
+
+  // Row-path portion: blocks not covered by any usable IMCU.
+  for (Dba dba : blocks) {
+    if (covered.contains(dba)) continue;
+    ScanBlockRowPath(dba, preds, view, cache, sink, stats, expressions);
+  }
+  return Status::OK();
+}
+
+}  // namespace stratus

@@ -1,0 +1,85 @@
+#ifndef STRATUS_IMCS_SCAN_ENGINE_H_
+#define STRATUS_IMCS_SCAN_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "imcs/expression.h"
+#include "imcs/im_store.h"
+#include "storage/buffer_cache.h"
+#include "storage/table.h"
+#include "storage/visibility.h"
+
+namespace stratus {
+
+/// One conjunct of a scan filter: `column op value`.
+struct Predicate {
+  uint32_t column = 0;
+  PredOp op = PredOp::kEq;
+  Value value;
+};
+
+/// Evaluates one predicate against a materialized row (NULLs never match).
+bool EvalPredicate(const Row& row, const Predicate& pred);
+/// Conjunction over all predicates.
+bool EvalPredicates(const Row& row, const std::vector<Predicate>& preds);
+
+/// Per-scan statistics: where the rows actually came from.
+struct ScanStats {
+  uint64_t rows_from_imcs = 0;
+  uint64_t rows_from_rowstore = 0;
+  uint64_t imcus_scanned = 0;
+  uint64_t imcus_pruned = 0;      ///< Skipped whole via storage index.
+  uint64_t imcus_skipped = 0;     ///< Not usable (populating / too new).
+  uint64_t blocks_rowpath = 0;    ///< Blocks scanned through the buffer cache.
+  uint64_t invalid_rowpath = 0;   ///< Invalid IMCU rows re-fetched from blocks.
+};
+
+/// Rows matching the scan are streamed into this callback.
+using RowSink = std::function<void(const Row& row)>;
+
+/// Aggregation push-down hook ([11], "Accelerating Joins and Aggregations on
+/// the Oracle In-Memory Database"): when supplied, matching rows served from
+/// the IMCS invoke this hook with the IMCU and local row index instead of the
+/// sink — the aggregate reads the encoded column directly, skipping row
+/// materialization entirely. Row-path matches still flow through the sink.
+using ImcsMatchHook = std::function<void(const Imcu& imcu, uint32_t row)>;
+
+/// The In-Memory Scan Engine (Section II.B): serves valid rows from the
+/// compressed IMCUs with predicate evaluation on encoded data and storage-
+/// index pruning, and reconciles with each IMCU's SMU so that invalid or
+/// stale rows are delivered from the database buffer cache (the row store)
+/// instead — never from the IMCS.
+class ScanEngine {
+ public:
+  /// Scans `table` at `view`, consulting the column stores in `stores`
+  /// (possibly spanning RAC instances; pass empty to force the row path).
+  /// Emits every visible row satisfying all `preds` exactly once.
+  /// `needs_rows = false` (count-style aggregates) skips materializing
+  /// matching IMCS rows: the sink receives an empty Row per match.
+  /// `expressions` (may be null): In-Memory Expressions registered for the
+  /// table. Predicates may address them as virtual columns at index
+  /// schema-arity + position; row-path rows are extended with the evaluated
+  /// expression values so predicates and sinks see a uniform layout. IMCUs
+  /// that predate an expression registration are skipped to the row path.
+  /// `imcs_hook` (may be null): aggregation push-down (see ImcsMatchHook).
+  Status Scan(const Table& table, const std::vector<Predicate>& preds,
+              const ReadView& view, const std::vector<const ImStore*>& stores,
+              const BufferCache& cache, const RowSink& sink,
+              ScanStats* stats, bool needs_rows = true,
+              const std::vector<Expression>* expressions = nullptr,
+              const ImcsMatchHook* imcs_hook = nullptr) const;
+
+ private:
+  void ScanBlockRowPath(Dba dba, const std::vector<Predicate>& preds,
+                        const ReadView& view, const BufferCache& cache,
+                        const RowSink& sink, ScanStats* stats,
+                        const std::vector<Expression>* expressions) const;
+};
+
+}  // namespace stratus
+
+#endif  // STRATUS_IMCS_SCAN_ENGINE_H_

@@ -1,0 +1,99 @@
+#include "imcs/smu.h"
+
+namespace stratus {
+
+Smu::Smu(ObjectId object_id, TenantId tenant, Scn snapshot_scn,
+         std::vector<Dba> dbas)
+    : object_id_(object_id),
+      tenant_(tenant),
+      snapshot_scn_(snapshot_scn),
+      dbas_(std::move(dbas)),
+      num_rows_(dbas_.size() * kRowsPerBlock),
+      invalid_rows_(num_rows_),
+      invalid_blocks_(dbas_.size()) {
+  dba_index_.reserve(dbas_.size());
+  for (uint32_t i = 0; i < dbas_.size(); ++i) dba_index_[dbas_[i]] = i;
+}
+
+void Smu::AttachImcu(std::shared_ptr<const Imcu> imcu) {
+  {
+    std::lock_guard<std::mutex> g(imcu_mu_);
+    imcu_ = std::move(imcu);
+  }
+  set_state(SmuState::kReady);
+}
+
+std::shared_ptr<const Imcu> Smu::imcu() const {
+  std::lock_guard<std::mutex> g(imcu_mu_);
+  return imcu_;
+}
+
+bool Smu::MarkRowInvalid(Dba dba, SlotId slot) {
+  const uint32_t row = RowIndexFor(dba, slot);
+  if (row == kNoImcuRow || row >= num_rows_) return false;
+  if (invalid_rows_.Set(row)) invalid_count_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool Smu::MarkBlockInvalid(Dba dba) {
+  auto it = dba_index_.find(dba);
+  if (it == dba_index_.end()) return false;
+  if (invalid_blocks_.Set(it->second))
+    invalid_count_.fetch_add(kRowsPerBlock, std::memory_order_relaxed);
+  return true;
+}
+
+void Smu::MarkAllInvalid() {
+  all_invalid_.store(true, std::memory_order_release);
+  invalid_count_.store(num_rows_, std::memory_order_relaxed);
+}
+
+void Smu::ForEachInvalidRow(const std::function<void(uint32_t)>& f) const {
+  static_assert(kRowsPerBlock % 64 == 0, "block bitmap words must align");
+  constexpr size_t kWordsPerBlock = kRowsPerBlock / 64;
+  if (all_invalid_.load(std::memory_order_acquire)) {
+    for (uint32_t r = 0; r < num_rows_; ++r) f(r);
+    return;
+  }
+  for (size_t b = 0; b < dbas_.size(); ++b) {
+    if (invalid_blocks_.Test(b)) {
+      const uint32_t base = static_cast<uint32_t>(b) * kRowsPerBlock;
+      for (uint32_t s = 0; s < kRowsPerBlock; ++s) f(base + s);
+      continue;
+    }
+    for (size_t w = 0; w < kWordsPerBlock; ++w) {
+      uint64_t word = invalid_rows_.Word(b * kWordsPerBlock + w);
+      while (word != 0) {
+        const unsigned bit = static_cast<unsigned>(__builtin_ctzll(word));
+        f(static_cast<uint32_t>(b * kRowsPerBlock + w * 64 + bit));
+        word &= word - 1;
+      }
+    }
+  }
+}
+
+void Smu::SnapshotInvalid(std::vector<uint64_t>* words) const {
+  static_assert(kRowsPerBlock % 64 == 0, "block bitmap words must align");
+  constexpr size_t kWordsPerBlock = kRowsPerBlock / 64;
+  const size_t n_words = (num_rows_ + 63) / 64;
+  words->assign(n_words, 0);
+  if (all_invalid_.load(std::memory_order_acquire)) {
+    words->assign(n_words, ~0ull);
+    return;
+  }
+  for (size_t w = 0; w < n_words; ++w) (*words)[w] = invalid_rows_.Word(w);
+  for (size_t b = 0; b < dbas_.size(); ++b) {
+    if (!invalid_blocks_.Test(b)) continue;
+    for (size_t w = 0; w < kWordsPerBlock; ++w)
+      (*words)[b * kWordsPerBlock + w] = ~0ull;
+  }
+}
+
+double Smu::InvalidFraction() const {
+  if (num_rows_ == 0) return 0.0;
+  const uint64_t n = invalid_count_.load(std::memory_order_relaxed);
+  return static_cast<double>(n > num_rows_ ? num_rows_ : n) /
+         static_cast<double>(num_rows_);
+}
+
+}  // namespace stratus

@@ -1,0 +1,126 @@
+#ifndef STRATUS_IMCS_SMU_H_
+#define STRATUS_IMCS_SMU_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitmap.h"
+#include "common/clock.h"
+#include "common/types.h"
+#include "imcs/imcu.h"
+
+namespace stratus {
+
+/// Lifecycle of an SMU/IMCU pair.
+enum class SmuState : uint8_t {
+  /// SMU registered (receiving invalidations) but column data not yet built —
+  /// scans treat the covered range as uncovered. This "SMU-first" protocol is
+  /// what lets population overlap QuerySCN advancement safely: an SMU created
+  /// at snapshot capture never misses a later invalidation flush.
+  kPopulating = 0,
+  kReady = 1,
+  kDropped = 2,
+};
+
+/// Snapshot Metadata Unit (Section II.B): tracks, per row and per block, the
+/// validity of the data captured in its IMCU. Invalidation flush sets bits
+/// concurrently with scans reading them; the QuerySCN publication provides
+/// the happens-before edge (flush completes before the QuerySCN at which a
+/// query could need the bit is published).
+class Smu {
+ public:
+  Smu(ObjectId object_id, TenantId tenant, Scn snapshot_scn, std::vector<Dba> dbas);
+
+  ObjectId object_id() const { return object_id_; }
+  TenantId tenant() const { return tenant_; }
+  Scn snapshot_scn() const { return snapshot_scn_; }
+  /// Wall-clock time this SMU was created (staleness-driven repopulation).
+  uint64_t created_us() const { return created_us_; }
+  const std::vector<Dba>& dbas() const { return dbas_; }
+  size_t num_rows() const { return num_rows_; }
+
+  SmuState state() const { return state_.load(std::memory_order_acquire); }
+  void set_state(SmuState s) { state_.store(s, std::memory_order_release); }
+
+  /// Attaches the built IMCU and makes the unit scannable.
+  void AttachImcu(std::shared_ptr<const Imcu> imcu);
+  /// The IMCU, or nullptr while populating / after drop.
+  std::shared_ptr<const Imcu> imcu() const;
+
+  /// Marks one row invalid. Returns false if (dba) is not covered.
+  bool MarkRowInvalid(Dba dba, SlotId slot);
+  /// Marks a whole block invalid (DDL / truncate-level events).
+  bool MarkBlockInvalid(Dba dba);
+  /// Marks everything invalid (coarse invalidation, Section III.E).
+  void MarkAllInvalid();
+
+  /// True if local row `row` must be served from the row store.
+  bool IsRowInvalid(uint32_t row) const {
+    if (all_invalid_.load(std::memory_order_acquire)) return true;
+    if (invalid_blocks_.Test(row / kRowsPerBlock)) return true;
+    return invalid_rows_.Test(row);
+  }
+  bool AllInvalid() const { return all_invalid_.load(std::memory_order_acquire); }
+
+  /// Invokes `f(local_row)` for every invalid row exactly once, in row order.
+  /// Word-at-a-time over the row bitmap (cheap when invalidity is sparse —
+  /// the common case between repopulations); rows of fully-invalid blocks are
+  /// enumerated wholesale and their row bits skipped.
+  void ForEachInvalidRow(const std::function<void(uint32_t)>& f) const;
+
+  /// Copies the current invalidity into `*words` (one bit per row, block-
+  /// invalidity expanded). A scan takes this snapshot ONCE and partitions
+  /// rows against it for both its columnar and reconciliation passes:
+  /// otherwise a concurrent flush (for commits beyond the scan's QuerySCN)
+  /// could set a bit between the passes and the row would be emitted twice.
+  void SnapshotInvalid(std::vector<uint64_t>* words) const;
+
+  uint64_t invalid_count() const { return invalid_count_.load(std::memory_order_relaxed); }
+
+  /// Fraction of covered rows marked invalid; drives repopulation heuristics.
+  double InvalidFraction() const;
+
+  /// Local row index for (dba, slot), kNoImcuRow if not covered.
+  uint32_t RowIndexFor(Dba dba, SlotId slot) const {
+    auto it = dba_index_.find(dba);
+    if (it == dba_index_.end()) return kNoImcuRow;
+    return it->second * kRowsPerBlock + slot;
+  }
+
+  bool Covers(Dba dba) const { return dba_index_.contains(dba); }
+
+  /// Repopulation bookkeeping (set by the populator to avoid double
+  /// scheduling).
+  bool TrySetRepopScheduled() {
+    bool expected = false;
+    return repop_scheduled_.compare_exchange_strong(expected, true);
+  }
+  void ClearRepopScheduled() { repop_scheduled_.store(false); }
+
+ private:
+  ObjectId object_id_;
+  TenantId tenant_;
+  Scn snapshot_scn_;
+  std::vector<Dba> dbas_;
+  size_t num_rows_;
+  std::unordered_map<Dba, uint32_t> dba_index_;
+
+  uint64_t created_us_ = NowMicros();
+  std::atomic<SmuState> state_{SmuState::kPopulating};
+  AtomicBitmap invalid_rows_;
+  AtomicBitmap invalid_blocks_;
+  std::atomic<bool> all_invalid_{false};
+  std::atomic<uint64_t> invalid_count_{0};
+  std::atomic<bool> repop_scheduled_{false};
+
+  mutable std::mutex imcu_mu_;
+  std::shared_ptr<const Imcu> imcu_;
+};
+
+}  // namespace stratus
+
+#endif  // STRATUS_IMCS_SMU_H_

@@ -1,0 +1,4 @@
+#include "rac/home_location_map.h"
+
+// Header-only; anchors the translation unit.
+namespace stratus {}  // namespace stratus

@@ -1,0 +1,35 @@
+#ifndef STRATUS_RAC_HOME_LOCATION_MAP_H_
+#define STRATUS_RAC_HOME_LOCATION_MAP_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace stratus {
+
+/// The home-location map (Section III.F, [5]): deterministically assigns
+/// each IMCU chunk of each object to the standby RAC instance that hosts it,
+/// by hashing (object, chunk ordinal) across instances. Population on every
+/// instance consults the same map, so the IMCS is distributed without
+/// coordination: each chunk is built exactly once, on its home instance.
+class HomeLocationMap {
+ public:
+  explicit HomeLocationMap(uint32_t num_instances)
+      : num_instances_(num_instances == 0 ? 1 : num_instances) {}
+
+  InstanceId HomeOf(ObjectId object_id, uint64_t chunk_ordinal) const {
+    // Fibonacci-style mix so consecutive chunks spread across instances.
+    const uint64_t h =
+        (object_id * 0x9E3779B97F4A7C15ull) ^ (chunk_ordinal * 0xC2B2AE3D27D4EB4Full);
+    return static_cast<InstanceId>((h >> 17) % num_instances_);
+  }
+
+  uint32_t num_instances() const { return num_instances_; }
+
+ private:
+  uint32_t num_instances_;
+};
+
+}  // namespace stratus
+
+#endif  // STRATUS_RAC_HOME_LOCATION_MAP_H_

@@ -1,0 +1,173 @@
+#include "redo/change_vector.h"
+
+#include <cstring>
+
+namespace stratus {
+namespace {
+
+void PutU8(std::string* out, uint8_t v) { out->push_back(static_cast<char>(v)); }
+
+void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+bool GetU8(const std::string& buf, size_t* pos, uint8_t* v) {
+  if (*pos + 1 > buf.size()) return false;
+  *v = static_cast<uint8_t>(buf[(*pos)++]);
+  return true;
+}
+
+bool GetU32(const std::string& buf, size_t* pos, uint32_t* v) {
+  if (*pos + 4 > buf.size()) return false;
+  std::memcpy(v, buf.data() + *pos, 4);
+  *pos += 4;
+  return true;
+}
+
+bool GetU64(const std::string& buf, size_t* pos, uint64_t* v) {
+  if (*pos + 8 > buf.size()) return false;
+  std::memcpy(v, buf.data() + *pos, 8);
+  *pos += 8;
+  return true;
+}
+
+bool GetString(const std::string& buf, size_t* pos, std::string* s) {
+  uint32_t len = 0;
+  if (!GetU32(buf, pos, &len)) return false;
+  if (*pos + len > buf.size()) return false;
+  s->assign(buf.data() + *pos, len);
+  *pos += len;
+  return true;
+}
+
+void EncodeValue(const Value& v, std::string* out) {
+  PutU8(out, static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt:
+      PutU64(out, static_cast<uint64_t>(v.as_int()));
+      break;
+    case ValueType::kString:
+      PutString(out, v.as_string());
+      break;
+  }
+}
+
+bool DecodeValue(const std::string& buf, size_t* pos, Value* out) {
+  uint8_t tag = 0;
+  if (!GetU8(buf, pos, &tag)) return false;
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kNull:
+      *out = Value::Null();
+      return true;
+    case ValueType::kInt: {
+      uint64_t v = 0;
+      if (!GetU64(buf, pos, &v)) return false;
+      *out = Value(static_cast<int64_t>(v));
+      return true;
+    }
+    case ValueType::kString: {
+      std::string s;
+      if (!GetString(buf, pos, &s)) return false;
+      *out = Value(std::move(s));
+      return true;
+    }
+  }
+  return false;
+}
+
+void EncodeCv(const ChangeVector& cv, std::string* out) {
+  PutU8(out, static_cast<uint8_t>(cv.kind));
+  PutU64(out, cv.scn);
+  PutU64(out, cv.xid);
+  PutU64(out, cv.dba);
+  PutU64(out, cv.object_id);
+  PutU32(out, cv.tenant);
+  PutU32(out, cv.slot);
+  PutU8(out, cv.im_flag ? 1 : 0);
+  PutU32(out, static_cast<uint32_t>(cv.after.size()));
+  for (const Value& v : cv.after) EncodeValue(v, out);
+  PutU8(out, static_cast<uint8_t>(cv.ddl.op));
+  PutU64(out, cv.ddl.object_id);
+  PutU32(out, cv.ddl.tenant);
+  PutU32(out, cv.ddl.column_idx);
+  PutU8(out, cv.ddl.im_service);
+}
+
+bool DecodeCv(const std::string& buf, size_t* pos, ChangeVector* cv) {
+  uint8_t kind = 0, flag = 0, ddl_op = 0, im_service = 0;
+  uint32_t arity = 0;
+  if (!GetU8(buf, pos, &kind)) return false;
+  cv->kind = static_cast<CvKind>(kind);
+  if (!GetU64(buf, pos, &cv->scn)) return false;
+  if (!GetU64(buf, pos, &cv->xid)) return false;
+  if (!GetU64(buf, pos, &cv->dba)) return false;
+  if (!GetU64(buf, pos, &cv->object_id)) return false;
+  if (!GetU32(buf, pos, &cv->tenant)) return false;
+  if (!GetU32(buf, pos, &cv->slot)) return false;
+  if (!GetU8(buf, pos, &flag)) return false;
+  cv->im_flag = flag != 0;
+  if (!GetU32(buf, pos, &arity)) return false;
+  cv->after.clear();
+  cv->after.reserve(arity);
+  for (uint32_t i = 0; i < arity; ++i) {
+    Value v;
+    if (!DecodeValue(buf, pos, &v)) return false;
+    cv->after.push_back(std::move(v));
+  }
+  if (!GetU8(buf, pos, &ddl_op)) return false;
+  cv->ddl.op = static_cast<DdlOp>(ddl_op);
+  if (!GetU64(buf, pos, &cv->ddl.object_id)) return false;
+  if (!GetU32(buf, pos, &cv->ddl.tenant)) return false;
+  if (!GetU32(buf, pos, &cv->ddl.column_idx)) return false;
+  if (!GetU8(buf, pos, &im_service)) return false;
+  cv->ddl.im_service = im_service;
+  return true;
+}
+
+}  // namespace
+
+void EncodeRedoRecord(const RedoRecord& rec, std::string* out) {
+  PutU64(out, rec.scn);
+  PutU32(out, rec.thread);
+  PutU32(out, static_cast<uint32_t>(rec.cvs.size()));
+  for (const ChangeVector& cv : rec.cvs) EncodeCv(cv, out);
+}
+
+Status DecodeRedoRecord(const std::string& buf, size_t* pos, RedoRecord* out) {
+  uint32_t n = 0;
+  if (!GetU64(buf, pos, &out->scn) || !GetU32(buf, pos, &out->thread) ||
+      !GetU32(buf, pos, &n)) {
+    return Status::Corruption("truncated redo record header");
+  }
+  out->cvs.clear();
+  out->cvs.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    ChangeVector cv;
+    if (!DecodeCv(buf, pos, &cv)) return Status::Corruption("truncated change vector");
+    out->cvs.push_back(std::move(cv));
+  }
+  return Status::OK();
+}
+
+size_t EncodedSize(const RedoRecord& rec) {
+  std::string tmp;
+  EncodeRedoRecord(rec, &tmp);
+  return tmp.size();
+}
+
+}  // namespace stratus

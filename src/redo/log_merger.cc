@@ -1,0 +1,57 @@
+#include "redo/log_merger.h"
+
+#include <algorithm>
+
+namespace stratus {
+
+bool LogMerger::Next(RedoRecord* out, int64_t timeout_us) {
+  // Pick the stream whose head record has the smallest SCN; it is emittable
+  // iff every *other* stream either has a head (its head SCN is larger) or
+  // has a delivered watermark past the candidate (no smaller record can ever
+  // arrive on it) or is closed and drained.
+  int best = -1;
+  Scn best_scn = kMaxScn;
+  bool safe = true;
+  for (size_t i = 0; i < streams_.size(); ++i) {
+    const Scn head = streams_[i]->PeekScn();
+    if (head != kInvalidScn && head < best_scn) {
+      best_scn = head;
+      best = static_cast<int>(i);
+    }
+  }
+  if (best >= 0) {
+    for (size_t i = 0; i < streams_.size(); ++i) {
+      if (static_cast<int>(i) == best) continue;
+      if (streams_[i]->PeekScn() != kInvalidScn) continue;  // Head is > best_scn.
+      if (streams_[i]->closed() && streams_[i]->Empty()) continue;
+      if (streams_[i]->DeliveredWatermark() >= best_scn) continue;
+      safe = false;
+      break;
+    }
+    if (safe && streams_[best]->Pop(out)) {
+      ++emitted_;
+      return true;
+    }
+  }
+  // Stalled: wait for any stream to make progress, then let the caller retry.
+  if (!streams_.empty()) {
+    const Scn wm = MergedWatermark();
+    streams_[0]->WaitForProgress(wm, timeout_us);
+  }
+  return false;
+}
+
+bool LogMerger::Finished() const {
+  for (ReceivedLog* s : streams_) {
+    if (!s->closed() || !s->Empty()) return false;
+  }
+  return true;
+}
+
+Scn LogMerger::MergedWatermark() const {
+  Scn wm = kMaxScn;
+  for (ReceivedLog* s : streams_) wm = std::min(wm, s->DeliveredWatermark());
+  return wm == kMaxScn ? kInvalidScn : wm;
+}
+
+}  // namespace stratus

@@ -1,0 +1,106 @@
+#ifndef STRATUS_REDO_LOG_SHIPPING_H_
+#define STRATUS_REDO_LOG_SHIPPING_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+#include "redo/change_vector.h"
+#include "redo/redo_log.h"
+
+namespace stratus {
+
+/// Standby-side landing area for one shipped redo stream. Records arrive in
+/// per-stream SCN order (shipping preserves append order); the log merger
+/// consumes them.
+class ReceivedLog {
+ public:
+  void Deliver(std::vector<RedoRecord> records);
+  void Close();
+
+  /// SCN of the next record, or kInvalidScn if the queue is empty.
+  Scn PeekScn() const;
+  /// Pops the head record; returns false if empty.
+  bool Pop(RedoRecord* out);
+
+  /// Highest SCN delivered into this stream so far (including heartbeats) —
+  /// the merger may emit any record with SCN <= this stream's watermark.
+  Scn DeliveredWatermark() const {
+    return watermark_.load(std::memory_order_acquire);
+  }
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+  bool Empty() const;
+
+  /// Blocks until the queue is non-empty, the watermark exceeds
+  /// `min_watermark`, or the stream closes; bounded by `timeout_us`.
+  void WaitForProgress(Scn min_watermark, int64_t timeout_us) const;
+
+  uint64_t delivered_records() const {
+    return delivered_records_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  std::deque<RedoRecord> queue_;
+  std::atomic<Scn> watermark_{kInvalidScn};
+  std::atomic<bool> closed_{false};
+  std::atomic<uint64_t> delivered_records_{0};
+};
+
+/// Options for one redo-transport connection.
+struct ShipperOptions {
+  /// Poll interval when the source log is idle.
+  int64_t poll_interval_us = 200;
+  /// Simulated one-way network latency applied to every batch.
+  int64_t network_latency_us = 0;
+  /// Max records pulled per batch.
+  size_t max_batch = 512;
+  /// Emit an SCN heartbeat when idle at least this often, so the standby's
+  /// merger (and hence the QuerySCN) can advance across idle streams.
+  int64_t heartbeat_interval_us = 2000;
+};
+
+/// Ships one primary redo stream to one standby `ReceivedLog` over a
+/// simulated network: a background thread pulls appended records, serializes
+/// them (bytes accounted), applies the configured latency, and delivers.
+class LogShipper {
+ public:
+  LogShipper(RedoLog* source, ReceivedLog* dest, const ShipperOptions& options);
+  ~LogShipper();
+
+  LogShipper(const LogShipper&) = delete;
+  LogShipper& operator=(const LogShipper&) = delete;
+
+  void Start();
+  /// Drains everything appended before the call, then stops and closes the
+  /// destination stream.
+  void Stop();
+
+  uint64_t bytes_shipped() const { return bytes_shipped_.load(std::memory_order_relaxed); }
+  uint64_t records_shipped() const { return records_shipped_.load(std::memory_order_relaxed); }
+  Scn last_shipped_scn() const { return last_shipped_scn_.load(std::memory_order_relaxed); }
+
+ private:
+  void Run();
+
+  RedoLog* source_;
+  ReceivedLog* dest_;
+  ShipperOptions options_;
+
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> bytes_shipped_{0};
+  std::atomic<uint64_t> records_shipped_{0};
+  std::atomic<Scn> last_shipped_scn_{kInvalidScn};
+};
+
+}  // namespace stratus
+
+#endif  // STRATUS_REDO_LOG_SHIPPING_H_

@@ -1,0 +1,61 @@
+#include "redo/redo_log.h"
+
+namespace stratus {
+
+Scn RedoLog::Append(std::vector<ChangeVector> cvs) {
+  std::lock_guard<std::mutex> g(mu_);
+  const Scn scn = scns_->Next();
+  RedoRecord rec;
+  rec.scn = scn;
+  rec.thread = thread_;
+  rec.cvs = std::move(cvs);
+  for (ChangeVector& cv : rec.cvs) cv.scn = scn;
+  records_.push_back(std::move(rec));
+  last_scn_.store(scn, std::memory_order_release);
+  total_records_.fetch_add(1, std::memory_order_relaxed);
+  return scn;
+}
+
+Scn RedoLog::AppendHeartbeat() {
+  std::lock_guard<std::mutex> g(mu_);
+  const Scn scn = scns_->Next();
+  RedoRecord rec;
+  rec.scn = scn;
+  rec.thread = thread_;
+  ChangeVector hb;
+  hb.kind = CvKind::kHeartbeat;
+  hb.scn = scn;
+  rec.cvs.push_back(std::move(hb));
+  records_.push_back(std::move(rec));
+  last_scn_.store(scn, std::memory_order_release);
+  total_records_.fetch_add(1, std::memory_order_relaxed);
+  return scn;
+}
+
+uint64_t RedoLog::ReadFrom(uint64_t from_seq, size_t max,
+                           std::vector<RedoRecord>* out) const {
+  std::lock_guard<std::mutex> g(mu_);
+  uint64_t seq = from_seq;
+  if (seq < base_seq_) seq = base_seq_;  // Trimmed: resume at oldest retained.
+  const uint64_t end_seq = base_seq_ + records_.size();
+  while (seq < end_seq && out->size() < max) {
+    out->push_back(records_[seq - base_seq_]);
+    ++seq;
+  }
+  return seq;
+}
+
+void RedoLog::Trim(uint64_t before_seq) {
+  std::lock_guard<std::mutex> g(mu_);
+  while (base_seq_ < before_seq && !records_.empty()) {
+    records_.pop_front();
+    ++base_seq_;
+  }
+}
+
+uint64_t RedoLog::NextSeq() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return base_seq_ + records_.size();
+}
+
+}  // namespace stratus

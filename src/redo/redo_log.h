@@ -1,0 +1,88 @@
+#ifndef STRATUS_REDO_REDO_LOG_H_
+#define STRATUS_REDO_REDO_LOG_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "common/types.h"
+#include "redo/change_vector.h"
+
+namespace stratus {
+
+/// Allocates SCNs for one primary database. Shared by all redo threads (RAC
+/// instances synchronize the SCN; we share the atomic counter).
+class ScnAllocator {
+ public:
+  /// Returns the next SCN (strictly increasing, starting at 1).
+  Scn Next() { return next_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Highest SCN allocated so far.
+  Scn Current() const { return next_.load(std::memory_order_relaxed) - 1; }
+
+  /// Failover bootstrap: resume allocation strictly above `scn`.
+  void AdvancePast(Scn scn) {
+    Scn prev = next_.load(std::memory_order_relaxed);
+    while (prev <= scn &&
+           !next_.compare_exchange_weak(prev, scn + 1, std::memory_order_acq_rel)) {
+    }
+  }
+
+ private:
+  std::atomic<Scn> next_{1};
+};
+
+/// One redo thread's log stream on the primary. Records are appended with an
+/// SCN allocated *under the log mutex*, so each stream is SCN-monotone — the
+/// property the standby log merger relies on. Different streams interleave
+/// arbitrarily; the merger re-establishes total SCN order.
+class RedoLog {
+ public:
+  explicit RedoLog(RedoThreadId thread, ScnAllocator* scns)
+      : thread_(thread), scns_(scns) {}
+
+  RedoLog(const RedoLog&) = delete;
+  RedoLog& operator=(const RedoLog&) = delete;
+
+  RedoThreadId thread() const { return thread_; }
+
+  /// Appends a record containing `cvs`, allocating and stamping a fresh SCN
+  /// on the record and every CV. Returns the assigned SCN.
+  Scn Append(std::vector<ChangeVector> cvs);
+
+  /// Appends a heartbeat record (fresh SCN, no payload) so downstream
+  /// consumers can advance past idle periods. Returns the assigned SCN.
+  Scn AppendHeartbeat();
+
+  /// Copies up to `max` records with sequence >= `from_seq` into `*out`.
+  /// Returns the sequence one past the last copied record. Non-blocking.
+  uint64_t ReadFrom(uint64_t from_seq, size_t max, std::vector<RedoRecord>* out) const;
+
+  /// Discards retained records with sequence < `before_seq` (already shipped).
+  void Trim(uint64_t before_seq);
+
+  /// Sequence one past the last appended record.
+  uint64_t NextSeq() const;
+
+  /// SCN of the most recently appended record (kInvalidScn if none).
+  Scn LastScn() const { return last_scn_.load(std::memory_order_acquire); }
+
+  uint64_t TotalRecords() const { return total_records_.load(std::memory_order_relaxed); }
+
+ private:
+  RedoThreadId thread_;
+  ScnAllocator* scns_;
+
+  mutable std::mutex mu_;
+  std::deque<RedoRecord> records_;
+  uint64_t base_seq_ = 0;  ///< Sequence of records_.front().
+  std::atomic<Scn> last_scn_{kInvalidScn};
+  std::atomic<uint64_t> total_records_{0};
+};
+
+}  // namespace stratus
+
+#endif  // STRATUS_REDO_REDO_LOG_H_

@@ -1,0 +1,215 @@
+#include "storage/block.h"
+
+#include <mutex>
+
+namespace stratus {
+
+TxnStatusInfo Block::ResolveVersion(const RowVersion& v,
+                                    const VisibilityResolver& resolver) {
+  const uint8_t cached = v.cached_state.load(std::memory_order_acquire);
+  if (cached == static_cast<uint8_t>(TxnState::kCommitted)) {
+    return {TxnState::kCommitted, v.cached_commit_scn.load(std::memory_order_acquire)};
+  }
+  if (cached == static_cast<uint8_t>(TxnState::kAborted)) {
+    return {TxnState::kAborted, kInvalidScn};
+  }
+  TxnStatusInfo info = resolver.Resolve(v.xid);
+  if (info.state == TxnState::kCommitted) {
+    // Order matters: publish the SCN before the state so a racing reader that
+    // observes kCommitted also observes the SCN.
+    const_cast<RowVersion&>(v).cached_commit_scn.store(info.commit_scn,
+                                                       std::memory_order_release);
+    const_cast<RowVersion&>(v).cached_state.store(
+        static_cast<uint8_t>(TxnState::kCommitted), std::memory_order_release);
+  } else if (info.state == TxnState::kAborted) {
+    const_cast<RowVersion&>(v).cached_state.store(
+        static_cast<uint8_t>(TxnState::kAborted), std::memory_order_release);
+  }
+  return info;
+}
+
+Status Block::CheckWriteConflict(SlotId slot, Xid xid,
+                                 const VisibilityResolver& resolver) const {
+  std::shared_lock<std::shared_mutex> g(mu_);
+  if (slot >= slots_.size() || slots_[slot] == nullptr) return Status::OK();
+  const RowVersion& head = *slots_[slot];
+  if (head.xid == xid) return Status::OK();
+  const TxnStatusInfo info = ResolveVersion(head, resolver);
+  if (info.state == TxnState::kActive) {
+    return Status::Aborted("row " + std::to_string(dba_) + ":" +
+                           std::to_string(slot) + " locked by txn " +
+                           std::to_string(head.xid));
+  }
+  return Status::OK();
+}
+
+Status Block::Prepend(SlotId slot, std::shared_ptr<RowVersion> v, Scn scn,
+                      bool allow_new_slot) {
+  std::unique_lock<std::shared_mutex> g(mu_);
+  if (slot >= kRowsPerBlock)
+    return Status::OutOfRange("slot beyond block capacity");
+  if (slot >= slots_.size()) {
+    if (!allow_new_slot)
+      return Status::NotFound("slot " + std::to_string(slot) + " not in use");
+    slots_.resize(slot + 1);
+  }
+  if (!allow_new_slot && slots_[slot] == nullptr)
+    return Status::NotFound("slot " + std::to_string(slot) + " never inserted");
+  v->prev = slots_[slot];
+  slots_[slot] = std::move(v);
+  if (slots_.size() > used_slots_.load(std::memory_order_relaxed))
+    used_slots_.store(static_cast<SlotId>(slots_.size()), std::memory_order_release);
+  if (scn > last_change_scn_.load(std::memory_order_relaxed))
+    last_change_scn_.store(scn, std::memory_order_release);
+  return Status::OK();
+}
+
+Status Block::ApplyInsert(SlotId slot, Xid xid, Row row, Scn scn) {
+  auto v = std::make_shared<RowVersion>();
+  v->xid = xid;
+  v->data = std::move(row);
+  return Prepend(slot, std::move(v), scn, /*allow_new_slot=*/true);
+}
+
+Status Block::ApplyUpdate(SlotId slot, Xid xid, Row row, Scn scn) {
+  auto v = std::make_shared<RowVersion>();
+  v->xid = xid;
+  v->data = std::move(row);
+  return Prepend(slot, std::move(v), scn, /*allow_new_slot=*/false);
+}
+
+Status Block::ApplyDelete(SlotId slot, Xid xid, Scn scn) {
+  auto v = std::make_shared<RowVersion>();
+  v->xid = xid;
+  v->deleted = true;
+  return Prepend(slot, std::move(v), scn, /*allow_new_slot=*/false);
+}
+
+namespace {
+
+std::shared_ptr<RowVersion> MakeVersion(Xid xid, Row row, bool deleted) {
+  auto v = std::make_shared<RowVersion>();
+  v->xid = xid;
+  v->data = std::move(row);
+  v->deleted = deleted;
+  return v;
+}
+
+}  // namespace
+
+Status Block::UpdateChecked(SlotId slot, Xid xid, Row row, Scn scn,
+                            const VisibilityResolver& resolver) {
+  std::unique_lock<std::shared_mutex> g(mu_);
+  if (slot >= slots_.size() || slots_[slot] == nullptr)
+    return Status::NotFound("slot " + std::to_string(slot) + " never inserted");
+  const RowVersion& head = *slots_[slot];
+  if (head.xid != xid) {
+    const TxnStatusInfo info = ResolveVersion(head, resolver);
+    if (info.state == TxnState::kActive) {
+      return Status::Aborted("row " + std::to_string(dba_) + ":" +
+                             std::to_string(slot) + " locked by txn " +
+                             std::to_string(head.xid));
+    }
+  }
+  auto v = MakeVersion(xid, std::move(row), /*deleted=*/false);
+  v->prev = slots_[slot];
+  slots_[slot] = std::move(v);
+  if (scn > last_change_scn_.load(std::memory_order_relaxed))
+    last_change_scn_.store(scn, std::memory_order_release);
+  return Status::OK();
+}
+
+Status Block::DeleteChecked(SlotId slot, Xid xid, Scn scn,
+                            const VisibilityResolver& resolver) {
+  std::unique_lock<std::shared_mutex> g(mu_);
+  if (slot >= slots_.size() || slots_[slot] == nullptr)
+    return Status::NotFound("slot " + std::to_string(slot) + " never inserted");
+  const RowVersion& head = *slots_[slot];
+  if (head.xid != xid) {
+    const TxnStatusInfo info = ResolveVersion(head, resolver);
+    if (info.state == TxnState::kActive) {
+      return Status::Aborted("row " + std::to_string(dba_) + ":" +
+                             std::to_string(slot) + " locked by txn " +
+                             std::to_string(head.xid));
+    }
+  }
+  auto v = MakeVersion(xid, Row{}, /*deleted=*/true);
+  v->prev = slots_[slot];
+  slots_[slot] = std::move(v);
+  if (scn > last_change_scn_.load(std::memory_order_relaxed))
+    last_change_scn_.store(scn, std::memory_order_release);
+  return Status::OK();
+}
+
+std::shared_ptr<const RowVersion> Block::VisibleVersion(
+    SlotId slot, const ReadView& view) const {
+  std::shared_lock<std::shared_mutex> g(mu_);
+  if (slot >= slots_.size()) return nullptr;
+  std::shared_ptr<const RowVersion> v = slots_[slot];
+  while (v != nullptr) {
+    if (view.self_xid != kInvalidXid && v->xid == view.self_xid) return v;
+    const TxnStatusInfo info = ResolveVersion(*v, *view.resolver);
+    if (info.state == TxnState::kCommitted && info.commit_scn <= view.snapshot_scn)
+      return v;
+    v = v->prev;
+  }
+  return nullptr;
+}
+
+Status Block::ReadRow(SlotId slot, const ReadView& view, Row* out) const {
+  auto v = VisibleVersion(slot, view);
+  if (v == nullptr || v->deleted)
+    return Status::NotFound("no visible row at slot " + std::to_string(slot));
+  *out = v->data;
+  return Status::OK();
+}
+
+bool Block::RowVisible(SlotId slot, const ReadView& view) const {
+  auto v = VisibleVersion(slot, view);
+  return v != nullptr && !v->deleted;
+}
+
+size_t Block::Prune(Scn low_watermark, const VisibilityResolver& resolver) {
+  std::unique_lock<std::shared_mutex> g(mu_);
+  size_t freed = 0;
+  for (auto& head : slots_) {
+    // Unlink aborted versions anywhere in the chain; they are never visible.
+    std::shared_ptr<RowVersion>* link = &head;
+    while (*link != nullptr) {
+      const TxnStatusInfo info = ResolveVersion(**link, resolver);
+      if (info.state == TxnState::kAborted) {
+        *link = (*link)->prev;
+        ++freed;
+        continue;
+      }
+      link = &(*link)->prev;
+    }
+    // Find the newest version visible at the low watermark; everything older
+    // can never be needed again.
+    std::shared_ptr<RowVersion> v = head;
+    while (v != nullptr) {
+      const TxnStatusInfo info = ResolveVersion(*v, resolver);
+      if (info.state == TxnState::kCommitted && info.commit_scn <= low_watermark) {
+        std::shared_ptr<RowVersion> old = v->prev;
+        v->prev = nullptr;
+        while (old != nullptr) {
+          ++freed;
+          old = old->prev;
+        }
+        break;
+      }
+      v = v->prev;
+    }
+  }
+  return freed;
+}
+
+size_t Block::ChainLength(SlotId slot) const {
+  std::shared_lock<std::shared_mutex> g(mu_);
+  if (slot >= slots_.size()) return 0;
+  size_t n = 0;
+  for (auto v = slots_[slot]; v != nullptr; v = v->prev) ++n;
+  return n;
+}
+
+}  // namespace stratus

@@ -1,0 +1,133 @@
+#ifndef STRATUS_STORAGE_BLOCK_H_
+#define STRATUS_STORAGE_BLOCK_H_
+
+#include <atomic>
+#include <memory>
+#include <shared_mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/value.h"
+#include "storage/visibility.h"
+
+namespace stratus {
+
+/// Number of row slots per data block.
+inline constexpr SlotId kRowsPerBlock = 256;
+
+/// One version of a row. Versions form a newest-first chain per slot; the
+/// writing transaction's commitSCN (resolved through the transaction table
+/// and cached here once terminal) determines visibility.
+///
+/// This replaces Oracle's undo-based Consistent Read: instead of rolling a
+/// block image back with undo records, readers walk forward-retained version
+/// chains. Both mechanisms provide reads at an arbitrary snapshot SCN, which
+/// is what the QuerySCN protocol requires (see DESIGN.md, substitutions).
+struct RowVersion {
+  Xid xid = kInvalidXid;
+  bool deleted = false;
+  Row data;
+  std::shared_ptr<RowVersion> prev;
+
+  /// Cached terminal resolution (0 = unresolved / still active).
+  std::atomic<uint8_t> cached_state{0};  // TxnState values once terminal.
+  std::atomic<Scn> cached_commit_scn{kInvalidScn};
+};
+
+/// A slotted, versioned data block. Both roles mutate blocks through the same
+/// three physical operations that redo change vectors describe (insert,
+/// update, delete carrying the after-image); the primary additionally checks
+/// row locks before generating redo.
+class Block {
+ public:
+  Block(Dba dba, ObjectId object_id, TenantId tenant)
+      : dba_(dba), object_id_(object_id), tenant_(tenant) {}
+
+  Block(const Block&) = delete;
+  Block& operator=(const Block&) = delete;
+
+  Dba dba() const { return dba_; }
+  ObjectId object_id() const { return object_id_; }
+  TenantId tenant() const { return tenant_; }
+
+  /// Number of slots ever used (including slots whose newest version is a
+  /// delete).
+  SlotId used_slots() const {
+    return used_slots_.load(std::memory_order_acquire);
+  }
+
+  /// True if an insert can still claim a fresh slot.
+  bool HasFreeSlot() const { return used_slots() < kRowsPerBlock; }
+
+  /// Primary-only: returns Aborted if the newest version of `slot` belongs to
+  /// a different, still-active transaction (no-wait row locking).
+  Status CheckWriteConflict(SlotId slot, Xid xid,
+                            const VisibilityResolver& resolver) const;
+
+  /// Installs a new row version at `slot` (insert). `slot` may extend the
+  /// used-slot range (redo apply installs at the exact slot the CV names).
+  Status ApplyInsert(SlotId slot, Xid xid, Row row, Scn scn);
+
+  /// Prepends an updated after-image version at `slot`.
+  Status ApplyUpdate(SlotId slot, Xid xid, Row row, Scn scn);
+
+  /// Prepends a delete marker version at `slot`.
+  Status ApplyDelete(SlotId slot, Xid xid, Scn scn);
+
+  /// Primary-side update: row-lock check and version install under one
+  /// exclusive latch acquisition, so two writers cannot both pass the check.
+  Status UpdateChecked(SlotId slot, Xid xid, Row row, Scn scn,
+                       const VisibilityResolver& resolver);
+
+  /// Primary-side delete with the same atomic lock check.
+  Status DeleteChecked(SlotId slot, Xid xid, Scn scn,
+                       const VisibilityResolver& resolver);
+
+  /// Reads the version of `slot` visible to `view` into `*out`. Returns
+  /// NotFound if the slot has no visible version or the visible version is a
+  /// delete marker.
+  Status ReadRow(SlotId slot, const ReadView& view, Row* out) const;
+
+  /// True if a visible (non-deleted) version of `slot` exists under `view`.
+  bool RowVisible(SlotId slot, const ReadView& view) const;
+
+  /// SCN of the most recent change applied to this block.
+  Scn last_change_scn() const {
+    return last_change_scn_.load(std::memory_order_acquire);
+  }
+
+  /// Drops version history that no snapshot at or above `low_watermark` can
+  /// ever need: everything older than the newest version whose commitSCN is
+  /// <= low_watermark, plus aborted versions (which are invisible forever).
+  /// Returns the number of versions freed.
+  size_t Prune(Scn low_watermark, const VisibilityResolver& resolver);
+
+  /// Length of the version chain at `slot` (diagnostics / GC tests).
+  size_t ChainLength(SlotId slot) const;
+
+ private:
+  /// Resolves a version's terminal state through `resolver`, caching it.
+  static TxnStatusInfo ResolveVersion(const RowVersion& v,
+                                      const VisibilityResolver& resolver);
+
+  /// Returns the newest chain entry visible under `view`, or nullptr.
+  std::shared_ptr<const RowVersion> VisibleVersion(SlotId slot,
+                                                   const ReadView& view) const;
+
+  Status Prepend(SlotId slot, std::shared_ptr<RowVersion> v, Scn scn,
+                 bool allow_new_slot);
+
+  Dba dba_;
+  ObjectId object_id_;
+  TenantId tenant_;
+
+  mutable std::shared_mutex mu_;
+  std::vector<std::shared_ptr<RowVersion>> slots_;
+  std::atomic<SlotId> used_slots_{0};
+  std::atomic<Scn> last_change_scn_{kInvalidScn};
+};
+
+}  // namespace stratus
+
+#endif  // STRATUS_STORAGE_BLOCK_H_

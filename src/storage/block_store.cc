@@ -1,0 +1,43 @@
+#include "storage/block_store.h"
+
+#include <mutex>
+
+namespace stratus {
+
+Dba BlockStore::AllocateBlock(ObjectId object_id, TenantId tenant) {
+  std::unique_lock<std::shared_mutex> g(mu_);
+  const Dba dba = next_dba_++;
+  blocks_.push_back(std::make_unique<Block>(dba, object_id, tenant));
+  return dba;
+}
+
+Block* BlockStore::GetBlock(Dba dba) const {
+  if (IsTxnTableDba(dba)) return nullptr;
+  std::shared_lock<std::shared_mutex> g(mu_);
+  const size_t idx = dba - kTxnTableDbaCount;
+  if (idx >= blocks_.size()) return nullptr;
+  return blocks_[idx].get();
+}
+
+Block* BlockStore::EnsureBlock(Dba dba, ObjectId object_id, TenantId tenant) {
+  if (IsTxnTableDba(dba)) return nullptr;
+  {
+    std::shared_lock<std::shared_mutex> g(mu_);
+    const size_t idx = dba - kTxnTableDbaCount;
+    if (idx < blocks_.size() && blocks_[idx] != nullptr) return blocks_[idx].get();
+  }
+  std::unique_lock<std::shared_mutex> g(mu_);
+  const size_t idx = dba - kTxnTableDbaCount;
+  while (blocks_.size() <= idx) blocks_.push_back(nullptr);
+  if (blocks_[idx] == nullptr)
+    blocks_[idx] = std::make_unique<Block>(dba, object_id, tenant);
+  if (dba >= next_dba_) next_dba_ = dba + 1;
+  return blocks_[idx].get();
+}
+
+Dba BlockStore::HighWater() const {
+  std::shared_lock<std::shared_mutex> g(mu_);
+  return next_dba_;
+}
+
+}  // namespace stratus

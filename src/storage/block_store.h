@@ -1,0 +1,58 @@
+#ifndef STRATUS_STORAGE_BLOCK_STORE_H_
+#define STRATUS_STORAGE_BLOCK_STORE_H_
+
+#include <deque>
+#include <memory>
+#include <shared_mutex>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/block.h"
+
+namespace stratus {
+
+/// DBAs below this bound are reserved for the transaction-table blocks that
+/// commit / begin / abort change vectors notionally apply to. Reserving a
+/// range lets those control CVs hash across recovery workers exactly like
+/// data CVs, as in Oracle.
+inline constexpr Dba kTxnTableDbaCount = 64;
+
+/// Maps an XID to the transaction-table DBA its control CVs apply to.
+inline Dba TxnTableDbaFor(Xid xid) { return xid % kTxnTableDbaCount; }
+
+/// True for DBAs that address transaction-table blocks rather than data.
+inline bool IsTxnTableDba(Dba dba) { return dba < kTxnTableDbaCount; }
+
+/// The "datafiles" of one database: a growable array of data blocks indexed
+/// by DBA. The primary allocates blocks when tables extend; the standby
+/// materializes blocks on demand as redo apply touches previously unseen
+/// DBAs (physical replication).
+class BlockStore {
+ public:
+  BlockStore() = default;
+  BlockStore(const BlockStore&) = delete;
+  BlockStore& operator=(const BlockStore&) = delete;
+
+  /// Allocates the next DBA for `object_id` (primary side). Thread-safe.
+  Dba AllocateBlock(ObjectId object_id, TenantId tenant);
+
+  /// Returns the block at `dba`, or nullptr if never created.
+  Block* GetBlock(Dba dba) const;
+
+  /// Returns the block at `dba`, creating it (and any gap before it) if
+  /// needed — used by standby redo apply, which learns object/tenant from the
+  /// change vector itself.
+  Block* EnsureBlock(Dba dba, ObjectId object_id, TenantId tenant);
+
+  /// One past the highest allocated DBA.
+  Dba HighWater() const;
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::deque<std::unique_ptr<Block>> blocks_;  // index = dba - kTxnTableDbaCount
+  Dba next_dba_ = kTxnTableDbaCount;
+};
+
+}  // namespace stratus
+
+#endif  // STRATUS_STORAGE_BLOCK_STORE_H_

@@ -1,0 +1,4 @@
+#include "storage/buffer_cache.h"
+
+// Header-only; anchors the translation unit.
+namespace stratus {}  // namespace stratus

@@ -1,0 +1,62 @@
+#ifndef STRATUS_STORAGE_BUFFER_CACHE_H_
+#define STRATUS_STORAGE_BUFFER_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/types.h"
+#include "storage/block.h"
+#include "storage/block_store.h"
+
+namespace stratus {
+
+/// Access statistics for one buffer cache.
+struct BufferCacheStats {
+  uint64_t logical_gets = 0;   ///< Block lookups served from memory.
+  uint64_t misses = 0;         ///< Lookups of never-created blocks.
+};
+
+/// Oracle's buffer cache [13] fronting the row store. The paper's evaluation
+/// sizes the cache so no physical I/O ever occurs; accordingly this cache is
+/// a counting pass-through over the in-memory `BlockStore` — every get is a
+/// logical get — and exists so the row-path cost and statistics mirror the
+/// real system's "buffer gets" accounting.
+class BufferCache {
+ public:
+  explicit BufferCache(BlockStore* store) : store_(store) {}
+
+  BufferCache(const BufferCache&) = delete;
+  BufferCache& operator=(const BufferCache&) = delete;
+
+  /// Gets (pins) the block at `dba`; nullptr if it does not exist.
+  Block* Get(Dba dba) const {
+    Block* b = store_->GetBlock(dba);
+    if (b != nullptr) {
+      logical_gets_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return b;
+  }
+
+  BufferCacheStats stats() const {
+    return {logical_gets_.load(std::memory_order_relaxed),
+            misses_.load(std::memory_order_relaxed)};
+  }
+
+  void ResetStats() {
+    logical_gets_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+  }
+
+  BlockStore* store() const { return store_; }
+
+ private:
+  BlockStore* store_;
+  mutable std::atomic<uint64_t> logical_gets_{0};
+  mutable std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace stratus
+
+#endif  // STRATUS_STORAGE_BUFFER_CACHE_H_

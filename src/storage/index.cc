@@ -1,0 +1,47 @@
+#include "storage/index.h"
+
+#include <mutex>
+
+namespace stratus {
+
+void OrderedIndex::Insert(int64_t key, RowId rid) {
+  std::unique_lock<std::shared_mutex> g(mu_);
+  map_[key] = rid;
+}
+
+void OrderedIndex::Erase(int64_t key) {
+  std::unique_lock<std::shared_mutex> g(mu_);
+  map_.erase(key);
+}
+
+std::optional<RowId> OrderedIndex::Lookup(int64_t key) const {
+  std::shared_lock<std::shared_mutex> g(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<RowId> OrderedIndex::RangeScan(int64_t lo, int64_t hi) const {
+  std::shared_lock<std::shared_mutex> g(mu_);
+  std::vector<RowId> out;
+  for (auto it = map_.lower_bound(lo); it != map_.end() && it->first <= hi; ++it)
+    out.push_back(it->second);
+  return out;
+}
+
+size_t OrderedIndex::size() const {
+  std::shared_lock<std::shared_mutex> g(mu_);
+  return map_.size();
+}
+
+int64_t OrderedIndex::MinKey() const {
+  std::shared_lock<std::shared_mutex> g(mu_);
+  return map_.empty() ? 0 : map_.begin()->first;
+}
+
+int64_t OrderedIndex::MaxKey() const {
+  std::shared_lock<std::shared_mutex> g(mu_);
+  return map_.empty() ? 0 : map_.rbegin()->first;
+}
+
+}  // namespace stratus

@@ -1,0 +1,48 @@
+#ifndef STRATUS_STORAGE_INDEX_H_
+#define STRATUS_STORAGE_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <shared_mutex>
+#include <vector>
+
+#include "common/types.h"
+
+namespace stratus {
+
+/// An ordered unique index from an integer key (the evaluation schema's
+/// identity column) to a row address. The paper's OLTAP workload performs a
+/// large fraction of index-based fetches against it (Section IV.A).
+///
+/// Entries are inserted eagerly at DML time (as Oracle maintains index blocks
+/// within the transaction); visibility of the target row is still resolved
+/// through the row's version chain, so an entry pointing at an uncommitted or
+/// deleted row is harmless.
+class OrderedIndex {
+ public:
+  OrderedIndex() = default;
+  OrderedIndex(const OrderedIndex&) = delete;
+  OrderedIndex& operator=(const OrderedIndex&) = delete;
+
+  void Insert(int64_t key, RowId rid);
+  void Erase(int64_t key);
+  std::optional<RowId> Lookup(int64_t key) const;
+
+  /// All row ids with key in [lo, hi], in key order.
+  std::vector<RowId> RangeScan(int64_t lo, int64_t hi) const;
+
+  size_t size() const;
+
+  /// Smallest and largest keys present (0 if empty).
+  int64_t MinKey() const;
+  int64_t MaxKey() const;
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::map<int64_t, RowId> map_;
+};
+
+}  // namespace stratus
+
+#endif  // STRATUS_STORAGE_INDEX_H_

@@ -1,0 +1,44 @@
+#include "storage/schema.h"
+
+namespace stratus {
+
+Schema Schema::WideTable(int num_cols, int varchar_cols) {
+  std::vector<ColumnDef> cols;
+  cols.reserve(1 + num_cols + varchar_cols);
+  cols.push_back({"id", ValueType::kInt});
+  for (int i = 1; i <= num_cols; ++i)
+    cols.push_back({"n" + std::to_string(i), ValueType::kInt});
+  for (int i = 1; i <= varchar_cols; ++i)
+    cols.push_back({"c" + std::to_string(i), ValueType::kString});
+  return Schema(std::move(cols));
+}
+
+int Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i)
+    if (columns_[i].name == name) return static_cast<int>(i);
+  return -1;
+}
+
+Status Schema::ValidateRow(const Row& row) const {
+  if (row.size() != columns_.size())
+    return Status::InvalidArgument("row arity " + std::to_string(row.size()) +
+                                   " != schema arity " +
+                                   std::to_string(columns_.size()));
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].is_null()) continue;
+    if (row[i].type() != columns_[i].type)
+      return Status::InvalidArgument("type mismatch in column " + columns_[i].name);
+  }
+  return Status::OK();
+}
+
+Schema Schema::WithDroppedColumn(size_t idx) const {
+  std::vector<ColumnDef> cols = columns_;
+  if (idx < cols.size()) {
+    cols[idx].type = ValueType::kNull;
+    cols[idx].name = cols[idx].name + ".dropped";
+  }
+  return Schema(std::move(cols));
+}
+
+}  // namespace stratus

@@ -1,0 +1,56 @@
+#ifndef STRATUS_STORAGE_SCHEMA_H_
+#define STRATUS_STORAGE_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/value.h"
+
+namespace stratus {
+
+/// One column definition.
+struct ColumnDef {
+  std::string name;
+  ValueType type = ValueType::kInt;
+};
+
+/// An ordered list of columns. Immutable once attached to a table; schema
+/// changes create a new SCN-effective catalog version (Section III.G).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns) : columns_(std::move(columns)) {}
+
+  /// Builds the paper's evaluation schema: one identity column `id`,
+  /// `num_cols` NUMBER columns `n1..`, `varchar_cols` VARCHAR columns `c1..`
+  /// (Section IV.A uses 1 + 50 + 50 = 101 columns).
+  static Schema WideTable(int num_cols, int varchar_cols);
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  /// Returns the index of the named column, or -1 if absent.
+  int FindColumn(const std::string& name) const;
+
+  /// Validates that `row` matches the schema (arity and types; NULL matches
+  /// any type).
+  Status ValidateRow(const Row& row) const;
+
+  /// Returns a copy of this schema without the column at `idx` replaced by a
+  /// NULL-typed tombstone. Column positions are preserved so existing rows
+  /// remain decodable (Oracle drop-column is dictionary-only).
+  Schema WithDroppedColumn(size_t idx) const;
+
+  /// True if the column at `idx` has been dropped.
+  bool IsDropped(size_t idx) const { return columns_[idx].type == ValueType::kNull; }
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace stratus
+
+#endif  // STRATUS_STORAGE_SCHEMA_H_

@@ -1,0 +1,35 @@
+#include "storage/table.h"
+
+namespace stratus {
+
+RowId Table::AllocateInsertSlot() {
+  std::unique_lock<std::shared_mutex> g(mu_);
+  if (next_slot_ >= kRowsPerBlock) {
+    const Dba dba = store_->AllocateBlock(object_id_, tenant_);
+    blocks_.push_back(dba);
+    block_set_.insert(dba);
+    next_slot_ = 0;
+  }
+  return RowId{blocks_.back(), next_slot_++};
+}
+
+void Table::NoteBlock(Dba dba) {
+  {
+    std::shared_lock<std::shared_mutex> g(mu_);
+    if (block_set_.contains(dba)) return;
+  }
+  std::unique_lock<std::shared_mutex> g(mu_);
+  if (block_set_.insert(dba).second) blocks_.push_back(dba);
+}
+
+std::vector<Dba> Table::SnapshotBlocks() const {
+  std::shared_lock<std::shared_mutex> g(mu_);
+  return blocks_;
+}
+
+size_t Table::BlockCount() const {
+  std::shared_lock<std::shared_mutex> g(mu_);
+  return blocks_.size();
+}
+
+}  // namespace stratus

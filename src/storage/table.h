@@ -1,0 +1,87 @@
+#ifndef STRATUS_STORAGE_TABLE_H_
+#define STRATUS_STORAGE_TABLE_H_
+
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/block_store.h"
+#include "storage/index.h"
+#include "storage/schema.h"
+
+namespace stratus {
+
+/// A heap-organized table segment. The primary extends it by allocating
+/// blocks from the block store; the standby's copy discovers its blocks as
+/// redo apply touches them (`NoteBlock`). Block order is allocation order and
+/// defines the scan order and the DBA ranges that IMCUs cover.
+class Table {
+ public:
+  Table(ObjectId object_id, TenantId tenant, std::string name, Schema schema,
+        BlockStore* store)
+      : object_id_(object_id),
+        tenant_(tenant),
+        name_(std::move(name)),
+        schema_(std::make_shared<const Schema>(std::move(schema))),
+        store_(store) {}
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  ObjectId object_id() const { return object_id_; }
+  TenantId tenant() const { return tenant_; }
+  const std::string& name() const { return name_; }
+
+  /// Current schema (shared snapshot — safe against concurrent DDL swap).
+  std::shared_ptr<const Schema> schema() const {
+    std::shared_lock<std::shared_mutex> g(mu_);
+    return schema_;
+  }
+
+  /// Installs a new schema version (dictionary-only DDL, e.g. drop column).
+  void UpdateSchema(Schema schema) {
+    std::unique_lock<std::shared_mutex> g(mu_);
+    schema_ = std::make_shared<const Schema>(std::move(schema));
+  }
+
+  /// Primary-side: claims a (dba, slot) for a new row, extending the segment
+  /// with a fresh block when the insertion block is full. Thread-safe.
+  RowId AllocateInsertSlot();
+
+  /// Standby-side: records that `dba` belongs to this segment (first time a
+  /// redo change vector references it). Idempotent, thread-safe.
+  void NoteBlock(Dba dba);
+
+  /// Stable snapshot of the segment's block list, in scan order.
+  std::vector<Dba> SnapshotBlocks() const;
+
+  /// Number of blocks currently in the segment.
+  size_t BlockCount() const;
+
+  /// Attaches a unique ordered index on column 0 (the identity column).
+  void CreateIdentityIndex() { index_ = std::make_unique<OrderedIndex>(); }
+  OrderedIndex* index() const { return index_.get(); }
+
+ private:
+  ObjectId object_id_;
+  TenantId tenant_;
+  std::string name_;
+  std::shared_ptr<const Schema> schema_;
+  BlockStore* store_;
+
+  mutable std::shared_mutex mu_;
+  std::vector<Dba> blocks_;
+  std::unordered_set<Dba> block_set_;  // Membership mirror of blocks_.
+  SlotId next_slot_ = kRowsPerBlock;  // Forces first insert to extend.
+
+  std::unique_ptr<OrderedIndex> index_;
+};
+
+}  // namespace stratus
+
+#endif  // STRATUS_STORAGE_TABLE_H_

@@ -1,0 +1,23 @@
+#include "storage/value.h"
+
+namespace stratus {
+
+bool operator<(const Value& a, const Value& b) {
+  if (a.v_.index() != b.v_.index()) return a.v_.index() < b.v_.index();
+  switch (a.v_.index()) {
+    case 0: return false;  // NULL == NULL for ordering purposes.
+    case 1: return std::get<int64_t>(a.v_) < std::get<int64_t>(b.v_);
+    default: return std::get<std::string>(a.v_) < std::get<std::string>(b.v_);
+  }
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull: return "NULL";
+    case ValueType::kInt: return std::to_string(as_int());
+    case ValueType::kString: return "'" + as_string() + "'";
+  }
+  return "?";
+}
+
+}  // namespace stratus

@@ -1,0 +1,56 @@
+#ifndef STRATUS_STORAGE_VALUE_H_
+#define STRATUS_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace stratus {
+
+/// Column data types. The paper's evaluation schema uses NUMBER and VARCHAR2
+/// columns plus an identity column; we model them as 64-bit integers and
+/// strings.
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kInt = 1,
+  kString = 2,
+};
+
+/// A single column value: NULL, 64-bit integer, or string.
+class Value {
+ public:
+  Value() : v_(std::monostate{}) {}
+  explicit Value(int64_t i) : v_(i) {}
+  explicit Value(std::string s) : v_(std::move(s)) {}
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const {
+    switch (v_.index()) {
+      case 0: return ValueType::kNull;
+      case 1: return ValueType::kInt;
+      default: return ValueType::kString;
+    }
+  }
+
+  bool is_null() const { return v_.index() == 0; }
+  int64_t as_int() const { return std::get<int64_t>(v_); }
+  const std::string& as_string() const { return std::get<std::string>(v_); }
+
+  /// Total ordering with NULL sorting first; cross-type compares by type tag.
+  friend bool operator==(const Value& a, const Value& b) { return a.v_ == b.v_; }
+  friend bool operator<(const Value& a, const Value& b);
+
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, int64_t, std::string> v_;
+};
+
+/// A row is a dense vector of values, one per schema column.
+using Row = std::vector<Value>;
+
+}  // namespace stratus
+
+#endif  // STRATUS_STORAGE_VALUE_H_

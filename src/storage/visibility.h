@@ -1,0 +1,42 @@
+#ifndef STRATUS_STORAGE_VISIBILITY_H_
+#define STRATUS_STORAGE_VISIBILITY_H_
+
+#include "common/types.h"
+
+namespace stratus {
+
+/// Lifecycle state of a transaction as known to a transaction table.
+enum class TxnState : uint8_t {
+  kActive = 0,
+  kCommitted = 1,
+  kAborted = 2,
+};
+
+/// Resolution of an XID against a transaction table.
+struct TxnStatusInfo {
+  TxnState state = TxnState::kActive;
+  Scn commit_scn = kInvalidScn;  ///< Valid only when state == kCommitted.
+};
+
+/// Interface through which the storage layer resolves row-version visibility.
+/// Implemented by `TxnTable`; on the standby the table is maintained purely
+/// by applying commit/abort change vectors from the redo stream.
+class VisibilityResolver {
+ public:
+  virtual ~VisibilityResolver() = default;
+  virtual TxnStatusInfo Resolve(Xid xid) const = 0;
+};
+
+/// A Consistent Read view: a row version is visible iff its writing
+/// transaction committed at or before `snapshot_scn`, or the reader is that
+/// transaction itself (`self_xid`, primary only — standby queries are
+/// read-only).
+struct ReadView {
+  Scn snapshot_scn = kMaxScn;
+  Xid self_xid = kInvalidXid;
+  const VisibilityResolver* resolver = nullptr;
+};
+
+}  // namespace stratus
+
+#endif  // STRATUS_STORAGE_VISIBILITY_H_

@@ -1,0 +1,68 @@
+#include "txn/txn_table.h"
+
+#include <mutex>
+
+namespace stratus {
+
+void TxnTable::Begin(Xid xid) {
+  NoteXid(xid);
+  Shard& s = ShardFor(xid);
+  std::unique_lock<std::shared_mutex> g(s.mu);
+  s.map.try_emplace(xid, TxnStatusInfo{TxnState::kActive, kInvalidScn});
+}
+
+void TxnTable::Commit(Xid xid, Scn commit_scn) {
+  NoteXid(xid);
+  Shard& s = ShardFor(xid);
+  std::unique_lock<std::shared_mutex> g(s.mu);
+  s.map[xid] = TxnStatusInfo{TxnState::kCommitted, commit_scn};
+}
+
+void TxnTable::Abort(Xid xid) {
+  Shard& s = ShardFor(xid);
+  std::unique_lock<std::shared_mutex> g(s.mu);
+  s.map[xid] = TxnStatusInfo{TxnState::kAborted, kInvalidScn};
+}
+
+TxnStatusInfo TxnTable::Resolve(Xid xid) const {
+  const Shard& s = ShardFor(xid);
+  std::shared_lock<std::shared_mutex> g(s.mu);
+  auto it = s.map.find(xid);
+  // Unknown XIDs are treated as active: on the standby a DML change vector
+  // can be applied by its recovery worker before another worker applies the
+  // transaction's begin CV. Such a version must simply not be visible yet.
+  if (it == s.map.end()) return TxnStatusInfo{TxnState::kActive, kInvalidScn};
+  return it->second;
+}
+
+size_t TxnTable::size() const {
+  size_t n = 0;
+  for (const Shard& s : shards_) {
+    std::shared_lock<std::shared_mutex> g(s.mu);
+    n += s.map.size();
+  }
+  return n;
+}
+
+size_t TxnTable::Sweep(Scn low_watermark) {
+  // Only aborted entries are swept: their versions are unlinked by block
+  // pruning, and an unknown XID resolves to kActive (invisible) anyway.
+  // Committed entries are retained — a cold (never-read) committed version
+  // resolves through the table at any later time.
+  size_t removed = 0;
+  for (Shard& s : shards_) {
+    std::unique_lock<std::shared_mutex> g(s.mu);
+    for (auto it = s.map.begin(); it != s.map.end();) {
+      if (it->second.state == TxnState::kAborted) {
+        it = s.map.erase(it);
+        ++removed;
+      } else {
+        ++it;
+      }
+    }
+  }
+  (void)low_watermark;
+  return removed;
+}
+
+}  // namespace stratus

@@ -1,0 +1,67 @@
+#ifndef STRATUS_TXN_TXN_TABLE_H_
+#define STRATUS_TXN_TXN_TABLE_H_
+
+#include <array>
+#include <atomic>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "common/types.h"
+#include "storage/visibility.h"
+
+namespace stratus {
+
+/// The transaction table: XID → state (+ commitSCN). Row-version visibility
+/// resolves through it (see `storage/visibility.h`).
+///
+/// On the primary it is maintained by the transaction manager; on the standby
+/// it is maintained physically, by recovery workers applying the begin /
+/// commit / abort control change vectors — which is why a standby query at
+/// the QuerySCN sees exactly the transactions whose commit CV has been
+/// applied, the core of the consistency argument in Section II.A.
+class TxnTable : public VisibilityResolver {
+ public:
+  TxnTable() = default;
+
+  void Begin(Xid xid);
+  void Commit(Xid xid, Scn commit_scn);
+  void Abort(Xid xid);
+
+  TxnStatusInfo Resolve(Xid xid) const override;
+
+  /// Number of transactions ever registered (diagnostics).
+  size_t size() const;
+
+  /// Highest XID ever observed — a promoted standby's transaction manager
+  /// resumes XID allocation above it (failover bootstrap).
+  Xid max_xid() const { return max_xid_.load(std::memory_order_acquire); }
+
+  /// Drops entries of terminal transactions with commitSCN <= `low_watermark`
+  /// whose versions have all been pruned. Conservative helper for long runs;
+  /// the caller asserts no version can still reference these XIDs.
+  size_t Sweep(Scn low_watermark);
+
+ private:
+  static constexpr size_t kShards = 16;
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<Xid, TxnStatusInfo> map;
+  };
+  Shard& ShardFor(Xid xid) const {
+    return shards_[xid % kShards];
+  }
+
+  void NoteXid(Xid xid) {
+    Xid prev = max_xid_.load(std::memory_order_relaxed);
+    while (prev < xid &&
+           !max_xid_.compare_exchange_weak(prev, xid, std::memory_order_acq_rel)) {
+    }
+  }
+
+  mutable std::array<Shard, kShards> shards_;
+  std::atomic<Xid> max_xid_{0};
+};
+
+}  // namespace stratus
+
+#endif  // STRATUS_TXN_TXN_TABLE_H_

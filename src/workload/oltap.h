@@ -1,0 +1,121 @@
+#ifndef STRATUS_WORKLOAD_OLTAP_H_
+#define STRATUS_WORKLOAD_OLTAP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/random.h"
+#include "db/database.h"
+
+namespace stratus {
+
+/// Configuration of the synthetic OLTAP workload of Section IV.A: a wide
+/// table (identity + NUMBER columns + VARCHAR columns) takes a tunable mix of
+/// updates / inserts / index fetches on the primary while ad-hoc full-table
+/// scans (Table 1's Q1 and Q2) run against the standby (or the primary, for
+/// the comparison experiments).
+struct OltapOptions {
+  // Table shape (the paper: 6M rows, 1 + 50 + 50 columns; scaled down by
+  // default so a harness run finishes in minutes on one core).
+  size_t initial_rows = 60'000;
+  int num_cols = 10;
+  int varchar_cols = 10;
+  int varchar_len = 8;
+  /// NUMBER columns draw from [0, value_domain); predicates hit
+  /// ~rows/value_domain rows.
+  int64_t value_domain = 1000;
+
+  // Operation mix (percent; the remainder is index fetch).
+  uint32_t update_pct = 70;
+  uint32_t insert_pct = 0;
+  uint32_t scan_pct = 1;
+
+  int target_ops_per_sec = 4000;
+  int duration_ms = 10'000;
+  int num_threads = 2;
+  uint64_t seed = 42;
+
+  /// Where the ad-hoc scans run.
+  bool scans_on_standby = true;
+  /// Force scans down the row path (the "without DBIM" baseline).
+  bool scans_force_row_store = false;
+  InstanceId scan_instance = kMasterInstance;
+  /// Which tenant issues the traffic.
+  TenantId tenant = kDefaultTenant;
+};
+
+/// Latency and CPU accounting for one workload run.
+struct OltapStats {
+  Histogram q1_latency;       ///< SELECT * WHERE n1 = :1 (microseconds).
+  Histogram q2_latency;       ///< SELECT * WHERE c1 = :2.
+  Histogram update_latency;
+  Histogram insert_latency;
+  Histogram fetch_latency;
+
+  std::atomic<uint64_t> ops_done{0};
+  std::atomic<uint64_t> scans_done{0};
+  std::atomic<uint64_t> update_conflicts{0};
+  std::atomic<uint64_t> errors{0};
+
+  /// CPU attributed to primary-side ops (DML + fetches) vs standby-side scans,
+  /// measured per-op with CLOCK_THREAD_CPUTIME_ID.
+  std::atomic<uint64_t> primary_op_cpu_ns{0};
+  std::atomic<uint64_t> scan_cpu_ns{0};
+
+  uint64_t wall_ns = 0;
+  double AchievedOpsPerSec() const {
+    return wall_ns == 0 ? 0.0
+                        : static_cast<double>(ops_done.load()) * 1e9 /
+                              static_cast<double>(wall_ns);
+  }
+};
+
+/// Drives the OLTAP workload against an AdgCluster.
+class OltapWorkload {
+ public:
+  OltapWorkload(AdgCluster* cluster, const OltapOptions& options);
+
+  /// Creates the wide table (service: standby or both), loads the initial
+  /// rows, waits for standby catch-up, and populates the IMCS synchronously.
+  Status Setup(ImService service = ImService::kStandbyOnly);
+
+  /// Runs the mix for `duration_ms` across `num_threads` paced threads.
+  void Run();
+
+  ObjectId table_id() const { return table_; }
+  OltapStats& stats() { return stats_; }
+  const OltapOptions& options() const { return options_; }
+
+  /// Builds a row for identity `id` with freshly drawn column values.
+  Row MakeRow(int64_t id, Random* rng) const;
+
+  /// One Q1 / Q2 execution (exposed for the scan-only experiments).
+  Status RunScanOnce(Random* rng, bool q2);
+
+  /// Runs `n` Q1 and `n` Q2 scans with no concurrent DML (the paper's scans
+  /// had idle CPUs to run on; this isolates the raw scan gap from the
+  /// single-core scheduling contention of the loaded run).
+  void MeasureQuiescentScans(int n, Histogram* q1, Histogram* q2);
+
+ private:
+  void WorkerLoop(int thread_idx);
+  void DoUpdate(Random* rng);
+  void DoInsert(Random* rng);
+  void DoFetch(Random* rng);
+  void DoScan(Random* rng);
+
+  AdgCluster* cluster_;
+  OltapOptions options_;
+  ObjectId table_ = kInvalidObjectId;
+  std::atomic<int64_t> next_id_{0};
+  std::atomic<bool> stop_{false};
+  OltapStats stats_;
+};
+
+}  // namespace stratus
+
+#endif  // STRATUS_WORKLOAD_OLTAP_H_

@@ -1,0 +1,54 @@
+#include "workload/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace stratus {
+
+void ReportTable::Print(const std::string& title) const {
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size() && i < widths.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+  }
+  size_t total = 1;
+  for (size_t w : widths) total += w + 3;
+
+  std::printf("\n%s\n", title.c_str());
+  std::printf("%s\n", std::string(total, '-').c_str());
+  std::printf("|");
+  for (size_t i = 0; i < headers_.size(); ++i)
+    std::printf(" %-*s |", static_cast<int>(widths[i]), headers_[i].c_str());
+  std::printf("\n%s\n", std::string(total, '-').c_str());
+  for (const auto& row : rows_) {
+    std::printf("|");
+    for (size_t i = 0; i < headers_.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : "";
+      std::printf(" %-*s |", static_cast<int>(widths[i]), cell.c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("%s\n", std::string(total, '-').c_str());
+  std::fflush(stdout);
+}
+
+std::string Fmt(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string UsToMs(double us, int decimals) { return Fmt(us / 1000.0, decimals); }
+
+std::string LatencyTriple(const Histogram& h) {
+  return UsToMs(h.Percentile(50)) + " / " + UsToMs(h.Average()) + " / " +
+         UsToMs(h.Percentile(95));
+}
+
+std::string Speedup(double base, double improved) {
+  if (improved <= 0.0) return "-";
+  return Fmt(base / improved, 1) + "x";
+}
+
+}  // namespace stratus

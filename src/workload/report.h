@@ -1,0 +1,39 @@
+#ifndef STRATUS_WORKLOAD_REPORT_H_
+#define STRATUS_WORKLOAD_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace stratus {
+
+/// Plain-text table formatting for the benchmark harnesses, so every bench
+/// prints its paper table/figure in the same aligned style.
+class ReportTable {
+ public:
+  explicit ReportTable(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  /// Renders with a title banner to stdout.
+  void Print(const std::string& title) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "12.3" style fixed-point formatting.
+std::string Fmt(double v, int decimals = 2);
+/// Microseconds → milliseconds string.
+std::string UsToMs(double us, int decimals = 2);
+/// "median / avg / p95" milliseconds triple from a histogram.
+std::string LatencyTriple(const Histogram& h);
+/// Speedup "x" formatting ("97.3x"); returns "-" when base is 0.
+std::string Speedup(double base, double improved);
+
+}  // namespace stratus
+
+#endif  // STRATUS_WORKLOAD_REPORT_H_

@@ -1,0 +1,61 @@
+#include "common/bitmap.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace stratus {
+namespace {
+
+TEST(AtomicBitmapTest, StartsClear) {
+  AtomicBitmap bm(130);
+  for (size_t i = 0; i < 130; ++i) EXPECT_FALSE(bm.Test(i));
+  EXPECT_EQ(bm.PopCount(), 0u);
+}
+
+TEST(AtomicBitmapTest, SetReturnsNewlySet) {
+  AtomicBitmap bm(64);
+  EXPECT_TRUE(bm.Set(5));
+  EXPECT_FALSE(bm.Set(5));
+  EXPECT_TRUE(bm.Test(5));
+  EXPECT_EQ(bm.PopCount(), 1u);
+}
+
+TEST(AtomicBitmapTest, WordBoundaryBits) {
+  AtomicBitmap bm(256);
+  for (size_t i : {0u, 63u, 64u, 127u, 128u, 255u}) {
+    EXPECT_TRUE(bm.Set(i));
+    EXPECT_TRUE(bm.Test(i));
+  }
+  EXPECT_EQ(bm.PopCount(), 6u);
+  EXPECT_FALSE(bm.Test(1));
+  EXPECT_FALSE(bm.Test(62));
+  EXPECT_FALSE(bm.Test(65));
+}
+
+TEST(AtomicBitmapTest, SetAll) {
+  AtomicBitmap bm(100);
+  bm.SetAll();
+  for (size_t i = 0; i < 100; ++i) EXPECT_TRUE(bm.Test(i));
+}
+
+TEST(AtomicBitmapTest, ConcurrentSettersCountExactly) {
+  AtomicBitmap bm(4096);
+  std::atomic<size_t> newly{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (size_t i = 0; i < 4096; ++i) {
+        if (bm.Set(i)) newly.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Each bit reports "newly set" to exactly one thread.
+  EXPECT_EQ(newly.load(), 4096u);
+  EXPECT_EQ(bm.PopCount(), 4096u);
+}
+
+}  // namespace
+}  // namespace stratus

@@ -1,0 +1,76 @@
+#include "storage/block_store.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace stratus {
+namespace {
+
+TEST(BlockStoreTest, AllocationStartsAboveTxnTableRange) {
+  BlockStore store;
+  const Dba dba = store.AllocateBlock(1, kDefaultTenant);
+  EXPECT_GE(dba, kTxnTableDbaCount);
+  EXPECT_FALSE(IsTxnTableDba(dba));
+}
+
+TEST(BlockStoreTest, GetReturnsAllocatedBlock) {
+  BlockStore store;
+  const Dba dba = store.AllocateBlock(7, 3);
+  Block* b = store.GetBlock(dba);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->dba(), dba);
+  EXPECT_EQ(b->object_id(), 7u);
+  EXPECT_EQ(b->tenant(), 3u);
+}
+
+TEST(BlockStoreTest, GetUnknownReturnsNull) {
+  BlockStore store;
+  EXPECT_EQ(store.GetBlock(kTxnTableDbaCount + 5), nullptr);
+  EXPECT_EQ(store.GetBlock(0), nullptr);  // Txn-table DBA.
+}
+
+TEST(BlockStoreTest, EnsureCreatesGapBlocks) {
+  BlockStore store;
+  // The standby can see a CV for a DBA far ahead of anything local.
+  Block* b = store.EnsureBlock(kTxnTableDbaCount + 10, 42, 2);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->object_id(), 42u);
+  // The gap below stays unmaterialized until touched.
+  EXPECT_EQ(store.GetBlock(kTxnTableDbaCount + 5), nullptr);
+  EXPECT_EQ(store.HighWater(), kTxnTableDbaCount + 11);
+  // Idempotent.
+  EXPECT_EQ(store.EnsureBlock(kTxnTableDbaCount + 10, 42, 2), b);
+}
+
+TEST(BlockStoreTest, EnsureRejectsTxnTableDbas) {
+  BlockStore store;
+  EXPECT_EQ(store.EnsureBlock(3, 1, 1), nullptr);
+}
+
+TEST(BlockStoreTest, TxnTableDbaMapping) {
+  EXPECT_TRUE(IsTxnTableDba(TxnTableDbaFor(12345)));
+  EXPECT_EQ(TxnTableDbaFor(5), TxnTableDbaFor(5 + kTxnTableDbaCount));
+}
+
+TEST(BlockStoreTest, ConcurrentAllocationYieldsUniqueDbas) {
+  BlockStore store;
+  std::vector<std::vector<Dba>> per_thread(4);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&store, &per_thread, t] {
+      for (int i = 0; i < 500; ++i)
+        per_thread[t].push_back(store.AllocateBlock(1, 1));
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::vector<Dba> all;
+  for (auto& v : per_thread) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end());
+  EXPECT_EQ(all.size(), 2000u);
+}
+
+}  // namespace
+}  // namespace stratus

@@ -1,0 +1,191 @@
+#include "storage/block.h"
+
+#include <gtest/gtest.h>
+
+#include "txn/txn_table.h"
+
+namespace stratus {
+namespace {
+
+Row MakeRow(int64_t a, const std::string& b) {
+  return Row{Value(a), Value(b)};
+}
+
+ReadView ViewAt(Scn scn, const TxnTable& table, Xid self = kInvalidXid) {
+  ReadView v;
+  v.snapshot_scn = scn;
+  v.self_xid = self;
+  v.resolver = &table;
+  return v;
+}
+
+class BlockTest : public ::testing::Test {
+ protected:
+  TxnTable txns_;
+  Block block_{100, 1, kDefaultTenant};
+};
+
+TEST_F(BlockTest, UncommittedInsertInvisible) {
+  txns_.Begin(1);
+  ASSERT_TRUE(block_.ApplyInsert(0, 1, MakeRow(7, "x"), 10).ok());
+  Row out;
+  EXPECT_TRUE(block_.ReadRow(0, ViewAt(100, txns_), &out).IsNotFound());
+}
+
+TEST_F(BlockTest, CommittedInsertVisibleAtCommitScn) {
+  txns_.Begin(1);
+  ASSERT_TRUE(block_.ApplyInsert(0, 1, MakeRow(7, "x"), 10).ok());
+  txns_.Commit(1, 20);
+  Row out;
+  // Before the commitSCN: invisible.
+  EXPECT_TRUE(block_.ReadRow(0, ViewAt(19, txns_), &out).IsNotFound());
+  // At and after: visible.
+  ASSERT_TRUE(block_.ReadRow(0, ViewAt(20, txns_), &out).ok());
+  EXPECT_EQ(out[0].as_int(), 7);
+}
+
+TEST_F(BlockTest, OwnWritesVisibleToSelf) {
+  txns_.Begin(1);
+  ASSERT_TRUE(block_.ApplyInsert(0, 1, MakeRow(7, "x"), 10).ok());
+  Row out;
+  EXPECT_TRUE(block_.ReadRow(0, ViewAt(5, txns_, /*self=*/1), &out).ok());
+}
+
+TEST_F(BlockTest, VersionChainServesOldSnapshots) {
+  txns_.Begin(1);
+  ASSERT_TRUE(block_.ApplyInsert(0, 1, MakeRow(1, "v1"), 10).ok());
+  txns_.Commit(1, 10);
+  txns_.Begin(2);
+  ASSERT_TRUE(block_.ApplyUpdate(0, 2, MakeRow(2, "v2"), 30).ok());
+  txns_.Commit(2, 30);
+
+  Row out;
+  ASSERT_TRUE(block_.ReadRow(0, ViewAt(15, txns_), &out).ok());
+  EXPECT_EQ(out[1].as_string(), "v1");
+  ASSERT_TRUE(block_.ReadRow(0, ViewAt(30, txns_), &out).ok());
+  EXPECT_EQ(out[1].as_string(), "v2");
+}
+
+TEST_F(BlockTest, DeleteMakesRowInvisible) {
+  txns_.Begin(1);
+  ASSERT_TRUE(block_.ApplyInsert(0, 1, MakeRow(1, "a"), 10).ok());
+  txns_.Commit(1, 10);
+  txns_.Begin(2);
+  ASSERT_TRUE(block_.ApplyDelete(0, 2, 20).ok());
+  txns_.Commit(2, 20);
+
+  Row out;
+  EXPECT_TRUE(block_.ReadRow(0, ViewAt(15, txns_), &out).ok());
+  EXPECT_TRUE(block_.ReadRow(0, ViewAt(25, txns_), &out).IsNotFound());
+  EXPECT_TRUE(block_.RowVisible(0, ViewAt(15, txns_)));
+  EXPECT_FALSE(block_.RowVisible(0, ViewAt(25, txns_)));
+}
+
+TEST_F(BlockTest, AbortedVersionNeverVisible) {
+  txns_.Begin(1);
+  ASSERT_TRUE(block_.ApplyInsert(0, 1, MakeRow(1, "a"), 10).ok());
+  txns_.Commit(1, 10);
+  txns_.Begin(2);
+  ASSERT_TRUE(block_.ApplyUpdate(0, 2, MakeRow(2, "b"), 20).ok());
+  txns_.Abort(2);
+
+  Row out;
+  ASSERT_TRUE(block_.ReadRow(0, ViewAt(100, txns_), &out).ok());
+  EXPECT_EQ(out[1].as_string(), "a");
+}
+
+TEST_F(BlockTest, WriteConflictOnActiveWriter) {
+  txns_.Begin(1);
+  ASSERT_TRUE(block_.ApplyInsert(0, 1, MakeRow(1, "a"), 10).ok());
+  txns_.Commit(1, 10);
+
+  txns_.Begin(2);
+  ASSERT_TRUE(block_.UpdateChecked(0, 2, MakeRow(2, "b"), 20, txns_).ok());
+  // Txn 3 must be locked out while txn 2 is active.
+  txns_.Begin(3);
+  EXPECT_TRUE(block_.UpdateChecked(0, 3, MakeRow(3, "c"), 30, txns_).IsAborted());
+  EXPECT_TRUE(block_.DeleteChecked(0, 3, 30, txns_).IsAborted());
+  // After txn 2 commits, txn 3 can write.
+  txns_.Commit(2, 25);
+  EXPECT_TRUE(block_.UpdateChecked(0, 3, MakeRow(3, "c"), 30, txns_).ok());
+}
+
+TEST_F(BlockTest, SameTxnRewritesOwnRow) {
+  txns_.Begin(1);
+  ASSERT_TRUE(block_.ApplyInsert(0, 1, MakeRow(1, "a"), 10).ok());
+  EXPECT_TRUE(block_.UpdateChecked(0, 1, MakeRow(2, "b"), 11, txns_).ok());
+}
+
+TEST_F(BlockTest, UpdateOfUnknownSlotFails) {
+  txns_.Begin(1);
+  EXPECT_TRUE(block_.ApplyUpdate(3, 1, MakeRow(1, "a"), 10).IsNotFound());
+  EXPECT_TRUE(block_.UpdateChecked(3, 1, MakeRow(1, "a"), 10, txns_).IsNotFound());
+}
+
+TEST_F(BlockTest, SlotBeyondCapacityRejected) {
+  EXPECT_FALSE(block_.ApplyInsert(kRowsPerBlock, 1, MakeRow(1, "a"), 10).ok());
+}
+
+TEST_F(BlockTest, PruneDropsOldCommittedVersions) {
+  for (Xid x = 1; x <= 5; ++x) {
+    txns_.Begin(x);
+    if (x == 1) {
+      ASSERT_TRUE(block_.ApplyInsert(0, x, MakeRow(x, "v"), x * 10).ok());
+    } else {
+      ASSERT_TRUE(block_.ApplyUpdate(0, x, MakeRow(x, "v"), x * 10).ok());
+    }
+    txns_.Commit(x, x * 10);
+  }
+  EXPECT_EQ(block_.ChainLength(0), 5u);
+  const size_t freed = block_.Prune(/*low_watermark=*/35, txns_);
+  EXPECT_EQ(freed, 2u);  // Versions at SCN 10 and 20 are unreachable.
+  EXPECT_EQ(block_.ChainLength(0), 3u);
+
+  // Reads at and above the watermark still work.
+  Row out;
+  ASSERT_TRUE(block_.ReadRow(0, ViewAt(35, txns_), &out).ok());
+  EXPECT_EQ(out[0].as_int(), 3);
+  ASSERT_TRUE(block_.ReadRow(0, ViewAt(50, txns_), &out).ok());
+  EXPECT_EQ(out[0].as_int(), 5);
+}
+
+TEST_F(BlockTest, PruneUnlinksAbortedVersions) {
+  txns_.Begin(1);
+  ASSERT_TRUE(block_.ApplyInsert(0, 1, MakeRow(1, "a"), 10).ok());
+  txns_.Commit(1, 10);
+  txns_.Begin(2);
+  ASSERT_TRUE(block_.ApplyUpdate(0, 2, MakeRow(2, "b"), 20).ok());
+  txns_.Abort(2);
+  EXPECT_EQ(block_.ChainLength(0), 2u);
+  block_.Prune(/*low_watermark=*/5, txns_);
+  EXPECT_EQ(block_.ChainLength(0), 1u);
+  Row out;
+  ASSERT_TRUE(block_.ReadRow(0, ViewAt(100, txns_), &out).ok());
+  EXPECT_EQ(out[1].as_string(), "a");
+}
+
+TEST_F(BlockTest, PruneKeepsActiveVersions) {
+  txns_.Begin(1);
+  ASSERT_TRUE(block_.ApplyInsert(0, 1, MakeRow(1, "a"), 10).ok());
+  txns_.Commit(1, 10);
+  txns_.Begin(2);
+  ASSERT_TRUE(block_.ApplyUpdate(0, 2, MakeRow(2, "b"), 20).ok());  // Active.
+  block_.Prune(/*low_watermark=*/100, txns_);
+  // The active head stays; the committed version it shadows stays reachable
+  // for the active transaction's rollback-free visibility.
+  EXPECT_EQ(block_.ChainLength(0), 2u);
+  Row out;
+  ASSERT_TRUE(block_.ReadRow(0, ViewAt(100, txns_), &out).ok());
+  EXPECT_EQ(out[1].as_string(), "a");
+}
+
+TEST_F(BlockTest, UsedSlotsTracksHighestInsert) {
+  txns_.Begin(1);
+  EXPECT_EQ(block_.used_slots(), 0u);
+  ASSERT_TRUE(block_.ApplyInsert(4, 1, MakeRow(1, "a"), 10).ok());
+  EXPECT_EQ(block_.used_slots(), 5u);
+  EXPECT_TRUE(block_.HasFreeSlot());
+}
+
+}  // namespace
+}  // namespace stratus

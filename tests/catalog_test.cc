@@ -1,0 +1,117 @@
+#include "db/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace stratus {
+namespace {
+
+TEST(CatalogTest, CreateAndFind) {
+  Catalog catalog;
+  StatusOr<ObjectId> oid = catalog.CreateTable("sales", 1, Schema::WideTable(2, 1),
+                                               ImService::kBoth, true, 10);
+  ASSERT_TRUE(oid.ok());
+  EXPECT_TRUE(catalog.Exists(*oid));
+  EXPECT_EQ(catalog.FindByName("sales", 1).value(), *oid);
+  EXPECT_TRUE(catalog.FindByName("sales", 2).status().IsNotFound());
+  EXPECT_EQ(catalog.NameOf(*oid).value(), "sales");
+  EXPECT_EQ(catalog.TenantOf(*oid), 1u);
+  EXPECT_TRUE(catalog.HasIdentityIndex(*oid));
+}
+
+TEST(CatalogTest, DuplicateNameRejectedPerTenant) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable("t", 1, Schema::WideTable(1, 0),
+                                  ImService::kNone, false, 1).ok());
+  EXPECT_FALSE(catalog.CreateTable("t", 1, Schema::WideTable(1, 0),
+                                   ImService::kNone, false, 2).ok());
+  // Same name, different tenant: fine.
+  EXPECT_TRUE(catalog.CreateTable("t", 2, Schema::WideTable(1, 0),
+                                  ImService::kNone, false, 3).ok());
+}
+
+TEST(CatalogTest, ScnEffectiveSchemaVersions) {
+  Catalog catalog;
+  const ObjectId oid = catalog.CreateTable("t", 1, Schema::WideTable(2, 0),
+                                           ImService::kNone, false, 10).value();
+  ASSERT_TRUE(catalog.DropColumn(oid, 1, 50).ok());
+  // Before the DDL: the original column is alive.
+  EXPECT_FALSE(catalog.SchemaAt(oid, 49).value().IsDropped(1));
+  // At and after: dropped.
+  EXPECT_TRUE(catalog.SchemaAt(oid, 50).value().IsDropped(1));
+  EXPECT_TRUE(catalog.CurrentSchema(oid).value().IsDropped(1));
+}
+
+TEST(CatalogTest, NotYetCreatedAtOldScn) {
+  Catalog catalog;
+  const ObjectId oid = catalog.CreateTable("t", 1, Schema::WideTable(1, 0),
+                                           ImService::kNone, false, 10).value();
+  EXPECT_FALSE(catalog.ExistsAt(oid, 9));
+  EXPECT_TRUE(catalog.ExistsAt(oid, 10));
+  EXPECT_FALSE(catalog.SchemaAt(oid, 5).ok());
+}
+
+TEST(CatalogTest, DropTableScnEffective) {
+  Catalog catalog;
+  const ObjectId oid = catalog.CreateTable("t", 1, Schema::WideTable(1, 0),
+                                           ImService::kNone, false, 10).value();
+  ASSERT_TRUE(catalog.DropTable(oid, 100).ok());
+  EXPECT_TRUE(catalog.ExistsAt(oid, 99));
+  EXPECT_FALSE(catalog.ExistsAt(oid, 100));
+  EXPECT_FALSE(catalog.Exists(oid));
+  // Name is reusable after the drop.
+  EXPECT_TRUE(catalog.CreateTable("t", 1, Schema::WideTable(1, 0),
+                                  ImService::kNone, false, 101).ok());
+  // Double drop rejected.
+  EXPECT_FALSE(catalog.DropTable(oid, 102).ok());
+}
+
+TEST(CatalogTest, ImServiceVersions) {
+  Catalog catalog;
+  const ObjectId oid = catalog.CreateTable("t", 1, Schema::WideTable(1, 0),
+                                           ImService::kStandbyOnly, false, 10).value();
+  EXPECT_EQ(catalog.ImServiceAt(oid, 10), ImService::kStandbyOnly);
+  ASSERT_TRUE(catalog.SetImService(oid, ImService::kNone, 50).ok());
+  EXPECT_EQ(catalog.ImServiceAt(oid, 49), ImService::kStandbyOnly);
+  EXPECT_EQ(catalog.ImServiceAt(oid, 50), ImService::kNone);
+  EXPECT_EQ(catalog.CurrentImService(oid), ImService::kNone);
+}
+
+TEST(CatalogTest, ImServiceHelpers) {
+  EXPECT_TRUE(ImOnPrimary(ImService::kPrimaryOnly));
+  EXPECT_TRUE(ImOnPrimary(ImService::kBoth));
+  EXPECT_FALSE(ImOnPrimary(ImService::kStandbyOnly));
+  EXPECT_TRUE(ImOnStandby(ImService::kStandbyOnly));
+  EXPECT_TRUE(ImOnStandby(ImService::kBoth));
+  EXPECT_FALSE(ImOnStandby(ImService::kNone));
+}
+
+TEST(CatalogTest, CannotDropIdentityColumn) {
+  Catalog catalog;
+  const ObjectId oid = catalog.CreateTable("t", 1, Schema::WideTable(1, 0),
+                                           ImService::kNone, false, 10).value();
+  EXPECT_FALSE(catalog.DropColumn(oid, 0, 20).ok());
+  EXPECT_FALSE(catalog.DropColumn(oid, 99, 20).ok());
+}
+
+TEST(CatalogTest, MirrorWithFixedId) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTableWithId(5000, "m", 1, Schema::WideTable(1, 0),
+                                        ImService::kBoth, true, 0).ok());
+  EXPECT_TRUE(catalog.Exists(5000));
+  EXPECT_FALSE(catalog.CreateTableWithId(5000, "m2", 1, Schema::WideTable(1, 0),
+                                         ImService::kBoth, true, 0).ok());
+  // Subsequent auto ids skip past the mirrored one.
+  const ObjectId next = catalog.CreateTable("n", 1, Schema::WideTable(1, 0),
+                                            ImService::kNone, false, 1).value();
+  EXPECT_GT(next, 5000u);
+}
+
+TEST(CatalogTest, AllObjectsEnumerates) {
+  Catalog catalog;
+  catalog.CreateTable("a", 1, Schema::WideTable(1, 0), ImService::kNone, false, 1).value();
+  catalog.CreateTable("b", 1, Schema::WideTable(1, 0), ImService::kNone, false, 1).value();
+  EXPECT_EQ(catalog.AllObjects().size(), 2u);
+}
+
+}  // namespace
+}  // namespace stratus

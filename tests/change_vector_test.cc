@@ -1,0 +1,138 @@
+#include "redo/change_vector.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/block_store.h"
+
+namespace stratus {
+namespace {
+
+ChangeVector SampleInsert() {
+  ChangeVector cv;
+  cv.kind = CvKind::kInsert;
+  cv.scn = 1234;
+  cv.xid = 77;
+  cv.dba = 4096;
+  cv.object_id = 10;
+  cv.tenant = 3;
+  cv.slot = 42;
+  cv.after = {Value(int64_t{-5}), Value(std::string("hello")), Value::Null()};
+  return cv;
+}
+
+TEST(ChangeVectorTest, RoundTripDataCv) {
+  RedoRecord rec;
+  rec.scn = 1234;
+  rec.thread = 1;
+  rec.cvs.push_back(SampleInsert());
+
+  std::string buf;
+  EncodeRedoRecord(rec, &buf);
+  size_t pos = 0;
+  RedoRecord out;
+  ASSERT_TRUE(DecodeRedoRecord(buf, &pos, &out).ok());
+  EXPECT_EQ(pos, buf.size());
+  EXPECT_EQ(out.scn, rec.scn);
+  EXPECT_EQ(out.thread, rec.thread);
+  ASSERT_EQ(out.cvs.size(), 1u);
+  const ChangeVector& cv = out.cvs[0];
+  EXPECT_EQ(cv.kind, CvKind::kInsert);
+  EXPECT_EQ(cv.xid, 77u);
+  EXPECT_EQ(cv.dba, 4096u);
+  EXPECT_EQ(cv.object_id, 10u);
+  EXPECT_EQ(cv.tenant, 3u);
+  EXPECT_EQ(cv.slot, 42u);
+  ASSERT_EQ(cv.after.size(), 3u);
+  EXPECT_EQ(cv.after[0].as_int(), -5);
+  EXPECT_EQ(cv.after[1].as_string(), "hello");
+  EXPECT_TRUE(cv.after[2].is_null());
+}
+
+TEST(ChangeVectorTest, RoundTripCommitWithFlag) {
+  RedoRecord rec;
+  rec.scn = 9;
+  ChangeVector cv;
+  cv.kind = CvKind::kTxnCommit;
+  cv.scn = 9;
+  cv.xid = 5;
+  cv.dba = TxnTableDbaFor(5);
+  cv.im_flag = true;
+  cv.tenant = 7;
+  rec.cvs.push_back(cv);
+
+  std::string buf;
+  EncodeRedoRecord(rec, &buf);
+  size_t pos = 0;
+  RedoRecord out;
+  ASSERT_TRUE(DecodeRedoRecord(buf, &pos, &out).ok());
+  EXPECT_EQ(out.cvs[0].kind, CvKind::kTxnCommit);
+  EXPECT_TRUE(out.cvs[0].im_flag);
+  EXPECT_EQ(out.cvs[0].tenant, 7u);
+}
+
+TEST(ChangeVectorTest, RoundTripDdlMarker) {
+  RedoRecord rec;
+  rec.scn = 50;
+  ChangeVector cv;
+  cv.kind = CvKind::kDdlMarker;
+  cv.scn = 50;
+  cv.ddl.op = DdlOp::kDropColumn;
+  cv.ddl.object_id = 99;
+  cv.ddl.tenant = 2;
+  cv.ddl.column_idx = 13;
+  cv.ddl.im_service = 3;
+  rec.cvs.push_back(cv);
+
+  std::string buf;
+  EncodeRedoRecord(rec, &buf);
+  size_t pos = 0;
+  RedoRecord out;
+  ASSERT_TRUE(DecodeRedoRecord(buf, &pos, &out).ok());
+  EXPECT_EQ(out.cvs[0].ddl.op, DdlOp::kDropColumn);
+  EXPECT_EQ(out.cvs[0].ddl.object_id, 99u);
+  EXPECT_EQ(out.cvs[0].ddl.column_idx, 13u);
+  EXPECT_EQ(out.cvs[0].ddl.im_service, 3);
+}
+
+TEST(ChangeVectorTest, MultipleRecordsInOneBuffer) {
+  std::string buf;
+  for (int i = 0; i < 5; ++i) {
+    RedoRecord rec;
+    rec.scn = static_cast<Scn>(100 + i);
+    rec.cvs.push_back(SampleInsert());
+    EncodeRedoRecord(rec, &buf);
+  }
+  size_t pos = 0;
+  for (int i = 0; i < 5; ++i) {
+    RedoRecord out;
+    ASSERT_TRUE(DecodeRedoRecord(buf, &pos, &out).ok());
+    EXPECT_EQ(out.scn, static_cast<Scn>(100 + i));
+  }
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(ChangeVectorTest, TruncatedBufferIsCorruption) {
+  RedoRecord rec;
+  rec.scn = 1;
+  rec.cvs.push_back(SampleInsert());
+  std::string buf;
+  EncodeRedoRecord(rec, &buf);
+  for (size_t cut : {buf.size() - 1, buf.size() / 2, size_t{3}}) {
+    std::string trunc = buf.substr(0, cut);
+    size_t pos = 0;
+    RedoRecord out;
+    EXPECT_FALSE(DecodeRedoRecord(trunc, &pos, &out).ok()) << "cut=" << cut;
+  }
+}
+
+TEST(ChangeVectorTest, EncodedSizeMatchesEncoding) {
+  RedoRecord rec;
+  rec.scn = 1;
+  rec.cvs.push_back(SampleInsert());
+  std::string buf;
+  EncodeRedoRecord(rec, &buf);
+  EXPECT_EQ(EncodedSize(rec), buf.size());
+}
+
+}  // namespace
+}  // namespace stratus

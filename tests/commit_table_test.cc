@@ -1,0 +1,131 @@
+#include "imadg/commit_table.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace stratus {
+namespace {
+
+std::vector<Scn> ChainScns(ImAdgCommitTable::Node* head) {
+  std::vector<Scn> out;
+  while (head != nullptr) {
+    out.push_back(head->commit_scn);
+    ImAdgCommitTable::Node* next = head->next;
+    delete head;
+    head = next;
+  }
+  return out;
+}
+
+TEST(CommitTableTest, ChopTakesExactPrefix) {
+  ImAdgCommitTable table(1);
+  for (Scn s : {10u, 20u, 30u, 40u})
+    table.Insert(s, s, true, false, kDefaultTenant, nullptr);
+  const auto chopped = ChainScns(table.Chop(25));
+  EXPECT_EQ(chopped, (std::vector<Scn>{10, 20}));
+  EXPECT_EQ(table.live_nodes(), 2u);
+  const auto rest = ChainScns(table.Chop(1000));
+  EXPECT_EQ(rest, (std::vector<Scn>{30, 40}));
+  EXPECT_EQ(table.live_nodes(), 0u);
+}
+
+TEST(CommitTableTest, ChopBoundaryIsInclusive) {
+  ImAdgCommitTable table(1);
+  table.Insert(1, 10, true, false, kDefaultTenant, nullptr);
+  const auto chopped = ChainScns(table.Chop(10));
+  EXPECT_EQ(chopped, (std::vector<Scn>{10}));
+}
+
+TEST(CommitTableTest, ChopOnEmptyTableIsNull) {
+  ImAdgCommitTable table(4);
+  EXPECT_EQ(table.Chop(100), nullptr);
+}
+
+TEST(CommitTableTest, OutOfOrderInsertStaysSorted) {
+  ImAdgCommitTable table(1);
+  for (Scn s : {30u, 10u, 50u, 20u, 40u})
+    table.Insert(s, s, true, false, kDefaultTenant, nullptr);
+  EXPECT_GT(table.insert_walk_steps(), 0u);
+  const auto all = ChainScns(table.Chop(1000));
+  EXPECT_EQ(all, (std::vector<Scn>{10, 20, 30, 40, 50}));
+}
+
+TEST(CommitTableTest, InOrderInsertIsTailAppend) {
+  ImAdgCommitTable table(1);
+  for (Scn s = 1; s <= 1000; ++s)
+    table.Insert(s, s, true, false, kDefaultTenant, nullptr);
+  EXPECT_EQ(table.insert_walk_steps(), 0u);  // Never walked from the head.
+  EXPECT_EQ(table.inserts(), 1000u);
+  ChainScns(table.Chop(1000));
+}
+
+TEST(CommitTableTest, PartitionedChopConcatenatesSortedRuns) {
+  ImAdgCommitTable table(4);
+  for (Scn s = 1; s <= 100; ++s)
+    table.Insert(/*xid=*/s, /*commit_scn=*/s, true, false, kDefaultTenant, nullptr);
+  const auto chopped = ChainScns(table.Chop(60));
+  EXPECT_EQ(chopped.size(), 60u);
+  // Each partition's run is ascending even though the concatenation is not.
+  std::vector<Scn> sorted = chopped;
+  std::sort(sorted.begin(), sorted.end());
+  for (Scn s = 1; s <= 60; ++s) EXPECT_EQ(sorted[s - 1], s);
+}
+
+TEST(CommitTableTest, NodeCarriesPayload) {
+  ImAdgCommitTable table(2);
+  ImAdgJournal journal(4, 2);
+  auto* anchor = journal.GetOrCreateAnchor(9);
+  table.Insert(9, 42, /*im_flag=*/true, /*aborted=*/true, /*tenant=*/3, anchor);
+  ImAdgCommitTable::Node* node = table.Chop(100);
+  ASSERT_NE(node, nullptr);
+  EXPECT_EQ(node->xid, 9u);
+  EXPECT_EQ(node->commit_scn, 42u);
+  EXPECT_TRUE(node->im_flag);
+  EXPECT_TRUE(node->aborted);
+  EXPECT_EQ(node->tenant, 3u);
+  EXPECT_EQ(node->anchor, anchor);
+  delete node;
+}
+
+TEST(CommitTableTest, ClearFreesNodes) {
+  ImAdgCommitTable table(2);
+  for (Scn s = 1; s <= 10; ++s)
+    table.Insert(s, s, true, false, kDefaultTenant, nullptr);
+  table.Clear();
+  EXPECT_EQ(table.live_nodes(), 0u);
+  EXPECT_EQ(table.Chop(1000), nullptr);
+}
+
+TEST(CommitTableTest, ConcurrentInsertersStaySorted) {
+  ImAdgCommitTable table(4);
+  std::atomic<Scn> next{1};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 2500; ++i) {
+        const Scn s = next.fetch_add(1);
+        table.Insert(/*xid=*/s, s, true, false, kDefaultTenant, nullptr);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(table.inserts(), 10000u);
+  // Chop in two halves; each partition run must be ascending.
+  for (Scn upto : {5000u, 10000u}) {
+    ImAdgCommitTable::Node* head = table.Chop(upto);
+    Scn prev = 0;
+    size_t runs = 0;
+    for (ImAdgCommitTable::Node* n = head; n != nullptr; n = n->next) {
+      if (n->commit_scn < prev) ++runs;  // Partition boundary.
+      prev = n->commit_scn;
+    }
+    EXPECT_LT(runs, 4u);
+    ChainScns(head);
+  }
+  EXPECT_EQ(table.live_nodes(), 0u);
+}
+
+}  // namespace
+}  // namespace stratus

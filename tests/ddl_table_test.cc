@@ -1,0 +1,67 @@
+#include "imadg/ddl_table.h"
+
+#include <gtest/gtest.h>
+
+namespace stratus {
+namespace {
+
+DdlMarker Marker(ObjectId oid, DdlOp op = DdlOp::kDropTable) {
+  DdlMarker m;
+  m.op = op;
+  m.object_id = oid;
+  return m;
+}
+
+TEST(DdlInfoTableTest, ExtractReturnsScnPrefix) {
+  DdlInfoTable table;
+  table.Insert(10, Marker(1));
+  table.Insert(20, Marker(2));
+  table.Insert(30, Marker(3));
+  const auto extracted = table.Extract(20);
+  ASSERT_EQ(extracted.size(), 2u);
+  EXPECT_EQ(extracted[0].scn, 10u);
+  EXPECT_EQ(extracted[1].scn, 20u);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(DdlInfoTableTest, InsertOutOfOrderStaysSorted) {
+  DdlInfoTable table;
+  table.Insert(30, Marker(3));
+  table.Insert(10, Marker(1));
+  table.Insert(20, Marker(2));
+  const auto extracted = table.Extract(100);
+  ASSERT_EQ(extracted.size(), 3u);
+  EXPECT_EQ(extracted[0].marker.object_id, 1u);
+  EXPECT_EQ(extracted[1].marker.object_id, 2u);
+  EXPECT_EQ(extracted[2].marker.object_id, 3u);
+}
+
+TEST(DdlInfoTableTest, ExtractBelowEverythingIsEmpty) {
+  DdlInfoTable table;
+  table.Insert(10, Marker(1));
+  EXPECT_TRUE(table.Extract(5).empty());
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(DdlInfoTableTest, MarkerPayloadPreserved) {
+  DdlInfoTable table;
+  DdlMarker m = Marker(7, DdlOp::kDropColumn);
+  m.column_idx = 3;
+  m.tenant = 9;
+  table.Insert(15, m);
+  const auto extracted = table.Extract(15);
+  ASSERT_EQ(extracted.size(), 1u);
+  EXPECT_EQ(extracted[0].marker.op, DdlOp::kDropColumn);
+  EXPECT_EQ(extracted[0].marker.column_idx, 3u);
+  EXPECT_EQ(extracted[0].marker.tenant, 9u);
+}
+
+TEST(DdlInfoTableTest, ClearEmpties) {
+  DdlInfoTable table;
+  table.Insert(10, Marker(1));
+  table.Clear();
+  EXPECT_EQ(table.size(), 0u);
+}
+
+}  // namespace
+}  // namespace stratus

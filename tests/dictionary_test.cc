@@ -1,0 +1,69 @@
+#include "imcs/dictionary.h"
+
+#include <gtest/gtest.h>
+
+namespace stratus {
+namespace {
+
+Dictionary Build(std::vector<std::string> values) {
+  std::vector<const std::string*> ptrs;
+  for (const auto& v : values) ptrs.push_back(&v);
+  // Careful: ptrs point into `values`, valid for the Build call only.
+  return Dictionary::Build(ptrs);
+}
+
+TEST(DictionaryTest, SortedUniqueCodes) {
+  std::vector<std::string> values = {"banana", "apple", "banana", "cherry"};
+  std::vector<const std::string*> ptrs;
+  for (const auto& v : values) ptrs.push_back(&v);
+  const Dictionary dict = Dictionary::Build(ptrs);
+  EXPECT_EQ(dict.size(), 3u);
+  EXPECT_EQ(dict.Decode(0), "apple");
+  EXPECT_EQ(dict.Decode(1), "banana");
+  EXPECT_EQ(dict.Decode(2), "cherry");
+}
+
+TEST(DictionaryTest, LookupHitAndMiss) {
+  const Dictionary dict = Build({"x", "y"});
+  EXPECT_EQ(dict.Lookup("x").value(), 0u);
+  EXPECT_EQ(dict.Lookup("y").value(), 1u);
+  EXPECT_FALSE(dict.Lookup("z").has_value());
+  EXPECT_FALSE(dict.Lookup("").has_value());
+}
+
+TEST(DictionaryTest, OrderPreserving) {
+  const Dictionary dict = Build({"aa", "ab", "b", "ba"});
+  // Codes compare exactly like the strings.
+  EXPECT_LT(dict.Lookup("aa").value(), dict.Lookup("ab").value());
+  EXPECT_LT(dict.Lookup("ab").value(), dict.Lookup("b").value());
+  EXPECT_LT(dict.Lookup("b").value(), dict.Lookup("ba").value());
+}
+
+TEST(DictionaryTest, LowerBoundForAbsentValues) {
+  const Dictionary dict = Build({"b", "d", "f"});
+  EXPECT_EQ(dict.LowerBound("a"), 0u);
+  EXPECT_EQ(dict.LowerBound("b"), 0u);
+  EXPECT_EQ(dict.LowerBound("c"), 1u);
+  EXPECT_EQ(dict.LowerBound("g"), 3u);  // == size().
+}
+
+TEST(DictionaryTest, NullsIgnored) {
+  std::string a = "a";
+  const Dictionary dict = Dictionary::Build({&a, nullptr, &a, nullptr});
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(DictionaryTest, EmptyDictionary) {
+  const Dictionary dict = Dictionary::Build({});
+  EXPECT_TRUE(dict.empty());
+  EXPECT_EQ(dict.size(), 0u);
+}
+
+TEST(DictionaryTest, MinMax) {
+  const Dictionary dict = Build({"m", "a", "z"});
+  EXPECT_EQ(dict.MinValue(), "a");
+  EXPECT_EQ(dict.MaxValue(), "z");
+}
+
+}  // namespace
+}  // namespace stratus

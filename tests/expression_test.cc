@@ -1,0 +1,244 @@
+#include "imcs/expression.h"
+
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+
+namespace stratus {
+namespace {
+
+Row SampleRow() {
+  return Row{Value(int64_t{10}), Value(int64_t{4}), Value(std::string("abc"))};
+}
+
+TEST(ExpressionTest, ColumnAndConst) {
+  EXPECT_EQ(Expression::Column(0).Eval(SampleRow()).as_int(), 10);
+  EXPECT_EQ(Expression::Const(Value(int64_t{7})).Eval(SampleRow()).as_int(), 7);
+  EXPECT_TRUE(Expression::Column(9).Eval(SampleRow()).is_null());
+}
+
+TEST(ExpressionTest, Arithmetic) {
+  const Row row = SampleRow();
+  EXPECT_EQ(Expression::Add(Expression::Column(0), Expression::Column(1)).Eval(row).as_int(), 14);
+  EXPECT_EQ(Expression::Sub(Expression::Column(0), Expression::Column(1)).Eval(row).as_int(), 6);
+  EXPECT_EQ(Expression::Mul(Expression::Column(0), Expression::Column(1)).Eval(row).as_int(), 40);
+  EXPECT_EQ(Expression::Div(Expression::Column(0), Expression::Column(1)).Eval(row).as_int(), 2);
+  EXPECT_EQ(Expression::Mod(Expression::Column(0), Expression::Column(1)).Eval(row).as_int(), 2);
+}
+
+TEST(ExpressionTest, DivisionByZeroIsNull) {
+  const Row row = SampleRow();
+  EXPECT_TRUE(Expression::Div(Expression::Column(0), Expression::Const(Value(int64_t{0})))
+                  .Eval(row).is_null());
+  EXPECT_TRUE(Expression::Mod(Expression::Column(0), Expression::Const(Value(int64_t{0})))
+                  .Eval(row).is_null());
+}
+
+TEST(ExpressionTest, StringOperators) {
+  const Row row = SampleRow();
+  EXPECT_EQ(Expression::Length(Expression::Column(2)).Eval(row).as_int(), 3);
+  EXPECT_EQ(Expression::Concat(Expression::Column(2),
+                               Expression::Const(Value(std::string("!"))))
+                .Eval(row).as_string(),
+            "abc!");
+}
+
+TEST(ExpressionTest, NullPropagation) {
+  Row row{Value::Null(), Value(int64_t{4}), Value::Null()};
+  EXPECT_TRUE(Expression::Add(Expression::Column(0), Expression::Column(1)).Eval(row).is_null());
+  EXPECT_TRUE(Expression::Length(Expression::Column(2)).Eval(row).is_null());
+}
+
+TEST(ExpressionTest, TypeMismatchIsNull) {
+  const Row row = SampleRow();
+  // length(int column), int + string.
+  EXPECT_TRUE(Expression::Length(Expression::Column(0)).Eval(row).is_null());
+  EXPECT_TRUE(Expression::Add(Expression::Column(0), Expression::Column(2)).Eval(row).is_null());
+}
+
+TEST(ExpressionTest, ValidationAgainstSchema) {
+  const Schema schema = Schema::WideTable(1, 1);  // id, n1, c1.
+  EXPECT_TRUE(Expression::Add(Expression::Column(0), Expression::Column(1))
+                  .Validate(schema).ok());
+  EXPECT_FALSE(Expression::Column(5).Validate(schema).ok());
+  const Schema dropped = schema.WithDroppedColumn(1);
+  EXPECT_FALSE(Expression::Column(1).Validate(dropped).ok());
+}
+
+TEST(ExpressionTest, ResultTypeAndToString) {
+  const Schema schema = Schema::WideTable(1, 1);
+  const Expression e = Expression::Mul(Expression::Column(1),
+                                       Expression::Const(Value(int64_t{3})));
+  EXPECT_EQ(e.ResultType(schema), ValueType::kInt);
+  EXPECT_EQ(e.ToString(schema), "(n1 * 3)");
+  EXPECT_EQ(Expression::Length(Expression::Column(2)).ToString(schema), "length(c1)");
+}
+
+TEST(ExpressionRegistryTest, VirtualIndexesStack) {
+  ImExpressionRegistry registry;
+  const Schema schema = Schema::WideTable(1, 1);  // 3 columns.
+  EXPECT_EQ(registry.Register(10, schema, Expression::Column(1)).value(), 3u);
+  EXPECT_EQ(registry.Register(10, schema, Expression::Column(2)).value(), 4u);
+  EXPECT_EQ(registry.CountFor(10), 2u);
+  EXPECT_EQ(registry.For(10).size(), 2u);
+  registry.Drop(10);
+  EXPECT_EQ(registry.CountFor(10), 0u);
+}
+
+TEST(ExpressionRegistryTest, RejectsInvalidExpression) {
+  ImExpressionRegistry registry;
+  EXPECT_FALSE(registry.Register(10, Schema::WideTable(1, 1),
+                                 Expression::Column(99)).ok());
+}
+
+// --- End-to-end: expression populated in standby IMCUs ----------------------
+
+class ImExpressionClusterTest : public ::testing::Test {
+ protected:
+  ImExpressionClusterTest() : cluster_(Options()) {
+    cluster_.Start();
+    table_ = cluster_
+                 .CreateTable("t", kDefaultTenant, Schema::WideTable(2, 1),
+                              ImService::kStandbyOnly, true)
+                 .value();
+    Transaction txn = cluster_.primary()->Begin();
+    for (int64_t id = 0; id < 2 * kRowsPerBlock; ++id) {
+      EXPECT_TRUE(cluster_.primary()
+                      ->Insert(&txn, table_,
+                               Row{Value(id), Value(id % 10), Value(id % 7),
+                                   Value(std::string("abc"))},
+                               nullptr)
+                      .ok());
+    }
+    EXPECT_TRUE(cluster_.primary()->Commit(&txn).ok());
+    cluster_.WaitForCatchup();
+  }
+
+  static DatabaseOptions Options() {
+    DatabaseOptions options;
+    options.apply.num_workers = 2;
+    options.population.blocks_per_imcu = 2;
+    options.shipping.heartbeat_interval_us = 500;
+    return options;
+  }
+
+  AdgCluster cluster_;
+  ObjectId table_ = kInvalidObjectId;
+};
+
+TEST_F(ImExpressionClusterTest, ExpressionServedFromImcs) {
+  // n1 * 100 + n2.
+  const Expression expr = Expression::Add(
+      Expression::Mul(Expression::Column(1), Expression::Const(Value(int64_t{100}))),
+      Expression::Column(2));
+  const uint32_t vcol = cluster_.RegisterImExpression(table_, expr).value();
+  EXPECT_EQ(vcol, 4u);
+  ASSERT_TRUE(cluster_.standby()->PopulateNow(table_).ok());
+
+  ScanQuery q;
+  q.object = table_;
+  q.predicates = {{vcol, PredOp::kEq, Value(int64_t{305})}};  // n1=3, n2=5.
+  q.agg = AggKind::kCount;
+  const auto imcs = cluster_.standby()->Query(q);
+  ASSERT_TRUE(imcs.ok());
+  EXPECT_GT(imcs->count, 0u);
+  EXPECT_GT(imcs->stats.rows_from_imcs, 0u);  // Virtual column evaluated at population.
+
+  // Row path agrees (expression evaluated per row there).
+  q.force_row_store = true;
+  const auto rows = cluster_.standby()->Query(q);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(imcs->count, rows->count);
+}
+
+TEST_F(ImExpressionClusterTest, PreExpressionImcusFallBackToRowPath) {
+  ASSERT_TRUE(cluster_.standby()->PopulateNow(table_).ok());
+  // Register AFTER population: old IMCUs lack the virtual column…
+  const uint32_t vcol =
+      cluster_.RegisterImExpression(table_, Expression::Mul(Expression::Column(1),
+                                                            Expression::Const(Value(int64_t{2}))))
+          .value();
+  // RegisterImExpression drops the old IMCUs, so until repopulation the rows
+  // are row-path — but results stay correct.
+  ScanQuery q;
+  q.object = table_;
+  q.predicates = {{vcol, PredOp::kEq, Value(int64_t{6})}};  // n1 == 3.
+  q.agg = AggKind::kCount;
+  const auto before = cluster_.standby()->Query(q);
+  ASSERT_TRUE(before.ok());
+  // n1 cycles 0..9 over 512 rows → ~51 rows with n1==3.
+  EXPECT_GT(before->count, 0u);
+
+  ASSERT_TRUE(cluster_.standby()->PopulateNow(table_).ok());
+  const auto after = cluster_.standby()->Query(q);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->count, before->count);
+  EXPECT_GT(after->stats.rows_from_imcs, 0u);
+}
+
+TEST_F(ImExpressionClusterTest, InvalidatedRowsReevaluateExpressions) {
+  const uint32_t vcol =
+      cluster_.RegisterImExpression(table_, Expression::Mul(Expression::Column(1),
+                                                            Expression::Const(Value(int64_t{10}))))
+          .value();
+  ASSERT_TRUE(cluster_.standby()->PopulateNow(table_).ok());
+
+  // Change n1 of row 0 from 0 to 42: the expression value becomes 420, which
+  // only reconciliation (row path re-evaluation) can discover.
+  Transaction txn = cluster_.primary()->Begin();
+  ASSERT_TRUE(cluster_.primary()
+                  ->UpdateByKey(&txn, table_, 0,
+                                Row{Value(int64_t{0}), Value(int64_t{42}),
+                                    Value(int64_t{1}), Value(std::string("x"))})
+                  .ok());
+  ASSERT_TRUE(cluster_.primary()->Commit(&txn).ok());
+  cluster_.WaitForCatchup();
+
+  ScanQuery q;
+  q.object = table_;
+  q.predicates = {{vcol, PredOp::kEq, Value(int64_t{420})}};
+  q.agg = AggKind::kCount;
+  const auto result = cluster_.standby()->Query(q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->count, 1u);
+}
+
+TEST_F(ImExpressionClusterTest, AggregationPushdownOnExpression) {
+  const uint32_t vcol =
+      cluster_.RegisterImExpression(table_, Expression::Add(Expression::Column(1),
+                                                            Expression::Column(2)))
+          .value();
+  ASSERT_TRUE(cluster_.standby()->PopulateNow(table_).ok());
+
+  ScanQuery q;
+  q.object = table_;
+  q.agg = AggKind::kSum;
+  q.agg_column = vcol;
+  const auto imcs = cluster_.standby()->Query(q);
+  ASSERT_TRUE(imcs.ok());
+  q.force_row_store = true;
+  const auto rows = cluster_.standby()->Query(q);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(imcs->agg_int, rows->agg_int);
+  EXPECT_TRUE(imcs->agg_valid);
+}
+
+TEST_F(ImExpressionClusterTest, AggregationPushdownMatchesMaterializedPath) {
+  ASSERT_TRUE(cluster_.standby()->PopulateNow(table_).ok());
+  // SUM over a base column, IMCS pushdown vs row path.
+  ScanQuery q;
+  q.object = table_;
+  q.predicates = {{1, PredOp::kGe, Value(int64_t{5})}};
+  q.agg = AggKind::kSum;
+  q.agg_column = 2;
+  const auto imcs = cluster_.standby()->Query(q);
+  ASSERT_TRUE(imcs.ok());
+  q.force_row_store = true;
+  const auto rows = cluster_.standby()->Query(q);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(imcs->agg_int, rows->agg_int);
+  EXPECT_EQ(imcs->count, rows->count);
+}
+
+}  // namespace
+}  // namespace stratus

@@ -1,0 +1,226 @@
+#include "imadg/flush.h"
+
+#include <gtest/gtest.h>
+
+namespace stratus {
+namespace {
+
+/// Captures everything the flush component applies.
+class FakeApplier : public InvalidationApplier {
+ public:
+  void ApplyGroups(std::vector<InvalidationGroup> groups) override {
+    std::lock_guard<std::mutex> g(mu_);
+    for (auto& group : groups) groups_.push_back(std::move(group));
+  }
+  void ApplyCoarseInvalidation(TenantId tenant) override {
+    std::lock_guard<std::mutex> g(mu_);
+    coarse_.push_back(tenant);
+  }
+  void ApplyDdl(const DdlMarker& marker) override {
+    std::lock_guard<std::mutex> g(mu_);
+    ddl_.push_back(marker);
+  }
+  bool Drained() const override { return drained_; }
+  void OnPublished(Scn scn) override { published_ = scn; }
+
+  size_t TotalRows() {
+    std::lock_guard<std::mutex> g(mu_);
+    size_t n = 0;
+    for (const auto& group : groups_) n += group.rows.size();
+    return n;
+  }
+
+  std::mutex mu_;
+  std::vector<InvalidationGroup> groups_;
+  std::vector<TenantId> coarse_;
+  std::vector<DdlMarker> ddl_;
+  bool drained_ = true;
+  Scn published_ = kInvalidScn;
+};
+
+class FlushTest : public ::testing::Test {
+ protected:
+  FlushTest() : journal_(16, 4), commit_table_(2) {
+    FlushOptions options;
+    options.batch_size = 4;
+    flush_ = std::make_unique<InvalidationFlushComponent>(
+        &journal_, &commit_table_, &ddl_table_, &applier_, options);
+  }
+
+  /// Mines a committed transaction with `n` records on object `oid`.
+  void MineTxn(Xid xid, Scn commit_scn, ObjectId oid, int n) {
+    journal_.MarkBegin(xid);
+    for (int i = 0; i < n; ++i) {
+      InvalidationRecord rec;
+      rec.object_id = oid;
+      rec.dba = 100 + static_cast<Dba>(i % 3);
+      rec.slot = static_cast<SlotId>(i);
+      journal_.AddRecord(xid, static_cast<WorkerId>(i % 4), rec);
+    }
+    commit_table_.Insert(xid, commit_scn, /*im_flag=*/true, /*aborted=*/false,
+                         kDefaultTenant, journal_.Find(xid));
+  }
+
+  void DrainAll() {
+    while (flush_->FlushStep(0)) {
+    }
+    // One more step in case the last batch emptied the worklink.
+    flush_->FlushStep(0);
+  }
+
+  ImAdgJournal journal_;
+  ImAdgCommitTable commit_table_;
+  DdlInfoTable ddl_table_;
+  FakeApplier applier_;
+  std::unique_ptr<InvalidationFlushComponent> flush_;
+};
+
+TEST_F(FlushTest, FlushesCommittedRecordsAsGroups) {
+  MineTxn(1, 10, /*oid=*/7, /*n=*/5);
+  flush_->PrepareAdvance(10);
+  EXPECT_TRUE(flush_->WantsHelp());
+  DrainAll();
+  EXPECT_TRUE(flush_->AdvanceComplete());
+  EXPECT_EQ(applier_.TotalRows(), 5u);
+  ASSERT_EQ(applier_.groups_.size(), 1u);
+  EXPECT_EQ(applier_.groups_[0].object_id, 7u);
+  // The anchor is reclaimed.
+  EXPECT_EQ(journal_.Find(1), nullptr);
+  EXPECT_EQ(flush_->stats().flushed_txns, 1u);
+  EXPECT_EQ(flush_->stats().flushed_records, 5u);
+}
+
+TEST_F(FlushTest, OnlyTransactionsAtOrBelowTargetFlush) {
+  MineTxn(1, 10, 7, 2);
+  MineTxn(2, 20, 7, 3);
+  flush_->PrepareAdvance(15);
+  DrainAll();
+  EXPECT_EQ(applier_.TotalRows(), 2u);
+  EXPECT_EQ(journal_.Find(1), nullptr);
+  EXPECT_NE(journal_.Find(2), nullptr);  // Still buffered for the next advance.
+  flush_->PrepareAdvance(25);
+  DrainAll();
+  EXPECT_EQ(applier_.TotalRows(), 5u);
+}
+
+TEST_F(FlushTest, MultipleObjectsSplitIntoGroups) {
+  journal_.MarkBegin(1);
+  for (ObjectId oid : {7u, 8u, 7u, 9u}) {
+    InvalidationRecord rec;
+    rec.object_id = oid;
+    rec.dba = 100;
+    rec.slot = 0;
+    journal_.AddRecord(1, 0, rec);
+  }
+  commit_table_.Insert(1, 10, true, false, kDefaultTenant, journal_.Find(1));
+  flush_->PrepareAdvance(10);
+  DrainAll();
+  EXPECT_EQ(applier_.groups_.size(), 3u);  // Objects 7, 8, 9.
+  EXPECT_EQ(flush_->stats().flushed_groups, 3u);
+}
+
+TEST_F(FlushTest, AbortedTransactionDiscardedSilently) {
+  journal_.MarkBegin(1);
+  InvalidationRecord rec;
+  rec.object_id = 7;
+  rec.dba = 100;
+  journal_.AddRecord(1, 0, rec);
+  journal_.MarkAborted(1);
+  commit_table_.Insert(1, 10, false, /*aborted=*/true, kDefaultTenant,
+                       journal_.Find(1));
+  flush_->PrepareAdvance(10);
+  DrainAll();
+  EXPECT_EQ(applier_.TotalRows(), 0u);
+  EXPECT_EQ(journal_.Find(1), nullptr);
+  EXPECT_EQ(flush_->stats().aborted_discards, 1u);
+}
+
+TEST_F(FlushTest, MissingBeginWithFlagTriggersCoarseInvalidation) {
+  // Anchor exists (post-restart partial mining) but has no begin record.
+  InvalidationRecord rec;
+  rec.object_id = 7;
+  rec.dba = 100;
+  journal_.AddRecord(1, 0, rec);
+  commit_table_.Insert(1, 10, /*im_flag=*/true, false, /*tenant=*/5,
+                       journal_.Find(1));
+  flush_->PrepareAdvance(10);
+  DrainAll();
+  EXPECT_EQ(applier_.TotalRows(), 0u);  // Partial records discarded.
+  ASSERT_EQ(applier_.coarse_.size(), 1u);
+  EXPECT_EQ(applier_.coarse_[0], 5u);
+  EXPECT_EQ(flush_->stats().coarse_invalidations, 1u);
+}
+
+TEST_F(FlushTest, MissingAnchorWithFlagTriggersCoarseInvalidation) {
+  commit_table_.Insert(1, 10, /*im_flag=*/true, false, /*tenant=*/6, nullptr);
+  flush_->PrepareAdvance(10);
+  DrainAll();
+  ASSERT_EQ(applier_.coarse_.size(), 1u);
+  EXPECT_EQ(applier_.coarse_[0], 6u);
+}
+
+TEST_F(FlushTest, MissingAnchorWithoutFlagIsNoop) {
+  commit_table_.Insert(1, 10, /*im_flag=*/false, false, kDefaultTenant, nullptr);
+  flush_->PrepareAdvance(10);
+  DrainAll();
+  EXPECT_TRUE(applier_.coarse_.empty());
+}
+
+TEST_F(FlushTest, DdlMarkersAppliedAtPrepare) {
+  DdlMarker marker;
+  marker.op = DdlOp::kDropTable;
+  marker.object_id = 7;
+  ddl_table_.Insert(5, marker);
+  ddl_table_.Insert(50, marker);  // Beyond the target: stays buffered.
+  flush_->PrepareAdvance(10);
+  DrainAll();
+  EXPECT_EQ(applier_.ddl_.size(), 1u);
+  EXPECT_EQ(ddl_table_.size(), 1u);
+}
+
+TEST_F(FlushTest, AdvanceWaitsForRemoteDrain) {
+  applier_.drained_ = false;
+  MineTxn(1, 10, 7, 1);
+  flush_->PrepareAdvance(10);
+  DrainAll();
+  EXPECT_FALSE(flush_->AdvanceComplete());
+  applier_.drained_ = true;
+  EXPECT_TRUE(flush_->AdvanceComplete());
+}
+
+TEST_F(FlushTest, OnPublishedForwards) {
+  flush_->OnPublished(123);
+  EXPECT_EQ(applier_.published_, 123u);
+}
+
+TEST_F(FlushTest, CooperativeDisabledStopsWorkerHelp) {
+  FlushOptions options;
+  options.cooperative = false;
+  InvalidationFlushComponent serial(&journal_, &commit_table_, &ddl_table_,
+                                    &applier_, options);
+  MineTxn(1, 10, 7, 3);
+  serial.PrepareAdvance(10);
+  EXPECT_FALSE(serial.WantsHelp());  // Workers stay out; the coordinator flushes.
+  while (serial.FlushStep(kMaxWorkerId)) {
+  }
+  EXPECT_TRUE(serial.AdvanceComplete());
+  EXPECT_EQ(serial.stats().coordinator_steps, 1u);
+  EXPECT_EQ(serial.stats().cooperative_steps, 0u);
+}
+
+TEST_F(FlushTest, BatchesRespectBatchSize) {
+  for (Xid x = 1; x <= 10; ++x) MineTxn(x, x, 7, 1);
+  flush_->PrepareAdvance(10);
+  int steps = 0;
+  while (true) {
+    const bool more = flush_->FlushStep(1);
+    ++steps;
+    if (!more) break;
+  }
+  // 10 nodes at batch_size 4 → 3 batches.
+  EXPECT_EQ(steps, 3);
+  EXPECT_EQ(flush_->stats().flushed_txns, 10u);
+}
+
+}  // namespace
+}  // namespace stratus

@@ -1,0 +1,76 @@
+#include "common/histogram.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace stratus {
+namespace {
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Average(), 0.0);
+  EXPECT_EQ(h.Percentile(50), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(100);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.Average(), 100.0);
+  EXPECT_EQ(h.Percentile(50), 100.0);
+  EXPECT_EQ(h.Percentile(95), 100.0);
+  EXPECT_EQ(h.Min(), 100u);
+  EXPECT_EQ(h.Max(), 100u);
+}
+
+TEST(HistogramTest, PercentilesOnUniformRange) {
+  Histogram h;
+  for (uint64_t i = 1; i <= 100; ++i) h.Record(i);
+  EXPECT_NEAR(h.Percentile(50), 50.5, 0.01);
+  EXPECT_NEAR(h.Percentile(95), 95.05, 0.1);
+  EXPECT_EQ(h.Percentile(0), 1.0);
+  EXPECT_EQ(h.Percentile(100), 100.0);
+  EXPECT_NEAR(h.Average(), 50.5, 0.001);
+}
+
+TEST(HistogramTest, MergeCombinesSamples) {
+  Histogram a, b;
+  a.Record(10);
+  b.Record(30);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_NEAR(a.Average(), 20.0, 0.001);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(5);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(HistogramTest, ConcurrentRecording) {
+  Histogram h;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < 1000; ++i) h.Record(static_cast<uint64_t>(i));
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), 4000u);
+}
+
+TEST(HistogramTest, SummaryMentionsStats) {
+  Histogram h;
+  h.Record(1000);
+  const std::string s = h.Summary();
+  EXPECT_NE(s.find("median="), std::string::npos);
+  EXPECT_NE(s.find("n=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stratus

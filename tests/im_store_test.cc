@@ -1,0 +1,137 @@
+#include "imcs/im_store.h"
+
+#include <gtest/gtest.h>
+
+namespace stratus {
+namespace {
+
+std::shared_ptr<Smu> MakeSmu(ObjectId oid, std::vector<Dba> dbas,
+                             TenantId tenant = kDefaultTenant) {
+  return std::make_shared<Smu>(oid, tenant, 50, std::move(dbas));
+}
+
+std::shared_ptr<Imcu> MakeImcu(ObjectId oid, std::vector<Dba> dbas) {
+  return std::make_shared<Imcu>(oid, kDefaultTenant, 50, std::move(dbas),
+                                Schema::WideTable(1, 0));
+}
+
+TEST(ImStoreTest, RegisterMakesSmuFindableByDba) {
+  ImStore store(0, 1 << 20);
+  auto smu = MakeSmu(10, {100, 200});
+  ASSERT_TRUE(store.RegisterSmu(smu, nullptr).ok());
+  EXPECT_EQ(store.FindSmus(100).size(), 1u);
+  EXPECT_EQ(store.FindSmus(200).front(), smu);
+  EXPECT_TRUE(store.FindSmus(300).empty());
+  EXPECT_EQ(store.SmusForObject(10).size(), 1u);
+}
+
+TEST(ImStoreTest, AttachAccountsMemory) {
+  ImStore store(0, 1 << 20);
+  auto smu = MakeSmu(10, {100});
+  ASSERT_TRUE(store.RegisterSmu(smu, nullptr).ok());
+  EXPECT_EQ(store.used_bytes(), 0u);
+  ASSERT_TRUE(store.AttachImcu(smu, MakeImcu(10, {100}), nullptr).ok());
+  EXPECT_GT(store.used_bytes(), 0u);
+  EXPECT_EQ(smu->state(), SmuState::kReady);
+}
+
+TEST(ImStoreTest, MarkRowInvalidRoutesByDba) {
+  ImStore store(0, 1 << 20);
+  auto a = MakeSmu(10, {100});
+  auto b = MakeSmu(10, {200});
+  ASSERT_TRUE(store.RegisterSmu(a, nullptr).ok());
+  ASSERT_TRUE(store.RegisterSmu(b, nullptr).ok());
+  EXPECT_EQ(store.MarkRowInvalid(200, 3), 1u);
+  EXPECT_EQ(a->invalid_count(), 0u);
+  EXPECT_EQ(b->invalid_count(), 1u);
+  EXPECT_EQ(store.MarkRowInvalid(999, 0), 0u);  // Uncovered: dropped.
+}
+
+TEST(ImStoreTest, RepopulationSwapKeepsOldServingUntilReady) {
+  ImStore store(0, 1 << 20);
+  auto old_smu = MakeSmu(10, {100});
+  ASSERT_TRUE(store.RegisterSmu(old_smu, nullptr).ok());
+  ASSERT_TRUE(store.AttachImcu(old_smu, MakeImcu(10, {100}), nullptr).ok());
+
+  auto new_smu = MakeSmu(10, {100});
+  ASSERT_TRUE(store.RegisterSmu(new_smu, old_smu).ok());
+  // During the rebuild both SMUs receive invalidations…
+  EXPECT_EQ(store.FindSmus(100).size(), 2u);
+  EXPECT_EQ(store.MarkRowInvalid(100, 1), 2u);
+  // …but only the old one serves scans.
+  auto scannable = store.SmusForObject(10);
+  ASSERT_EQ(scannable.size(), 1u);
+  EXPECT_EQ(scannable[0], old_smu);
+
+  ASSERT_TRUE(store.AttachImcu(new_smu, MakeImcu(10, {100}), old_smu).ok());
+  scannable = store.SmusForObject(10);
+  ASSERT_EQ(scannable.size(), 1u);
+  EXPECT_EQ(scannable[0], new_smu);
+  EXPECT_EQ(old_smu->state(), SmuState::kDropped);
+  EXPECT_EQ(store.FindSmus(100).size(), 1u);
+}
+
+TEST(ImStoreTest, DropObjectReleasesEverything) {
+  ImStore store(0, 1 << 20);
+  auto smu = MakeSmu(10, {100});
+  ASSERT_TRUE(store.RegisterSmu(smu, nullptr).ok());
+  ASSERT_TRUE(store.AttachImcu(smu, MakeImcu(10, {100}), nullptr).ok());
+  store.DropObject(10);
+  EXPECT_TRUE(store.SmusForObject(10).empty());
+  EXPECT_TRUE(store.FindSmus(100).empty());
+  EXPECT_EQ(store.used_bytes(), 0u);
+  EXPECT_EQ(smu->state(), SmuState::kDropped);
+}
+
+TEST(ImStoreTest, AbandonSmuUnmaps) {
+  ImStore store(0, 1 << 20);
+  auto smu = MakeSmu(10, {100});
+  ASSERT_TRUE(store.RegisterSmu(smu, nullptr).ok());
+  store.AbandonSmu(smu);
+  EXPECT_TRUE(store.FindSmus(100).empty());
+  EXPECT_TRUE(store.SmusForObject(10).empty());
+}
+
+TEST(ImStoreTest, CoarseInvalidateTenantIsSelective) {
+  ImStore store(0, 1 << 20);
+  auto t1 = MakeSmu(10, {100}, /*tenant=*/1);
+  auto t2 = MakeSmu(20, {200}, /*tenant=*/2);
+  ASSERT_TRUE(store.RegisterSmu(t1, nullptr).ok());
+  ASSERT_TRUE(store.RegisterSmu(t2, nullptr).ok());
+  store.CoarseInvalidateTenant(1);
+  EXPECT_TRUE(t1->AllInvalid());
+  EXPECT_FALSE(t2->AllInvalid());
+  EXPECT_EQ(store.Stats().coarse_invalidations, 1u);
+}
+
+TEST(ImStoreTest, CapacityCheck) {
+  ImStore store(0, /*capacity=*/100);
+  EXPECT_TRUE(store.WouldExceedCapacity(101));
+  EXPECT_FALSE(store.WouldExceedCapacity(100));
+}
+
+TEST(ImStoreTest, ClearDropsAll) {
+  ImStore store(0, 1 << 20);
+  auto smu = MakeSmu(10, {100});
+  ASSERT_TRUE(store.RegisterSmu(smu, nullptr).ok());
+  ASSERT_TRUE(store.AttachImcu(smu, MakeImcu(10, {100}), nullptr).ok());
+  store.Clear();
+  EXPECT_EQ(store.used_bytes(), 0u);
+  EXPECT_TRUE(store.SmusForObject(10).empty());
+  EXPECT_EQ(smu->state(), SmuState::kDropped);
+}
+
+TEST(ImStoreTest, StatsCountReadyVsTotal) {
+  ImStore store(0, 1 << 20);
+  auto a = MakeSmu(10, {100});
+  auto b = MakeSmu(10, {200});
+  ASSERT_TRUE(store.RegisterSmu(a, nullptr).ok());
+  ASSERT_TRUE(store.RegisterSmu(b, nullptr).ok());
+  ASSERT_TRUE(store.AttachImcu(a, MakeImcu(10, {100}), nullptr).ok());
+  const ImStoreStats stats = store.Stats();
+  EXPECT_EQ(stats.smus_total, 2u);
+  EXPECT_EQ(stats.smus_ready, 1u);
+}
+
+}  // namespace
+}  // namespace stratus

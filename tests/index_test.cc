@@ -1,0 +1,71 @@
+#include "storage/index.h"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace stratus {
+namespace {
+
+TEST(OrderedIndexTest, InsertLookup) {
+  OrderedIndex idx;
+  idx.Insert(5, RowId{100, 3});
+  const auto rid = idx.Lookup(5);
+  ASSERT_TRUE(rid.has_value());
+  EXPECT_EQ(rid->dba, 100u);
+  EXPECT_EQ(rid->slot, 3u);
+  EXPECT_FALSE(idx.Lookup(6).has_value());
+}
+
+TEST(OrderedIndexTest, InsertOverwritesKey) {
+  OrderedIndex idx;
+  idx.Insert(5, RowId{100, 3});
+  idx.Insert(5, RowId{200, 7});
+  EXPECT_EQ(idx.Lookup(5)->dba, 200u);
+  EXPECT_EQ(idx.size(), 1u);
+}
+
+TEST(OrderedIndexTest, Erase) {
+  OrderedIndex idx;
+  idx.Insert(5, RowId{100, 3});
+  idx.Erase(5);
+  EXPECT_FALSE(idx.Lookup(5).has_value());
+  EXPECT_EQ(idx.size(), 0u);
+}
+
+TEST(OrderedIndexTest, RangeScanInclusive) {
+  OrderedIndex idx;
+  for (int64_t k = 0; k < 10; ++k) idx.Insert(k, RowId{static_cast<Dba>(k), 0});
+  const auto rids = idx.RangeScan(3, 6);
+  ASSERT_EQ(rids.size(), 4u);
+  EXPECT_EQ(rids.front().dba, 3u);
+  EXPECT_EQ(rids.back().dba, 6u);
+}
+
+TEST(OrderedIndexTest, MinMaxKeys) {
+  OrderedIndex idx;
+  EXPECT_EQ(idx.MinKey(), 0);
+  idx.Insert(-5, RowId{1, 0});
+  idx.Insert(9, RowId{2, 0});
+  EXPECT_EQ(idx.MinKey(), -5);
+  EXPECT_EQ(idx.MaxKey(), 9);
+}
+
+TEST(OrderedIndexTest, ConcurrentInsertsAndLookups) {
+  OrderedIndex idx;
+  std::thread writer([&] {
+    for (int64_t k = 0; k < 20000; ++k) idx.Insert(k, RowId{static_cast<Dba>(k), 0});
+  });
+  std::thread reader([&] {
+    for (int64_t k = 0; k < 20000; ++k) {
+      const auto rid = idx.Lookup(k % 100);
+      if (rid.has_value()) EXPECT_EQ(rid->dba, static_cast<Dba>(k % 100));
+    }
+  });
+  writer.join();
+  reader.join();
+  EXPECT_EQ(idx.size(), 20000u);
+}
+
+}  // namespace
+}  // namespace stratus

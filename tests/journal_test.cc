@@ -1,0 +1,131 @@
+#include "imadg/journal.h"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace stratus {
+namespace {
+
+InvalidationRecord Rec(Dba dba, SlotId slot) {
+  InvalidationRecord r;
+  r.object_id = 10;
+  r.dba = dba;
+  r.slot = slot;
+  return r;
+}
+
+TEST(JournalTest, GetOrCreateIsIdempotent) {
+  ImAdgJournal journal(16, 4);
+  auto* a = journal.GetOrCreateAnchor(7);
+  auto* b = journal.GetOrCreateAnchor(7);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(journal.anchors_created(), 1u);
+  EXPECT_EQ(journal.live_anchors(), 1u);
+}
+
+TEST(JournalTest, FindMissesUnknownXid) {
+  ImAdgJournal journal(16, 4);
+  EXPECT_EQ(journal.Find(99), nullptr);
+}
+
+TEST(JournalTest, RecordsLandInWorkerAreas) {
+  ImAdgJournal journal(16, 4);
+  journal.AddRecord(7, /*worker=*/1, Rec(100, 0));
+  journal.AddRecord(7, /*worker=*/1, Rec(100, 1));
+  journal.AddRecord(7, /*worker=*/3, Rec(200, 5));
+  auto* anchor = journal.Find(7);
+  ASSERT_NE(anchor, nullptr);
+  EXPECT_EQ(anchor->areas[1].size(), 2u);
+  EXPECT_EQ(anchor->areas[3].size(), 1u);
+  EXPECT_EQ(anchor->areas[0].size(), 0u);
+  EXPECT_EQ(journal.records_buffered(), 3u);
+}
+
+TEST(JournalTest, BeginAndAbortFlags) {
+  ImAdgJournal journal(16, 4);
+  journal.MarkBegin(7);
+  auto* anchor = journal.Find(7);
+  ASSERT_NE(anchor, nullptr);
+  EXPECT_TRUE(anchor->has_begin.load());
+  EXPECT_FALSE(anchor->aborted.load());
+  journal.MarkAborted(7);
+  EXPECT_TRUE(anchor->aborted.load());
+}
+
+TEST(JournalTest, RemoveAnchorUnlinksFromChain) {
+  // Force chaining: one bucket only.
+  ImAdgJournal journal(1, 2);
+  journal.MarkBegin(1);
+  journal.MarkBegin(2);
+  journal.MarkBegin(3);
+  journal.RemoveAnchor(2);
+  EXPECT_NE(journal.Find(1), nullptr);
+  EXPECT_EQ(journal.Find(2), nullptr);
+  EXPECT_NE(journal.Find(3), nullptr);
+  EXPECT_EQ(journal.live_anchors(), 2u);
+}
+
+TEST(JournalTest, ClearDropsEverything) {
+  ImAdgJournal journal(8, 2);
+  for (Xid x = 1; x <= 20; ++x) journal.MarkBegin(x);
+  journal.Clear();
+  EXPECT_EQ(journal.live_anchors(), 0u);
+  for (Xid x = 1; x <= 20; ++x) EXPECT_EQ(journal.Find(x), nullptr);
+}
+
+TEST(JournalTest, ConcurrentWorkersOnSameTransaction) {
+  // The paper's common case: several recovery workers mining records for one
+  // transaction, each appending to its own area without synchronization.
+  ImAdgJournal journal(64, 4);
+  std::vector<std::thread> threads;
+  for (WorkerId w = 0; w < 4; ++w) {
+    threads.emplace_back([&journal, w] {
+      for (int i = 0; i < 5000; ++i)
+        journal.AddRecord(/*xid=*/42, w, Rec(w * 1000 + i, 0));
+    });
+  }
+  for (auto& t : threads) t.join();
+  auto* anchor = journal.Find(42);
+  ASSERT_NE(anchor, nullptr);
+  size_t total = 0;
+  for (const auto& area : anchor->areas) total += area.size();
+  EXPECT_EQ(total, 20000u);
+  for (WorkerId w = 0; w < 4; ++w) EXPECT_EQ(anchor->areas[w].size(), 5000u);
+}
+
+TEST(JournalTest, ConcurrentDistinctTransactions) {
+  ImAdgJournal journal(64, 4);
+  std::vector<std::thread> threads;
+  for (WorkerId w = 0; w < 4; ++w) {
+    threads.emplace_back([&journal, w] {
+      for (Xid x = 1; x <= 1000; ++x)
+        journal.AddRecord(x, w, Rec(x, static_cast<SlotId>(w)));
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(journal.live_anchors(), 1000u);
+  EXPECT_EQ(journal.records_buffered(), 4000u);
+}
+
+TEST(JournalTest, ContentionCounterIsWired) {
+  // Deterministic check of the diagnostic that drives the journal ablation:
+  // a latch held by one thread makes another acquisition count as contended.
+  Latch latch;
+  latch.Lock();
+  std::thread blocked([&] { LatchGuard g(latch); });
+  // Give the second thread time to hit the contended path.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  latch.Unlock();
+  blocked.join();
+  EXPECT_EQ(latch.contended(), 1u);
+  EXPECT_EQ(latch.acquisitions(), 2u);
+
+  // And the journal aggregates per-bucket counters without blowing up.
+  ImAdgJournal journal(1, 2);
+  journal.MarkBegin(1);
+  EXPECT_EQ(journal.bucket_contention(), 0u);
+}
+
+}  // namespace
+}  // namespace stratus

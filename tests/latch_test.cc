@@ -1,0 +1,79 @@
+#include "common/latch.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace stratus {
+namespace {
+
+TEST(LatchTest, CountsAcquisitions) {
+  Latch latch;
+  {
+    LatchGuard g(latch);
+  }
+  {
+    LatchGuard g(latch);
+  }
+  EXPECT_EQ(latch.acquisitions(), 2u);
+}
+
+TEST(LatchTest, MutualExclusionUnderContention) {
+  Latch latch;
+  int64_t counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) {
+        LatchGuard g(latch);
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, 40000);
+  EXPECT_EQ(latch.acquisitions(), 40000u);
+}
+
+TEST(QuiesceLockTest, SnapshotCaptureExcludedDuringQuiesce) {
+  QuiesceLock lock;
+  std::atomic<bool> captured{false};
+  lock.BeginQuiesce();
+  EXPECT_TRUE(lock.InQuiesce());
+  std::thread capturer([&] {
+    SnapshotCaptureGuard g(lock);
+    captured.store(true);
+  });
+  // The capturer must be blocked while the Quiesce Period is active.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(captured.load());
+  lock.EndQuiesce();
+  capturer.join();
+  EXPECT_TRUE(captured.load());
+  EXPECT_FALSE(lock.InQuiesce());
+}
+
+TEST(QuiesceLockTest, ConcurrentSnapshotCapturesAllowed) {
+  QuiesceLock lock;
+  std::atomic<int> inside{0};
+  std::atomic<int> max_inside{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      SnapshotCaptureGuard g(lock);
+      const int now = inside.fetch_add(1) + 1;
+      int prev = max_inside.load();
+      while (prev < now && !max_inside.compare_exchange_weak(prev, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      inside.fetch_sub(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_GE(max_inside.load(), 2);  // Shared side really is shared.
+}
+
+}  // namespace
+}  // namespace stratus

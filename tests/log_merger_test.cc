@@ -1,0 +1,109 @@
+#include "redo/log_merger.h"
+
+#include <gtest/gtest.h>
+
+namespace stratus {
+namespace {
+
+RedoRecord Rec(Scn scn) {
+  RedoRecord r;
+  r.scn = scn;
+  return r;
+}
+
+TEST(LogMergerTest, MergesTwoStreamsInScnOrder) {
+  ReceivedLog a, b;
+  a.Deliver({Rec(1), Rec(4), Rec(5)});
+  b.Deliver({Rec(2), Rec(3), Rec(6)});
+  a.Close();
+  b.Close();
+  LogMerger merger({&a, &b});
+  Scn last = 0;
+  RedoRecord out;
+  int n = 0;
+  while (!merger.Finished()) {
+    if (!merger.Next(&out, 1000)) continue;
+    EXPECT_GT(out.scn, last);
+    last = out.scn;
+    ++n;
+  }
+  EXPECT_EQ(n, 6);
+  EXPECT_EQ(last, 6u);
+}
+
+TEST(LogMergerTest, StallsUntilLaggingStreamCatchesUp) {
+  ReceivedLog a, b;
+  a.Deliver({Rec(5)});
+  LogMerger merger({&a, &b});
+  RedoRecord out;
+  // b has delivered nothing: a's record at SCN 5 cannot be emitted yet
+  // because b might still produce SCN < 5.
+  EXPECT_FALSE(merger.Next(&out, 1000));
+  // A heartbeat on b (watermark 10 > 5) releases it.
+  b.Deliver({Rec(10)});
+  // Now 5 is safe (b's head is 10).
+  ASSERT_TRUE(merger.Next(&out, 1000));
+  EXPECT_EQ(out.scn, 5u);
+}
+
+TEST(LogMergerTest, ClosedEmptyStreamDoesNotBlock) {
+  ReceivedLog a, b;
+  a.Deliver({Rec(5)});
+  b.Close();
+  LogMerger merger({&a, &b});
+  RedoRecord out;
+  ASSERT_TRUE(merger.Next(&out, 1000));
+  EXPECT_EQ(out.scn, 5u);
+}
+
+TEST(LogMergerTest, WatermarkReleasesWithoutRecords) {
+  ReceivedLog a, b;
+  a.Deliver({Rec(7)});
+  b.Deliver({Rec(3)});  // b's head is 3 → emit 3 first.
+  LogMerger merger({&a, &b});
+  RedoRecord out;
+  ASSERT_TRUE(merger.Next(&out, 1000));
+  EXPECT_EQ(out.scn, 3u);
+  // b drained but watermark=3 < 7: cannot emit 7 yet.
+  EXPECT_FALSE(merger.Next(&out, 1000));
+  b.Deliver({Rec(9)});
+  ASSERT_TRUE(merger.Next(&out, 1000));
+  EXPECT_EQ(out.scn, 7u);
+}
+
+TEST(LogMergerTest, FinishedOnlyWhenAllClosedAndDrained) {
+  ReceivedLog a;
+  a.Deliver({Rec(1)});
+  LogMerger merger({&a});
+  EXPECT_FALSE(merger.Finished());
+  a.Close();
+  EXPECT_FALSE(merger.Finished());
+  RedoRecord out;
+  ASSERT_TRUE(merger.Next(&out, 1000));
+  EXPECT_TRUE(merger.Finished());
+}
+
+TEST(LogMergerTest, MergedWatermarkIsMinimum) {
+  ReceivedLog a, b;
+  a.Deliver({Rec(10)});
+  b.Deliver({Rec(4)});
+  LogMerger merger({&a, &b});
+  EXPECT_EQ(merger.MergedWatermark(), 4u);
+}
+
+TEST(LogMergerTest, SingleStreamPassesThrough) {
+  ReceivedLog a;
+  for (Scn s = 1; s <= 50; ++s) a.Deliver({Rec(s)});
+  a.Close();
+  LogMerger merger({&a});
+  RedoRecord out;
+  for (Scn s = 1; s <= 50; ++s) {
+    ASSERT_TRUE(merger.Next(&out, 1000));
+    EXPECT_EQ(out.scn, s);
+  }
+  EXPECT_TRUE(merger.Finished());
+  EXPECT_EQ(merger.emitted_records(), 50u);
+}
+
+}  // namespace
+}  // namespace stratus

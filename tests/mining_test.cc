@@ -1,0 +1,139 @@
+#include "imadg/mining.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/block_store.h"
+
+namespace stratus {
+namespace {
+
+class MiningTest : public ::testing::Test {
+ protected:
+  MiningTest()
+      : journal_(16, 4),
+        commit_table_(2),
+        mining_(&journal_, &commit_table_, &ddl_table_,
+                [](ObjectId oid, TenantId) { return oid == 10; }) {}
+
+  ChangeVector DataCv(CvKind kind, Xid xid, ObjectId oid, Dba dba, SlotId slot) {
+    ChangeVector cv;
+    cv.kind = kind;
+    cv.xid = xid;
+    cv.object_id = oid;
+    cv.dba = dba;
+    cv.slot = slot;
+    return cv;
+  }
+
+  ChangeVector ControlCv(CvKind kind, Xid xid, Scn scn, bool im_flag = false) {
+    ChangeVector cv;
+    cv.kind = kind;
+    cv.xid = xid;
+    cv.scn = scn;
+    cv.dba = TxnTableDbaFor(xid);
+    cv.im_flag = im_flag;
+    return cv;
+  }
+
+  ImAdgJournal journal_;
+  ImAdgCommitTable commit_table_;
+  DdlInfoTable ddl_table_;
+  MiningComponent mining_;
+};
+
+TEST_F(MiningTest, SniffsDataCvsForEnabledObjects) {
+  mining_.OnCvApplied(DataCv(CvKind::kInsert, 1, 10, 100, 5), /*worker=*/2);
+  mining_.OnCvApplied(DataCv(CvKind::kUpdate, 1, 10, 101, 6), /*worker=*/0);
+  auto* anchor = journal_.Find(1);
+  ASSERT_NE(anchor, nullptr);
+  EXPECT_EQ(anchor->areas[2].size(), 1u);
+  EXPECT_EQ(anchor->areas[2][0].dba, 100u);
+  EXPECT_EQ(anchor->areas[2][0].slot, 5u);
+  EXPECT_EQ(anchor->areas[0].size(), 1u);
+  EXPECT_EQ(mining_.mined_records(), 2u);
+}
+
+TEST_F(MiningTest, IgnoresNonImObjects) {
+  mining_.OnCvApplied(DataCv(CvKind::kInsert, 1, 99, 100, 5), 0);
+  EXPECT_EQ(journal_.Find(1), nullptr);
+  EXPECT_EQ(mining_.mined_records(), 0u);
+}
+
+TEST_F(MiningTest, BeginCreatesAnchorWithControlInfo) {
+  mining_.OnCvApplied(ControlCv(CvKind::kTxnBegin, 5, 10), 0);
+  auto* anchor = journal_.Find(5);
+  ASSERT_NE(anchor, nullptr);
+  EXPECT_TRUE(anchor->has_begin.load());
+}
+
+TEST_F(MiningTest, CommitLinksAnchorIntoCommitTable) {
+  mining_.OnCvApplied(ControlCv(CvKind::kTxnBegin, 5, 10), 0);
+  mining_.OnCvApplied(DataCv(CvKind::kInsert, 5, 10, 100, 1), 1);
+  mining_.OnCvApplied(ControlCv(CvKind::kTxnCommit, 5, 20, /*im_flag=*/true), 0);
+  auto* node = commit_table_.Chop(20);
+  ASSERT_NE(node, nullptr);
+  EXPECT_EQ(node->xid, 5u);
+  EXPECT_EQ(node->commit_scn, 20u);
+  EXPECT_EQ(node->anchor, journal_.Find(5));
+  EXPECT_FALSE(node->aborted);
+  delete node;
+}
+
+TEST_F(MiningTest, UnflaggedCommitWithoutAnchorSkipped) {
+  // A transaction that never touched IM objects: nothing to track.
+  mining_.OnCvApplied(ControlCv(CvKind::kTxnCommit, 6, 30, /*im_flag=*/false), 0);
+  EXPECT_EQ(commit_table_.Chop(100), nullptr);
+  EXPECT_EQ(mining_.mined_commits(), 0u);
+}
+
+TEST_F(MiningTest, FlaggedCommitWithoutAnchorStillEnters) {
+  // Restart scenario: records lost, but the commit record's flag survives.
+  mining_.OnCvApplied(ControlCv(CvKind::kTxnCommit, 7, 30, /*im_flag=*/true), 0);
+  auto* node = commit_table_.Chop(100);
+  ASSERT_NE(node, nullptr);
+  EXPECT_EQ(node->anchor, nullptr);
+  EXPECT_TRUE(node->im_flag);
+  delete node;
+}
+
+TEST_F(MiningTest, AbortMarksAnchorAndRidesCommitTable) {
+  mining_.OnCvApplied(ControlCv(CvKind::kTxnBegin, 8, 10), 0);
+  mining_.OnCvApplied(DataCv(CvKind::kDelete, 8, 10, 100, 1), 1);
+  mining_.OnCvApplied(ControlCv(CvKind::kTxnAbort, 8, 40), 0);
+  auto* anchor = journal_.Find(8);
+  ASSERT_NE(anchor, nullptr);
+  EXPECT_TRUE(anchor->aborted.load());
+  auto* node = commit_table_.Chop(100);
+  ASSERT_NE(node, nullptr);
+  EXPECT_TRUE(node->aborted);
+  delete node;
+}
+
+TEST_F(MiningTest, AbortWithoutAnchorIgnored) {
+  mining_.OnCvApplied(ControlCv(CvKind::kTxnAbort, 9, 40), 0);
+  EXPECT_EQ(commit_table_.Chop(100), nullptr);
+}
+
+TEST_F(MiningTest, DdlMarkersLandInDdlTable) {
+  ChangeVector cv;
+  cv.kind = CvKind::kDdlMarker;
+  cv.scn = 77;
+  cv.ddl.op = DdlOp::kDropTable;
+  cv.ddl.object_id = 10;
+  mining_.OnCvApplied(cv, 0);
+  EXPECT_EQ(ddl_table_.size(), 1u);
+  const auto extracted = ddl_table_.Extract(77);
+  ASSERT_EQ(extracted.size(), 1u);
+  EXPECT_EQ(extracted[0].marker.object_id, 10u);
+  EXPECT_EQ(mining_.mined_ddl(), 1u);
+}
+
+TEST_F(MiningTest, HeartbeatsIgnored) {
+  ChangeVector cv;
+  cv.kind = CvKind::kHeartbeat;
+  mining_.OnCvApplied(cv, 0);
+  EXPECT_EQ(journal_.live_anchors(), 0u);
+}
+
+}  // namespace
+}  // namespace stratus

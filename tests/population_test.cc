@@ -1,0 +1,185 @@
+#include "imcs/population.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/table.h"
+
+namespace stratus {
+namespace {
+
+/// Primary-side population fixture: a table fed through the transaction
+/// manager, populated through PrimarySnapshotSource (no standby involved).
+class PopulationTest : public ::testing::Test {
+ protected:
+  PopulationTest()
+      : log_(0, &scns_),
+        mgr_(&scns_, &txns_, &store_, {&log_}, nullptr),
+        table_(10, kDefaultTenant, "t", Schema::WideTable(1, 1), &store_),
+        im_store_(0, 64u << 20),
+        snapshot_(&mgr_, &sync_) {
+    options_.blocks_per_imcu = 2;
+    populator_ = std::make_unique<Populator>(&im_store_, &snapshot_, &store_,
+                                             options_);
+    populator_->EnableObject(&table_);
+  }
+
+  void InsertRows(int n) {
+    Transaction txn = mgr_.Begin();
+    for (int i = 0; i < n; ++i) {
+      Row row{Value(static_cast<int64_t>(next_id_)), Value(int64_t{next_id_ % 7}),
+              Value(std::string("s") + std::to_string(next_id_ % 3))};
+      ASSERT_TRUE(mgr_.Insert(&txn, &table_, std::move(row), nullptr).ok());
+      ++next_id_;
+    }
+    ASSERT_TRUE(mgr_.Commit(&txn).ok());
+  }
+
+  ScnAllocator scns_;
+  TxnTable txns_;
+  BlockStore store_;
+  RedoLog log_;
+  TxnManager mgr_;
+  Table table_;
+  ImStore im_store_;
+  PrimaryImSync sync_;
+  PrimarySnapshotSource snapshot_;
+  PopulationOptions options_;
+  std::unique_ptr<Populator> populator_;
+  int64_t next_id_ = 0;
+};
+
+TEST_F(PopulationTest, PopulatesFullAndTailChunks) {
+  InsertRows(3 * kRowsPerBlock);  // 3 blocks: 1 full chunk (2) + tail (1).
+  ASSERT_TRUE(populator_->PopulateNow(10).ok());
+  const auto smus = im_store_.SmusForObject(10);
+  ASSERT_EQ(smus.size(), 2u);
+  size_t covered_blocks = 0;
+  size_t present = 0;
+  for (const auto& smu : smus) {
+    EXPECT_EQ(smu->state(), SmuState::kReady);
+    covered_blocks += smu->dbas().size();
+    present += smu->imcu()->PresentCount();
+  }
+  EXPECT_EQ(covered_blocks, 3u);
+  EXPECT_EQ(present, 3u * kRowsPerBlock);
+  EXPECT_EQ(populator_->stats().imcus_populated, 2u);
+}
+
+TEST_F(PopulationTest, SnapshotIsVisibleScn) {
+  InsertRows(kRowsPerBlock);
+  ASSERT_TRUE(populator_->PopulateNow(10).ok());
+  const auto smus = im_store_.SmusForObject(10);
+  ASSERT_EQ(smus.size(), 1u);
+  EXPECT_EQ(smus[0]->snapshot_scn(), mgr_.visible_scn());
+  EXPECT_EQ(smus[0]->imcu()->snapshot_scn(), smus[0]->snapshot_scn());
+}
+
+TEST_F(PopulationTest, UncommittedRowsExcludedFromSnapshot) {
+  InsertRows(10);
+  Transaction open = mgr_.Begin();
+  ASSERT_TRUE(mgr_.Insert(&open, &table_,
+                          Row{Value(int64_t{999}), Value(int64_t{1}),
+                              Value(std::string("x"))},
+                          nullptr)
+                  .ok());
+  ASSERT_TRUE(populator_->PopulateNow(10).ok());
+  const auto smus = im_store_.SmusForObject(10);
+  ASSERT_EQ(smus.size(), 1u);
+  EXPECT_EQ(smus[0]->imcu()->PresentCount(), 10u);
+  mgr_.Abort(&open);
+}
+
+TEST_F(PopulationTest, TailExtendsAsTableGrows) {
+  InsertRows(kRowsPerBlock);  // 1 block → tail SMU.
+  ASSERT_TRUE(populator_->PopulateNow(10).ok());
+  EXPECT_EQ(im_store_.SmusForObject(10).size(), 1u);
+
+  InsertRows(kRowsPerBlock);  // Tail grows to a full chunk.
+  ASSERT_TRUE(populator_->PopulateNow(10).ok());
+  const auto smus = im_store_.SmusForObject(10);
+  ASSERT_EQ(smus.size(), 1u);
+  EXPECT_EQ(smus[0]->dbas().size(), 2u);
+  EXPECT_EQ(smus[0]->imcu()->PresentCount(), 2u * kRowsPerBlock);
+
+  InsertRows(kRowsPerBlock / 2);  // New partial tail.
+  ASSERT_TRUE(populator_->PopulateNow(10).ok());
+  EXPECT_EQ(im_store_.SmusForObject(10).size(), 2u);
+}
+
+TEST_F(PopulationTest, RepopulationClearsInvalidity) {
+  InsertRows(2 * kRowsPerBlock);
+  ASSERT_TRUE(populator_->PopulateNow(10).ok());
+  auto smus = im_store_.SmusForObject(10);
+  ASSERT_EQ(smus.size(), 1u);
+  auto old_smu = smus[0];
+
+  // Invalidate enough rows to cross the repopulation threshold.
+  const size_t target = static_cast<size_t>(
+      static_cast<double>(old_smu->num_rows()) *
+      options_.repop_invalid_threshold) + 1;
+  for (size_t i = 0; i < target; ++i)
+    old_smu->MarkRowInvalid(old_smu->dbas()[0], static_cast<SlotId>(i));
+
+  populator_->RunOnePass();
+  smus = im_store_.SmusForObject(10);
+  ASSERT_EQ(smus.size(), 1u);
+  EXPECT_NE(smus[0], old_smu);
+  EXPECT_EQ(smus[0]->invalid_count(), 0u);
+  EXPECT_EQ(old_smu->state(), SmuState::kDropped);
+  EXPECT_GE(populator_->stats().repopulations, 1u);
+}
+
+TEST_F(PopulationTest, CapacityRejectionAbandonsSmu) {
+  ImStore tiny(0, /*capacity=*/64);  // Too small for any IMCU.
+  Populator populator(&tiny, &snapshot_, &store_, options_);
+  populator.EnableObject(&table_);
+  InsertRows(kRowsPerBlock);
+  populator.RunOnePass();
+  EXPECT_TRUE(tiny.SmusForObject(10).empty());
+  EXPECT_GE(populator.stats().capacity_rejections, 1u);
+}
+
+TEST_F(PopulationTest, HomeLocationSkipsForeignChunks) {
+  PopulationOptions options = options_;
+  options.home_fn = [](ObjectId, uint64_t ordinal) {
+    return static_cast<InstanceId>(ordinal % 2);  // Odd chunks live elsewhere.
+  };
+  ImStore store2(0, 64u << 20);
+  Populator populator(&store2, &snapshot_, &store_, options);
+  populator.EnableObject(&table_);
+  InsertRows(8 * kRowsPerBlock);  // 4 chunks of 2 blocks.
+  populator.RunOnePass();
+  size_t covered = 0;
+  for (const auto& smu : store2.SmusForObject(10)) covered += smu->dbas().size();
+  EXPECT_EQ(covered, 4u);  // Chunks 0 and 2 only.
+}
+
+TEST_F(PopulationTest, DisableObjectDropsImcus) {
+  InsertRows(kRowsPerBlock);
+  ASSERT_TRUE(populator_->PopulateNow(10).ok());
+  populator_->DisableObject(10);
+  EXPECT_TRUE(im_store_.SmusForObject(10).empty());
+  EXPECT_TRUE(populator_->PopulateNow(10).IsNotFound());
+}
+
+TEST_F(PopulationTest, NoConsistencyPointMeansNoPopulation) {
+  // A fresh manager with no commits: visible SCN is invalid.
+  ScnAllocator scns2;
+  TxnTable txns2;
+  BlockStore store2;
+  RedoLog log2(0, &scns2);
+  TxnManager mgr2(&scns2, &txns2, &store2, {&log2}, nullptr);
+  PrimaryImSync sync2;
+  PrimarySnapshotSource snap2(&mgr2, &sync2);
+  ImStore im2(0, 1 << 20);
+  Populator pop2(&im2, &snap2, &store2, options_);
+  Table t2(11, kDefaultTenant, "t2", Schema::WideTable(1, 0), &store2);
+  pop2.EnableObject(&t2);
+  t2.AllocateInsertSlot();  // A block exists but nothing committed.
+  pop2.RunOnePass();
+  EXPECT_TRUE(im2.SmusForObject(11).empty());
+  EXPECT_GE(pop2.stats().snapshot_retries, 1u);
+}
+
+}  // namespace
+}  // namespace stratus

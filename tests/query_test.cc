@@ -1,0 +1,189 @@
+#include "db/query.h"
+
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+
+namespace stratus {
+namespace {
+
+/// Primary-only query tests (no standby wiring needed).
+class QueryTest : public ::testing::Test {
+ protected:
+  QueryTest() : db_(DatabaseOptions{}) {
+    db_.Start();
+    table_ = db_.CreateTable("t", kDefaultTenant, Schema::WideTable(1, 1),
+                             ImService::kPrimaryOnly, /*identity_index=*/true)
+                 .value();
+    Transaction txn = db_.Begin();
+    for (int64_t id = 0; id < 100; ++id) {
+      Row row{Value(id), Value(id % 10), Value(std::string("g") + std::to_string(id % 4))};
+      EXPECT_TRUE(db_.Insert(&txn, table_, std::move(row), nullptr).ok());
+    }
+    EXPECT_TRUE(db_.Commit(&txn).ok());
+  }
+
+  DatabaseOptions MakeOptions() { return DatabaseOptions{}; }
+
+  PrimaryDb db_;
+  ObjectId table_ = kInvalidObjectId;
+};
+
+TEST_F(QueryTest, FilteredScan) {
+  ScanQuery q;
+  q.object = table_;
+  q.predicates = {{1, PredOp::kEq, Value(int64_t{3})}};
+  const auto result = db_.Query(q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->count, 10u);
+  for (const Row& row : result->rows) EXPECT_EQ(row[1].as_int(), 3);
+}
+
+TEST_F(QueryTest, CountAggregate) {
+  ScanQuery q;
+  q.object = table_;
+  q.agg = AggKind::kCount;
+  const auto result = db_.Query(q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->count, 100u);
+  EXPECT_TRUE(result->rows.empty());
+}
+
+TEST_F(QueryTest, SumMinMaxAggregates) {
+  ScanQuery q;
+  q.object = table_;
+  q.agg = AggKind::kSum;
+  q.agg_column = 0;
+  auto result = db_.Query(q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->agg_int, 99 * 100 / 2);
+  EXPECT_TRUE(result->agg_valid);
+
+  q.agg = AggKind::kMin;
+  EXPECT_EQ(db_.Query(q)->agg_int, 0);
+  q.agg = AggKind::kMax;
+  EXPECT_EQ(db_.Query(q)->agg_int, 99);
+}
+
+TEST_F(QueryTest, AggregateOverEmptyResult) {
+  ScanQuery q;
+  q.object = table_;
+  q.predicates = {{1, PredOp::kEq, Value(int64_t{12345})}};
+  q.agg = AggKind::kMax;
+  q.agg_column = 0;
+  const auto result = db_.Query(q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->agg_valid);
+}
+
+TEST_F(QueryTest, IndexFetch) {
+  const auto row = db_.Fetch(table_, 42);
+  ASSERT_TRUE(row.ok());
+  ASSERT_TRUE(row->has_value());
+  EXPECT_EQ((**row)[0].as_int(), 42);
+  const auto missing = db_.Fetch(table_, 424242);
+  ASSERT_TRUE(missing.ok());
+  EXPECT_FALSE(missing->has_value());
+}
+
+TEST_F(QueryTest, UnknownTableIsNotFound) {
+  ScanQuery q;
+  q.object = 999999;
+  EXPECT_TRUE(db_.Query(q).status().IsNotFound());
+}
+
+TEST_F(QueryTest, ForceRowStoreBypassesImcs) {
+  ASSERT_TRUE(db_.PopulateNow(table_).ok());
+  ScanQuery q;
+  q.object = table_;
+  q.predicates = {{1, PredOp::kEq, Value(int64_t{3})}};
+  auto with_im = db_.Query(q);
+  ASSERT_TRUE(with_im.ok());
+  EXPECT_GT(with_im->stats.rows_from_imcs, 0u);
+
+  q.force_row_store = true;
+  auto without = db_.Query(q);
+  ASSERT_TRUE(without.ok());
+  EXPECT_EQ(without->stats.rows_from_imcs, 0u);
+  EXPECT_EQ(without->count, with_im->count);
+}
+
+TEST_F(QueryTest, HashJoin) {
+  // Dimension table: 4 groups with labels.
+  const ObjectId dims =
+      db_.CreateTable("dims", kDefaultTenant,
+                      Schema(std::vector<ColumnDef>{
+                          {"gid", ValueType::kInt},
+                          {"label", ValueType::kString}}),
+                      ImService::kNone, false)
+          .value();
+  Transaction txn = db_.Begin();
+  for (int64_t g = 0; g < 4; ++g) {
+    ASSERT_TRUE(db_.Insert(&txn, dims,
+                           Row{Value(g), Value(std::string("grp") + std::to_string(g))},
+                           nullptr)
+                    .ok());
+  }
+  ASSERT_TRUE(db_.Commit(&txn).ok());
+
+  JoinQuery join;
+  join.left = table_;
+  join.right = dims;
+  join.left_column = 1;   // n1 in [0,10); only 0..3 match dims.
+  join.right_column = 0;  // gid.
+  const auto result = db_.Join(join);
+  ASSERT_TRUE(result.ok());
+  // Rows with n1 in {0,1,2,3}: 10 each → 40 joined rows.
+  EXPECT_EQ(result->count, 40u);
+  for (const Row& row : result->rows) {
+    ASSERT_EQ(row.size(), 3u + 2u);
+    EXPECT_EQ(row[1].as_int(), row[3].as_int());
+  }
+}
+
+TEST_F(QueryTest, JoinWithPredicates) {
+  const ObjectId dims =
+      db_.CreateTable("dims2", kDefaultTenant,
+                      Schema(std::vector<ColumnDef>{
+                          {"gid", ValueType::kInt},
+                          {"label", ValueType::kString}}),
+                      ImService::kNone, false)
+          .value();
+  Transaction txn = db_.Begin();
+  for (int64_t g = 0; g < 10; ++g) {
+    ASSERT_TRUE(db_.Insert(&txn, dims,
+                           Row{Value(g), Value(std::string("grp"))}, nullptr)
+                    .ok());
+  }
+  ASSERT_TRUE(db_.Commit(&txn).ok());
+  JoinQuery join;
+  join.left = table_;
+  join.right = dims;
+  join.left_column = 1;
+  join.right_column = 0;
+  join.left_predicates = {{0, PredOp::kLt, Value(int64_t{50})}};
+  join.right_predicates = {{0, PredOp::kEq, Value(int64_t{7})}};
+  const auto result = db_.Join(join);
+  ASSERT_TRUE(result.ok());
+  // n1 == 7 among ids 0..49 → 5 rows (7,17,27,37,47).
+  EXPECT_EQ(result->count, 5u);
+}
+
+TEST_F(QueryTest, QueryAtOldSnapshotSeesOldData) {
+  const Scn before = db_.current_scn();
+  Transaction txn = db_.Begin();
+  ASSERT_TRUE(db_.UpdateByKey(&txn, table_, 0,
+                              Row{Value(int64_t{0}), Value(int64_t{777}),
+                                  Value(std::string("new"))})
+                  .ok());
+  ASSERT_TRUE(db_.Commit(&txn).ok());
+
+  ScanQuery q;
+  q.object = table_;
+  q.predicates = {{1, PredOp::kEq, Value(int64_t{777})}};
+  EXPECT_EQ(db_.Query(q)->count, 1u);
+  EXPECT_EQ(db_.QueryAt(q, before)->count, 0u);
+}
+
+}  // namespace
+}  // namespace stratus

@@ -1,0 +1,78 @@
+#include "common/random.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace stratus {
+namespace {
+
+TEST(RandomTest, DeterministicForSameSeed) {
+  Random a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Random a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RandomTest, UniformInRange) {
+  Random r(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(r.Uniform(10), 10u);
+}
+
+TEST(RandomTest, UniformIntInclusiveBounds) {
+  Random r(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = r.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // All values hit over 1000 draws.
+}
+
+TEST(RandomTest, PercentBoundaries) {
+  Random r(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.Percent(0));
+    EXPECT_TRUE(r.Percent(100));
+  }
+}
+
+TEST(RandomTest, PercentRoughlyCalibrated) {
+  Random r(11);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (r.Percent(30)) ++hits;
+  }
+  EXPECT_NEAR(hits, 3000, 300);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random r(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, NextStringShapeAndAlphabet) {
+  Random r(17);
+  const std::string s = r.NextString(12);
+  EXPECT_EQ(s.size(), 12u);
+  for (char c : s) {
+    EXPECT_GE(c, 'a');
+    EXPECT_LE(c, 'z');
+  }
+}
+
+}  // namespace
+}  // namespace stratus

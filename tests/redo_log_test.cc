@@ -1,0 +1,99 @@
+#include "redo/redo_log.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace stratus {
+namespace {
+
+ChangeVector Cv(Dba dba) {
+  ChangeVector cv;
+  cv.kind = CvKind::kInsert;
+  cv.dba = dba;
+  return cv;
+}
+
+TEST(ScnAllocatorTest, StrictlyIncreasingFromOne) {
+  ScnAllocator scns;
+  EXPECT_EQ(scns.Current(), 0u);
+  EXPECT_EQ(scns.Next(), 1u);
+  EXPECT_EQ(scns.Next(), 2u);
+  EXPECT_EQ(scns.Current(), 2u);
+}
+
+TEST(RedoLogTest, AppendStampsScnOnRecordAndCvs) {
+  ScnAllocator scns;
+  RedoLog log(0, &scns);
+  const Scn scn = log.Append({Cv(100), Cv(101)});
+  EXPECT_EQ(scn, 1u);
+  std::vector<RedoRecord> records;
+  log.ReadFrom(0, 10, &records);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].scn, scn);
+  for (const auto& cv : records[0].cvs) EXPECT_EQ(cv.scn, scn);
+}
+
+TEST(RedoLogTest, PerLogScnMonotoneUnderConcurrency) {
+  ScnAllocator scns;
+  RedoLog log_a(0, &scns);
+  RedoLog log_b(1, &scns);
+  std::thread ta([&] {
+    for (int i = 0; i < 2000; ++i) log_a.Append({Cv(1)});
+  });
+  std::thread tb([&] {
+    for (int i = 0; i < 2000; ++i) log_b.Append({Cv(2)});
+  });
+  ta.join();
+  tb.join();
+  for (RedoLog* log : {&log_a, &log_b}) {
+    std::vector<RedoRecord> records;
+    log->ReadFrom(0, 100000, &records);
+    ASSERT_EQ(records.size(), 2000u);
+    for (size_t i = 1; i < records.size(); ++i)
+      EXPECT_LT(records[i - 1].scn, records[i].scn);
+  }
+}
+
+TEST(RedoLogTest, ReadFromResumesAtSequence) {
+  ScnAllocator scns;
+  RedoLog log(0, &scns);
+  for (int i = 0; i < 10; ++i) log.Append({Cv(static_cast<Dba>(i))});
+  std::vector<RedoRecord> first, second;
+  const uint64_t next = log.ReadFrom(0, 4, &first);
+  EXPECT_EQ(next, 4u);
+  ASSERT_EQ(first.size(), 4u);
+  log.ReadFrom(next, 100, &second);
+  ASSERT_EQ(second.size(), 6u);
+  EXPECT_EQ(second[0].cvs[0].dba, 4u);
+}
+
+TEST(RedoLogTest, TrimDiscardsShippedPrefix) {
+  ScnAllocator scns;
+  RedoLog log(0, &scns);
+  for (int i = 0; i < 10; ++i) log.Append({Cv(static_cast<Dba>(i))});
+  log.Trim(6);
+  std::vector<RedoRecord> records;
+  const uint64_t next = log.ReadFrom(0, 100, &records);
+  EXPECT_EQ(next, 10u);
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records[0].cvs[0].dba, 6u);
+  EXPECT_EQ(log.NextSeq(), 10u);
+}
+
+TEST(RedoLogTest, HeartbeatAdvancesScnWithEmptyPayload) {
+  ScnAllocator scns;
+  RedoLog log(0, &scns);
+  const Scn scn = log.AppendHeartbeat();
+  EXPECT_EQ(scn, 1u);
+  EXPECT_EQ(log.LastScn(), scn);
+  std::vector<RedoRecord> records;
+  log.ReadFrom(0, 10, &records);
+  ASSERT_EQ(records.size(), 1u);
+  ASSERT_EQ(records[0].cvs.size(), 1u);
+  EXPECT_EQ(records[0].cvs[0].kind, CvKind::kHeartbeat);
+}
+
+}  // namespace
+}  // namespace stratus

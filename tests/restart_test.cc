@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+
+namespace stratus {
+namespace {
+
+DatabaseOptions RestartOptions(bool specialized_redo) {
+  DatabaseOptions options;
+  options.apply.num_workers = 2;
+  options.population.blocks_per_imcu = 2;
+  options.shipping.heartbeat_interval_us = 500;
+  options.specialized_redo = specialized_redo;
+  // Keep automatic repopulation out of the assertions' way.
+  options.population.manager_interval_us = 1'000'000;
+  return options;
+}
+
+void Load(AdgCluster* cluster, ObjectId table, int64_t* next_id, int n) {
+  Transaction txn = cluster->primary()->Begin();
+  for (int i = 0; i < n; ++i) {
+    const int64_t id = (*next_id)++;
+    ASSERT_TRUE(cluster->primary()
+                    ->Insert(&txn, table,
+                             Row{Value(id), Value(id % 9), Value(std::string("x"))},
+                             nullptr)
+                    .ok());
+  }
+  ASSERT_TRUE(cluster->primary()->Commit(&txn).ok());
+}
+
+uint64_t CountRows(StandbyDb* standby, ObjectId table) {
+  ScanQuery q;
+  q.object = table;
+  q.agg = AggKind::kCount;
+  const auto result = standby->Query(q);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? result->count : 0;
+}
+
+TEST(RestartTest, ImcsLostAndRebuiltAfterRestart) {
+  AdgCluster cluster(RestartOptions(true));
+  cluster.Start();
+  const ObjectId table =
+      cluster.CreateTable("t", kDefaultTenant, Schema::WideTable(1, 1),
+                          ImService::kStandbyOnly, true)
+          .value();
+  int64_t next_id = 0;
+  Load(&cluster, table, &next_id, 2 * kRowsPerBlock);
+  cluster.WaitForCatchup();
+  ASSERT_TRUE(cluster.standby()->PopulateNow(table).ok());
+  EXPECT_GT(cluster.standby()->im_store()->Stats().smus_ready, 0u);
+
+  cluster.standby()->Restart();
+  // Non-persistent state is gone.
+  EXPECT_EQ(cluster.standby()->im_store()->Stats().smus_total, 0u);
+
+  // Redo apply resumes; new data keeps flowing; queries still correct.
+  Load(&cluster, table, &next_id, 50);
+  cluster.WaitForCatchup();
+  EXPECT_EQ(CountRows(cluster.standby(), table), static_cast<uint64_t>(next_id));
+
+  // And the IMCS rebuilds on demand.
+  ASSERT_TRUE(cluster.standby()->PopulateNow(table).ok());
+  EXPECT_GT(cluster.standby()->im_store()->Stats().smus_ready, 0u);
+}
+
+TEST(RestartTest, StraddlingTransactionTriggersCoarseInvalidation) {
+  AdgCluster cluster(RestartOptions(true));
+  cluster.Start();
+  const ObjectId table =
+      cluster.CreateTable("t", kDefaultTenant, Schema::WideTable(1, 1),
+                          ImService::kStandbyOnly, true)
+          .value();
+  int64_t next_id = 0;
+  Load(&cluster, table, &next_id, 2 * kRowsPerBlock);
+  cluster.WaitForCatchup();
+
+  // A transaction modifies the IM-enabled table but does NOT commit yet; its
+  // DML change vectors (and begin) are mined on the standby.
+  Transaction straddler = cluster.primary()->Begin();
+  ASSERT_TRUE(cluster.primary()
+                  ->UpdateByKey(&straddler, table, 3,
+                                Row{Value(int64_t{3}), Value(int64_t{777}),
+                                    Value(std::string("mid"))})
+                  .ok());
+  Load(&cluster, table, &next_id, 1);  // Marker commit to push the QuerySCN.
+  cluster.WaitForCatchup();
+
+  // Instance restart: journal and commit table are lost (Section III.E).
+  cluster.standby()->Restart();
+  cluster.WaitForCatchup();
+  // Population happens immediately after restart (the pathological timing the
+  // paper warns about): the SMUs' snapshot predates the straddler's commit.
+  ASSERT_TRUE(cluster.standby()->PopulateNow(table).ok());
+
+  // Now the straddler commits. Its commit record carries the IM flag, but the
+  // journal has no (begin) record for it → coarse invalidation.
+  ASSERT_TRUE(cluster.primary()->Commit(&straddler).ok());
+  cluster.WaitForCatchup();
+
+  EXPECT_GE(cluster.standby()->im_store()->Stats().coarse_invalidations, 1u);
+
+  // Queries remain correct (everything served from the row store).
+  ScanQuery q;
+  q.object = table;
+  q.predicates = {{1, PredOp::kEq, Value(int64_t{777})}};
+  const auto result = cluster.standby()->Query(q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->count, 1u);
+  EXPECT_EQ(result->stats.rows_from_imcs, 0u);
+}
+
+TEST(RestartTest, NonImTransactionsDoNotCoarseInvalidate) {
+  AdgCluster cluster(RestartOptions(true));
+  cluster.Start();
+  const ObjectId im_table =
+      cluster.CreateTable("im", kDefaultTenant, Schema::WideTable(1, 1),
+                          ImService::kStandbyOnly, true)
+          .value();
+  const ObjectId plain_table =
+      cluster.CreateTable("plain", kDefaultTenant, Schema::WideTable(1, 1),
+                          ImService::kNone, true)
+          .value();
+  int64_t next_id = 0;
+  Load(&cluster, im_table, &next_id, kRowsPerBlock);
+  cluster.WaitForCatchup();
+
+  // The straddler touches only the NON-IM table: specialized redo generation
+  // leaves its commit record unflagged, so no coarse invalidation.
+  Transaction straddler = cluster.primary()->Begin();
+  ASSERT_TRUE(cluster.primary()
+                  ->Insert(&straddler, plain_table,
+                           Row{Value(int64_t{1}), Value(int64_t{1}),
+                               Value(std::string("p"))},
+                           nullptr)
+                  .ok());
+  Load(&cluster, im_table, &next_id, 1);
+  cluster.WaitForCatchup();
+
+  cluster.standby()->Restart();
+  cluster.WaitForCatchup();
+  ASSERT_TRUE(cluster.standby()->PopulateNow(im_table).ok());
+  ASSERT_TRUE(cluster.primary()->Commit(&straddler).ok());
+  cluster.WaitForCatchup();
+
+  EXPECT_EQ(cluster.standby()->im_store()->Stats().coarse_invalidations, 0u);
+  // The IMCS is still serving.
+  ScanQuery q;
+  q.object = im_table;
+  q.predicates = {{1, PredOp::kEq, Value(int64_t{4})}};
+  const auto result = cluster.standby()->Query(q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->stats.rows_from_imcs, 0u);
+}
+
+TEST(RestartTest, WithoutSpecializedRedoEveryStraddlerIsPessimistic) {
+  AdgCluster cluster(RestartOptions(/*specialized_redo=*/false));
+  cluster.Start();
+  const ObjectId im_table =
+      cluster.CreateTable("im", kDefaultTenant, Schema::WideTable(1, 1),
+                          ImService::kStandbyOnly, true)
+          .value();
+  const ObjectId plain_table =
+      cluster.CreateTable("plain", kDefaultTenant, Schema::WideTable(1, 1),
+                          ImService::kNone, true)
+          .value();
+  int64_t next_id = 0;
+  Load(&cluster, im_table, &next_id, kRowsPerBlock);
+  cluster.WaitForCatchup();
+
+  Transaction straddler = cluster.primary()->Begin();
+  ASSERT_TRUE(cluster.primary()
+                  ->Insert(&straddler, plain_table,
+                           Row{Value(int64_t{1}), Value(int64_t{1}),
+                               Value(std::string("p"))},
+                           nullptr)
+                  .ok());
+  Load(&cluster, im_table, &next_id, 1);
+  cluster.WaitForCatchup();
+
+  cluster.standby()->Restart();
+  cluster.WaitForCatchup();
+  ASSERT_TRUE(cluster.standby()->PopulateNow(im_table).ok());
+  ASSERT_TRUE(cluster.primary()->Commit(&straddler).ok());
+  cluster.WaitForCatchup();
+
+  // Pessimistic: even a non-IM transaction coarse-invalidates.
+  EXPECT_GE(cluster.standby()->im_store()->Stats().coarse_invalidations, 1u);
+}
+
+}  // namespace
+}  // namespace stratus

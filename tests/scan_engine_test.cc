@@ -1,0 +1,294 @@
+#include "imcs/scan_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "imcs/population.h"
+#include "txn/txn_manager.h"
+
+namespace stratus {
+namespace {
+
+/// Fixture with a populated table; every scan result is cross-checked against
+/// a pure row-path scan at the same snapshot (the ground truth).
+class ScanEngineTest : public ::testing::Test {
+ protected:
+  ScanEngineTest()
+      : log_(0, &scns_),
+        mgr_(&scns_, &txns_, &store_, {&log_}, nullptr),
+        cache_(&store_),
+        table_(10, kDefaultTenant, "t", Schema::WideTable(1, 1), &store_),
+        im_store_(0, 64u << 20),
+        snapshot_(&mgr_, &sync_) {
+    PopulationOptions options;
+    options.blocks_per_imcu = 2;
+    populator_ = std::make_unique<Populator>(&im_store_, &snapshot_, &store_, options);
+    populator_->EnableObject(&table_);
+  }
+
+  void InsertRows(int n, Random* rng) {
+    Transaction txn = mgr_.Begin();
+    for (int i = 0; i < n; ++i) {
+      Row row{Value(static_cast<int64_t>(next_id_++)),
+              Value(static_cast<int64_t>(rng->Uniform(20))),
+              Value(std::string("s") + std::to_string(rng->Uniform(5)))};
+      ASSERT_TRUE(mgr_.Insert(&txn, &table_, std::move(row), nullptr).ok());
+    }
+    ASSERT_TRUE(mgr_.Commit(&txn).ok());
+  }
+
+  ReadView ViewNow() {
+    ReadView v;
+    v.snapshot_scn = mgr_.visible_scn();
+    v.resolver = &txns_;
+    return v;
+  }
+
+  std::multiset<int64_t> ScanIds(const std::vector<Predicate>& preds,
+                                 bool use_imcs, ScanStats* stats = nullptr) {
+    std::multiset<int64_t> ids;
+    std::vector<const ImStore*> stores;
+    if (use_imcs) stores.push_back(&im_store_);
+    ScanEngine engine;
+    EXPECT_TRUE(engine
+                    .Scan(table_, preds, ViewNow(), stores, cache_,
+                          [&](const Row& row) { ids.insert(row[0].as_int()); },
+                          stats)
+                    .ok());
+    return ids;
+  }
+
+  ScnAllocator scns_;
+  TxnTable txns_;
+  BlockStore store_;
+  RedoLog log_;
+  TxnManager mgr_;
+  BufferCache cache_;
+  Table table_;
+  ImStore im_store_;
+  PrimaryImSync sync_;
+  PrimarySnapshotSource snapshot_;
+  std::unique_ptr<Populator> populator_;
+  int64_t next_id_ = 0;
+};
+
+TEST_F(ScanEngineTest, ImcsScanMatchesRowScan) {
+  Random rng(1);
+  InsertRows(3 * kRowsPerBlock, &rng);
+  ASSERT_TRUE(populator_->PopulateNow(10).ok());
+  const std::vector<Predicate> preds = {{1, PredOp::kEq, Value(int64_t{7})}};
+  ScanStats stats;
+  const auto imcs = ScanIds(preds, /*use_imcs=*/true, &stats);
+  const auto rows = ScanIds(preds, /*use_imcs=*/false);
+  EXPECT_EQ(imcs, rows);
+  EXPECT_FALSE(imcs.empty());
+  EXPECT_GT(stats.rows_from_imcs, 0u);
+  EXPECT_EQ(stats.invalid_rowpath, 0u);
+}
+
+TEST_F(ScanEngineTest, StringPredicate) {
+  Random rng(2);
+  InsertRows(2 * kRowsPerBlock, &rng);
+  ASSERT_TRUE(populator_->PopulateNow(10).ok());
+  const std::vector<Predicate> preds = {{2, PredOp::kEq, Value(std::string("s3"))}};
+  EXPECT_EQ(ScanIds(preds, true), ScanIds(preds, false));
+}
+
+TEST_F(ScanEngineTest, UnfilteredScanReturnsAllRows) {
+  Random rng(3);
+  InsertRows(2 * kRowsPerBlock + 10, &rng);
+  ASSERT_TRUE(populator_->PopulateNow(10).ok());
+  EXPECT_EQ(ScanIds({}, true).size(), static_cast<size_t>(next_id_));
+}
+
+TEST_F(ScanEngineTest, InvalidRowsServedFromRowStore) {
+  Random rng(4);
+  InsertRows(2 * kRowsPerBlock, &rng);
+  ASSERT_TRUE(populator_->PopulateNow(10).ok());
+
+  // Update some rows after population; simulate the invalidation flush.
+  Transaction txn = mgr_.Begin();
+  const Dba first_block = table_.SnapshotBlocks()[0];
+  for (int64_t id = 0; id < 20; ++id) {
+    const RowId rid{first_block, static_cast<SlotId>(id)};
+    Row row{Value(id), Value(int64_t{100}), Value(std::string("fresh"))};
+    ASSERT_TRUE(mgr_.Update(&txn, &table_, rid, std::move(row)).ok());
+  }
+  ASSERT_TRUE(mgr_.Commit(&txn).ok());
+  for (int64_t id = 0; id < 20; ++id)
+    im_store_.MarkRowInvalid(table_.SnapshotBlocks()[0], static_cast<SlotId>(id));
+
+  // The new value (100 > domain of 20) is only findable through reconciliation.
+  ScanStats stats;
+  const std::vector<Predicate> preds = {{1, PredOp::kEq, Value(int64_t{100})}};
+  const auto ids = ScanIds(preds, true, &stats);
+  EXPECT_EQ(ids.size(), 20u);
+  EXPECT_GT(stats.invalid_rowpath, 0u);
+  EXPECT_EQ(ScanIds(preds, false), ids);
+
+  // And the stale IMCS values must NOT surface.
+  ScanStats stats2;
+  std::multiset<int64_t> all = ScanIds({}, true, &stats2);
+  EXPECT_EQ(all.size(), static_cast<size_t>(next_id_));
+}
+
+TEST_F(ScanEngineTest, StorageIndexPrunesImcus) {
+  Random rng(5);
+  InsertRows(2 * kRowsPerBlock, &rng);
+  ASSERT_TRUE(populator_->PopulateNow(10).ok());
+  ScanStats stats;
+  // Values are in [0,20): nothing can match 1000.
+  const std::vector<Predicate> preds = {{1, PredOp::kEq, Value(int64_t{1000})}};
+  const auto ids = ScanIds(preds, true, &stats);
+  EXPECT_TRUE(ids.empty());
+  EXPECT_GT(stats.imcus_pruned, 0u);
+  EXPECT_EQ(stats.rows_from_imcs, 0u);
+}
+
+TEST_F(ScanEngineTest, PopulatingSmuFallsBackToRowPath) {
+  Random rng(6);
+  InsertRows(kRowsPerBlock, &rng);
+  // Register an SMU but never attach an IMCU (population in flight).
+  auto smu = std::make_shared<Smu>(10, kDefaultTenant, mgr_.visible_scn(),
+                                   table_.SnapshotBlocks());
+  ASSERT_TRUE(im_store_.RegisterSmu(smu, nullptr).ok());
+  ScanStats stats;
+  const auto ids = ScanIds({}, true, &stats);
+  EXPECT_EQ(ids.size(), static_cast<size_t>(next_id_));
+  EXPECT_EQ(stats.rows_from_imcs, 0u);
+  EXPECT_GT(stats.blocks_rowpath, 0u);
+  EXPECT_GE(stats.imcus_skipped, 1u);
+}
+
+TEST_F(ScanEngineTest, TooNewImcuSkipped) {
+  Random rng(7);
+  InsertRows(kRowsPerBlock, &rng);
+  ASSERT_TRUE(populator_->PopulateNow(10).ok());
+  // A view older than the IMCU snapshot must not use the IMCS.
+  ReadView old_view;
+  old_view.snapshot_scn = 1;  // Before any commit completed… except begin CVs.
+  old_view.resolver = &txns_;
+  ScanEngine engine;
+  ScanStats stats;
+  size_t n = 0;
+  ASSERT_TRUE(engine
+                  .Scan(table_, {}, old_view, {&im_store_}, cache_,
+                        [&](const Row&) { ++n; }, &stats)
+                  .ok());
+  EXPECT_EQ(stats.rows_from_imcs, 0u);
+  EXPECT_GE(stats.imcus_skipped, 1u);
+}
+
+TEST_F(ScanEngineTest, CoarseInvalidatedImcuBypassed) {
+  Random rng(8);
+  InsertRows(kRowsPerBlock, &rng);
+  ASSERT_TRUE(populator_->PopulateNow(10).ok());
+  im_store_.CoarseInvalidateTenant(kDefaultTenant);
+  ScanStats stats;
+  const auto ids = ScanIds({}, true, &stats);
+  EXPECT_EQ(ids.size(), static_cast<size_t>(next_id_));
+  EXPECT_EQ(stats.rows_from_imcs, 0u);
+}
+
+TEST_F(ScanEngineTest, MultiplePredicatesConjunction) {
+  Random rng(9);
+  InsertRows(2 * kRowsPerBlock, &rng);
+  ASSERT_TRUE(populator_->PopulateNow(10).ok());
+  const std::vector<Predicate> preds = {
+      {1, PredOp::kGe, Value(int64_t{5})},
+      {1, PredOp::kLt, Value(int64_t{10})},
+      {2, PredOp::kNe, Value(std::string("s0"))},
+  };
+  EXPECT_EQ(ScanIds(preds, true), ScanIds(preds, false));
+}
+
+// --- Property sweep: random workloads, random predicates, IMCS ≡ row path ---
+
+class ScanProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ScanProperty, ImcsAlwaysMatchesRowPath) {
+  const uint64_t seed = GetParam();
+  ScnAllocator scns;
+  TxnTable txns;
+  BlockStore store;
+  RedoLog log(0, &scns);
+  TxnManager mgr(&scns, &txns, &store, {&log}, nullptr);
+  BufferCache cache(&store);
+  Table table(10, kDefaultTenant, "t", Schema::WideTable(1, 1), &store);
+  ImStore im_store(0, 64u << 20);
+  PrimaryImSync sync;
+  PrimarySnapshotSource snapshot(&mgr, &sync);
+  PopulationOptions options;
+  options.blocks_per_imcu = 2;
+  Populator populator(&im_store, &snapshot, &store, options);
+  populator.EnableObject(&table);
+
+  Random rng(seed);
+  std::vector<RowId> rids;
+  // Load.
+  {
+    Transaction txn = mgr.Begin();
+    for (int i = 0; i < 3 * static_cast<int>(kRowsPerBlock); ++i) {
+      RowId rid;
+      Row row{Value(static_cast<int64_t>(i)),
+              Value(static_cast<int64_t>(rng.Uniform(10))),
+              Value(std::string(1, static_cast<char>('a' + rng.Uniform(4))))};
+      ASSERT_TRUE(mgr.Insert(&txn, &table, std::move(row), &rid).ok());
+      rids.push_back(rid);
+    }
+    ASSERT_TRUE(mgr.Commit(&txn).ok());
+  }
+  ASSERT_TRUE(populator.PopulateNow(10).ok());
+
+  // Random post-population churn: updates + deletes, mirrored into the SMU
+  // bitmap exactly as the invalidation flush would.
+  for (int round = 0; round < 3; ++round) {
+    Transaction txn = mgr.Begin();
+    for (int i = 0; i < 40; ++i) {
+      const RowId rid = rids[rng.Uniform(rids.size())];
+      if (rng.Percent(80)) {
+        Row row{Value(static_cast<int64_t>(rng.Uniform(rids.size()))),
+                Value(static_cast<int64_t>(rng.Uniform(10))),
+                Value(std::string(1, static_cast<char>('a' + rng.Uniform(4))))};
+        (void)mgr.Update(&txn, &table, rid, std::move(row));
+      } else {
+        (void)mgr.Delete(&txn, &table, rid);
+      }
+      im_store.MarkRowInvalid(rid.dba, rid.slot);
+    }
+    ASSERT_TRUE(mgr.Commit(&txn).ok());
+  }
+
+  // Random predicates, both paths must agree exactly.
+  ScanEngine engine;
+  ReadView view;
+  view.snapshot_scn = mgr.visible_scn();
+  view.resolver = &txns;
+  for (int q = 0; q < 12; ++q) {
+    std::vector<Predicate> preds;
+    const PredOp op = static_cast<PredOp>(rng.Uniform(6));
+    if (rng.Percent(50)) {
+      preds.push_back({1, op, Value(static_cast<int64_t>(rng.Uniform(12)))});
+    } else {
+      preds.push_back({2, op, Value(std::string(1, static_cast<char>('a' + rng.Uniform(5))))});
+    }
+    std::multiset<int64_t> imcs, rows;
+    ASSERT_TRUE(engine
+                    .Scan(table, preds, view, {&im_store}, cache,
+                          [&](const Row& r) { imcs.insert(r[0].as_int()); },
+                          nullptr)
+                    .ok());
+    ASSERT_TRUE(engine
+                    .Scan(table, preds, view, {}, cache,
+                          [&](const Row& r) { rows.insert(r[0].as_int()); },
+                          nullptr)
+                    .ok());
+    EXPECT_EQ(imcs, rows) << "seed=" << seed << " q=" << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScanProperty,
+                         ::testing::Values(101, 202, 303, 404, 505, 606, 707, 808));
+
+}  // namespace
+}  // namespace stratus

@@ -1,0 +1,62 @@
+#include "storage/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace stratus {
+namespace {
+
+TEST(SchemaTest, WideTableShape) {
+  const Schema s = Schema::WideTable(50, 50);
+  EXPECT_EQ(s.num_columns(), 101u);
+  EXPECT_EQ(s.column(0).name, "id");
+  EXPECT_EQ(s.column(0).type, ValueType::kInt);
+  EXPECT_EQ(s.column(1).name, "n1");
+  EXPECT_EQ(s.column(50).name, "n50");
+  EXPECT_EQ(s.column(51).name, "c1");
+  EXPECT_EQ(s.column(51).type, ValueType::kString);
+  EXPECT_EQ(s.column(100).name, "c50");
+}
+
+TEST(SchemaTest, FindColumn) {
+  const Schema s = Schema::WideTable(2, 2);
+  EXPECT_EQ(s.FindColumn("id"), 0);
+  EXPECT_EQ(s.FindColumn("n2"), 2);
+  EXPECT_EQ(s.FindColumn("c1"), 3);
+  EXPECT_EQ(s.FindColumn("nope"), -1);
+}
+
+TEST(SchemaTest, ValidateRowArity) {
+  const Schema s = Schema::WideTable(1, 1);
+  Row ok = {Value(int64_t{1}), Value(int64_t{2}), Value(std::string("x"))};
+  EXPECT_TRUE(s.ValidateRow(ok).ok());
+  Row short_row = {Value(int64_t{1})};
+  EXPECT_FALSE(s.ValidateRow(short_row).ok());
+}
+
+TEST(SchemaTest, ValidateRowTypes) {
+  const Schema s = Schema::WideTable(1, 1);
+  Row bad = {Value(int64_t{1}), Value(std::string("oops")), Value(std::string("x"))};
+  EXPECT_FALSE(s.ValidateRow(bad).ok());
+}
+
+TEST(SchemaTest, NullMatchesAnyType) {
+  const Schema s = Schema::WideTable(1, 1);
+  Row with_nulls = {Value(int64_t{1}), Value::Null(), Value::Null()};
+  EXPECT_TRUE(s.ValidateRow(with_nulls).ok());
+}
+
+TEST(SchemaTest, DropColumnPreservesPositions) {
+  const Schema s = Schema::WideTable(2, 1);
+  const Schema dropped = s.WithDroppedColumn(1);
+  EXPECT_EQ(dropped.num_columns(), s.num_columns());
+  EXPECT_TRUE(dropped.IsDropped(1));
+  EXPECT_FALSE(dropped.IsDropped(2));
+  EXPECT_EQ(dropped.column(2).name, "n2");
+  // The dropped column's tombstone type is NULL so any value validates.
+  Row row = {Value(int64_t{1}), Value::Null(), Value(int64_t{7}),
+             Value(std::string("a"))};
+  EXPECT_TRUE(dropped.ValidateRow(row).ok());
+}
+
+}  // namespace
+}  // namespace stratus

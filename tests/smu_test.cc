@@ -1,0 +1,91 @@
+#include "imcs/smu.h"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace stratus {
+namespace {
+
+TEST(SmuTest, StartsPopulatingAndClean) {
+  Smu smu(10, kDefaultTenant, 50, {100, 200});
+  EXPECT_EQ(smu.state(), SmuState::kPopulating);
+  EXPECT_EQ(smu.invalid_count(), 0u);
+  EXPECT_EQ(smu.InvalidFraction(), 0.0);
+  EXPECT_EQ(smu.imcu(), nullptr);
+}
+
+TEST(SmuTest, AttachImcuFlipsReady) {
+  Smu smu(10, kDefaultTenant, 50, {100});
+  auto imcu = std::make_shared<Imcu>(10, kDefaultTenant, 50,
+                                     std::vector<Dba>{100}, Schema::WideTable(1, 0));
+  smu.AttachImcu(imcu);
+  EXPECT_EQ(smu.state(), SmuState::kReady);
+  EXPECT_EQ(smu.imcu(), imcu);
+}
+
+TEST(SmuTest, RowInvalidation) {
+  Smu smu(10, kDefaultTenant, 50, {100, 200});
+  EXPECT_TRUE(smu.MarkRowInvalid(100, 5));
+  EXPECT_TRUE(smu.MarkRowInvalid(200, 0));
+  EXPECT_FALSE(smu.MarkRowInvalid(300, 0));  // Not covered.
+  EXPECT_TRUE(smu.IsRowInvalid(5));
+  EXPECT_TRUE(smu.IsRowInvalid(kRowsPerBlock));
+  EXPECT_FALSE(smu.IsRowInvalid(6));
+  EXPECT_EQ(smu.invalid_count(), 2u);
+}
+
+TEST(SmuTest, DoubleMarkCountsOnce) {
+  Smu smu(10, kDefaultTenant, 50, {100});
+  smu.MarkRowInvalid(100, 5);
+  smu.MarkRowInvalid(100, 5);
+  EXPECT_EQ(smu.invalid_count(), 1u);
+}
+
+TEST(SmuTest, BlockInvalidationCoversAllSlots) {
+  Smu smu(10, kDefaultTenant, 50, {100, 200});
+  EXPECT_TRUE(smu.MarkBlockInvalid(200));
+  for (SlotId s = 0; s < kRowsPerBlock; ++s)
+    EXPECT_TRUE(smu.IsRowInvalid(kRowsPerBlock + s));
+  EXPECT_FALSE(smu.IsRowInvalid(0));
+}
+
+TEST(SmuTest, CoarseInvalidation) {
+  Smu smu(10, kDefaultTenant, 50, {100});
+  smu.MarkAllInvalid();
+  EXPECT_TRUE(smu.AllInvalid());
+  EXPECT_TRUE(smu.IsRowInvalid(0));
+  EXPECT_EQ(smu.InvalidFraction(), 1.0);
+}
+
+TEST(SmuTest, InvalidFractionDrivesRepopulation) {
+  Smu smu(10, kDefaultTenant, 50, {100});
+  const size_t quarter = kRowsPerBlock / 4;
+  for (SlotId s = 0; s < quarter; ++s) smu.MarkRowInvalid(100, s);
+  EXPECT_NEAR(smu.InvalidFraction(), 0.25, 0.01);
+}
+
+TEST(SmuTest, RepopSchedulingIsOneShot) {
+  Smu smu(10, kDefaultTenant, 50, {100});
+  EXPECT_TRUE(smu.TrySetRepopScheduled());
+  EXPECT_FALSE(smu.TrySetRepopScheduled());
+  smu.ClearRepopScheduled();
+  EXPECT_TRUE(smu.TrySetRepopScheduled());
+}
+
+TEST(SmuTest, ConcurrentInvalidationIsExact) {
+  Smu smu(10, kDefaultTenant, 50, {100, 200, 300, 400});
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&smu, t] {
+      const Dba dba = 100 * (t + 1);
+      for (SlotId s = 0; s < kRowsPerBlock; ++s) smu.MarkRowInvalid(dba, s);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(smu.invalid_count(), 4 * kRowsPerBlock);
+  EXPECT_EQ(smu.InvalidFraction(), 1.0);
+}
+
+}  // namespace
+}  // namespace stratus

@@ -1,0 +1,73 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace stratus {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), Code::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::NotFound("row 42");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_EQ(st.message(), "row 42");
+  EXPECT_EQ(st.ToString(), "NotFound: row 42");
+}
+
+TEST(StatusTest, AbortedPredicate) {
+  EXPECT_TRUE(Status::Aborted("lock").IsAborted());
+  EXPECT_FALSE(Status::Internal("x").IsAborted());
+  EXPECT_TRUE(Status::Unavailable("down").IsUnavailable());
+}
+
+TEST(StatusTest, AllCodesHaveDistinctNames) {
+  EXPECT_NE(Status::Corruption("x").ToString(), Status::Internal("x").ToString());
+  EXPECT_NE(Status::InvalidArgument("x").ToString(),
+            Status::FailedPrecondition("x").ToString());
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("gone");
+  EXPECT_FALSE(v.ok());
+  EXPECT_TRUE(v.status().IsNotFound());
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> v = std::string("hello");
+  std::string s = std::move(v).value();
+  EXPECT_EQ(s, "hello");
+}
+
+Status Half(int x, int* out) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  *out = x / 2;
+  return Status::OK();
+}
+
+Status UseMacro(int x, int* out) {
+  STRATUS_RETURN_IF_ERROR(Half(x, out));
+  *out += 1;
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseMacro(4, &out).ok());
+  EXPECT_EQ(out, 3);
+  EXPECT_FALSE(UseMacro(3, &out).ok());
+}
+
+}  // namespace
+}  // namespace stratus

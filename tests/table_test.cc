@@ -1,0 +1,92 @@
+#include "storage/table.h"
+
+#include <algorithm>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace stratus {
+namespace {
+
+class TableTest : public ::testing::Test {
+ protected:
+  BlockStore store_;
+  Table table_{10, kDefaultTenant, "t", Schema::WideTable(1, 1), &store_};
+};
+
+TEST_F(TableTest, FirstInsertExtendsSegment) {
+  EXPECT_EQ(table_.BlockCount(), 0u);
+  const RowId rid = table_.AllocateInsertSlot();
+  EXPECT_EQ(table_.BlockCount(), 1u);
+  EXPECT_EQ(rid.slot, 0u);
+  EXPECT_NE(store_.GetBlock(rid.dba), nullptr);
+}
+
+TEST_F(TableTest, SlotsFillBeforeNewBlock) {
+  RowId first = table_.AllocateInsertSlot();
+  for (SlotId i = 1; i < kRowsPerBlock; ++i) {
+    const RowId rid = table_.AllocateInsertSlot();
+    EXPECT_EQ(rid.dba, first.dba);
+    EXPECT_EQ(rid.slot, i);
+  }
+  const RowId next = table_.AllocateInsertSlot();
+  EXPECT_NE(next.dba, first.dba);
+  EXPECT_EQ(next.slot, 0u);
+  EXPECT_EQ(table_.BlockCount(), 2u);
+}
+
+TEST_F(TableTest, NoteBlockIsIdempotent) {
+  table_.NoteBlock(500);
+  table_.NoteBlock(500);
+  table_.NoteBlock(501);
+  const auto blocks = table_.SnapshotBlocks();
+  EXPECT_EQ(blocks.size(), 2u);
+  EXPECT_EQ(blocks[0], 500u);
+  EXPECT_EQ(blocks[1], 501u);
+}
+
+TEST_F(TableTest, SnapshotBlocksPreservesDiscoveryOrder) {
+  table_.NoteBlock(700);
+  table_.NoteBlock(300);
+  table_.NoteBlock(900);
+  const auto blocks = table_.SnapshotBlocks();
+  ASSERT_EQ(blocks.size(), 3u);
+  EXPECT_EQ(blocks[0], 700u);
+  EXPECT_EQ(blocks[1], 300u);
+  EXPECT_EQ(blocks[2], 900u);
+}
+
+TEST_F(TableTest, SchemaSwapVisibleToNewReaders) {
+  auto before = table_.schema();
+  EXPECT_FALSE(before->IsDropped(1));
+  table_.UpdateSchema(before->WithDroppedColumn(1));
+  auto after = table_.schema();
+  EXPECT_TRUE(after->IsDropped(1));
+  // The old snapshot handle is unaffected (readers keep a stable view).
+  EXPECT_FALSE(before->IsDropped(1));
+}
+
+TEST_F(TableTest, IdentityIndexAttachable) {
+  EXPECT_EQ(table_.index(), nullptr);
+  table_.CreateIdentityIndex();
+  ASSERT_NE(table_.index(), nullptr);
+}
+
+TEST_F(TableTest, ConcurrentAllocationsAreUnique) {
+  std::vector<std::vector<RowId>> per_thread(4);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([this, &per_thread, t] {
+      for (int i = 0; i < 1000; ++i)
+        per_thread[t].push_back(table_.AllocateInsertSlot());
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::vector<RowId> all;
+  for (auto& v : per_thread) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end());
+}
+
+}  // namespace
+}  // namespace stratus

@@ -1,0 +1,175 @@
+#include "rac/transport.h"
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+
+namespace stratus {
+namespace {
+
+InvalidationGroup Group(ObjectId oid, Dba dba, std::vector<SlotId> slots) {
+  InvalidationGroup g;
+  g.object_id = oid;
+  for (SlotId s : slots) g.rows.emplace_back(dba, s);
+  return g;
+}
+
+class TransportTest : public ::testing::Test {
+ protected:
+  TransportTest()
+      : store_(1, 1 << 20), remote_(1, &store_, &txns_) {}
+
+  void RegisterRemoteSmu(ObjectId oid, Dba dba) {
+    auto smu = std::make_shared<Smu>(oid, kDefaultTenant, 1, std::vector<Dba>{dba});
+    ASSERT_TRUE(store_.RegisterSmu(smu, nullptr).ok());
+    smus_.push_back(smu);
+  }
+
+  TxnTable txns_;
+  ImStore store_;
+  RemoteInstance remote_;
+  std::vector<std::shared_ptr<Smu>> smus_;
+};
+
+TEST_F(TransportTest, GroupsApplyToRemoteStore) {
+  RegisterRemoteSmu(7, 100);
+  remote_.OnGroups({Group(7, 100, {1, 2, 3})});
+  EXPECT_EQ(smus_[0]->invalid_count(), 3u);
+  EXPECT_EQ(remote_.groups_applied(), 1u);
+}
+
+TEST_F(TransportTest, PublishExposesQueryScn) {
+  EXPECT_EQ(remote_.query_scn(), kInvalidScn);
+  remote_.OnPublish(55);
+  EXPECT_EQ(remote_.query_scn(), 55u);
+}
+
+TEST_F(TransportTest, SnapshotCaptureRequiresPublishedScn) {
+  bool registered = false;
+  EXPECT_EQ(remote_.CaptureSnapshot([&](Scn) { registered = true; }), kInvalidScn);
+  EXPECT_FALSE(registered);
+  remote_.OnPublish(55);
+  EXPECT_EQ(remote_.CaptureSnapshot([&](Scn scn) {
+    registered = true;
+    EXPECT_EQ(scn, 55u);
+  }), 55u);
+  EXPECT_TRUE(registered);
+}
+
+TEST_F(TransportTest, PendingGroupsReplayIntoFreshSmus) {
+  remote_.OnPublish(10);
+  // In-flight groups for a future target arrive before this instance's
+  // populator registers the SMU…
+  remote_.OnGroups({Group(7, 100, {1, 2})});
+  // …then population captures snapshot 10 and registers; the replay buffer
+  // must deliver the missed bits.
+  const Scn snap = remote_.CaptureSnapshot([&](Scn) { RegisterRemoteSmu(7, 100); });
+  EXPECT_EQ(snap, 10u);
+  EXPECT_EQ(smus_[0]->invalid_count(), 2u);
+  // After the next publish the buffer clears; a new SMU starts clean.
+  remote_.OnPublish(20);
+  remote_.CaptureSnapshot([&](Scn) { RegisterRemoteSmu(7, 200); });
+  EXPECT_EQ(smus_[1]->invalid_count(), 0u);
+}
+
+TEST_F(TransportTest, CoarseInvalidationAppliesRemotely) {
+  RegisterRemoteSmu(7, 100);
+  remote_.OnCoarse(kDefaultTenant);
+  EXPECT_TRUE(smus_[0]->AllInvalid());
+}
+
+TEST(InvalidationChannelTest, DeliversInOrderAndDrains) {
+  TxnTable txns;
+  ImStore store(1, 1 << 20);
+  RemoteInstance remote(1, &store, &txns);
+  auto smu = std::make_shared<Smu>(7, kDefaultTenant, 1, std::vector<Dba>{100});
+  ASSERT_TRUE(store.RegisterSmu(smu, nullptr).ok());
+
+  TransportOptions options;
+  options.latency_us = 0;
+  InvalidationChannel channel({&remote}, options);
+  channel.Start();
+  channel.SendGroups({Group(7, 100, {0, 1})});
+  channel.SendGroups({Group(7, 100, {2})});
+  channel.SendPublish(42);
+  const uint64_t deadline = NowMicros() + 2'000'000;
+  while (!channel.Drained() && NowMicros() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_TRUE(channel.Drained());
+  // Ordering: the publish arrives after every group (FIFO).
+  EXPECT_EQ(remote.query_scn(), 42u);
+  EXPECT_EQ(smu->invalid_count(), 3u);
+  channel.Stop();
+  const TransportStats stats = channel.stats();
+  EXPECT_GE(stats.messages_sent, 2u);
+  EXPECT_EQ(stats.rows_sent, 3u);
+  EXPECT_EQ(stats.publishes_sent, 1u);
+}
+
+TEST(InvalidationChannelTest, StopAndWaitPaysRttPerMessage) {
+  TxnTable txns;
+  ImStore store(1, 1 << 20);
+  RemoteInstance remote(1, &store, &txns);
+  TransportOptions options;
+  options.latency_us = 0;  // Count RTT waits, don't actually sleep.
+  options.pipelined = false;
+  InvalidationChannel channel({&remote}, options);
+  channel.Start();
+  for (int i = 0; i < 10; ++i) channel.SendPublish(static_cast<Scn>(i + 1));
+  const uint64_t deadline = NowMicros() + 2'000'000;
+  while (!channel.Drained() && NowMicros() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  channel.Stop();
+  EXPECT_EQ(channel.stats().rtt_waits, 10u);
+}
+
+TEST(InvalidationChannelTest, PipeliningAmortizesRtt) {
+  TxnTable txns;
+  ImStore store(1, 1 << 20);
+  RemoteInstance remote(1, &store, &txns);
+  TransportOptions options;
+  options.latency_us = 0;
+  options.pipelined = true;
+  options.pipeline_depth = 8;
+  options.max_batch_groups = 1;  // Disable batching to count messages.
+  InvalidationChannel channel({&remote}, options);
+  channel.Start();
+  for (int i = 0; i < 16; ++i) channel.SendPublish(static_cast<Scn>(i + 1));
+  const uint64_t deadline = NowMicros() + 2'000'000;
+  while (!channel.Drained() && NowMicros() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  channel.Stop();
+  EXPECT_LE(channel.stats().rtt_waits, 3u);
+}
+
+TEST(InvalidationChannelTest, BatchingCoalescesGroupMessages) {
+  TxnTable txns;
+  ImStore store(1, 1 << 20);
+  RemoteInstance remote(1, &store, &txns);
+  auto smu = std::make_shared<Smu>(7, kDefaultTenant, 1, std::vector<Dba>{100});
+  ASSERT_TRUE(store.RegisterSmu(smu, nullptr).ok());
+  TransportOptions options;
+  options.latency_us = 2000;  // Slow wire → the queue backs up → coalescing.
+  options.max_batch_groups = 64;
+  options.pipelined = false;
+  InvalidationChannel channel({&remote}, options);
+  channel.Start();
+  for (SlotId i = 0; i < 32; ++i) channel.SendGroups({Group(7, 100, {i})});
+  const uint64_t deadline = NowMicros() + 5'000'000;
+  while (!channel.Drained() && NowMicros() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  channel.Stop();
+  const TransportStats stats = channel.stats();
+  EXPECT_EQ(stats.groups_sent, 32u);
+  EXPECT_LT(stats.messages_sent, 32u);  // Coalesced.
+  EXPECT_EQ(smu->invalid_count(), 32u);
+}
+
+TEST(InvalidationChannelTest, NoRemotesIsAlwaysDrained) {
+  InvalidationChannel channel({}, TransportOptions{});
+  channel.SendPublish(1);
+  EXPECT_TRUE(channel.Drained());
+}
+
+}  // namespace
+}  // namespace stratus

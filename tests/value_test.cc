@@ -1,0 +1,57 @@
+#include "storage/value.h"
+
+#include <gtest/gtest.h>
+
+namespace stratus {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+  EXPECT_EQ(v.ToString(), "NULL");
+}
+
+TEST(ValueTest, IntRoundTrip) {
+  Value v(int64_t{-17});
+  EXPECT_EQ(v.type(), ValueType::kInt);
+  EXPECT_EQ(v.as_int(), -17);
+  EXPECT_EQ(v.ToString(), "-17");
+}
+
+TEST(ValueTest, StringRoundTrip) {
+  Value v(std::string("abc"));
+  EXPECT_EQ(v.type(), ValueType::kString);
+  EXPECT_EQ(v.as_string(), "abc");
+  EXPECT_EQ(v.ToString(), "'abc'");
+}
+
+TEST(ValueTest, EqualityWithinType) {
+  EXPECT_EQ(Value(int64_t{5}), Value(int64_t{5}));
+  EXPECT_FALSE(Value(int64_t{5}) == Value(int64_t{6}));
+  EXPECT_EQ(Value(std::string("x")), Value(std::string("x")));
+  EXPECT_EQ(Value::Null(), Value::Null());
+}
+
+TEST(ValueTest, CrossTypeNotEqual) {
+  EXPECT_FALSE(Value(int64_t{1}) == Value(std::string("1")));
+  EXPECT_FALSE(Value::Null() == Value(int64_t{0}));
+}
+
+TEST(ValueTest, OrderingWithinInts) {
+  EXPECT_TRUE(Value(int64_t{1}) < Value(int64_t{2}));
+  EXPECT_FALSE(Value(int64_t{2}) < Value(int64_t{1}));
+}
+
+TEST(ValueTest, OrderingWithinStrings) {
+  EXPECT_TRUE(Value(std::string("a")) < Value(std::string("b")));
+}
+
+TEST(ValueTest, NullSortsFirst) {
+  EXPECT_TRUE(Value::Null() < Value(int64_t{0}));
+  EXPECT_TRUE(Value::Null() < Value(std::string("")));
+  EXPECT_FALSE(Value::Null() < Value::Null());
+}
+
+}  // namespace
+}  // namespace stratus
