@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_flush.dir/ablation_flush.cc.o"
+  "CMakeFiles/ablation_flush.dir/ablation_flush.cc.o.d"
+  "ablation_flush"
+  "ablation_flush.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_flush.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rac_transport.dir/ablation_rac_transport.cc.o"
+  "CMakeFiles/ablation_rac_transport.dir/ablation_rac_transport.cc.o.d"
+  "ablation_rac_transport"
+  "ablation_rac_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rac_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_restart.dir/ablation_restart.cc.o"
+  "CMakeFiles/ablation_restart.dir/ablation_restart.cc.o.d"
+  "ablation_restart"
+  "ablation_restart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_restart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

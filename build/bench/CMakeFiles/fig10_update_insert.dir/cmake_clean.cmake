@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_update_insert.dir/fig10_update_insert.cc.o"
+  "CMakeFiles/fig10_update_insert.dir/fig10_update_insert.cc.o.d"
+  "fig10_update_insert"
+  "fig10_update_insert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_update_insert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_redo_apply.dir/fig11_redo_apply.cc.o"
+  "CMakeFiles/fig11_redo_apply.dir/fig11_redo_apply.cc.o.d"
+  "fig11_redo_apply"
+  "fig11_redo_apply.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_redo_apply.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

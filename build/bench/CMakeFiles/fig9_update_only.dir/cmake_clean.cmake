@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_update_only.dir/fig9_update_only.cc.o"
+  "CMakeFiles/fig9_update_only.dir/fig9_update_only.cc.o.d"
+  "fig9_update_only"
+  "fig9_update_only.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_update_only.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

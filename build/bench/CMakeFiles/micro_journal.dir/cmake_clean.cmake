@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_journal.dir/micro_journal.cc.o"
+  "CMakeFiles/micro_journal.dir/micro_journal.cc.o.d"
+  "micro_journal"
+  "micro_journal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_journal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

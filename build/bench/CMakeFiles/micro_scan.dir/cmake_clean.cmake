@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_scan.dir/micro_scan.cc.o"
+  "CMakeFiles/micro_scan.dir/micro_scan.cc.o.d"
+  "micro_scan"
+  "micro_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_scan_only.dir/table2_scan_only.cc.o"
+  "CMakeFiles/table2_scan_only.dir/table2_scan_only.cc.o.d"
+  "table2_scan_only"
+  "table2_scan_only.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_scan_only.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capacity_expansion.dir/capacity_expansion.cpp.o"
+  "CMakeFiles/capacity_expansion.dir/capacity_expansion.cpp.o.d"
+  "capacity_expansion"
+  "capacity_expansion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capacity_expansion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adg/recovery_coordinator.cc" "src/CMakeFiles/stratus.dir/adg/recovery_coordinator.cc.o" "gcc" "src/CMakeFiles/stratus.dir/adg/recovery_coordinator.cc.o.d"
+  "/root/repo/src/adg/recovery_worker.cc" "src/CMakeFiles/stratus.dir/adg/recovery_worker.cc.o" "gcc" "src/CMakeFiles/stratus.dir/adg/recovery_worker.cc.o.d"
+  "/root/repo/src/adg/redo_apply.cc" "src/CMakeFiles/stratus.dir/adg/redo_apply.cc.o" "gcc" "src/CMakeFiles/stratus.dir/adg/redo_apply.cc.o.d"
+  "/root/repo/src/adg/redo_splitter.cc" "src/CMakeFiles/stratus.dir/adg/redo_splitter.cc.o" "gcc" "src/CMakeFiles/stratus.dir/adg/redo_splitter.cc.o.d"
+  "/root/repo/src/common/clock.cc" "src/CMakeFiles/stratus.dir/common/clock.cc.o" "gcc" "src/CMakeFiles/stratus.dir/common/clock.cc.o.d"
+  "/root/repo/src/common/histogram.cc" "src/CMakeFiles/stratus.dir/common/histogram.cc.o" "gcc" "src/CMakeFiles/stratus.dir/common/histogram.cc.o.d"
+  "/root/repo/src/common/latch.cc" "src/CMakeFiles/stratus.dir/common/latch.cc.o" "gcc" "src/CMakeFiles/stratus.dir/common/latch.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/stratus.dir/common/status.cc.o" "gcc" "src/CMakeFiles/stratus.dir/common/status.cc.o.d"
+  "/root/repo/src/db/catalog.cc" "src/CMakeFiles/stratus.dir/db/catalog.cc.o" "gcc" "src/CMakeFiles/stratus.dir/db/catalog.cc.o.d"
+  "/root/repo/src/db/database.cc" "src/CMakeFiles/stratus.dir/db/database.cc.o" "gcc" "src/CMakeFiles/stratus.dir/db/database.cc.o.d"
+  "/root/repo/src/db/ddl.cc" "src/CMakeFiles/stratus.dir/db/ddl.cc.o" "gcc" "src/CMakeFiles/stratus.dir/db/ddl.cc.o.d"
+  "/root/repo/src/db/query.cc" "src/CMakeFiles/stratus.dir/db/query.cc.o" "gcc" "src/CMakeFiles/stratus.dir/db/query.cc.o.d"
+  "/root/repo/src/db/service.cc" "src/CMakeFiles/stratus.dir/db/service.cc.o" "gcc" "src/CMakeFiles/stratus.dir/db/service.cc.o.d"
+  "/root/repo/src/imadg/commit_table.cc" "src/CMakeFiles/stratus.dir/imadg/commit_table.cc.o" "gcc" "src/CMakeFiles/stratus.dir/imadg/commit_table.cc.o.d"
+  "/root/repo/src/imadg/ddl_table.cc" "src/CMakeFiles/stratus.dir/imadg/ddl_table.cc.o" "gcc" "src/CMakeFiles/stratus.dir/imadg/ddl_table.cc.o.d"
+  "/root/repo/src/imadg/flush.cc" "src/CMakeFiles/stratus.dir/imadg/flush.cc.o" "gcc" "src/CMakeFiles/stratus.dir/imadg/flush.cc.o.d"
+  "/root/repo/src/imadg/invalidation.cc" "src/CMakeFiles/stratus.dir/imadg/invalidation.cc.o" "gcc" "src/CMakeFiles/stratus.dir/imadg/invalidation.cc.o.d"
+  "/root/repo/src/imadg/journal.cc" "src/CMakeFiles/stratus.dir/imadg/journal.cc.o" "gcc" "src/CMakeFiles/stratus.dir/imadg/journal.cc.o.d"
+  "/root/repo/src/imadg/mining.cc" "src/CMakeFiles/stratus.dir/imadg/mining.cc.o" "gcc" "src/CMakeFiles/stratus.dir/imadg/mining.cc.o.d"
+  "/root/repo/src/imcs/column_vector.cc" "src/CMakeFiles/stratus.dir/imcs/column_vector.cc.o" "gcc" "src/CMakeFiles/stratus.dir/imcs/column_vector.cc.o.d"
+  "/root/repo/src/imcs/dictionary.cc" "src/CMakeFiles/stratus.dir/imcs/dictionary.cc.o" "gcc" "src/CMakeFiles/stratus.dir/imcs/dictionary.cc.o.d"
+  "/root/repo/src/imcs/expression.cc" "src/CMakeFiles/stratus.dir/imcs/expression.cc.o" "gcc" "src/CMakeFiles/stratus.dir/imcs/expression.cc.o.d"
+  "/root/repo/src/imcs/im_store.cc" "src/CMakeFiles/stratus.dir/imcs/im_store.cc.o" "gcc" "src/CMakeFiles/stratus.dir/imcs/im_store.cc.o.d"
+  "/root/repo/src/imcs/imcu.cc" "src/CMakeFiles/stratus.dir/imcs/imcu.cc.o" "gcc" "src/CMakeFiles/stratus.dir/imcs/imcu.cc.o.d"
+  "/root/repo/src/imcs/population.cc" "src/CMakeFiles/stratus.dir/imcs/population.cc.o" "gcc" "src/CMakeFiles/stratus.dir/imcs/population.cc.o.d"
+  "/root/repo/src/imcs/scan_engine.cc" "src/CMakeFiles/stratus.dir/imcs/scan_engine.cc.o" "gcc" "src/CMakeFiles/stratus.dir/imcs/scan_engine.cc.o.d"
+  "/root/repo/src/imcs/smu.cc" "src/CMakeFiles/stratus.dir/imcs/smu.cc.o" "gcc" "src/CMakeFiles/stratus.dir/imcs/smu.cc.o.d"
+  "/root/repo/src/rac/home_location_map.cc" "src/CMakeFiles/stratus.dir/rac/home_location_map.cc.o" "gcc" "src/CMakeFiles/stratus.dir/rac/home_location_map.cc.o.d"
+  "/root/repo/src/rac/transport.cc" "src/CMakeFiles/stratus.dir/rac/transport.cc.o" "gcc" "src/CMakeFiles/stratus.dir/rac/transport.cc.o.d"
+  "/root/repo/src/redo/change_vector.cc" "src/CMakeFiles/stratus.dir/redo/change_vector.cc.o" "gcc" "src/CMakeFiles/stratus.dir/redo/change_vector.cc.o.d"
+  "/root/repo/src/redo/log_merger.cc" "src/CMakeFiles/stratus.dir/redo/log_merger.cc.o" "gcc" "src/CMakeFiles/stratus.dir/redo/log_merger.cc.o.d"
+  "/root/repo/src/redo/log_shipping.cc" "src/CMakeFiles/stratus.dir/redo/log_shipping.cc.o" "gcc" "src/CMakeFiles/stratus.dir/redo/log_shipping.cc.o.d"
+  "/root/repo/src/redo/redo_log.cc" "src/CMakeFiles/stratus.dir/redo/redo_log.cc.o" "gcc" "src/CMakeFiles/stratus.dir/redo/redo_log.cc.o.d"
+  "/root/repo/src/storage/block.cc" "src/CMakeFiles/stratus.dir/storage/block.cc.o" "gcc" "src/CMakeFiles/stratus.dir/storage/block.cc.o.d"
+  "/root/repo/src/storage/block_store.cc" "src/CMakeFiles/stratus.dir/storage/block_store.cc.o" "gcc" "src/CMakeFiles/stratus.dir/storage/block_store.cc.o.d"
+  "/root/repo/src/storage/buffer_cache.cc" "src/CMakeFiles/stratus.dir/storage/buffer_cache.cc.o" "gcc" "src/CMakeFiles/stratus.dir/storage/buffer_cache.cc.o.d"
+  "/root/repo/src/storage/index.cc" "src/CMakeFiles/stratus.dir/storage/index.cc.o" "gcc" "src/CMakeFiles/stratus.dir/storage/index.cc.o.d"
+  "/root/repo/src/storage/schema.cc" "src/CMakeFiles/stratus.dir/storage/schema.cc.o" "gcc" "src/CMakeFiles/stratus.dir/storage/schema.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/stratus.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/stratus.dir/storage/table.cc.o.d"
+  "/root/repo/src/storage/value.cc" "src/CMakeFiles/stratus.dir/storage/value.cc.o" "gcc" "src/CMakeFiles/stratus.dir/storage/value.cc.o.d"
+  "/root/repo/src/txn/txn_manager.cc" "src/CMakeFiles/stratus.dir/txn/txn_manager.cc.o" "gcc" "src/CMakeFiles/stratus.dir/txn/txn_manager.cc.o.d"
+  "/root/repo/src/txn/txn_table.cc" "src/CMakeFiles/stratus.dir/txn/txn_table.cc.o" "gcc" "src/CMakeFiles/stratus.dir/txn/txn_table.cc.o.d"
+  "/root/repo/src/workload/oltap.cc" "src/CMakeFiles/stratus.dir/workload/oltap.cc.o" "gcc" "src/CMakeFiles/stratus.dir/workload/oltap.cc.o.d"
+  "/root/repo/src/workload/report.cc" "src/CMakeFiles/stratus.dir/workload/report.cc.o" "gcc" "src/CMakeFiles/stratus.dir/workload/report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

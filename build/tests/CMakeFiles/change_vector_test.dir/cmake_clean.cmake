@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/change_vector_test.dir/change_vector_test.cc.o"
+  "CMakeFiles/change_vector_test.dir/change_vector_test.cc.o.d"
+  "change_vector_test"
+  "change_vector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/change_vector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

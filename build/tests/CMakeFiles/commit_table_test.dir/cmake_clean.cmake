@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commit_table_test.dir/commit_table_test.cc.o"
+  "CMakeFiles/commit_table_test.dir/commit_table_test.cc.o.d"
+  "commit_table_test"
+  "commit_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commit_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

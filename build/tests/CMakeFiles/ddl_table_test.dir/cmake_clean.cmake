@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddl_table_test.dir/ddl_table_test.cc.o"
+  "CMakeFiles/ddl_table_test.dir/ddl_table_test.cc.o.d"
+  "ddl_table_test"
+  "ddl_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddl_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/im_store_test.dir/im_store_test.cc.o"
+  "CMakeFiles/im_store_test.dir/im_store_test.cc.o.d"
+  "im_store_test"
+  "im_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/im_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imcu_test.dir/imcu_test.cc.o"
+  "CMakeFiles/imcu_test.dir/imcu_test.cc.o.d"
+  "imcu_test"
+  "imcu_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imcu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

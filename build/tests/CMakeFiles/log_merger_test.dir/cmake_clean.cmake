@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_merger_test.dir/log_merger_test.cc.o"
+  "CMakeFiles/log_merger_test.dir/log_merger_test.cc.o.d"
+  "log_merger_test"
+  "log_merger_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_merger_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mira_test.dir/mira_test.cc.o"
+  "CMakeFiles/mira_test.dir/mira_test.cc.o.d"
+  "mira_test"
+  "mira_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mira_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

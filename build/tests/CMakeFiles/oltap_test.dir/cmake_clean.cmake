@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oltap_test.dir/oltap_test.cc.o"
+  "CMakeFiles/oltap_test.dir/oltap_test.cc.o.d"
+  "oltap_test"
+  "oltap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oltap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

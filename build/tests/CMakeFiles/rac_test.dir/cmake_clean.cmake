@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rac_test.dir/rac_test.cc.o"
+  "CMakeFiles/rac_test.dir/rac_test.cc.o.d"
+  "rac_test"
+  "rac_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rac_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redo_apply_test.dir/redo_apply_test.cc.o"
+  "CMakeFiles/redo_apply_test.dir/redo_apply_test.cc.o.d"
+  "redo_apply_test"
+  "redo_apply_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redo_apply_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scan_engine_test.dir/scan_engine_test.cc.o"
+  "CMakeFiles/scan_engine_test.dir/scan_engine_test.cc.o.d"
+  "scan_engine_test"
+  "scan_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scan_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

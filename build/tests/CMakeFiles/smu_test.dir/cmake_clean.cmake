@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smu_test.dir/smu_test.cc.o"
+  "CMakeFiles/smu_test.dir/smu_test.cc.o.d"
+  "smu_test"
+  "smu_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
