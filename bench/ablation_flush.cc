@@ -72,12 +72,12 @@ Outcome RunOnce(bool cooperative, size_t partitions, int duration_ms) {
       (void)cluster.primary()->Commit(&txn);
     }
   });
-  const uint64_t t0 = NowNanos();
+  Stopwatch watch;
   std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
   stop.store(true, std::memory_order_release);
   writer.join();
   cluster.WaitForCatchup();
-  const double wall_sec = static_cast<double>(NowNanos() - t0) / 1e9;
+  const double wall_sec = watch.ElapsedSeconds();
 
   Outcome out;
   RecoveryCoordinator* coordinator = cluster.standby()->coordinator();

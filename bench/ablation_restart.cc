@@ -94,9 +94,9 @@ Outcome RunOnce(bool specialized_redo, bool straddler_touches_im) {
     q.object = im_table;
     q.predicates = {{1, PredOp::kEq, Value(int64_t{7})}};
     q.agg = AggKind::kCount;
-    const uint64_t t0 = NowNanos();
+    Stopwatch watch;
     (void)cluster.standby()->Query(q);
-    return static_cast<double>(NowNanos() - t0) / 1e6;
+    return static_cast<double>(watch.ElapsedNanos()) / 1e6;
   };
   out.q1_before_repop_ms = time_q1();
   // Repopulate (recovers from coarse invalidation) and measure again.

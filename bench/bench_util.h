@@ -3,8 +3,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 
+#include "common/clock.h"
 #include "db/database.h"
 #include "workload/oltap.h"
 #include "workload/report.h"
@@ -60,6 +62,21 @@ inline void PrintHeader(const char* title, const char* paper_ref) {
   std::printf("%s\n", title);
   std::printf("Paper reference: %s\n", paper_ref);
   std::printf("==============================================================\n");
+}
+
+/// Dumps the cluster's full metrics registry to `<name>_metrics.json` in the
+/// working directory (the `*_metrics.json` pattern is gitignored). Call while
+/// the cluster is still running — the registry export pulls live pipeline
+/// stats that detach on Stop().
+inline void DumpMetricsJson(const AdgCluster& cluster, const std::string& name) {
+  const std::string path = name + "_metrics.json";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  out << cluster.MetricsJson();
+  std::printf("metrics dump: %s\n", path.c_str());
 }
 
 }  // namespace stratus

@@ -54,6 +54,7 @@ RunOutcome RunOnce(bool imadg_enabled) {
   count.agg = AggKind::kCount;
   auto result = cluster.standby()->Query(count);
   if (result.ok()) out.final_rows = result->count;
+  if (imadg_enabled) DumpMetricsJson(cluster, "fig10_update_insert");
   cluster.Stop();
   return out;
 }

@@ -91,13 +91,13 @@ RunOutcome RunOnce(bool imadg_enabled, int duration_ms, int mira_instances = 1) 
   std::thread w2(writer, 1, 22);
 
   RunOutcome out;
-  const uint64_t t0 = NowNanos();
+  Stopwatch watch;
   const int sample_interval_ms = 250;
   std::vector<Scn> lags;
-  while (NowNanos() - t0 < static_cast<uint64_t>(duration_ms) * 1'000'000ull) {
+  while (watch.ElapsedNanos() < static_cast<uint64_t>(duration_ms) * 1'000'000ull) {
     std::this_thread::sleep_for(std::chrono::milliseconds(sample_interval_ms));
     Sample s;
-    s.t_sec = static_cast<double>(NowNanos() - t0) / 1e9;
+    s.t_sec = watch.ElapsedSeconds();
     s.pri_log1 = cluster.primary()->redo_log(0)->LastScn();
     s.pri_log2 = cluster.primary()->redo_log(1)->LastScn();
     s.std_dispatched = cluster.standby()->apply_engine() != nullptr
@@ -131,6 +131,8 @@ RunOutcome RunOnce(bool imadg_enabled, int duration_ms, int mira_instances = 1) 
                   1000.0 / static_cast<double>(out.advancements);
   }
   out.commits = cluster.primary()->txn_manager()->commits();
+  if (imadg_enabled && mira_instances == 1)
+    DumpMetricsJson(cluster, "fig11_redo_apply");
   cluster.Stop();
   return out;
 }

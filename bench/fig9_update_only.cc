@@ -60,6 +60,8 @@ RunOutcome RunOnce(bool imadg_enabled, bool scans_on_standby) {
       CpuPct(workload.stats().scan_cpu_ns.load(), workload.stats().wall_ns);
   if (imadg_enabled && cluster.standby()->flush() != nullptr)
     out.flushed_records = cluster.standby()->flush()->stats().flushed_records;
+  if (imadg_enabled && scans_on_standby)
+    DumpMetricsJson(cluster, "fig9_update_only");
   cluster.Stop();
   return out;
 }

@@ -44,6 +44,7 @@ RunOutcome RunOnce(bool scans_on_standby) {
       CpuPct(workload.stats().scan_cpu_ns.load(), workload.stats().wall_ns);
   out.fetch_cpu_pct =
       CpuPct(workload.stats().primary_op_cpu_ns.load(), workload.stats().wall_ns);
+  if (scans_on_standby) DumpMetricsJson(cluster, "table2_scan_only");
   cluster.Stop();
   return out;
 }

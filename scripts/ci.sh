@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 build + tests, twice.
+#
+#   1. Plain RelWithDebInfo build, full ctest suite.
+#   2. ThreadSanitizer build of the concurrency-heavy targets
+#      (metrics_test, latch_test, redo_apply_test) — the metrics registry,
+#      latches and the redo-apply engine are the hot lock-free/locked paths
+#      a data race would hide in.
+#
+# Usage: scripts/ci.sh [build-dir-prefix]   (default: build-ci)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PREFIX="${1:-build-ci}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "==> [1/2] plain build + full test suite"
+cmake -B "${PREFIX}" -S . >/dev/null
+cmake --build "${PREFIX}" -j "${JOBS}"
+ctest --test-dir "${PREFIX}" --output-on-failure -j "${JOBS}"
+
+echo "==> [2/2] ThreadSanitizer build (metrics_test latch_test redo_apply_test)"
+TSAN_FLAGS="-fsanitize=thread -g -O1"
+cmake -B "${PREFIX}-tsan" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="${TSAN_FLAGS}" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
+cmake --build "${PREFIX}-tsan" -j "${JOBS}" \
+  --target metrics_test latch_test redo_apply_test
+ctest --test-dir "${PREFIX}-tsan" --output-on-failure -j "${JOBS}" \
+  -R '^(metrics_test|latch_test|redo_apply_test)$'
+
+echo "==> CI passed"

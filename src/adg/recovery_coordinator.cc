@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/clock.h"
+#include "obs/trace.h"
 
 namespace stratus {
 
@@ -45,6 +46,7 @@ bool RecoveryCoordinator::TryAdvanceOnce() {
   // IMCU snapshot SCN anywhere in this window, which is exactly what makes
   // "SMU registered before the flush" / "snapshot taken after the publish"
   // the only two possible interleavings.
+  STRATUS_SPAN(obs::Stage::kQueryScnAdvance, target);
   const uint64_t t0 = NowNanos();
   quiesce_.BeginQuiesce();
   if (driver_ != nullptr) {
@@ -62,6 +64,7 @@ bool RecoveryCoordinator::TryAdvanceOnce() {
   quiesce_nanos_.fetch_add(NowNanos() - t0, std::memory_order_relaxed);
   advancements_.fetch_add(1, std::memory_order_relaxed);
   if (driver_ != nullptr) driver_->OnPublished(target);
+  if (publish_listener_) publish_listener_(target);
   {
     std::lock_guard<std::mutex> g(publish_mu_);
     published_.notify_all();

@@ -78,6 +78,12 @@ class RecoveryCoordinator {
   /// accounting (Section IV.C).
   uint64_t quiesce_nanos() const { return quiesce_nanos_.load(std::memory_order_relaxed); }
 
+  /// Observer invoked (from the coordinator thread) after every publish,
+  /// outside the Quiesce Period. Must be set before Start().
+  void set_publish_listener(std::function<void(Scn)> fn) {
+    publish_listener_ = std::move(fn);
+  }
+
  private:
   void Run();
 
@@ -95,6 +101,7 @@ class RecoveryCoordinator {
 
   std::atomic<uint64_t> advancements_{0};
   std::atomic<uint64_t> quiesce_nanos_{0};
+  std::function<void(Scn)> publish_listener_;
 };
 
 }  // namespace stratus

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "obs/trace.h"
+
 namespace stratus {
 
 RecoveryWorker::RecoveryWorker(WorkerId id, ApplySink* sink, ApplyHooks* hooks,
@@ -68,10 +70,13 @@ void RecoveryWorker::Run() {
         watermark_.store(entry.scn, std::memory_order_release);
       continue;
     }
-    const Status st = sink_->ApplyCv(entry.cv);
-    if (!st.ok()) apply_errors_.fetch_add(1, std::memory_order_relaxed);
-    applied_cvs_.fetch_add(1, std::memory_order_relaxed);
-    if (hooks_ != nullptr) hooks_->OnCvApplied(entry.cv, id_);
+    {
+      STRATUS_SPAN(obs::Stage::kRecoveryApply, entry.cv.xid);
+      const Status st = sink_->ApplyCv(entry.cv);
+      if (!st.ok()) apply_errors_.fetch_add(1, std::memory_order_relaxed);
+      applied_cvs_.fetch_add(1, std::memory_order_relaxed);
+      if (hooks_ != nullptr) hooks_->OnCvApplied(entry.cv, id_);
+    }
 
     // Periodically lend a hand to a pending invalidation flush, without
     // starving redo apply (one batch every few applies).

@@ -1,5 +1,7 @@
 #include "adg/redo_apply.h"
 
+#include "obs/trace.h"
+
 namespace stratus {
 
 RedoApplyEngine::RedoApplyEngine(std::unique_ptr<LogMerger> merger,
@@ -59,6 +61,7 @@ void RedoApplyEngine::DispatchLoop() {
       if (merger_->Finished()) break;
       continue;
     }
+    STRATUS_SPAN(obs::Stage::kLogMerge, rec.scn);
     bool heartbeat_only = true;
     for (ChangeVector& cv : rec.cvs) {
       if (cv.kind == CvKind::kHeartbeat) continue;

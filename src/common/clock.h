@@ -1,6 +1,7 @@
 #ifndef STRATUS_COMMON_CLOCK_H_
 #define STRATUS_COMMON_CLOCK_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 
@@ -22,16 +23,38 @@ inline uint64_t NowMicros() { return NowNanos() / 1000; }
 /// (Section IV.A/IV.B) without an external monitor.
 uint64_t ThreadCpuNanos();
 
-/// Accumulates CPU time of a scope into a caller-provided counter.
+/// Monotonic elapsed-time measurement — the one idiom for the hand-rolled
+/// `t0 = NowNanos(); ... NowNanos() - t0` pairs in the workload drivers and
+/// bench harnesses.
+class Stopwatch {
+ public:
+  Stopwatch() : start_ns_(NowNanos()) {}
+
+  void Reset() { start_ns_ = NowNanos(); }
+  uint64_t ElapsedNanos() const { return NowNanos() - start_ns_; }
+  uint64_t ElapsedMicros() const { return ElapsedNanos() / 1000; }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) / 1e9;
+  }
+
+ private:
+  uint64_t start_ns_;
+};
+
+/// Accumulates CPU time of a scope into a caller-provided counter (the
+/// workload stats keep per-role CPU in atomics, so that is the sink type).
 class ScopedCpuTimer {
  public:
-  explicit ScopedCpuTimer(uint64_t* sink) : sink_(sink), start_(ThreadCpuNanos()) {}
-  ~ScopedCpuTimer() { *sink_ += ThreadCpuNanos() - start_; }
+  explicit ScopedCpuTimer(std::atomic<uint64_t>* sink)
+      : sink_(sink), start_(ThreadCpuNanos()) {}
+  ~ScopedCpuTimer() {
+    sink_->fetch_add(ThreadCpuNanos() - start_, std::memory_order_relaxed);
+  }
   ScopedCpuTimer(const ScopedCpuTimer&) = delete;
   ScopedCpuTimer& operator=(const ScopedCpuTimer&) = delete;
 
  private:
-  uint64_t* sink_;
+  std::atomic<uint64_t>* sink_;
   uint64_t start_;
 };
 

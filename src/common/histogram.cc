@@ -20,12 +20,14 @@ Histogram& Histogram::operator=(const Histogram& other) {
   }
   std::lock_guard<std::mutex> g(mu_);
   samples_ = std::move(copy);
+  sorted_valid_ = false;
   return *this;
 }
 
 void Histogram::Record(uint64_t value_us) {
   std::lock_guard<std::mutex> g(mu_);
   samples_.push_back(value_us);
+  sorted_valid_ = false;
 }
 
 void Histogram::Merge(const Histogram& other) {
@@ -36,6 +38,7 @@ void Histogram::Merge(const Histogram& other) {
   }
   std::lock_guard<std::mutex> g(mu_);
   samples_.insert(samples_.end(), theirs.begin(), theirs.end());
+  sorted_valid_ = false;
 }
 
 uint64_t Histogram::count() const {
@@ -50,11 +53,19 @@ double Histogram::Average() const {
   return sum / static_cast<double>(samples_.size());
 }
 
+const std::vector<uint64_t>& Histogram::SortedLocked() const {
+  if (!sorted_valid_) {
+    sorted_cache_ = samples_;
+    std::sort(sorted_cache_.begin(), sorted_cache_.end());
+    sorted_valid_ = true;
+  }
+  return sorted_cache_;
+}
+
 double Histogram::Percentile(double p) const {
   std::lock_guard<std::mutex> g(mu_);
   if (samples_.empty()) return 0.0;
-  std::vector<uint64_t> sorted = samples_;
-  std::sort(sorted.begin(), sorted.end());
+  const std::vector<uint64_t>& sorted = SortedLocked();
   if (p <= 0) return static_cast<double>(sorted.front());
   if (p >= 100) return static_cast<double>(sorted.back());
   // Nearest-rank with linear interpolation.
@@ -69,18 +80,20 @@ double Histogram::Percentile(double p) const {
 uint64_t Histogram::Min() const {
   std::lock_guard<std::mutex> g(mu_);
   if (samples_.empty()) return 0;
-  return *std::min_element(samples_.begin(), samples_.end());
+  return SortedLocked().front();
 }
 
 uint64_t Histogram::Max() const {
   std::lock_guard<std::mutex> g(mu_);
   if (samples_.empty()) return 0;
-  return *std::max_element(samples_.begin(), samples_.end());
+  return SortedLocked().back();
 }
 
 void Histogram::Reset() {
   std::lock_guard<std::mutex> g(mu_);
   samples_.clear();
+  sorted_cache_.clear();
+  sorted_valid_ = false;
 }
 
 std::string Histogram::Summary() const {

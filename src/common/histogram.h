@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
+
 namespace stratus {
 
 /// Thread-safe latency recorder producing the median / average / 95th
@@ -40,8 +42,35 @@ class Histogram {
   std::string Summary() const;
 
  private:
+  /// Returns the sorted view of samples_, rebuilding it only when samples
+  /// changed since the last read (callers hold mu_). Percentile-heavy readers
+  /// (Summary() computes three order statistics) sort once, not per call.
+  const std::vector<uint64_t>& SortedLocked() const;
+
   mutable std::mutex mu_;
   std::vector<uint64_t> samples_;
+  mutable std::vector<uint64_t> sorted_cache_;
+  mutable bool sorted_valid_ = false;
+};
+
+/// Records the enclosing scope's duration (microseconds) into a Histogram on
+/// destruction — the shared idiom for per-op latency measurement in the
+/// workload drivers. A null histogram disables recording.
+class ScopedLatencyTimer {
+ public:
+  explicit ScopedLatencyTimer(Histogram* sink) : sink_(sink) {}
+  ~ScopedLatencyTimer() {
+    if (sink_ != nullptr) sink_->Record(watch_.ElapsedMicros());
+  }
+
+  ScopedLatencyTimer(const ScopedLatencyTimer&) = delete;
+  ScopedLatencyTimer& operator=(const ScopedLatencyTimer&) = delete;
+
+  uint64_t ElapsedMicros() const { return watch_.ElapsedMicros(); }
+
+ private:
+  Histogram* sink_;
+  Stopwatch watch_;
 };
 
 }  // namespace stratus

@@ -1,9 +1,63 @@
 #include "db/database.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
 namespace stratus {
+
+namespace {
+
+/// Shared scan-totals export (primary and standby run the same engine).
+void ExportScanTotals(obs::MetricsSink* sink, const obs::Labels& labels,
+                      const ScanTotals& t) {
+  sink->Counter("stratus_scan_queries", labels, t.scans.load(std::memory_order_relaxed));
+  sink->Counter("stratus_scan_joins", labels, t.joins.load(std::memory_order_relaxed));
+  sink->Counter("stratus_scan_index_fetches", labels,
+                t.index_fetches.load(std::memory_order_relaxed));
+  sink->Counter("stratus_scan_rows_from_imcs", labels,
+                t.rows_from_imcs.load(std::memory_order_relaxed));
+  sink->Counter("stratus_scan_rows_from_rowstore", labels,
+                t.rows_from_rowstore.load(std::memory_order_relaxed));
+  sink->Counter("stratus_scan_imcus_scanned", labels,
+                t.imcus_scanned.load(std::memory_order_relaxed));
+  sink->Counter("stratus_scan_imcus_pruned", labels,
+                t.imcus_pruned.load(std::memory_order_relaxed));
+  sink->Counter("stratus_scan_imcus_skipped", labels,
+                t.imcus_skipped.load(std::memory_order_relaxed));
+  sink->Counter("stratus_scan_blocks_rowpath", labels,
+                t.blocks_rowpath.load(std::memory_order_relaxed));
+  sink->Counter("stratus_scan_invalid_rowpath", labels,
+                t.invalid_rowpath.load(std::memory_order_relaxed));
+}
+
+void ExportBufferCache(obs::MetricsSink* sink, const obs::Labels& labels,
+                       const BufferCacheStats& s) {
+  sink->Counter("stratus_buffer_cache_logical_gets", labels, s.logical_gets);
+  sink->Counter("stratus_buffer_cache_misses", labels, s.misses);
+}
+
+void ExportImStore(obs::MetricsSink* sink, const obs::Labels& labels,
+                   const ImStoreStats& s) {
+  sink->Gauge("stratus_imcs_smus_total", labels, static_cast<double>(s.smus_total));
+  sink->Gauge("stratus_imcs_smus_ready", labels, static_cast<double>(s.smus_ready));
+  sink->Gauge("stratus_imcs_used_bytes", labels, static_cast<double>(s.used_bytes));
+  sink->Counter("stratus_imcs_row_invalidations", labels, s.row_invalidations);
+  sink->Counter("stratus_imcs_coarse_invalidations", labels, s.coarse_invalidations);
+}
+
+void ExportPopulation(obs::MetricsSink* sink, const obs::Labels& labels,
+                      const PopulationStats& s) {
+  sink->Counter("stratus_population_imcus", labels, s.imcus_populated);
+  sink->Counter("stratus_population_repopulations", labels, s.repopulations);
+  sink->Counter("stratus_population_tail_extensions", labels, s.tail_extensions);
+  sink->Counter("stratus_population_rows", labels, s.rows_populated);
+  sink->Counter("stratus_population_snapshot_retries", labels, s.snapshot_retries);
+  sink->Counter("stratus_population_capacity_rejections", labels,
+                s.capacity_rejections);
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // PrimaryDb
@@ -51,7 +105,35 @@ PrimaryDb::PrimaryDb(const DatabaseOptions& options)
         },
         commit_hooks_.get());
   }
+  registry_ = options_.registry != nullptr ? options_.registry
+                                           : &obs::MetricsRegistry::Global();
+  metrics_cb_.Attach(registry_,
+                     [this](obs::MetricsSink* sink) { ExportMetrics(sink); });
 }
+
+void PrimaryDb::ExportMetrics(obs::MetricsSink* sink) const {
+  const obs::Labels labels{{"role", "primary"}};
+  ExportBufferCache(sink, labels, cache_.stats());
+  sink->Counter("stratus_txn_commits", labels, txn_mgr_.commits());
+  sink->Counter("stratus_txn_aborts", labels, txn_mgr_.aborts());
+  sink->Gauge("stratus_visible_scn", labels,
+              static_cast<double>(txn_mgr_.visible_scn()));
+  uint64_t redo_records = 0;
+  Scn redo_last = kInvalidScn;
+  for (const auto& log : redo_logs_) {
+    redo_records += log->TotalRecords();
+    redo_last = std::max(redo_last, log->LastScn());
+  }
+  sink->Counter("stratus_redo_records", labels, redo_records);
+  sink->Gauge("stratus_redo_last_scn", labels, static_cast<double>(redo_last));
+  if (im_store_ != nullptr) ExportImStore(sink, labels, im_store_->Stats());
+  if (populator_ != nullptr) ExportPopulation(sink, labels, populator_->stats());
+  ExportScanTotals(sink, labels, query_engine_.totals());
+}
+
+std::string PrimaryDb::MetricsText() const { return registry_->ExportText(); }
+
+std::string PrimaryDb::MetricsJson() const { return registry_->ExportJson(); }
 
 PrimaryDb::~PrimaryDb() { Stop(); }
 
@@ -202,7 +284,113 @@ StandbyDb::StandbyDb(const DatabaseOptions& options, size_t num_streams)
     instances_[i].store =
         std::make_unique<ImStore>(i, options_.im_pool_bytes);
   }
+  registry_ = options_.registry != nullptr ? options_.registry
+                                           : &obs::MetricsRegistry::Global();
+  metrics_cb_.Attach(
+      registry_, [this](obs::MetricsSink* sink) { ExportCoreMetrics(sink); });
 }
+
+void StandbyDb::ExportCoreMetrics(obs::MetricsSink* sink) const {
+  const obs::Labels labels{{"role", "standby"}};
+  ExportBufferCache(sink, labels, cache_.stats());
+  ExportScanTotals(sink, labels, query_engine_.totals());
+  sink->Gauge("stratus_applied_scn", labels,
+              static_cast<double>(applied_scn()));
+  sink->Gauge("stratus_published_query_scn", labels,
+              static_cast<double>(published_query_scn()));
+  uint64_t delivered = 0;
+  Scn delivered_scn = kMaxScn;
+  for (const auto& s : streams_) {
+    delivered += s->delivered_records();
+    delivered_scn = std::min(delivered_scn, s->DeliveredWatermark());
+  }
+  sink->Counter("stratus_redo_delivered_records", labels, delivered);
+  sink->Gauge("stratus_redo_delivered_scn", labels,
+              static_cast<double>(delivered_scn == kMaxScn ? kInvalidScn
+                                                           : delivered_scn));
+  for (size_t i = 0; i < instances_.size(); ++i) {
+    obs::Labels inst_labels = labels;
+    inst_labels.emplace_back("instance", std::to_string(i));
+    ExportImStore(sink, inst_labels, instances_[i].store->Stats());
+  }
+}
+
+void StandbyDb::ExportPipelineMetrics(obs::MetricsSink* sink) const {
+  const obs::Labels labels{{"role", "standby"}};
+  if (journal_ != nullptr) {
+    sink->Counter("stratus_journal_anchors_created", labels,
+                  journal_->anchors_created());
+    sink->Counter("stratus_journal_records_buffered", labels,
+                  journal_->records_buffered());
+    sink->Gauge("stratus_journal_live_anchors", labels,
+                static_cast<double>(journal_->live_anchors()));
+    sink->Counter("stratus_journal_bucket_contention", labels,
+                  journal_->bucket_contention());
+  }
+  if (flush_ != nullptr) {
+    const FlushStats fs = flush_->stats();
+    sink->Counter("stratus_flush_txns", labels, fs.flushed_txns);
+    sink->Counter("stratus_flush_records", labels, fs.flushed_records);
+    sink->Counter("stratus_flush_groups", labels, fs.flushed_groups);
+    sink->Counter("stratus_flush_coarse_invalidations", labels,
+                  fs.coarse_invalidations);
+    sink->Counter("stratus_flush_aborted_discards", labels, fs.aborted_discards);
+    sink->Counter("stratus_flush_cooperative_steps", labels,
+                  fs.cooperative_steps);
+    sink->Counter("stratus_flush_coordinator_steps", labels,
+                  fs.coordinator_steps);
+  }
+  if (mining_ != nullptr) {
+    sink->Counter("stratus_mining_records", labels, mining_->mined_records());
+    sink->Counter("stratus_mining_commits", labels, mining_->mined_commits());
+    sink->Counter("stratus_mining_ddl", labels, mining_->mined_ddl());
+  }
+  if (channel_ != nullptr) {
+    const TransportStats ts = channel_->stats();
+    sink->Counter("stratus_transport_messages_sent", labels, ts.messages_sent);
+    sink->Counter("stratus_transport_groups_sent", labels, ts.groups_sent);
+    sink->Counter("stratus_transport_rows_sent", labels, ts.rows_sent);
+    sink->Counter("stratus_transport_coarse_sent", labels, ts.coarse_sent);
+    sink->Counter("stratus_transport_publishes_sent", labels, ts.publishes_sent);
+    sink->Counter("stratus_transport_rtt_waits", labels, ts.rtt_waits);
+  }
+
+  RecoveryCoordinator* coordinator =
+      const_cast<StandbyDb*>(this)->StandbyDb::coordinator();
+  if (coordinator != nullptr) {
+    sink->Counter("stratus_queryscn_advancements", labels,
+                  coordinator->advancements());
+    sink->Counter("stratus_quiesce_time_us", labels,
+                  coordinator->quiesce_nanos() / 1000);
+    sink->Gauge("stratus_query_scn_current", labels,
+                static_cast<double>(coordinator->query_scn()));
+  }
+
+  uint64_t dispatched = 0, applied_cvs = 0, apply_errors = 0;
+  auto fold_engine = [&](const RedoApplyEngine* e) {
+    dispatched += e->dispatched_records();
+    for (const auto& w : e->workers()) {
+      applied_cvs += w->applied_cvs();
+      apply_errors += w->apply_errors();
+    }
+  };
+  if (engine_ != nullptr) fold_engine(engine_.get());
+  for (const auto& e : mira_engines_) fold_engine(e.get());
+  sink->Counter("stratus_apply_dispatched_records", labels, dispatched);
+  sink->Counter("stratus_apply_applied_cvs", labels, applied_cvs);
+  sink->Counter("stratus_apply_errors", labels, apply_errors);
+
+  for (size_t i = 0; i < instances_.size(); ++i) {
+    if (instances_[i].populator == nullptr) continue;
+    obs::Labels inst_labels = labels;
+    inst_labels.emplace_back("instance", std::to_string(i));
+    ExportPopulation(sink, inst_labels, instances_[i].populator->stats());
+  }
+}
+
+std::string StandbyDb::MetricsText() const { return registry_->ExportText(); }
+
+std::string StandbyDb::MetricsJson() const { return registry_->ExportJson(); }
 
 StandbyDb::~StandbyDb() { Stop(); }
 
@@ -253,6 +441,13 @@ void StandbyDb::BuildPipeline() {
     engine_ = std::make_unique<RedoApplyEngine>(
         std::make_unique<LogMerger>(std::move(stream_ptrs)), this, hooks,
         participant, driver, options_.apply);
+    if (engine_->coordinator() != nullptr) {
+      // Mirror publishes into an atomic that outlives the pipeline, so the
+      // lag monitor never dereferences a coordinator mid-teardown.
+      engine_->coordinator()->set_publish_listener([this](Scn scn) {
+        last_query_scn_.store(scn, std::memory_order_release);
+      });
+    }
     engine_->Start();
   } else {
     // MIRA (Section V): split the merged stream by DBA across `mira` apply
@@ -286,6 +481,9 @@ void StandbyDb::BuildPipeline() {
     }
     mira_coordinator_ = std::make_unique<RecoveryCoordinator>(
         std::move(all_workers), driver, options_.apply.coordinator_poll_us);
+    mira_coordinator_->set_publish_listener([this](Scn scn) {
+      last_query_scn_.store(scn, std::memory_order_release);
+    });
     for (auto& e : mira_engines_) e->Start();
     mira_coordinator_->Start();
     splitter_->Start();
@@ -318,6 +516,13 @@ void StandbyDb::BuildPipeline() {
       if (inst.populator != nullptr) inst.populator->Start();
     }
   }
+
+  // Registered last: everything the callback reads now exists, and
+  // TearDownPipeline detaches it (under the registry's callback mutex) before
+  // freeing any of it.
+  pipeline_metrics_cb_.Attach(registry_, [this](obs::MetricsSink* sink) {
+    ExportPipelineMetrics(sink);
+  });
 }
 
 void StandbyDb::EnableConfiguredObjects() {
@@ -332,6 +537,7 @@ void StandbyDb::EnableConfiguredObjects() {
 }
 
 void StandbyDb::TearDownPipeline() {
+  pipeline_metrics_cb_.Reset();
   for (auto& inst : instances_) {
     if (inst.populator != nullptr) inst.populator->Stop();
   }
@@ -454,6 +660,13 @@ void StandbyDb::ApplyDdlDictionary(const DdlMarker& marker, Scn scn) {
 }
 
 Status StandbyDb::ApplyCv(const ChangeVector& cv) {
+  // Monotonic CV-level apply mark (lag monitoring). CAS max: workers apply
+  // out of SCN order across blocks.
+  Scn prev = applied_high_scn_.load(std::memory_order_relaxed);
+  while (cv.scn > prev && !applied_high_scn_.compare_exchange_weak(
+                              prev, cv.scn, std::memory_order_release,
+                              std::memory_order_relaxed)) {
+  }
   switch (cv.kind) {
     case CvKind::kInsert: {
       Block* b = blocks_.EnsureBlock(cv.dba, cv.object_id, cv.tenant);
@@ -754,7 +967,10 @@ void StandbyDb::StandbyApplier::OnPublished(Scn query_scn) {
 AdgCluster::AdgCluster(const DatabaseOptions& options)
     : options_(options),
       primary_(options),
-      standby_(options, static_cast<size_t>(options.primary_redo_threads)) {}
+      standby_(options, static_cast<size_t>(options.primary_redo_threads)) {
+  registry_ = options_.registry != nullptr ? options_.registry
+                                           : &obs::MetricsRegistry::Global();
+}
 
 AdgCluster::~AdgCluster() { Stop(); }
 
@@ -768,16 +984,58 @@ void AdgCluster::Start() {
         primary_.redo_log(i), standby_.stream(i), options_.shipping));
     shippers_.back()->Start();
   }
+  shipper_metrics_cb_.Attach(registry_, [this](obs::MetricsSink* sink) {
+    const obs::Labels labels{{"role", "transport"}};
+    uint64_t bytes = 0, records = 0;
+    for (const auto& s : shippers_) {
+      bytes += s->bytes_shipped();
+      records += s->records_shipped();
+    }
+    sink->Counter("stratus_redo_shipped_bytes", labels, bytes);
+    sink->Counter("stratus_redo_shipped_records", labels, records);
+  });
+
+  // The lag monitor reads only progress marks that outlive pipeline restarts
+  // (atomics on the primary txn manager, the received streams, and the
+  // standby's monotonic mirrors), so it can poll straight through
+  // StandbyDb::Restart().
+  obs::LagSources sources;
+  sources.primary_scn = [this] { return primary_.current_scn(); };
+  sources.shipped_scn = [this] {
+    Scn scn = kMaxScn;
+    for (int i = 0; i < primary_.redo_threads(); ++i)
+      scn = std::min(scn, standby_.stream(static_cast<size_t>(i))->DeliveredWatermark());
+    return scn == kMaxScn ? kInvalidScn : scn;
+  };
+  sources.applied_scn = [this] { return standby_.applied_scn(); };
+  sources.query_scn = [this] { return standby_.published_query_scn(); };
+  lag_monitor_ = std::make_unique<obs::LagMonitor>(
+      std::move(sources), registry_, obs::Labels{{"db", "standby"}},
+      options_.lag_poll_interval_us);
+  lag_monitor_->Start();
 }
 
 void AdgCluster::Stop() {
   if (!started_) return;
   started_ = false;
+  if (lag_monitor_ != nullptr) {
+    lag_monitor_->Stop();
+    lag_monitor_.reset();
+  }
+  shipper_metrics_cb_.Reset();
   for (auto& s : shippers_) s->Stop();
   shippers_.clear();
   standby_.Stop();
   primary_.Stop();
 }
+
+void AdgCluster::SetShippingPaused(bool paused) {
+  for (auto& s : shippers_) s->set_paused(paused);
+}
+
+std::string AdgCluster::MetricsText() const { return registry_->ExportText(); }
+
+std::string AdgCluster::MetricsJson() const { return registry_->ExportJson(); }
 
 StatusOr<ObjectId> AdgCluster::CreateTable(const std::string& name, TenantId tenant,
                                            Schema schema, ImService service,

@@ -18,6 +18,8 @@
 #include "imadg/mining.h"
 #include "imcs/expression.h"
 #include "imcs/population.h"
+#include "obs/lag_monitor.h"
+#include "obs/metrics.h"
 #include "rac/home_location_map.h"
 #include "rac/transport.h"
 #include "redo/log_merger.h"
@@ -61,6 +63,13 @@ struct DatabaseOptions {
   bool standby_imadg_enabled = true;
   /// DBIM on the primary itself (dual-format primary).
   bool primary_imcs_enabled = true;
+
+  /// Metrics registry every component publishes into. Null means the
+  /// process-wide obs::MetricsRegistry::Global(); tests pass their own for
+  /// isolation.
+  obs::MetricsRegistry* registry = nullptr;
+  /// Lag-monitor poll interval (AdgCluster).
+  int64_t lag_poll_interval_us = 5'000;
 };
 
 /// The primary database: row store, transactions, redo generation, and its
@@ -124,6 +133,14 @@ class PrimaryDb {
   Populator* populator() { return populator_.get(); }
   Scn current_scn() const { return txn_mgr_.visible_scn(); }
   QueryContext MakeQueryContext();
+  const QueryEngine& query_engine() const { return query_engine_; }
+
+  // --- Observability -----------------------------------------------------------
+  obs::MetricsRegistry* registry() const { return registry_; }
+  /// Prometheus-style text exposition of every series in the registry.
+  std::string MetricsText() const;
+  /// The same series as a JSON array.
+  std::string MetricsJson() const;
 
  private:
   class PrimaryCommitHooks : public CommitHooks {
@@ -142,6 +159,8 @@ class PrimaryDb {
     PrimaryImSync* sync_;
     ImStore* store_;
   };
+
+  void ExportMetrics(obs::MetricsSink* sink) const;
 
   DatabaseOptions options_;
   ScnAllocator scns_;
@@ -165,6 +184,11 @@ class PrimaryDb {
 
   QueryEngine query_engine_;
   bool started_ = false;
+
+  // Declared last: the export callback reads the members above, so it must
+  // detach (destruct) before any of them go away.
+  obs::MetricsRegistry* registry_ = nullptr;
+  obs::ScopedMetricsCallback metrics_cb_;
 
   friend class AdgCluster;
 };
@@ -266,6 +290,21 @@ class StandbyDb : public ApplySink {
   BlockStore* block_store() { return &blocks_; }
   QueryContext MakeQueryContext() const;
 
+  // --- Observability -----------------------------------------------------------
+  obs::MetricsRegistry* registry() const { return registry_; }
+  std::string MetricsText() const;
+  std::string MetricsJson() const;
+  /// Highest SCN redo apply has put into the physical database (CV-level,
+  /// monotonic, survives Stop()/Restart()) — the lag monitor's apply mark.
+  Scn applied_scn() const {
+    return applied_high_scn_.load(std::memory_order_acquire);
+  }
+  /// Last QuerySCN published by any pipeline incarnation (monotonic through
+  /// Stop()/Restart(), safe to read from monitor threads during teardown).
+  Scn published_query_scn() const {
+    return last_query_scn_.load(std::memory_order_acquire);
+  }
+
  private:
   class StandbyApplier : public InvalidationApplier {
    public:
@@ -285,6 +324,11 @@ class StandbyDb : public ApplySink {
   void BuildPipeline();
   void TearDownPipeline();
   void EnableConfiguredObjects();
+  /// Series that exist for the database's whole life (cache, scans, streams).
+  void ExportCoreMetrics(obs::MetricsSink* sink) const;
+  /// Series owned by one pipeline incarnation (journal, flush, apply, …);
+  /// the callback detaches before TearDownPipeline frees any of them.
+  void ExportPipelineMetrics(obs::MetricsSink* sink) const;
   Table* FindOrNullTable(ObjectId object) const;
   void ApplyDdlDictionary(const DdlMarker& marker, Scn scn);
 
@@ -331,6 +375,7 @@ class StandbyDb : public ApplySink {
   mutable QueryEngine query_engine_;
   std::atomic<Scn> last_query_scn_{kInvalidScn};    ///< Survives Stop().
   std::atomic<Scn> last_applied_scn_{kInvalidScn};  ///< Survives Stop().
+  std::atomic<Scn> applied_high_scn_{kInvalidScn};  ///< CV-level apply mark.
   bool started_ = false;
 
   // Failover state (the standby's new life as a primary).
@@ -358,6 +403,11 @@ class StandbyDb : public ApplySink {
   std::unique_ptr<PrimaryImSync> promoted_sync_;
   std::unique_ptr<PrimarySnapshotSource> promoted_snapshot_;
   std::unique_ptr<PromotedCommitHooks> promoted_hooks_;
+
+  // Declared last (destroyed first): export callbacks read the members above.
+  obs::MetricsRegistry* registry_ = nullptr;
+  obs::ScopedMetricsCallback metrics_cb_;           ///< Lifetime of the db.
+  obs::ScopedMetricsCallback pipeline_metrics_cb_;  ///< Lifetime of a pipeline.
 };
 
 /// A full deployment: primary + standby connected by redo shipping — the
@@ -391,12 +441,26 @@ class AdgCluster {
 
   uint64_t shipped_bytes() const;
 
+  // --- Observability -----------------------------------------------------------
+  obs::MetricsRegistry* registry() const { return registry_; }
+  std::string MetricsText() const;
+  std::string MetricsJson() const;
+  /// The cluster's standing lag monitor (non-null between Start and Stop).
+  obs::LagMonitor* lag_monitor() { return lag_monitor_.get(); }
+  /// Fault injection: pause/resume every redo shipper (transport lag
+  /// accumulates while paused; Stop() still drains).
+  void SetShippingPaused(bool paused);
+
  private:
   DatabaseOptions options_;
   PrimaryDb primary_;
   StandbyDb standby_;
   std::vector<std::unique_ptr<LogShipper>> shippers_;
   bool started_ = false;
+
+  obs::MetricsRegistry* registry_ = nullptr;
+  std::unique_ptr<obs::LagMonitor> lag_monitor_;
+  obs::ScopedMetricsCallback shipper_metrics_cb_;
 };
 
 }  // namespace stratus

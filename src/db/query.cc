@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "obs/trace.h"
+
 namespace stratus {
 
 StatusOr<QueryResult> QueryEngine::ExecuteScan(const QueryContext& ctx,
                                                const ScanQuery& query,
                                                Scn snapshot) const {
+  STRATUS_SPAN(obs::Stage::kScan, snapshot);
   if (!ctx.catalog->ExistsAt(query.object, snapshot))
     return Status::NotFound("table does not exist at this snapshot");
   Table* table = ctx.table_lookup(query.object);
@@ -81,6 +84,8 @@ StatusOr<QueryResult> QueryEngine::ExecuteScan(const QueryContext& ctx,
       *table, query.predicates, view, stores, *ctx.cache, sink, &result.stats,
       needs_rows, exprs.empty() ? nullptr : &exprs, hook_ptr));
   result.agg_valid = agg_started || query.agg == AggKind::kCount;
+  totals_.scans.fetch_add(1, std::memory_order_relaxed);
+  totals_.Add(result.stats);
   return result;
 }
 
@@ -132,6 +137,8 @@ StatusOr<QueryResult> QueryEngine::ExecuteJoin(const QueryContext& ctx,
   STRATUS_RETURN_IF_ERROR(scan_engine_.Scan(*left, query.left_predicates, view,
                                             ctx.stores, *ctx.cache, sink,
                                             &result.stats));
+  totals_.joins.fetch_add(1, std::memory_order_relaxed);
+  totals_.Add(result.stats);
   return result;
 }
 
@@ -144,6 +151,7 @@ StatusOr<std::optional<Row>> QueryEngine::IndexFetch(const QueryContext& ctx,
   if (table == nullptr || table->index() == nullptr)
     return Status::FailedPrecondition("no identity index");
 
+  totals_.index_fetches.fetch_add(1, std::memory_order_relaxed);
   SnapshotGuard guard(ctx.snapshots, snapshot);
   const std::optional<RowId> rid = table->index()->Lookup(key);
   if (!rid.has_value()) return std::optional<Row>{};

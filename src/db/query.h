@@ -1,6 +1,7 @@
 #ifndef STRATUS_DB_QUERY_H_
 #define STRATUS_DB_QUERY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -66,6 +67,32 @@ struct QueryContext {
   const ImExpressionRegistry* expressions = nullptr;
 };
 
+/// Cumulative scan accounting across every query executed by one engine;
+/// per-query `ScanStats` snapshots stay in `QueryResult`, these totals feed
+/// the metrics registry.
+struct ScanTotals {
+  std::atomic<uint64_t> scans{0};
+  std::atomic<uint64_t> joins{0};
+  std::atomic<uint64_t> index_fetches{0};
+  std::atomic<uint64_t> rows_from_imcs{0};
+  std::atomic<uint64_t> rows_from_rowstore{0};
+  std::atomic<uint64_t> imcus_scanned{0};
+  std::atomic<uint64_t> imcus_pruned{0};
+  std::atomic<uint64_t> imcus_skipped{0};
+  std::atomic<uint64_t> blocks_rowpath{0};
+  std::atomic<uint64_t> invalid_rowpath{0};
+
+  void Add(const ScanStats& s) {
+    rows_from_imcs.fetch_add(s.rows_from_imcs, std::memory_order_relaxed);
+    rows_from_rowstore.fetch_add(s.rows_from_rowstore, std::memory_order_relaxed);
+    imcus_scanned.fetch_add(s.imcus_scanned, std::memory_order_relaxed);
+    imcus_pruned.fetch_add(s.imcus_pruned, std::memory_order_relaxed);
+    imcus_skipped.fetch_add(s.imcus_skipped, std::memory_order_relaxed);
+    blocks_rowpath.fetch_add(s.blocks_rowpath, std::memory_order_relaxed);
+    invalid_rowpath.fetch_add(s.invalid_rowpath, std::memory_order_relaxed);
+  }
+};
+
 /// The query engine shared by primary and standby (the paper stresses the
 /// standby runs the same engine and inherits every In-Memory Scan Engine
 /// optimization).
@@ -84,8 +111,12 @@ class QueryEngine {
   StatusOr<std::optional<Row>> IndexFetch(const QueryContext& ctx, ObjectId object,
                                           int64_t key, Scn snapshot) const;
 
+  /// Lifetime totals across all queries run by this engine.
+  const ScanTotals& totals() const { return totals_; }
+
  private:
   ScanEngine scan_engine_;
+  mutable ScanTotals totals_;
 };
 
 }  // namespace stratus

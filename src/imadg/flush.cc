@@ -1,5 +1,7 @@
 #include "imadg/flush.h"
 
+#include "obs/trace.h"
+
 namespace stratus {
 
 InvalidationFlushComponent::InvalidationFlushComponent(
@@ -54,6 +56,7 @@ bool InvalidationFlushComponent::FlushStep(WorkerId invoker) {
   size_t popped = 0;
   ImAdgCommitTable::Node* batch = PopBatch(options_.batch_size, &popped);
   if (batch == nullptr) return false;
+  STRATUS_SPAN(obs::Stage::kInvalidationFlush, static_cast<uint64_t>(popped));
   if (invoker == kMaxWorkerId) {
     coordinator_steps_.fetch_add(1, std::memory_order_relaxed);
   } else {

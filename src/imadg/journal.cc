@@ -1,5 +1,7 @@
 #include "imadg/journal.h"
 
+#include "obs/trace.h"
+
 namespace stratus {
 
 ImAdgJournal::ImAdgJournal(size_t num_buckets, size_t num_workers)
@@ -31,6 +33,7 @@ ImAdgJournal::AnchorNode* ImAdgJournal::Find(Xid xid) const {
 }
 
 void ImAdgJournal::AddRecord(Xid xid, WorkerId worker, InvalidationRecord rec) {
+  STRATUS_SPAN(obs::Stage::kJournalAppend, xid);
   AnchorNode* anchor = GetOrCreateAnchor(xid);
   // The paper's key trick: each worker owns areas[worker]; appends need no
   // synchronization even when several workers mine the same transaction.

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "obs/trace.h"
+
 namespace stratus {
 
 Populator::Populator(ImStore* store, SnapshotSource* snapshot_source,
@@ -151,6 +153,7 @@ bool Populator::PassOverObject(ObjectState* state) {
 bool Populator::BuildChunk(ObjectState* state, const std::vector<Dba>& dbas,
                            const std::shared_ptr<Smu>& replaces, bool is_tail,
                            bool is_repop) {
+  STRATUS_SPAN(obs::Stage::kPopulation, state->table->object_id());
   Table* table = state->table;
   std::shared_ptr<Smu> smu;
 

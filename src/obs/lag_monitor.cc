@@ -1,0 +1,156 @@
+#include "obs/lag_monitor.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/clock.h"
+
+namespace stratus {
+namespace obs {
+
+LagMonitor::LagMonitor(LagSources sources, MetricsRegistry* registry,
+                       Labels labels, int64_t poll_interval_us)
+    : sources_(std::move(sources)),
+      registry_(registry),
+      poll_interval_us_(poll_interval_us) {
+  if (registry_ != nullptr) {
+    transport_lag_scn_ =
+        registry_->GetGauge("stratus_lag_transport_scn", labels);
+    apply_lag_scn_ = registry_->GetGauge("stratus_lag_apply_scn", labels);
+    staleness_scn_ = registry_->GetGauge("stratus_lag_queryscn_scn", labels);
+    transport_lag_us_ = registry_->GetGauge("stratus_lag_transport_us", labels);
+    apply_lag_us_ = registry_->GetGauge("stratus_lag_apply_us", labels);
+    staleness_us_ = registry_->GetGauge("stratus_lag_queryscn_us", labels);
+    primary_scn_gauge_ = registry_->GetGauge("stratus_primary_scn", labels);
+    query_scn_gauge_ = registry_->GetGauge("stratus_query_scn", labels);
+    staleness_hist_ =
+        registry_->GetHistogram("stratus_queryscn_staleness_us", labels);
+  }
+}
+
+LagMonitor::~LagMonitor() { Stop(); }
+
+void LagMonitor::Start() {
+  if (started_) return;
+  started_ = true;
+  {
+    std::lock_guard<std::mutex> g(stop_mu_);
+    stop_ = false;
+  }
+  thread_ = std::thread([this] { Run(); });
+}
+
+void LagMonitor::Stop() {
+  if (!started_) return;
+  started_ = false;
+  {
+    std::lock_guard<std::mutex> g(stop_mu_);
+    stop_ = true;
+  }
+  stop_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void LagMonitor::Run() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> g(stop_mu_);
+      if (stop_cv_.wait_for(g, std::chrono::microseconds(poll_interval_us_),
+                            [this] { return stop_; })) {
+        return;
+      }
+    }
+    Snapshot();
+  }
+}
+
+void LagMonitor::ExtendTimeline(Scn primary, uint64_t now_us) {
+  if (primary == kInvalidScn) return;
+  std::lock_guard<std::mutex> g(timeline_mu_);
+  if (!timeline_.empty() && timeline_.back().scn >= primary) return;
+  timeline_.push_back({primary, now_us});
+  if (timeline_.size() > kMaxTimeline) timeline_.pop_front();
+}
+
+int64_t LagMonitor::WallLagUs(Scn scn, Scn primary, uint64_t now_us) const {
+  if (primary == kInvalidScn) return 0;
+  const Scn at = scn == kInvalidScn ? 0 : scn;
+  if (at >= primary) return 0;
+  std::lock_guard<std::mutex> g(timeline_mu_);
+  if (timeline_.empty()) return 0;
+  // First timeline point with scn > at: when the primary moved past the
+  // consumer's position. Everything the consumer is missing was generated at
+  // or after that moment.
+  const auto it = std::upper_bound(
+      timeline_.begin(), timeline_.end(), at,
+      [](Scn value, const TimelinePoint& p) { return value < p.scn; });
+  if (it == timeline_.end()) {
+    // The primary's advance past `at` happened since the last poll; it is at
+    // most one poll interval old.
+    return 0;
+  }
+  return now_us > it->at_us ? static_cast<int64_t>(now_us - it->at_us) : 0;
+}
+
+LagSnapshot LagMonitor::Snapshot() {
+  LagSnapshot snap;
+  snap.sampled_at_us = NowMicros();
+  snap.primary_scn = sources_.primary_scn ? sources_.primary_scn() : kInvalidScn;
+  snap.shipped_scn = sources_.shipped_scn ? sources_.shipped_scn() : kInvalidScn;
+  snap.applied_scn = sources_.applied_scn ? sources_.applied_scn() : kInvalidScn;
+  snap.query_scn = sources_.query_scn ? sources_.query_scn() : kInvalidScn;
+
+  ExtendTimeline(snap.primary_scn, snap.sampled_at_us);
+
+  // Heartbeat records carry SCNs above the primary's visible (commit) SCN, so
+  // shipped/applied/query watermarks legitimately run ahead of it at idle.
+  // Clamp consumers to the primary's position: lag measures missing *commits*,
+  // and an idle, caught-up pipeline must read as zero on every stage.
+  auto clamp = [&](Scn v) -> Scn {
+    if (v == kInvalidScn || snap.primary_scn == kInvalidScn) return v;
+    return std::min(v, snap.primary_scn);
+  };
+  snap.shipped_scn = clamp(snap.shipped_scn);
+  snap.applied_scn = clamp(snap.applied_scn);
+  snap.query_scn = clamp(snap.query_scn);
+
+  auto delta = [](Scn ahead, Scn behind) -> uint64_t {
+    if (ahead == kInvalidScn) return 0;
+    const Scn b = behind == kInvalidScn ? 0 : behind;
+    return ahead > b ? ahead - b : 0;
+  };
+  snap.transport_lag_scn = delta(snap.primary_scn, snap.shipped_scn);
+  snap.apply_lag_scn = delta(snap.shipped_scn, snap.applied_scn);
+  snap.staleness_scn = delta(snap.primary_scn, snap.query_scn);
+
+  snap.transport_lag_us =
+      WallLagUs(snap.shipped_scn, snap.primary_scn, snap.sampled_at_us);
+  // Apply lag is measured against the apply stage's *input* (the shipped
+  // mark): redo still in flight is transport lag, not apply lag.
+  snap.apply_lag_us =
+      WallLagUs(snap.applied_scn, snap.shipped_scn, snap.sampled_at_us);
+  snap.staleness_us =
+      WallLagUs(snap.query_scn, snap.primary_scn, snap.sampled_at_us);
+
+  polls_.fetch_add(1, std::memory_order_relaxed);
+  Publish(snap);
+  return snap;
+}
+
+void LagMonitor::Publish(const LagSnapshot& snap) {
+  if (registry_ == nullptr) return;
+  transport_lag_scn_->Set(static_cast<int64_t>(snap.transport_lag_scn));
+  apply_lag_scn_->Set(static_cast<int64_t>(snap.apply_lag_scn));
+  staleness_scn_->Set(static_cast<int64_t>(snap.staleness_scn));
+  transport_lag_us_->Set(snap.transport_lag_us);
+  apply_lag_us_->Set(snap.apply_lag_us);
+  staleness_us_->Set(snap.staleness_us);
+  primary_scn_gauge_->Set(
+      snap.primary_scn == kInvalidScn ? 0 : static_cast<int64_t>(snap.primary_scn));
+  query_scn_gauge_->Set(
+      snap.query_scn == kInvalidScn ? 0 : static_cast<int64_t>(snap.query_scn));
+  staleness_hist_->Record(static_cast<uint64_t>(snap.staleness_us));
+}
+
+}  // namespace obs
+}  // namespace stratus

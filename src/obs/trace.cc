@@ -1,0 +1,156 @@
+#include "obs/trace.h"
+
+#include <array>
+#include <cstdio>
+
+namespace stratus {
+namespace obs {
+
+const char* StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kRedoGenerate:
+      return "redo_generate";
+    case Stage::kLogShip:
+      return "log_ship";
+    case Stage::kLogMerge:
+      return "log_merge";
+    case Stage::kRecoveryApply:
+      return "recovery_apply";
+    case Stage::kJournalAppend:
+      return "journal_append";
+    case Stage::kInvalidationFlush:
+      return "invalidation_flush";
+    case Stage::kQueryScnAdvance:
+      return "queryscn_advance";
+    case Stage::kScan:
+      return "scan";
+    case Stage::kPopulation:
+      return "population";
+    case Stage::kNumStages:
+      break;
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// TraceBuffer
+// ---------------------------------------------------------------------------
+
+TraceBuffer::TraceBuffer(size_t capacity) {
+  ring_.resize(capacity == 0 ? 1 : capacity);
+}
+
+TraceBuffer& TraceBuffer::Global() {
+  static TraceBuffer* global = new TraceBuffer();
+  return *global;
+}
+
+void TraceBuffer::Emit(const TraceEvent& event) {
+  total_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> g(mu_);
+  ring_[next_] = event;
+  if (++next_ == ring_.size()) {
+    next_ = 0;
+    wrapped_ = true;
+  }
+}
+
+std::vector<TraceEvent> TraceBuffer::Snapshot() const {
+  std::lock_guard<std::mutex> g(mu_);
+  std::vector<TraceEvent> out;
+  if (wrapped_) {
+    out.reserve(ring_.size());
+    out.insert(out.end(), ring_.begin() + static_cast<long>(next_), ring_.end());
+  } else {
+    out.reserve(next_);
+  }
+  out.insert(out.end(), ring_.begin(), ring_.begin() + static_cast<long>(next_));
+  return out;
+}
+
+void TraceBuffer::Clear() {
+  std::lock_guard<std::mutex> g(mu_);
+  next_ = 0;
+  wrapped_ = false;
+}
+
+std::string TraceBuffer::ExportJson() const {
+  const std::vector<TraceEvent> events = Snapshot();
+  std::string out = "[\n";
+  bool first = true;
+  char buf[256];
+  for (const TraceEvent& e : events) {
+    if (!first) out += ",\n";
+    first = false;
+    // Chrome trace-event "complete" events (ph:"X", ts/dur in microseconds).
+    std::snprintf(buf, sizeof(buf),
+                  "  {\"name\":\"%s\",\"ph\":\"X\",\"ts\":%llu,\"dur\":%.3f,"
+                  "\"tid\":%u,\"args\":{\"id\":%llu}}",
+                  StageName(e.stage),
+                  static_cast<unsigned long long>(e.start_us),
+                  static_cast<double>(e.dur_ns) / 1000.0, e.thread,
+                  static_cast<unsigned long long>(e.id));
+    out += buf;
+  }
+  out += "\n]\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Span plumbing
+// ---------------------------------------------------------------------------
+
+namespace internal {
+
+int StageSampleShift(Stage stage) {
+  switch (stage) {
+    // Per-record hot paths: every 64th event reaches the trace ring.
+    case Stage::kRecoveryApply:
+    case Stage::kJournalAppend:
+    case Stage::kLogMerge:
+      return 6;
+    // Per-batch / per-commit paths: every 8th.
+    case Stage::kRedoGenerate:
+    case Stage::kLogShip:
+      return 3;
+    // Control-plane and query stages: every event.
+    default:
+      return 0;
+  }
+}
+
+LatencyHistogram* StageHistogram(Stage stage) {
+  struct Table {
+    std::array<LatencyHistogram*, kNumStages> h;
+    Table() {
+      for (size_t s = 0; s < kNumStages; ++s) {
+        h[s] = MetricsRegistry::Global().GetHistogram(
+            "stratus_stage_us",
+            {{"stage", StageName(static_cast<Stage>(s))}});
+      }
+    }
+  };
+  static Table* table = new Table();
+  return table->h[static_cast<size_t>(stage)];
+}
+
+bool ShouldTrace(Stage stage) {
+  const int shift = StageSampleShift(stage);
+  if (shift == 0) return true;
+  static std::array<std::atomic<uint64_t>, kNumStages> occurrences{};
+  const uint64_t n = occurrences[static_cast<size_t>(stage)].fetch_add(
+      1, std::memory_order_relaxed);
+  return (n & ((1ull << shift) - 1)) == 0;
+}
+
+uint32_t ThreadOrdinal() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+}  // namespace internal
+
+}  // namespace obs
+}  // namespace stratus

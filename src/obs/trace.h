@@ -1,0 +1,152 @@
+#ifndef STRATUS_OBS_TRACE_H_
+#define STRATUS_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "obs/metrics.h"
+
+namespace stratus {
+namespace obs {
+
+/// The redo-to-query pipeline stages (the span taxonomy). A committed
+/// transaction becomes visible to standby queries by passing, in order,
+/// through kRedoGenerate → kLogShip → kLogMerge → kRecoveryApply (with
+/// kJournalAppend piggybacked on mining) → kInvalidationFlush →
+/// kQueryScnAdvance; kScan is the consumer side. Each stage gets a latency
+/// histogram in the registry ("stratus_stage_us{stage=...}") and a sampled
+/// slice of events in the global TraceBuffer, so one transaction's standby
+/// visibility latency can be decomposed stage by stage.
+enum class Stage : uint8_t {
+  kRedoGenerate = 0,    ///< Primary commit: redo append + visibility.
+  kLogShip,             ///< One shipped batch, pull → deliver.
+  kLogMerge,            ///< Merger emit + dispatch of one record.
+  kRecoveryApply,       ///< One change vector applied by a recovery worker.
+  kJournalAppend,       ///< One invalidation record buffered in the journal.
+  kInvalidationFlush,   ///< One flush batch (worklink drain step).
+  kQueryScnAdvance,     ///< One QuerySCN advancement (includes the quiesce).
+  kScan,                ///< One standby/primary scan execution.
+  kPopulation,          ///< One IMCU population task.
+  kNumStages
+};
+
+constexpr size_t kNumStages = static_cast<size_t>(Stage::kNumStages);
+
+const char* StageName(Stage stage);
+
+/// One completed span.
+struct TraceEvent {
+  Stage stage = Stage::kNumStages;
+  uint32_t thread = 0;    ///< Small per-thread ordinal (not the OS tid).
+  uint64_t id = 0;        ///< Stage-specific correlator (SCN, XID, DBA…).
+  uint64_t start_us = 0;  ///< Monotonic clock, microseconds.
+  uint64_t dur_ns = 0;
+};
+
+/// Fixed-capacity ring of recent spans. Writes are mutex-guarded — span
+/// emission into the ring is sampled (per-stage shift, see SpanGuard), so the
+/// lock is off the per-record hot path while staying exact for rare stages
+/// (flush, QuerySCN advance) and race-free under TSan.
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(size_t capacity = 1 << 14);
+
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+  /// The process-wide buffer STRATUS_SPAN emits into.
+  static TraceBuffer& Global();
+
+  void Emit(const TraceEvent& event);
+
+  /// Oldest-to-newest copy of the retained events.
+  std::vector<TraceEvent> Snapshot() const;
+  /// Events ever emitted (>= retained count once the ring wraps).
+  uint64_t total_emitted() const {
+    return total_.load(std::memory_order_relaxed);
+  }
+  void Clear();
+
+  /// Chrome trace-event style JSON array of the retained spans.
+  std::string ExportJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  size_t next_ = 0;
+  bool wrapped_ = false;
+  std::atomic<uint64_t> total_{0};
+};
+
+namespace internal {
+
+/// Per-stage sampling shift: a stage's spans reach the TraceBuffer every
+/// 2^shift-th time (histograms always record). Hot per-record stages sample
+/// sparsely; control-plane stages record every event.
+int StageSampleShift(Stage stage);
+
+/// The stage's latency histogram in the global registry (created on first
+/// use, then cached — hot paths never touch the registry map).
+LatencyHistogram* StageHistogram(Stage stage);
+
+/// Returns true when this occurrence of `stage` should also be traced.
+bool ShouldTrace(Stage stage);
+
+/// Small dense ordinal for the calling thread (for trace readability).
+uint32_t ThreadOrdinal();
+
+}  // namespace internal
+
+/// RAII span: records the scope's duration into the stage histogram, and —
+/// sampled — into the global TraceBuffer. `id` correlates the span with a
+/// pipeline object (SCN, XID, DBA) across stages.
+class SpanGuard {
+ public:
+  explicit SpanGuard(Stage stage, uint64_t id = 0)
+      : stage_(stage), id_(id), start_ns_(NowNanos()) {}
+
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+  /// Updates the correlator mid-span (the id is often known only once the
+  /// work completed, e.g. the SCN a commit was assigned).
+  void set_id(uint64_t id) { id_ = id; }
+
+  ~SpanGuard() {
+    const uint64_t end_ns = NowNanos();
+    const uint64_t dur_ns = end_ns - start_ns_;
+    internal::StageHistogram(stage_)->Record(dur_ns / 1000);
+    if (internal::ShouldTrace(stage_)) {
+      TraceEvent e;
+      e.stage = stage_;
+      e.thread = internal::ThreadOrdinal();
+      e.id = id_;
+      e.start_us = start_ns_ / 1000;
+      e.dur_ns = dur_ns;
+      TraceBuffer::Global().Emit(e);
+    }
+  }
+
+ private:
+  Stage stage_;
+  uint64_t id_;
+  uint64_t start_ns_;
+};
+
+#define STRATUS_SPAN_CONCAT_INNER(a, b) a##b
+#define STRATUS_SPAN_CONCAT(a, b) STRATUS_SPAN_CONCAT_INNER(a, b)
+
+/// Opens a span covering the rest of the enclosing scope.
+///   STRATUS_SPAN(stratus::obs::Stage::kRecoveryApply, cv.scn);
+#define STRATUS_SPAN(stage, ...)                             \
+  ::stratus::obs::SpanGuard STRATUS_SPAN_CONCAT(             \
+      stratus_span_, __LINE__)(stage, ##__VA_ARGS__)
+
+}  // namespace obs
+}  // namespace stratus
+
+#endif  // STRATUS_OBS_TRACE_H_

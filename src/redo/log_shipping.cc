@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/clock.h"
+#include "obs/trace.h"
 
 namespace stratus {
 
@@ -76,6 +77,11 @@ void LogShipper::Run() {
   while (true) {
     if (!draining && stop_.load(std::memory_order_acquire)) draining = true;
 
+    if (!draining && paused_.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::microseconds(options_.poll_interval_us));
+      continue;
+    }
+
     std::vector<RedoRecord> batch;
     next_seq = source_->ReadFrom(next_seq, options_.max_batch, &batch);
 
@@ -95,6 +101,7 @@ void LogShipper::Run() {
 
     // Serialize (the wire format) and account bytes, as the real transport
     // ships archived/online redo bytes.
+    STRATUS_SPAN(obs::Stage::kLogShip, batch.back().scn);
     std::string wire;
     for (const RedoRecord& rec : batch) EncodeRedoRecord(rec, &wire);
     bytes_shipped_.fetch_add(wire.size(), std::memory_order_relaxed);

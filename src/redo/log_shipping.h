@@ -83,6 +83,15 @@ class LogShipper {
   /// destination stream.
   void Stop();
 
+  /// Fault-injection hook: while paused the shipper pulls nothing and emits
+  /// no heartbeats, so transport lag accumulates on the standby (used by the
+  /// lag-monitor tests and failure drills). Stop() overrides a pause and
+  /// still drains.
+  void set_paused(bool paused) {
+    paused_.store(paused, std::memory_order_release);
+  }
+  bool paused() const { return paused_.load(std::memory_order_acquire); }
+
   uint64_t bytes_shipped() const { return bytes_shipped_.load(std::memory_order_relaxed); }
   uint64_t records_shipped() const { return records_shipped_.load(std::memory_order_relaxed); }
   Scn last_shipped_scn() const { return last_shipped_scn_.load(std::memory_order_relaxed); }
@@ -96,6 +105,7 @@ class LogShipper {
 
   std::thread thread_;
   std::atomic<bool> stop_{false};
+  std::atomic<bool> paused_{false};
   std::atomic<uint64_t> bytes_shipped_{0};
   std::atomic<uint64_t> records_shipped_{0};
   std::atomic<Scn> last_shipped_scn_{kInvalidScn};

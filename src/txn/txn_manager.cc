@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace stratus {
 
 void SnapshotRegistry::Register(Scn scn) {
@@ -141,6 +143,7 @@ StatusOr<Scn> TxnManager::Commit(Transaction* txn) {
   // The commit mutex serializes (append commit CV → mark committed → advance
   // the visible SCN) so snapshots taken at visible_scn() always see a prefix
   // of commits in commitSCN order.
+  STRATUS_SPAN(obs::Stage::kRedoGenerate, txn->xid);
   std::lock_guard<std::mutex> g(commit_mu_);
   if (commit_hooks_ != nullptr) commit_hooks_->PreCommitLock();
   const Scn commit_scn = LogFor(*txn)->Append({std::move(cv)});

@@ -74,8 +74,8 @@ void OltapWorkload::DoUpdate(Random* rng) {
   const int64_t max_id = next_id_.load(std::memory_order_acquire);
   if (max_id == 0) return;
   const int64_t id = rng->UniformInt(0, max_id - 1);
-  const uint64_t t0 = NowNanos();
-  const uint64_t c0 = ThreadCpuNanos();
+  ScopedLatencyTimer latency(&stats_.update_latency);
+  ScopedCpuTimer cpu(&stats_.primary_op_cpu_ns);
   Transaction txn = primary->Begin(
       static_cast<RedoThreadId>(rng->Uniform(primary->redo_threads())),
       options_.tenant);
@@ -90,15 +90,13 @@ void OltapWorkload::DoUpdate(Random* rng) {
       stats_.errors.fetch_add(1, std::memory_order_relaxed);
     }
   }
-  stats_.primary_op_cpu_ns.fetch_add(ThreadCpuNanos() - c0, std::memory_order_relaxed);
-  stats_.update_latency.Record((NowNanos() - t0) / 1000);
 }
 
 void OltapWorkload::DoInsert(Random* rng) {
   PrimaryDb* primary = cluster_->primary();
   const int64_t id = next_id_.fetch_add(1, std::memory_order_acq_rel);
-  const uint64_t t0 = NowNanos();
-  const uint64_t c0 = ThreadCpuNanos();
+  ScopedLatencyTimer latency(&stats_.insert_latency);
+  ScopedCpuTimer cpu(&stats_.primary_op_cpu_ns);
   Transaction txn = primary->Begin(
       static_cast<RedoThreadId>(rng->Uniform(primary->redo_threads())),
       options_.tenant);
@@ -109,8 +107,6 @@ void OltapWorkload::DoInsert(Random* rng) {
     primary->Abort(&txn);
     stats_.errors.fetch_add(1, std::memory_order_relaxed);
   }
-  stats_.primary_op_cpu_ns.fetch_add(ThreadCpuNanos() - c0, std::memory_order_relaxed);
-  stats_.insert_latency.Record((NowNanos() - t0) / 1000);
 }
 
 void OltapWorkload::DoFetch(Random* rng) {
@@ -118,12 +114,10 @@ void OltapWorkload::DoFetch(Random* rng) {
   const int64_t max_id = next_id_.load(std::memory_order_acquire);
   if (max_id == 0) return;
   const int64_t id = rng->UniformInt(0, max_id - 1);
-  const uint64_t t0 = NowNanos();
-  const uint64_t c0 = ThreadCpuNanos();
+  ScopedLatencyTimer latency(&stats_.fetch_latency);
+  ScopedCpuTimer cpu(&stats_.primary_op_cpu_ns);
   if (!primary->Fetch(table_, id).ok())
     stats_.errors.fetch_add(1, std::memory_order_relaxed);
-  stats_.primary_op_cpu_ns.fetch_add(ThreadCpuNanos() - c0, std::memory_order_relaxed);
-  stats_.fetch_latency.Record((NowNanos() - t0) / 1000);
 }
 
 Status OltapWorkload::RunScanOnce(Random* rng, bool q2) {
@@ -155,22 +149,15 @@ Status OltapWorkload::RunScanOnce(Random* rng, bool q2) {
 
 void OltapWorkload::DoScan(Random* rng) {
   const bool q2 = rng->Percent(50);
-  const uint64_t t0 = NowNanos();
-  const uint64_t c0 = ThreadCpuNanos();
+  Stopwatch watch;
+  ScopedCpuTimer cpu(&stats_.scan_cpu_ns);
   const Status st = RunScanOnce(rng, q2);
-  const uint64_t cpu = ThreadCpuNanos() - c0;
-  const uint64_t us = (NowNanos() - t0) / 1000;
   if (!st.ok()) {
     stats_.errors.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  stats_.scan_cpu_ns.fetch_add(cpu, std::memory_order_relaxed);
   stats_.scans_done.fetch_add(1, std::memory_order_relaxed);
-  if (q2) {
-    stats_.q2_latency.Record(us);
-  } else {
-    stats_.q1_latency.Record(us);
-  }
+  (q2 ? stats_.q2_latency : stats_.q1_latency).Record(watch.ElapsedMicros());
 }
 
 void OltapWorkload::WorkerLoop(int thread_idx) {
@@ -215,17 +202,16 @@ void OltapWorkload::MeasureQuiescentScans(int n, Histogram* q1, Histogram* q2) {
   Random rng(options_.seed * 31 + 17);
   for (int i = 0; i < n; ++i) {
     for (bool is_q2 : {false, true}) {
-      const uint64_t t0 = NowNanos();
+      Stopwatch watch;
       if (!RunScanOnce(&rng, is_q2).ok()) continue;
-      const uint64_t us = (NowNanos() - t0) / 1000;
-      (is_q2 ? q2 : q1)->Record(us);
+      (is_q2 ? q2 : q1)->Record(watch.ElapsedMicros());
     }
   }
 }
 
 void OltapWorkload::Run() {
   stop_.store(false, std::memory_order_release);
-  const uint64_t t0 = NowNanos();
+  Stopwatch watch;
   std::vector<std::thread> threads;
   threads.reserve(options_.num_threads);
   for (int i = 0; i < options_.num_threads; ++i)
@@ -233,7 +219,7 @@ void OltapWorkload::Run() {
   std::this_thread::sleep_for(std::chrono::milliseconds(options_.duration_ms));
   stop_.store(true, std::memory_order_release);
   for (auto& t : threads) t.join();
-  stats_.wall_ns = NowNanos() - t0;
+  stats_.wall_ns = watch.ElapsedNanos();
 }
 
 }  // namespace stratus
