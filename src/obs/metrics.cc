@@ -4,6 +4,7 @@
 #include <bit>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <thread>
 
 namespace stratus {
@@ -26,9 +27,12 @@ size_t Counter::CellIndex() {
 
 namespace {
 
-/// Bucket b holds values in [2^(b-1), 2^b); bucket 0 holds 0us.
+/// Bucket b holds values in [2^(b-1), 2^b); bucket 0 holds 0us. Values at or
+/// above 2^62 all land in the last bucket (bit_width would index past the
+/// array for them).
 inline size_t BucketFor(uint64_t us) {
-  return static_cast<size_t>(std::bit_width(us));
+  return std::min(static_cast<size_t>(std::bit_width(us)),
+                  LatencyHistogram::kBuckets - 1);
 }
 
 inline double BucketLow(size_t b) {
@@ -173,8 +177,18 @@ MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(std::string_view name,
   Shard& shard = shards_[std::hash<std::string>{}(key) % kMapShards];
   std::lock_guard<std::mutex> g(shard.mu);
   for (const auto& e : shard.entries) {
-    if (e->kind == kind && e->name == name && e->labels == canonical)
+    if (e->name == name && e->labels == canonical) {
+      // A name+labels pair identifies one series; silently creating a second
+      // series of another kind would emit duplicate names in the exposition.
+      if (e->kind != kind) {
+        std::fprintf(stderr,
+                     "MetricsRegistry: series \"%s\" already registered with a "
+                     "different kind\n",
+                     key.c_str());
+        std::abort();
+      }
       return e.get();
+    }
   }
   auto entry = std::make_unique<Entry>();
   entry->name = std::string(name);
@@ -321,19 +335,20 @@ std::string MetricsRegistry::ExportText() const {
         out += r.name + labels + " " + FmtDouble(r.value) + "\n";
         break;
       case Kind::kHistogram: {
-        char buf[256];
-        std::snprintf(buf, sizeof(buf),
-                      "%s_count%s %llu\n%s_sum_us%s %llu\n%s_p50_us%s %s\n"
-                      "%s_p95_us%s %s\n%s_p99_us%s %s\n%s_max_us%s %llu\n",
-                      r.name.c_str(), labels.c_str(),
-                      static_cast<unsigned long long>(r.count), r.name.c_str(),
-                      labels.c_str(), static_cast<unsigned long long>(r.sum_us),
-                      r.name.c_str(), labels.c_str(), FmtDouble(r.p50).c_str(),
-                      r.name.c_str(), labels.c_str(), FmtDouble(r.p95).c_str(),
-                      r.name.c_str(), labels.c_str(), FmtDouble(r.p99).c_str(),
-                      r.name.c_str(), labels.c_str(),
-                      static_cast<unsigned long long>(r.max_us));
-        out += buf;
+        const auto line = [&](const char* suffix, const std::string& value) {
+          out += r.name;
+          out += suffix;
+          out += labels;
+          out.push_back(' ');
+          out += value;
+          out.push_back('\n');
+        };
+        line("_count", std::to_string(r.count));
+        line("_sum_us", std::to_string(r.sum_us));
+        line("_p50_us", FmtDouble(r.p50));
+        line("_p95_us", FmtDouble(r.p95));
+        line("_p99_us", FmtDouble(r.p99));
+        line("_max_us", std::to_string(r.max_us));
         break;
       }
     }
@@ -364,19 +379,14 @@ std::string MetricsRegistry::ExportJson() const {
       case Kind::kGauge:
         out += "\"type\":\"gauge\",\"value\":" + FmtDouble(r.value) + "}";
         break;
-      case Kind::kHistogram: {
-        char buf[256];
-        std::snprintf(buf, sizeof(buf),
-                      "\"type\":\"histogram\",\"count\":%llu,\"sum_us\":%llu,"
-                      "\"p50_us\":%s,\"p95_us\":%s,\"p99_us\":%s,\"max_us\":%llu}",
-                      static_cast<unsigned long long>(r.count),
-                      static_cast<unsigned long long>(r.sum_us),
-                      FmtDouble(r.p50).c_str(), FmtDouble(r.p95).c_str(),
-                      FmtDouble(r.p99).c_str(),
-                      static_cast<unsigned long long>(r.max_us));
-        out += buf;
+      case Kind::kHistogram:
+        out += "\"type\":\"histogram\",\"count\":" + std::to_string(r.count) +
+               ",\"sum_us\":" + std::to_string(r.sum_us) +
+               ",\"p50_us\":" + FmtDouble(r.p50) +
+               ",\"p95_us\":" + FmtDouble(r.p95) +
+               ",\"p99_us\":" + FmtDouble(r.p99) +
+               ",\"max_us\":" + std::to_string(r.max_us) + "}";
         break;
-      }
     }
   }
   out += "\n]\n";

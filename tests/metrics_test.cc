@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -58,6 +59,16 @@ TEST(LatencyHistogramTest, ConcurrentRecordIsExact) {
   EXPECT_EQ(h.Percentile(99), 0.0);
 }
 
+TEST(LatencyHistogramTest, HugeValuesLandInLastBucket) {
+  LatencyHistogram h;
+  h.Record(std::numeric_limits<uint64_t>::max());
+  h.Record(1ull << 63);
+  EXPECT_EQ(h.Count(), 2u);
+  EXPECT_EQ(h.MaxUs(), std::numeric_limits<uint64_t>::max());
+  h.Record(0);
+  EXPECT_EQ(h.Count(), 3u);
+}
+
 TEST(MetricsRegistryTest, SameNameAndLabelsSameHandle) {
   MetricsRegistry registry;
   Counter* a = registry.GetCounter("ops", {{"role", "primary"}});
@@ -112,6 +123,43 @@ TEST(MetricsRegistryTest, TextExportFormatAndStability) {
   // With no recording in between, back-to-back exports are byte-identical
   // (sorted, deterministic rendering).
   EXPECT_EQ(text, registry.ExportText());
+}
+
+TEST(MetricsRegistryTest, TextExportLongHistogramNameNotTruncated) {
+  MetricsRegistry registry;
+  // A realistically long series: name + labels push each rendered line well
+  // past any small fixed-size formatting buffer.
+  const std::string name = "stratus_queryscn_staleness_us";
+  const Labels labels = {{"db", "standby"},
+                         {"instance", "standby_instance_long_name_1"},
+                         {"cluster", "imadg_regression_cluster_west"}};
+  registry.GetHistogram(name, labels)->Record(12345);
+
+  const std::string text = registry.ExportText();
+  const std::string rendered_labels =
+      "{cluster=\"imadg_regression_cluster_west\",db=\"standby\","
+      "instance=\"standby_instance_long_name_1\"}";
+  for (const char* suffix :
+       {"_count", "_sum_us", "_p50_us", "_p95_us", "_p99_us", "_max_us"}) {
+    const size_t pos = text.find(name + suffix + rendered_labels + " ");
+    ASSERT_NE(pos, std::string::npos) << "missing line for " << suffix;
+    // Every line is complete: a value follows and the line is newline-ended.
+    const size_t eol = text.find('\n', pos);
+    ASSERT_NE(eol, std::string::npos) << "unterminated line for " << suffix;
+  }
+  EXPECT_NE(text.find(name + "_count" + rendered_labels + " 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find(name + "_sum_us" + rendered_labels + " 12345\n"),
+            std::string::npos);
+  EXPECT_NE(text.find(name + "_max_us" + rendered_labels + " 12345\n"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistryDeathTest, KindMismatchAborts) {
+  MetricsRegistry registry;
+  registry.GetCounter("stratus_dual_use", {{"role", "primary"}});
+  EXPECT_DEATH(registry.GetGauge("stratus_dual_use", {{"role", "primary"}}),
+               "different kind");
 }
 
 TEST(MetricsRegistryTest, JsonExportContainsSeries) {
