@@ -1,34 +1,76 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 build + tests, twice.
+# CI entry point: tier-1 build + tests, in stages.
 #
-#   1. Plain RelWithDebInfo build, full ctest suite.
-#   2. ThreadSanitizer build of the concurrency-heavy targets
-#      (metrics_test, latch_test, redo_apply_test) — the metrics registry,
-#      latches and the redo-apply engine are the hot lock-free/locked paths
-#      a data race would hide in.
+#   plain : RelWithDebInfo build, full ctest suite.
+#   tsan  : ThreadSanitizer build of the concurrency-heavy targets
+#           (metrics_test, latch_test, redo_apply_test, net_test) — the
+#           metrics registry, latches, redo-apply engine and the socket
+#           channel's sender/receiver threads are the hot lock-free/locked
+#           paths a data race would hide in.
+#   asan  : Address+UndefinedBehaviorSanitizer build of the wire/transport
+#           targets (net_test, log_shipping_test, transport_test) — the
+#           codec's byte-level parsing and the channels' buffer handling are
+#           where an out-of-bounds read or overflow would hide.
 #
-# Usage: scripts/ci.sh [build-dir-prefix]   (default: build-ci)
+# Usage: scripts/ci.sh [stage] [build-dir-prefix]
+#   stage: all (default) | plain | tsan | asan
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PREFIX="${1:-build-ci}"
+STAGE="${1:-all}"
+PREFIX="${2:-build-ci}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "==> [1/2] plain build + full test suite"
-cmake -B "${PREFIX}" -S . >/dev/null
-cmake --build "${PREFIX}" -j "${JOBS}"
-ctest --test-dir "${PREFIX}" --output-on-failure -j "${JOBS}"
+TSAN_TESTS="metrics_test latch_test redo_apply_test net_test"
+ASAN_TESTS="net_test log_shipping_test transport_test"
 
-echo "==> [2/2] ThreadSanitizer build (metrics_test latch_test redo_apply_test)"
-TSAN_FLAGS="-fsanitize=thread -g -O1"
-cmake -B "${PREFIX}-tsan" -S . \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DCMAKE_CXX_FLAGS="${TSAN_FLAGS}" \
-  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
-cmake --build "${PREFIX}-tsan" -j "${JOBS}" \
-  --target metrics_test latch_test redo_apply_test
-ctest --test-dir "${PREFIX}-tsan" --output-on-failure -j "${JOBS}" \
-  -R '^(metrics_test|latch_test|redo_apply_test)$'
+run_plain() {
+  echo "==> [plain] build + full test suite"
+  cmake -B "${PREFIX}" -S . >/dev/null
+  cmake --build "${PREFIX}" -j "${JOBS}"
+  ctest --test-dir "${PREFIX}" --output-on-failure -j "${JOBS}"
+}
 
-echo "==> CI passed"
+run_tsan() {
+  echo "==> [tsan] ThreadSanitizer build (${TSAN_TESTS})"
+  local flags="-fsanitize=thread -g -O1"
+  cmake -B "${PREFIX}-tsan" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="${flags}" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
+  # shellcheck disable=SC2086
+  cmake --build "${PREFIX}-tsan" -j "${JOBS}" --target ${TSAN_TESTS}
+  ctest --test-dir "${PREFIX}-tsan" --output-on-failure -j "${JOBS}" \
+    -R "^($(echo "${TSAN_TESTS}" | tr ' ' '|'))\$"
+}
+
+run_asan() {
+  echo "==> [asan] Address+UBSanitizer build (${ASAN_TESTS})"
+  local flags="-fsanitize=address,undefined -fno-sanitize-recover=all -g -O1"
+  cmake -B "${PREFIX}-asan" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="${flags}" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" >/dev/null
+  # shellcheck disable=SC2086
+  cmake --build "${PREFIX}-asan" -j "${JOBS}" --target ${ASAN_TESTS}
+  ctest --test-dir "${PREFIX}-asan" --output-on-failure -j "${JOBS}" \
+    -R "^($(echo "${ASAN_TESTS}" | tr ' ' '|'))\$"
+}
+
+case "${STAGE}" in
+  plain) run_plain ;;
+  tsan) run_tsan ;;
+  asan) run_asan ;;
+  all)
+    run_plain
+    run_tsan
+    run_asan
+    ;;
+  *)
+    echo "unknown stage: ${STAGE} (want all|plain|tsan|asan)" >&2
+    exit 2
+    ;;
+esac
+
+echo "==> CI passed (${STAGE})"

@@ -353,6 +353,9 @@ void StandbyDb::ExportPipelineMetrics(obs::MetricsSink* sink) const {
     sink->Counter("stratus_transport_coarse_sent", labels, ts.coarse_sent);
     sink->Counter("stratus_transport_publishes_sent", labels, ts.publishes_sent);
     sink->Counter("stratus_transport_rtt_waits", labels, ts.rtt_waits);
+    for (size_t i = 0; i < channel_->wire_channel_count(); ++i) {
+      channel_->wire_channel(i)->ExportMetrics(sink, labels);
+    }
   }
 
   RecoveryCoordinator* coordinator =
@@ -416,8 +419,12 @@ void StandbyDb::BuildPipeline() {
       remotes.push_back(instances_[i].remote.get());
     }
     if (!remotes.empty()) {
+      TransportOptions transport = options_.transport;
+      if (transport.channel.registry == nullptr) {
+        transport.channel.registry = registry_;
+      }
       channel_ = std::make_unique<InvalidationChannel>(std::move(remotes),
-                                                       options_.transport);
+                                                       transport);
       channel_->Start();
     }
 
@@ -979,9 +986,13 @@ void AdgCluster::Start() {
   started_ = true;
   primary_.Start();
   standby_.Start();
+  ShipperOptions shipping = options_.shipping;
+  if (shipping.channel.registry == nullptr) {
+    shipping.channel.registry = registry_;  // Wire latency histograms.
+  }
   for (int i = 0; i < primary_.redo_threads(); ++i) {
     shippers_.push_back(std::make_unique<LogShipper>(
-        primary_.redo_log(i), standby_.stream(i), options_.shipping));
+        primary_.redo_log(i), standby_.stream(i), shipping));
     shippers_.back()->Start();
   }
   shipper_metrics_cb_.Attach(registry_, [this](obs::MetricsSink* sink) {
@@ -990,6 +1001,7 @@ void AdgCluster::Start() {
     for (const auto& s : shippers_) {
       bytes += s->bytes_shipped();
       records += s->records_shipped();
+      s->channel()->ExportMetrics(sink, labels);
     }
     sink->Counter("stratus_redo_shipped_bytes", labels, bytes);
     sink->Counter("stratus_redo_shipped_records", labels, records);

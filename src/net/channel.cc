@@ -1,0 +1,48 @@
+#include "net/channel.h"
+
+#include "net/loopback_channel.h"
+#include "net/socket_channel.h"
+
+namespace stratus {
+namespace net {
+
+void Channel::ExportMetrics(obs::MetricsSink* sink,
+                            const obs::Labels& base) const {
+  obs::Labels labels = base;
+  labels.emplace_back("channel", options().name);
+  const ChannelStats s = stats();
+  sink->Counter("stratus_net_frames_sent", labels, s.frames_sent);
+  sink->Counter("stratus_net_bytes_sent", labels, s.bytes_sent);
+  sink->Counter("stratus_net_frames_delivered", labels, s.frames_delivered);
+  sink->Counter("stratus_net_bytes_delivered", labels, s.bytes_delivered);
+  sink->Counter("stratus_net_retransmits", labels, s.retransmits);
+  sink->Counter("stratus_net_acks_received", labels, s.acks_received);
+  sink->Counter("stratus_net_reconnects", labels, s.reconnects);
+  sink->Counter("stratus_net_crc_errors", labels, s.crc_errors);
+  sink->Counter("stratus_net_dup_frames_discarded", labels,
+                s.dup_frames_discarded);
+  sink->Counter("stratus_net_gap_frames_discarded", labels,
+                s.gap_frames_discarded);
+  sink->Counter("stratus_net_injected_drops", labels, s.injected_drops);
+  sink->Counter("stratus_net_injected_dups", labels, s.injected_dups);
+  sink->Counter("stratus_net_injected_corrupts", labels, s.injected_corrupts);
+  sink->Counter("stratus_net_injected_truncates", labels, s.injected_truncates);
+  sink->Gauge("stratus_net_send_queue_depth", labels,
+              static_cast<double>(s.send_queue_depth));
+  sink->Gauge("stratus_net_send_queue_bytes", labels,
+              static_cast<double>(s.send_queue_bytes));
+}
+
+std::unique_ptr<Channel> CreateChannel(const ChannelOptions& options,
+                                       FrameSink* sink) {
+  switch (options.kind) {
+    case ChannelKind::kLoopback:
+      return std::make_unique<LoopbackChannel>(options, sink);
+    case ChannelKind::kSocket:
+      return std::make_unique<SocketChannel>(options, sink);
+  }
+  return nullptr;
+}
+
+}  // namespace net
+}  // namespace stratus

@@ -1,0 +1,120 @@
+#ifndef STRATUS_NET_CHANNEL_H_
+#define STRATUS_NET_CHANNEL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "net/fault_injector.h"
+#include "net/wire.h"
+#include "obs/metrics.h"
+
+namespace stratus {
+namespace net {
+
+/// Which wire a channel rides.
+enum class ChannelKind : uint8_t {
+  kLoopback = 0,  ///< Deterministic in-process delivery (the default path).
+  kSocket = 1,    ///< Real TCP over 127.0.0.1: framing, acks, reconnect.
+};
+
+struct ChannelOptions {
+  ChannelKind kind = ChannelKind::kLoopback;
+  /// Metric label value; empty means the creator names it ("redo-0", …).
+  std::string name;
+
+  /// Backpressure bound: Send() blocks while this many frames are queued or
+  /// in flight (unacked). The shipper stalls; the channel never buffers
+  /// unboundedly.
+  size_t send_window_frames = 256;
+  /// Companion byte bound on the same window.
+  size_t send_window_bytes = 8u << 20;
+
+  /// Reconnect backoff: base doubles per consecutive failure up to the max,
+  /// plus uniform jitter of up to half the current backoff.
+  int64_t backoff_base_us = 500;
+  int64_t backoff_max_us = 100'000;
+  /// Unacked frames older than this are retransmitted (go-back-N).
+  int64_t retransmit_timeout_us = 20'000;
+
+  FaultOptions faults;
+
+  /// Registry for the channel's encode/decode latency histograms and
+  /// counters (exported under {"channel", name}). Null: stats only.
+  obs::MetricsRegistry* registry = nullptr;
+};
+
+/// Point-in-time channel statistics (all monotonic except the queue gauges).
+struct ChannelStats {
+  uint64_t frames_sent = 0;       ///< Accepted by Send (unique frames).
+  uint64_t bytes_sent = 0;        ///< Encoded wire bytes of accepted frames.
+  uint64_t frames_delivered = 0;  ///< Handed to the sink, post-dedup.
+  uint64_t bytes_delivered = 0;
+  uint64_t retransmits = 0;       ///< Frame (re)transmissions beyond the first.
+  uint64_t acks_received = 0;
+  uint64_t reconnects = 0;        ///< Connections established after the first.
+  uint64_t crc_errors = 0;        ///< Corrupt frames rejected by the receiver.
+  uint64_t dup_frames_discarded = 0;  ///< Seq ≤ delivered watermark.
+  uint64_t gap_frames_discarded = 0;  ///< Seq ahead of the watermark (GBN).
+  uint64_t send_queue_depth = 0;  ///< Gauge: frames queued + unacked now.
+  uint64_t send_queue_bytes = 0;  ///< Gauge: bytes queued + unacked now.
+  uint64_t injected_drops = 0;
+  uint64_t injected_dups = 0;
+  uint64_t injected_corrupts = 0;
+  uint64_t injected_truncates = 0;
+};
+
+/// Receives a channel's frames, in sequence order, exactly once.
+class FrameSink {
+ public:
+  virtual ~FrameSink() = default;
+  virtual void OnFrame(const Frame& frame) = 0;
+  /// The channel shut down after draining; no further OnFrame calls.
+  virtual void OnChannelClose() {}
+};
+
+/// One ordered, reliable, at-least-once-with-dedup message pipe between a
+/// sender and a sink. Both endpoints live in this process (the standby is
+/// simulated in-process), but a kSocket channel pushes every frame through a
+/// real localhost TCP connection with all the failure modes that implies.
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  virtual Status Start() = 0;
+  /// Drains everything accepted by Send (retransmitting as needed), then
+  /// closes and fires FrameSink::OnChannelClose.
+  virtual void Stop() = 0;
+
+  /// Ships one frame. Blocks while the send window is full (backpressure);
+  /// returns kUnavailable after Stop.
+  virtual Status Send(FrameType type, uint32_t stream, Scn scn,
+                      std::string payload) = 0;
+
+  /// True when nothing is queued or awaiting acknowledgment.
+  virtual bool Idle() const = 0;
+
+  /// Fault-injection hook: network partition on/off.
+  virtual void SetPartitioned(bool partitioned) = 0;
+
+  virtual ChannelStats stats() const = 0;
+  virtual const ChannelOptions& options() const = 0;
+
+  /// Pushes this channel's stats into `sink` as stratus_net_* series labeled
+  /// {"channel", options().name} + `base`.
+  void ExportMetrics(obs::MetricsSink* sink, const obs::Labels& base) const;
+};
+
+/// Builds a channel of `options.kind` delivering into `sink`. The sink must
+/// outlive the channel; OnFrame runs on a channel-internal thread (kSocket)
+/// or the sender's thread (kLoopback).
+std::unique_ptr<Channel> CreateChannel(const ChannelOptions& options,
+                                       FrameSink* sink);
+
+}  // namespace net
+}  // namespace stratus
+
+#endif  // STRATUS_NET_CHANNEL_H_

@@ -1,0 +1,51 @@
+#ifndef STRATUS_NET_CHANNEL_COUNTERS_H_
+#define STRATUS_NET_CHANNEL_COUNTERS_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "net/channel.h"
+#include "net/fault_injector.h"
+
+namespace stratus {
+namespace net {
+
+/// Shared atomic backing for ChannelStats (channel implementations inc these
+/// from their wire threads; stats() snapshots them).
+struct ChannelCounters {
+  std::atomic<uint64_t> frames_sent{0};
+  std::atomic<uint64_t> bytes_sent{0};
+  std::atomic<uint64_t> frames_delivered{0};
+  std::atomic<uint64_t> bytes_delivered{0};
+  std::atomic<uint64_t> retransmits{0};
+  std::atomic<uint64_t> acks_received{0};
+  std::atomic<uint64_t> reconnects{0};
+  std::atomic<uint64_t> crc_errors{0};
+  std::atomic<uint64_t> dup_frames_discarded{0};
+  std::atomic<uint64_t> gap_frames_discarded{0};
+
+  /// Queue gauges are filled in by the channel from its own bookkeeping.
+  ChannelStats Snapshot(const FaultInjector& faults) const {
+    ChannelStats s;
+    s.frames_sent = frames_sent.load(std::memory_order_relaxed);
+    s.bytes_sent = bytes_sent.load(std::memory_order_relaxed);
+    s.frames_delivered = frames_delivered.load(std::memory_order_relaxed);
+    s.bytes_delivered = bytes_delivered.load(std::memory_order_relaxed);
+    s.retransmits = retransmits.load(std::memory_order_relaxed);
+    s.acks_received = acks_received.load(std::memory_order_relaxed);
+    s.reconnects = reconnects.load(std::memory_order_relaxed);
+    s.crc_errors = crc_errors.load(std::memory_order_relaxed);
+    s.dup_frames_discarded = dup_frames_discarded.load(std::memory_order_relaxed);
+    s.gap_frames_discarded = gap_frames_discarded.load(std::memory_order_relaxed);
+    s.injected_drops = faults.drops();
+    s.injected_dups = faults.dups();
+    s.injected_corrupts = faults.corrupts();
+    s.injected_truncates = faults.truncates();
+    return s;
+  }
+};
+
+}  // namespace net
+}  // namespace stratus
+
+#endif  // STRATUS_NET_CHANNEL_COUNTERS_H_

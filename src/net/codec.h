@@ -1,0 +1,54 @@
+#ifndef STRATUS_NET_CODEC_H_
+#define STRATUS_NET_CODEC_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "imadg/invalidation.h"
+#include "redo/change_vector.h"
+
+namespace stratus {
+namespace net {
+
+// ---------------------------------------------------------------------------
+// Redo batches. The wire form packs every integer field as a varint (SCNs are
+// delta-encoded within a batch, values are zigzag varints) so a typical OLTP
+// change vector costs a handful of bytes instead of the ~50 fixed-width bytes
+// of the accounting encoding. Encode/decode are exact inverses: decoding an
+// encoded batch and re-encoding it yields byte-identical output.
+// ---------------------------------------------------------------------------
+void EncodeRedoBatch(const std::vector<RedoRecord>& batch, std::string* out);
+Status DecodeRedoBatch(const std::string& payload, std::vector<RedoRecord>* out);
+
+/// Encoded size of one batch (bytes), without materializing twice.
+size_t RedoBatchWireSize(const std::vector<RedoRecord>& batch);
+
+// ---------------------------------------------------------------------------
+// Invalidation messages (the RAC interconnect payloads): the four message
+// kinds the master sends non-master standby instances.
+// ---------------------------------------------------------------------------
+enum class InvalKind : uint8_t {
+  kGroups = 1,      ///< Batch of invalidation groups.
+  kCoarse = 2,      ///< Coarse-invalidate a tenant.
+  kObjectDrop = 3,  ///< Drop an object's IMCUs.
+  kPublish = 4,     ///< New QuerySCN published.
+};
+
+struct InvalidationMessage {
+  InvalKind kind = InvalKind::kPublish;
+  std::vector<InvalidationGroup> groups;  ///< kGroups.
+  TenantId tenant = kDefaultTenant;       ///< kCoarse.
+  ObjectId object_id = kInvalidObjectId;  ///< kObjectDrop.
+  Scn scn = kInvalidScn;                  ///< kPublish.
+};
+
+void EncodeInvalidationMessage(const InvalidationMessage& msg, std::string* out);
+Status DecodeInvalidationMessage(const std::string& payload,
+                                 InvalidationMessage* out);
+
+}  // namespace net
+}  // namespace stratus
+
+#endif  // STRATUS_NET_CODEC_H_

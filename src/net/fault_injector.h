@@ -1,0 +1,109 @@
+#ifndef STRATUS_NET_FAULT_INJECTOR_H_
+#define STRATUS_NET_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/random.h"
+
+namespace stratus {
+namespace net {
+
+/// What can go wrong on the wire. Probabilities are percentages per frame;
+/// the reliable channel (acks + retransmission + dedup) must mask all of
+/// them, which is exactly what the robustness tests assert.
+struct FaultOptions {
+  uint32_t drop_pct = 0;      ///< Frame vanishes on the wire.
+  uint32_t dup_pct = 0;       ///< Frame is transmitted twice.
+  uint32_t corrupt_pct = 0;   ///< One bit of the encoded frame flips.
+  uint32_t truncate_pct = 0;  ///< Connection dies mid-frame (socket only).
+  int64_t delay_us = 0;       ///< Fixed one-way wire delay per frame.
+  int64_t jitter_us = 0;      ///< Plus uniform extra in [0, jitter_us).
+  uint64_t seed = 42;         ///< Deterministic fault schedule.
+
+  bool any_loss() const {
+    return drop_pct > 0 || dup_pct > 0 || corrupt_pct > 0 || truncate_pct > 0;
+  }
+  bool any() const { return any_loss() || delay_us > 0 || jitter_us > 0; }
+};
+
+/// Per-channel fault source. Decisions come from a seeded PRNG so every run
+/// injects the same schedule; the partition switch is a live toggle tests
+/// flip while traffic is flowing.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultOptions& options)
+      : options_(options), rng_(options.seed) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  const FaultOptions& options() const { return options_; }
+
+  bool ShouldDrop() { return Roll(options_.drop_pct, &drops_); }
+  bool ShouldDuplicate() { return Roll(options_.dup_pct, &dups_); }
+  bool ShouldCorrupt() { return Roll(options_.corrupt_pct, &corrupts_); }
+  bool ShouldTruncate() { return Roll(options_.truncate_pct, &truncates_); }
+
+  /// One-way wire delay for the next frame (fixed + jitter), microseconds.
+  int64_t DelayUs() {
+    int64_t d = options_.delay_us;
+    if (options_.jitter_us > 0) {
+      std::lock_guard<std::mutex> g(mu_);
+      d += static_cast<int64_t>(
+          rng_.Uniform(static_cast<uint64_t>(options_.jitter_us)));
+    }
+    return d;
+  }
+
+  /// Flips one deterministic-random bit of `bytes` (no-op when empty).
+  void CorruptOneBit(std::string* bytes) {
+    if (bytes->empty()) return;
+    std::lock_guard<std::mutex> g(mu_);
+    const uint64_t bit = rng_.Uniform(bytes->size() * 8);
+    (*bytes)[bit / 8] = static_cast<char>(
+        static_cast<uint8_t>((*bytes)[bit / 8]) ^ (1u << (bit % 8)));
+  }
+
+  /// Network partition: while set, nothing crosses the wire in either
+  /// direction. Channels translate this into "connection down".
+  void set_partitioned(bool partitioned) {
+    partitioned_.store(partitioned, std::memory_order_release);
+  }
+  bool partitioned() const {
+    return partitioned_.load(std::memory_order_acquire);
+  }
+
+  uint64_t drops() const { return drops_.load(std::memory_order_relaxed); }
+  uint64_t dups() const { return dups_.load(std::memory_order_relaxed); }
+  uint64_t corrupts() const { return corrupts_.load(std::memory_order_relaxed); }
+  uint64_t truncates() const { return truncates_.load(std::memory_order_relaxed); }
+
+ private:
+  bool Roll(uint32_t pct, std::atomic<uint64_t>* counter) {
+    if (pct == 0) return false;
+    bool hit;
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      hit = rng_.Percent(pct);
+    }
+    if (hit) counter->fetch_add(1, std::memory_order_relaxed);
+    return hit;
+  }
+
+  const FaultOptions options_;
+  std::mutex mu_;  ///< Guards the PRNG.
+  Random rng_;
+  std::atomic<bool> partitioned_{false};
+  std::atomic<uint64_t> drops_{0};
+  std::atomic<uint64_t> dups_{0};
+  std::atomic<uint64_t> corrupts_{0};
+  std::atomic<uint64_t> truncates_{0};
+};
+
+}  // namespace net
+}  // namespace stratus
+
+#endif  // STRATUS_NET_FAULT_INJECTOR_H_

@@ -1,0 +1,136 @@
+#include "net/loopback_channel.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/clock.h"
+
+namespace stratus {
+namespace net {
+
+LoopbackChannel::LoopbackChannel(const ChannelOptions& options, FrameSink* sink)
+    : options_(options), sink_(sink), faults_(options.faults) {
+  if (options_.registry != nullptr) {
+    const obs::Labels labels = {{"channel", options_.name}};
+    encode_hist_ =
+        options_.registry->GetHistogram("stratus_net_encode_us", labels);
+    decode_hist_ =
+        options_.registry->GetHistogram("stratus_net_decode_us", labels);
+  }
+}
+
+LoopbackChannel::~LoopbackChannel() { Stop(); }
+
+Status LoopbackChannel::Start() {
+  std::lock_guard<std::mutex> g(mu_);
+  started_ = true;
+  return Status::OK();
+}
+
+void LoopbackChannel::Stop() {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    if (!started_ || stopped_) return;
+    stopped_ = true;
+  }
+  partition_cv_.notify_all();
+  sink_->OnChannelClose();
+}
+
+void LoopbackChannel::SetPartitioned(bool partitioned) {
+  faults_.set_partitioned(partitioned);
+  partition_cv_.notify_all();
+}
+
+Status LoopbackChannel::Send(FrameType type, uint32_t stream, Scn scn,
+                             std::string payload) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stopped_) return Status::Unavailable("channel stopped");
+
+  Frame frame;
+  frame.type = type;
+  frame.stream = stream;
+  frame.seq = next_seq_++;
+  frame.scn = scn;
+  frame.payload = std::move(payload);
+
+  Stopwatch encode_timer;
+  std::string wire;
+  EncodeFrame(frame, &wire);
+  if (encode_hist_ != nullptr) encode_hist_->Record(encode_timer.ElapsedMicros());
+
+  counters_.frames_sent.fetch_add(1, std::memory_order_relaxed);
+  counters_.bytes_sent.fetch_add(wire.size(), std::memory_order_relaxed);
+
+  // A partition blocks the sender (exactly the backpressure a stalled TCP
+  // connection exerts) until healed or the channel stops.
+  partition_cv_.wait(lock, [&] { return !faults_.partitioned() || stopped_; });
+  if (stopped_) return Status::Unavailable("channel stopped");
+
+  const int64_t delay = faults_.DelayUs();
+  if (delay > 0) {
+    lock.unlock();
+    std::this_thread::sleep_for(std::chrono::microseconds(delay));
+    lock.lock();
+    if (stopped_) return Status::Unavailable("channel stopped");
+  }
+
+  // Loss faults resolve inline: a dropped or corrupted transmission is
+  // retried (counted as a retransmit) until one clean copy gets through, so
+  // the sink still sees exactly-once in-order delivery.
+  for (;;) {
+    if (faults_.ShouldDrop()) {
+      counters_.retransmits.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (faults_.ShouldCorrupt()) {
+      std::string corrupted = wire;
+      faults_.CorruptOneBit(&corrupted);
+      Frame decoded;
+      size_t consumed = 0;
+      Status s = DecodeFrame(corrupted.data(), corrupted.size(), &decoded,
+                             &consumed);
+      if (!s.ok()) {
+        counters_.crc_errors.fetch_add(1, std::memory_order_relaxed);
+        counters_.retransmits.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      // The flipped bit survived the CRC only if it landed in the padding-free
+      // encoding and still decoded — astronomically unlikely; fall through and
+      // deliver the clean copy regardless.
+    }
+    break;
+  }
+
+  const bool duplicate = faults_.ShouldDuplicate();
+  const int deliveries = duplicate ? 2 : 1;
+  for (int i = 0; i < deliveries; ++i) {
+    Stopwatch decode_timer;
+    Frame decoded;
+    size_t consumed = 0;
+    Status s = DecodeFrame(wire.data(), wire.size(), &decoded, &consumed);
+    if (decode_hist_ != nullptr) decode_hist_->Record(decode_timer.ElapsedMicros());
+    if (!s.ok()) return s;  // Unreachable: we encoded this frame ourselves.
+    if (i > 0) {
+      // The receiver-side dedup a socket channel does by sequence number:
+      // the second copy is discarded, not delivered.
+      counters_.dup_frames_discarded.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    counters_.frames_delivered.fetch_add(1, std::memory_order_relaxed);
+    counters_.bytes_delivered.fetch_add(wire.size(), std::memory_order_relaxed);
+    sink_->OnFrame(decoded);
+  }
+  return Status::OK();
+}
+
+ChannelStats LoopbackChannel::stats() const {
+  ChannelStats s = counters_.Snapshot(faults_);
+  s.send_queue_depth = 0;  // Synchronous: nothing is ever queued.
+  s.send_queue_bytes = 0;
+  return s;
+}
+
+}  // namespace net
+}  // namespace stratus

@@ -1,0 +1,57 @@
+#ifndef STRATUS_NET_LOOPBACK_CHANNEL_H_
+#define STRATUS_NET_LOOPBACK_CHANNEL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "net/channel.h"
+#include "net/channel_counters.h"
+#include "net/fault_injector.h"
+#include "obs/metrics.h"
+
+namespace stratus {
+namespace net {
+
+/// The deterministic default wire: Send() encodes the frame, runs it through
+/// the fault injector, and delivers it to the sink on the caller's thread.
+/// Loss faults (drop/corrupt) are resolved inline by retrying — the frame is
+/// counted as retransmitted and re-sent until it survives — so delivery is
+/// still exactly-once and in order, which keeps every pre-wire test and bench
+/// bit-for-bit reproducible. A partition blocks Send() until healed.
+class LoopbackChannel : public Channel {
+ public:
+  LoopbackChannel(const ChannelOptions& options, FrameSink* sink);
+  ~LoopbackChannel() override;
+
+  Status Start() override;
+  void Stop() override;
+  Status Send(FrameType type, uint32_t stream, Scn scn,
+              std::string payload) override;
+  bool Idle() const override { return true; }
+  void SetPartitioned(bool partitioned) override;
+
+  ChannelStats stats() const override;
+  const ChannelOptions& options() const override { return options_; }
+
+ private:
+  const ChannelOptions options_;
+  FrameSink* const sink_;
+  FaultInjector faults_;
+  ChannelCounters counters_;
+
+  obs::LatencyHistogram* encode_hist_ = nullptr;  ///< Null without a registry.
+  obs::LatencyHistogram* decode_hist_ = nullptr;
+
+  mutable std::mutex mu_;  ///< Serializes Send and guards the flags below.
+  std::condition_variable partition_cv_;
+  uint64_t next_seq_ = 1;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace net
+}  // namespace stratus
+
+#endif  // STRATUS_NET_LOOPBACK_CHANNEL_H_

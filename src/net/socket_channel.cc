@@ -1,0 +1,527 @@
+#include "net/socket_channel.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "common/clock.h"
+
+namespace stratus {
+namespace net {
+
+namespace {
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+SocketChannel::SocketChannel(const ChannelOptions& options, FrameSink* sink)
+    : options_(options),
+      sink_(sink),
+      faults_(options.faults),
+      backoff_rng_(options.faults.seed + 0x9e3779b9ull) {
+  if (options_.registry != nullptr) {
+    const obs::Labels labels = {{"channel", options_.name}};
+    encode_hist_ =
+        options_.registry->GetHistogram("stratus_net_encode_us", labels);
+    decode_hist_ =
+        options_.registry->GetHistogram("stratus_net_decode_us", labels);
+  }
+}
+
+SocketChannel::~SocketChannel() { Stop(); }
+
+Status SocketChannel::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (listen_fd_ < 0) return Status::Internal("socket() failed");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // Ephemeral: no port collisions between channels.
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listen_fd_, 4) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("bind/listen failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  if (::pipe2(wake_pipe_, O_NONBLOCK) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("pipe2() failed");
+  }
+
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    started_ = true;
+    accepting_ = true;
+  }
+  receiver_ = std::thread([this] { ReceiverLoop(); });
+  sender_ = std::thread([this] { SenderLoop(); });
+  return Status::OK();
+}
+
+void SocketChannel::Stop() {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    if (!started_ || stop_sequence_ran_) return;
+    stop_sequence_ran_ = true;
+    accepting_ = false;
+  }
+  send_cv_.notify_all();
+  // Heal any injected partition so the drain below can complete.
+  faults_.set_partitioned(false);
+  WakeSender();
+  {
+    std::unique_lock<std::mutex> l(mu_);
+    drain_cv_.wait(l, [&] { return pending_.empty(); });
+  }
+  shutdown_.store(true, std::memory_order_release);
+  WakeSender();
+  if (sender_.joinable()) sender_.join();
+  if (receiver_.joinable()) receiver_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (int& fd : wake_pipe_) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+  sink_->OnChannelClose();
+}
+
+void SocketChannel::SetPartitioned(bool partitioned) {
+  faults_.set_partitioned(partitioned);
+  WakeSender();
+}
+
+void SocketChannel::WakeSender() {
+  if (wake_pipe_[1] >= 0) {
+    char b = 1;
+    // EAGAIN (pipe full) means a wakeup is already pending.
+    [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &b, 1);
+  }
+}
+
+Status SocketChannel::Send(FrameType type, uint32_t stream, Scn scn,
+                           std::string payload) {
+  std::unique_lock<std::mutex> l(mu_);
+  if (!started_) return Status::FailedPrecondition("channel not started");
+  // Backpressure: admission waits for window space. Holding mu_ through the
+  // wait serializes concurrent senders, so sequence numbers always match
+  // queue order.
+  send_cv_.wait(l, [&] {
+    return !accepting_ || (pending_.size() < options_.send_window_frames &&
+                           pending_bytes_ < options_.send_window_bytes);
+  });
+  if (!accepting_) return Status::Unavailable("channel stopped");
+
+  Frame frame;
+  frame.type = type;
+  frame.stream = stream;
+  frame.seq = next_seq_++;
+  frame.scn = scn;
+  frame.payload = std::move(payload);
+
+  Stopwatch encode_timer;
+  PendingFrame p;
+  p.seq = frame.seq;
+  EncodeFrame(frame, &p.wire);
+  if (encode_hist_ != nullptr) encode_hist_->Record(encode_timer.ElapsedMicros());
+
+  counters_.frames_sent.fetch_add(1, std::memory_order_relaxed);
+  counters_.bytes_sent.fetch_add(p.wire.size(), std::memory_order_relaxed);
+  pending_bytes_ += p.wire.size();
+  pending_.push_back(std::move(p));
+  l.unlock();
+  WakeSender();
+  return Status::OK();
+}
+
+bool SocketChannel::Idle() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return pending_.empty();
+}
+
+ChannelStats SocketChannel::stats() const {
+  ChannelStats s = counters_.Snapshot(faults_);
+  std::lock_guard<std::mutex> g(mu_);
+  s.send_queue_depth = pending_.size();
+  s.send_queue_bytes = pending_bytes_;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Sender side.
+// ---------------------------------------------------------------------------
+
+int SocketChannel::ConnectOnce() {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (fd < 0) return -1;
+  SetNoDelay(fd);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port_));
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc < 0 && errno == EINPROGRESS) {
+    struct pollfd p = {fd, POLLOUT, 0};
+    rc = ::poll(&p, 1, 100);
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (rc <= 0 ||
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+      ::close(fd);
+      return -1;
+    }
+  } else if (rc < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+void SocketChannel::CloseSenderConn() {
+  if (conn_fd_ >= 0) {
+    ::close(conn_fd_);
+    conn_fd_ = -1;
+    ack_buf_.clear();
+  }
+}
+
+void SocketChannel::SenderLoop() {
+  int64_t backoff_us = options_.backoff_base_us;
+  bool connected_once = false;
+  last_progress_us_ = static_cast<int64_t>(NowMicros());
+
+  while (!shutdown_.load(std::memory_order_acquire)) {
+    if (faults_.partitioned()) {
+      CloseSenderConn();
+      ReadAcks(2);  // Just waits on the wake pipe while disconnected.
+      continue;
+    }
+
+    if (conn_fd_ < 0) {
+      conn_fd_ = ConnectOnce();
+      if (conn_fd_ < 0) {
+        const int64_t jitter = static_cast<int64_t>(
+            backoff_rng_.Uniform(static_cast<uint64_t>(backoff_us / 2 + 1)));
+        ReadAcks(static_cast<int>((backoff_us + jitter) / 1000) + 1);
+        backoff_us = std::min(backoff_us * 2, options_.backoff_max_us);
+        continue;
+      }
+      backoff_us = options_.backoff_base_us;
+      if (connected_once) {
+        counters_.reconnects.fetch_add(1, std::memory_order_relaxed);
+      }
+      connected_once = true;
+      last_progress_us_ = static_cast<int64_t>(NowMicros());
+      {
+        // Go-back-N: replay everything unacked on the fresh connection.
+        std::lock_guard<std::mutex> g(mu_);
+        inflight_ = 0;
+      }
+    }
+
+    // Transmit the next not-yet-inflight frame, if any.
+    PendingFrame frame;
+    bool have = false;
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      if (inflight_ < pending_.size()) {
+        frame = pending_[inflight_];
+        have = true;
+      }
+    }
+    if (have) {
+      const uint32_t transmits_after = frame.transmits + 1;
+      if (!TransmitFrame(&frame)) continue;  // Connection died; reconnect.
+      {
+        std::lock_guard<std::mutex> g(mu_);
+        if (inflight_ < pending_.size() &&
+            pending_[inflight_].seq == frame.seq) {
+          pending_[inflight_].transmits = transmits_after;
+          ++inflight_;
+        }
+      }
+      ReadAcks(0);  // Opportunistic, non-blocking.
+      continue;
+    }
+
+    // Fully in flight (or idle): wait for acks or a wakeup, then check for
+    // an ack stall worth a go-back-N retransmission.
+    ReadAcks(2);
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      if (!pending_.empty() && inflight_ == pending_.size()) {
+        const int64_t now = static_cast<int64_t>(NowMicros());
+        if (now - last_progress_us_ >= options_.retransmit_timeout_us) {
+          inflight_ = 0;
+          last_progress_us_ = now;
+        }
+      }
+    }
+  }
+  CloseSenderConn();
+}
+
+bool SocketChannel::TransmitFrame(PendingFrame* frame) {
+  const int64_t delay = faults_.DelayUs();
+  if (delay > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(delay));
+  }
+  const int copies = faults_.ShouldDuplicate() ? 2 : 1;
+  for (int i = 0; i < copies; ++i) {
+    ++frame->transmits;
+    if (frame->transmits > 1) {
+      counters_.retransmits.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (faults_.ShouldDrop()) continue;  // Vanishes; retransmit recovers it.
+    const std::string* out = &frame->wire;
+    std::string corrupted;
+    if (faults_.ShouldCorrupt()) {
+      corrupted = frame->wire;
+      faults_.CorruptOneBit(&corrupted);
+      out = &corrupted;
+    }
+    if (faults_.ShouldTruncate()) {
+      // Connection dies mid-frame: half the bytes, then a hard close.
+      WriteFull(conn_fd_, out->data(), out->size() / 2);
+      CloseSenderConn();
+      return false;
+    }
+    if (!WriteFull(conn_fd_, out->data(), out->size())) {
+      CloseSenderConn();
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SocketChannel::WriteFull(int fd, const char* data, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
+    if (w > 0) {
+      off += static_cast<size_t>(w);
+      continue;
+    }
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (shutdown_.load(std::memory_order_acquire)) return false;
+      struct pollfd p = {fd, POLLOUT, 0};
+      ::poll(&p, 1, 50);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+bool SocketChannel::ReadAcks(int timeout_ms) {
+  struct pollfd fds[2];
+  nfds_t n = 0;
+  if (conn_fd_ >= 0) fds[n++] = {conn_fd_, POLLIN, 0};
+  if (wake_pipe_[0] >= 0) fds[n++] = {wake_pipe_[0], POLLIN, 0};
+  if (n == 0) return false;
+  const int rc = ::poll(fds, n, timeout_ms);
+  if (rc <= 0) return false;
+
+  for (nfds_t i = 0; i < n; ++i) {
+    if (fds[i].fd == wake_pipe_[0] && (fds[i].revents & POLLIN)) {
+      char drain[64];
+      while (::read(wake_pipe_[0], drain, sizeof(drain)) > 0) {
+      }
+    }
+  }
+  if (conn_fd_ < 0 || !(fds[0].revents & (POLLIN | POLLHUP | POLLERR))) {
+    return false;
+  }
+
+  char chunk[4096];
+  for (;;) {
+    const ssize_t r = ::recv(conn_fd_, chunk, sizeof(chunk), 0);
+    if (r > 0) {
+      ack_buf_.append(chunk, static_cast<size_t>(r));
+      if (r < static_cast<ssize_t>(sizeof(chunk))) break;
+      continue;
+    }
+    if (r == 0) {  // Receiver closed (e.g. after a corrupt frame).
+      CloseSenderConn();
+      return false;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    CloseSenderConn();
+    return false;
+  }
+
+  size_t pos = 0;
+  while (pos < ack_buf_.size()) {
+    Frame frame;
+    size_t consumed = 0;
+    Status s =
+        DecodeFrame(ack_buf_.data() + pos, ack_buf_.size() - pos, &frame,
+                    &consumed);
+    if (IsIncomplete(s)) break;
+    if (!s.ok()) {  // Ack stream corrupted: drop and reconnect.
+      ack_buf_.clear();
+      CloseSenderConn();
+      return false;
+    }
+    pos += consumed;
+    if (frame.type == FrameType::kAck) HandleAck(frame.seq);
+  }
+  ack_buf_.erase(0, pos);
+  return true;
+}
+
+void SocketChannel::HandleAck(uint64_t acked_seq) {
+  counters_.acks_received.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> g(mu_);
+  size_t popped = 0;
+  while (!pending_.empty() && pending_.front().seq <= acked_seq) {
+    pending_bytes_ -= pending_.front().wire.size();
+    pending_.pop_front();
+    ++popped;
+  }
+  if (popped == 0) return;
+  inflight_ -= std::min(inflight_, popped);
+  last_progress_us_ = static_cast<int64_t>(NowMicros());
+  send_cv_.notify_all();
+  if (pending_.empty()) drain_cv_.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Receiver side.
+// ---------------------------------------------------------------------------
+
+void SocketChannel::ReceiverLoop() {
+  int conn = -1;
+  std::string buf;
+  while (!shutdown_.load(std::memory_order_acquire)) {
+    struct pollfd fds[2];
+    nfds_t n = 0;
+    fds[n++] = {listen_fd_, POLLIN, 0};
+    if (conn >= 0) fds[n++] = {conn, POLLIN, 0};
+    const int rc = ::poll(fds, n, 5);
+    if (rc <= 0) continue;
+    if (fds[0].revents & POLLIN) {
+      const int accepted = ::accept4(listen_fd_, nullptr, nullptr,
+                                     SOCK_NONBLOCK);
+      if (accepted >= 0) {
+        // One live connection at a time; a new connect replaces the old one
+        // (the sender reconnected) and any half-received frame is discarded.
+        if (conn >= 0) ::close(conn);
+        conn = accepted;
+        buf.clear();
+        SetNoDelay(conn);
+      }
+    }
+    if (conn >= 0 && n > 1 &&
+        (fds[1].revents & (POLLIN | POLLHUP | POLLERR))) {
+      if (!DrainConnection(conn, &buf)) {
+        ::close(conn);
+        conn = -1;
+        buf.clear();
+      }
+    }
+  }
+  if (conn >= 0) ::close(conn);
+}
+
+bool SocketChannel::DrainConnection(int fd, std::string* buf) {
+  char chunk[16384];
+  for (;;) {
+    const ssize_t r = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (r > 0) {
+      buf->append(chunk, static_cast<size_t>(r));
+      if (r < static_cast<ssize_t>(sizeof(chunk))) break;
+      continue;
+    }
+    if (r == 0) return false;  // Sender closed (reconnecting or stopping).
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    return false;
+  }
+
+  size_t pos = 0;
+  Scn last_scn = kInvalidScn;
+  bool ack_due = false;
+  while (pos < buf->size()) {
+    Frame frame;
+    size_t consumed = 0;
+    Stopwatch decode_timer;
+    Status s = DecodeFrame(buf->data() + pos, buf->size() - pos, &frame,
+                           &consumed);
+    if (IsIncomplete(s)) break;
+    if (!s.ok()) {
+      // Corrupt frame: the byte stream can no longer be trusted to frame
+      // correctly, so poison the whole connection. The sender reconnects and
+      // replays from the last cumulative ack.
+      counters_.crc_errors.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    if (decode_hist_ != nullptr) {
+      decode_hist_->Record(decode_timer.ElapsedMicros());
+    }
+    pos += consumed;
+    if (frame.type == FrameType::kAck) continue;  // Not valid inbound.
+    if (frame.seq != expected_seq_) {
+      // Duplicate (already delivered) or gap (an earlier frame was lost on
+      // the wire): discard and re-ack the watermark so the sender converges.
+      auto& counter = frame.seq < expected_seq_ ? counters_.dup_frames_discarded
+                                                : counters_.gap_frames_discarded;
+      counter.fetch_add(1, std::memory_order_relaxed);
+      ack_due = true;
+      continue;
+    }
+    counters_.frames_delivered.fetch_add(1, std::memory_order_relaxed);
+    counters_.bytes_delivered.fetch_add(consumed, std::memory_order_relaxed);
+    last_scn = frame.scn;
+    sink_->OnFrame(frame);
+    ++expected_seq_;
+    ack_due = true;
+  }
+  buf->erase(0, pos);
+  if (ack_due && expected_seq_ > 1) SendAck(fd, expected_seq_ - 1, last_scn);
+  return true;
+}
+
+void SocketChannel::SendAck(int fd, uint64_t seq, Scn scn) {
+  Frame ack;
+  ack.type = FrameType::kAck;
+  ack.stream = 0;
+  ack.seq = seq;
+  ack.scn = scn;
+  std::string wire;
+  EncodeFrame(ack, &wire);
+  // Best effort: a lost ack is recovered by the next one (cumulative) or by
+  // the sender's retransmit timer.
+  WriteFull(fd, wire.data(), wire.size());
+}
+
+}  // namespace net
+}  // namespace stratus

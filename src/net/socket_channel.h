@@ -1,0 +1,122 @@
+#ifndef STRATUS_NET_SOCKET_CHANNEL_H_
+#define STRATUS_NET_SOCKET_CHANNEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/random.h"
+#include "net/channel.h"
+#include "net/channel_counters.h"
+#include "net/fault_injector.h"
+#include "obs/metrics.h"
+
+namespace stratus {
+namespace net {
+
+/// A real TCP wire over 127.0.0.1. The channel owns both endpoints: a
+/// listener + receiver thread (the "standby" side, delivering into the sink)
+/// and a sender thread that connects, ships queued frames, and reads
+/// cumulative acks back over the same connection.
+///
+/// Reliability model: at-least-once transmission + receiver dedup =
+/// exactly-once delivery.
+///  - Every frame gets a monotone sequence number at Send().
+///  - Unacked frames are retransmitted (go-back-N) after a reconnect or when
+///    ack progress stalls past `retransmit_timeout_us`.
+///  - The receiver delivers only the exact next expected sequence; duplicates
+///    and out-of-order frames are discarded and re-acked.
+///  - A corrupt frame (CRC/framing) poisons the connection: the receiver
+///    drops it, the sender reconnects with exponential backoff + jitter and
+///    replays from the last cumulative ack.
+///
+/// Backpressure: Send() blocks while queued+unacked frames (or bytes) exceed
+/// the send window, which stalls the shipper exactly like a full TCP socket
+/// to a slow standby would.
+class SocketChannel : public Channel {
+ public:
+  SocketChannel(const ChannelOptions& options, FrameSink* sink);
+  ~SocketChannel() override;
+
+  Status Start() override;
+  void Stop() override;
+  Status Send(FrameType type, uint32_t stream, Scn scn,
+              std::string payload) override;
+  bool Idle() const override;
+  void SetPartitioned(bool partitioned) override;
+
+  ChannelStats stats() const override;
+  const ChannelOptions& options() const override { return options_; }
+
+  /// The ephemeral port the receiver is listening on (valid after Start).
+  int port() const { return port_; }
+
+ private:
+  struct PendingFrame {
+    uint64_t seq = 0;
+    std::string wire;     ///< Fully encoded frame bytes.
+    uint32_t transmits = 0;  ///< Times written so far (>1 → retransmit).
+  };
+
+  void SenderLoop();
+  void ReceiverLoop();
+
+  /// Sender-side helpers (sender thread only).
+  int ConnectOnce();
+  bool WriteFull(int fd, const char* data, size_t n);
+  bool TransmitFrame(PendingFrame* frame);
+  bool ReadAcks(int timeout_ms);
+  void HandleAck(uint64_t acked_seq);
+  void CloseSenderConn();
+  void WakeSender();
+
+  /// Receiver-side helpers (receiver thread only).
+  bool DrainConnection(int fd, std::string* buf);
+  void SendAck(int fd, uint64_t seq, Scn scn);
+
+  const ChannelOptions options_;
+  FrameSink* const sink_;
+  FaultInjector faults_;
+  ChannelCounters counters_;
+
+  obs::LatencyHistogram* encode_hist_ = nullptr;
+  obs::LatencyHistogram* decode_hist_ = nullptr;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  int wake_pipe_[2] = {-1, -1};  ///< Send()/Stop() → sender thread wakeup.
+
+  mutable std::mutex mu_;
+  std::condition_variable send_cv_;   ///< Window space freed / shutdown.
+  std::condition_variable drain_cv_;  ///< pending_ emptied.
+  std::deque<PendingFrame> pending_;  ///< Queued + unacked, seq order.
+  size_t pending_bytes_ = 0;
+  size_t inflight_ = 0;  ///< Prefix of pending_ transmitted on this conn.
+  uint64_t next_seq_ = 1;
+  bool accepting_ = false;  ///< Send() admits new frames.
+  bool started_ = false;
+  bool stop_sequence_ran_ = false;
+
+  std::atomic<bool> shutdown_{false};  ///< Thread loops exit.
+
+  // Sender-thread-only state.
+  int conn_fd_ = -1;
+  std::string ack_buf_;
+  int64_t last_progress_us_ = 0;
+  Random backoff_rng_;
+
+  // Receiver-thread-only state.
+  uint64_t expected_seq_ = 1;
+
+  std::thread sender_;
+  std::thread receiver_;
+};
+
+}  // namespace net
+}  // namespace stratus
+
+#endif  // STRATUS_NET_SOCKET_CHANNEL_H_

@@ -1,0 +1,91 @@
+#ifndef STRATUS_NET_WIRE_H_
+#define STRATUS_NET_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace stratus {
+namespace net {
+
+// ---------------------------------------------------------------------------
+// CRC32C (Castagnoli). Software slice-by-8; no hardware dependency, identical
+// results everywhere. Matches the standard CRC-32C test vectors (e.g.
+// Crc32c("123456789") == 0xE3069283).
+// ---------------------------------------------------------------------------
+uint32_t Crc32c(const char* data, size_t n, uint32_t crc = 0);
+inline uint32_t Crc32c(const std::string& s) { return Crc32c(s.data(), s.size()); }
+
+// ---------------------------------------------------------------------------
+// Varints (LEB128, unsigned) and zigzag for signed payloads. The wire codec
+// packs SCNs, DBAs, object ids and row values with these — redo records are
+// mostly small integers, so the varint form is several times denser than the
+// fixed-width accounting encoding in redo/change_vector.cc.
+// ---------------------------------------------------------------------------
+void PutVarint64(std::string* out, uint64_t v);
+bool GetVarint64(const char* data, size_t size, size_t* pos, uint64_t* v);
+inline bool GetVarint64(const std::string& buf, size_t* pos, uint64_t* v) {
+  return GetVarint64(buf.data(), buf.size(), pos, v);
+}
+
+inline uint64_t ZigzagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigzagDecode(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+// ---------------------------------------------------------------------------
+// Frames: the unit of transmission. Layout (little-endian):
+//
+//   [u32 magic][u32 body_len][u32 crc32c(body)][body]
+//   body = [u8 type][varint stream][varint seq][varint scn][payload…]
+//
+// The length prefix makes the stream self-framing; the CRC covers the whole
+// body so any corruption — header fields or payload — is caught before a
+// byte of it is interpreted. `seq` is the channel's per-connection-lifetime
+// sequence number (dedup/ack key); `scn` is the highest SCN the payload
+// covers (observability, SCN-watermark dedup).
+// ---------------------------------------------------------------------------
+enum class FrameType : uint8_t {
+  kRedoBatch = 1,     ///< Payload: codec.h EncodeRedoBatch.
+  kInvalidation = 2,  ///< Payload: codec.h EncodeInvalidationMessage.
+  kAck = 3,           ///< Receiver → sender: cumulative ack of `seq`.
+};
+
+struct Frame {
+  FrameType type = FrameType::kRedoBatch;
+  uint32_t stream = 0;       ///< Source stream id (redo thread / remote id).
+  uint64_t seq = 0;          ///< Channel sequence number (sender-assigned).
+  Scn scn = kInvalidScn;     ///< Highest SCN covered by the payload.
+  std::string payload;
+};
+
+inline constexpr uint32_t kFrameMagic = 0x53464D31;  // "1MFS"
+/// Fixed prefix before the body: magic + body length + body CRC.
+inline constexpr size_t kFramePrefixBytes = 12;
+/// Upper bound on one frame's body; a corrupted length field can therefore
+/// never make the decoder wait for gigabytes that will never arrive.
+inline constexpr size_t kMaxFrameBodyBytes = 64u << 20;
+
+void EncodeFrame(const Frame& frame, std::string* out);
+
+/// Decodes one frame from the front of `data`. Returns:
+///  - OK: `*out` filled, `*consumed` = bytes of `data` used;
+///  - kOutOfRange: the buffer holds only a frame prefix/suffix — read more
+///    bytes and retry (nothing consumed);
+///  - kCorruption: bad magic, oversized length, CRC mismatch, or malformed
+///    body. The connection's framing is no longer trustworthy; callers drop
+///    the connection (the reliable channel retransmits).
+Status DecodeFrame(const char* data, size_t size, Frame* out, size_t* consumed);
+
+/// True for DecodeFrame's "incomplete, need more bytes" result.
+inline bool IsIncomplete(const Status& s) { return s.code() == Code::kOutOfRange; }
+
+}  // namespace net
+}  // namespace stratus
+
+#endif  // STRATUS_NET_WIRE_H_

@@ -1,6 +1,10 @@
 #include "rac/transport.h"
 
 #include <chrono>
+#include <string>
+#include <utility>
+
+#include "net/codec.h"
 
 namespace stratus {
 
@@ -42,9 +46,44 @@ Scn RemoteInstance::CaptureSnapshot(const std::function<void(Scn)>& register_fn)
   return scn;
 }
 
+void InvalidationReceiver::OnFrame(const net::Frame& frame) {
+  if (frame.type != net::FrameType::kInvalidation) return;
+  net::InvalidationMessage msg;
+  if (!net::DecodeInvalidationMessage(frame.payload, &msg).ok()) {
+    decode_failures_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  switch (msg.kind) {
+    case net::InvalKind::kGroups:
+      remote_->OnGroups(msg.groups);
+      break;
+    case net::InvalKind::kCoarse:
+      remote_->OnCoarse(msg.tenant);
+      break;
+    case net::InvalKind::kObjectDrop:
+      remote_->store()->DropObject(msg.object_id);
+      break;
+    case net::InvalKind::kPublish:
+      remote_->OnPublish(msg.scn);
+      break;
+  }
+}
+
 InvalidationChannel::InvalidationChannel(std::vector<RemoteInstance*> remotes,
                                          const TransportOptions& options)
-    : remotes_(std::move(remotes)), options_(options) {}
+    : remotes_(std::move(remotes)), options_(options) {
+  receivers_.reserve(remotes_.size());
+  wire_channels_.reserve(remotes_.size());
+  for (RemoteInstance* remote : remotes_) {
+    receivers_.push_back(std::make_unique<InvalidationReceiver>(remote));
+    net::ChannelOptions copts = options_.channel;
+    if (copts.name.empty()) {
+      copts.name = "inval-" + std::to_string(remote->id());
+    }
+    wire_channels_.push_back(
+        net::CreateChannel(copts, receivers_.back().get()));
+  }
+}
 
 InvalidationChannel::~InvalidationChannel() {
   if (thread_.joinable()) Stop();
@@ -52,6 +91,7 @@ InvalidationChannel::~InvalidationChannel() {
 
 void InvalidationChannel::Start() {
   stop_.store(false, std::memory_order_release);
+  for (auto& channel : wire_channels_) channel->Start();
   thread_ = std::thread([this] { Run(); });
 }
 
@@ -62,6 +102,8 @@ void InvalidationChannel::Stop() {
     cv_.notify_all();
   }
   if (thread_.joinable()) thread_.join();
+  // Drain and close the wires (idempotent; no-op if never started).
+  for (auto& channel : wire_channels_) channel->Stop();
 }
 
 void InvalidationChannel::Enqueue(Message msg) {
@@ -104,8 +146,16 @@ void InvalidationChannel::SendPublish(Scn query_scn) {
 
 bool InvalidationChannel::Drained() const {
   if (remotes_.empty()) return true;
-  std::lock_guard<std::mutex> g(mu_);
-  return queue_.empty() && in_flight_.load(std::memory_order_acquire) == 0;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    if (!queue_.empty() || in_flight_.load(std::memory_order_acquire) != 0) {
+      return false;
+    }
+  }
+  for (const auto& channel : wire_channels_) {
+    if (!channel->Idle()) return false;
+  }
+  return true;
 }
 
 void InvalidationChannel::Run() {
@@ -152,21 +202,36 @@ void InvalidationChannel::Run() {
       }
     }
 
-    for (RemoteInstance* remote : remotes_) {
-      switch (msg.kind) {
-        case Message::Kind::kGroups:
-          remote->OnGroups(msg.groups);
-          break;
-        case Message::Kind::kCoarse:
-          remote->OnCoarse(msg.tenant);
-          break;
-        case Message::Kind::kObjectDrop:
-          remote->store()->DropObject(msg.object_id);
-          break;
-        case Message::Kind::kPublish:
-          remote->OnPublish(msg.scn);
-          break;
-      }
+    // Encode once, ship a copy down every remote's wire. The channel (and
+    // its receiver) preserves per-link order; the loopback wire delivers
+    // synchronously right here, keeping the historical semantics.
+    net::InvalidationMessage wire_msg;
+    switch (msg.kind) {
+      case Message::Kind::kGroups:
+        wire_msg.kind = net::InvalKind::kGroups;
+        wire_msg.groups = std::move(msg.groups);
+        break;
+      case Message::Kind::kCoarse:
+        wire_msg.kind = net::InvalKind::kCoarse;
+        wire_msg.tenant = msg.tenant;
+        break;
+      case Message::Kind::kObjectDrop:
+        wire_msg.kind = net::InvalKind::kObjectDrop;
+        wire_msg.object_id = msg.object_id;
+        break;
+      case Message::Kind::kPublish:
+        wire_msg.kind = net::InvalKind::kPublish;
+        wire_msg.scn = msg.scn;
+        break;
+    }
+    std::string payload;
+    net::EncodeInvalidationMessage(wire_msg, &payload);
+    if (msg.kind == Message::Kind::kGroups) msg.groups = std::move(wire_msg.groups);
+    for (size_t i = 0; i < wire_channels_.size(); ++i) {
+      std::string copy = payload;
+      wire_channels_[i]->Send(net::FrameType::kInvalidation,
+                              static_cast<uint32_t>(remotes_[i]->id()),
+                              wire_msg.scn, std::move(copy));
     }
     messages_sent_.fetch_add(1, std::memory_order_relaxed);
     if (msg.kind == Message::Kind::kGroups) {

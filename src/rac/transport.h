@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <thread>
@@ -14,6 +15,7 @@
 #include "imadg/invalidation.h"
 #include "imcs/im_store.h"
 #include "imcs/population.h"
+#include "net/channel.h"
 #include "txn/txn_table.h"
 
 namespace stratus {
@@ -73,6 +75,27 @@ struct TransportOptions {
   /// round-trip wait. false = stop-and-wait (one RTT per message).
   bool pipelined = true;
   size_t pipeline_depth = 8;
+  /// The wire each master→remote link rides (one net::Channel per remote).
+  /// kLoopback preserves the historical direct-call delivery.
+  net::ChannelOptions channel;
+};
+
+/// Standby-interconnect frame sink for one remote instance: decodes
+/// kInvalidation frames and dispatches them to the remote's delivery
+/// callbacks.
+class InvalidationReceiver : public net::FrameSink {
+ public:
+  explicit InvalidationReceiver(RemoteInstance* remote) : remote_(remote) {}
+
+  void OnFrame(const net::Frame& frame) override;
+
+  uint64_t decode_failures() const {
+    return decode_failures_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  RemoteInstance* remote_;
+  std::atomic<uint64_t> decode_failures_{0};
 };
 
 /// Transport statistics.
@@ -107,10 +130,15 @@ class InvalidationChannel {
   void SendObjectDrop(ObjectId object_id);
   void SendPublish(Scn query_scn);
 
-  /// True when every queued message has been delivered and acknowledged.
+  /// True when every queued message has been delivered and acknowledged —
+  /// including by the per-remote wire channels underneath.
   bool Drained() const;
 
   TransportStats stats() const;
+
+  /// The wire under the link to `remotes[i]` (fault injection, stats).
+  net::Channel* wire_channel(size_t i) { return wire_channels_[i].get(); }
+  size_t wire_channel_count() const { return wire_channels_.size(); }
 
  private:
   struct Message {
@@ -126,6 +154,8 @@ class InvalidationChannel {
 
   std::vector<RemoteInstance*> remotes_;
   TransportOptions options_;
+  std::vector<std::unique_ptr<InvalidationReceiver>> receivers_;
+  std::vector<std::unique_ptr<net::Channel>> wire_channels_;
 
   std::thread thread_;
   std::atomic<bool> stop_{false};

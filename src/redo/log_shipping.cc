@@ -1,8 +1,12 @@
 #include "redo/log_shipping.h"
 
+#include <algorithm>
 #include <chrono>
+#include <string>
+#include <utility>
 
 #include "common/clock.h"
+#include "net/codec.h"
 #include "obs/trace.h"
 
 namespace stratus {
@@ -52,22 +56,72 @@ void ReceivedLog::WaitForProgress(Scn min_watermark, int64_t timeout_us) const {
   });
 }
 
+void RedoStreamReceiver::OnFrame(const net::Frame& frame) {
+  if (frame.type != net::FrameType::kRedoBatch) return;
+  std::vector<RedoRecord> batch;
+  Status s = net::DecodeRedoBatch(frame.payload, &batch);
+  if (!s.ok()) {
+    // The frame CRC passed but the payload is malformed — a codec bug, not a
+    // wire fault. Count it and drop the batch rather than crash the standby.
+    decode_failures_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // Idempotent redelivery: the channel may replay whole batches after a
+  // reconnect; anything at or below the stream's delivered watermark has
+  // already landed. (kInvalidScn == 0 and real SCNs start at 1, so a fresh
+  // stream keeps everything.)
+  const Scn watermark = dest_->DeliveredWatermark();
+  batch.erase(std::remove_if(batch.begin(), batch.end(),
+                             [&](const RedoRecord& rec) {
+                               return rec.scn <= watermark;
+                             }),
+              batch.end());
+  if (!batch.empty()) dest_->Deliver(std::move(batch));
+}
+
+void RedoStreamReceiver::OnChannelClose() { dest_->Close(); }
+
+namespace {
+
+net::ChannelOptions ResolveChannelOptions(const ShipperOptions& options,
+                                          RedoThreadId thread) {
+  net::ChannelOptions channel = options.channel;
+  if (channel.name.empty()) {
+    channel.name = "redo-" + std::to_string(thread);
+  }
+  // Back-compat: the legacy simulated latency knob becomes a wire delay.
+  if (options.network_latency_us > 0 && channel.faults.delay_us == 0) {
+    channel.faults.delay_us = options.network_latency_us;
+  }
+  return channel;
+}
+
+}  // namespace
+
 LogShipper::LogShipper(RedoLog* source, ReceivedLog* dest,
                        const ShipperOptions& options)
-    : source_(source), dest_(dest), options_(options) {}
+    : source_(source),
+      dest_(dest),
+      options_(options),
+      receiver_(dest),
+      channel_(net::CreateChannel(ResolveChannelOptions(options, source->thread()),
+                                  &receiver_)) {}
 
-LogShipper::~LogShipper() {
-  if (thread_.joinable()) Stop();
-}
+LogShipper::~LogShipper() { Stop(); }
 
 void LogShipper::Start() {
   stop_.store(false, std::memory_order_release);
+  channel_->Start();
   thread_ = std::thread([this] { Run(); });
 }
 
 void LogShipper::Stop() {
   stop_.store(true, std::memory_order_release);
+  source_->WakeWaiters();  // End any idle condvar wait immediately.
   if (thread_.joinable()) thread_.join();
+  // Drains the wire (retransmitting as needed), then closes the stream via
+  // RedoStreamReceiver::OnChannelClose. Idempotent.
+  channel_->Stop();
 }
 
 void LogShipper::Run() {
@@ -88,33 +142,38 @@ void LogShipper::Run() {
     if (batch.empty()) {
       if (draining) break;
       const uint64_t now = NowMicros();
-      if (now - last_heartbeat_us >=
-          static_cast<uint64_t>(options_.heartbeat_interval_us)) {
+      const uint64_t heartbeat_due =
+          last_heartbeat_us + static_cast<uint64_t>(options_.heartbeat_interval_us);
+      if (now >= heartbeat_due) {
         // Idle: tick the SCN so the standby merger / QuerySCN can advance.
         source_->AppendHeartbeat();
         last_heartbeat_us = now;
         continue;  // Pull the heartbeat on the next iteration.
       }
-      std::this_thread::sleep_for(std::chrono::microseconds(options_.poll_interval_us));
+      // Sleep until the next heartbeat is due — or until Append wakes us,
+      // which is what makes shipping latency independent of any poll
+      // interval. poll_interval_us floors the wait as the fallback poll.
+      const int64_t wait_us = std::max<int64_t>(
+          options_.poll_interval_us, static_cast<int64_t>(heartbeat_due - now));
+      source_->WaitForAppend(next_seq, wait_us);
       continue;
     }
 
-    // Serialize (the wire format) and account bytes, as the real transport
-    // ships archived/online redo bytes.
+    // Serialize with the wire codec and hand the batch to the channel; Send
+    // blocks when the send window is full, propagating wire backpressure
+    // straight to the shipper (and, via the redo log, to the primary).
     STRATUS_SPAN(obs::Stage::kLogShip, batch.back().scn);
-    std::string wire;
-    for (const RedoRecord& rec : batch) EncodeRedoRecord(rec, &wire);
-    bytes_shipped_.fetch_add(wire.size(), std::memory_order_relaxed);
-    records_shipped_.fetch_add(batch.size(), std::memory_order_relaxed);
-    last_shipped_scn_.store(batch.back().scn, std::memory_order_relaxed);
-
-    if (options_.network_latency_us > 0) {
-      std::this_thread::sleep_for(std::chrono::microseconds(options_.network_latency_us));
-    }
-    dest_->Deliver(std::move(batch));
+    std::string payload;
+    net::EncodeRedoBatch(batch, &payload);
+    const size_t batch_records = batch.size();
+    const Scn batch_scn = batch.back().scn;
+    Status s = channel_->Send(net::FrameType::kRedoBatch, source_->thread(),
+                              batch_scn, std::move(payload));
+    if (!s.ok()) break;  // Channel already stopped under us.
+    records_shipped_.fetch_add(batch_records, std::memory_order_relaxed);
+    last_shipped_scn_.store(batch_scn, std::memory_order_relaxed);
     source_->Trim(next_seq);
   }
-  dest_->Close();
 }
 
 }  // namespace stratus

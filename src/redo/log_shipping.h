@@ -6,11 +6,13 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/types.h"
+#include "net/channel.h"
 #include "redo/change_vector.h"
 #include "redo/redo_log.h"
 
@@ -56,20 +58,49 @@ class ReceivedLog {
 
 /// Options for one redo-transport connection.
 struct ShipperOptions {
-  /// Poll interval when the source log is idle.
+  /// Fallback idle-poll bound. The shipper normally sleeps on the redo log's
+  /// append condition variable and wakes the moment a record lands; this
+  /// interval only paces the paused state and caps condvar-miss latency.
   int64_t poll_interval_us = 200;
-  /// Simulated one-way network latency applied to every batch.
+  /// Simulated one-way network latency applied to every batch. Folded into
+  /// the channel's fault delay (kept for back-compat with older configs).
   int64_t network_latency_us = 0;
   /// Max records pulled per batch.
   size_t max_batch = 512;
   /// Emit an SCN heartbeat when idle at least this often, so the standby's
   /// merger (and hence the QuerySCN) can advance across idle streams.
   int64_t heartbeat_interval_us = 2000;
+  /// The wire this stream rides. The default kLoopback keeps the historical
+  /// deterministic in-process path; kSocket ships every batch over real TCP.
+  net::ChannelOptions channel;
+};
+
+/// Standby-side frame sink for one redo stream: decodes kRedoBatch frames,
+/// drops records at or below the stream's delivered-SCN watermark (idempotent
+/// redelivery — the channel may replay batches across reconnects), and lands
+/// the rest in the ReceivedLog. Channel close closes the stream.
+class RedoStreamReceiver : public net::FrameSink {
+ public:
+  explicit RedoStreamReceiver(ReceivedLog* dest) : dest_(dest) {}
+
+  void OnFrame(const net::Frame& frame) override;
+  void OnChannelClose() override;
+
+  /// Frames whose payload failed to decode (dropped; never delivered).
+  uint64_t decode_failures() const {
+    return decode_failures_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  ReceivedLog* dest_;
+  std::atomic<uint64_t> decode_failures_{0};
 };
 
 /// Ships one primary redo stream to one standby `ReceivedLog` over a
-/// simulated network: a background thread pulls appended records, serializes
-/// them (bytes accounted), applies the configured latency, and delivers.
+/// net::Channel: a background thread pulls appended records (condvar wakeup,
+/// poll fallback), encodes them with the wire codec, and Send()s them; the
+/// channel's receiver end decodes and delivers. Backpressure from the channel
+/// (full send window, partition) blocks the shipper thread.
 class LogShipper {
  public:
   LogShipper(RedoLog* source, ReceivedLog* dest, const ShipperOptions& options);
@@ -79,8 +110,9 @@ class LogShipper {
   LogShipper& operator=(const LogShipper&) = delete;
 
   void Start();
-  /// Drains everything appended before the call, then stops and closes the
-  /// destination stream.
+  /// Drains everything appended before the call through the channel
+  /// (retransmitting as needed), then stops and closes the destination
+  /// stream.
   void Stop();
 
   /// Fault-injection hook: while paused the shipper pulls nothing and emits
@@ -92,9 +124,14 @@ class LogShipper {
   }
   bool paused() const { return paused_.load(std::memory_order_acquire); }
 
-  uint64_t bytes_shipped() const { return bytes_shipped_.load(std::memory_order_relaxed); }
+  /// Encoded wire bytes accepted by the channel (frame overhead included).
+  uint64_t bytes_shipped() const { return channel_->stats().bytes_sent; }
   uint64_t records_shipped() const { return records_shipped_.load(std::memory_order_relaxed); }
   Scn last_shipped_scn() const { return last_shipped_scn_.load(std::memory_order_relaxed); }
+
+  /// The wire underneath (fault injection, stats, metrics export).
+  net::Channel* channel() { return channel_.get(); }
+  const net::Channel* channel() const { return channel_.get(); }
 
  private:
   void Run();
@@ -102,11 +139,12 @@ class LogShipper {
   RedoLog* source_;
   ReceivedLog* dest_;
   ShipperOptions options_;
+  RedoStreamReceiver receiver_;
+  std::unique_ptr<net::Channel> channel_;
 
   std::thread thread_;
   std::atomic<bool> stop_{false};
   std::atomic<bool> paused_{false};
-  std::atomic<uint64_t> bytes_shipped_{0};
   std::atomic<uint64_t> records_shipped_{0};
   std::atomic<Scn> last_shipped_scn_{kInvalidScn};
 };

@@ -1,5 +1,7 @@
 #include "redo/redo_log.h"
 
+#include <chrono>
+
 namespace stratus {
 
 Scn RedoLog::Append(std::vector<ChangeVector> cvs) {
@@ -13,6 +15,7 @@ Scn RedoLog::Append(std::vector<ChangeVector> cvs) {
   records_.push_back(std::move(rec));
   last_scn_.store(scn, std::memory_order_release);
   total_records_.fetch_add(1, std::memory_order_relaxed);
+  append_cv_.notify_all();
   return scn;
 }
 
@@ -29,6 +32,7 @@ Scn RedoLog::AppendHeartbeat() {
   records_.push_back(std::move(rec));
   last_scn_.store(scn, std::memory_order_release);
   total_records_.fetch_add(1, std::memory_order_relaxed);
+  append_cv_.notify_all();
   return scn;
 }
 
@@ -57,5 +61,17 @@ uint64_t RedoLog::NextSeq() const {
   std::lock_guard<std::mutex> g(mu_);
   return base_seq_ + records_.size();
 }
+
+bool RedoLog::WaitForAppend(uint64_t from_seq, int64_t timeout_us) const {
+  std::unique_lock<std::mutex> l(mu_);
+  if (base_seq_ + records_.size() > from_seq) return true;
+  // A single bounded wait, deliberately without a predicate loop: any notify
+  // (append, or WakeWaiters at shutdown) ends the wait so the caller can
+  // re-check its own state; the timeout is the fallback poll.
+  append_cv_.wait_for(l, std::chrono::microseconds(timeout_us));
+  return base_seq_ + records_.size() > from_seq;
+}
+
+void RedoLog::WakeWaiters() const { append_cv_.notify_all(); }
 
 }  // namespace stratus

@@ -61,6 +61,16 @@ class RedoLog {
   /// Returns the sequence one past the last copied record. Non-blocking.
   uint64_t ReadFrom(uint64_t from_seq, size_t max, std::vector<RedoRecord>* out) const;
 
+  /// Blocks until a record with sequence >= `from_seq` exists (i.e. there is
+  /// something for a cursor at `from_seq` to read), any waiter wakeup fires,
+  /// or `timeout_us` elapses. Returns true when there is something to read.
+  /// Shippers use this instead of a fixed-interval idle poll: Append wakes
+  /// them immediately.
+  bool WaitForAppend(uint64_t from_seq, int64_t timeout_us) const;
+
+  /// Wakes all WaitForAppend waiters without appending (shipper shutdown).
+  void WakeWaiters() const;
+
   /// Discards retained records with sequence < `before_seq` (already shipped).
   void Trim(uint64_t before_seq);
 
@@ -77,6 +87,7 @@ class RedoLog {
   ScnAllocator* scns_;
 
   mutable std::mutex mu_;
+  mutable std::condition_variable append_cv_;
   std::deque<RedoRecord> records_;
   uint64_t base_seq_ = 0;  ///< Sequence of records_.front().
   std::atomic<Scn> last_scn_{kInvalidScn};
