@@ -4,9 +4,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <fstream>
+
 #include "common/random.h"
 #include "imcs/population.h"
 #include "imcs/scan_engine.h"
+#include "obs/metrics.h"
 #include "txn/txn_manager.h"
 
 namespace stratus {
@@ -60,6 +63,25 @@ class ScanFixture {
     return n;
   }
 
+  /// Full-table SUM(n1) with aggregation push-down at the given DOP — the
+  /// heaviest per-row columnar work the engine does, so the DOP sweep
+  /// measures the parallel decomposition rather than dispatch overhead.
+  uint64_t ScanSumAtDop(bool use_imcs, size_t dop) {
+    ReadView view;
+    view.snapshot_scn = mgr_.visible_scn();
+    view.resolver = &txns_;
+    std::vector<const ImStore*> stores;
+    if (use_imcs) stores.push_back(&im_store_);
+    ScanEngine engine;
+    ScanOptions options;
+    options.dop = dop;
+    AggState agg;
+    (void)engine.Scan(table_, {}, view, stores, cache_, [](const Row&) {},
+                      nullptr, /*needs_rows=*/false, /*expressions=*/nullptr,
+                      ScanAggregate{AggKind::kSum, 1}, &agg, options);
+    return agg.count;
+  }
+
   void InvalidateFraction(double fraction) {
     Random rng(7);
     for (const auto& smu : im_store_.SmusForObject(10)) {
@@ -111,6 +133,29 @@ void BM_ImcsScan(benchmark::State& state) {
 }
 BENCHMARK(BM_ImcsScan)->Unit(benchmark::kMicrosecond);
 
+// DOP sweep over the parallel scan (per-IMCU tasks + row-path chunks merged
+// in task order). Speedup requires cores; on a 1-core host the sweep mostly
+// measures decomposition overhead staying flat.
+void BM_ImcsScanParallel(benchmark::State& state) {
+  ScanFixture& f = Fixture();
+  const size_t dop = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.ScanSumAtDop(true, dop));
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * kRowsPerBlock);
+}
+BENCHMARK(BM_ImcsScanParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
+
+void BM_RowStoreScanParallel(benchmark::State& state) {
+  ScanFixture& f = Fixture();
+  const size_t dop = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.ScanSumAtDop(false, dop));
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * kRowsPerBlock);
+}
+BENCHMARK(BM_RowStoreScanParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
 void BM_ImcsScanStorageIndexMiss(benchmark::State& state) {
   // Pivot outside every IMCU's min/max: pure storage-index pruning.
   ScanFixture& f = Fixture();
@@ -152,6 +197,18 @@ void BM_Population(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Population)->Unit(benchmark::kMillisecond);
+
+/// At exit, dumps the global registry — including the shared scan pool's
+/// `stratus_scan_*` task/latency series exercised by the DOP sweep — to
+/// micro_scan_metrics.json, mirroring the harness binaries' dumps. The
+/// registry is heap-allocated and never destroyed, so exporting from a static
+/// destructor is safe.
+struct MetricsDumper {
+  ~MetricsDumper() {
+    std::ofstream out("micro_scan_metrics.json", std::ios::trunc);
+    if (out) out << obs::MetricsRegistry::Global().ExportJson();
+  }
+} g_metrics_dumper;
 
 }  // namespace
 }  // namespace stratus

@@ -3,10 +3,12 @@
 #
 #   plain : RelWithDebInfo build, full ctest suite.
 #   tsan  : ThreadSanitizer build of the concurrency-heavy targets
-#           (metrics_test, latch_test, redo_apply_test, net_test) — the
-#           metrics registry, latches, redo-apply engine and the socket
-#           channel's sender/receiver threads are the hot lock-free/locked
-#           paths a data race would hide in.
+#           (metrics_test, latch_test, thread_pool_test, redo_apply_test,
+#           scan_engine_test, query_test, consistency_test, net_test) — the
+#           metrics registry, latches, the scan thread pool and the parallel
+#           scan's DOP>1 worker/merge paths, the redo-apply engine and the
+#           socket channel's sender/receiver threads are the hot
+#           lock-free/locked paths a data race would hide in.
 #   asan  : Address+UndefinedBehaviorSanitizer build of the wire/transport
 #           targets (net_test, log_shipping_test, transport_test) — the
 #           codec's byte-level parsing and the channels' buffer handling are
@@ -22,7 +24,7 @@ STAGE="${1:-all}"
 PREFIX="${2:-build-ci}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-TSAN_TESTS="metrics_test latch_test redo_apply_test net_test"
+TSAN_TESTS="metrics_test latch_test thread_pool_test redo_apply_test scan_engine_test query_test consistency_test net_test"
 ASAN_TESTS="net_test log_shipping_test transport_test"
 
 run_plain() {

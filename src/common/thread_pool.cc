@@ -1,0 +1,139 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/clock.h"
+
+namespace stratus {
+
+ThreadPool::ThreadPool(size_t num_threads, obs::MetricsRegistry* registry,
+                       const char* metric_prefix) {
+  if (registry == nullptr) registry = &obs::MetricsRegistry::Global();
+  const std::string prefix(metric_prefix);
+  tasks_ = registry->GetCounter(prefix + "_tasks");
+  queue_wait_us_ = registry->GetHistogram(prefix + "_task_queue_wait_us");
+  task_latency_us_ = registry->GetHistogram(prefix + "_task_latency_us");
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i)
+    threads_.emplace_back([this] { WorkerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+ThreadPool* ThreadPool::Shared() {
+  // Leaked on purpose: scans may run until process exit, and a static
+  // destructor racing in-flight ParallelFor callers would be worse.
+  static ThreadPool* pool = [] {
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0) hw = 4;
+    return new ThreadPool(hw > 1 ? hw - 1 : 1, &obs::MetricsRegistry::Global(),
+                          "stratus_scan");
+  }();
+  return pool;
+}
+
+size_t ThreadPool::RunBatch(Batch* batch, bool /*is_pool_worker*/) {
+  size_t ran = 0;
+  while (true) {
+    const size_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch->n) break;
+    const uint64_t start_us = NowMicros();
+    if (start_us >= batch->enqueued_us)
+      queue_wait_us_->Record(start_us - batch->enqueued_us);
+    (*batch->fn)(i);
+    task_latency_us_->Record(NowMicros() - start_us);
+    tasks_->Inc();
+    ++ran;
+    // acq_rel so the caller's acquire read of the final count sees every
+    // worker's writes (each fetch_add joins the release sequence).
+    if (batch->done.fetch_add(1, std::memory_order_acq_rel) + 1 == batch->n) {
+      std::lock_guard<std::mutex> g(batch->mu);
+      batch->cv.notify_all();
+    }
+  }
+  return ran;
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> l(mu_);
+  while (true) {
+    std::shared_ptr<Batch> batch;
+    for (auto it = queue_.begin(); it != queue_.end();) {
+      Batch* b = it->get();
+      if (b->next.load(std::memory_order_relaxed) >= b->n) {
+        it = queue_.erase(it);  // Exhausted: the owner holds its own ref.
+        continue;
+      }
+      if (b->pool_workers.load(std::memory_order_relaxed) <
+          b->max_pool_workers) {
+        b->pool_workers.fetch_add(1, std::memory_order_relaxed);
+        batch = *it;
+        break;
+      }
+      ++it;
+    }
+    if (batch == nullptr) {
+      if (stop_) return;
+      work_cv_.wait(l);
+      continue;
+    }
+    l.unlock();
+    RunBatch(batch.get(), /*is_pool_worker=*/true);
+    l.lock();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, size_t max_parallel,
+                             const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  const size_t pool_share =
+      std::min(threads_.size(), max_parallel > 0 ? max_parallel - 1 : size_t{0});
+  if (n == 1 || pool_share == 0) {
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t start_us = NowMicros();
+      fn(i);
+      task_latency_us_->Record(NowMicros() - start_us);
+      tasks_->Inc();
+    }
+    return;
+  }
+
+  auto batch = std::make_shared<Batch>();
+  batch->fn = &fn;
+  batch->n = n;
+  // The caller takes one execution lane itself.
+  batch->max_pool_workers = std::min(pool_share, n - 1);
+  batch->enqueued_us = NowMicros();
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    queue_.push_back(batch);
+  }
+  work_cv_.notify_all();
+
+  RunBatch(batch.get(), /*is_pool_worker=*/false);
+
+  {
+    std::unique_lock<std::mutex> l(batch->mu);
+    batch->cv.wait(l, [&] {
+      return batch->done.load(std::memory_order_acquire) == batch->n;
+    });
+  }
+  // Drop the queue's reference if no worker pruned it yet.
+  std::lock_guard<std::mutex> g(mu_);
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->get() == batch.get()) {
+      queue_.erase(it);
+      break;
+    }
+  }
+}
+
+}  // namespace stratus

@@ -1,0 +1,102 @@
+#ifndef STRATUS_COMMON_THREAD_POOL_H_
+#define STRATUS_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace stratus {
+
+/// A shared fixed-size worker pool for CPU-parallel work, built around one
+/// primitive: `ParallelFor`, a blocking parallel loop with an internal
+/// barrier. Used by the In-Memory Scan Engine to run per-IMCU and row-path
+/// chunk tasks across cores (the paper's standby analytics are served by
+/// columnar scans; the engine's DOP maps onto this pool).
+///
+/// Design points:
+///  - The *calling* thread always participates in its own batch, so a
+///    ParallelFor makes progress even when every pool worker is busy (or the
+///    pool has zero threads), and nested ParallelFor calls from inside a task
+///    cannot deadlock.
+///  - Work is claimed index-at-a-time from an atomic cursor, so task
+///    granularity is the caller's decomposition and idle workers self-balance
+///    across uneven tasks.
+///  - Observability: every executed task counts into `<prefix>_tasks`, its
+///    enqueue-to-start delay into `<prefix>_task_queue_wait_us`, and its run
+///    time into `<prefix>_task_latency_us` (registered in the pool's metrics
+///    registry).
+class ThreadPool {
+ public:
+  /// `num_threads` pool workers (0 is valid: ParallelFor then runs entirely
+  /// on callers). Metrics register into `registry` (null → the process-wide
+  /// registry) under `metric_prefix`.
+  explicit ThreadPool(size_t num_threads,
+                      obs::MetricsRegistry* registry = nullptr,
+                      const char* metric_prefix = "stratus_pool");
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// The process-wide pool shared by every scan engine, lazily created with
+  /// hardware_concurrency - 1 workers (callers contribute the final lane) and
+  /// `stratus_scan` metric prefix in the global registry. Never destroyed.
+  static ThreadPool* Shared();
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Runs `fn(i)` exactly once for every i in [0, n), then returns (barrier).
+  /// At most `max_parallel` executors run concurrently: up to
+  /// `max_parallel - 1` pool workers plus the calling thread, which always
+  /// helps. `max_parallel <= 1` or `n <= 1` runs inline on the caller with no
+  /// synchronization. `fn` must be safe to invoke concurrently for distinct
+  /// indices.
+  void ParallelFor(size_t n, size_t max_parallel,
+                   const std::function<void(size_t)>& fn);
+
+  /// Total tasks executed (pool workers + helping callers). Diagnostic.
+  uint64_t tasks_run() const { return tasks_->Value(); }
+
+ private:
+  /// One ParallelFor invocation: an index cursor plus completion accounting.
+  struct Batch {
+    const std::function<void(size_t)>* fn = nullptr;
+    size_t n = 0;
+    std::atomic<size_t> next{0};           ///< Next index to claim.
+    std::atomic<size_t> done{0};           ///< Completed indices.
+    std::atomic<size_t> pool_workers{0};   ///< Pool workers attached.
+    size_t max_pool_workers = 0;
+    uint64_t enqueued_us = 0;
+
+    std::mutex mu;
+    std::condition_variable cv;  ///< Signals the caller when done == n.
+  };
+
+  void WorkerLoop();
+  /// Claims and runs indices of `batch` until exhausted. Returns the number
+  /// of tasks this thread executed.
+  size_t RunBatch(Batch* batch, bool record_queue_wait);
+
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::shared_ptr<Batch>> queue_;
+  bool stop_ = false;
+
+  obs::Counter* tasks_ = nullptr;
+  obs::LatencyHistogram* queue_wait_us_ = nullptr;
+  obs::LatencyHistogram* task_latency_us_ = nullptr;
+};
+
+}  // namespace stratus
+
+#endif  // STRATUS_COMMON_THREAD_POOL_H_

@@ -29,6 +29,8 @@ void ExportScanTotals(obs::MetricsSink* sink, const obs::Labels& labels,
                 t.blocks_rowpath.load(std::memory_order_relaxed));
   sink->Counter("stratus_scan_invalid_rowpath", labels,
                 t.invalid_rowpath.load(std::memory_order_relaxed));
+  sink->Counter("stratus_scan_parallel_tasks", labels,
+                t.parallel_tasks.load(std::memory_order_relaxed));
 }
 
 void ExportBufferCache(obs::MetricsSink* sink, const obs::Labels& labels,
@@ -219,6 +221,7 @@ QueryContext PrimaryDb::MakeQueryContext() {
   if (im_store_ != nullptr) ctx.stores.push_back(im_store_.get());
   ctx.snapshots = txn_mgr_.snapshots();
   ctx.expressions = &im_exprs_;
+  ctx.default_dop = options_.scan_dop;
   return ctx;
 }
 
@@ -748,6 +751,7 @@ QueryContext StandbyDb::MakeQueryContext() const {
   for (const auto& inst : instances_) ctx.stores.push_back(inst.store.get());
   ctx.snapshots = const_cast<SnapshotRegistry*>(&snapshots_);
   ctx.expressions = &im_exprs_;
+  ctx.default_dop = options_.scan_dop;
   return ctx;
 }
 
@@ -756,6 +760,12 @@ StatusOr<QueryResult> StandbyDb::Query(const ScanQuery& query, InstanceId instan
   if (scn == kInvalidScn)
     return Status::Unavailable("no QuerySCN published yet");
   return query_engine_.ExecuteScan(MakeQueryContext(), query, scn);
+}
+
+StatusOr<QueryResult> StandbyDb::QueryAt(const ScanQuery& query, Scn snapshot) {
+  if (snapshot == kInvalidScn)
+    return Status::InvalidArgument("invalid snapshot SCN");
+  return query_engine_.ExecuteScan(MakeQueryContext(), query, snapshot);
 }
 
 StatusOr<QueryResult> StandbyDb::Join(const JoinQuery& query, InstanceId instance) {

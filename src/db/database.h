@@ -64,6 +64,11 @@ struct DatabaseOptions {
   /// DBIM on the primary itself (dual-format primary).
   bool primary_imcs_enabled = true;
 
+  /// Default scan degree of parallelism for queries that leave
+  /// `ScanQuery::dop` / `JoinQuery::dop` at 0. 1 = serial (the seed
+  /// behavior); >1 fans each scan out over the shared ThreadPool.
+  uint32_t scan_dop = 1;
+
   /// Metrics registry every component publishes into. Null means the
   /// process-wide obs::MetricsRegistry::Global(); tests pass their own for
   /// isolation.
@@ -229,6 +234,11 @@ class StandbyDb : public ApplySink {
   Scn WaitForQueryScn(Scn target, int64_t timeout_us) const;
   StatusOr<QueryResult> Query(const ScanQuery& query,
                               InstanceId instance = kMasterInstance);
+  /// Runs the scan at an explicit snapshot SCN instead of the live QuerySCN
+  /// (must be at or below the published QuerySCN to see consistent data).
+  /// Lets callers pin one consistency point across several executions — the
+  /// DOP-sweep tests re-run one query at every DOP against the same SCN.
+  StatusOr<QueryResult> QueryAt(const ScanQuery& query, Scn snapshot);
   StatusOr<QueryResult> Join(const JoinQuery& query,
                              InstanceId instance = kMasterInstance);
   StatusOr<std::optional<Row>> Fetch(ObjectId object, int64_t key,

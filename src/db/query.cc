@@ -23,67 +23,34 @@ StatusOr<QueryResult> QueryEngine::ExecuteScan(const QueryContext& ctx,
 
   QueryResult result;
   result.snapshot = snapshot;
-
-  bool agg_started = false;
-  auto fold = [&](int64_t x) {
-    if (!agg_started) {
-      result.agg_int = x;
-      agg_started = true;
-    } else if (query.agg == AggKind::kSum) {
-      result.agg_int += x;
-    } else if (query.agg == AggKind::kMin) {
-      result.agg_int = std::min(result.agg_int, x);
-    } else {
-      result.agg_int = std::max(result.agg_int, x);
-    }
-  };
-  auto sink = [&](const Row& row) {
-    ++result.count;
-    switch (query.agg) {
-      case AggKind::kNone:
-        result.rows.push_back(row);
-        return;
-      case AggKind::kCount:
-        return;
-      case AggKind::kSum:
-      case AggKind::kMin:
-      case AggKind::kMax: {
-        if (query.agg_column >= row.size()) return;
-        const Value& v = row[query.agg_column];
-        if (v.type() != ValueType::kInt) return;
-        fold(v.as_int());
-        return;
-      }
-    }
-  };
+  auto sink = [&](const Row& row) { result.rows.push_back(row); };
 
   // In-Memory Expressions registered for this object (virtual columns).
   std::vector<Expression> exprs;
   if (ctx.expressions != nullptr) exprs = ctx.expressions->For(query.object);
 
-  // Aggregation push-down ([11]): kSum/kMin/kMax fold straight off the
-  // encoded column for IMCS-served rows, skipping materialization.
-  ImcsMatchHook hook;
-  const ImcsMatchHook* hook_ptr = nullptr;
-  if (query.agg == AggKind::kSum || query.agg == AggKind::kMin ||
-      query.agg == AggKind::kMax) {
-    hook = [&](const Imcu& imcu, uint32_t r) {
-      ++result.count;
-      if (query.agg_column >= imcu.num_columns()) return;
-      const Value v = imcu.column(query.agg_column).Get(r);
-      if (v.type() == ValueType::kInt) fold(v.as_int());
-    };
-    hook_ptr = &hook;
-  }
+  // Aggregation push-down ([11]): the scan engine counts and folds
+  // kSum/kMin/kMax per worker — straight off the encoded column for
+  // IMCS-served rows, skipping materialization — and merges the partials
+  // deterministically.
+  const ScanAggregate agg{query.agg, query.agg_column};
+  AggState agg_state;
 
   const std::vector<const ImStore*> stores =
       query.force_row_store ? std::vector<const ImStore*>{} : ctx.stores;
   // COUNT needs no row images from the IMCS: skip materialization.
   const bool needs_rows = query.agg != AggKind::kCount;
+  ScanOptions scan_options;
+  scan_options.dop = query.dop != 0 ? query.dop : ctx.default_dop;
+  scan_options.pool = ctx.pool;
   STRATUS_RETURN_IF_ERROR(scan_engine_.Scan(
       *table, query.predicates, view, stores, *ctx.cache, sink, &result.stats,
-      needs_rows, exprs.empty() ? nullptr : &exprs, hook_ptr));
-  result.agg_valid = agg_started || query.agg == AggKind::kCount;
+      needs_rows, exprs.empty() ? nullptr : &exprs, agg, &agg_state,
+      scan_options));
+  result.count =
+      query.agg == AggKind::kNone ? result.rows.size() : agg_state.count;
+  result.agg_int = agg_state.acc;
+  result.agg_valid = agg_state.started || query.agg == AggKind::kCount;
   totals_.scans.fetch_add(1, std::memory_order_relaxed);
   totals_.Add(result.stats);
   return result;
@@ -92,10 +59,13 @@ StatusOr<QueryResult> QueryEngine::ExecuteScan(const QueryContext& ctx,
 StatusOr<QueryResult> QueryEngine::ExecuteJoin(const QueryContext& ctx,
                                                const JoinQuery& query,
                                                Scn snapshot) const {
-  // Build side (right input).
+  // Build side (right input). The baseline switch and DOP apply to both
+  // sides of the join.
   ScanQuery build;
   build.object = query.right;
   build.predicates = query.right_predicates;
+  build.force_row_store = query.force_row_store;
+  build.dop = query.dop;
   StatusOr<QueryResult> build_result = ExecuteScan(ctx, build, snapshot);
   if (!build_result.ok()) return build_result.status();
 
@@ -134,9 +104,15 @@ StatusOr<QueryResult> QueryEngine::ExecuteJoin(const QueryContext& ctx,
       ++result.count;
     }
   };
-  STRATUS_RETURN_IF_ERROR(scan_engine_.Scan(*left, query.left_predicates, view,
-                                            ctx.stores, *ctx.cache, sink,
-                                            &result.stats));
+  const std::vector<const ImStore*> probe_stores =
+      query.force_row_store ? std::vector<const ImStore*>{} : ctx.stores;
+  ScanOptions scan_options;
+  scan_options.dop = query.dop != 0 ? query.dop : ctx.default_dop;
+  scan_options.pool = ctx.pool;
+  STRATUS_RETURN_IF_ERROR(scan_engine_.Scan(
+      *left, query.left_predicates, view, probe_stores, *ctx.cache, sink,
+      &result.stats, /*needs_rows=*/true, /*expressions=*/nullptr,
+      ScanAggregate{}, nullptr, scan_options));
   totals_.joins.fetch_add(1, std::memory_order_relaxed);
   totals_.Add(result.stats);
   return result;

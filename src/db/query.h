@@ -18,8 +18,8 @@
 
 namespace stratus {
 
-/// Aggregate applied to the matching rows.
-enum class AggKind : uint8_t { kNone = 0, kCount, kSum, kMin, kMax };
+// AggKind lives in imcs/scan_engine.h (aggregation push-down folds inside
+// the scan engine's workers); re-exported here for query authors.
 
 /// A filtered full-table scan, the query shape of the paper's evaluation
 /// (Table 1: `SELECT * FROM t WHERE n1 = :1` / `WHERE c1 = :2`).
@@ -30,6 +30,8 @@ struct ScanQuery {
   bool force_row_store = false;
   AggKind agg = AggKind::kNone;
   uint32_t agg_column = 0;  ///< For kSum/kMin/kMax (integer columns).
+  /// Degree of parallelism for the scan; 0 = the context's default DOP.
+  uint32_t dop = 0;
 };
 
 /// An equi-join between two scans (dimension-style joins of Figure 2): each
@@ -41,6 +43,11 @@ struct JoinQuery {
   uint32_t right_column = 0;
   std::vector<Predicate> left_predicates;
   std::vector<Predicate> right_predicates;
+  /// Bypass the IMCS on both build and probe sides (the paper's "without
+  /// DBIM" baseline for Figure 2-style joins).
+  bool force_row_store = false;
+  /// Degree of parallelism for both sides' scans; 0 = the context default.
+  uint32_t dop = 0;
 };
 
 /// Query execution outcome.
@@ -65,6 +72,11 @@ struct QueryContext {
   SnapshotRegistry* snapshots = nullptr;  ///< Optional (GC watermark).
   /// In-Memory Expressions for virtual-column predicates/aggregates.
   const ImExpressionRegistry* expressions = nullptr;
+  /// Scan DOP applied when a query leaves its `dop` at 0 (from
+  /// DatabaseOptions::scan_dop). 0/1 = serial.
+  uint32_t default_dop = 1;
+  /// Worker pool for parallel scans; null = ThreadPool::Shared().
+  ThreadPool* pool = nullptr;
 };
 
 /// Cumulative scan accounting across every query executed by one engine;
@@ -81,6 +93,7 @@ struct ScanTotals {
   std::atomic<uint64_t> imcus_skipped{0};
   std::atomic<uint64_t> blocks_rowpath{0};
   std::atomic<uint64_t> invalid_rowpath{0};
+  std::atomic<uint64_t> parallel_tasks{0};
 
   void Add(const ScanStats& s) {
     rows_from_imcs.fetch_add(s.rows_from_imcs, std::memory_order_relaxed);
@@ -90,6 +103,7 @@ struct ScanTotals {
     imcus_skipped.fetch_add(s.imcus_skipped, std::memory_order_relaxed);
     blocks_rowpath.fetch_add(s.blocks_rowpath, std::memory_order_relaxed);
     invalid_rowpath.fetch_add(s.invalid_rowpath, std::memory_order_relaxed);
+    parallel_tasks.fetch_add(s.parallel_tasks, std::memory_order_relaxed);
   }
 };
 

@@ -1,32 +1,42 @@
 #include "imcs/scan_engine.h"
 
+#include <algorithm>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
+
+#include "common/thread_pool.h"
 
 namespace stratus {
 
 namespace {
 
 bool CompareValues(const Value& a, PredOp op, const Value& b) {
+  // Value is a total order (NULL first, then by type tag, then by payload),
+  // and NULL / type-mismatched operands were rejected before we get here, so
+  // kLe/kGe are single complemented comparisons.
   switch (op) {
     case PredOp::kEq: return a == b;
     case PredOp::kNe: return !(a == b);
     case PredOp::kLt: return a < b;
-    case PredOp::kLe: return a < b || a == b;
+    case PredOp::kLe: return !(b < a);
     case PredOp::kGt: return b < a;
-    case PredOp::kGe: return b < a || a == b;
+    case PredOp::kGe: return !(a < b);
   }
   return false;
 }
 
 }  // namespace
 
-bool EvalPredicate(const Row& row, const Predicate& pred) {
-  if (pred.column >= row.size()) return false;
-  const Value& v = row[pred.column];
+bool EvalPredicateValue(const Value& v, const Predicate& pred) {
   if (v.is_null() || pred.value.is_null()) return false;  // SQL 3VL: unknown.
   if (v.type() != pred.value.type()) return false;
   return CompareValues(v, pred.op, pred.value);
+}
+
+bool EvalPredicate(const Row& row, const Predicate& pred) {
+  if (pred.column >= row.size()) return false;
+  return EvalPredicateValue(row[pred.column], pred);
 }
 
 bool EvalPredicates(const Row& row, const std::vector<Predicate>& preds) {
@@ -47,12 +57,23 @@ void ExtendWithExpressions(const std::vector<Expression>* expressions, Row* row)
   for (const Expression& e : *expressions) row->push_back(e.Eval(base));
 }
 
+/// Counts/folds one matching row-path row into an aggregate partial: every
+/// match counts; kSum/kMin/kMax additionally fold an in-range integer value.
+void FoldRowMatch(const ScanAggregate& agg, const Row& row, AggState* out) {
+  ++out->count;
+  if (agg.kind == AggKind::kNone || agg.kind == AggKind::kCount) return;
+  if (agg.column >= row.size()) return;
+  const Value& v = row[agg.column];
+  if (v.type() == ValueType::kInt) out->Fold(agg.kind, v.as_int());
+}
+
 }  // namespace
 
 void ScanEngine::ScanBlockRowPath(Dba dba, const std::vector<Predicate>& preds,
                                   const ReadView& view, const BufferCache& cache,
-                                  const RowSink& sink, ScanStats* stats,
-                                  const std::vector<Expression>* expressions) const {
+                                  const std::vector<Expression>* expressions,
+                                  const ScanAggregate& agg, const RowSink& emit,
+                                  ScanStats* stats, AggState* agg_out) const {
   Block* block = cache.Get(dba);
   if (block == nullptr) return;
   ++stats->blocks_rowpath;
@@ -61,9 +82,148 @@ void ScanEngine::ScanBlockRowPath(Dba dba, const std::vector<Predicate>& preds,
   for (SlotId slot = 0; slot < used; ++slot) {
     if (!block->ReadRow(slot, view, &row).ok()) continue;
     ExtendWithExpressions(expressions, &row);
-    if (EvalPredicates(row, preds)) {
+    if (!EvalPredicates(row, preds)) continue;
+    ++stats->rows_from_rowstore;
+    if (agg.kind != AggKind::kNone) {
+      FoldRowMatch(agg, row, agg_out);
+    } else {
+      emit(row);
+    }
+  }
+}
+
+void ScanEngine::ScanSmuTask(const Smu& smu, const std::vector<Predicate>& preds,
+                             const ReadView& view, const BufferCache& cache,
+                             const std::vector<Expression>* expressions,
+                             bool needs_rows, const ScanAggregate& agg,
+                             const RowSink& emit, ScanStats* stats,
+                             AggState* agg_out) const {
+  const auto imcu = smu.imcu();
+  ++stats->imcus_scanned;
+
+  // One consistent snapshot of the SMU's invalidity partitions the rows
+  // between the columnar pass and the row-store reconciliation pass; bits
+  // set by concurrent flushes (commits beyond this scan's snapshot SCN)
+  // must not split a row across both passes.
+  std::vector<uint64_t> invalid;
+  smu.SnapshotInvalid(&invalid);
+  const auto is_invalid = [&](uint32_t r) {
+    return ((invalid[r >> 6] >> (r & 63)) & 1) != 0;
+  };
+
+  // Storage index (min/max) pruning of the valid portion.
+  bool might_match = true;
+  for (const Predicate& p : preds) {
+    if (p.column >= imcu->num_columns() ||
+        !imcu->column(p.column).MightMatch(p.op, p.value)) {
+      might_match = false;
+      break;
+    }
+  }
+
+  // Columnar pass: candidate rows from the encoded first predicate (or all
+  // present rows for an unfiltered scan), re-checked against the remaining
+  // conjuncts with the same 3VL gate the row path uses. Collected (not
+  // emitted) so the two passes can be merged into row order below.
+  std::vector<uint32_t> matches;
+  if (might_match) {
+    std::vector<uint32_t> candidates;
+    if (!preds.empty()) {
+      imcu->column(preds[0].column).Filter(preds[0].op, preds[0].value,
+                                           &candidates);
+    } else {
+      candidates.reserve(imcu->num_rows());
+      for (uint32_t r = 0; r < imcu->num_rows(); ++r) candidates.push_back(r);
+    }
+    for (uint32_t r : candidates) {
+      if (!imcu->Present(r)) continue;
+      if (is_invalid(r)) continue;  // Served by reconciliation below.
+      bool ok = true;
+      for (size_t pi = 1; pi < preds.size(); ++pi) {
+        const Predicate& p = preds[pi];
+        if (p.column >= imcu->num_columns() ||
+            !EvalPredicateValue(imcu->column(p.column).Get(r), p)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) matches.push_back(r);
+    }
+  } else {
+    ++stats->imcus_pruned;
+  }
+
+  // Reconciliation pass: invalid rows (changed after the IMCU snapshot)
+  // always re-fetch from the row store at the query snapshot — including
+  // rows absent at population time that a later insert invalidated.
+  // Word-wise iteration keeps this cheap when invalidity is sparse.
+  std::vector<std::pair<uint32_t, Row>> reconciled;
+  {
+    const size_t num_rows = smu.num_rows();
+    const size_t num_words = (num_rows + 63) / 64;
+    Row row;
+    Dba cached_dba = kInvalidDba;
+    Block* cached_block = nullptr;
+    for (size_t w = 0; w < invalid.size() && w < num_words; ++w) {
+      uint64_t word = invalid[w];
+      if (w + 1 == num_words && (num_rows & 63) != 0) {
+        // Mask the tail word once: bits at or past num_rows have no backing
+        // row and must not be visited.
+        word &= (uint64_t{1} << (num_rows & 63)) - 1;
+      }
+      while (word != 0) {
+        const unsigned bit = static_cast<unsigned>(__builtin_ctzll(word));
+        word &= word - 1;
+        const uint32_t r = static_cast<uint32_t>(w * 64 + bit);
+        const Dba dba = smu.dbas()[r / kRowsPerBlock];
+        const SlotId slot = r % kRowsPerBlock;
+        if (dba != cached_dba) {
+          cached_dba = dba;
+          cached_block = cache.Get(dba);
+        }
+        if (cached_block == nullptr) continue;
+        if (!cached_block->ReadRow(slot, view, &row).ok()) continue;
+        ++stats->invalid_rowpath;
+        ExtendWithExpressions(expressions, &row);
+        if (EvalPredicates(row, preds)) reconciled.emplace_back(r, row);
+      }
+    }
+  }
+
+  // Merge the two passes into ascending row order. Both are already sorted
+  // by row index, so the IMCU's output order does not depend on *when* the
+  // invalidity snapshot was taken — a row moving from the columnar pass to
+  // reconciliation keeps its position.
+  size_t ci = 0, ri = 0;
+  static const Row kEmpty;
+  while (ci < matches.size() || ri < reconciled.size()) {
+    const bool columnar =
+        ri >= reconciled.size() ||
+        (ci < matches.size() && matches[ci] < reconciled[ri].first);
+    if (columnar) {
+      const uint32_t r = matches[ci++];
+      ++stats->rows_from_imcs;
+      if (agg.kind != AggKind::kNone) {
+        // Aggregation push-down ([11]): fold straight off the encoded
+        // column, skipping materialization.
+        ++agg_out->count;
+        if (agg.kind != AggKind::kCount && agg.column < imcu->num_columns()) {
+          const Value v = imcu->column(agg.column).Get(r);
+          if (v.type() == ValueType::kInt) agg_out->Fold(agg.kind, v.as_int());
+        }
+      } else if (needs_rows) {
+        emit(imcu->Materialize(r));
+      } else {
+        emit(kEmpty);
+      }
+    } else {
+      Row& row = reconciled[ri++].second;
       ++stats->rows_from_rowstore;
-      sink(row);
+      if (agg.kind != AggKind::kNone) {
+        FoldRowMatch(agg, row, agg_out);
+      } else {
+        emit(row);
+      }
     }
   }
 }
@@ -74,9 +234,12 @@ Status ScanEngine::Scan(const Table& table, const std::vector<Predicate>& preds,
                         const BufferCache& cache, const RowSink& sink,
                         ScanStats* stats, bool needs_rows,
                         const std::vector<Expression>* expressions,
-                        const ImcsMatchHook* imcs_hook) const {
-  ScanStats local;
-  if (stats == nullptr) stats = &local;
+                        const ScanAggregate& agg, AggState* agg_out,
+                        const ScanOptions& options) const {
+  ScanStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  AggState local_agg;
+  if (agg_out == nullptr) agg_out = &local_agg;
   const std::vector<Dba> blocks = table.SnapshotBlocks();
 
   // Gather the usable SMUs covering this table across the given stores.
@@ -127,107 +290,107 @@ Status ScanEngine::Scan(const Table& table, const std::vector<Predicate>& preds,
     }
   }
 
-  // Columnar portion.
-  std::vector<uint64_t> invalid;  // Per-SMU invalidity snapshot (see below).
-  for (const auto& smu : usable) {
-    const auto imcu = smu->imcu();
-    ++stats->imcus_scanned;
-
-    // One consistent snapshot of the SMU's invalidity partitions the rows
-    // between the columnar pass and the row-store reconciliation pass; bits
-    // set by concurrent flushes (commits beyond this scan's snapshot SCN)
-    // must not split a row across both passes.
-    smu->SnapshotInvalid(&invalid);
-    const auto is_invalid = [&](uint32_t r) {
-      return ((invalid[r >> 6] >> (r & 63)) & 1) != 0;
+  // Task decomposition: one task per usable IMCU plus fixed-size chunks of
+  // uncovered row-store blocks, ordered by each task's first block position
+  // in the table's block list (chunks break at coverage boundaries). Every
+  // task emits its matches in ascending (block, slot) order, so the merged
+  // output is the table's global (block, slot) order — independent of DOP,
+  // of which path serves a row, and of how population groups blocks into
+  // IMCUs. The task list is a function of the snapshot only, never of DOP.
+  struct Task {
+    const Smu* smu = nullptr;        ///< Per-IMCU task when non-null…
+    std::vector<Dba> chunk_blocks;   ///< …row-path chunk otherwise.
+  };
+  std::vector<Task> tasks;
+  {
+    std::unordered_map<Dba, size_t> pos;
+    pos.reserve(blocks.size());
+    for (size_t i = 0; i < blocks.size(); ++i) pos.emplace(blocks[i], i);
+    // Events on the block-position axis: each uncovered block, and each
+    // usable SMU anchored at its first covered position.
+    struct Event {
+      size_t position;
+      const Smu* smu;  ///< Null for an uncovered block.
+      Dba dba;
     };
-
-    // Storage index (min/max) pruning of the valid portion.
-    bool might_match = true;
-    for (const Predicate& p : preds) {
-      if (p.column >= imcu->num_columns() ||
-          !imcu->column(p.column).MightMatch(p.op, p.value)) {
-        might_match = false;
-        break;
-      }
+    std::vector<Event> events;
+    events.reserve(blocks.size());
+    for (size_t i = 0; i < blocks.size(); ++i) {
+      if (!covered.contains(blocks[i]))
+        events.push_back(Event{i, nullptr, blocks[i]});
     }
-
-    if (might_match) {
-      // Candidate rows from the encoded first predicate (or all present rows
-      // for an unfiltered scan), re-checked against the remaining conjuncts.
-      std::vector<uint32_t> candidates;
-      if (!preds.empty()) {
-        imcu->column(preds[0].column).Filter(preds[0].op, preds[0].value,
-                                             &candidates);
-      } else {
-        candidates.reserve(imcu->num_rows());
-        for (uint32_t r = 0; r < imcu->num_rows(); ++r) candidates.push_back(r);
+    for (const auto& smu : usable) {
+      size_t key = blocks.size();  // Defensive: unknown blocks sort last.
+      for (Dba dba : smu->dbas()) {
+        auto it = pos.find(dba);
+        if (it != pos.end()) key = std::min(key, it->second);
       }
-      for (uint32_t r : candidates) {
-        if (!imcu->Present(r)) continue;
-        if (is_invalid(r)) continue;  // Served by the row path below.
-        bool ok = true;
-        for (size_t pi = 1; pi < preds.size(); ++pi) {
-          const Predicate& p = preds[pi];
-          if (p.column >= imcu->num_columns()) { ok = false; break; }
-          const Value v = imcu->column(p.column).Get(r);
-          if (v.is_null() || !(v.type() == p.value.type() &&
-                               CompareValues(v, p.op, p.value))) {
-            ok = false;
-            break;
-          }
-        }
-        if (!ok) continue;
-        ++stats->rows_from_imcs;
-        if (imcs_hook != nullptr) {
-          (*imcs_hook)(*imcu, r);
-        } else if (needs_rows) {
-          sink(imcu->Materialize(r));
-        } else {
-          static const Row kEmpty;
-          sink(kEmpty);
-        }
-      }
-    } else {
-      ++stats->imcus_pruned;
+      events.push_back(Event{key, smu.get(), kInvalidDba});
     }
-
-    // Invalid rows (changed after the IMCU snapshot) always re-fetch from the
-    // row store at the query snapshot — including rows absent at population
-    // time that a later insert invalidated. Word-wise iteration keeps this
-    // reconciliation cheap when invalidity is sparse.
-    Row row;
-    Dba cached_dba = kInvalidDba;
-    Block* cached_block = nullptr;
-    for (size_t w = 0; w < invalid.size(); ++w) {
-      uint64_t word = invalid[w];
-      while (word != 0) {
-        const unsigned bit = static_cast<unsigned>(__builtin_ctzll(word));
-        word &= word - 1;
-        const uint32_t r = static_cast<uint32_t>(w * 64 + bit);
-        if (r >= smu->num_rows()) break;
-        const Dba dba = smu->dbas()[r / kRowsPerBlock];
-        const SlotId slot = r % kRowsPerBlock;
-        if (dba != cached_dba) {
-          cached_dba = dba;
-          cached_block = cache.Get(dba);
-        }
-        if (cached_block == nullptr) continue;
-        if (!cached_block->ReadRow(slot, view, &row).ok()) continue;
-        ++stats->invalid_rowpath;
-        ExtendWithExpressions(expressions, &row);
-        if (EvalPredicates(row, preds)) {
-          ++stats->rows_from_rowstore;
-          sink(row);
-        }
+    std::sort(events.begin(), events.end(),
+              [](const Event& a, const Event& b) {
+                if (a.position != b.position) return a.position < b.position;
+                return (a.smu != nullptr) > (b.smu != nullptr);
+              });
+    const size_t chunk = std::max<size_t>(1, options.rowpath_chunk_blocks);
+    for (const Event& e : events) {
+      if (e.smu != nullptr) {
+        tasks.push_back(Task{e.smu, {}});
+        continue;
       }
+      if (tasks.empty() || tasks.back().smu != nullptr ||
+          tasks.back().chunk_blocks.size() >= chunk) {
+        tasks.push_back(Task{nullptr, {}});
+      }
+      tasks.back().chunk_blocks.push_back(e.dba);
     }
   }
+  stats->parallel_tasks += tasks.size();
+  const size_t num_tasks = tasks.size();
 
-  // Row-path portion: blocks not covered by any usable IMCU.
-  for (Dba dba : blocks) {
-    if (covered.contains(dba)) continue;
-    ScanBlockRowPath(dba, preds, view, cache, sink, stats, expressions);
+  const auto run_task = [&](size_t t, const RowSink& emit, ScanStats* tstats,
+                            AggState* tagg) {
+    const Task& task = tasks[t];
+    if (task.smu != nullptr) {
+      ScanSmuTask(*task.smu, preds, view, cache, expressions, needs_rows, agg,
+                  emit, tstats, tagg);
+    } else {
+      for (Dba dba : task.chunk_blocks) {
+        ScanBlockRowPath(dba, preds, view, cache, expressions, agg, emit,
+                         tstats, tagg);
+      }
+    }
+  };
+
+  const size_t dop = std::max<size_t>(1, options.dop);
+  if (dop == 1 || num_tasks <= 1) {
+    // Inline path: stream straight into the sink — no buffering, no barrier.
+    for (size_t t = 0; t < num_tasks; ++t) run_task(t, sink, stats, agg_out);
+    return Status::OK();
+  }
+
+  // Parallel path: every worker accumulates into private partials; the
+  // calling thread merges them in task order after the barrier, reproducing
+  // the inline path's output exactly.
+  struct TaskOut {
+    ScanStats stats;
+    AggState agg;
+    std::vector<Row> rows;
+  };
+  std::vector<TaskOut> outs(num_tasks);
+  ThreadPool* pool =
+      options.pool != nullptr ? options.pool : ThreadPool::Shared();
+  pool->ParallelFor(num_tasks, dop, [&](size_t t) {
+    TaskOut& out = outs[t];
+    run_task(
+        t, [&out](const Row& row) { out.rows.push_back(row); }, &out.stats,
+        &out.agg);
+  });
+
+  for (TaskOut& out : outs) {
+    stats->Add(out.stats);
+    agg_out->Merge(agg.kind, out.agg);
+    for (const Row& row : out.rows) sink(row);
   }
   return Status::OK();
 }

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/status.h"
@@ -15,6 +16,8 @@
 
 namespace stratus {
 
+class ThreadPool;
+
 /// One conjunct of a scan filter: `column op value`.
 struct Predicate {
   uint32_t column = 0;
@@ -22,10 +25,66 @@ struct Predicate {
   Value value;
 };
 
+/// Evaluates one predicate against a single column value. This is the one
+/// place holding the SQL three-valued-logic rules — a NULL on either side
+/// never matches, and a type mismatch never matches — shared by the row path
+/// (`EvalPredicate`) and the columnar remaining-conjunct recheck, so the two
+/// paths cannot drift.
+bool EvalPredicateValue(const Value& v, const Predicate& pred);
+
 /// Evaluates one predicate against a materialized row (NULLs never match).
 bool EvalPredicate(const Row& row, const Predicate& pred);
 /// Conjunction over all predicates.
 bool EvalPredicates(const Row& row, const std::vector<Predicate>& preds);
+
+/// Aggregate applied to the matching rows (push-down: the scan engine folds
+/// per-worker partials off the encoded columns, [11]).
+enum class AggKind : uint8_t { kNone = 0, kCount, kSum, kMin, kMax };
+
+/// Aggregation push-down request: which aggregate over which column (schema
+/// or In-Memory-Expression virtual column; integer columns for kSum/kMin/kMax).
+struct ScanAggregate {
+  AggKind kind = AggKind::kNone;
+  uint32_t column = 0;
+};
+
+/// A partial (per-worker) or final aggregate accumulator.
+struct AggState {
+  uint64_t count = 0;    ///< Matching rows (all paths).
+  int64_t acc = 0;       ///< kSum/kMin/kMax accumulator.
+  bool started = false;  ///< A non-null integer input reached the fold.
+
+  void Fold(AggKind kind, int64_t x) {
+    if (!started) {
+      acc = x;
+      started = true;
+    } else if (kind == AggKind::kSum) {
+      acc += x;
+    } else if (kind == AggKind::kMin) {
+      acc = acc < x ? acc : x;
+    } else if (kind == AggKind::kMax) {
+      acc = acc < x ? x : acc;
+    }
+  }
+
+  /// Folds another partial in. kSum/kMin/kMax are associative and
+  /// commutative, so merging in deterministic task order reproduces the
+  /// serial result exactly.
+  void Merge(AggKind kind, const AggState& other) {
+    count += other.count;
+    if (!other.started) return;
+    if (!started) {
+      acc = other.acc;
+      started = true;
+    } else if (kind == AggKind::kSum) {
+      acc += other.acc;
+    } else if (kind == AggKind::kMin) {
+      acc = acc < other.acc ? acc : other.acc;
+    } else if (kind == AggKind::kMax) {
+      acc = acc < other.acc ? other.acc : acc;
+    }
+  }
+};
 
 /// Per-scan statistics: where the rows actually came from.
 struct ScanStats {
@@ -36,23 +95,57 @@ struct ScanStats {
   uint64_t imcus_skipped = 0;     ///< Not usable (populating / too new).
   uint64_t blocks_rowpath = 0;    ///< Blocks scanned through the buffer cache.
   uint64_t invalid_rowpath = 0;   ///< Invalid IMCU rows re-fetched from blocks.
+  uint64_t parallel_tasks = 0;    ///< Scan tasks (per-IMCU + row-path chunks);
+                                  ///< identical at every DOP by construction.
+
+  void Add(const ScanStats& o) {
+    rows_from_imcs += o.rows_from_imcs;
+    rows_from_rowstore += o.rows_from_rowstore;
+    imcus_scanned += o.imcus_scanned;
+    imcus_pruned += o.imcus_pruned;
+    imcus_skipped += o.imcus_skipped;
+    blocks_rowpath += o.blocks_rowpath;
+    invalid_rowpath += o.invalid_rowpath;
+    parallel_tasks += o.parallel_tasks;
+  }
 };
 
-/// Rows matching the scan are streamed into this callback.
+/// Rows matching the scan are streamed into this callback. With DOP > 1 the
+/// sink is only ever invoked from the calling thread, during the ordered
+/// merge after the parallel barrier — it needs no synchronization.
 using RowSink = std::function<void(const Row& row)>;
 
-/// Aggregation push-down hook ([11], "Accelerating Joins and Aggregations on
-/// the Oracle In-Memory Database"): when supplied, matching rows served from
-/// the IMCS invoke this hook with the IMCU and local row index instead of the
-/// sink — the aggregate reads the encoded column directly, skipping row
-/// materialization entirely. Row-path matches still flow through the sink.
-using ImcsMatchHook = std::function<void(const Imcu& imcu, uint32_t row)>;
+/// Parallel-execution knobs for one scan.
+struct ScanOptions {
+  /// Degree of parallelism: maximum threads scanning concurrently (the
+  /// caller plus dop-1 pool workers). <= 1 runs the scan inline on the
+  /// caller with rows streamed straight into the sink (no buffering).
+  size_t dop = 1;
+  /// Pool to borrow workers from; null means ThreadPool::Shared().
+  ThreadPool* pool = nullptr;
+  /// Uncovered row-store blocks are chunked into tasks of at most this many
+  /// blocks (chunks also break at IMCU coverage boundaries to preserve
+  /// global block order). Fixed-size (not DOP-derived) so the task
+  /// decomposition — and therefore `ScanStats::parallel_tasks` and the merge
+  /// order — is identical at every DOP.
+  size_t rowpath_chunk_blocks = 8;
+};
 
 /// The In-Memory Scan Engine (Section II.B): serves valid rows from the
 /// compressed IMCUs with predicate evaluation on encoded data and storage-
 /// index pruning, and reconciles with each IMCU's SMU so that invalid or
 /// stale rows are delivered from the database buffer cache (the row store)
 /// instead — never from the IMCS.
+///
+/// Execution decomposes into one task per usable IMCU (columnar pass plus
+/// that IMCU's invalid-row reconciliation, sharing one invalidity snapshot)
+/// and one task per chunk of uncovered row-store blocks, ordered by block
+/// position in the table's block list. Tasks run on a ThreadPool at
+/// `options.dop`, each accumulating into private ScanStats / row buffer /
+/// partial aggregate; partials are merged on the calling thread in task
+/// order after the barrier. Each task emits in ascending (block, slot)
+/// order, so the merged output is the table's global (block, slot) order —
+/// reproducible at any DOP and independent of which path serves a row.
 class ScanEngine {
  public:
   /// Scans `table` at `view`, consulting the column stores in `stores`
@@ -65,19 +158,33 @@ class ScanEngine {
   /// schema-arity + position; row-path rows are extended with the evaluated
   /// expression values so predicates and sinks see a uniform layout. IMCUs
   /// that predate an expression registration are skipped to the row path.
-  /// `imcs_hook` (may be null): aggregation push-down (see ImcsMatchHook).
+  /// `agg` + `agg_out`: aggregation push-down. When `agg.kind != kNone` and
+  /// `agg_out != nullptr`, every match is counted (and kSum/kMin/kMax folded
+  /// — off the encoded column for IMCS-served rows, off the materialized row
+  /// otherwise) into `agg_out` instead of reaching the sink.
   Status Scan(const Table& table, const std::vector<Predicate>& preds,
               const ReadView& view, const std::vector<const ImStore*>& stores,
               const BufferCache& cache, const RowSink& sink,
               ScanStats* stats, bool needs_rows = true,
               const std::vector<Expression>* expressions = nullptr,
-              const ImcsMatchHook* imcs_hook = nullptr) const;
+              const ScanAggregate& agg = {}, AggState* agg_out = nullptr,
+              const ScanOptions& options = {}) const;
 
  private:
+  /// One per-IMCU task: columnar pass over the valid rows plus the invalid-
+  /// row reconciliation pass, both under one SMU invalidity snapshot, merged
+  /// into ascending row-index order before emission.
+  void ScanSmuTask(const Smu& smu, const std::vector<Predicate>& preds,
+                   const ReadView& view, const BufferCache& cache,
+                   const std::vector<Expression>* expressions, bool needs_rows,
+                   const ScanAggregate& agg, const RowSink& emit,
+                   ScanStats* stats, AggState* agg_out) const;
+
   void ScanBlockRowPath(Dba dba, const std::vector<Predicate>& preds,
                         const ReadView& view, const BufferCache& cache,
-                        const RowSink& sink, ScanStats* stats,
-                        const std::vector<Expression>* expressions) const;
+                        const std::vector<Expression>* expressions,
+                        const ScanAggregate& agg, const RowSink& emit,
+                        ScanStats* stats, AggState* agg_out) const;
 };
 
 }  // namespace stratus

@@ -124,6 +124,7 @@ Status OltapWorkload::RunScanOnce(Random* rng, bool q2) {
   ScanQuery query;
   query.object = table_;
   query.force_row_store = options_.scans_force_row_store;
+  query.dop = options_.scan_dop;
   // Count instead of materializing SELECT * — latency is dominated by the
   // scan itself either way, and counting keeps harness memory flat.
   query.agg = AggKind::kCount;

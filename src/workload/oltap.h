@@ -43,6 +43,8 @@ struct OltapOptions {
   bool scans_on_standby = true;
   /// Force scans down the row path (the "without DBIM" baseline).
   bool scans_force_row_store = false;
+  /// Scan degree of parallelism (ScanQuery::dop); 0/1 = serial.
+  uint32_t scan_dop = 1;
   InstanceId scan_instance = kMasterInstance;
   /// Which tenant issues the traffic.
   TenantId tenant = kDefaultTenant;

@@ -10,6 +10,127 @@
 namespace stratus {
 namespace {
 
+/// Shared harness for the end-to-end consistency properties: an AdgCluster
+/// with a populated standby IMCS and two writer threads hammering updates /
+/// inserts / deletes on the primary, so every check below runs while the
+/// invalidation, flush, repopulation, and QuerySCN machinery is hot.
+class ChurnHarness {
+ public:
+  explicit ChurnHarness(uint64_t seed) : seed_(seed), cluster_(MakeOptions()) {
+    cluster_.Start();
+    table_ = cluster_
+                 .CreateTable("t", kDefaultTenant, Schema::WideTable(2, 1),
+                              ImService::kStandbyOnly, true)
+                 .value();
+    Transaction txn = cluster_.primary()->Begin();
+    Random rng(seed_);
+    for (int i = 0; i < 3 * static_cast<int>(kRowsPerBlock); ++i) {
+      EXPECT_TRUE(cluster_.primary()
+                      ->Insert(&txn, table_, MakeRow(next_id_.fetch_add(1), &rng),
+                               nullptr)
+                      .ok());
+    }
+    EXPECT_TRUE(cluster_.primary()->Commit(&txn).ok());
+    cluster_.WaitForCatchup();
+    EXPECT_TRUE(cluster_.standby()->PopulateNow(table_).ok());
+  }
+
+  ~ChurnHarness() {
+    StopChurn();
+    cluster_.Stop();
+  }
+
+  AdgCluster* cluster() { return &cluster_; }
+  ObjectId table() const { return table_; }
+
+  void StartChurn() {
+    writers_.emplace_back([this] { WriterLoop(seed_ * 3 + 1); });
+    writers_.emplace_back([this] { WriterLoop(seed_ * 5 + 2); });
+  }
+
+  void StopChurn() {
+    stop_.store(true, std::memory_order_release);
+    for (auto& w : writers_) w.join();
+    writers_.clear();
+  }
+
+ private:
+  Row MakeRow(int64_t id, Random* rng) const {
+    return Row{Value(id), Value(static_cast<int64_t>(rng->Uniform(50))),
+               Value(static_cast<int64_t>(rng->Uniform(50))),
+               Value(std::string("s") + std::to_string(rng->Uniform(6)))};
+  }
+
+  static DatabaseOptions MakeOptions() {
+    DatabaseOptions options;
+    options.apply.num_workers = 3;
+    options.apply.barrier_interval = 8;
+    options.population.blocks_per_imcu = 2;
+    options.population.manager_interval_us = 2000;
+    options.population.repop_invalid_threshold = 0.10;
+    options.shipping.heartbeat_interval_us = 500;
+    options.commit_table_partitions = 2;
+    options.journal_buckets = 8;
+    return options;
+  }
+
+  void WriterLoop(uint64_t wseed) {
+    Random rng(wseed);
+    while (!stop_.load(std::memory_order_acquire)) {
+      Transaction txn = cluster_.primary()->Begin();
+      bool ok = true;
+      const int ops = 1 + static_cast<int>(rng.Uniform(4));
+      for (int i = 0; i < ops && ok; ++i) {
+        const uint32_t dice = static_cast<uint32_t>(rng.Uniform(100));
+        if (dice < 60) {
+          const int64_t id = rng.UniformInt(0, next_id_.load() - 1);
+          Status st = cluster_.primary()->UpdateByKey(&txn, table_, id,
+                                                      MakeRow(id, &rng));
+          if (st.IsAborted()) ok = false;  // Row-lock conflict: roll back.
+        } else if (dice < 85) {
+          const int64_t id = next_id_.fetch_add(1);
+          (void)cluster_.primary()->Insert(&txn, table_, MakeRow(id, &rng),
+                                           nullptr);
+        } else {
+          const int64_t id = rng.UniformInt(0, next_id_.load() - 1);
+          Table* t = cluster_.primary()->table(table_);
+          const auto rid = t->index()->Lookup(id);
+          if (rid.has_value()) {
+            Status st = cluster_.primary()->Delete(&txn, table_, *rid);
+            if (st.IsAborted()) ok = false;
+          }
+        }
+      }
+      if (ok) {
+        (void)cluster_.primary()->Commit(&txn);
+      } else {
+        cluster_.primary()->Abort(&txn);
+      }
+    }
+  }
+
+  const uint64_t seed_;
+  AdgCluster cluster_;
+  ObjectId table_ = kInvalidObjectId;
+  std::atomic<int64_t> next_id_{0};
+  std::atomic<bool> stop_{false};
+  std::vector<std::thread> writers_;
+};
+
+/// Draws a random Q1/Q2/unfiltered scan shape (no aggregate set).
+ScanQuery RandomQuery(ObjectId table, Random* rng) {
+  ScanQuery q;
+  q.object = table;
+  const uint32_t kind = static_cast<uint32_t>(rng->Uniform(3));
+  if (kind == 0) {
+    q.predicates = {{1, PredOp::kEq, Value(static_cast<int64_t>(rng->Uniform(50)))}};
+  } else if (kind == 1) {
+    q.predicates = {{3, PredOp::kEq,
+                     Value(std::string("s") + std::to_string(rng->Uniform(6)))}};
+  }  // kind == 2: unfiltered.
+  return q;
+}
+
 /// The flagship end-to-end property of DBIM-on-ADG: a standby query at the
 /// published QuerySCN returns *exactly* what the primary would return at that
 /// SCN — under continuous OLTP churn, with the standby IMCS populated and
@@ -20,103 +141,16 @@ class ConsistencyTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(ConsistencyTest, StandbyEqualsPrimaryAtEveryQueryScn) {
   const uint64_t seed = GetParam();
-  DatabaseOptions options;
-  options.apply.num_workers = 3;
-  options.apply.barrier_interval = 8;
-  options.population.blocks_per_imcu = 2;
-  options.population.manager_interval_us = 2000;
-  options.population.repop_invalid_threshold = 0.10;
-  options.shipping.heartbeat_interval_us = 500;
-  options.commit_table_partitions = 2;
-  options.journal_buckets = 8;
-
-  AdgCluster cluster(options);
-  cluster.Start();
-  const ObjectId table =
-      cluster.CreateTable("t", kDefaultTenant, Schema::WideTable(2, 1),
-                          ImService::kStandbyOnly, true)
-          .value();
-
-  // Initial load.
-  std::atomic<int64_t> next_id{0};
-  {
-    Transaction txn = cluster.primary()->Begin();
-    Random rng(seed);
-    for (int i = 0; i < 3 * static_cast<int>(kRowsPerBlock); ++i) {
-      const int64_t id = next_id.fetch_add(1);
-      ASSERT_TRUE(cluster.primary()
-                      ->Insert(&txn, table,
-                               Row{Value(id), Value(static_cast<int64_t>(rng.Uniform(50))),
-                                   Value(static_cast<int64_t>(rng.Uniform(50))),
-                                   Value(std::string("s") + std::to_string(rng.Uniform(6)))},
-                               nullptr)
-                      .ok());
-    }
-    ASSERT_TRUE(cluster.primary()->Commit(&txn).ok());
-  }
-  cluster.WaitForCatchup();
-  ASSERT_TRUE(cluster.standby()->PopulateNow(table).ok());
-
-  // Churn: two writer threads hammering updates / inserts / deletes.
-  std::atomic<bool> stop{false};
-  auto writer = [&](uint64_t wseed) {
-    Random rng(wseed);
-    while (!stop.load(std::memory_order_acquire)) {
-      Transaction txn = cluster.primary()->Begin();
-      bool ok = true;
-      const int ops = 1 + static_cast<int>(rng.Uniform(4));
-      for (int i = 0; i < ops && ok; ++i) {
-        const uint32_t dice = static_cast<uint32_t>(rng.Uniform(100));
-        if (dice < 60) {
-          const int64_t id = rng.UniformInt(0, next_id.load() - 1);
-          Status st = cluster.primary()->UpdateByKey(
-              &txn, table, id,
-              Row{Value(id), Value(static_cast<int64_t>(rng.Uniform(50))),
-                  Value(static_cast<int64_t>(rng.Uniform(50))),
-                  Value(std::string("s") + std::to_string(rng.Uniform(6)))});
-          if (st.IsAborted()) ok = false;  // Row-lock conflict: roll back.
-        } else if (dice < 85) {
-          const int64_t id = next_id.fetch_add(1);
-          (void)cluster.primary()->Insert(
-              &txn, table,
-              Row{Value(id), Value(static_cast<int64_t>(rng.Uniform(50))),
-                  Value(static_cast<int64_t>(rng.Uniform(50))),
-                  Value(std::string("s") + std::to_string(rng.Uniform(6)))},
-              nullptr);
-        } else {
-          const int64_t id = rng.UniformInt(0, next_id.load() - 1);
-          Table* t = cluster.primary()->table(table);
-          const auto rid = t->index()->Lookup(id);
-          if (rid.has_value()) {
-            Status st = cluster.primary()->Delete(&txn, table, *rid);
-            if (st.IsAborted()) ok = false;
-          }
-        }
-      }
-      if (ok) {
-        (void)cluster.primary()->Commit(&txn);
-      } else {
-        cluster.primary()->Abort(&txn);
-      }
-    }
-  };
-  std::thread w1(writer, seed * 3 + 1);
-  std::thread w2(writer, seed * 5 + 2);
+  ChurnHarness harness(seed);
+  AdgCluster& cluster = *harness.cluster();
+  harness.StartChurn();
 
   // Verifier: compare standby and primary at the standby's QuerySCN.
   Random qrng(seed * 7 + 3);
   int checks = 0;
   const uint64_t deadline = NowMicros() + 15'000'000;
   while (checks < 25 && NowMicros() < deadline) {
-    ScanQuery q;
-    q.object = table;
-    const uint32_t kind = static_cast<uint32_t>(qrng.Uniform(3));
-    if (kind == 0) {
-      q.predicates = {{1, PredOp::kEq, Value(static_cast<int64_t>(qrng.Uniform(50)))}};
-    } else if (kind == 1) {
-      q.predicates = {{3, PredOp::kEq,
-                       Value(std::string("s") + std::to_string(qrng.Uniform(6)))}};
-    }  // kind == 2: unfiltered.
+    ScanQuery q = RandomQuery(harness.table(), &qrng);
     q.agg = AggKind::kSum;
     q.agg_column = 2;
 
@@ -125,19 +159,73 @@ TEST_P(ConsistencyTest, StandbyEqualsPrimaryAtEveryQueryScn) {
     const auto primary = cluster.primary()->QueryAt(q, standby->snapshot);
     ASSERT_TRUE(primary.ok());
     EXPECT_EQ(standby->count, primary->count)
-        << "seed=" << seed << " scn=" << standby->snapshot << " kind=" << kind;
+        << "seed=" << seed << " scn=" << standby->snapshot;
     EXPECT_EQ(standby->agg_int, primary->agg_int)
-        << "seed=" << seed << " scn=" << standby->snapshot << " kind=" << kind;
+        << "seed=" << seed << " scn=" << standby->snapshot;
     ++checks;
   }
-  stop.store(true, std::memory_order_release);
-  w1.join();
-  w2.join();
+  harness.StopChurn();
   EXPECT_GE(checks, 10);
 
   // The machinery really ran: invalidations flushed, IMCUs possibly repopulated.
   EXPECT_GT(cluster.standby()->flush()->stats().flushed_txns, 0u);
-  cluster.Stop();
+}
+
+/// The parallel-scan determinism property: with the snapshot SCN pinned, the
+/// QueryResult — rows, their order, count, aggregate — is byte-identical at
+/// every DOP, even while churn keeps invalidating rows and population keeps
+/// reshaping IMCU coverage between executions. The scan's global (block,
+/// slot) emission order makes the result independent of which path serves a
+/// row; only the path *split* in the stats may move (their sum must not).
+TEST_P(ConsistencyTest, DopSweepByteIdenticalUnderChurn) {
+  const uint64_t seed = GetParam();
+  ChurnHarness harness(seed);
+  AdgCluster& cluster = *harness.cluster();
+  harness.StartChurn();
+
+  Random qrng(seed * 11 + 5);
+  int checks = 0;
+  const uint64_t deadline = NowMicros() + 15'000'000;
+  while (checks < 12 && NowMicros() < deadline) {
+    ScanQuery q = RandomQuery(harness.table(), &qrng);
+    if (qrng.Percent(50)) {
+      q.agg = AggKind::kSum;
+      q.agg_column = 2;
+    }
+    const Scn scn = cluster.standby()->query_scn();
+    if (scn == kInvalidScn) continue;
+
+    q.dop = 1;
+    const auto base = cluster.standby()->QueryAt(q, scn);
+    ASSERT_TRUE(base.ok());
+    for (uint32_t dop : {2u, 8u}) {
+      q.dop = dop;
+      const auto result = cluster.standby()->QueryAt(q, scn);
+      ASSERT_TRUE(result.ok());
+      EXPECT_EQ(result->rows, base->rows)
+          << "seed=" << seed << " scn=" << scn << " dop=" << dop;
+      EXPECT_EQ(result->count, base->count)
+          << "seed=" << seed << " scn=" << scn << " dop=" << dop;
+      EXPECT_EQ(result->agg_int, base->agg_int)
+          << "seed=" << seed << " scn=" << scn << " dop=" << dop;
+      EXPECT_EQ(result->agg_valid, base->agg_valid);
+      // Between executions a concurrent flush may move rows from the
+      // columnar pass to reconciliation (never the data, only the path), so
+      // only the per-path *sum* is invariant under churn.
+      EXPECT_EQ(result->stats.rows_from_imcs + result->stats.rows_from_rowstore,
+                base->stats.rows_from_imcs + base->stats.rows_from_rowstore)
+          << "seed=" << seed << " scn=" << scn << " dop=" << dop;
+    }
+    // Cross-check the pinned snapshot against the primary as well.
+    q.dop = 1;
+    const auto primary = cluster.primary()->QueryAt(q, scn);
+    ASSERT_TRUE(primary.ok());
+    EXPECT_EQ(primary->count, base->count) << "seed=" << seed << " scn=" << scn;
+    EXPECT_EQ(primary->agg_int, base->agg_int);
+    ++checks;
+  }
+  harness.StopChurn();
+  EXPECT_GE(checks, 6);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ConsistencyTest, ::testing::Values(1, 2, 3));

@@ -169,6 +169,106 @@ TEST_F(QueryTest, JoinWithPredicates) {
   EXPECT_EQ(result->count, 5u);
 }
 
+TEST_F(QueryTest, JoinForceRowStoreBypassesImcsOnBothSides) {
+  const ObjectId dims =
+      db_.CreateTable("dims3", kDefaultTenant,
+                      Schema(std::vector<ColumnDef>{
+                          {"gid", ValueType::kInt},
+                          {"label", ValueType::kString}}),
+                      ImService::kPrimaryOnly, false)
+          .value();
+  Transaction txn = db_.Begin();
+  for (int64_t g = 0; g < 4; ++g) {
+    ASSERT_TRUE(db_.Insert(&txn, dims,
+                           Row{Value(g), Value(std::string("grp") + std::to_string(g))},
+                           nullptr)
+                    .ok());
+  }
+  ASSERT_TRUE(db_.Commit(&txn).ok());
+  // Both sides IMCS-resident, so an un-forced join serves rows columnar.
+  ASSERT_TRUE(db_.PopulateNow(table_).ok());
+  ASSERT_TRUE(db_.PopulateNow(dims).ok());
+
+  JoinQuery join;
+  join.left = table_;
+  join.right = dims;
+  join.left_column = 1;
+  join.right_column = 0;
+  const auto with_im = db_.Join(join);
+  ASSERT_TRUE(with_im.ok());
+  EXPECT_EQ(with_im->count, 40u);
+  EXPECT_GT(with_im->stats.rows_from_imcs, 0u);
+
+  join.force_row_store = true;
+  const auto forced = db_.Join(join);
+  ASSERT_TRUE(forced.ok());
+  // The hint must cover the build side AND the probe side.
+  EXPECT_EQ(forced->stats.rows_from_imcs, 0u);
+  EXPECT_GT(forced->stats.rows_from_rowstore, 0u);
+  EXPECT_EQ(forced->count, with_im->count);
+  EXPECT_EQ(forced->rows, with_im->rows);
+}
+
+TEST_F(QueryTest, ScanDopSweepIdenticalThroughQueryEngine) {
+  ASSERT_TRUE(db_.PopulateNow(table_).ok());
+  for (const AggKind agg : {AggKind::kNone, AggKind::kSum}) {
+    ScanQuery q;
+    q.object = table_;
+    q.predicates = {{1, PredOp::kLt, Value(int64_t{5})}};
+    q.agg = agg;
+    q.agg_column = 0;
+    q.dop = 1;
+    const auto base = db_.Query(q);
+    ASSERT_TRUE(base.ok());
+    for (const uint32_t dop : {2u, 8u}) {
+      q.dop = dop;
+      const auto result = db_.Query(q);
+      ASSERT_TRUE(result.ok());
+      EXPECT_EQ(result->rows, base->rows) << "dop=" << dop;
+      EXPECT_EQ(result->count, base->count) << "dop=" << dop;
+      EXPECT_EQ(result->agg_int, base->agg_int) << "dop=" << dop;
+      EXPECT_EQ(result->agg_valid, base->agg_valid) << "dop=" << dop;
+      EXPECT_EQ(result->stats.parallel_tasks, base->stats.parallel_tasks);
+    }
+  }
+}
+
+TEST_F(QueryTest, JoinDopSweepIdentical) {
+  const ObjectId dims =
+      db_.CreateTable("dims4", kDefaultTenant,
+                      Schema(std::vector<ColumnDef>{
+                          {"gid", ValueType::kInt},
+                          {"label", ValueType::kString}}),
+                      ImService::kNone, false)
+          .value();
+  Transaction txn = db_.Begin();
+  for (int64_t g = 0; g < 4; ++g) {
+    ASSERT_TRUE(db_.Insert(&txn, dims,
+                           Row{Value(g), Value(std::string("grp") + std::to_string(g))},
+                           nullptr)
+                    .ok());
+  }
+  ASSERT_TRUE(db_.Commit(&txn).ok());
+  ASSERT_TRUE(db_.PopulateNow(table_).ok());
+
+  JoinQuery join;
+  join.left = table_;
+  join.right = dims;
+  join.left_column = 1;
+  join.right_column = 0;
+  join.dop = 1;
+  const auto base = db_.Join(join);
+  ASSERT_TRUE(base.ok());
+  EXPECT_EQ(base->count, 40u);
+  for (const uint32_t dop : {2u, 8u}) {
+    join.dop = dop;
+    const auto result = db_.Join(join);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->rows, base->rows) << "dop=" << dop;
+    EXPECT_EQ(result->count, base->count) << "dop=" << dop;
+  }
+}
+
 TEST_F(QueryTest, QueryAtOldSnapshotSeesOldData) {
   const Scn before = db_.current_scn();
   Transaction txn = db_.Begin();

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/random.h"
 #include "imcs/population.h"
 #include "txn/txn_manager.h"
@@ -289,6 +291,197 @@ TEST_P(ScanProperty, ImcsAlwaysMatchesRowPath) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ScanProperty,
                          ::testing::Values(101, 202, 303, 404, 505, 606, 707, 808));
+
+// --- Predicate three-valued logic: the row path and the columnar recheck ---
+// --- share EvalPredicateValue; this pins down its semantics for every op ---
+
+Value RandomValue(Random* rng) {
+  const uint32_t kind = static_cast<uint32_t>(rng->Uniform(5));
+  if (kind == 0) return Value();  // NULL.
+  if (kind < 3) return Value(static_cast<int64_t>(rng->UniformInt(-5, 5)));
+  return Value(std::string(1, static_cast<char>('a' + rng->Uniform(4))));
+}
+
+TEST(PredicateProperty, ThreeValuedLogicAndOperatorIdentities) {
+  Random rng(20260806);
+  for (int iter = 0; iter < 20000; ++iter) {
+    const Value v = RandomValue(&rng);
+    Predicate pred;
+    pred.column = 0;
+    pred.op = static_cast<PredOp>(rng.Uniform(6));
+    pred.value = RandomValue(&rng);
+
+    const bool got = EvalPredicateValue(v, pred);
+
+    // The row path is exactly the shared helper plus a bounds check.
+    EXPECT_EQ(EvalPredicate(Row{v}, pred), got);
+    Predicate out_of_range = pred;
+    out_of_range.column = 1;
+    EXPECT_FALSE(EvalPredicate(Row{v}, out_of_range));
+
+    // SQL 3VL: NULL on either side never matches — not even for kNe.
+    if (v.is_null() || pred.value.is_null()) {
+      EXPECT_FALSE(got) << "op=" << static_cast<int>(pred.op);
+      continue;
+    }
+    // Type mismatch never matches.
+    if (v.type() != pred.value.type()) {
+      EXPECT_FALSE(got) << "op=" << static_cast<int>(pred.op);
+      continue;
+    }
+
+    // Non-null, same type: ordinary total-order comparison semantics. These
+    // identities are exactly what licenses the single-comparison kLe/kGe
+    // (`!(b < a)` / `!(a < b)`) in CompareValues.
+    const bool eq = v == pred.value;
+    const bool lt = v < pred.value;
+    const bool gt = pred.value < v;
+    bool expected = false;
+    switch (pred.op) {
+      case PredOp::kEq: expected = eq; break;
+      case PredOp::kNe: expected = !eq; break;
+      case PredOp::kLt: expected = lt; break;
+      case PredOp::kLe: expected = lt || eq; break;
+      case PredOp::kGt: expected = gt; break;
+      case PredOp::kGe: expected = gt || eq; break;
+    }
+    EXPECT_EQ(got, expected) << "op=" << static_cast<int>(pred.op)
+                             << " v=" << v.ToString()
+                             << " rhs=" << pred.value.ToString();
+    // Complement identities (hold only after the NULL/type gate).
+    Predicate flip = pred;
+    flip.op = PredOp::kGe;
+    EXPECT_EQ(EvalPredicateValue(v, flip), !lt);
+    flip.op = PredOp::kLe;
+    EXPECT_EQ(EvalPredicateValue(v, flip), !gt);
+  }
+}
+
+// --- DOP sweep (quiescent): rows, order, stats, aggregates identical ---
+
+TEST_F(ScanEngineTest, DopSweepProducesIdenticalResults) {
+  Random rng(99);
+  InsertRows(3 * kRowsPerBlock, &rng);
+  ASSERT_TRUE(populator_->PopulateNow(10).ok());
+
+  // Invalidate a slice (reconciliation path) and append uncovered blocks
+  // (row-path chunks), so every execution path participates in the sweep.
+  Transaction txn = mgr_.Begin();
+  const Dba first_block = table_.SnapshotBlocks()[0];
+  for (int64_t id = 0; id < 30; ++id) {
+    const RowId rid{first_block, static_cast<SlotId>(id)};
+    Row row{Value(id), Value(int64_t{7}), Value(std::string("fresh"))};
+    ASSERT_TRUE(mgr_.Update(&txn, &table_, rid, std::move(row)).ok());
+  }
+  ASSERT_TRUE(mgr_.Commit(&txn).ok());
+  for (int64_t id = 0; id < 30; ++id)
+    im_store_.MarkRowInvalid(first_block, static_cast<SlotId>(id));
+  InsertRows(kRowsPerBlock + 17, &rng);
+
+  ScanEngine engine;
+  const ReadView view = ViewNow();
+  const std::vector<std::vector<Predicate>> queries = {
+      {},                                              // Unfiltered.
+      {{1, PredOp::kEq, Value(int64_t{7})}},           // Int, hits fresh rows.
+      {{2, PredOp::kNe, Value(std::string("s0"))}},    // String.
+      {{1, PredOp::kLe, Value(int64_t{9})},            // Conjunction.
+       {2, PredOp::kGt, Value(std::string("s1"))}},
+  };
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    std::vector<Row> base_rows;
+    ScanStats base_stats;
+    AggState base_agg;
+    for (const size_t dop : {size_t{1}, size_t{2}, size_t{8}}) {
+      std::vector<Row> rows;
+      ScanStats stats;
+      AggState agg;
+      ScanOptions options;
+      options.dop = dop;
+      ASSERT_TRUE(engine
+                      .Scan(table_, queries[qi], view, {&im_store_}, cache_,
+                            [&](const Row& r) { rows.push_back(r); }, &stats,
+                            /*needs_rows=*/true, /*expressions=*/nullptr,
+                            ScanAggregate{}, nullptr, options)
+                      .ok());
+      AggState sum_agg;
+      ASSERT_TRUE(engine
+                      .Scan(table_, queries[qi], view, {&im_store_}, cache_,
+                            [](const Row&) {}, nullptr, /*needs_rows=*/false,
+                            /*expressions=*/nullptr,
+                            ScanAggregate{AggKind::kSum, 1}, &sum_agg, options)
+                      .ok());
+      if (dop == 1) {
+        base_rows = std::move(rows);
+        base_stats = stats;
+        base_agg = sum_agg;
+        EXPECT_FALSE(base_rows.empty()) << "q=" << qi;
+        continue;
+      }
+      // Not just the same multiset: identical rows in identical order.
+      EXPECT_EQ(rows, base_rows) << "q=" << qi << " dop=" << dop;
+      // Quiescent, so the full stats — including the path split and the task
+      // decomposition — must be reproduced exactly.
+      EXPECT_EQ(stats.rows_from_imcs, base_stats.rows_from_imcs) << "q=" << qi;
+      EXPECT_EQ(stats.rows_from_rowstore, base_stats.rows_from_rowstore);
+      EXPECT_EQ(stats.imcus_scanned, base_stats.imcus_scanned);
+      EXPECT_EQ(stats.imcus_pruned, base_stats.imcus_pruned);
+      EXPECT_EQ(stats.imcus_skipped, base_stats.imcus_skipped);
+      EXPECT_EQ(stats.blocks_rowpath, base_stats.blocks_rowpath);
+      EXPECT_EQ(stats.invalid_rowpath, base_stats.invalid_rowpath);
+      EXPECT_EQ(stats.parallel_tasks, base_stats.parallel_tasks);
+      EXPECT_GT(stats.parallel_tasks, 1u);
+      // Aggregation push-down merges partials back to the serial answer.
+      EXPECT_EQ(sum_agg.count, base_agg.count) << "q=" << qi << " dop=" << dop;
+      EXPECT_EQ(sum_agg.acc, base_agg.acc) << "q=" << qi << " dop=" << dop;
+      EXPECT_EQ(sum_agg.started, base_agg.started);
+    }
+    // Cross-check the pushed-down sum against folding the materialized rows.
+    int64_t expected_sum = 0;
+    for (const Row& r : base_rows) expected_sum += r[1].as_int();
+    EXPECT_EQ(base_agg.count, base_rows.size()) << "q=" << qi;
+    if (!base_rows.empty()) {
+      EXPECT_EQ(base_agg.acc, expected_sum) << "q=" << qi;
+    }
+  }
+}
+
+TEST_F(ScanEngineTest, AggregatePushdownMinMaxAtHighDop) {
+  Random rng(7);
+  InsertRows(3 * kRowsPerBlock + 40, &rng);
+  ASSERT_TRUE(populator_->PopulateNow(10).ok());
+
+  ScanEngine engine;
+  const ReadView view = ViewNow();
+  int64_t expected_min = 0, expected_max = 0;
+  bool first = true;
+  ASSERT_TRUE(engine
+                  .Scan(table_, {}, view, {}, cache_,
+                        [&](const Row& r) {
+                          const int64_t x = r[1].as_int();
+                          expected_min = first ? x : std::min(expected_min, x);
+                          expected_max = first ? x : std::max(expected_max, x);
+                          first = false;
+                        },
+                        nullptr)
+                  .ok());
+  ASSERT_FALSE(first);
+  for (const AggKind kind : {AggKind::kMin, AggKind::kMax}) {
+    for (const size_t dop : {size_t{1}, size_t{4}}) {
+      AggState agg;
+      ScanOptions options;
+      options.dop = dop;
+      ASSERT_TRUE(engine
+                      .Scan(table_, {}, view, {&im_store_}, cache_,
+                            [](const Row&) {}, nullptr, /*needs_rows=*/false,
+                            /*expressions=*/nullptr, ScanAggregate{kind, 1},
+                            &agg, options)
+                      .ok());
+      EXPECT_TRUE(agg.started);
+      EXPECT_EQ(agg.acc, kind == AggKind::kMin ? expected_min : expected_max)
+          << "dop=" << dop;
+    }
+  }
+}
 
 }  // namespace
 }  // namespace stratus

@@ -1,0 +1,118 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace stratus {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  obs::MetricsRegistry registry;
+  ThreadPool pool(3, &registry, "tp_once");
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, 4, [&](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(pool.tasks_run(), 1000u);
+}
+
+TEST(ThreadPoolTest, ZeroWorkerPoolRunsEntirelyOnCaller) {
+  obs::MetricsRegistry registry;
+  ThreadPool pool(0, &registry, "tp_zero");
+  const auto caller = std::this_thread::get_id();
+  std::atomic<int> n{0};
+  pool.ParallelFor(64, 8, [&](size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    n.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(n.load(), 64);
+}
+
+TEST(ThreadPoolTest, MaxParallelOneRunsInline) {
+  obs::MetricsRegistry registry;
+  ThreadPool pool(4, &registry, "tp_inline");
+  const auto caller = std::this_thread::get_id();
+  std::vector<size_t> order;
+  pool.ParallelFor(16, 1, [&](size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);  // Unsynchronized on purpose: must be caller-only.
+  });
+  ASSERT_EQ(order.size(), 16u);
+  for (size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPoolTest, ConcurrencyNeverExceedsMaxParallel) {
+  obs::MetricsRegistry registry;
+  ThreadPool pool(8, &registry, "tp_cap");
+  std::atomic<int> current{0};
+  std::atomic<int> peak{0};
+  pool.ParallelFor(200, 3, [&](size_t) {
+    const int c = current.fetch_add(1, std::memory_order_acq_rel) + 1;
+    int p = peak.load(std::memory_order_relaxed);
+    while (c > p && !peak.compare_exchange_weak(p, c)) {
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    current.fetch_sub(1, std::memory_order_acq_rel);
+  });
+  EXPECT_LE(peak.load(), 3);
+  EXPECT_GE(peak.load(), 1);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  obs::MetricsRegistry registry;
+  ThreadPool pool(2, &registry, "tp_nested");
+  std::atomic<int> total{0};
+  pool.ParallelFor(4, 4, [&](size_t) {
+    pool.ParallelFor(8, 4, [&](size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), 32);
+}
+
+TEST(ThreadPoolTest, ConcurrentCallersShareOnePool) {
+  obs::MetricsRegistry registry;
+  ThreadPool pool(4, &registry, "tp_shared");
+  std::atomic<int> total{0};
+  std::vector<std::thread> callers;
+  for (int t = 0; t < 4; ++t) {
+    callers.emplace_back([&] {
+      for (int round = 0; round < 20; ++round) {
+        pool.ParallelFor(32, 3, [&](size_t) {
+          total.fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(total.load(), 4 * 20 * 32);
+}
+
+TEST(ThreadPoolTest, ExportsTaskMetrics) {
+  obs::MetricsRegistry registry;
+  ThreadPool pool(2, &registry, "tp_metrics");
+  pool.ParallelFor(10, 4, [](size_t) {});
+  const std::string text = registry.ExportText();
+  EXPECT_NE(text.find("tp_metrics_tasks"), std::string::npos);
+  EXPECT_NE(text.find("tp_metrics_task_queue_wait_us"), std::string::npos);
+  EXPECT_NE(text.find("tp_metrics_task_latency_us"), std::string::npos);
+}
+
+TEST(ThreadPoolTest, SharedPoolIsSingletonAndUsable) {
+  ThreadPool* a = ThreadPool::Shared();
+  ThreadPool* b = ThreadPool::Shared();
+  EXPECT_EQ(a, b);
+  std::atomic<int> n{0};
+  a->ParallelFor(100, 4, [&](size_t) {
+    n.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(n.load(), 100);
+}
+
+}  // namespace
+}  // namespace stratus
