@@ -13,9 +13,15 @@
 #           targets (net_test, log_shipping_test, transport_test) — the
 #           codec's byte-level parsing and the channels' buffer handling are
 #           where an out-of-bounds read or overflow would hide.
+#   chaos : crash–restart chaos matrix (chaos_test + chaos_matrix_test) under
+#           BOTH ASan+UBSan and TSan. Crash points are compiled in
+#           (STRATUS_CHAOS=ON, the non-Release default); the matrix arms
+#           every crash point at seeded ordinals across apply DOP 1/2/4 and
+#           runs the cross-layer invariant auditor after each crash–restart
+#           cycle. STRATUS_CHAOS_SEEDS overrides the per-cell seed count.
 #
 # Usage: scripts/ci.sh [stage] [build-dir-prefix]
-#   stage: all (default) | plain | tsan | asan
+#   stage: all (default) | plain | tsan | asan | chaos
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -26,6 +32,7 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 
 TSAN_TESTS="metrics_test latch_test thread_pool_test redo_apply_test scan_engine_test query_test consistency_test net_test"
 ASAN_TESTS="net_test log_shipping_test transport_test"
+CHAOS_TESTS="chaos_test chaos_matrix_test"
 
 run_plain() {
   echo "==> [plain] build + full test suite"
@@ -60,17 +67,45 @@ run_asan() {
     -R "^($(echo "${ASAN_TESTS}" | tr ' ' '|'))\$"
 }
 
+run_chaos() {
+  echo "==> [chaos] crash matrix under ASan+UBSan (${CHAOS_TESTS})"
+  local asan_flags="-fsanitize=address,undefined -fno-sanitize-recover=all -g -O1"
+  cmake -B "${PREFIX}-chaos-asan" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DSTRATUS_CHAOS=ON \
+    -DCMAKE_CXX_FLAGS="${asan_flags}" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" >/dev/null
+  # shellcheck disable=SC2086
+  cmake --build "${PREFIX}-chaos-asan" -j "${JOBS}" --target ${CHAOS_TESTS}
+  ctest --test-dir "${PREFIX}-chaos-asan" --output-on-failure -j "${JOBS}" \
+    -R "^($(echo "${CHAOS_TESTS}" | tr ' ' '|'))\$"
+
+  echo "==> [chaos] crash matrix under TSan (${CHAOS_TESTS})"
+  local tsan_flags="-fsanitize=thread -g -O1"
+  cmake -B "${PREFIX}-chaos-tsan" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DSTRATUS_CHAOS=ON \
+    -DCMAKE_CXX_FLAGS="${tsan_flags}" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
+  # shellcheck disable=SC2086
+  cmake --build "${PREFIX}-chaos-tsan" -j "${JOBS}" --target ${CHAOS_TESTS}
+  ctest --test-dir "${PREFIX}-chaos-tsan" --output-on-failure -j "${JOBS}" \
+    -R "^($(echo "${CHAOS_TESTS}" | tr ' ' '|'))\$"
+}
+
 case "${STAGE}" in
   plain) run_plain ;;
   tsan) run_tsan ;;
   asan) run_asan ;;
+  chaos) run_chaos ;;
   all)
     run_plain
     run_tsan
     run_asan
+    run_chaos
     ;;
   *)
-    echo "unknown stage: ${STAGE} (want all|plain|tsan|asan)" >&2
+    echo "unknown stage: ${STAGE} (want all|plain|tsan|asan|chaos)" >&2
     exit 2
     ;;
 esac

@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "chaos/crash_point.h"
 #include "common/latch.h"
 #include "common/types.h"
 #include "adg/recovery_worker.h"
@@ -35,6 +36,12 @@ class FlushDriver {
   /// Called after the new QuerySCN has been published (outside the Quiesce
   /// Period); used to propagate the QuerySCN to non-master RAC instances.
   virtual void OnPublished(Scn published) = 0;
+
+  /// Discards a prepared-but-unfinished advancement (crash teardown): frees
+  /// any chopped-but-unflushed worklink nodes. The abandoned invalidations
+  /// all belong to commits above the still-current QuerySCN, so no published
+  /// consistency point ever needed them.
+  virtual void AbandonAdvance() {}
 };
 
 /// The recovery coordinator (Section II.A): tracks recovery workers' applied
@@ -52,14 +59,25 @@ class RecoveryCoordinator {
   RecoveryCoordinator(const RecoveryCoordinator&) = delete;
   RecoveryCoordinator& operator=(const RecoveryCoordinator&) = delete;
 
+  /// Optional crash injection; must be set before Start().
+  void set_chaos(chaos::ChaosController* chaos) { chaos_ = chaos; }
+
   void Start();
   void Stop();
+  /// Crash teardown: additionally abandons an in-progress advancement
+  /// (without publishing) instead of waiting for its flush to drain — a
+  /// crashed recovery worker can no longer help, and the restart discards the
+  /// flush state anyway.
+  void CrashStop();
 
   /// The published QuerySCN: the Consistent Read snapshot for every query on
   /// the standby.
   Scn query_scn() const { return query_scn_.load(std::memory_order_acquire); }
 
-  /// Blocks until query_scn() >= scn or timeout. Returns the QuerySCN seen.
+  /// Blocks until query_scn() >= scn, the coordinator stops, or timeout.
+  /// Returns the QuerySCN seen. Waiters are released immediately on Stop() —
+  /// a stopped coordinator can never publish, so sleeping out the timeout
+  /// would only stall shutdown.
   Scn WaitForQueryScn(Scn scn, int64_t timeout_us) const;
 
   /// The Quiesce lock population synchronizes with (Section III.A).
@@ -71,6 +89,9 @@ class RecoveryCoordinator {
   /// Forces one advancement attempt synchronously (used by tests to step the
   /// protocol deterministically; the background thread does the same).
   bool TryAdvanceOnce();
+
+  /// True when the coordinator thread was terminated by a CrashSignal.
+  bool crashed() const { return crashed_.load(std::memory_order_acquire); }
 
   uint64_t advancements() const { return advancements_.load(std::memory_order_relaxed); }
 
@@ -90,9 +111,12 @@ class RecoveryCoordinator {
   std::vector<RecoveryWorker*> workers_;
   FlushDriver* driver_;
   int64_t poll_interval_us_;
+  chaos::ChaosController* chaos_ = nullptr;
 
   std::thread thread_;
   std::atomic<bool> stop_{false};
+  std::atomic<bool> abort_advance_{false};
+  std::atomic<bool> crashed_{false};
   std::atomic<Scn> query_scn_{kInvalidScn};
   QuiesceLock quiesce_;
 

@@ -8,6 +8,7 @@
 #include <mutex>
 #include <thread>
 
+#include "chaos/crash_point.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "redo/change_vector.h"
@@ -80,21 +81,50 @@ class RecoveryWorker {
   RecoveryWorker(const RecoveryWorker&) = delete;
   RecoveryWorker& operator=(const RecoveryWorker&) = delete;
 
+  /// Optional crash injection; must be set before Start().
+  void set_chaos(chaos::ChaosController* chaos) { chaos_ = chaos; }
+
   void Start();
   /// Drains the queue, then stops the thread.
   void Stop();
+  /// Requests stop and wakes everything (including a dispatcher blocked in
+  /// Enqueue) WITHOUT joining — crash teardown uses this first so the
+  /// dispatcher can never deadlock against a worker whose thread already died
+  /// on a CrashSignal.
+  void BeginShutdown();
 
   /// Enqueues an entry; blocks when the queue is full (backpressure on the
-  /// dispatcher, as Oracle's recovery slaves throttle the merger).
+  /// dispatcher, as Oracle's recovery slaves throttle the merger). Never
+  /// drops: change vectors come from destructive ReceivedLog pops, so a
+  /// discarded entry would be lost forever. Entries enqueued after stop are
+  /// either applied by the draining worker thread or recovered by
+  /// DrainQueueTo().
   void Enqueue(ApplyEntry entry);
+
+  /// After the worker thread has been joined: applies every change vector
+  /// still queued directly to `sink` (no mining hooks — the journal is being
+  /// discarded anyway) so no CV is skipped across a crash. Returns the number
+  /// of CVs applied. Single-threaded by contract.
+  size_t DrainQueueTo(ApplySink* sink);
 
   WorkerId id() const { return id_; }
 
   /// Highest SCN up to which this worker has applied everything assigned to
   /// it (advanced by barriers).
   Scn applied_watermark() const {
+    // Acquire pairs with the release store in Run(): a coordinator folding
+    // this watermark into the QuerySCN observes every block change the
+    // barrier covers.
     return watermark_.load(std::memory_order_acquire);
   }
+
+  /// True when the worker thread was terminated by a CrashSignal.
+  bool crashed() const { return crashed_.load(std::memory_order_acquire); }
+
+  /// First non-OK apply status, latched (OK when none occurred). The counter
+  /// alone proved too easy to ignore — the quarantine path and the degraded
+  /// health report both start from this.
+  Status first_error() const;
 
   uint64_t applied_cvs() const { return applied_cvs_.load(std::memory_order_relaxed); }
   uint64_t apply_errors() const { return apply_errors_.load(std::memory_order_relaxed); }
@@ -102,15 +132,19 @@ class RecoveryWorker {
  private:
   void Run();
   bool Pop(ApplyEntry* out, int64_t timeout_us);
+  void RequeueFront(ApplyEntry entry);
+  void LatchError(const Status& status);
 
   WorkerId id_;
   ApplySink* sink_;
   ApplyHooks* hooks_;
   FlushParticipant* flush_;
   size_t capacity_;
+  chaos::ChaosController* chaos_ = nullptr;
 
   std::thread thread_;
   std::atomic<bool> stop_{false};
+  std::atomic<bool> crashed_{false};
 
   std::mutex mu_;
   std::condition_variable not_empty_;
@@ -120,6 +154,9 @@ class RecoveryWorker {
   std::atomic<Scn> watermark_{kInvalidScn};
   std::atomic<uint64_t> applied_cvs_{0};
   std::atomic<uint64_t> apply_errors_{0};
+
+  mutable std::mutex err_mu_;
+  Status first_error_;  ///< Guarded by err_mu_.
 };
 
 }  // namespace stratus

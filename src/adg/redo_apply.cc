@@ -13,12 +13,14 @@ RedoApplyEngine::RedoApplyEngine(std::unique_ptr<LogMerger> merger,
     workers_.push_back(std::make_unique<RecoveryWorker>(
         static_cast<WorkerId>(i), sink_, hooks, flush,
         options_.worker_queue_capacity));
+    workers_.back()->set_chaos(options_.chaos);
   }
   if (options_.create_coordinator) {
     std::vector<RecoveryWorker*> worker_ptrs;
     for (auto& w : workers_) worker_ptrs.push_back(w.get());
     coordinator_ = std::make_unique<RecoveryCoordinator>(
         std::move(worker_ptrs), driver, options_.coordinator_poll_us);
+    coordinator_->set_chaos(options_.chaos);
   }
 }
 
@@ -28,6 +30,7 @@ RedoApplyEngine::~RedoApplyEngine() {
 
 void RedoApplyEngine::Start() {
   stop_.store(false, std::memory_order_release);
+  dispatcher_crashed_.store(false, std::memory_order_release);
   for (auto& w : workers_) w->Start();
   if (coordinator_ != nullptr) coordinator_->Start();
   dispatch_thread_ = std::thread([this] { DispatchLoop(); });
@@ -38,6 +41,29 @@ void RedoApplyEngine::Stop() {
   if (dispatch_thread_.joinable()) dispatch_thread_.join();
   for (auto& w : workers_) w->Stop();
   if (coordinator_ != nullptr) coordinator_->Stop();
+}
+
+void RedoApplyEngine::CrashStop() {
+  stop_.store(true, std::memory_order_release);
+  // Wake first, join second: if a worker died on a CrashSignal with a full
+  // queue, a dispatcher blocked in Enqueue would otherwise never return.
+  for (auto& w : workers_) w->BeginShutdown();
+  if (dispatch_thread_.joinable()) dispatch_thread_.join();
+  for (auto& w : workers_) w->Stop();
+  if (coordinator_ != nullptr) coordinator_->CrashStop();
+  // Every thread is down. Whatever a crashed worker left queued (including
+  // the entry it popped but never applied, which it requeued on the way out)
+  // is applied here — change vectors came off destructive ReceivedLog pops,
+  // so this drain is the only thing standing between a crash and a skipped
+  // change vector.
+  for (auto& w : workers_) w->DrainQueueTo(sink_);
+}
+
+bool RedoApplyEngine::crashed() const {
+  if (dispatcher_crashed_.load(std::memory_order_acquire)) return true;
+  for (const auto& w : workers_)
+    if (w->crashed()) return true;
+  return coordinator_ != nullptr && coordinator_->crashed();
 }
 
 void RedoApplyEngine::BroadcastBarrier(Scn scn) {
@@ -53,39 +79,52 @@ void RedoApplyEngine::BroadcastBarrier(Scn scn) {
 void RedoApplyEngine::DispatchLoop() {
   int since_barrier = 0;
   Scn last_scn = kInvalidScn;
-  while (!stop_.load(std::memory_order_acquire)) {
-    RedoRecord rec;
-    if (!merger_->Next(&rec, /*timeout_us=*/1000)) {
-      // Idle or stalled: nothing new to dispatch. Any barrier for `last_scn`
-      // has already been broadcast below, so just retry.
-      if (merger_->Finished()) break;
-      continue;
-    }
-    STRATUS_SPAN(obs::Stage::kLogMerge, rec.scn);
-    bool heartbeat_only = true;
-    for (ChangeVector& cv : rec.cvs) {
-      if (cv.kind == CvKind::kHeartbeat) continue;
-      heartbeat_only = false;
-      ApplyEntry entry;
-      entry.kind = ApplyEntry::Kind::kCv;
-      entry.cv = std::move(cv);
-      const size_t target = static_cast<size_t>(entry.cv.dba) % workers_.size();
-      workers_[target]->Enqueue(std::move(entry));
-    }
-    last_scn = rec.scn;
-    dispatched_scn_.store(rec.scn, std::memory_order_release);
-    dispatched_records_.fetch_add(1, std::memory_order_relaxed);
+  try {
+    while (!stop_.load(std::memory_order_acquire)) {
+      // The hand-off point fires with no record in flight: the merger pops a
+      // received log destructively only at emission, inside Next(). A crash
+      // here therefore loses nothing — the restarted engine re-merges from
+      // the surviving ReceivedLogs.
+      STRATUS_CRASH_POINT(options_.chaos, chaos::CrashPoint::kDispatchHandoff);
+      RedoRecord rec;
+      if (!merger_->Next(&rec, /*timeout_us=*/1000)) {
+        // Idle or stalled: nothing new to dispatch. Any barrier for `last_scn`
+        // has already been broadcast below, so just retry.
+        if (merger_->Finished()) break;
+        continue;
+      }
+      STRATUS_SPAN(obs::Stage::kLogMerge, rec.scn);
+      bool heartbeat_only = true;
+      for (ChangeVector& cv : rec.cvs) {
+        if (cv.kind == CvKind::kHeartbeat) continue;
+        heartbeat_only = false;
+        ApplyEntry entry;
+        entry.kind = ApplyEntry::Kind::kCv;
+        entry.cv = std::move(cv);
+        const size_t target = static_cast<size_t>(entry.cv.dba) % workers_.size();
+        workers_[target]->Enqueue(std::move(entry));
+      }
+      last_scn = rec.scn;
+      dispatched_scn_.store(rec.scn, std::memory_order_release);
+      dispatched_records_.fetch_add(1, std::memory_order_relaxed);
 
-    // A heartbeat record proves every stream has delivered up to rec.scn, so
-    // broadcast a barrier immediately; otherwise barrier periodically.
-    if (heartbeat_only || ++since_barrier >= options_.barrier_interval) {
-      BroadcastBarrier(last_scn);
-      since_barrier = 0;
+      // A heartbeat record proves every stream has delivered up to rec.scn, so
+      // broadcast a barrier immediately; otherwise barrier periodically.
+      if (heartbeat_only || ++since_barrier >= options_.barrier_interval) {
+        BroadcastBarrier(last_scn);
+        since_barrier = 0;
+      }
     }
+    // Final barrier so watermarks (and thus the QuerySCN) cover everything
+    // dispatched before shutdown.
+    BroadcastBarrier(last_scn);
+  } catch (const chaos::CrashSignal&) {
+    // The dispatcher "process" dies here — mid-record state is impossible at
+    // the hand-off point, and an Enqueue throw cannot happen (Enqueue does
+    // not hit crash points). No final barrier: the restarted engine rebuilds
+    // watermarks from scratch.
+    dispatcher_crashed_.store(true, std::memory_order_release);
   }
-  // Final barrier so watermarks (and thus the QuerySCN) cover everything
-  // dispatched before shutdown.
-  BroadcastBarrier(last_scn);
 }
 
 }  // namespace stratus

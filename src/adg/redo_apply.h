@@ -6,6 +6,7 @@
 #include <thread>
 #include <vector>
 
+#include "chaos/crash_point.h"
 #include "common/types.h"
 #include "adg/recovery_coordinator.h"
 #include "adg/recovery_worker.h"
@@ -25,6 +26,9 @@ struct RedoApplyOptions {
   /// coordinator (built over the union of their workers), the per-engine
   /// coordinator is not created.
   bool create_coordinator = true;
+  /// Optional crash injection, threaded into the dispatcher, every recovery
+  /// worker and the coordinator. Null in production wiring.
+  chaos::ChaosController* chaos = nullptr;
 };
 
 /// Parallel Redo Apply / Media Recovery on the standby (Section II.A,
@@ -48,6 +52,12 @@ class RedoApplyEngine {
   /// received logs remain there (a later engine instance can resume — the
   /// standby "restart" scenario of Section III.E).
   void Stop();
+  /// Crash teardown: some pipeline threads may already be dead on a
+  /// CrashSignal. Wakes everything first (so no live thread blocks on a dead
+  /// one), joins, abandons any in-progress QuerySCN advancement, then drains
+  /// every worker queue straight into the sink so no dispatched change vector
+  /// is ever lost (exactly-once across restart).
+  void CrashStop();
 
   RecoveryCoordinator* coordinator() { return coordinator_.get(); }
 
@@ -57,6 +67,10 @@ class RedoApplyEngine {
   uint64_t dispatched_records() const {
     return dispatched_records_.load(std::memory_order_relaxed);
   }
+
+  /// True when any pipeline thread (dispatcher, worker, coordinator) was
+  /// terminated by a CrashSignal.
+  bool crashed() const;
 
   const std::vector<std::unique_ptr<RecoveryWorker>>& workers() const {
     return workers_;
@@ -75,6 +89,7 @@ class RedoApplyEngine {
 
   std::thread dispatch_thread_;
   std::atomic<bool> stop_{false};
+  std::atomic<bool> dispatcher_crashed_{false};
   std::atomic<Scn> dispatched_scn_{kInvalidScn};
   std::atomic<uint64_t> dispatched_records_{0};
 };

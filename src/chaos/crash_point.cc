@@ -1,0 +1,83 @@
+#include "chaos/crash_point.h"
+
+#include <chrono>
+
+namespace stratus {
+namespace chaos {
+
+const char* CrashPointName(CrashPoint point) {
+  switch (point) {
+    case CrashPoint::kDispatchHandoff: return "dispatch_handoff";
+    case CrashPoint::kWorkerDequeue: return "worker_dequeue";
+    case CrashPoint::kWorkerApply: return "worker_apply";
+    case CrashPoint::kJournalMine: return "journal_mine";
+    case CrashPoint::kCommitChop: return "commit_chop";
+    case CrashPoint::kQuiesceBegin: return "quiesce_begin";
+    case CrashPoint::kQuiescePublish: return "quiesce_publish";
+    case CrashPoint::kQuiesceEnd: return "quiesce_end";
+    case CrashPoint::kFlushStep: return "flush_step";
+    case CrashPoint::kPopulationSnapshot: return "population_snapshot";
+    case CrashPoint::kNumPoints: return "invalid";
+  }
+  return "invalid";
+}
+
+void ChaosController::Arm(CrashPoint point, uint64_t nth) {
+  if (nth == 0) nth = 1;
+  fired_.store(false, std::memory_order_release);
+  fired_point_.store(static_cast<uint8_t>(CrashPoint::kNumPoints),
+                     std::memory_order_release);
+  fired_hit_.store(0, std::memory_order_release);
+  countdown_.store(nth, std::memory_order_release);
+  armed_point_.store(static_cast<uint8_t>(point), std::memory_order_release);
+  // armed_ last: a Hit racing with Arm sees either fully-armed or not armed.
+  armed_.store(true, std::memory_order_release);
+}
+
+void ChaosController::Disarm() { armed_.store(false, std::memory_order_release); }
+
+void ChaosController::Hit(CrashPoint point) {
+  const uint64_t hit =
+      hits_[static_cast<size_t>(point)].fetch_add(1, std::memory_order_relaxed) + 1;
+  if (!armed_.load(std::memory_order_acquire)) return;
+  if (armed_point_.load(std::memory_order_acquire) !=
+      static_cast<uint8_t>(point)) {
+    return;
+  }
+  // Exactly one thread observes the countdown reach zero and fires; the
+  // controller disarms itself so draining/teardown never re-throws.
+  if (countdown_.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+  armed_.store(false, std::memory_order_release);
+  fired_point_.store(static_cast<uint8_t>(point), std::memory_order_release);
+  fired_hit_.store(hit, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> g(fire_mu_);
+    fired_.store(true, std::memory_order_release);
+    fire_cv_.notify_all();
+  }
+  throw CrashSignal{point, hit};
+}
+
+bool ChaosController::WaitForFire(int64_t timeout_us) const {
+  std::unique_lock<std::mutex> g(fire_mu_);
+  fire_cv_.wait_for(g, std::chrono::microseconds(timeout_us),
+                    [&] { return fired_.load(std::memory_order_acquire); });
+  return fired_.load(std::memory_order_acquire);
+}
+
+void ChaosController::ArmApplyError(uint64_t nth) {
+  if (nth == 0) nth = 1;
+  apply_error_countdown_.store(static_cast<int64_t>(nth),
+                               std::memory_order_release);
+}
+
+bool ChaosController::ShouldFailApply() {
+  if (apply_error_countdown_.load(std::memory_order_acquire) <= 0) return false;
+  if (apply_error_countdown_.fetch_sub(1, std::memory_order_acq_rel) != 1)
+    return false;
+  apply_errors_injected_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace chaos
+}  // namespace stratus

@@ -1,0 +1,164 @@
+#ifndef STRATUS_CHAOS_CRASH_POINT_H_
+#define STRATUS_CHAOS_CRASH_POINT_H_
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace stratus {
+namespace chaos {
+
+/// Every instrumented location in the standby apply path. A crash point is a
+/// place where a real standby instance could die (SIGKILL, power loss) with
+/// observable intermediate state: the registry lets a test kill the pipeline
+/// at exactly that state, deterministically, and then prove the restart
+/// protocol (Section III.E) still converges to a correct database.
+enum class CrashPoint : uint8_t {
+  /// Dispatcher about to pull the next record from the log merger. Fires with
+  /// no record in flight (the merger pops destructively only at emission).
+  kDispatchHandoff = 0,
+  /// Recovery worker popped an entry but has not yet applied or mined it.
+  kWorkerDequeue,
+  /// Recovery worker about to apply a change vector to the physical database.
+  kWorkerApply,
+  /// Mining Component about to buffer an invalidation record in the journal
+  /// (the change vector is already applied physically — the window where the
+  /// journal's record set goes partial, Section III.E).
+  kJournalMine,
+  /// Coordinator about to chop the IM-ADG Commit Table for an advancement.
+  kCommitChop,
+  /// Coordinator about to enter the Quiesce Period (exclusive lock not yet
+  /// held).
+  kQuiesceBegin,
+  /// Invalidation flush drained; the new QuerySCN not yet published (still
+  /// inside the Quiesce Period).
+  kQuiescePublish,
+  /// QuerySCN published, Quiesce Period just ended; OnPublished/listeners not
+  /// yet notified.
+  kQuiesceEnd,
+  /// A flusher (coordinator or cooperative recovery worker) holding a
+  /// detached worklink batch, about to process its next node.
+  kFlushStep,
+  /// Population captured a snapshot SCN and registered the SMU, but the IMCU
+  /// column data is not built yet (the SMU-first window of Section III.A).
+  kPopulationSnapshot,
+  kNumPoints,
+};
+
+inline constexpr size_t kNumCrashPoints =
+    static_cast<size_t>(CrashPoint::kNumPoints);
+
+const char* CrashPointName(CrashPoint point);
+
+/// Thrown out of an armed crash point. Deliberately not derived from
+/// std::exception: nothing in the pipeline may catch it accidentally — only
+/// the per-thread chaos handlers (which rethrow or record the crash) name it.
+struct CrashSignal {
+  CrashPoint point = CrashPoint::kNumPoints;
+  uint64_t hit = 0;  ///< The per-point hit ordinal that fired (1-based).
+};
+
+/// True when STRATUS_CRASH_POINT compiles to a real hit (debug/CI builds).
+/// Release builds compile the macro to nothing; chaos tests that depend on a
+/// signal actually firing gate themselves on this.
+constexpr bool CrashPointsCompiledIn() {
+#ifdef STRATUS_CHAOS_POINTS
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// Deterministic, seeded crash injection for one standby instance.
+///
+/// Instance-scoped (not a process singleton): primary and standby share one
+/// process here, and only the standby's pipeline threads must ever observe an
+/// armed point. The controller is threaded through DatabaseOptions into the
+/// standby's apply engine, coordinator, mining, flush and population.
+///
+/// Arming is one-shot: the Nth hit of the armed point (counted from the
+/// moment of arming) throws a CrashSignal in whichever pipeline thread
+/// reached it, and the controller disarms itself so teardown/drain never
+/// re-fires. The fast path for an un-armed point is one relaxed atomic
+/// increment.
+class ChaosController {
+ public:
+  ChaosController() = default;
+  ChaosController(const ChaosController&) = delete;
+  ChaosController& operator=(const ChaosController&) = delete;
+
+  /// Arms `point` to fire at its `nth` hit from now (1 = the very next hit).
+  /// Clears any previous fire state.
+  void Arm(CrashPoint point, uint64_t nth);
+  void Disarm();
+
+  /// Called by STRATUS_CRASH_POINT. Throws CrashSignal when this hit is the
+  /// armed one.
+  void Hit(CrashPoint point);
+
+  bool armed() const { return armed_.load(std::memory_order_acquire); }
+  bool fired() const { return fired_.load(std::memory_order_acquire); }
+  CrashPoint fired_point() const {
+    return static_cast<CrashPoint>(fired_point_.load(std::memory_order_acquire));
+  }
+  uint64_t fired_hit() const { return fired_hit_.load(std::memory_order_acquire); }
+
+  /// Blocks until an armed point fires or `timeout_us` elapses; returns
+  /// fired().
+  bool WaitForFire(int64_t timeout_us) const;
+
+  /// Lifetime hit counter for `point` (never reset by Arm/Disarm).
+  uint64_t hits(CrashPoint point) const {
+    return hits_[static_cast<size_t>(point)].load(std::memory_order_relaxed);
+  }
+
+  /// Arms the Nth *data change-vector apply* from now to report a failed
+  /// Status even though the physical apply succeeded (the swallowed-error
+  /// satellite: proves a failing apply quarantines its IMCU instead of
+  /// silently serving stale columnar data). One-shot, like Arm().
+  void ArmApplyError(uint64_t nth);
+  /// Consumed by the standby's ApplyCv; true exactly once, at the armed hit.
+  bool ShouldFailApply();
+  uint64_t apply_errors_injected() const {
+    return apply_errors_injected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> armed_{false};
+  std::atomic<uint8_t> armed_point_{static_cast<uint8_t>(CrashPoint::kNumPoints)};
+  std::atomic<uint64_t> countdown_{0};
+
+  std::atomic<bool> fired_{false};
+  std::atomic<uint8_t> fired_point_{static_cast<uint8_t>(CrashPoint::kNumPoints)};
+  std::atomic<uint64_t> fired_hit_{0};
+
+  mutable std::mutex fire_mu_;
+  mutable std::condition_variable fire_cv_;
+
+  std::array<std::atomic<uint64_t>, kNumCrashPoints> hits_{};
+
+  std::atomic<int64_t> apply_error_countdown_{0};  ///< 0 = disarmed.
+  std::atomic<uint64_t> apply_errors_injected_{0};
+};
+
+}  // namespace chaos
+}  // namespace stratus
+
+/// Compiled into the apply path. `controller` is a chaos::ChaosController*
+/// (may be null: production wiring passes none and the check folds to a
+/// single branch). In release builds (STRATUS_CHAOS=OFF) the macro is a no-op
+/// and the whole registry costs nothing.
+#ifdef STRATUS_CHAOS_POINTS
+#define STRATUS_CRASH_POINT(controller, point)               \
+  do {                                                       \
+    if ((controller) != nullptr) (controller)->Hit(point);   \
+  } while (0)
+#else
+#define STRATUS_CRASH_POINT(controller, point) \
+  do {                                         \
+  } while (0)
+#endif
+
+#endif  // STRATUS_CHAOS_CRASH_POINT_H_

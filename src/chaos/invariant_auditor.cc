@@ -1,0 +1,299 @@
+#include "chaos/invariant_auditor.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "imcs/imcu.h"
+#include "imcs/smu.h"
+#include "storage/block.h"
+#include "storage/visibility.h"
+
+namespace stratus::chaos {
+namespace {
+
+// A report longer than this is noise: the first violations identify the bug.
+constexpr size_t kMaxViolations = 64;
+
+/// Order- and path-independent serialization of one row for set comparison.
+std::string RowKey(const Row& row) {
+  std::string key;
+  for (const Value& v : row) {
+    key += v.ToString();
+    key += '\x1f';
+  }
+  return key;
+}
+
+std::vector<std::string> SortedKeys(const std::vector<Row>& rows) {
+  std::vector<std::string> keys;
+  keys.reserve(rows.size());
+  for (const Row& row : rows) keys.push_back(RowKey(row));
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+/// First key present in `a` but not `b` (both sorted), empty if none.
+std::string FirstOnlyIn(const std::vector<std::string>& a,
+                        const std::vector<std::string>& b) {
+  std::vector<std::string> diff;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(diff));
+  return diff.empty() ? std::string() : diff.front();
+}
+
+Value ColumnOrNull(const Row& row, size_t c) {
+  return c < row.size() ? row[c] : Value::Null();
+}
+
+}  // namespace
+
+std::string AuditReport::ToString() const {
+  std::ostringstream os;
+  os << "audit: " << checks_run << " checks, " << rows_compared
+     << " rows compared, " << violations.size() << " violation(s)";
+  for (const std::string& v : violations) os << "\n  - " << v;
+  return os.str();
+}
+
+InvariantAuditor::InvariantAuditor(PrimaryDb* primary, StandbyDb* standby,
+                                   std::vector<ObjectId> tables,
+                                   uint32_t standby_instances)
+    : primary_(primary), standby_(standby), tables_(std::move(tables)),
+      standby_instances_(standby_instances == 0 ? 1 : standby_instances) {}
+
+void InvariantAuditor::Violation(AuditReport* report, std::string message) {
+  if (report->violations.size() < kMaxViolations)
+    report->violations.push_back(std::move(message));
+  else if (report->violations.size() == kMaxViolations)
+    report->violations.push_back("... further violations suppressed");
+}
+
+AuditReport InvariantAuditor::Run(const AuditOptions& options) {
+  AuditReport report;
+  const Scn scn = standby_->query_scn();
+  CheckQueryScn(options, scn, &report);
+  if (scn == kInvalidScn) return report;  // Nothing else is well-defined.
+  for (ObjectId table : tables_) {
+    CheckDualPathEquality(table, scn, &report);
+    CheckSmuSuperset(table, scn, &report);
+    if (options.check_primary_equivalence)
+      CheckPrimaryEquivalence(table, scn, &report);
+  }
+  CheckCommitTableChop(scn, &report);
+  CheckJournalQuiescence(&report);
+  CheckApplyAccounting(options, &report);
+  return report;
+}
+
+void InvariantAuditor::CheckQueryScn(const AuditOptions& options, Scn scn,
+                                     AuditReport* report) {
+  ++report->checks_run;
+  if (scn == kInvalidScn) {
+    Violation(report, "I1: no QuerySCN published after convergence");
+    return;
+  }
+  if (options.min_query_scn != kInvalidScn && scn < options.min_query_scn) {
+    std::ostringstream os;
+    os << "I1: QuerySCN regressed: published " << scn << " < floor "
+       << options.min_query_scn;
+    Violation(report, os.str());
+  }
+  RecoveryCoordinator* coordinator = standby_->coordinator();
+  if (coordinator != nullptr) {
+    const Scn candidate = coordinator->CandidateScn();
+    if (candidate != kInvalidScn && scn > candidate) {
+      std::ostringstream os;
+      os << "I1: QuerySCN " << scn << " above min worker watermark "
+         << candidate;
+      Violation(report, os.str());
+    }
+  }
+}
+
+void InvariantAuditor::CheckDualPathEquality(ObjectId table, Scn scn,
+                                             AuditReport* report) {
+  ++report->checks_run;
+  ScanQuery row_q;
+  row_q.object = table;
+  row_q.force_row_store = true;
+  ScanQuery im_q;
+  im_q.object = table;
+
+  StatusOr<QueryResult> row_r = standby_->QueryAt(row_q, scn);
+  StatusOr<QueryResult> im_r = standby_->QueryAt(im_q, scn);
+  if (!row_r.ok() || !im_r.ok()) {
+    std::ostringstream os;
+    os << "I2: table " << table << ": query failed: row-store="
+       << (row_r.ok() ? "ok" : row_r.status().ToString())
+       << " imcs=" << (im_r.ok() ? "ok" : im_r.status().ToString());
+    Violation(report, os.str());
+    return;
+  }
+  const std::vector<std::string> row_keys = SortedKeys(row_r.value().rows);
+  const std::vector<std::string> im_keys = SortedKeys(im_r.value().rows);
+  report->rows_compared += row_keys.size();
+  if (row_keys == im_keys) return;
+  std::ostringstream os;
+  os << "I2: table " << table << " @scn " << scn << ": row-store path ("
+     << row_keys.size() << " rows) != IMCS path (" << im_keys.size()
+     << " rows)";
+  const std::string only_row = FirstOnlyIn(row_keys, im_keys);
+  const std::string only_im = FirstOnlyIn(im_keys, row_keys);
+  if (!only_row.empty()) os << "; row-store-only example: [" << only_row << "]";
+  if (!only_im.empty()) os << "; IMCS-only example: [" << only_im << "]";
+  Violation(report, os.str());
+}
+
+void InvariantAuditor::CheckSmuSuperset(ObjectId table, Scn scn,
+                                        AuditReport* report) {
+  ++report->checks_run;
+  ReadView view;
+  view.snapshot_scn = scn;
+  view.resolver = standby_->txn_table();
+  BlockStore* blocks = standby_->block_store();
+
+  for (uint32_t inst = 0; inst < standby_instances_; ++inst) {
+    ImStore* store = standby_->im_store(inst);
+    if (store == nullptr) continue;
+    for (const auto& smu : store->SmusForObject(table)) {
+      if (smu->state() != SmuState::kReady) continue;
+      const std::shared_ptr<const Imcu> imcu = smu->imcu();
+      if (imcu == nullptr) continue;
+      const Schema& schema = imcu->schema();
+      const std::vector<Dba>& dbas = smu->dbas();
+      for (uint32_t r = 0; r < smu->num_rows(); ++r) {
+        if (smu->IsRowInvalid(r)) continue;  // Covered by invalidity.
+        const Dba dba = dbas[r / kRowsPerBlock];
+        const SlotId slot = static_cast<SlotId>(r % kRowsPerBlock);
+        Block* block = blocks->GetBlock(dba);
+        Row store_row;
+        const bool store_visible =
+            block != nullptr && slot < block->used_slots() &&
+            block->ReadRow(slot, view, &store_row).ok();
+        const bool imcu_present = imcu->Present(r);
+        ++report->rows_compared;
+        if (store_visible != imcu_present) {
+          std::ostringstream os;
+          os << "I3: table " << table << " smu@" << smu->snapshot_scn()
+             << " row " << r << " (dba " << dba << " slot " << slot
+             << "): row store " << (store_visible ? "visible" : "absent")
+             << " vs IMCU " << (imcu_present ? "present" : "absent")
+             << " @scn " << scn << " but row not marked invalid";
+          Violation(report, os.str());
+          continue;
+        }
+        if (!store_visible) continue;
+        const Row imcu_row = imcu->Materialize(r);
+        for (size_t c = 0; c < schema.num_columns(); ++c) {
+          if (schema.IsDropped(c)) continue;
+          if (ColumnOrNull(store_row, c) == ColumnOrNull(imcu_row, c)) continue;
+          std::ostringstream os;
+          os << "I3: table " << table << " row " << r << " (dba " << dba
+             << " slot " << slot << ") col " << c << ": row store "
+             << ColumnOrNull(store_row, c).ToString() << " vs IMCU "
+             << ColumnOrNull(imcu_row, c).ToString()
+             << " but row not marked invalid";
+          Violation(report, os.str());
+          break;
+        }
+      }
+    }
+  }
+}
+
+void InvariantAuditor::CheckCommitTableChop(Scn scn, AuditReport* report) {
+  ++report->checks_run;
+  ImAdgCommitTable* commit_table = standby_->commit_table();
+  if (commit_table == nullptr) return;  // No pipeline (promoted / stopped).
+  const Scn min_pending = commit_table->MinPendingScn();
+  if (min_pending <= scn) {
+    std::ostringstream os;
+    os << "I4: commit table still holds SCN " << min_pending
+       << " at or below published QuerySCN " << scn
+       << " (its invalidations were never flushed)";
+    Violation(report, os.str());
+  }
+}
+
+void InvariantAuditor::CheckJournalQuiescence(AuditReport* report) {
+  ++report->checks_run;
+  ImAdgJournal* journal = standby_->journal();
+  ImAdgCommitTable* commit_table = standby_->commit_table();
+  if (journal == nullptr) return;
+  // Only meaningful once the commit table has drained: a still-pending commit
+  // legitimately anchors its journal records.
+  if (commit_table != nullptr && commit_table->MinPendingScn() != kMaxScn)
+    return;
+  const size_t anchors = journal->live_anchors();
+  if (anchors != 0) {
+    std::ostringstream os;
+    os << "I5: " << anchors
+       << " live journal anchor(s) with an empty commit table (leaked "
+          "per-transaction journal state)";
+    Violation(report, os.str());
+  }
+}
+
+void InvariantAuditor::CheckApplyAccounting(const AuditOptions& options,
+                                            AuditReport* report) {
+  if (options.expected_applies == nullptr) return;
+  ++report->checks_run;
+  const std::unordered_map<uint64_t, uint64_t> applied =
+      standby_->ApplyAccountingSnapshot();
+  const std::unordered_map<uint64_t, uint64_t>& expected =
+      *options.expected_applies;
+  for (const auto& [key, want] : expected) {
+    const auto it = applied.find(key);
+    const uint64_t got = it == applied.end() ? 0 : it->second;
+    if (got == want) continue;
+    std::ostringstream os;
+    os << "I6: dba " << (key >> 20) << " slot " << (key & 0xfffff) << ": "
+       << want << " change vector(s) shipped, " << got << " applied ("
+       << (got < want ? "skipped" : "double-applied") << ")";
+    Violation(report, os.str());
+  }
+  for (const auto& [key, got] : applied) {
+    if (expected.count(key) != 0) continue;
+    std::ostringstream os;
+    os << "I6: dba " << (key >> 20) << " slot " << (key & 0xfffff) << ": "
+       << got << " apply(ies) recorded for a row no shipped change vector "
+       << "targeted";
+    Violation(report, os.str());
+  }
+  report->rows_compared += expected.size();
+}
+
+void InvariantAuditor::CheckPrimaryEquivalence(ObjectId table, Scn scn,
+                                               AuditReport* report) {
+  ++report->checks_run;
+  ScanQuery q;
+  q.object = table;
+  q.force_row_store = true;
+  StatusOr<QueryResult> primary_r = primary_->QueryAt(q, scn);
+  StatusOr<QueryResult> standby_r = standby_->QueryAt(q, scn);
+  if (!primary_r.ok() || !standby_r.ok()) {
+    std::ostringstream os;
+    os << "I7: table " << table << ": query failed: primary="
+       << (primary_r.ok() ? "ok" : primary_r.status().ToString())
+       << " standby=" << (standby_r.ok() ? "ok" : standby_r.status().ToString());
+    Violation(report, os.str());
+    return;
+  }
+  const std::vector<std::string> primary_keys =
+      SortedKeys(primary_r.value().rows);
+  const std::vector<std::string> standby_keys =
+      SortedKeys(standby_r.value().rows);
+  report->rows_compared += primary_keys.size();
+  if (primary_keys == standby_keys) return;
+  std::ostringstream os;
+  os << "I7: table " << table << " @scn " << scn << ": primary ("
+     << primary_keys.size() << " rows) != standby (" << standby_keys.size()
+     << " rows)";
+  const std::string only_p = FirstOnlyIn(primary_keys, standby_keys);
+  const std::string only_s = FirstOnlyIn(standby_keys, primary_keys);
+  if (!only_p.empty()) os << "; primary-only example: [" << only_p << "]";
+  if (!only_s.empty()) os << "; standby-only example: [" << only_s << "]";
+  Violation(report, os.str());
+}
+
+}  // namespace stratus::chaos

@@ -1,0 +1,84 @@
+#ifndef STRATUS_CHAOS_INVARIANT_AUDITOR_H_
+#define STRATUS_CHAOS_INVARIANT_AUDITOR_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "db/database.h"
+
+namespace stratus::chaos {
+
+/// Outcome of one audit pass: every violated invariant as a human-readable
+/// line. An empty report is the pass condition of the chaos matrix.
+struct AuditReport {
+  std::vector<std::string> violations;
+  uint64_t checks_run = 0;
+  uint64_t rows_compared = 0;
+
+  bool ok() const { return violations.empty(); }
+  std::string ToString() const;
+};
+
+/// Per-audit inputs that change cycle to cycle.
+struct AuditOptions {
+  /// QuerySCN floor: the SCN published before the crash cycle started. The
+  /// restarted pipeline must republish at or above it (QuerySCN is monotone
+  /// from a reader's point of view even across instance restarts, because
+  /// readers only ever see published SCNs and redo re-applies past them).
+  Scn min_query_scn = kInvalidScn;
+  /// Expected per-(dba,slot) successful-apply counts, keyed by
+  /// StandbyDb::AccountingKey. Null skips the exactly-once check (requires
+  /// DatabaseOptions::apply_accounting on the standby).
+  const std::unordered_map<uint64_t, uint64_t>* expected_applies = nullptr;
+  /// Also compare each table's standby result against a primary flashback
+  /// query at the same SCN (requires the primary's undo to still cover it).
+  bool check_primary_equivalence = true;
+};
+
+/// Cross-layer invariant auditor (the chaos harness's oracle). Run after the
+/// pipeline has converged — no in-flight redo — at a published QuerySCN:
+///
+///  I1  QuerySCN sanity: published, at or above the floor, and not above the
+///      coordinator's candidate (min worker watermark).
+///  I2  Dual-path equality: for every table, a forced row-store scan and an
+///      IMCS-eligible scan at the QuerySCN return identical row sets.
+///  I3  SMU superset: any row where the IMCU's population-time image diverges
+///      from the row store at the QuerySCN must be marked invalid in the SMU.
+///  I4  Commit-table chop: nothing at or below the QuerySCN is still pending
+///      (its invalidations were flushed before publication).
+///  I5  Journal quiescence: no live anchors once every mined transaction has
+///      committed or aborted and the commit table has drained.
+///  I6  Exactly-once apply: per-(dba,slot) successful-apply counters equal
+///      the shipped-DML ledger — no change vector skipped or double-applied
+///      across any number of crash–restart cycles.
+///  I7  Primary equivalence: the standby result matches a primary flashback
+///      query at the same SCN.
+class InvariantAuditor {
+ public:
+  InvariantAuditor(PrimaryDb* primary, StandbyDb* standby,
+                   std::vector<ObjectId> tables, uint32_t standby_instances = 1);
+
+  AuditReport Run(const AuditOptions& options);
+
+ private:
+  void CheckQueryScn(const AuditOptions& options, Scn scn, AuditReport* report);
+  void CheckDualPathEquality(ObjectId table, Scn scn, AuditReport* report);
+  void CheckSmuSuperset(ObjectId table, Scn scn, AuditReport* report);
+  void CheckCommitTableChop(Scn scn, AuditReport* report);
+  void CheckJournalQuiescence(AuditReport* report);
+  void CheckApplyAccounting(const AuditOptions& options, AuditReport* report);
+  void CheckPrimaryEquivalence(ObjectId table, Scn scn, AuditReport* report);
+
+  void Violation(AuditReport* report, std::string message);
+
+  PrimaryDb* primary_;
+  StandbyDb* standby_;
+  std::vector<ObjectId> tables_;
+  uint32_t standby_instances_;
+};
+
+}  // namespace stratus::chaos
+
+#endif  // STRATUS_CHAOS_INVARIANT_AUDITOR_H_

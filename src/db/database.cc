@@ -98,6 +98,7 @@ PrimaryDb::PrimaryDb(const DatabaseOptions& options)
     PopulationOptions pop = options_.population;
     pop.home_fn = nullptr;  // The primary IMCS is not distributed here.
     pop.expressions = &im_exprs_;
+    pop.chaos = nullptr;  // Crash injection targets the standby only.
     populator_ = std::make_unique<Populator>(im_store_.get(), snapshot_source_.get(),
                                              &blocks_, pop);
     commit_hooks_ = std::make_unique<PrimaryCommitHooks>(&im_sync_, im_store_.get());
@@ -301,6 +302,18 @@ void StandbyDb::ExportCoreMetrics(obs::MetricsSink* sink) const {
               static_cast<double>(applied_scn()));
   sink->Gauge("stratus_published_query_scn", labels,
               static_cast<double>(published_query_scn()));
+  // Degraded-health and crash/restart series live at core (not pipeline)
+  // scope: they must survive pipeline teardown and stay monotonic across
+  // restarts, which is exactly when operators look at them.
+  sink->Gauge("stratus_standby_degraded", labels, degraded() ? 1.0 : 0.0);
+  sink->Counter("stratus_apply_errors_total", labels,
+                apply_error_count_.load(std::memory_order_relaxed));
+  sink->Counter("stratus_quarantined_imcus", labels,
+                quarantined_imcus_.load(std::memory_order_relaxed));
+  sink->Counter("stratus_standby_restarts", labels,
+                restarts_.load(std::memory_order_relaxed));
+  sink->Counter("stratus_standby_crash_restarts", labels,
+                crash_restarts_.load(std::memory_order_relaxed));
   uint64_t delivered = 0;
   Scn delivered_scn = kMaxScn;
   for (const auto& s : streams_) {
@@ -439,6 +452,8 @@ void StandbyDb::BuildPipeline() {
         [this](ObjectId oid, TenantId) {
           return ImOnStandby(catalog_.CurrentImService(oid));
         });
+    flush_->set_chaos(options_.chaos);
+    mining_->set_chaos(options_.chaos);
     driver = flush_.get();
     hooks = mining_.get();
     participant = flush_.get();
@@ -448,9 +463,11 @@ void StandbyDb::BuildPipeline() {
   for (const auto& s : streams_) stream_ptrs.push_back(s.get());
   if (mira <= 1) {
     // SIRA: one apply engine, its own recovery coordinator.
+    RedoApplyOptions apply_opts = options_.apply;
+    apply_opts.chaos = options_.chaos;
     engine_ = std::make_unique<RedoApplyEngine>(
         std::make_unique<LogMerger>(std::move(stream_ptrs)), this, hooks,
-        participant, driver, options_.apply);
+        participant, driver, apply_opts);
     if (engine_->coordinator() != nullptr) {
       // Mirror publishes into an atomic that outlives the pipeline, so the
       // lag monitor never dereferences a coordinator mid-teardown.
@@ -475,6 +492,7 @@ void StandbyDb::BuildPipeline() {
 
     RedoApplyOptions per_instance = options_.apply;
     per_instance.create_coordinator = false;
+    per_instance.chaos = options_.chaos;
     std::vector<RecoveryWorker*> all_workers;
     for (size_t i = 0; i < mira; ++i) {
       ApplyHooks* instance_hooks = nullptr;
@@ -491,6 +509,7 @@ void StandbyDb::BuildPipeline() {
     }
     mira_coordinator_ = std::make_unique<RecoveryCoordinator>(
         std::move(all_workers), driver, options_.apply.coordinator_poll_us);
+    mira_coordinator_->set_chaos(options_.chaos);
     mira_coordinator_->set_publish_listener([this](Scn scn) {
       last_query_scn_.store(scn, std::memory_order_release);
     });
@@ -509,6 +528,7 @@ void StandbyDb::BuildPipeline() {
       }
       PopulationOptions pop = options_.population;
       pop.expressions = &im_exprs_;
+      pop.chaos = options_.chaos;
       if (options_.standby_instances > 1) {
         pop.home_fn = [this](ObjectId oid, uint64_t ordinal) {
           return home_map_.HomeOf(oid, ordinal);
@@ -587,6 +607,47 @@ void StandbyDb::TearDownPipeline() {
   journal_.reset();
 }
 
+void StandbyDb::CrashTearDownPipeline() {
+  pipeline_metrics_cb_.Reset();
+  for (auto& inst : instances_) {
+    if (inst.populator != nullptr) inst.populator->Stop();
+  }
+  if (coordinator() != nullptr)
+    last_query_scn_.store(coordinator()->query_scn(), std::memory_order_release);
+  if (splitter_ != nullptr) splitter_->Stop();
+  if (engine_ != nullptr) {
+    engine_->CrashStop();
+    last_applied_scn_.store(engine_->dispatched_scn(), std::memory_order_release);
+  }
+  for (auto& e : mira_engines_) e->CrashStop();
+  if (!mira_engines_.empty()) {
+    Scn applied = kInvalidScn;
+    for (auto& e : mira_engines_) applied = std::max(applied, e->dispatched_scn());
+    last_applied_scn_.store(applied, std::memory_order_release);
+  }
+  if (mira_coordinator_ != nullptr) mira_coordinator_->CrashStop();
+  if (channel_ != nullptr) channel_->Stop();
+  // Destroy in reverse dependency order (same as TearDownPipeline).
+  for (auto& inst : instances_) {
+    inst.populator.reset();
+    inst.snapshot_source.reset();
+  }
+  mira_coordinator_.reset();
+  mira_engines_.clear();
+  mira_hooks_.clear();
+  splitter_.reset();
+  mira_streams_.clear();
+  engine_.reset();
+  channel_.reset();
+  for (auto& inst : instances_) inst.remote.reset();
+  mining_.reset();
+  flush_.reset();
+  applier_.reset();
+  ddl_table_.reset();
+  commit_table_.reset();
+  journal_.reset();
+}
+
 void StandbyDb::Start() {
   if (started_) return;
   started_ = true;
@@ -613,7 +674,35 @@ void StandbyDb::Restart() {
   // transaction table) and not-yet-consumed shipped redo survive.
   for (auto& inst : instances_) inst.store->Clear();
   last_query_scn_.store(kInvalidScn, std::memory_order_release);
+  ResetHealthForRestart();
+  restarts_.fetch_add(1, std::memory_order_relaxed);
   Start();
+}
+
+void StandbyDb::CrashRestart() {
+  if (promoted_) return;
+  if (started_) {
+    started_ = false;
+    CrashTearDownPipeline();
+  }
+  // Same non-persistent-state discard as Restart(): IMCS, journal, commit
+  // table and any partial transactions' mined records are gone; redo apply
+  // resumes from the surviving ReceivedLogs and re-mines (Section III.E).
+  for (auto& inst : instances_) inst.store->Clear();
+  last_query_scn_.store(kInvalidScn, std::memory_order_release);
+  ResetHealthForRestart();
+  restarts_.fetch_add(1, std::memory_order_relaxed);
+  crash_restarts_.fetch_add(1, std::memory_order_relaxed);
+  Start();
+}
+
+void StandbyDb::ResetHealthForRestart() {
+  // The quarantined IMCS was just discarded wholesale; the rebuilt one is
+  // populated from consistent data, so degraded health does not carry over.
+  // The error/quarantine counters stay monotonic for metrics continuity.
+  degraded_.store(false, std::memory_order_release);
+  std::lock_guard<std::mutex> g(health_mu_);
+  first_apply_error_.clear();
 }
 
 Status StandbyDb::MirrorCreateTable(ObjectId object_id, const std::string& name,
@@ -680,27 +769,32 @@ Status StandbyDb::ApplyCv(const ChangeVector& cv) {
   switch (cv.kind) {
     case CvKind::kInsert: {
       Block* b = blocks_.EnsureBlock(cv.dba, cv.object_id, cv.tenant);
-      if (b == nullptr) return Status::Internal("txn-table dba in data CV");
-      STRATUS_RETURN_IF_ERROR(b->ApplyInsert(cv.slot, cv.xid, cv.after, cv.scn));
-      Table* t = FindOrNullTable(cv.object_id);
-      if (t != nullptr) {
-        t->NoteBlock(cv.dba);
-        if (t->index() != nullptr && !cv.after.empty() &&
-            cv.after[0].type() == ValueType::kInt) {
-          t->index()->Insert(cv.after[0].as_int(), RowId{cv.dba, cv.slot});
+      if (b == nullptr)
+        return FinishDataApply(cv, Status::Internal("txn-table dba in data CV"));
+      Status st = b->ApplyInsert(cv.slot, cv.xid, cv.after, cv.scn);
+      if (st.ok()) {
+        Table* t = FindOrNullTable(cv.object_id);
+        if (t != nullptr) {
+          t->NoteBlock(cv.dba);
+          if (t->index() != nullptr && !cv.after.empty() &&
+              cv.after[0].type() == ValueType::kInt) {
+            t->index()->Insert(cv.after[0].as_int(), RowId{cv.dba, cv.slot});
+          }
         }
       }
-      return Status::OK();
+      return FinishDataApply(cv, std::move(st));
     }
     case CvKind::kUpdate: {
       Block* b = blocks_.EnsureBlock(cv.dba, cv.object_id, cv.tenant);
-      if (b == nullptr) return Status::Internal("txn-table dba in data CV");
-      return b->ApplyUpdate(cv.slot, cv.xid, cv.after, cv.scn);
+      if (b == nullptr)
+        return FinishDataApply(cv, Status::Internal("txn-table dba in data CV"));
+      return FinishDataApply(cv, b->ApplyUpdate(cv.slot, cv.xid, cv.after, cv.scn));
     }
     case CvKind::kDelete: {
       Block* b = blocks_.EnsureBlock(cv.dba, cv.object_id, cv.tenant);
-      if (b == nullptr) return Status::Internal("txn-table dba in data CV");
-      return b->ApplyDelete(cv.slot, cv.xid, cv.scn);
+      if (b == nullptr)
+        return FinishDataApply(cv, Status::Internal("txn-table dba in data CV"));
+      return FinishDataApply(cv, b->ApplyDelete(cv.slot, cv.xid, cv.scn));
     }
     case CvKind::kTxnBegin:
       txn_table_.Begin(cv.xid);
@@ -721,6 +815,62 @@ Status StandbyDb::ApplyCv(const ChangeVector& cv) {
       return Status::OK();
   }
   return Status::Internal("unknown change vector kind");
+}
+
+Status StandbyDb::FinishDataApply(const ChangeVector& cv, Status st) {
+  if (st.ok() && options_.apply_accounting) {
+    // Physical apply succeeded: count it. Survives restarts, so the chaos
+    // auditor can compare against the shipped-DML ledger for exactly-once.
+    std::lock_guard<std::mutex> g(accounting_mu_);
+    ++apply_accounting_[AccountingKey(cv.dba, cv.slot)];
+  }
+  if (st.ok() && options_.chaos != nullptr && options_.chaos->ShouldFailApply()) {
+    st = Status::Internal("chaos: injected apply error");
+  }
+  if (!st.ok()) QuarantineAfterApplyError(cv, st);
+  return st;
+}
+
+void StandbyDb::QuarantineAfterApplyError(const ChangeVector& cv,
+                                          const Status& st) {
+  // A failed apply means the row store and the IMCS can disagree for this
+  // block from now on — and IMCS scans trust SMU validity bitmaps, not the
+  // blocks. Dropping the covering IMCUs to full invalidity forces every
+  // covered row down the row-store path (correct even with the failed CV:
+  // the block simply misses that change on both paths), and the latched
+  // error surfaces through health() instead of vanishing into a counter.
+  apply_error_count_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> g(health_mu_);
+    if (first_apply_error_.empty()) {
+      first_apply_error_ = st.ToString();
+      if (first_apply_error_.empty()) first_apply_error_ = "unknown apply error";
+    }
+  }
+  degraded_.store(true, std::memory_order_release);
+  for (auto& inst : instances_) {
+    for (const auto& smu : inst.store->FindSmus(cv.dba)) {
+      if (!smu->AllInvalid()) {
+        smu->MarkAllInvalid();
+        quarantined_imcus_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+}
+
+StandbyHealth StandbyDb::health() const {
+  StandbyHealth h;
+  h.degraded = degraded_.load(std::memory_order_acquire);
+  h.apply_errors = apply_error_count_.load(std::memory_order_relaxed);
+  h.quarantined_imcus = quarantined_imcus_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> g(health_mu_);
+  h.first_error = first_apply_error_;
+  return h;
+}
+
+std::unordered_map<uint64_t, uint64_t> StandbyDb::ApplyAccountingSnapshot() const {
+  std::lock_guard<std::mutex> g(accounting_mu_);
+  return apply_accounting_;
 }
 
 Scn StandbyDb::query_scn(InstanceId instance) const {

@@ -30,6 +30,15 @@
 
 namespace stratus {
 
+/// Degraded-health report for a standby (the swallowed-apply-error fix): any
+/// non-OK apply status latches here and quarantines the affected IMCUs.
+struct StandbyHealth {
+  bool degraded = false;
+  uint64_t apply_errors = 0;
+  uint64_t quarantined_imcus = 0;
+  std::string first_error;  ///< Empty while healthy.
+};
+
 /// Cluster-wide configuration.
 struct DatabaseOptions {
   /// Redo-generating primary instances (RAC redo threads).
@@ -75,6 +84,17 @@ struct DatabaseOptions {
   obs::MetricsRegistry* registry = nullptr;
   /// Lag-monitor poll interval (AdgCluster).
   int64_t lag_poll_interval_us = 5'000;
+
+  /// Crash-injection controller for the STANDBY apply pipeline (chaos tests):
+  /// threaded into the dispatcher, recovery workers, coordinator, mining,
+  /// flush and standby population. The primary never observes it. Null in
+  /// production wiring — every crash point then folds to one null check.
+  chaos::ChaosController* chaos = nullptr;
+  /// Per-(dba,slot) apply accounting on the standby: counts every successful
+  /// physical data-CV apply, surviving crash–restart cycles, so the chaos
+  /// auditor can prove no change vector was skipped or double-applied.
+  /// Off by default (a mutex-guarded map on the apply path).
+  bool apply_accounting = false;
 };
 
 /// The primary database: row store, transactions, redo generation, and its
@@ -221,6 +241,13 @@ class StandbyDb : public ApplySink {
   /// the IMCS, the IM-ADG Journal and Commit Table — is lost; redo apply
   /// resumes from the last consistent point.
   void Restart();
+  /// Restart after a CrashSignal killed one or more pipeline threads: tears
+  /// the pipeline down with the crash-safe sequence (wake-then-join, abandon
+  /// any in-progress QuerySCN advancement, drain crashed workers' queues into
+  /// the row store so no change vector is lost), discards all non-persistent
+  /// state exactly as Restart() does, and rebuilds a fresh pipeline over the
+  /// surviving ReceivedLogs.
+  void CrashRestart();
 
   // --- Bootstrap (physically replicated dictionary) -------------------------
   Status MirrorCreateTable(ObjectId object_id, const std::string& name,
@@ -315,6 +342,24 @@ class StandbyDb : public ApplySink {
     return last_query_scn_.load(std::memory_order_acquire);
   }
 
+  // --- Health / chaos introspection -----------------------------------------
+  /// True once any apply reported a non-OK status (error latched, IMCU
+  /// quarantined). Cleared only by a restart (the quarantined IMCS is
+  /// discarded and rebuilt from consistent data).
+  bool degraded() const { return degraded_.load(std::memory_order_acquire); }
+  StandbyHealth health() const;
+  uint64_t restarts() const { return restarts_.load(std::memory_order_relaxed); }
+  uint64_t crash_restarts() const {
+    return crash_restarts_.load(std::memory_order_relaxed);
+  }
+  /// Key for the per-row apply accounting map (and the test-side ledger).
+  static constexpr uint64_t AccountingKey(Dba dba, SlotId slot) {
+    return (static_cast<uint64_t>(dba) << 20) | static_cast<uint64_t>(slot);
+  }
+  /// Copy of the per-(dba,slot) successful-apply counters (empty unless
+  /// DatabaseOptions::apply_accounting).
+  std::unordered_map<uint64_t, uint64_t> ApplyAccountingSnapshot() const;
+
  private:
   class StandbyApplier : public InvalidationApplier {
    public:
@@ -333,7 +378,14 @@ class StandbyDb : public ApplySink {
 
   void BuildPipeline();
   void TearDownPipeline();
+  /// TearDownPipeline's crash-safe variant (see CrashRestart()).
+  void CrashTearDownPipeline();
   void EnableConfiguredObjects();
+  /// Common tail of every data-CV apply: accounting, chaos error injection,
+  /// and quarantine of the affected IMCUs on any non-OK status.
+  Status FinishDataApply(const ChangeVector& cv, Status st);
+  void QuarantineAfterApplyError(const ChangeVector& cv, const Status& st);
+  void ResetHealthForRestart();
   /// Series that exist for the database's whole life (cache, scans, streams).
   void ExportCoreMetrics(obs::MetricsSink* sink) const;
   /// Series owned by one pipeline incarnation (journal, flush, apply, …);
@@ -387,6 +439,20 @@ class StandbyDb : public ApplySink {
   std::atomic<Scn> last_applied_scn_{kInvalidScn};  ///< Survives Stop().
   std::atomic<Scn> applied_high_scn_{kInvalidScn};  ///< CV-level apply mark.
   bool started_ = false;
+
+  // Degraded health (swallowed-apply-error fix). Cleared on restart.
+  std::atomic<bool> degraded_{false};
+  std::atomic<uint64_t> apply_error_count_{0};      ///< Monotonic.
+  std::atomic<uint64_t> quarantined_imcus_{0};      ///< Monotonic.
+  mutable std::mutex health_mu_;
+  std::string first_apply_error_;                   ///< Guarded by health_mu_.
+
+  std::atomic<uint64_t> restarts_{0};
+  std::atomic<uint64_t> crash_restarts_{0};
+
+  // Per-row apply accounting (chaos exactly-once audits). Survives restarts.
+  mutable std::mutex accounting_mu_;
+  std::unordered_map<uint64_t, uint64_t> apply_accounting_;
 
   // Failover state (the standby's new life as a primary).
   class PromotedCommitHooks : public CommitHooks {

@@ -80,6 +80,17 @@ void ImAdgCommitTable::Clear() {
   }
 }
 
+Scn ImAdgCommitTable::MinPendingScn() const {
+  Scn min_scn = kMaxScn;
+  for (const Partition& part : parts_) {
+    LatchGuard g(part.latch);
+    // Partitions are sorted ascending, so the head is the partition minimum.
+    if (part.head != nullptr && part.head->commit_scn < min_scn)
+      min_scn = part.head->commit_scn;
+  }
+  return min_scn;
+}
+
 uint64_t ImAdgCommitTable::partition_contention() const {
   uint64_t total = 0;
   for (const Partition& p : parts_) total += p.latch.contended();

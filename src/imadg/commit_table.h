@@ -55,6 +55,12 @@ class ImAdgCommitTable {
   /// Frees all nodes (standby restart).
   void Clear();
 
+  /// Smallest commitSCN still awaiting flush (kMaxScn when empty). The
+  /// invariant auditor checks this stays ABOVE the published QuerySCN: every
+  /// commit at or below the consistency point must already have been chopped
+  /// and flushed.
+  Scn MinPendingScn() const;
+
   size_t partitions() const { return parts_.size(); }
   uint64_t inserts() const { return inserts_.load(std::memory_order_relaxed); }
   /// Head-walk steps taken by out-of-order inserts (contention/locality

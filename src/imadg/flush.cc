@@ -18,6 +18,7 @@ void InvalidationFlushComponent::PrepareAdvance(Scn target) {
     applier_->ApplyDdl(e.marker);
   }
 
+  STRATUS_CRASH_POINT(chaos_, chaos::CrashPoint::kCommitChop);
   ImAdgCommitTable::Node* chain = commit_table_->Chop(target);
   size_t count = 0;
   for (ImAdgCommitTable::Node* n = chain; n != nullptr; n = n->next) ++count;
@@ -62,25 +63,77 @@ bool InvalidationFlushComponent::FlushStep(WorkerId invoker) {
   } else {
     cooperative_steps_.fetch_add(1, std::memory_order_relaxed);
   }
-  while (batch != nullptr) {
-    ImAdgCommitTable::Node* next = batch->next;
-    ProcessNode(batch);
-    delete batch;
-    batch = next;
+  try {
+    while (batch != nullptr) {
+      // The crash point sits INSIDE the node loop so `batch` always heads the
+      // unprocessed remainder when the signal fires.
+      STRATUS_CRASH_POINT(chaos_, chaos::CrashPoint::kFlushStep);
+      ImAdgCommitTable::Node* next = batch->next;
+      ProcessNode(batch);
+      delete batch;
+      batch = next;
+    }
+  } catch (const chaos::CrashSignal&) {
+    // A flusher (coordinator or cooperative recovery worker) died holding a
+    // detached batch. The remainder must go BACK on the worklink, not be
+    // freed: if it were dropped, the surviving coordinator could observe
+    // AdvanceComplete and publish a QuerySCN whose invalidations were lost —
+    // stale IMCS rows served as valid. Re-add to pending BEFORE releasing
+    // in_flight, preserving the AdvanceComplete ordering invariant.
+    if (batch != nullptr) {
+      size_t returned = 1;
+      ImAdgCommitTable::Node* last = batch;
+      while (last->next != nullptr) {
+        last = last->next;
+        ++returned;
+      }
+      {
+        LatchGuard g(worklink_latch_);
+        last->next = worklink_;
+        worklink_ = batch;
+      }
+      pending_.fetch_add(returned, std::memory_order_acq_rel);
+    }
+    in_flight_.fetch_sub(popped, std::memory_order_acq_rel);
+    throw;
   }
   in_flight_.fetch_sub(popped, std::memory_order_acq_rel);
   return pending_.load(std::memory_order_acquire) > 0;
 }
 
+void InvalidationFlushComponent::AbandonAdvance() {
+  ImAdgCommitTable::Node* chain = nullptr;
+  {
+    LatchGuard g(worklink_latch_);
+    chain = worklink_;
+    worklink_ = nullptr;
+  }
+  size_t freed = 0;
+  while (chain != nullptr) {
+    ImAdgCommitTable::Node* next = chain->next;
+    delete chain;
+    chain = next;
+    ++freed;
+  }
+  if (freed > 0) pending_.fetch_sub(freed, std::memory_order_acq_rel);
+}
+
 void InvalidationFlushComponent::ProcessNode(ImAdgCommitTable::Node* node) {
+  // Re-resolve the anchor now instead of trusting the pointer captured when
+  // the commit/abort record was mined: with parallel apply, another recovery
+  // worker can mine this transaction's DML at a lower SCN — creating the
+  // anchor — *after* the commit was mined. By flush time every worker's
+  // watermark has passed the chop target (≥ this commit SCN), so the
+  // journal's view is complete; the mine-time snapshot may be null or miss
+  // the begin mark, which would leak the anchor and coarse-invalidate
+  // needlessly.
+  ImAdgJournal::AnchorNode* anchor = journal_->Find(node->xid);
   if (node->aborted) {
     // Rolled back: the changes were never visible; discard buffered records.
-    if (node->anchor != nullptr) journal_->RemoveAnchor(node->xid);
+    if (anchor != nullptr) journal_->RemoveAnchor(node->xid);
     aborted_discards_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-
-  ImAdgJournal::AnchorNode* anchor = node->anchor;
   if (anchor == nullptr || !anchor->has_begin.load(std::memory_order_acquire)) {
     // Missing/partial record set — possible only when mining state was lost
     // (standby restart, Section III.E). The commit record's flag tells us

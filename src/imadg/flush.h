@@ -54,11 +54,18 @@ class InvalidationFlushComponent : public FlushDriver, public FlushParticipant {
                              DdlInfoTable* ddl_table, InvalidationApplier* applier,
                              const FlushOptions& options);
 
+  /// Optional crash injection; must be set before the pipeline starts.
+  void set_chaos(chaos::ChaosController* chaos) { chaos_ = chaos; }
+
   // FlushDriver:
   void PrepareAdvance(Scn target) override;
   bool FlushStep(WorkerId invoker) override;
   bool AdvanceComplete() const override;
   void OnPublished(Scn published) override;
+  /// Crash teardown: frees chopped-but-unflushed worklink nodes of an
+  /// abandoned advancement. The anchors they reference live in the journal,
+  /// which the restart clears separately.
+  void AbandonAdvance() override;
 
   // FlushParticipant:
   bool WantsHelp() const override {
@@ -78,6 +85,7 @@ class InvalidationFlushComponent : public FlushDriver, public FlushParticipant {
   DdlInfoTable* ddl_table_;
   InvalidationApplier* applier_;
   FlushOptions options_;
+  chaos::ChaosController* chaos_ = nullptr;
 
   Latch worklink_latch_;
   ImAdgCommitTable::Node* worklink_ = nullptr;

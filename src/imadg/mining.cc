@@ -8,6 +8,13 @@ void MiningComponent::OnCvApplied(const ChangeVector& cv, WorkerId worker) {
     case CvKind::kUpdate:
     case CvKind::kDelete: {
       if (!checker_(cv.object_id, cv.tenant)) return;
+      // Fires AFTER the worker applied the CV physically but BEFORE its
+      // invalidation record reaches the journal: the exact window where the
+      // journal record set goes partial (Section III.E). Losing the record is
+      // safe — the restart discards the whole journal and the flush falls
+      // back to coarse invalidation — and the worker will not re-apply the CV
+      // (applied=true suppresses the requeue), so no double apply either.
+      STRATUS_CRASH_POINT(chaos_, chaos::CrashPoint::kJournalMine);
       InvalidationRecord rec;
       rec.object_id = cv.object_id;
       rec.tenant = cv.tenant;
@@ -33,11 +40,13 @@ void MiningComponent::OnCvApplied(const ChangeVector& cv, WorkerId worker) {
     }
     case CvKind::kTxnAbort: {
       ImAdgJournal::AnchorNode* anchor = journal_->Find(cv.xid);
-      if (anchor == nullptr) return;
-      journal_->MarkAborted(cv.xid);
-      // Aborts ride the Commit Table too, so the anchor (and its buffered
-      // records) is reclaimed once the QuerySCN passes the abort — by which
-      // point no recovery worker can still be appending to it.
+      if (anchor != nullptr) journal_->MarkAborted(cv.xid);
+      // Aborts ride the Commit Table even when no anchor exists *yet*: with
+      // parallel apply, another worker can mine this transaction's DML
+      // (creating the anchor) after the abort is mined here. The flush
+      // re-resolves the anchor at chop time — by which point every worker's
+      // watermark has passed the abort and no one can still be appending —
+      // and reclaims it.
       commit_table_->Insert(cv.xid, cv.scn, /*im_flag=*/false, /*aborted=*/true,
                             cv.tenant, anchor);
       return;

@@ -32,6 +32,9 @@ class MiningComponent : public ApplyHooks {
       : journal_(journal), commit_table_(commit_table), ddl_table_(ddl_table),
         checker_(std::move(checker)) {}
 
+  /// Optional crash injection; must be set before the pipeline starts.
+  void set_chaos(chaos::ChaosController* chaos) { chaos_ = chaos; }
+
   void OnCvApplied(const ChangeVector& cv, WorkerId worker) override;
 
   uint64_t mined_records() const { return mined_records_.load(std::memory_order_relaxed); }
@@ -43,6 +46,7 @@ class MiningComponent : public ApplyHooks {
   ImAdgCommitTable* commit_table_;
   DdlInfoTable* ddl_table_;
   ImEnabledChecker checker_;
+  chaos::ChaosController* chaos_ = nullptr;
 
   std::atomic<uint64_t> mined_records_{0};
   std::atomic<uint64_t> mined_commits_{0};

@@ -28,6 +28,7 @@ void Populator::DisableObject(ObjectId object_id) {
 
 void Populator::Start() {
   stop_.store(false, std::memory_order_release);
+  crashed_.store(false, std::memory_order_release);
   thread_ = std::thread([this] { ManagerLoop(); });
 }
 
@@ -37,9 +38,16 @@ void Populator::Stop() {
 }
 
 void Populator::ManagerLoop() {
-  while (!stop_.load(std::memory_order_acquire)) {
-    RunOnePass();
-    std::this_thread::sleep_for(std::chrono::microseconds(options_.manager_interval_us));
+  try {
+    while (!stop_.load(std::memory_order_acquire)) {
+      RunOnePass();
+      std::this_thread::sleep_for(std::chrono::microseconds(options_.manager_interval_us));
+    }
+  } catch (const chaos::CrashSignal&) {
+    // The population "process" dies here, possibly having registered an SMU
+    // whose IMCU data was never built (the SMU-first window). The restart
+    // clears the whole ImStore, so the orphan never serves a query.
+    crashed_.store(true, std::memory_order_release);
   }
 }
 
@@ -169,6 +177,11 @@ bool Populator::BuildChunk(ObjectState* state, const std::vector<Dba>& dbas,
     ++stats_.snapshot_retries;
     return false;
   }
+  // Fires with the SMU registered (receiving invalidations) but its IMCU not
+  // yet built — the crash leaves a kPopulating SMU with no columnar data,
+  // which the restart's ImStore::Clear must fully discard. Placed after
+  // CaptureSnapshot returns so the quiesce/sync guard is already released.
+  STRATUS_CRASH_POINT(options_.chaos, chaos::CrashPoint::kPopulationSnapshot);
 
   // Build the columnar data, reading rows as of the snapshot. Population is
   // completely online: no lock on the blocks beyond per-read latches.

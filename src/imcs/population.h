@@ -116,6 +116,8 @@ struct PopulationOptions {
   /// encoded virtual column per registered expression after the schema
   /// columns of every IMCU it builds.
   const ImExpressionRegistry* expressions = nullptr;
+  /// Optional crash injection (standby only). Null in production wiring.
+  chaos::ChaosController* chaos = nullptr;
 };
 
 /// Population statistics.
@@ -158,7 +160,13 @@ class Populator {
 
   /// Populates everything currently uncovered for `object_id`, synchronously.
   /// Requires a consistency point to exist (standby: QuerySCN published).
+  /// May propagate a CrashSignal to the caller when a population crash point
+  /// is armed (the chaos harness runs population on its own thread and
+  /// catches it there).
   Status PopulateNow(ObjectId object_id);
+
+  /// True when the background manager thread was terminated by a CrashSignal.
+  bool crashed() const { return crashed_.load(std::memory_order_acquire); }
 
   PopulationStats stats() const;
 
@@ -191,6 +199,7 @@ class Populator {
 
   std::thread thread_;
   std::atomic<bool> stop_{false};
+  std::atomic<bool> crashed_{false};
 
   mutable std::mutex stats_mu_;
   PopulationStats stats_;

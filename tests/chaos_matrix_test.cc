@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+#include "chaos/chaos_harness.h"
+#include "db/database.h"
+
+namespace stratus {
+namespace {
+
+using chaos::ChaosController;
+using chaos::CrashCycleDriver;
+using chaos::CrashPoint;
+using chaos::CycleResult;
+using chaos::HarnessOptions;
+
+// Seeds per (crash point, DOP) cell; STRATUS_CHAOS_SEEDS overrides (CI runs
+// the full matrix, a quick local iteration can drop to 1).
+int SeedCount() {
+  if (const char* env = std::getenv("STRATUS_CHAOS_SEEDS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 8;
+}
+
+DatabaseOptions MatrixOptions(int dop, ChaosController* chaos,
+                              obs::MetricsRegistry* registry) {
+  DatabaseOptions options;
+  options.apply.num_workers = dop;
+  options.shipping.heartbeat_interval_us = 500;
+  // Aggressive population/repopulation so every cycle has IMCS maintenance
+  // traffic for kPopulationSnapshot and the flush points to land in.
+  options.population.blocks_per_imcu = 2;
+  options.population.repop_invalid_threshold = 0.05;
+  options.population.repop_staleness_us = 100'000;
+  options.population.manager_interval_us = 2'000;
+  options.chaos = chaos;
+  options.apply_accounting = true;
+  options.registry = registry;
+  return options;
+}
+
+void RunMatrixForDop(int dop) {
+  const int seeds = SeedCount();
+  for (int seed = 1; seed <= seeds; ++seed) {
+    ChaosController chaos;
+    obs::MetricsRegistry registry;
+    AdgCluster cluster(MatrixOptions(dop, &chaos, &registry));
+    cluster.Start();
+    const ObjectId table =
+        cluster
+            .CreateTable("chaos", kDefaultTenant, Schema::WideTable(1, 1),
+                         ImService::kStandbyOnly, true)
+            .value();
+
+    HarnessOptions harness;
+    harness.seed =
+        0x9E3779B97F4A7C15ull * static_cast<uint64_t>(seed) + dop;
+    CrashCycleDriver driver(&cluster, &chaos, table, harness);
+
+    // One cycle per crash point, all against the same cluster: the QuerySCN
+    // floor, the shipped ledger and the accumulated physical state carry
+    // across restarts, so each cycle also re-audits everything before it.
+    for (size_t p = 0; p < chaos::kNumCrashPoints; ++p) {
+      const CrashPoint point = static_cast<CrashPoint>(p);
+      std::ostringstream trace;
+      trace << "dop=" << dop << " seed=" << seed << " point="
+            << chaos::CrashPointName(point);
+      SCOPED_TRACE(trace.str());
+      const CycleResult result = driver.RunCycle(point);
+      EXPECT_TRUE(result.report.ok())
+          << result.report.ToString() << "\n(fired=" << result.fired
+          << " armed_nth=" << result.armed_nth << ")";
+      EXPECT_NE(result.query_scn, kInvalidScn);
+      if (!result.report.ok()) return;  // First failure tells the story.
+    }
+    if (chaos::CrashPointsCompiledIn()) {
+      // The matrix is vacuous if nothing ever crashed: most points must have
+      // fired (individual cycles may legitimately miss when the armed
+      // ordinal exceeds that cycle's traffic).
+      EXPECT_GE(driver.cycles_fired(), chaos::kNumCrashPoints / 2)
+          << "dop=" << dop << " seed=" << seed;
+    }
+    cluster.Stop();
+  }
+}
+
+TEST(ChaosMatrixTest, Dop1) { RunMatrixForDop(1); }
+TEST(ChaosMatrixTest, Dop2) { RunMatrixForDop(2); }
+TEST(ChaosMatrixTest, Dop4) { RunMatrixForDop(4); }
+
+}  // namespace
+}  // namespace stratus

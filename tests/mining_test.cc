@@ -109,9 +109,30 @@ TEST_F(MiningTest, AbortMarksAnchorAndRidesCommitTable) {
   delete node;
 }
 
-TEST_F(MiningTest, AbortWithoutAnchorIgnored) {
+TEST_F(MiningTest, AbortWithoutAnchorStillRidesCommitTable) {
+  // With parallel apply, the abort can be mined before another worker mines
+  // the transaction's DML (which creates the anchor). The abort must still
+  // enter the Commit Table so the flush re-resolves — and reclaims — any
+  // anchor that appears later; otherwise the late anchor leaks forever.
   mining_.OnCvApplied(ControlCv(CvKind::kTxnAbort, 9, 40), 0);
-  EXPECT_EQ(commit_table_.Chop(100), nullptr);
+  auto* node = commit_table_.Chop(100);
+  ASSERT_NE(node, nullptr);
+  EXPECT_EQ(node->xid, 9u);
+  EXPECT_TRUE(node->aborted);
+  EXPECT_EQ(node->anchor, nullptr);
+  delete node;
+}
+
+TEST_F(MiningTest, LateDmlAfterAbortReclaimedViaCommitTableNode) {
+  // The exact interleaving the chaos auditor caught: abort mined first
+  // (worker 0 ahead), DML mined after (worker 1 behind) creating the anchor.
+  mining_.OnCvApplied(ControlCv(CvKind::kTxnAbort, 11, 40), 0);
+  mining_.OnCvApplied(DataCv(CvKind::kUpdate, 11, 10, 100, 1), 1);
+  ASSERT_NE(journal_.Find(11), nullptr);
+  auto* node = commit_table_.Chop(100);
+  ASSERT_NE(node, nullptr);
+  EXPECT_TRUE(node->aborted);
+  delete node;
 }
 
 TEST_F(MiningTest, DdlMarkersLandInDdlTable) {
