@@ -121,6 +121,8 @@ int main() {
       {"cooperative flush, 8 partitions", true, 8},
   };
 
+  BenchReport report("ablation_flush");
+  report.Config("duration_ms", static_cast<int64_t>(duration_ms));
   ReportTable table({"Configuration", "advancements", "avg quiesce (us)",
                      "flushed txns", "coop steps", "coord steps",
                      "insert walk steps", "commits/s"});
@@ -133,6 +135,12 @@ int main() {
                   std::to_string(out.coordinator_steps),
                   std::to_string(out.insert_walk_steps),
                   Fmt(out.commits_per_sec, 0)});
+    const std::string prefix = std::string(c.cooperative ? "coop" : "serial") +
+                               "_p" + std::to_string(c.partitions) + "_";
+    report.Metric(prefix + "advancements", out.advancements);
+    report.Metric(prefix + "avg_quiesce_us", out.avg_quiesce_us);
+    report.Metric(prefix + "flushed_txns", out.flushed_txns);
+    report.Metric(prefix + "commits_per_sec", out.commits_per_sec);
   }
   table.Print("ABLATION — invalidation flush on the QuerySCN critical path");
   std::printf(

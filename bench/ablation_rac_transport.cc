@@ -122,6 +122,8 @@ int main() {
   ReportTable table({"Wire", "Configuration", "QuerySCN advancements",
                      "avg quiesce (us)", "messages", "groups", "RTT waits",
                      "commits/s"});
+  BenchReport report("ablation_rac_transport");
+  report.Config("duration_ms", static_cast<int64_t>(duration_ms));
   for (const auto& k : kinds) {
     for (const Config& c : configs) {
       std::printf("\nRunning: %s over %s...\n", c.name, k.name);
@@ -130,6 +132,13 @@ int main() {
                     Fmt(out.avg_quiesce_us, 1), std::to_string(out.messages),
                     std::to_string(out.groups), std::to_string(out.rtt_waits),
                     Fmt(out.commits_per_sec, 0)});
+      const std::string prefix =
+          std::string(k.name) + (c.pipelined ? "_pipe" : "_sw") + "_b" +
+          std::to_string(c.batch) + "_";
+      report.Metric(prefix + "advancements", out.advancements);
+      report.Metric(prefix + "messages", out.messages);
+      report.Metric(prefix + "rtt_waits", out.rtt_waits);
+      report.Metric(prefix + "commits_per_sec", out.commits_per_sec);
     }
   }
   table.Print("ABLATION — interconnect handling of invalidation groups");

@@ -126,14 +126,23 @@ int main() {
       {"flag off, straddler touched only non-IM object", false, false,
        "coarse (pessimistic)"},
   };
+  BenchReport report("ablation_restart");
+  report.Config("rows", EnvInt("STRATUS_ROWS", 40'000));
   ReportTable table({"Configuration", "coarse invalidations", "Q1 before repop (ms)",
                      "Q1 after repop (ms)", "expected"});
+  int config_idx = 0;
   for (const Config& c : configs) {
     std::printf("\nRunning: %s...\n", c.name);
     const Outcome out = RunOnce(c.specialized, c.touches_im);
     table.AddRow({c.name, std::to_string(out.coarse_invalidations),
                   Fmt(out.q1_before_repop_ms), Fmt(out.q1_after_repop_ms),
                   c.expectation});
+    const std::string prefix =
+        "cfg" + std::to_string(config_idx++) + std::string(c.specialized ? "_flag" : "_noflag") +
+        std::string(c.touches_im ? "_im_" : "_noim_");
+    report.Metric(prefix + "coarse_invalidations", out.coarse_invalidations);
+    report.Metric(prefix + "q1_before_repop_ms", out.q1_before_repop_ms);
+    report.Metric(prefix + "q1_after_repop_ms", out.q1_after_repop_ms);
   }
   table.Print("ABLATION — restart handling (coarse invalidation = whole IMCS row-path)");
   std::printf(

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/clock.h"
 #include "db/database.h"
@@ -77,6 +79,111 @@ inline void DumpMetricsJson(const AdgCluster& cluster, const std::string& name) 
   }
   out << cluster.MetricsJson();
   std::printf("metrics dump: %s\n", path.c_str());
+}
+
+/// Unified result artifact: every bench writes `BENCH_<name>.json` with the
+/// same schema so perf-trajectory tooling can diff runs without per-bench
+/// parsers:
+///
+///   {"bench": "<name>", "schema": 1,
+///    "config": {...},    // the knobs that shaped the run (env overrides in)
+///    "metrics": {...},   // the bench's headline numbers
+///    "wall_ms": ..., "cpu_ms": ...}
+///
+/// `cpu_ms` is the constructing thread's CPU time (worker/pipeline threads
+/// are not attributed — compare it against wall_ms for the driver's share).
+/// Write() emits the file; the destructor writes if the bench forgot.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name)
+      : name_(std::move(name)), wall0_ns_(NowNanos()), cpu0_ns_(ThreadCpuNanos()) {}
+  ~BenchReport() {
+    if (!written_) Write();
+  }
+
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+
+  void Config(const std::string& key, int64_t v) {
+    config_.emplace_back(key, std::to_string(v));
+  }
+  void Config(const std::string& key, double v) {
+    config_.emplace_back(key, Num(v));
+  }
+  void Config(const std::string& key, const std::string& v) {
+    config_.emplace_back(key, "\"" + Escaped(v) + "\"");
+  }
+  void Metric(const std::string& key, int64_t v) {
+    metrics_.emplace_back(key, std::to_string(v));
+  }
+  void Metric(const std::string& key, uint64_t v) {
+    metrics_.emplace_back(key, std::to_string(v));
+  }
+  void Metric(const std::string& key, double v) {
+    metrics_.emplace_back(key, Num(v));
+  }
+
+  void Write() {
+    written_ = true;
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return;
+    }
+    out << "{\"bench\":\"" << Escaped(name_) << "\",\"schema\":1,";
+    out << "\"config\":" << Section(config_) << ",";
+    out << "\"metrics\":" << Section(metrics_) << ",";
+    out << "\"wall_ms\":" << Num(static_cast<double>(NowNanos() - wall0_ns_) / 1e6)
+        << ",";
+    out << "\"cpu_ms\":"
+        << Num(static_cast<double>(ThreadCpuNanos() - cpu0_ns_) / 1e6) << "}\n";
+    std::printf("bench report: %s\n", path.c_str());
+  }
+
+ private:
+  using Entries = std::vector<std::pair<std::string, std::string>>;
+
+  static std::string Num(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+    return buf;
+  }
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+  static std::string Section(const Entries& entries) {
+    std::string out = "{";
+    for (size_t i = 0; i < entries.size(); ++i) {
+      if (i != 0) out += ",";
+      out += "\"" + Escaped(entries[i].first) + "\":" + entries[i].second;
+    }
+    return out + "}";
+  }
+
+  std::string name_;
+  uint64_t wall0_ns_;
+  uint64_t cpu0_ns_;
+  Entries config_;
+  Entries metrics_;
+  bool written_ = false;
+};
+
+/// Stamps the shared OLTAP/cluster env knobs into a report's config section
+/// (the overridable surface of DefaultOltapOptions/DefaultClusterOptions).
+inline void ReportCommonConfig(BenchReport* report, const OltapOptions& oltap) {
+  report->Config("initial_rows", static_cast<int64_t>(oltap.initial_rows));
+  report->Config("num_cols", static_cast<int64_t>(oltap.num_cols));
+  report->Config("varchar_cols", static_cast<int64_t>(oltap.varchar_cols));
+  report->Config("duration_ms", static_cast<int64_t>(oltap.duration_ms));
+  report->Config("target_ops_per_sec",
+                 static_cast<int64_t>(oltap.target_ops_per_sec));
+  report->Config("workers", EnvInt("STRATUS_WORKERS", 4));
 }
 
 }  // namespace stratus

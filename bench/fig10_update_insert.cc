@@ -108,5 +108,21 @@ int main() {
 
   std::printf("\nAchieved throughput: without=%.0f ops/s, with=%.0f ops/s\n",
               without.achieved_ops, with_im.achieved_ops);
+
+  BenchReport report("fig10_update_insert");
+  ReportCommonConfig(&report, DefaultOltapOptions());
+  report.Metric("q1_median_us_without", without.q1.Percentile(50));
+  report.Metric("q1_median_us_with", with_im.q1.Percentile(50));
+  report.Metric("q1_p95_us_without", without.q1.Percentile(95));
+  report.Metric("q1_p95_us_with", with_im.q1.Percentile(95));
+  report.Metric("q2_median_us_without", without.q2.Percentile(50));
+  report.Metric("q2_median_us_with", with_im.q2.Percentile(50));
+  report.Metric("ops_per_sec_without", without.achieved_ops);
+  report.Metric("ops_per_sec_with", with_im.achieved_ops);
+  report.Metric("final_rows", with_im.final_rows);
+  report.Metric("imcus_populated", with_im.population.imcus_populated);
+  report.Metric("tail_extensions", with_im.population.tail_extensions);
+  report.Metric("repopulations", with_im.population.repopulations);
+  report.Write();
   return 0;
 }

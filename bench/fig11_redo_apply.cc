@@ -182,5 +182,19 @@ int main() {
 
   std::printf("\nShape check: the standby QuerySCN tracks max(pri_log, pri_log2)\n"
               "within a small, bounded lag in both configurations.\n");
+
+  BenchReport report("fig11_redo_apply");
+  report.Config("duration_ms", static_cast<int64_t>(duration_ms));
+  report.Config("workers", EnvInt("STRATUS_WORKERS", 4));
+  report.Metric("avg_lag_scn_with", with_im.avg_lag_scn);
+  report.Metric("max_lag_scn_with", with_im.max_lag_scn);
+  report.Metric("advancements_with", with_im.advancements);
+  report.Metric("avg_quiesce_us_with", with_im.avg_quiesce_us);
+  report.Metric("commits_with", with_im.commits);
+  report.Metric("avg_lag_scn_plain", without.avg_lag_scn);
+  report.Metric("max_lag_scn_plain", without.max_lag_scn);
+  report.Metric("avg_lag_scn_mira", mira.avg_lag_scn);
+  report.Metric("max_lag_scn_mira", mira.max_lag_scn);
+  report.Write();
   return 0;
 }

@@ -141,5 +141,22 @@ int main() {
               without.achieved_ops, with_im.achieved_ops);
   std::printf("Invalidation records flushed during the DBIM-on-ADG run: %llu\n",
               static_cast<unsigned long long>(with_im.flushed_records));
+
+  BenchReport report("fig9_update_only");
+  ReportCommonConfig(&report, DefaultOltapOptions());
+  report.Metric("q1_median_us_without", without.q1.Percentile(50));
+  report.Metric("q1_median_us_with", with_im.q1.Percentile(50));
+  report.Metric("q1_p95_us_without", without.q1.Percentile(95));
+  report.Metric("q1_p95_us_with", with_im.q1.Percentile(95));
+  report.Metric("q2_median_us_without", without.q2.Percentile(50));
+  report.Metric("q2_median_us_with", with_im.q2.Percentile(50));
+  report.Metric("q1_quiet_median_us_without", without.q1_quiet.Percentile(50));
+  report.Metric("q1_quiet_median_us_with", with_im.q1_quiet.Percentile(50));
+  report.Metric("ops_per_sec_without", without.achieved_ops);
+  report.Metric("ops_per_sec_with", with_im.achieved_ops);
+  report.Metric("primary_cpu_pct_offloaded", with_im.primary_cpu_pct);
+  report.Metric("scan_cpu_pct_offloaded", with_im.scan_cpu_pct);
+  report.Metric("flushed_records", with_im.flushed_records);
+  report.Write();
   return 0;
 }

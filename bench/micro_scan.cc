@@ -6,6 +6,7 @@
 
 #include <fstream>
 
+#include "bench_util.h"
 #include "common/random.h"
 #include "imcs/population.h"
 #include "imcs/scan_engine.h"
@@ -200,13 +201,23 @@ BENCHMARK(BM_Population)->Unit(benchmark::kMillisecond);
 
 /// At exit, dumps the global registry — including the shared scan pool's
 /// `stratus_scan_*` task/latency series exercised by the DOP sweep — to
-/// micro_scan_metrics.json, mirroring the harness binaries' dumps. The
-/// registry is heap-allocated and never destroyed, so exporting from a static
-/// destructor is safe.
+/// micro_scan_metrics.json, mirroring the harness binaries' dumps, plus the
+/// unified BENCH_micro_scan.json report (google-benchmark owns main(), so the
+/// report rides the same static destructor; its per-case timings stay in the
+/// benchmark's own stdout). The registry is heap-allocated and never
+/// destroyed, so exporting from a static destructor is safe.
 struct MetricsDumper {
   ~MetricsDumper() {
     std::ofstream out("micro_scan_metrics.json", std::ios::trunc);
     if (out) out << obs::MetricsRegistry::Global().ExportJson();
+    BenchReport report("micro_scan");
+    report.Config("rows", static_cast<int64_t>(64 * kRowsPerBlock));
+    report.Config("domain", ScanFixture::kDomain);
+    report.Metric("scan_pool_tasks",
+                  obs::MetricsRegistry::Global()
+                      .GetCounter("stratus_scan_tasks", {})
+                      ->Value());
+    report.Write();
   }
 } g_metrics_dumper;
 

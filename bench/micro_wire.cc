@@ -158,6 +158,8 @@ int main() {
                {"tcp", net::ChannelKind::kSocket}};
   const size_t batch_sizes[] = {1, 32, 256, 1024};
 
+  BenchReport report("micro_wire");
+  report.Config("wire_records", static_cast<int64_t>(total_records));
   ReportTable table({"Channel", "Records/frame", "Frame bytes", "Frames",
                      "records/s", "MB/s", "p50 us", "p99 us", "max us"});
   for (const auto& k : kinds) {
@@ -170,6 +172,11 @@ int main() {
                     std::to_string(cell.frames), Fmt(cell.records_per_sec, 0),
                     Fmt(cell.mb_per_sec, 1), Fmt(cell.p50_us, 1),
                     Fmt(cell.p99_us, 1), Fmt(cell.max_us, 1)});
+      const std::string prefix =
+          std::string(k.name) + "_b" + std::to_string(b) + "_";
+      report.Metric(prefix + "records_per_sec", cell.records_per_sec);
+      report.Metric(prefix + "mb_per_sec", cell.mb_per_sec);
+      report.Metric(prefix + "p99_us", cell.p99_us);
     }
   }
   table.Print("MICRO — wire throughput & frame latency");
@@ -184,5 +191,6 @@ int main() {
     out << registry.ExportJson();
     std::printf("metrics dump: %s\n", path);
   }
+  report.Write();
   return 0;
 }

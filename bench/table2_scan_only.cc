@@ -147,5 +147,22 @@ int main() {
       "count — on one core the sweep stays flat and only measures the "
       "decomposition overhead.)\n",
       std::thread::hardware_concurrency());
+
+  BenchReport report("table2_scan_only");
+  ReportCommonConfig(&report, DefaultOltapOptions());
+  report.Metric("q1_median_us_primary", primary.q1.Percentile(50));
+  report.Metric("q1_avg_us_primary", primary.q1.Average());
+  report.Metric("q1_p95_us_primary", primary.q1.Percentile(95));
+  report.Metric("q1_median_us_standby", standby.q1.Percentile(50));
+  report.Metric("q1_avg_us_standby", standby.q1.Average());
+  report.Metric("q1_p95_us_standby", standby.q1.Percentile(95));
+  report.Metric("primary_standby_avg_ratio", ratio);
+  report.Metric("scan_cpu_pct_primary", primary.scan_cpu_pct);
+  report.Metric("scan_cpu_pct_standby", standby.scan_cpu_pct);
+  for (const DopPoint& p : sweep) {
+    report.Metric("dop" + std::to_string(p.dop) + "_median_us",
+                  p.latency.Percentile(50));
+  }
+  report.Write();
   return 0;
 }

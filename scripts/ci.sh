@@ -19,9 +19,14 @@
 #           every crash point at seeded ordinals across apply DOP 1/2/4 and
 #           runs the cross-layer invariant auditor after each crash–restart
 #           cycle. STRATUS_CHAOS_SEEDS overrides the per-cell seed count.
+#   obs   : observability smoke under ASan+UBSan — boots the mini cluster in
+#           examples/observability --smoke, which GETs every endpoint
+#           (/metrics, /healthz, /v/im_segments, ...) over real sockets and
+#           fails on any non-200 or empty body; also runs the HTTP server and
+#           query-profile test binaries in the same build.
 #
 # Usage: scripts/ci.sh [stage] [build-dir-prefix]
-#   stage: all (default) | plain | tsan | asan | chaos
+#   stage: all (default) | plain | tsan | asan | chaos | obs
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -30,9 +35,10 @@ STAGE="${1:-all}"
 PREFIX="${2:-build-ci}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-TSAN_TESTS="metrics_test latch_test thread_pool_test redo_apply_test scan_engine_test query_test consistency_test net_test"
+TSAN_TESTS="metrics_test latch_test thread_pool_test redo_apply_test scan_engine_test query_test consistency_test net_test lag_monitor_test query_profile_test obs_server_test"
 ASAN_TESTS="net_test log_shipping_test transport_test"
 CHAOS_TESTS="chaos_test chaos_matrix_test"
+OBS_TESTS="obs_server_test query_profile_test lag_monitor_test"
 
 run_plain() {
   echo "==> [plain] build + full test suite"
@@ -93,19 +99,36 @@ run_chaos() {
     -R "^($(echo "${CHAOS_TESTS}" | tr ' ' '|'))\$"
 }
 
+run_obs() {
+  echo "==> [obs] observability smoke under ASan+UBSan (${OBS_TESTS} + example)"
+  local flags="-fsanitize=address,undefined -fno-sanitize-recover=all -g -O1"
+  cmake -B "${PREFIX}-obs" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="${flags}" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" >/dev/null
+  # shellcheck disable=SC2086
+  cmake --build "${PREFIX}-obs" -j "${JOBS}" --target ${OBS_TESTS} observability
+  ctest --test-dir "${PREFIX}-obs" --output-on-failure -j "${JOBS}" \
+    -R "^($(echo "${OBS_TESTS}" | tr ' ' '|'))\$"
+  echo "==> [obs] examples/observability --smoke (boots cluster, GETs every endpoint)"
+  "${PREFIX}-obs/examples/observability" --smoke
+}
+
 case "${STAGE}" in
   plain) run_plain ;;
   tsan) run_tsan ;;
   asan) run_asan ;;
   chaos) run_chaos ;;
+  obs) run_obs ;;
   all)
     run_plain
     run_tsan
     run_asan
     run_chaos
+    run_obs
     ;;
   *)
-    echo "unknown stage: ${STAGE} (want all|plain|tsan|asan|chaos)" >&2
+    echo "unknown stage: ${STAGE} (want all|plain|tsan|asan|chaos|obs)" >&2
     exit 2
     ;;
 esac

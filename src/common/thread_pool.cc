@@ -14,6 +14,9 @@ ThreadPool::ThreadPool(size_t num_threads, obs::MetricsRegistry* registry,
   tasks_ = registry->GetCounter(prefix + "_tasks");
   queue_wait_us_ = registry->GetHistogram(prefix + "_task_queue_wait_us");
   task_latency_us_ = registry->GetHistogram(prefix + "_task_latency_us");
+  threads_gauge_ = registry->GetGauge(prefix + "_threads");
+  threads_gauge_->Set(static_cast<int64_t>(num_threads));
+  active_gauge_ = registry->GetGauge(prefix + "_active_lanes");
   threads_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i)
     threads_.emplace_back([this] { WorkerLoop(); });
@@ -42,6 +45,7 @@ ThreadPool* ThreadPool::Shared() {
 
 size_t ThreadPool::RunBatch(Batch* batch, bool /*is_pool_worker*/) {
   size_t ran = 0;
+  active_gauge_->Add(1);
   while (true) {
     const size_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
     if (i >= batch->n) break;
@@ -59,6 +63,7 @@ size_t ThreadPool::RunBatch(Batch* batch, bool /*is_pool_worker*/) {
       batch->cv.notify_all();
     }
   }
+  active_gauge_->Add(-1);
   return ran;
 }
 
@@ -97,12 +102,14 @@ void ThreadPool::ParallelFor(size_t n, size_t max_parallel,
   const size_t pool_share =
       std::min(threads_.size(), max_parallel > 0 ? max_parallel - 1 : size_t{0});
   if (n == 1 || pool_share == 0) {
+    active_gauge_->Add(1);
     for (size_t i = 0; i < n; ++i) {
       const uint64_t start_us = NowMicros();
       fn(i);
       task_latency_us_->Record(NowMicros() - start_us);
       tasks_->Inc();
     }
+    active_gauge_->Add(-1);
     return;
   }
 

@@ -95,6 +95,11 @@ class ThreadPool {
   obs::Counter* tasks_ = nullptr;
   obs::LatencyHistogram* queue_wait_us_ = nullptr;
   obs::LatencyHistogram* task_latency_us_ = nullptr;
+  /// Saturation pair: `<prefix>_threads` (static pool size) and
+  /// `<prefix>_active_lanes` (lanes — workers plus helping callers —
+  /// executing tasks right now); active/threads is the pool's utilization.
+  obs::Gauge* threads_gauge_ = nullptr;
+  obs::Gauge* active_gauge_ = nullptr;
 };
 
 }  // namespace stratus

@@ -90,7 +90,8 @@ PrimaryDb::PrimaryDb(const DatabaseOptions& options)
                /*im_object_checker=*/
                [this](ObjectId oid) {
                  return ImOnStandby(catalog_.CurrentImService(oid));
-               }) {
+               }),
+      slow_log_(options.slow_query_log_capacity, options.slow_query_threshold_us) {
   txn_mgr_.set_specialized_redo(options_.specialized_redo);
   if (options_.primary_imcs_enabled) {
     im_store_ = std::make_unique<ImStore>(kMasterInstance, options_.im_pool_bytes);
@@ -110,6 +111,7 @@ PrimaryDb::PrimaryDb(const DatabaseOptions& options)
   }
   registry_ = options_.registry != nullptr ? options_.registry
                                            : &obs::MetricsRegistry::Global();
+  obs::ExportBuildInfo(registry_);
   metrics_cb_.Attach(registry_,
                      [this](obs::MetricsSink* sink) { ExportMetrics(sink); });
 }
@@ -223,6 +225,18 @@ QueryContext PrimaryDb::MakeQueryContext() {
   ctx.snapshots = txn_mgr_.snapshots();
   ctx.expressions = &im_exprs_;
   ctx.default_dop = options_.scan_dop;
+  ctx.role = "primary";
+  ctx.slow_log = &slow_log_;
+  ctx.annotate = [this](QueryProfile* prof) {
+    // On the primary the reference mark is its own visible SCN: a flashback
+    // query (QueryAt) reads stale by construction, a current-SCN query by 0.
+    prof->primary_scn = current_scn();
+    prof->staleness_scn = prof->primary_scn > prof->snapshot
+                              ? prof->primary_scn - prof->snapshot
+                              : 0;
+    prof->staleness_us = 0;
+    prof->lag_sampled = true;
+  };
   return ctx;
 }
 
@@ -280,7 +294,9 @@ StatusOr<uint32_t> PrimaryDb::RegisterImExpression(ObjectId object, Expression e
 // ---------------------------------------------------------------------------
 
 StandbyDb::StandbyDb(const DatabaseOptions& options, size_t num_streams)
-    : options_(options), home_map_(options.standby_instances) {
+    : options_(options),
+      home_map_(options.standby_instances),
+      slow_log_(options.slow_query_log_capacity, options.slow_query_threshold_us) {
   for (size_t i = 0; i < num_streams; ++i)
     streams_.push_back(std::make_unique<ReceivedLog>());
   instances_.resize(options_.standby_instances);
@@ -290,6 +306,7 @@ StandbyDb::StandbyDb(const DatabaseOptions& options, size_t num_streams)
   }
   registry_ = options_.registry != nullptr ? options_.registry
                                            : &obs::MetricsRegistry::Global();
+  obs::ExportBuildInfo(registry_);
   metrics_cb_.Attach(
       registry_, [this](obs::MetricsSink* sink) { ExportCoreMetrics(sink); });
 }
@@ -902,7 +919,37 @@ QueryContext StandbyDb::MakeQueryContext() const {
   ctx.snapshots = const_cast<SnapshotRegistry*>(&snapshots_);
   ctx.expressions = &im_exprs_;
   ctx.default_dop = options_.scan_dop;
+  ctx.role = "standby";
+  ctx.slow_log = &slow_log_;
+  ctx.annotate = [this](QueryProfile* prof) {
+    // IM-ADG occupancy at execution: how much journal/commit-table state the
+    // query's visibility checks had to navigate.
+    if (journal_ != nullptr && commit_table_ != nullptr) {
+      prof->journal_live_anchors = journal_->live_anchors();
+      prof->commit_table_live_nodes = commit_table_->live_nodes();
+      prof->imadg_sampled = true;
+    }
+    // Freshness: the cluster wires its LagMonitor in via SetLagProbe; a
+    // standalone standby has no primary mark, so lag_sampled stays false.
+    std::lock_guard<std::mutex> g(lag_probe_mu_);
+    if (lag_probe_) {
+      const obs::LagSnapshot lag = lag_probe_();
+      if (lag.primary_known) {
+        prof->primary_scn = lag.primary_scn;
+        prof->staleness_scn = lag.primary_scn > prof->snapshot
+                                  ? lag.primary_scn - prof->snapshot
+                                  : 0;
+        prof->staleness_us = lag.staleness_us;
+        prof->lag_sampled = true;
+      }
+    }
+  };
   return ctx;
+}
+
+void StandbyDb::SetLagProbe(std::function<obs::LagSnapshot()> probe) {
+  std::lock_guard<std::mutex> g(lag_probe_mu_);
+  lag_probe_ = std::move(probe);
 }
 
 StatusOr<QueryResult> StandbyDb::Query(const ScanQuery& query, InstanceId instance) {
@@ -1185,11 +1232,16 @@ void AdgCluster::Start() {
       std::move(sources), registry_, obs::Labels{{"db", "standby"}},
       options_.lag_poll_interval_us);
   lag_monitor_->Start();
+  // Standby query profiles stamp their freshness from the cluster's monitor.
+  standby_.SetLagProbe([this] { return lag_monitor_->Snapshot(); });
 }
 
 void AdgCluster::Stop() {
   if (!started_) return;
   started_ = false;
+  // Clear the probe before the monitor dies: SetLagProbe synchronizes with
+  // in-flight annotate calls, so no query can touch lag_monitor_ afterwards.
+  standby_.SetLagProbe(nullptr);
   if (lag_monitor_ != nullptr) {
     lag_monitor_->Stop();
     lag_monitor_.reset();

@@ -85,6 +85,12 @@ struct DatabaseOptions {
   /// Lag-monitor poll interval (AdgCluster).
   int64_t lag_poll_interval_us = 5'000;
 
+  /// Completed-query ring capacity of each role's SlowQueryLog.
+  size_t slow_query_log_capacity = 128;
+  /// Only queries at least this slow enter the ring (0 records every query;
+  /// the ring is bounded either way).
+  uint64_t slow_query_threshold_us = 0;
+
   /// Crash-injection controller for the STANDBY apply pipeline (chaos tests):
   /// threaded into the dispatcher, recovery workers, coordinator, mining,
   /// flush and standby population. The primary never observes it. Null in
@@ -166,6 +172,9 @@ class PrimaryDb {
   std::string MetricsText() const;
   /// The same series as a JSON array.
   std::string MetricsJson() const;
+  /// This role's slow-query ring + in-flight registry.
+  SlowQueryLog* slow_query_log() { return &slow_log_; }
+  const SlowQueryLog* slow_query_log() const { return &slow_log_; }
 
  private:
   class PrimaryCommitHooks : public CommitHooks {
@@ -208,6 +217,7 @@ class PrimaryDb {
   std::unique_ptr<PrimaryCommitHooks> commit_hooks_;
 
   QueryEngine query_engine_;
+  SlowQueryLog slow_log_;
   bool started_ = false;
 
   // Declared last: the export callback reads the members above, so it must
@@ -312,6 +322,9 @@ class StandbyDb : public ApplySink {
   ImStore* im_store(InstanceId instance = kMasterInstance) {
     return instances_[instance].store.get();
   }
+  uint32_t instance_count() const {
+    return static_cast<uint32_t>(instances_.size());
+  }
   Populator* populator(InstanceId instance = kMasterInstance) {
     return instances_[instance].populator.get();
   }
@@ -331,6 +344,14 @@ class StandbyDb : public ApplySink {
   obs::MetricsRegistry* registry() const { return registry_; }
   std::string MetricsText() const;
   std::string MetricsJson() const;
+  /// This role's slow-query ring + in-flight registry.
+  SlowQueryLog* slow_query_log() { return &slow_log_; }
+  const SlowQueryLog* slow_query_log() const { return &slow_log_; }
+  /// Installs (or clears, with nullptr) the freshness probe stamped into
+  /// every query profile — AdgCluster wires its LagMonitor in here. The
+  /// probe is invoked under an internal mutex, so clearing it guarantees no
+  /// further calls once SetLagProbe returns.
+  void SetLagProbe(std::function<obs::LagSnapshot()> probe);
   /// Highest SCN redo apply has put into the physical database (CV-level,
   /// monotonic, survives Stop()/Restart()) — the lag monitor's apply mark.
   Scn applied_scn() const {
@@ -435,6 +456,9 @@ class StandbyDb : public ApplySink {
 
   SnapshotRegistry snapshots_;
   mutable QueryEngine query_engine_;
+  mutable SlowQueryLog slow_log_;
+  mutable std::mutex lag_probe_mu_;
+  std::function<obs::LagSnapshot()> lag_probe_;  ///< Guarded by lag_probe_mu_.
   std::atomic<Scn> last_query_scn_{kInvalidScn};    ///< Survives Stop().
   std::atomic<Scn> last_applied_scn_{kInvalidScn};  ///< Survives Stop().
   std::atomic<Scn> applied_high_scn_{kInvalidScn};  ///< CV-level apply mark.
@@ -523,6 +547,10 @@ class AdgCluster {
   std::string MetricsJson() const;
   /// The cluster's standing lag monitor (non-null between Start and Stop).
   obs::LagMonitor* lag_monitor() { return lag_monitor_.get(); }
+  /// Redo-transport introspection for the v$transport view (valid between
+  /// Start and Stop, like lag_monitor()).
+  size_t shipper_count() const { return shippers_.size(); }
+  const LogShipper* shipper(size_t i) const { return shippers_[i].get(); }
   /// Fault injection: pause/resume every redo shipper (transport lag
   /// accumulates while paused; Stop() still drains).
   void SetShippingPaused(bool paused);

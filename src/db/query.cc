@@ -1,11 +1,48 @@
 #include "db/query.h"
 
 #include <algorithm>
+#include <atomic>
 #include <unordered_map>
 
+#include "common/clock.h"
 #include "obs/trace.h"
 
 namespace stratus {
+
+namespace {
+
+/// Visibility-resolver decorator counting every commit-status lookup a query
+/// makes (on the standby the TxnTable is maintained by the IM-ADG commit
+/// machinery, so this is the query's commit-table pressure). Workers resolve
+/// concurrently under DOP > 1, hence the atomic.
+class CountingResolver : public VisibilityResolver {
+ public:
+  explicit CountingResolver(const VisibilityResolver* base) : base_(base) {}
+  TxnStatusInfo Resolve(Xid xid) const override {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    return base_->Resolve(xid);
+  }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+ private:
+  const VisibilityResolver* base_;
+  mutable std::atomic<uint64_t> count_{0};
+};
+
+/// Everything a profile needs captured before/after the engine runs.
+struct ProfileTimer {
+  uint64_t start_us = NowMicros();
+  uint64_t cpu0_ns = ThreadCpuNanos();
+
+  void Finish(QueryProfile* prof) const {
+    prof->started_at_us = start_us;
+    const uint64_t now = NowMicros();
+    prof->wall_us = now > start_us ? now - start_us : 0;
+    prof->caller_cpu_us = (ThreadCpuNanos() - cpu0_ns) / 1000;
+  }
+};
+
+}  // namespace
 
 StatusOr<QueryResult> QueryEngine::ExecuteScan(const QueryContext& ctx,
                                                const ScanQuery& query,
@@ -16,10 +53,17 @@ StatusOr<QueryResult> QueryEngine::ExecuteScan(const QueryContext& ctx,
   Table* table = ctx.table_lookup(query.object);
   if (table == nullptr) return Status::NotFound("no table object");
 
+  const ProfileTimer timer;
+  const uint64_t qid =
+      ctx.slow_log != nullptr
+          ? ctx.slow_log->Begin("scan", query.object, snapshot)
+          : 0;
+
   SnapshotGuard guard(ctx.snapshots, snapshot);
+  CountingResolver resolver(ctx.resolver);
   ReadView view;
   view.snapshot_scn = snapshot;
-  view.resolver = ctx.resolver;
+  view.resolver = &resolver;
 
   QueryResult result;
   result.snapshot = snapshot;
@@ -43,10 +87,33 @@ StatusOr<QueryResult> QueryEngine::ExecuteScan(const QueryContext& ctx,
   ScanOptions scan_options;
   scan_options.dop = query.dop != 0 ? query.dop : ctx.default_dop;
   scan_options.pool = ctx.pool;
-  STRATUS_RETURN_IF_ERROR(scan_engine_.Scan(
+  ScanProfile scan_profile;
+  scan_options.profile = &scan_profile;
+  const Status scan_status = scan_engine_.Scan(
       *table, query.predicates, view, stores, *ctx.cache, sink, &result.stats,
       needs_rows, exprs.empty() ? nullptr : &exprs, agg, &agg_state,
-      scan_options));
+      scan_options);
+
+  // The profile finalizes — and the in-flight entry clears — on every path,
+  // success or failure.
+  QueryProfile& prof = result.profile;
+  prof.query_id = qid;
+  prof.kind = "scan";
+  prof.role = ctx.role;
+  prof.object = query.object;
+  prof.snapshot = snapshot;
+  prof.scan = result.stats;
+  prof.rows_returned = result.rows.size();
+  prof.matches =
+      query.agg == AggKind::kNone ? result.rows.size() : agg_state.count;
+  prof.dop = static_cast<uint32_t>(scan_options.dop);
+  prof.lanes = RollupLanes(scan_profile);
+  prof.commit_lookups = resolver.count();
+  timer.Finish(&prof);
+  if (ctx.annotate) ctx.annotate(&prof);
+  if (ctx.slow_log != nullptr) ctx.slow_log->End(qid, prof);
+  if (!scan_status.ok()) return scan_status;
+
   result.count =
       query.agg == AggKind::kNone ? result.rows.size() : agg_state.count;
   result.agg_int = agg_state.acc;
@@ -84,10 +151,19 @@ StatusOr<QueryResult> QueryEngine::ExecuteJoin(const QueryContext& ctx,
   Table* left = ctx.table_lookup(query.left);
   if (left == nullptr) return Status::NotFound("no left table object");
 
+  // The join's own profile covers the probe scan; the build side logged its
+  // own "scan" entry through ExecuteScan above.
+  const ProfileTimer timer;
+  const uint64_t qid =
+      ctx.slow_log != nullptr
+          ? ctx.slow_log->Begin("join", query.left, snapshot)
+          : 0;
+
   SnapshotGuard guard(ctx.snapshots, snapshot);
+  CountingResolver resolver(ctx.resolver);
   ReadView view;
   view.snapshot_scn = snapshot;
-  view.resolver = ctx.resolver;
+  view.resolver = &resolver;
 
   QueryResult result;
   result.snapshot = snapshot;
@@ -109,10 +185,31 @@ StatusOr<QueryResult> QueryEngine::ExecuteJoin(const QueryContext& ctx,
   ScanOptions scan_options;
   scan_options.dop = query.dop != 0 ? query.dop : ctx.default_dop;
   scan_options.pool = ctx.pool;
-  STRATUS_RETURN_IF_ERROR(scan_engine_.Scan(
+  ScanProfile scan_profile;
+  scan_options.profile = &scan_profile;
+  const Status scan_status = scan_engine_.Scan(
       *left, query.left_predicates, view, probe_stores, *ctx.cache, sink,
       &result.stats, /*needs_rows=*/true, /*expressions=*/nullptr,
-      ScanAggregate{}, nullptr, scan_options));
+      ScanAggregate{}, nullptr, scan_options);
+
+  QueryProfile& prof = result.profile;
+  prof.query_id = qid;
+  prof.kind = "join";
+  prof.role = ctx.role;
+  prof.object = query.left;
+  prof.join_right = query.right;
+  prof.snapshot = snapshot;
+  prof.scan = result.stats;
+  prof.rows_returned = result.rows.size();
+  prof.matches = result.count;
+  prof.dop = static_cast<uint32_t>(scan_options.dop);
+  prof.lanes = RollupLanes(scan_profile);
+  prof.commit_lookups = resolver.count();
+  timer.Finish(&prof);
+  if (ctx.annotate) ctx.annotate(&prof);
+  if (ctx.slow_log != nullptr) ctx.slow_log->End(qid, prof);
+  if (!scan_status.ok()) return scan_status;
+
   totals_.joins.fetch_add(1, std::memory_order_relaxed);
   totals_.Add(result.stats);
   return result;

@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "db/catalog.h"
+#include "db/query_profile.h"
 #include "imcs/expression.h"
 #include "imcs/scan_engine.h"
 #include "storage/buffer_cache.h"
@@ -58,6 +59,9 @@ struct QueryResult {
   bool agg_valid = false;    ///< False when no non-null input reached the agg.
   Scn snapshot = kInvalidScn;
   ScanStats stats;
+  /// Execution profile (always populated): pruning/reconciliation counts,
+  /// per-worker lanes, commit lookups, freshness at execution.
+  QueryProfile profile;
 };
 
 /// Everything a query needs from its database role — both roles (and every
@@ -77,6 +81,17 @@ struct QueryContext {
   uint32_t default_dop = 1;
   /// Worker pool for parallel scans; null = ThreadPool::Shared().
   ThreadPool* pool = nullptr;
+
+  // --- Observability ---------------------------------------------------------
+  /// Role tag stamped into every QueryProfile.
+  const char* role = "primary";
+  /// Slow-query ring + in-flight registry of the owning role (null: profiles
+  /// still fill, nothing is logged).
+  SlowQueryLog* slow_log = nullptr;
+  /// Role-specific profile annotation applied just before a query completes
+  /// (the standby samples its journal/commit-table occupancy and the lag
+  /// monitor here; the primary stamps zero staleness).
+  std::function<void(QueryProfile*)> annotate;
 };
 
 /// Cumulative scan accounting across every query executed by one engine;

@@ -1,0 +1,239 @@
+#include "db/query_profile.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "common/clock.h"
+
+namespace stratus {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string ScnStr(Scn scn) {
+  return scn == kInvalidScn ? std::string("null") : std::to_string(scn);
+}
+
+}  // namespace
+
+std::vector<WorkerLane> RollupLanes(const ScanProfile& profile) {
+  std::map<uint32_t, WorkerLane> by_worker;
+  for (const ScanTaskProfile& t : profile.tasks) {
+    WorkerLane& lane = by_worker[t.worker];
+    lane.worker = t.worker;
+    ++lane.tasks;
+    lane.queue_wait_us += t.queue_wait_us;
+    lane.exec_us += t.exec_us;
+  }
+  std::vector<WorkerLane> lanes;
+  lanes.reserve(by_worker.size());
+  for (auto& [_, lane] : by_worker) lanes.push_back(lane);
+  return lanes;
+}
+
+std::string QueryProfile::Explain() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%s #%llu on object %llu @ scn %llu (%s)\n",
+                kind.c_str(), static_cast<unsigned long long>(query_id),
+                static_cast<unsigned long long>(object),
+                static_cast<unsigned long long>(snapshot), role.c_str());
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "  rows: %llu returned, %llu matched "
+                "(%llu from IMCS, %llu from row store)\n",
+                static_cast<unsigned long long>(rows_returned),
+                static_cast<unsigned long long>(matches),
+                static_cast<unsigned long long>(scan.rows_from_imcs),
+                static_cast<unsigned long long>(scan.rows_from_rowstore));
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "  imcus: %llu scanned, %llu pruned, %llu skipped; "
+                "%llu row-path blocks, %llu reconciled invalid rows\n",
+                static_cast<unsigned long long>(scan.imcus_scanned),
+                static_cast<unsigned long long>(scan.imcus_pruned),
+                static_cast<unsigned long long>(scan.imcus_skipped),
+                static_cast<unsigned long long>(scan.blocks_rowpath),
+                static_cast<unsigned long long>(scan.invalid_rowpath));
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "  parallel: dop %u, %llu tasks over %zu workers\n", dop,
+                static_cast<unsigned long long>(scan.parallel_tasks),
+                lanes.size());
+  out += line;
+  for (const WorkerLane& lane : lanes) {
+    std::snprintf(line, sizeof(line),
+                  "    worker %u: %llu tasks, wait %llu us, exec %llu us\n",
+                  lane.worker, static_cast<unsigned long long>(lane.tasks),
+                  static_cast<unsigned long long>(lane.queue_wait_us),
+                  static_cast<unsigned long long>(lane.exec_us));
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "  visibility: %llu commit-status lookups",
+                static_cast<unsigned long long>(commit_lookups));
+  out += line;
+  if (imadg_sampled) {
+    std::snprintf(line, sizeof(line),
+                  "; journal %llu live anchors, commit table %llu live nodes",
+                  static_cast<unsigned long long>(journal_live_anchors),
+                  static_cast<unsigned long long>(commit_table_live_nodes));
+    out += line;
+  }
+  out += "\n";
+  if (lag_sampled) {
+    std::snprintf(line, sizeof(line),
+                  "  freshness: primary scn %llu, staleness %llu scn / %lld us\n",
+                  static_cast<unsigned long long>(primary_scn),
+                  static_cast<unsigned long long>(staleness_scn),
+                  static_cast<long long>(staleness_us));
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "  time: %llu us wall, %llu us caller cpu\n",
+                static_cast<unsigned long long>(wall_us),
+                static_cast<unsigned long long>(caller_cpu_us));
+  out += line;
+  return out;
+}
+
+std::string QueryProfile::ToJson() const {
+  std::string out = "{";
+  out += "\"query_id\":" + std::to_string(query_id);
+  out += ",\"kind\":\"" + JsonEscape(kind) + "\"";
+  out += ",\"role\":\"" + JsonEscape(role) + "\"";
+  out += ",\"object\":" + std::to_string(object);
+  if (join_right != kInvalidObjectId)
+    out += ",\"join_right\":" + std::to_string(join_right);
+  out += ",\"snapshot\":" + ScnStr(snapshot);
+  out += ",\"rows_returned\":" + std::to_string(rows_returned);
+  out += ",\"matches\":" + std::to_string(matches);
+  out += ",\"rows_from_imcs\":" + std::to_string(scan.rows_from_imcs);
+  out += ",\"rows_from_rowstore\":" + std::to_string(scan.rows_from_rowstore);
+  out += ",\"imcus_scanned\":" + std::to_string(scan.imcus_scanned);
+  out += ",\"imcus_pruned\":" + std::to_string(scan.imcus_pruned);
+  out += ",\"imcus_skipped\":" + std::to_string(scan.imcus_skipped);
+  out += ",\"blocks_rowpath\":" + std::to_string(scan.blocks_rowpath);
+  out += ",\"invalid_rowpath\":" + std::to_string(scan.invalid_rowpath);
+  out += ",\"parallel_tasks\":" + std::to_string(scan.parallel_tasks);
+  out += ",\"dop\":" + std::to_string(dop);
+  out += ",\"lanes\":[";
+  for (size_t i = 0; i < lanes.size(); ++i) {
+    if (i != 0) out += ",";
+    out += "{\"worker\":" + std::to_string(lanes[i].worker) +
+           ",\"tasks\":" + std::to_string(lanes[i].tasks) +
+           ",\"queue_wait_us\":" + std::to_string(lanes[i].queue_wait_us) +
+           ",\"exec_us\":" + std::to_string(lanes[i].exec_us) + "}";
+  }
+  out += "]";
+  out += ",\"commit_lookups\":" + std::to_string(commit_lookups);
+  out += ",\"imadg_sampled\":" + std::string(imadg_sampled ? "true" : "false");
+  if (imadg_sampled) {
+    out += ",\"journal_live_anchors\":" + std::to_string(journal_live_anchors);
+    out += ",\"commit_table_live_nodes\":" +
+           std::to_string(commit_table_live_nodes);
+  }
+  out += ",\"lag_sampled\":" + std::string(lag_sampled ? "true" : "false");
+  if (lag_sampled) {
+    out += ",\"primary_scn\":" + ScnStr(primary_scn);
+    out += ",\"staleness_scn\":" + std::to_string(staleness_scn);
+    out += ",\"staleness_us\":" + std::to_string(staleness_us);
+  }
+  out += ",\"started_at_us\":" + std::to_string(started_at_us);
+  out += ",\"wall_us\":" + std::to_string(wall_us);
+  out += ",\"caller_cpu_us\":" + std::to_string(caller_cpu_us);
+  out += "}";
+  return out;
+}
+
+uint64_t SlowQueryLog::Begin(const std::string& kind, ObjectId object,
+                             Scn snapshot) {
+  std::lock_guard<std::mutex> g(mu_);
+  const uint64_t id = next_id_++;
+  InFlightQuery q;
+  q.query_id = id;
+  q.kind = kind;
+  q.object = object;
+  q.snapshot = snapshot;
+  q.started_at_us = NowMicros();
+  in_flight_.emplace(id, std::move(q));
+  return id;
+}
+
+void SlowQueryLog::End(uint64_t query_id, QueryProfile profile) {
+  std::lock_guard<std::mutex> g(mu_);
+  in_flight_.erase(query_id);
+  ++completed_;
+  if (profile.wall_us < threshold_us_) return;
+  profile.query_id = query_id;
+  ring_.push_back(std::move(profile));
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+std::vector<QueryProfile> SlowQueryLog::Completed() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::vector<InFlightQuery> SlowQueryLog::InFlight() const {
+  std::lock_guard<std::mutex> g(mu_);
+  std::vector<InFlightQuery> out;
+  out.reserve(in_flight_.size());
+  for (const auto& [_, q] : in_flight_) out.push_back(q);
+  std::sort(out.begin(), out.end(),
+            [](const InFlightQuery& a, const InFlightQuery& b) {
+              return a.query_id < b.query_id;
+            });
+  return out;
+}
+
+uint64_t SlowQueryLog::total_completed() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return completed_;
+}
+
+std::string SlowQueryLog::ToJson() const {
+  // Copy under the lock, render outside it.
+  std::vector<InFlightQuery> inflight = InFlight();
+  std::vector<QueryProfile> done = Completed();
+  std::string out = "{\"in_flight\":[";
+  for (size_t i = 0; i < inflight.size(); ++i) {
+    if (i != 0) out += ",";
+    out += "{\"query_id\":" + std::to_string(inflight[i].query_id) +
+           ",\"kind\":\"" + JsonEscape(inflight[i].kind) + "\"" +
+           ",\"object\":" + std::to_string(inflight[i].object) +
+           ",\"snapshot\":" + ScnStr(inflight[i].snapshot) +
+           ",\"started_at_us\":" + std::to_string(inflight[i].started_at_us) +
+           "}";
+  }
+  out += "],\"completed\":[";
+  for (size_t i = 0; i < done.size(); ++i) {
+    if (i != 0) out += ",";
+    out += done[i].ToJson();
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace stratus

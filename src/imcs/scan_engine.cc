@@ -5,7 +5,9 @@
 #include <unordered_set>
 #include <utility>
 
+#include "common/clock.h"
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 
 namespace stratus {
 
@@ -362,10 +364,35 @@ Status ScanEngine::Scan(const Table& table, const std::vector<Predicate>& preds,
     }
   };
 
+  // Per-task profiling (worker ordinal, queue wait, run time) is opt-in:
+  // with no profile requested neither path touches the clock per task.
+  ScanProfile* profile = options.profile;
+  const uint64_t submit_us = profile != nullptr ? NowMicros() : 0;
+  std::vector<ScanTaskProfile> task_profiles(
+      profile != nullptr ? num_tasks : 0);
+  const auto record_task = [&](size_t t, uint64_t start_us) {
+    ScanTaskProfile& tp = task_profiles[t];
+    tp.worker = obs::internal::ThreadOrdinal();
+    tp.imcu_task = tasks[t].smu != nullptr;
+    tp.queue_wait_us = start_us > submit_us ? start_us - submit_us : 0;
+    const uint64_t end_us = NowMicros();
+    tp.exec_us = end_us > start_us ? end_us - start_us : 0;
+  };
+  const auto finish_profile = [&] {
+    if (profile == nullptr) return;
+    profile->tasks.insert(profile->tasks.end(), task_profiles.begin(),
+                          task_profiles.end());
+  };
+
   const size_t dop = std::max<size_t>(1, options.dop);
   if (dop == 1 || num_tasks <= 1) {
     // Inline path: stream straight into the sink — no buffering, no barrier.
-    for (size_t t = 0; t < num_tasks; ++t) run_task(t, sink, stats, agg_out);
+    for (size_t t = 0; t < num_tasks; ++t) {
+      const uint64_t start_us = profile != nullptr ? NowMicros() : 0;
+      run_task(t, sink, stats, agg_out);
+      if (profile != nullptr) record_task(t, start_us);
+    }
+    finish_profile();
     return Status::OK();
   }
 
@@ -382,9 +409,11 @@ Status ScanEngine::Scan(const Table& table, const std::vector<Predicate>& preds,
       options.pool != nullptr ? options.pool : ThreadPool::Shared();
   pool->ParallelFor(num_tasks, dop, [&](size_t t) {
     TaskOut& out = outs[t];
+    const uint64_t start_us = profile != nullptr ? NowMicros() : 0;
     run_task(
         t, [&out](const Row& row) { out.rows.push_back(row); }, &out.stats,
         &out.agg);
+    if (profile != nullptr) record_task(t, start_us);
   });
 
   for (TaskOut& out : outs) {
@@ -392,6 +421,7 @@ Status ScanEngine::Scan(const Table& table, const std::vector<Predicate>& preds,
     agg_out->Merge(agg.kind, out.agg);
     for (const Row& row : out.rows) sink(row);
   }
+  finish_profile();
   return Status::OK();
 }
 

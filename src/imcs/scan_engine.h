@@ -115,6 +115,20 @@ struct ScanStats {
 /// merge after the parallel barrier — it needs no synchronization.
 using RowSink = std::function<void(const Row& row)>;
 
+/// Execution record of one scan task, filled only when the caller passes
+/// `ScanOptions::profile` (the null default costs the scan nothing).
+struct ScanTaskProfile {
+  uint32_t worker = 0;         ///< Executing thread's dense obs ordinal.
+  bool imcu_task = false;      ///< Per-IMCU task vs row-path chunk.
+  uint64_t queue_wait_us = 0;  ///< Task start − scan submit.
+  uint64_t exec_us = 0;        ///< Task run time.
+};
+
+/// Per-scan execution profile: one entry per task, in task (merge) order.
+struct ScanProfile {
+  std::vector<ScanTaskProfile> tasks;
+};
+
 /// Parallel-execution knobs for one scan.
 struct ScanOptions {
   /// Degree of parallelism: maximum threads scanning concurrently (the
@@ -129,6 +143,9 @@ struct ScanOptions {
   /// decomposition — and therefore `ScanStats::parallel_tasks` and the merge
   /// order — is identical at every DOP.
   size_t rowpath_chunk_blocks = 8;
+  /// When non-null, receives per-task worker/wait/run records for this scan
+  /// (appended; the QueryProfile plumbing passes a fresh one per query).
+  ScanProfile* profile = nullptr;
 };
 
 /// The In-Memory Scan Engine (Section II.B): serves valid rows from the

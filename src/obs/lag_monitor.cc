@@ -23,6 +23,8 @@ LagMonitor::LagMonitor(LagSources sources, MetricsRegistry* registry,
     staleness_us_ = registry_->GetGauge("stratus_lag_queryscn_us", labels);
     primary_scn_gauge_ = registry_->GetGauge("stratus_primary_scn", labels);
     query_scn_gauge_ = registry_->GetGauge("stratus_query_scn", labels);
+    no_data_gauge_ = registry_->GetGauge("stratus_lag_no_data", labels);
+    clamped_gauge_ = registry_->GetGauge("stratus_lag_heartbeat_clamped", labels);
     staleness_hist_ =
         registry_->GetHistogram("stratus_queryscn_staleness_us", labels);
   }
@@ -102,12 +104,20 @@ LagSnapshot LagMonitor::Snapshot() {
 
   ExtendTimeline(snap.primary_scn, snap.sampled_at_us);
 
+  snap.primary_known = snap.primary_scn != kInvalidScn;
+  snap.no_data = snap.shipped_scn == kInvalidScn &&
+                 snap.applied_scn == kInvalidScn &&
+                 snap.query_scn == kInvalidScn;
+
   // Heartbeat records carry SCNs above the primary's visible (commit) SCN, so
   // shipped/applied/query watermarks legitimately run ahead of it at idle.
   // Clamp consumers to the primary's position: lag measures missing *commits*,
-  // and an idle, caught-up pipeline must read as zero on every stage.
+  // and an idle, caught-up pipeline must read as zero on every stage. The
+  // snapshot remembers that a clamp happened — a clamped zero is a real
+  // "caught up", while no_data zeros measure nothing at all.
   auto clamp = [&](Scn v) -> Scn {
     if (v == kInvalidScn || snap.primary_scn == kInvalidScn) return v;
+    if (v > snap.primary_scn) snap.heartbeat_clamped = true;
     return std::min(v, snap.primary_scn);
   };
   snap.shipped_scn = clamp(snap.shipped_scn);
@@ -149,6 +159,8 @@ void LagMonitor::Publish(const LagSnapshot& snap) {
       snap.primary_scn == kInvalidScn ? 0 : static_cast<int64_t>(snap.primary_scn));
   query_scn_gauge_->Set(
       snap.query_scn == kInvalidScn ? 0 : static_cast<int64_t>(snap.query_scn));
+  no_data_gauge_->Set(snap.no_data ? 1 : 0);
+  clamped_gauge_->Set(snap.heartbeat_clamped ? 1 : 0);
   staleness_hist_->Record(static_cast<uint64_t>(snap.staleness_us));
 }
 

@@ -399,5 +399,31 @@ size_t MetricsRegistry::SeriesCount() const {
   return series.size();
 }
 
+void ExportBuildInfo(MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  Labels labels;
+  labels.emplace_back("version", "0.6.0");
+#if defined(__clang__)
+  labels.emplace_back("compiler", "clang " __clang_version__);
+#elif defined(__GNUC__)
+  labels.emplace_back("compiler", "gcc " __VERSION__);
+#else
+  labels.emplace_back("compiler", "unknown");
+#endif
+#ifdef NDEBUG
+  labels.emplace_back("build", "release");
+  labels.emplace_back("ndebug", "1");
+#else
+  labels.emplace_back("build", "debug");
+  labels.emplace_back("ndebug", "0");
+#endif
+#ifdef STRATUS_CHAOS_POINTS
+  labels.emplace_back("chaos_points", "on");
+#else
+  labels.emplace_back("chaos_points", "off");
+#endif
+  registry->GetGauge("stratus_build_info", labels)->Set(1);
+}
+
 }  // namespace obs
 }  // namespace stratus

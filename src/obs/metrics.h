@@ -182,6 +182,12 @@ class MetricsRegistry {
   std::vector<std::pair<uint64_t, std::function<void(MetricsSink*)>>> callbacks_;
 };
 
+/// Registers the `stratus_build_info` gauge (value always 1) whose labels
+/// carry the binary's identifying facts — version, compiler, build type,
+/// NDEBUG, chaos points — so dashboards can correlate metric streams with
+/// the build that produced them. Idempotent: same labels map to one series.
+void ExportBuildInfo(MetricsRegistry* registry);
+
 /// RAII holder for an export callback: registers on Attach, removes on
 /// destruction (or Reset), so a component's series vanish from exports the
 /// moment the component is torn down instead of dangling.

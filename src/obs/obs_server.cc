@@ -1,0 +1,273 @@
+#include "obs/obs_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+namespace stratus {
+namespace obs {
+
+namespace {
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Status";
+  }
+}
+
+void SetSocketTimeout(int fd, int64_t timeout_us) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout_us / 1'000'000);
+  tv.tv_usec = static_cast<suseconds_t>(timeout_us % 1'000'000);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+/// Writes the whole buffer, tolerating short writes; MSG_NOSIGNAL so a
+/// scraper that hung up mid-response surfaces as EPIPE, not SIGPIPE.
+bool SendAll(int fd, const char* data, size_t len) {
+  size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+ObsServer::ObsServer(ObsServerOptions options) : options_(std::move(options)) {
+  if (options_.registry != nullptr) {
+    requests_counter_ = options_.registry->GetCounter("stratus_obs_http_requests");
+    errors_counter_ = options_.registry->GetCounter("stratus_obs_http_errors");
+    dropped_counter_ = options_.registry->GetCounter("stratus_obs_http_dropped");
+  }
+}
+
+ObsServer::~ObsServer() { Stop(); }
+
+Status ObsServer::Start() {
+  if (started_) return Status::FailedPrecondition("already started");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status::Internal("socket() failed");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listen_fd_, 16) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("bind/listen failed");
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  if (::pipe(wake_pipe_) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("pipe() failed");
+  }
+
+  started_ = true;
+  {
+    std::lock_guard<std::mutex> g(queue_mu_);
+    stopping_ = false;
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  const size_t workers = std::max<size_t>(1, options_.worker_threads);
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return Status::OK();
+}
+
+void ObsServer::Stop() {
+  if (!started_) return;
+  started_ = false;
+  {
+    std::lock_guard<std::mutex> g(queue_mu_);
+    stopping_ = true;
+  }
+  // Wake the accept loop (pipe) and the workers (condvar).
+  const char b = 0;
+  (void)!::write(wake_pipe_[1], &b, 1);
+  queue_cv_.notify_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+
+  for (int fd : pending_) ::close(fd);
+  pending_.clear();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::close(wake_pipe_[0]);
+  ::close(wake_pipe_[1]);
+  wake_pipe_[0] = wake_pipe_[1] = -1;
+}
+
+void ObsServer::Handle(std::string path, HttpHandler handler) {
+  std::lock_guard<std::mutex> g(handlers_mu_);
+  exact_.emplace_back(std::move(path), std::move(handler));
+}
+
+void ObsServer::HandlePrefix(std::string prefix, HttpHandler handler) {
+  std::lock_guard<std::mutex> g(handlers_mu_);
+  prefixes_.emplace_back(std::move(prefix), std::move(handler));
+}
+
+void ObsServer::AcceptLoop() {
+  for (;;) {
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {wake_pipe_[0], POLLIN, 0};
+    if (::poll(fds, 2, -1) < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if ((fds[1].revents & POLLIN) != 0) return;  // Stop() woke us.
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    {
+      std::lock_guard<std::mutex> g(queue_mu_);
+      if (!stopping_ && pending_.size() < options_.max_pending_connections) {
+        pending_.push_back(fd);
+        queue_cv_.notify_one();
+        continue;
+      }
+    }
+    // Over the bound (or shutting down): refuse rather than queue unboundedly.
+    ::close(fd);
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    if (dropped_counter_ != nullptr) dropped_counter_->Inc();
+  }
+}
+
+void ObsServer::WorkerLoop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> l(queue_mu_);
+      queue_cv_.wait(l, [this] { return stopping_ || !pending_.empty(); });
+      if (pending_.empty()) return;  // stopping_, queue drained.
+      fd = pending_.front();
+      pending_.pop_front();
+    }
+    ServeConnection(fd);
+    ::close(fd);
+  }
+}
+
+HttpResponse ObsServer::Dispatch(const HttpRequest& request) const {
+  std::lock_guard<std::mutex> g(handlers_mu_);
+  for (const auto& [path, handler] : exact_) {
+    if (request.path == path) return handler(request);
+  }
+  const std::pair<std::string, HttpHandler>* best = nullptr;
+  for (const auto& entry : prefixes_) {
+    if (request.path.rfind(entry.first, 0) != 0) continue;
+    if (best == nullptr || entry.first.size() > best->first.size()) best = &entry;
+  }
+  if (best != nullptr) return best->second(request);
+  HttpResponse resp;
+  resp.status = 404;
+  resp.body = "not found\n";
+  return resp;
+}
+
+void ObsServer::ServeConnection(int fd) {
+  SetSocketTimeout(fd, options_.io_timeout_us);
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  // Read until the end of the header block, EOF, or the size cap.
+  std::string buf;
+  bool oversized = false;
+  while (buf.find("\r\n\r\n") == std::string::npos) {
+    if (buf.size() > options_.max_request_bytes) {
+      oversized = true;
+      break;
+    }
+    char chunk[1024];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF or timeout: parse whatever arrived.
+    buf.append(chunk, static_cast<size_t>(n));
+  }
+
+  HttpResponse resp;
+  if (oversized) {
+    resp.status = 431;
+    resp.body = "request too large\n";
+  } else {
+    // Request line: METHOD SP target SP version.
+    const size_t line_end = buf.find("\r\n");
+    const std::string line =
+        line_end == std::string::npos ? buf : buf.substr(0, line_end);
+    const size_t sp1 = line.find(' ');
+    const size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                                : line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos || sp1 == 0 ||
+        sp2 == sp1 + 1 || line.compare(sp2 + 1, 5, "HTTP/") != 0) {
+      resp.status = 400;
+      resp.body = "malformed request\n";
+    } else {
+      HttpRequest request;
+      request.method = line.substr(0, sp1);
+      std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+      const size_t qmark = target.find('?');
+      request.path = target.substr(0, qmark);
+      if (qmark != std::string::npos) request.query = target.substr(qmark + 1);
+      if (request.method != "GET") {
+        resp.status = 405;
+        resp.body = "only GET is served here\n";
+      } else {
+        resp = Dispatch(request);
+      }
+    }
+  }
+
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (requests_counter_ != nullptr) requests_counter_->Inc();
+  if (resp.status >= 400) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    if (errors_counter_ != nullptr) errors_counter_->Inc();
+  }
+
+  std::string head = "HTTP/1.0 " + std::to_string(resp.status) + " " +
+                     ReasonPhrase(resp.status) +
+                     "\r\nContent-Type: " + resp.content_type +
+                     "\r\nContent-Length: " + std::to_string(resp.body.size()) +
+                     "\r\nConnection: close\r\n\r\n";
+  if (SendAll(fd, head.data(), head.size())) {
+    SendAll(fd, resp.body.data(), resp.body.size());
+  }
+}
+
+}  // namespace obs
+}  // namespace stratus

@@ -1,0 +1,130 @@
+#ifndef STRATUS_OBS_OBS_SERVER_H_
+#define STRATUS_OBS_OBS_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace stratus {
+namespace obs {
+
+/// One parsed HTTP request (the subset the observability surface needs:
+/// request line only, headers are read and discarded).
+struct HttpRequest {
+  std::string method;  ///< "GET", uppercased as received.
+  std::string path;    ///< Target before '?', e.g. "/v/im_segments".
+  std::string query;   ///< Raw query string after '?' (may be empty).
+};
+
+/// What a handler returns; the server adds the status line, Content-Type,
+/// Content-Length and Connection: close framing.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+struct ObsServerOptions {
+  /// TCP port on 127.0.0.1; 0 picks an ephemeral port (read it back via
+  /// port() after Start()).
+  int port = 0;
+  /// Threads serving accepted connections. Scrapes are short and close-per-
+  /// request (HTTP/1.0), so a small pool rides out concurrent scrapers.
+  size_t worker_threads = 2;
+  /// Request (line + headers) size cap; beyond it the connection gets 431.
+  size_t max_request_bytes = 8192;
+  /// Accepted connections waiting for a worker beyond this bound are closed
+  /// unserved rather than queued without limit.
+  size_t max_pending_connections = 64;
+  /// Per-connection socket read/write timeout.
+  int64_t io_timeout_us = 2'000'000;
+  /// Registry for the server's own request counters (null: counters are
+  /// still kept internally, nothing is published).
+  MetricsRegistry* registry = nullptr;
+};
+
+/// A minimal embedded HTTP/1.0 server for the observability endpoints:
+/// GET-only, close-per-request, loopback-only — deliberately not a general
+/// web server. Built on the same POSIX socket primitives as
+/// net::SocketChannel; an accept thread feeds a bounded queue drained by a
+/// small worker pool, so a stuck scraper cannot wedge the whole surface.
+///
+/// Handlers registered before or after Start() (a mutex guards the table);
+/// they run on worker threads and must be thread-safe. Exact-path handlers
+/// win over prefix handlers; among prefixes the longest match wins.
+class ObsServer {
+ public:
+  explicit ObsServer(ObsServerOptions options = {});
+  ~ObsServer();
+
+  ObsServer(const ObsServer&) = delete;
+  ObsServer& operator=(const ObsServer&) = delete;
+
+  Status Start();
+  void Stop();
+
+  /// The bound port (valid after a successful Start()).
+  int port() const { return port_; }
+
+  /// Registers `handler` for exactly `path`.
+  void Handle(std::string path, HttpHandler handler);
+  /// Registers `handler` for every path beginning with `prefix`
+  /// (e.g. "/v/"); the longest matching prefix wins.
+  void HandlePrefix(std::string prefix, HttpHandler handler);
+
+  uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+  uint64_t connections_dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  void ServeConnection(int fd);
+  HttpResponse Dispatch(const HttpRequest& request) const;
+
+  ObsServerOptions options_;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  int port_ = 0;
+  bool started_ = false;
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_;  ///< Accepted fds awaiting a worker.
+  bool stopping_ = false;    ///< Guarded by queue_mu_.
+
+  mutable std::mutex handlers_mu_;
+  std::vector<std::pair<std::string, HttpHandler>> exact_;
+  std::vector<std::pair<std::string, HttpHandler>> prefixes_;
+
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> errors_{0};  ///< Responses with status >= 400.
+  std::atomic<uint64_t> dropped_{0};
+
+  Counter* requests_counter_ = nullptr;
+  Counter* errors_counter_ = nullptr;
+  Counter* dropped_counter_ = nullptr;
+};
+
+}  // namespace obs
+}  // namespace stratus
+
+#endif  // STRATUS_OBS_OBS_SERVER_H_

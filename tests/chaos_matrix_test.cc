@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <sstream>
+#include <thread>
 
 #include "chaos/chaos_harness.h"
 #include "db/database.h"
+#include "db/introspection.h"
 
 namespace stratus {
 namespace {
@@ -90,6 +93,67 @@ void RunMatrixForDop(int dop) {
 TEST(ChaosMatrixTest, Dop1) { RunMatrixForDop(1); }
 TEST(ChaosMatrixTest, Dop2) { RunMatrixForDop(2); }
 TEST(ChaosMatrixTest, Dop4) { RunMatrixForDop(4); }
+
+// Matrix entry for the observability surface: an injected apply error must
+// quarantine the IMCU AND flip /healthz to 503; a restart (which rebuilds the
+// quarantined IMCS from consistent data) must flip it back to 200.
+TEST(ChaosMatrixTest, HealthzFlipsOnApplyErrorQuarantineAndRecovers) {
+  ChaosController chaos;
+  obs::MetricsRegistry registry;
+  AdgCluster cluster(MatrixOptions(/*dop=*/2, &chaos, &registry));
+  cluster.Start();
+  const ObjectId table =
+      cluster
+          .CreateTable("health", kDefaultTenant, Schema::WideTable(1, 1),
+                       ImService::kStandbyOnly, true)
+          .value();
+  int64_t next_id = 0;
+  auto commit_rows = [&](int n) {
+    Transaction txn = cluster.primary()->Begin();
+    for (int i = 0; i < n; ++i) {
+      ASSERT_TRUE(cluster.primary()
+                      ->Insert(&txn, table,
+                               Row{Value(next_id++), Value(next_id % 8),
+                                   Value(std::string("h"))},
+                               nullptr)
+                      .ok());
+    }
+    ASSERT_TRUE(cluster.primary()->Commit(&txn).ok());
+  };
+  commit_rows(512);
+  ASSERT_NE(cluster.WaitForCatchup(), kInvalidScn);
+  ASSERT_TRUE(cluster.standby()->PopulateNow(table).ok());
+
+  ClusterObservability views(&cluster);
+  EXPECT_EQ(views.Healthz().status, 200);
+
+  chaos.ArmApplyError(1);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!cluster.standby()->degraded() &&
+         std::chrono::steady_clock::now() < deadline) {
+    commit_rows(4);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(cluster.standby()->degraded());
+  const obs::HttpResponse degraded = views.Healthz();
+  EXPECT_EQ(degraded.status, 503);
+  EXPECT_NE(degraded.body.find("degraded"), std::string::npos);
+  const VStandbyApplyRow row =
+      CollectVStandbyApply(cluster.standby(), cluster.lag_monitor());
+  EXPECT_TRUE(row.degraded);
+  EXPECT_GE(row.apply_errors, 1u);
+
+  // Restart discards the quarantined IMCS and clears the health latch; once
+  // redo apply republishes a QuerySCN the surface reads healthy again.
+  cluster.standby()->Restart();
+  commit_rows(4);
+  ASSERT_NE(cluster.WaitForCatchup(), kInvalidScn);
+  EXPECT_FALSE(cluster.standby()->degraded());
+  EXPECT_EQ(views.Healthz().status, 200);
+  EXPECT_EQ(views.Readyz().status, 200);
+  cluster.Stop();
+}
 
 }  // namespace
 }  // namespace stratus

@@ -99,6 +99,80 @@ TEST(LagMonitorTest, HeartbeatScnsAheadOfPrimaryClampToZero) {
   EXPECT_EQ(snap.transport_lag_scn, 0u);
   EXPECT_EQ(snap.apply_lag_scn, 0u);
   EXPECT_EQ(snap.staleness_scn, 0u);
+  // The snapshot remembers the clamp: these zeros are a genuine "caught up",
+  // distinguishable from the no-data zeros below.
+  EXPECT_TRUE(snap.heartbeat_clamped);
+  EXPECT_TRUE(snap.primary_known);
+  EXPECT_FALSE(snap.no_data);
+}
+
+TEST(LagMonitorTest, NoDataDistinguishedFromCaughtUp) {
+  // Before the pipeline reports any consumer mark, every lag reads zero —
+  // but those zeros mean "nothing to measure", not "caught up". The explicit
+  // flag is the only way a dashboard can tell the states apart.
+  SyntheticPipeline pipe;
+  pipe.shipped.store(kInvalidScn, std::memory_order_release);
+  pipe.applied.store(kInvalidScn, std::memory_order_release);
+  pipe.query.store(kInvalidScn, std::memory_order_release);
+  obs::LagMonitor monitor(pipe.Sources(), /*registry=*/nullptr);
+
+  const obs::LagSnapshot empty = monitor.Snapshot();
+  EXPECT_TRUE(empty.no_data);
+  EXPECT_TRUE(empty.primary_known);
+  EXPECT_FALSE(empty.heartbeat_clamped);
+  // A missing consumer mark reads as position 0: the whole primary history
+  // is outstanding. The flag says the marks are absent, not merely behind.
+  EXPECT_EQ(empty.transport_lag_scn, 100u);
+  EXPECT_EQ(empty.staleness_scn, 100u);
+
+  // One consumer reporting is enough to leave the no-data state.
+  pipe.shipped.store(100, std::memory_order_release);
+  const obs::LagSnapshot partial = monitor.Snapshot();
+  EXPECT_FALSE(partial.no_data);
+
+  // A truly caught-up pipeline: all marks present, no flags.
+  pipe.applied.store(100, std::memory_order_release);
+  pipe.query.store(100, std::memory_order_release);
+  const obs::LagSnapshot caught_up = monitor.Snapshot();
+  EXPECT_FALSE(caught_up.no_data);
+  EXPECT_FALSE(caught_up.heartbeat_clamped);
+  EXPECT_EQ(caught_up.staleness_scn, 0u);
+}
+
+TEST(LagMonitorTest, UnknownPrimaryReportedExplicitly) {
+  SyntheticPipeline pipe;
+  pipe.primary.store(kInvalidScn, std::memory_order_release);
+  obs::LagMonitor monitor(pipe.Sources(), /*registry=*/nullptr);
+  const obs::LagSnapshot snap = monitor.Snapshot();
+  EXPECT_FALSE(snap.primary_known);
+  // Without a primary mark no SCN delta is computable; they read zero.
+  EXPECT_EQ(snap.transport_lag_scn, 0u);
+  EXPECT_EQ(snap.staleness_scn, 0u);
+}
+
+TEST(LagMonitorTest, NoDataAndClampStatesPublishAsGauges) {
+  SyntheticPipeline pipe;
+  pipe.shipped.store(kInvalidScn, std::memory_order_release);
+  pipe.applied.store(kInvalidScn, std::memory_order_release);
+  pipe.query.store(kInvalidScn, std::memory_order_release);
+  obs::MetricsRegistry registry;
+  const obs::Labels labels = {{"db", "nd"}};
+  obs::LagMonitor monitor(pipe.Sources(), &registry, labels);
+
+  monitor.Snapshot();
+  EXPECT_EQ(registry.GetGauge("stratus_lag_no_data", labels)->Value(), 1);
+  EXPECT_EQ(registry.GetGauge("stratus_lag_heartbeat_clamped", labels)->Value(),
+            0);
+
+  // Idle heartbeats push the consumer marks past the primary: the no-data
+  // gauge drops, the clamp gauge rises.
+  pipe.shipped.store(150, std::memory_order_release);
+  pipe.applied.store(150, std::memory_order_release);
+  pipe.query.store(150, std::memory_order_release);
+  monitor.Snapshot();
+  EXPECT_EQ(registry.GetGauge("stratus_lag_no_data", labels)->Value(), 0);
+  EXPECT_EQ(registry.GetGauge("stratus_lag_heartbeat_clamped", labels)->Value(),
+            1);
 }
 
 TEST(LagMonitorTest, PollerPublishesGaugesIntoRegistry) {
@@ -116,7 +190,8 @@ TEST(LagMonitorTest, PollerPublishesGaugesIntoRegistry) {
        {"stratus_lag_transport_scn", "stratus_lag_apply_scn",
         "stratus_lag_queryscn_scn", "stratus_lag_transport_us",
         "stratus_lag_apply_us", "stratus_lag_queryscn_us",
-        "stratus_primary_scn", "stratus_query_scn"}) {
+        "stratus_primary_scn", "stratus_query_scn", "stratus_lag_no_data",
+        "stratus_lag_heartbeat_clamped"}) {
     EXPECT_NE(text.find(std::string(name) + "{db=\"test\"}"),
               std::string::npos)
         << name;
@@ -180,6 +255,9 @@ TEST_F(LagMonitorClusterTest, LagDropsToZeroAfterFullApply) {
   EXPECT_EQ(snap.transport_lag_us, 0);
   EXPECT_EQ(snap.apply_lag_us, 0);
   EXPECT_EQ(snap.staleness_us, 0);
+  // A real caught-up pipeline: the zeros are measurements, not absences.
+  EXPECT_FALSE(snap.no_data);
+  EXPECT_TRUE(snap.primary_known);
   EXPECT_GT(cluster_->lag_monitor()->polls(), 0u);
 }
 

@@ -1,0 +1,381 @@
+#include "db/query_profile.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+
+namespace stratus {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SlowQueryLog unit level: ring bound, threshold, in-flight registry.
+// ---------------------------------------------------------------------------
+
+QueryProfile MakeProfile(uint64_t wall_us) {
+  QueryProfile p;
+  p.kind = "scan";
+  p.role = "primary";
+  p.wall_us = wall_us;
+  return p;
+}
+
+TEST(SlowQueryLogTest, RingIsBoundedAndOrdered) {
+  SlowQueryLog log(/*capacity=*/2, /*threshold_us=*/0);
+  for (int i = 0; i < 5; ++i) {
+    const uint64_t id = log.Begin("scan", /*object=*/10, /*snapshot=*/100);
+    log.End(id, MakeProfile(/*wall_us=*/i));
+  }
+  EXPECT_EQ(log.total_completed(), 5u);
+  const std::vector<QueryProfile> done = log.Completed();
+  ASSERT_EQ(done.size(), 2u);
+  // Oldest → newest; ids 4 and 5 survive.
+  EXPECT_EQ(done[0].query_id, 4u);
+  EXPECT_EQ(done[1].query_id, 5u);
+}
+
+TEST(SlowQueryLogTest, ThresholdKeepsOnlySlowQueries) {
+  SlowQueryLog log(/*capacity=*/16, /*threshold_us=*/1'000);
+  const uint64_t fast = log.Begin("scan", 10, 100);
+  log.End(fast, MakeProfile(/*wall_us=*/10));
+  const uint64_t slow = log.Begin("scan", 10, 100);
+  log.End(slow, MakeProfile(/*wall_us=*/5'000));
+
+  // Both completed; only the slow one entered the ring.
+  EXPECT_EQ(log.total_completed(), 2u);
+  const std::vector<QueryProfile> done = log.Completed();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].query_id, slow);
+  EXPECT_EQ(done[0].wall_us, 5'000u);
+}
+
+TEST(SlowQueryLogTest, InFlightRegistersAndClears) {
+  SlowQueryLog log;
+  const uint64_t a = log.Begin("scan", 10, 100);
+  const uint64_t b = log.Begin("join", 11, 100);
+  std::vector<InFlightQuery> inflight = log.InFlight();
+  ASSERT_EQ(inflight.size(), 2u);
+  EXPECT_EQ(inflight[0].query_id, a);
+  EXPECT_EQ(inflight[0].kind, "scan");
+  EXPECT_EQ(inflight[1].query_id, b);
+  EXPECT_EQ(inflight[1].kind, "join");
+
+  log.End(a, MakeProfile(0));
+  inflight = log.InFlight();
+  ASSERT_EQ(inflight.size(), 1u);
+  EXPECT_EQ(inflight[0].query_id, b);
+  log.End(b, MakeProfile(0));
+  EXPECT_TRUE(log.InFlight().empty());
+
+  const std::string json = log.ToJson();
+  EXPECT_NE(json.find("\"in_flight\":[]"), std::string::npos);
+  EXPECT_NE(json.find("\"completed\":["), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Primary level: ground-truth pruning / reconciliation / lanes / joins.
+// ---------------------------------------------------------------------------
+
+/// 2048 rows over 8 blocks, 2 blocks per IMCU → exactly 4 IMCUs, with
+/// column 1 holding the row ordinal so every IMCU's storage-index range on
+/// that column is disjoint by construction. That makes pruning exact: a
+/// kEq pivot lands in precisely one IMCU's [min,max].
+class QueryProfileTest : public ::testing::Test {
+ protected:
+  static constexpr int64_t kRows = 8 * kRowsPerBlock;  // 2048.
+
+  QueryProfileTest() : db_(MakeOptions()) {
+    db_.Start();
+    table_ = db_.CreateTable("fact", kDefaultTenant, Schema::WideTable(1, 1),
+                             ImService::kPrimaryOnly, /*identity_index=*/true)
+                 .value();
+    Transaction txn = db_.Begin();
+    for (int64_t id = 0; id < kRows; ++id) {
+      Row row{Value(id), Value(id), Value(std::string("g"))};
+      EXPECT_TRUE(db_.Insert(&txn, table_, std::move(row), nullptr).ok());
+    }
+    EXPECT_TRUE(db_.Commit(&txn).ok());
+    EXPECT_TRUE(db_.PopulateNow(table_).ok());
+  }
+
+  DatabaseOptions MakeOptions() {
+    DatabaseOptions options;
+    options.registry = &registry_;
+    options.population.blocks_per_imcu = 2;
+    // No repopulation: the invalid-row ground truth below must not be
+    // repaired between the updating commit and the measuring scan.
+    options.population.repop_invalid_threshold = 1.1;
+    options.population.repop_staleness_us = 0;
+    return options;
+  }
+
+  size_t NumImcus() { return db_.im_store()->SmusForObject(table_).size(); }
+
+  obs::MetricsRegistry registry_;
+  PrimaryDb db_;
+  ObjectId table_ = kInvalidObjectId;
+};
+
+TEST_F(QueryProfileTest, GroundTruthStorageIndexPruning) {
+  const size_t imcus = NumImcus();
+  ASSERT_EQ(imcus, 4u);
+
+  ScanQuery q;
+  q.object = table_;
+  q.predicates = {{1, PredOp::kEq, Value(int64_t{5})}};
+  const auto result = db_.Query(q);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->count, 1u);
+
+  const QueryProfile& prof = result->profile;
+  EXPECT_EQ(prof.kind, "scan");
+  EXPECT_EQ(prof.role, "primary");
+  EXPECT_EQ(prof.object, table_);
+  EXPECT_NE(prof.query_id, 0u);
+  EXPECT_NE(prof.snapshot, kInvalidScn);
+  // Every usable IMCU is visited (imcus_scanned); the pivot lives in
+  // IMCU 0's range, so the other three prune on their min/max and skip the
+  // columnar pass entirely.
+  EXPECT_EQ(prof.scan.imcus_scanned, imcus);
+  EXPECT_EQ(prof.scan.imcus_pruned, imcus - 1);
+  EXPECT_EQ(prof.scan.imcus_skipped, 0u);
+  EXPECT_EQ(prof.scan.rows_from_imcs, 1u);
+  EXPECT_EQ(prof.scan.rows_from_rowstore, 0u);
+  // The primary annotates freshness against its own visible SCN: zero lag.
+  EXPECT_TRUE(prof.lag_sampled);
+  EXPECT_EQ(prof.staleness_scn, 0u);
+  EXPECT_EQ(prof.staleness_us, 0);
+  EXPECT_FALSE(prof.imadg_sampled);
+
+  // The same profile landed in the role's slow-query ring.
+  const std::vector<QueryProfile> done = db_.slow_query_log()->Completed();
+  ASSERT_FALSE(done.empty());
+  EXPECT_EQ(done.back().query_id, prof.query_id);
+  EXPECT_EQ(done.back().scan.imcus_pruned, imcus - 1);
+  EXPECT_TRUE(db_.slow_query_log()->InFlight().empty());
+}
+
+TEST_F(QueryProfileTest, GroundTruthSmuReconciliation) {
+  // Invalidate exactly 7 IMCS rows (spread over all 4 IMCUs) by updating
+  // them; the next scan must re-fetch exactly those 7 from the row store.
+  const std::vector<int64_t> keys = {0, 300, 600, 900, 1200, 1500, 1800};
+  Transaction txn = db_.Begin();
+  for (const int64_t key : keys) {
+    ASSERT_TRUE(db_.UpdateByKey(&txn, table_, key,
+                                Row{Value(key), Value(key), Value(std::string("u"))})
+                    .ok());
+  }
+  ASSERT_TRUE(db_.Commit(&txn).ok());
+
+  ScanQuery q;
+  q.object = table_;
+  const auto result = db_.Query(q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->count, static_cast<uint64_t>(kRows));
+
+  const QueryProfile& prof = result->profile;
+  EXPECT_EQ(prof.scan.invalid_rowpath, keys.size());
+  EXPECT_EQ(prof.scan.rows_from_imcs + prof.scan.rows_from_rowstore,
+            static_cast<uint64_t>(kRows));
+  EXPECT_GE(prof.scan.rows_from_rowstore, keys.size());
+}
+
+TEST_F(QueryProfileTest, RowPathScanFillsProfile) {
+  ScanQuery q;
+  q.object = table_;
+  q.force_row_store = true;
+  const auto result = db_.Query(q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->count, static_cast<uint64_t>(kRows));
+
+  const QueryProfile& prof = result->profile;
+  EXPECT_EQ(prof.scan.rows_from_imcs, 0u);
+  EXPECT_EQ(prof.scan.rows_from_rowstore, static_cast<uint64_t>(kRows));
+  EXPECT_EQ(prof.scan.blocks_rowpath, 8u);
+  EXPECT_EQ(prof.scan.imcus_scanned, 0u);
+  EXPECT_NE(prof.query_id, 0u);
+  EXPECT_TRUE(prof.lag_sampled);
+  EXPECT_FALSE(prof.Explain().empty());
+}
+
+TEST_F(QueryProfileTest, LaneTasksSumToParallelTasks) {
+  ScanQuery q;
+  q.object = table_;
+  q.agg = AggKind::kCount;
+  q.dop = 4;
+  const auto result = db_.Query(q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->count, static_cast<uint64_t>(kRows));
+
+  const QueryProfile& prof = result->profile;
+  EXPECT_EQ(prof.dop, 4u);
+  // Fully IMCS-covered table: one task per IMCU, no row-path chunks.
+  EXPECT_EQ(prof.scan.parallel_tasks, NumImcus());
+  uint64_t lane_tasks = 0;
+  for (const WorkerLane& lane : prof.lanes) lane_tasks += lane.tasks;
+  EXPECT_EQ(lane_tasks, prof.scan.parallel_tasks);
+  ASSERT_FALSE(prof.lanes.empty());
+  for (size_t i = 1; i < prof.lanes.size(); ++i)
+    EXPECT_LT(prof.lanes[i - 1].worker, prof.lanes[i].worker);
+}
+
+TEST_F(QueryProfileTest, JoinProfileRecordsBothSides) {
+  const ObjectId dim =
+      db_.CreateTable("dim", kDefaultTenant, Schema::WideTable(1, 1),
+                      ImService::kPrimaryOnly, /*identity_index=*/true)
+          .value();
+  Transaction txn = db_.Begin();
+  for (int64_t id = 0; id < 10; ++id) {
+    ASSERT_TRUE(
+        db_.Insert(&txn, dim, Row{Value(id), Value(id), Value(std::string("d"))},
+                   nullptr)
+            .ok());
+  }
+  ASSERT_TRUE(db_.Commit(&txn).ok());
+
+  JoinQuery j;
+  j.left = table_;
+  j.right = dim;
+  j.left_column = 1;
+  j.right_column = 0;
+  const auto result = db_.Join(j);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->count, 10u);
+
+  const QueryProfile& prof = result->profile;
+  EXPECT_EQ(prof.kind, "join");
+  EXPECT_EQ(prof.object, table_);
+  EXPECT_EQ(prof.join_right, dim);
+  EXPECT_EQ(prof.matches, 10u);
+  EXPECT_NE(prof.ToJson().find("\"join_right\""), std::string::npos);
+
+  // The build side logged its own "scan" entry before the join entry.
+  const std::vector<QueryProfile> done = db_.slow_query_log()->Completed();
+  ASSERT_GE(done.size(), 2u);
+  EXPECT_EQ(done[done.size() - 2].kind, "scan");
+  EXPECT_EQ(done[done.size() - 2].object, dim);
+  EXPECT_EQ(done.back().kind, "join");
+}
+
+TEST_F(QueryProfileTest, CommitLookupsCountVisibilityResolution) {
+  // An open transaction leaves an unresolved row version; the scan must ask
+  // the commit machinery about it at least once.
+  Transaction txn = db_.Begin();
+  ASSERT_TRUE(db_.UpdateByKey(&txn, table_, 42,
+                              Row{Value(int64_t{42}), Value(int64_t{42}),
+                                  Value(std::string("open"))})
+                  .ok());
+
+  ScanQuery q;
+  q.object = table_;
+  q.force_row_store = true;
+  const auto result = db_.Query(q);
+  ASSERT_TRUE(result.ok());
+  // The uncommitted image is invisible: the scan still sees every old row.
+  EXPECT_EQ(result->count, static_cast<uint64_t>(kRows));
+  EXPECT_GT(result->profile.commit_lookups, 0u);
+  db_.Abort(&txn);
+}
+
+// ---------------------------------------------------------------------------
+// Cluster level: the standby annotates IM-ADG occupancy and freshness.
+// ---------------------------------------------------------------------------
+
+class StandbyProfileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DatabaseOptions options;
+    options.registry = &registry_;
+    options.shipping.heartbeat_interval_us = 500;
+    options.lag_poll_interval_us = 1'000;
+    cluster_ = std::make_unique<AdgCluster>(options);
+    cluster_->Start();
+    table_ = cluster_
+                 ->CreateTable("orders", kDefaultTenant, Schema::WideTable(1, 1),
+                               ImService::kStandbyOnly, true)
+                 .value();
+    Transaction txn = cluster_->primary()->Begin();
+    for (int64_t id = 0; id < 512; ++id) {
+      ASSERT_TRUE(cluster_->primary()
+                      ->Insert(&txn, table_,
+                               Row{Value(id), Value(id % 16),
+                                   Value(std::string("x"))},
+                               nullptr)
+                      .ok());
+    }
+    ASSERT_TRUE(cluster_->primary()->Commit(&txn).ok());
+    ASSERT_NE(cluster_->WaitForCatchup(), kInvalidScn);
+    ASSERT_TRUE(cluster_->standby()->PopulateNow(table_).ok());
+  }
+
+  void TearDown() override { cluster_->Stop(); }
+
+  obs::MetricsRegistry registry_;
+  std::unique_ptr<AdgCluster> cluster_;
+  ObjectId table_ = kInvalidObjectId;
+};
+
+TEST_F(StandbyProfileTest, StandbyQuerySamplesImAdgAndFreshness) {
+  ScanQuery q;
+  q.object = table_;
+  q.predicates = {{1, PredOp::kEq, Value(int64_t{3})}};
+  const auto result = cluster_->standby()->Query(q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->count, 32u);
+
+  const QueryProfile& prof = result->profile;
+  EXPECT_EQ(prof.role, "standby");
+  EXPECT_NE(prof.query_id, 0u);
+  EXPECT_EQ(prof.snapshot, result->snapshot);
+  EXPECT_GT(prof.scan.rows_from_imcs, 0u);
+  // The standby samples its IM-ADG structures and the cluster lag monitor.
+  EXPECT_TRUE(prof.imadg_sampled);
+  EXPECT_TRUE(prof.lag_sampled);
+  EXPECT_NE(prof.primary_scn, kInvalidScn);
+  // Post-catchup, the QuerySCN covers everything the probe saw committed.
+  EXPECT_EQ(prof.staleness_scn, 0u);
+  EXPECT_NE(prof.Explain().find("standby"), std::string::npos);
+
+  EXPECT_GE(cluster_->standby()->slow_query_log()->total_completed(), 1u);
+  const std::string json = cluster_->standby()->slow_query_log()->ToJson();
+  EXPECT_NE(json.find("\"imadg_sampled\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"lag_sampled\":true"), std::string::npos);
+}
+
+TEST_F(StandbyProfileTest, StalenessGrowsWhileShippingPaused) {
+  cluster_->SetShippingPaused(true);
+  {
+    Transaction txn = cluster_->primary()->Begin();
+    for (int64_t id = 512; id < 768; ++id) {
+      ASSERT_TRUE(cluster_->primary()
+                      ->Insert(&txn, table_,
+                               Row{Value(id), Value(id % 16),
+                                   Value(std::string("y"))},
+                               nullptr)
+                      .ok());
+    }
+    ASSERT_TRUE(cluster_->primary()->Commit(&txn).ok());
+  }
+  // Let the lag monitor's poller observe the primary moving ahead.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+
+  ScanQuery q;
+  q.object = table_;
+  q.agg = AggKind::kCount;
+  const auto result = cluster_->standby()->Query(q);
+  ASSERT_TRUE(result.ok());
+  // The paused transport pins the standby's snapshot: only the first batch.
+  EXPECT_EQ(result->count, 512u);
+  const QueryProfile& prof = result->profile;
+  EXPECT_TRUE(prof.lag_sampled);
+  EXPECT_GT(prof.staleness_scn, 0u);
+  EXPECT_GT(prof.staleness_us, 0);
+  cluster_->SetShippingPaused(false);
+  ASSERT_NE(cluster_->WaitForCatchup(), kInvalidScn);
+}
+
+}  // namespace
+}  // namespace stratus
