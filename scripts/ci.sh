@@ -24,9 +24,15 @@
 #           (/metrics, /healthz, /v/im_segments, ...) over real sockets and
 #           fails on any non-200 or empty body; also runs the HTTP server and
 #           query-profile test binaries in the same build.
+#   fleet : standby-read-fleet suite under TSan — redo fan-out (N shippers on
+#           one RedoLog: shared wakeups, independent Stop, cursor-min
+#           retention, rejoin catch-up), the lag-aware router's contract
+#           modes and drain/rejoin, the fleet chaos cycle, and the 3-standby
+#           consistency properties. The fan-out and routing layers are pure
+#           concurrency — TSan is the build that would catch their races.
 #
 # Usage: scripts/ci.sh [stage] [build-dir-prefix]
-#   stage: all (default) | plain | tsan | asan | chaos | obs
+#   stage: all (default) | plain | tsan | asan | chaos | obs | fleet
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -39,6 +45,9 @@ TSAN_TESTS="metrics_test latch_test thread_pool_test redo_apply_test scan_engine
 ASAN_TESTS="net_test log_shipping_test transport_test"
 CHAOS_TESTS="chaos_test chaos_matrix_test"
 OBS_TESTS="obs_server_test query_profile_test lag_monitor_test"
+# fleet_chaos_test is plain-suite only: its churn + kill/rejoin workload is
+# wall-clock bound and balloons under TSan's serialization.
+FLEET_TESTS="fleet_fanout_test fleet_router_test consistency_test"
 
 run_plain() {
   echo "==> [plain] build + full test suite"
@@ -114,21 +123,36 @@ run_obs() {
   "${PREFIX}-obs/examples/observability" --smoke
 }
 
+run_fleet() {
+  echo "==> [fleet] standby read fleet under TSan (${FLEET_TESTS})"
+  local flags="-fsanitize=thread -g -O1"
+  cmake -B "${PREFIX}-fleet" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="${flags}" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
+  # shellcheck disable=SC2086
+  cmake --build "${PREFIX}-fleet" -j "${JOBS}" --target ${FLEET_TESTS}
+  ctest --test-dir "${PREFIX}-fleet" --output-on-failure -j "${JOBS}" \
+    -R "^($(echo "${FLEET_TESTS}" | tr ' ' '|'))\$"
+}
+
 case "${STAGE}" in
   plain) run_plain ;;
   tsan) run_tsan ;;
   asan) run_asan ;;
   chaos) run_chaos ;;
   obs) run_obs ;;
+  fleet) run_fleet ;;
   all)
     run_plain
     run_tsan
     run_asan
     run_chaos
     run_obs
+    run_fleet
     ;;
   *)
-    echo "unknown stage: ${STAGE} (want all|plain|tsan|asan|chaos|obs)" >&2
+    echo "unknown stage: ${STAGE} (want all|plain|tsan|asan|chaos|obs|fleet)" >&2
     exit 2
     ;;
 esac

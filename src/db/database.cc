@@ -312,7 +312,9 @@ StandbyDb::StandbyDb(const DatabaseOptions& options, size_t num_streams)
 }
 
 void StandbyDb::ExportCoreMetrics(obs::MetricsSink* sink) const {
-  const obs::Labels labels{{"role", "standby"}};
+  obs::Labels labels{{"role", "standby"}};
+  if (!options_.standby_name.empty())
+    labels.emplace_back("standby", options_.standby_name);
   ExportBufferCache(sink, labels, cache_.stats());
   ExportScanTotals(sink, labels, query_engine_.totals());
   sink->Gauge("stratus_applied_scn", labels,
@@ -349,7 +351,9 @@ void StandbyDb::ExportCoreMetrics(obs::MetricsSink* sink) const {
 }
 
 void StandbyDb::ExportPipelineMetrics(obs::MetricsSink* sink) const {
-  const obs::Labels labels{{"role", "standby"}};
+  obs::Labels labels{{"role", "standby"}};
+  if (!options_.standby_name.empty())
+    labels.emplace_back("standby", options_.standby_name);
   if (journal_ != nullptr) {
     sink->Counter("stratus_journal_anchors_created", labels,
                   journal_->anchors_created());
@@ -970,6 +974,12 @@ StatusOr<QueryResult> StandbyDb::Join(const JoinQuery& query, InstanceId instanc
   if (scn == kInvalidScn)
     return Status::Unavailable("no QuerySCN published yet");
   return query_engine_.ExecuteJoin(MakeQueryContext(), query, scn);
+}
+
+StatusOr<QueryResult> StandbyDb::JoinAt(const JoinQuery& query, Scn snapshot) {
+  if (snapshot == kInvalidScn)
+    return Status::InvalidArgument("invalid snapshot SCN");
+  return query_engine_.ExecuteJoin(MakeQueryContext(), query, snapshot);
 }
 
 StatusOr<std::optional<Row>> StandbyDb::Fetch(ObjectId object, int64_t key,

@@ -82,6 +82,11 @@ struct DatabaseOptions {
   /// process-wide obs::MetricsRegistry::Global(); tests pass their own for
   /// isolation.
   obs::MetricsRegistry* registry = nullptr;
+  /// Identity of this standby in a multi-standby fleet ("sb0", …). Non-empty
+  /// adds a {"standby", name} label to every StandbyDb-exported series so N
+  /// standbys sharing one registry stay distinguishable. Empty (the default)
+  /// keeps the historical single-standby label set unchanged.
+  std::string standby_name;
   /// Lag-monitor poll interval (AdgCluster).
   int64_t lag_poll_interval_us = 5'000;
 
@@ -278,6 +283,9 @@ class StandbyDb : public ApplySink {
   StatusOr<QueryResult> QueryAt(const ScanQuery& query, Scn snapshot);
   StatusOr<QueryResult> Join(const JoinQuery& query,
                              InstanceId instance = kMasterInstance);
+  /// Join pinned at an explicit snapshot SCN (QueryAt's join counterpart; the
+  /// fleet router uses it for pinned-SCN contracts).
+  StatusOr<QueryResult> JoinAt(const JoinQuery& query, Scn snapshot);
   StatusOr<std::optional<Row>> Fetch(ObjectId object, int64_t key,
                                      InstanceId instance = kMasterInstance);
 

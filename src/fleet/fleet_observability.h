@@ -1,0 +1,45 @@
+#ifndef STRATUS_FLEET_FLEET_OBSERVABILITY_H_
+#define STRATUS_FLEET_FLEET_OBSERVABILITY_H_
+
+#include <string>
+
+#include "fleet/fleet_cluster.h"
+#include "fleet/fleet_router.h"
+#include "obs/obs_server.h"
+
+namespace stratus {
+namespace fleet {
+
+/// Binds a fleet's observability surface to HTTP paths:
+///
+///   /metrics       Prometheus text exposition of the fleet registry
+///   /metrics.json  the same series as JSON
+///   /healthz       200 while every accepting standby is healthy, else 503
+///   /v/fleet       per-standby lag / health / load share + router counters
+///
+/// The payload builders are public so tests exercise them without sockets.
+/// The fleet (and router, when given) must outlive the server.
+class FleetObservability {
+ public:
+  /// `router` may be null: /v/fleet then omits the router section.
+  FleetObservability(FleetCluster* fleet, FleetRouter* router)
+      : fleet_(fleet), router_(router) {}
+
+  std::string MetricsText() const { return fleet_->MetricsText(); }
+  std::string MetricsJson() const { return fleet_->MetricsJson(); }
+  obs::HttpResponse Healthz() const;
+  /// The /v/fleet JSON document.
+  std::string FleetJson() const;
+
+  /// Registers every endpoint above on `server`.
+  void Register(obs::ObsServer* server);
+
+ private:
+  FleetCluster* fleet_;
+  FleetRouter* router_;
+};
+
+}  // namespace fleet
+}  // namespace stratus
+
+#endif  // STRATUS_FLEET_FLEET_OBSERVABILITY_H_

@@ -1,15 +1,25 @@
 #include "net/channel.h"
 
+#include <utility>
+
 #include "net/loopback_channel.h"
 #include "net/socket_channel.h"
 
 namespace stratus {
 namespace net {
 
+obs::Labels ChannelIdentityLabels(const ChannelOptions& options) {
+  obs::Labels labels = {{"channel", options.name}};
+  if (!options.peer.empty()) labels.emplace_back("standby", options.peer);
+  return labels;
+}
+
 void Channel::ExportMetrics(obs::MetricsSink* sink,
                             const obs::Labels& base) const {
   obs::Labels labels = base;
-  labels.emplace_back("channel", options().name);
+  for (auto& kv : ChannelIdentityLabels(options())) {
+    labels.push_back(std::move(kv));
+  }
   const ChannelStats s = stats();
   sink->Counter("stratus_net_frames_sent", labels, s.frames_sent);
   sink->Counter("stratus_net_bytes_sent", labels, s.bytes_sent);

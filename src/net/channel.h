@@ -25,6 +25,11 @@ struct ChannelOptions {
   ChannelKind kind = ChannelKind::kLoopback;
   /// Metric label value; empty means the creator names it ("redo-0", …).
   std::string name;
+  /// Remote-endpoint identity ("sb0", …). Non-empty adds a {"standby", peer}
+  /// label to every stratus_net_* series, so the N shipper channels of a
+  /// fan-out fleet stay distinguishable in one registry even when their
+  /// per-thread names collide.
+  std::string peer;
 
   /// Backpressure bound: Send() blocks while this many frames are queued or
   /// in flight (unacked). The shipper stalls; the channel never buffers
@@ -104,9 +109,14 @@ class Channel {
   virtual const ChannelOptions& options() const = 0;
 
   /// Pushes this channel's stats into `sink` as stratus_net_* series labeled
-  /// {"channel", options().name} + `base`.
+  /// {"channel", options().name} (+ {"standby", options().peer} when set)
+  /// + `base`.
   void ExportMetrics(obs::MetricsSink* sink, const obs::Labels& base) const;
 };
+
+/// The identity labels every stratus_net_* series for `options` carries:
+/// {"channel", name} plus {"standby", peer} when the peer is named.
+obs::Labels ChannelIdentityLabels(const ChannelOptions& options);
 
 /// Builds a channel of `options.kind` delivering into `sink`. The sink must
 /// outlive the channel; OnFrame runs on a channel-internal thread (kSocket)

@@ -12,7 +12,7 @@ namespace net {
 LoopbackChannel::LoopbackChannel(const ChannelOptions& options, FrameSink* sink)
     : options_(options), sink_(sink), faults_(options.faults) {
   if (options_.registry != nullptr) {
-    const obs::Labels labels = {{"channel", options_.name}};
+    const obs::Labels labels = ChannelIdentityLabels(options_);
     encode_hist_ =
         options_.registry->GetHistogram("stratus_net_encode_us", labels);
     decode_hist_ =

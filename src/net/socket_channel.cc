@@ -35,7 +35,7 @@ SocketChannel::SocketChannel(const ChannelOptions& options, FrameSink* sink)
       faults_(options.faults),
       backoff_rng_(options.faults.seed + 0x9e3779b9ull) {
   if (options_.registry != nullptr) {
-    const obs::Labels labels = {{"channel", options_.name}};
+    const obs::Labels labels = ChannelIdentityLabels(options_);
     encode_hist_ =
         options_.registry->GetHistogram("stratus_net_encode_us", labels);
     decode_hist_ =

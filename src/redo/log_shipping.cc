@@ -29,6 +29,12 @@ void ReceivedLog::Close() {
   cv_.notify_all();
 }
 
+void ReceivedLog::Reopen() {
+  std::lock_guard<std::mutex> g(mu_);
+  closed_.store(false, std::memory_order_release);
+  cv_.notify_all();
+}
+
 Scn ReceivedLog::PeekScn() const {
   std::lock_guard<std::mutex> g(mu_);
   return queue_.empty() ? kInvalidScn : queue_.front().scn;
@@ -105,7 +111,14 @@ LogShipper::LogShipper(RedoLog* source, ReceivedLog* dest,
       options_(options),
       receiver_(dest),
       channel_(net::CreateChannel(ResolveChannelOptions(options, source->thread()),
-                                  &receiver_)) {}
+                                  &receiver_)) {
+  if (options_.cursor_id != 0) {
+    cursor_id_ = options_.cursor_id;  // Caller-owned: survives this shipper.
+  } else {
+    cursor_id_ = source_->RegisterCursor(0);
+    owns_cursor_ = true;
+  }
+}
 
 LogShipper::~LogShipper() { Stop(); }
 
@@ -119,17 +132,34 @@ void LogShipper::Stop() {
   stop_.store(true, std::memory_order_release);
   source_->WakeWaiters();  // End any idle condvar wait immediately.
   if (thread_.joinable()) thread_.join();
+  if (owns_cursor_) {
+    // Ephemeral cursor: releasing it lets the log trim everything this
+    // shipper retained. A fleet-owned cursor stays put so a restarted
+    // standby can resume from exactly where its last shipper left off.
+    source_->UnregisterCursor(cursor_id_);
+    owns_cursor_ = false;
+  }
   // Drains the wire (retransmitting as needed), then closes the stream via
   // RedoStreamReceiver::OnChannelClose. Idempotent.
   channel_->Stop();
 }
 
 void LogShipper::Run() {
-  uint64_t next_seq = 0;
+  // Resume from the cursor: 0 for a fresh ephemeral cursor, or wherever the
+  // previous shipper on this (standby, thread) pair left a persistent one.
+  uint64_t next_seq = source_->CursorSeq(cursor_id_);
   uint64_t last_heartbeat_us = NowMicros();
   bool draining = false;
+  // Once stop is requested we drain up to the tail observed AT THAT MOMENT,
+  // not the live tail: under a hot appender the live tail recedes forever
+  // and a Stop() could otherwise never return.
+  uint64_t drain_target = 0;
   while (true) {
-    if (!draining && stop_.load(std::memory_order_acquire)) draining = true;
+    if (!draining && stop_.load(std::memory_order_acquire)) {
+      draining = true;
+      drain_target = source_->NextSeq();
+    }
+    if (draining && next_seq >= drain_target) break;
 
     if (!draining && paused_.load(std::memory_order_acquire)) {
       std::this_thread::sleep_for(std::chrono::microseconds(options_.poll_interval_us));
@@ -146,15 +176,26 @@ void LogShipper::Run() {
           last_heartbeat_us + static_cast<uint64_t>(options_.heartbeat_interval_us);
       if (now >= heartbeat_due) {
         // Idle: tick the SCN so the standby merger / QuerySCN can advance.
-        source_->AppendHeartbeat();
+        // With N shippers fanned out from this log, only one heartbeat per
+        // quiet interval actually lands; the others see a non-quiet log
+        // (something — possibly a sibling's heartbeat — arrived recently,
+        // which also means there is a record for us to pull).
+        const Scn hb =
+            source_->AppendHeartbeatIfQuiet(options_.heartbeat_interval_us);
         last_heartbeat_us = now;
-        continue;  // Pull the heartbeat on the next iteration.
+        if (hb != kInvalidScn) continue;  // Pull it on the next iteration.
       }
       // Sleep until the next heartbeat is due — or until Append wakes us,
       // which is what makes shipping latency independent of any poll
       // interval. poll_interval_us floors the wait as the fallback poll.
-      const int64_t wait_us = std::max<int64_t>(
-          options_.poll_interval_us, static_cast<int64_t>(heartbeat_due - now));
+      // (last_heartbeat_us may have just advanced above; recompute the due
+      // time so a suppressed heartbeat doesn't underflow the wait.)
+      const uint64_t next_due =
+          last_heartbeat_us + static_cast<uint64_t>(options_.heartbeat_interval_us);
+      const int64_t until_due =
+          next_due > now ? static_cast<int64_t>(next_due - now) : 0;
+      const int64_t wait_us =
+          std::max<int64_t>(options_.poll_interval_us, until_due);
       source_->WaitForAppend(next_seq, wait_us);
       continue;
     }
@@ -172,7 +213,9 @@ void LogShipper::Run() {
     if (!s.ok()) break;  // Channel already stopped under us.
     records_shipped_.fetch_add(batch_records, std::memory_order_relaxed);
     last_shipped_scn_.store(batch_scn, std::memory_order_relaxed);
-    source_->Trim(next_seq);
+    // Advance our cursor; the log trims only what EVERY attached cursor has
+    // passed, so a slow sibling shipper never loses records to a fast one.
+    source_->AdvanceCursor(cursor_id_, next_seq);
   }
 }
 

@@ -25,6 +25,10 @@ class ReceivedLog {
  public:
   void Deliver(std::vector<RedoRecord> records);
   void Close();
+  /// Clears the closed flag so a rejoining shipper can deliver again (fleet
+  /// standby restart). Queue and watermark are preserved: the watermark is
+  /// what makes redelivery across the restart idempotent.
+  void Reopen();
 
   /// SCN of the next record, or kInvalidScn if the queue is empty.
   Scn PeekScn() const;
@@ -73,6 +77,12 @@ struct ShipperOptions {
   /// The wire this stream rides. The default kLoopback keeps the historical
   /// deterministic in-process path; kSocket ships every batch over real TCP.
   net::ChannelOptions channel;
+  /// Fan-out: id of a persistent RedoLog cursor owned by the caller (the
+  /// fleet keeps one per standby so redo is retained across a standby's
+  /// kill/rejoin cycle). 0 = the shipper registers its own ephemeral cursor
+  /// and unregisters it on Stop — the historical single-standby behavior,
+  /// where stopping the shipper releases all retention.
+  uint64_t cursor_id = 0;
 };
 
 /// Standby-side frame sink for one redo stream: decodes kRedoBatch frames,
@@ -143,6 +153,8 @@ class LogShipper {
   std::unique_ptr<net::Channel> channel_;
 
   std::thread thread_;
+  uint64_t cursor_id_ = 0;      ///< RedoLog cursor this shipper advances.
+  bool owns_cursor_ = false;    ///< Ephemeral cursor: unregistered on Stop.
   std::atomic<bool> stop_{false};
   std::atomic<bool> paused_{false};
   std::atomic<uint64_t> records_shipped_{0};

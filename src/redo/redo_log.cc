@@ -1,6 +1,9 @@
 #include "redo/redo_log.h"
 
+#include <algorithm>
 #include <chrono>
+
+#include "common/clock.h"
 
 namespace stratus {
 
@@ -15,6 +18,7 @@ Scn RedoLog::Append(std::vector<ChangeVector> cvs) {
   records_.push_back(std::move(rec));
   last_scn_.store(scn, std::memory_order_release);
   total_records_.fetch_add(1, std::memory_order_relaxed);
+  last_append_us_ = NowMicros();
   append_cv_.notify_all();
   return scn;
 }
@@ -32,8 +36,24 @@ Scn RedoLog::AppendHeartbeat() {
   records_.push_back(std::move(rec));
   last_scn_.store(scn, std::memory_order_release);
   total_records_.fetch_add(1, std::memory_order_relaxed);
+  last_append_us_ = NowMicros();
   append_cv_.notify_all();
   return scn;
+}
+
+Scn RedoLog::AppendHeartbeatIfQuiet(int64_t quiet_us) {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    const uint64_t now = NowMicros();
+    if (last_append_us_ != 0 &&
+        now < last_append_us_ + static_cast<uint64_t>(quiet_us)) {
+      return kInvalidScn;
+    }
+  }
+  // Quiet: emit one heartbeat. A racing shipper may emit another between the
+  // check and the append — harmless (heartbeats are idempotent SCN ticks),
+  // and the quiet window then silences both for the next interval.
+  return AppendHeartbeat();
 }
 
 uint64_t RedoLog::ReadFrom(uint64_t from_seq, size_t max,
@@ -49,12 +69,54 @@ uint64_t RedoLog::ReadFrom(uint64_t from_seq, size_t max,
   return seq;
 }
 
-void RedoLog::Trim(uint64_t before_seq) {
+uint64_t RedoLog::RegisterCursor(uint64_t start_seq) {
   std::lock_guard<std::mutex> g(mu_);
+  const uint64_t id = next_cursor_id_++;
+  cursors_[id] = start_seq;
+  return id;
+}
+
+void RedoLog::UnregisterCursor(uint64_t id) {
+  std::lock_guard<std::mutex> g(mu_);
+  cursors_.erase(id);
+}
+
+void RedoLog::AdvanceCursor(uint64_t id, uint64_t seq) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = cursors_.find(id);
+  if (it == cursors_.end()) return;
+  if (seq > it->second) it->second = seq;
+  TrimLocked(seq);
+}
+
+uint64_t RedoLog::CursorSeq(uint64_t id) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = cursors_.find(id);
+  return it == cursors_.end() ? 0 : it->second;
+}
+
+size_t RedoLog::cursor_count() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return cursors_.size();
+}
+
+uint64_t RedoLog::MinCursorLocked() const {
+  uint64_t min_seq = UINT64_MAX;
+  for (const auto& [id, seq] : cursors_) min_seq = std::min(min_seq, seq);
+  return min_seq;
+}
+
+void RedoLog::TrimLocked(uint64_t before_seq) {
+  before_seq = std::min(before_seq, MinCursorLocked());
   while (base_seq_ < before_seq && !records_.empty()) {
     records_.pop_front();
     ++base_seq_;
   }
+}
+
+void RedoLog::Trim(uint64_t before_seq) {
+  std::lock_guard<std::mutex> g(mu_);
+  TrimLocked(before_seq);
 }
 
 uint64_t RedoLog::NextSeq() const {
@@ -67,7 +129,9 @@ bool RedoLog::WaitForAppend(uint64_t from_seq, int64_t timeout_us) const {
   if (base_seq_ + records_.size() > from_seq) return true;
   // A single bounded wait, deliberately without a predicate loop: any notify
   // (append, or WakeWaiters at shutdown) ends the wait so the caller can
-  // re-check its own state; the timeout is the fallback poll.
+  // re-check its own state; the timeout is the fallback poll. With several
+  // shippers parked here, Append/WakeWaiters notify_all wakes every one —
+  // each re-checks its own cursor and stop flag independently.
   append_cv_.wait_for(l, std::chrono::microseconds(timeout_us));
   return base_seq_ + records_.size() > from_seq;
 }

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.h"
@@ -57,6 +58,13 @@ class RedoLog {
   /// consumers can advance past idle periods. Returns the assigned SCN.
   Scn AppendHeartbeat();
 
+  /// Fan-out-aware heartbeat: appends one only if nothing (record or
+  /// heartbeat) has landed within the last `quiet_us`. With N shippers
+  /// attached to one log, each paces its own heartbeat timer; this collapses
+  /// their idle ticks into one log-level heartbeat per interval instead of N.
+  /// Returns the assigned SCN, or kInvalidScn when the log was not quiet.
+  Scn AppendHeartbeatIfQuiet(int64_t quiet_us);
+
   /// Copies up to `max` records with sequence >= `from_seq` into `*out`.
   /// Returns the sequence one past the last copied record. Non-blocking.
   uint64_t ReadFrom(uint64_t from_seq, size_t max, std::vector<RedoRecord>* out) const;
@@ -71,7 +79,27 @@ class RedoLog {
   /// Wakes all WaitForAppend waiters without appending (shipper shutdown).
   void WakeWaiters() const;
 
-  /// Discards retained records with sequence < `before_seq` (already shipped).
+  // --- Fan-out cursors -------------------------------------------------------
+  // One RedoLog can feed N shippers (one per standby). Each registers a
+  // cursor; records are retained until EVERY registered cursor has passed
+  // them, so a fast shipper can never trim redo a slow (or temporarily
+  // disconnected) shipper still needs. A cursor can outlive its shipper: the
+  // fleet keeps one per standby across kill/rejoin cycles, which is the
+  // retention that lets a restarted standby catch up from the log.
+
+  /// Registers a cursor positioned at `start_seq` and returns its id.
+  uint64_t RegisterCursor(uint64_t start_seq = 0);
+  /// Drops the cursor; retained records may trim up to the next-slowest one.
+  void UnregisterCursor(uint64_t id);
+  /// Advances the cursor to `seq` (monotonic; lower values are ignored) and
+  /// trims records every registered cursor has passed.
+  void AdvanceCursor(uint64_t id, uint64_t seq);
+  /// The cursor's current sequence (a resuming shipper starts reading here).
+  uint64_t CursorSeq(uint64_t id) const;
+  size_t cursor_count() const;
+
+  /// Discards retained records with sequence < `before_seq` (already
+  /// shipped). Clamped so no registered cursor is ever trimmed past.
   void Trim(uint64_t before_seq);
 
   /// Sequence one past the last appended record.
@@ -86,10 +114,18 @@ class RedoLog {
   RedoThreadId thread_;
   ScnAllocator* scns_;
 
+  /// Requires mu_. Drops records below min(before_seq, every cursor).
+  void TrimLocked(uint64_t before_seq);
+  /// Requires mu_. Smallest registered cursor, or UINT64_MAX with none.
+  uint64_t MinCursorLocked() const;
+
   mutable std::mutex mu_;
   mutable std::condition_variable append_cv_;
   std::deque<RedoRecord> records_;
   uint64_t base_seq_ = 0;  ///< Sequence of records_.front().
+  uint64_t last_append_us_ = 0;   ///< Guarded by mu_ (heartbeat quiet check).
+  uint64_t next_cursor_id_ = 1;   ///< Guarded by mu_.
+  std::unordered_map<uint64_t, uint64_t> cursors_;  ///< id -> seq; mu_.
   std::atomic<Scn> last_scn_{kInvalidScn};
   std::atomic<uint64_t> total_records_{0};
 };

@@ -1,0 +1,93 @@
+#ifndef STRATUS_WORKLOAD_FLEET_DRIVER_H_
+#define STRATUS_WORKLOAD_FLEET_DRIVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/random.h"
+#include "fleet/fleet_cluster.h"
+#include "fleet/fleet_router.h"
+
+namespace stratus {
+
+/// Multi-session analytic workload against a standby read fleet: thousands of
+/// logical sessions, multiplexed over a bounded pool of worker threads, each
+/// issuing routed scans under a per-query freshness contract. Every response
+/// is audited against its contract on the driver side — independently of the
+/// router's own audit — so a routing bug cannot hide its own violations.
+struct FleetDriverOptions {
+  int sessions = 1000;     ///< Logical analytic sessions.
+  int worker_threads = 8;  ///< OS threads multiplexing the sessions.
+  int duration_ms = 3000;
+  /// 0 = closed loop (each session issues as soon as its previous query
+  /// returns). > 0 = open loop: queries are issued on a fixed arrival
+  /// schedule at this aggregate rate; when the fleet falls behind, arrivals
+  /// backlog and issue back-to-back until the schedule is caught up.
+  double target_qps = 0;
+
+  /// Contract mix in percent; the remainder is bounded-staleness (the
+  /// workhorse contract of a read fleet). 0/0 = bounded only.
+  uint32_t strict_pct = 0;
+  uint32_t pinned_pct = 0;
+  /// The bounded contracts' staleness allowance.
+  Scn bounded_lag_scn = 50'000;
+  /// Re-executions of each pinned session's SCN (repeatable-read epochs).
+  int pinned_requeries = 3;
+
+  uint64_t seed = 42;
+  /// Predicate value domain of the generated scans (matches the churn
+  /// table's column domain).
+  int64_t value_domain = 50;
+};
+
+struct FleetDriverStats {
+  std::atomic<uint64_t> queries{0};
+  std::atomic<uint64_t> errors{0};
+  std::atomic<uint64_t> strict_queries{0};
+  std::atomic<uint64_t> bounded_queries{0};
+  std::atomic<uint64_t> pinned_queries{0};
+  /// Driver-side contract audit failures. Must be zero.
+  std::atomic<uint64_t> freshness_violations{0};
+  /// Pinned re-executions that did not match the epoch's first result
+  /// byte-for-byte. Must be zero.
+  std::atomic<uint64_t> pinned_mismatches{0};
+
+  Histogram decide_us;  ///< Routing-decision latency.
+  Histogram query_us;   ///< End-to-end routed-query latency.
+  uint64_t wall_ns = 0;
+
+  double Qps() const {
+    return wall_ns == 0 ? 0.0
+                        : static_cast<double>(
+                              queries.load(std::memory_order_relaxed)) *
+                              1e9 / static_cast<double>(wall_ns);
+  }
+};
+
+class FleetDriver {
+ public:
+  FleetDriver(fleet::FleetCluster* fleet, fleet::FleetRouter* router,
+              ObjectId table, const FleetDriverOptions& options);
+
+  /// Runs the session mix for duration_ms (closed loop: each session issues
+  /// its next query as soon as the previous returns and a worker is free).
+  void Run();
+
+  FleetDriverStats& stats() { return stats_; }
+
+ private:
+  void WorkerLoop(int worker);
+
+  fleet::FleetCluster* fleet_;
+  fleet::FleetRouter* router_;
+  ObjectId table_;
+  FleetDriverOptions options_;
+  FleetDriverStats stats_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace stratus
+
+#endif  // STRATUS_WORKLOAD_FLEET_DRIVER_H_

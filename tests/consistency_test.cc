@@ -6,6 +6,8 @@
 #include "common/clock.h"
 #include "common/random.h"
 #include "db/database.h"
+#include "fleet/fleet_cluster.h"
+#include "fleet/fleet_router.h"
 
 namespace stratus {
 namespace {
@@ -229,6 +231,222 @@ TEST_P(ConsistencyTest, DopSweepByteIdenticalUnderChurn) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ConsistencyTest, ::testing::Values(1, 2, 3));
+
+/// The ChurnHarness, scaled out: one primary fanned to a 3-standby fleet,
+/// same writer mix, queries routed by freshness contract. The consistency
+/// properties must hold no matter WHICH standby serves.
+class FleetChurnHarness {
+ public:
+  explicit FleetChurnHarness(uint64_t seed) : seed_(seed), fleet_(MakeOptions()) {
+    fleet_.Start();
+    table_ = fleet_
+                 .CreateTable("t", kDefaultTenant, Schema::WideTable(2, 1),
+                              ImService::kStandbyOnly, true)
+                 .value();
+    Transaction txn = fleet_.primary()->Begin();
+    Random rng(seed_);
+    for (int i = 0; i < 3 * static_cast<int>(kRowsPerBlock); ++i) {
+      EXPECT_TRUE(fleet_.primary()
+                      ->Insert(&txn, table_, MakeRow(next_id_.fetch_add(1), &rng),
+                               nullptr)
+                      .ok());
+    }
+    EXPECT_TRUE(fleet_.primary()->Commit(&txn).ok());
+    fleet_.WaitForCatchup();
+    for (int i = 0; i < fleet_.num_standbys(); ++i)
+      EXPECT_TRUE(fleet_.node(i)->db()->PopulateNow(table_).ok());
+  }
+
+  ~FleetChurnHarness() {
+    StopChurn();
+    fleet_.Stop();
+  }
+
+  fleet::FleetCluster* fleet() { return &fleet_; }
+  ObjectId table() const { return table_; }
+
+  void StartChurn() {
+    writers_.emplace_back([this] { WriterLoop(seed_ * 3 + 1); });
+    writers_.emplace_back([this] { WriterLoop(seed_ * 5 + 2); });
+  }
+
+  void StopChurn() {
+    stop_.store(true, std::memory_order_release);
+    for (auto& w : writers_) w.join();
+    writers_.clear();
+  }
+
+ private:
+  Row MakeRow(int64_t id, Random* rng) const {
+    return Row{Value(id), Value(static_cast<int64_t>(rng->Uniform(50))),
+               Value(static_cast<int64_t>(rng->Uniform(50))),
+               Value(std::string("s") + std::to_string(rng->Uniform(6)))};
+  }
+
+  fleet::FleetOptions MakeOptions() {
+    fleet::FleetOptions options;
+    options.num_standbys = 3;
+    options.db.apply.num_workers = 2;
+    options.db.apply.barrier_interval = 8;
+    options.db.population.blocks_per_imcu = 2;
+    options.db.population.manager_interval_us = 2000;
+    options.db.population.repop_invalid_threshold = 0.10;
+    options.db.shipping.heartbeat_interval_us = 500;
+    options.db.commit_table_partitions = 2;
+    options.db.journal_buckets = 8;
+    options.db.registry = &registry_;
+    return options;
+  }
+
+  void WriterLoop(uint64_t wseed) {
+    Random rng(wseed);
+    while (!stop_.load(std::memory_order_acquire)) {
+      Transaction txn = fleet_.primary()->Begin();
+      bool ok = true;
+      const int ops = 1 + static_cast<int>(rng.Uniform(4));
+      for (int i = 0; i < ops && ok; ++i) {
+        const uint32_t dice = static_cast<uint32_t>(rng.Uniform(100));
+        if (dice < 60) {
+          const int64_t id = rng.UniformInt(0, next_id_.load() - 1);
+          Status st = fleet_.primary()->UpdateByKey(&txn, table_, id,
+                                                    MakeRow(id, &rng));
+          if (st.IsAborted()) ok = false;
+        } else if (dice < 85) {
+          const int64_t id = next_id_.fetch_add(1);
+          (void)fleet_.primary()->Insert(&txn, table_, MakeRow(id, &rng),
+                                         nullptr);
+        } else {
+          const int64_t id = rng.UniformInt(0, next_id_.load() - 1);
+          Table* t = fleet_.primary()->table(table_);
+          const auto rid = t->index()->Lookup(id);
+          if (rid.has_value()) {
+            Status st = fleet_.primary()->Delete(&txn, table_, *rid);
+            if (st.IsAborted()) ok = false;
+          }
+        }
+      }
+      if (ok) {
+        (void)fleet_.primary()->Commit(&txn);
+      } else {
+        fleet_.primary()->Abort(&txn);
+      }
+    }
+  }
+
+  const uint64_t seed_;
+  obs::MetricsRegistry registry_;
+  fleet::FleetCluster fleet_;
+  ObjectId table_ = kInvalidObjectId;
+  std::atomic<int64_t> next_id_{0};
+  std::atomic<bool> stop_{false};
+  std::vector<std::thread> writers_;
+};
+
+class FleetConsistencyTest : public ::testing::TestWithParam<uint64_t> {};
+
+// Pinned-SCN reads are standby-agnostic: the SAME QueryAt on every standby of
+// the fleet — and on the primary — returns byte-identical results, under
+// churn, regardless of which node the router would have picked.
+TEST_P(FleetConsistencyTest, PinnedQueryByteIdenticalOnEveryStandby) {
+  const uint64_t seed = GetParam();
+  FleetChurnHarness harness(seed);
+  fleet::FleetCluster* fleet = harness.fleet();
+  harness.StartChurn();
+  Random qrng(seed * 11 + 3);
+
+  int checks = 0;
+  const uint64_t deadline = NowMicros() + 15'000'000;
+  while (checks < 10 && NowMicros() < deadline) {
+    ScanQuery q = RandomQuery(harness.table(), &qrng);
+    q.agg = AggKind::kSum;
+    q.agg_column = 2;
+
+    // Pin at an SCN every standby has published (so none must wait).
+    Scn pin = kInvalidScn;
+    for (int i = 0; i < fleet->num_standbys(); ++i) {
+      const Scn scn = fleet->node(i)->db()->query_scn();
+      if (scn == kInvalidScn) {
+        pin = kInvalidScn;
+        break;
+      }
+      if (pin == kInvalidScn || scn < pin) pin = scn;
+    }
+    if (pin == kInvalidScn) continue;
+
+    const auto base = fleet->node(0)->db()->QueryAt(q, pin);
+    ASSERT_TRUE(base.ok());
+    for (int i = 1; i < fleet->num_standbys(); ++i) {
+      const auto result = fleet->node(i)->db()->QueryAt(q, pin);
+      ASSERT_TRUE(result.ok());
+      EXPECT_EQ(result->rows, base->rows)
+          << "seed=" << seed << " scn=" << pin << " standby=" << i;
+      EXPECT_EQ(result->count, base->count)
+          << "seed=" << seed << " scn=" << pin << " standby=" << i;
+      EXPECT_EQ(result->agg_int, base->agg_int)
+          << "seed=" << seed << " scn=" << pin << " standby=" << i;
+      EXPECT_EQ(result->agg_valid, base->agg_valid);
+    }
+    const auto primary = fleet->primary()->QueryAt(q, pin);
+    ASSERT_TRUE(primary.ok());
+    EXPECT_EQ(primary->count, base->count) << "seed=" << seed << " scn=" << pin;
+    EXPECT_EQ(primary->agg_int, base->agg_int);
+    ++checks;
+  }
+  harness.StopChurn();
+  EXPECT_GE(checks, 5);
+}
+
+// Strict routing's freshness floor under churn: the served snapshot is never
+// below the freshest standby's published QuerySCN observed at decision time,
+// and the result matches the primary at that snapshot.
+TEST_P(FleetConsistencyTest, StrictRoutingNeverBelowFreshestWatermark) {
+  const uint64_t seed = GetParam();
+  FleetChurnHarness harness(seed);
+  fleet::FleetCluster* fleet = harness.fleet();
+  fleet::FleetRouter router(fleet, fleet::RouterOptions{});
+  harness.StartChurn();
+  Random qrng(seed * 13 + 5);
+
+  int checks = 0;
+  const uint64_t deadline = NowMicros() + 15'000'000;
+  while (checks < 15 && NowMicros() < deadline) {
+    ScanQuery q = RandomQuery(harness.table(), &qrng);
+    q.agg = AggKind::kSum;
+    q.agg_column = 2;
+
+    // An independently observed pre-decision floor: whatever some standby
+    // has already published before the router even looks must be covered.
+    Scn observed_floor = kInvalidScn;
+    for (int i = 0; i < fleet->num_standbys(); ++i) {
+      const Scn scn = fleet->node(i)->db()->query_scn();
+      if (scn != kInvalidScn && (observed_floor == kInvalidScn ||
+                                 scn > observed_floor)) {
+        observed_floor = scn;
+      }
+    }
+
+    const auto routed = router.Query(q, fleet::FreshnessContract::Strict());
+    if (!routed.ok()) continue;
+    ASSERT_NE(routed->decision.decision_watermark, kInvalidScn);
+    EXPECT_GE(routed->result.snapshot, routed->decision.decision_watermark)
+        << "seed=" << seed;
+    if (observed_floor != kInvalidScn) {
+      EXPECT_GE(routed->result.snapshot, observed_floor) << "seed=" << seed;
+    }
+    // And strict freshness never costs correctness: match the primary.
+    const auto primary = fleet->primary()->QueryAt(q, routed->result.snapshot);
+    ASSERT_TRUE(primary.ok());
+    EXPECT_EQ(routed->result.count, primary->count)
+        << "seed=" << seed << " scn=" << routed->result.snapshot;
+    EXPECT_EQ(routed->result.agg_int, primary->agg_int);
+    ++checks;
+  }
+  harness.StopChurn();
+  EXPECT_GE(checks, 8);
+  EXPECT_EQ(router.stats().freshness_violations, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FleetConsistencyTest, ::testing::Values(1, 2));
 
 }  // namespace
 }  // namespace stratus
