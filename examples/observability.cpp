@@ -108,7 +108,8 @@ int RunSmoke(AdgCluster* cluster, int port) {
       {"/healthz", 200},        {"/readyz", 200},
       {"/traces", 200},         {"/queries", 200},
       {"/v/im_segments", 200},  {"/v/standby_apply", 200},
-      {"/v/transport", 200},    {"/v/does_not_exist", 404},
+      {"/v/transport", 200},    {"/v/persist", 200},
+      {"/v/does_not_exist", 404},
   };
   int failures = 0;
   for (const Probe& probe : probes) {

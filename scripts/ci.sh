@@ -30,9 +30,17 @@
 #           modes and drain/rejoin, the fleet chaos cycle, and the 3-standby
 #           consistency properties. The fan-out and routing layers are pure
 #           concurrency — TSan is the build that would catch their races.
+#   persist : durability subsystem under BOTH ASan+UBSan and TSan — the redo
+#           archive codec and torn-tail truncation, checkpoint/snapshot
+#           encode/decode, fault-injected short/torn/sync-error writes,
+#           end-to-end kill-and-recover-from-disk (incl. the fleet node
+#           redelivery path), and the disk chaos matrix (crash points fired
+#           mid-apply, recovery from the archive, auditor certification).
+#           ASan guards the byte-level segment parsing; TSan the archive
+#           tee on the delivery hot path and the checkpoint thread.
 #
 # Usage: scripts/ci.sh [stage] [build-dir-prefix]
-#   stage: all (default) | plain | tsan | asan | chaos | obs | fleet
+#   stage: all (default) | plain | tsan | asan | chaos | obs | fleet | persist
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -48,6 +56,7 @@ OBS_TESTS="obs_server_test query_profile_test lag_monitor_test"
 # fleet_chaos_test is plain-suite only: its churn + kill/rejoin workload is
 # wall-clock bound and balloons under TSan's serialization.
 FLEET_TESTS="fleet_fanout_test fleet_router_test consistency_test"
+PERSIST_TESTS="redo_archive_test checkpoint_test persist_recovery_test persist_chaos_test"
 
 run_plain() {
   echo "==> [plain] build + full test suite"
@@ -136,6 +145,32 @@ run_fleet() {
     -R "^($(echo "${FLEET_TESTS}" | tr ' ' '|'))\$"
 }
 
+run_persist() {
+  echo "==> [persist] durability suite under ASan+UBSan (${PERSIST_TESTS})"
+  local asan_flags="-fsanitize=address,undefined -fno-sanitize-recover=all -g -O1"
+  cmake -B "${PREFIX}-persist-asan" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DSTRATUS_CHAOS=ON \
+    -DCMAKE_CXX_FLAGS="${asan_flags}" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" >/dev/null
+  # shellcheck disable=SC2086
+  cmake --build "${PREFIX}-persist-asan" -j "${JOBS}" --target ${PERSIST_TESTS}
+  ctest --test-dir "${PREFIX}-persist-asan" --output-on-failure -j "${JOBS}" \
+    -R "^($(echo "${PERSIST_TESTS}" | tr ' ' '|'))\$"
+
+  echo "==> [persist] durability suite under TSan (${PERSIST_TESTS})"
+  local tsan_flags="-fsanitize=thread -g -O1"
+  cmake -B "${PREFIX}-persist-tsan" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DSTRATUS_CHAOS=ON \
+    -DCMAKE_CXX_FLAGS="${tsan_flags}" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
+  # shellcheck disable=SC2086
+  cmake --build "${PREFIX}-persist-tsan" -j "${JOBS}" --target ${PERSIST_TESTS}
+  ctest --test-dir "${PREFIX}-persist-tsan" --output-on-failure -j "${JOBS}" \
+    -R "^($(echo "${PERSIST_TESTS}" | tr ' ' '|'))\$"
+}
+
 case "${STAGE}" in
   plain) run_plain ;;
   tsan) run_tsan ;;
@@ -143,6 +178,7 @@ case "${STAGE}" in
   chaos) run_chaos ;;
   obs) run_obs ;;
   fleet) run_fleet ;;
+  persist) run_persist ;;
   all)
     run_plain
     run_tsan
@@ -150,9 +186,10 @@ case "${STAGE}" in
     run_chaos
     run_obs
     run_fleet
+    run_persist
     ;;
   *)
-    echo "unknown stage: ${STAGE} (want all|plain|tsan|asan|chaos|obs|fleet)" >&2
+    echo "unknown stage: ${STAGE} (want all|plain|tsan|asan|chaos|obs|fleet|persist)" >&2
     exit 2
     ;;
 esac

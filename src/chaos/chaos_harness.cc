@@ -133,6 +133,7 @@ CycleResult CrashCycleDriver::RunCycle(CrashPoint point) {
   } catch (const CrashSignal&) {
   }
 
+  std::vector<std::string> converge_violations;
   if (CrashPointsCompiledIn()) {
     chaos_->WaitForFire(options_.fire_wait_us);
     if (!chaos_->fired()) {
@@ -144,12 +145,21 @@ CycleResult CrashCycleDriver::RunCycle(CrashPoint point) {
     if (chaos_->fired()) {
       result.fired = true;
       ++cycles_fired_;
-      standby->CrashRestart();
+      if (options_.disk_restart) {
+        // Kill-and-recover-from-disk: the cluster quiesces the shippers,
+        // tears the standby down without a final archive sync (so torn
+        // tails are real), replays archived redo over the last checkpoint,
+        // and resumes the IMCS from its snapshot.
+        const Status st = cluster_->DiskRestartStandby(/*crash=*/true);
+        if (!st.ok())
+          converge_violations.push_back("disk restart: " + st.message());
+      } else {
+        standby->CrashRestart();
+      }
       chaos_->Disarm();
     }
   }
 
-  std::vector<std::string> converge_violations;
   Converge(&converge_violations);
 
   AuditOptions audit;

@@ -52,6 +52,12 @@ struct HarnessOptions {
   /// Compare the apply-accounting counters against the shipped ledger
   /// (requires DatabaseOptions::apply_accounting on the standby).
   bool check_accounting = true;
+  /// Kill-and-recover-from-disk: when a crash point fires, recover the
+  /// standby from its data directory (crash teardown, archived-redo replay
+  /// over the last fuzzy checkpoint, IMCS snapshot resume) via
+  /// AdgCluster::DiskRestartStandby instead of the in-memory CrashRestart.
+  /// Requires DatabaseOptions::persist enabled on the standby.
+  bool disk_restart = false;
 };
 
 /// Outcome of one cycle.

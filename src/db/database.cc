@@ -333,6 +333,34 @@ void StandbyDb::ExportCoreMetrics(obs::MetricsSink* sink) const {
                 restarts_.load(std::memory_order_relaxed));
   sink->Counter("stratus_standby_crash_restarts", labels,
                 crash_restarts_.load(std::memory_order_relaxed));
+  if (options_.persist.enabled) {
+    const persist::PersistStats ps = PersistStatsSnapshot();
+    sink->Counter("stratus_standby_disk_restarts", labels,
+                  disk_restarts_.load(std::memory_order_relaxed));
+    sink->Counter("stratus_persist_archived_records", labels, ps.archived_records);
+    sink->Counter("stratus_persist_archived_bytes", labels, ps.archived_bytes);
+    sink->Counter("stratus_persist_fsyncs", labels, ps.fsyncs);
+    sink->Counter("stratus_persist_truncated_tails", labels, ps.truncated_tails);
+    sink->Gauge("stratus_persist_segments", labels,
+                static_cast<double>(ps.segments));
+    sink->Counter("stratus_persist_segments_recycled", labels,
+                  ps.segments_recycled);
+    sink->Counter("stratus_persist_checkpoints", labels, ps.checkpoints);
+    sink->Counter("stratus_persist_snapshots", labels, ps.snapshots);
+    sink->Counter("stratus_persist_recoveries", labels, ps.recoveries);
+    sink->Counter("stratus_persist_replayed_records", labels, ps.replayed_records);
+    sink->Counter("stratus_persist_restored_blocks", labels, ps.restored_blocks);
+    sink->Counter("stratus_persist_restored_smus", labels, ps.restored_smus);
+    sink->Counter("stratus_persist_faults_injected", labels, ps.faults_injected);
+    sink->Gauge("stratus_persist_durable_scn", labels,
+                static_cast<double>(ps.durable_scn));
+    sink->Gauge("stratus_persist_checkpoint_scn", labels,
+                static_cast<double>(ps.checkpoint_scn));
+    sink->Gauge("stratus_persist_snapshot_scn", labels,
+                static_cast<double>(ps.snapshot_scn));
+    sink->Gauge("stratus_persist_recovered_scn", labels,
+                static_cast<double>(ps.recovered_scn));
+  }
   uint64_t delivered = 0;
   Scn delivered_scn = kMaxScn;
   for (const auto& s : streams_) {
@@ -564,6 +592,13 @@ void StandbyDb::BuildPipeline() {
     }
     EnableConfiguredObjects();
     for (auto& inst : instances_) {
+      // Snapshot-resume restart: SMUs reloaded from the IMCS snapshot (disk
+      // recovery ran before this pipeline was built) count as coverage, so
+      // the populators extend from the snapshot instead of rebuilding every
+      // IMCU from scratch. A no-op on an empty store.
+      if (inst.populator != nullptr) inst.populator->SeedCoverageFromStore();
+    }
+    for (auto& inst : instances_) {
       if (inst.populator != nullptr) inst.populator->Start();
     }
   }
@@ -671,11 +706,24 @@ void StandbyDb::CrashTearDownPipeline() {
 
 void StandbyDb::Start() {
   if (started_) return;
+  // First boot with persistence configured: open the data directory and run
+  // recovery BEFORE the pipeline exists, so redo apply and population start
+  // against the recovered state. DiskRestart re-runs this itself.
+  if (options_.persist.enabled && persist_ == nullptr) BootPersistence();
   started_ = true;
   BuildPipeline();
+  if (persist_ != nullptr)
+    persist_->StartCheckpointThread([this] { (void)TakeCheckpoint(); });
 }
 
 void StandbyDb::Stop() {
+  if (persist_ != nullptr) {
+    persist_->StopCheckpointThread();
+    // A clean stop leaves durable == delivered in every sync mode, so a new
+    // instance over this directory never depends on redelivery.
+    Status st = persist_->SyncAll();
+    if (!st.ok()) NotePersistError(st);
+  }
   if (started_) {
     started_ = false;
     TearDownPipeline();
@@ -715,6 +763,305 @@ void StandbyDb::CrashRestart() {
   restarts_.fetch_add(1, std::memory_order_relaxed);
   crash_restarts_.fetch_add(1, std::memory_order_relaxed);
   Start();
+}
+
+// ---------------------------------------------------------------------------
+// StandbyDb durability (persist/ subsystem)
+// ---------------------------------------------------------------------------
+
+void StandbyDb::NotePersistError(const Status& st) {
+  std::lock_guard<std::mutex> g(persist_mu_);
+  if (persist_status_.ok()) persist_status_ = st;
+}
+
+Status StandbyDb::persist_status() const {
+  std::lock_guard<std::mutex> g(persist_mu_);
+  return persist_status_;
+}
+
+persist::RecoveryResult StandbyDb::last_recovery() const {
+  std::lock_guard<std::mutex> g(persist_mu_);
+  return last_recovery_;
+}
+
+Scn StandbyDb::DurableScn(size_t stream) const {
+  std::lock_guard<std::mutex> g(persist_mu_);
+  return persist_ != nullptr ? persist_->DurableScn(stream) : kInvalidScn;
+}
+
+persist::PersistStats StandbyDb::PersistStatsSnapshot() const {
+  std::lock_guard<std::mutex> g(persist_mu_);
+  return persist_ != nullptr ? persist_->Stats() : persist::PersistStats{};
+}
+
+void StandbyDb::InstallDurableSinks() {
+  // The tee runs under each stream's delivery lock — archive-first: a batch
+  // reaches the archive's buffer (and, in kEveryBatch mode, the disk) before
+  // the merger can dispatch it. Capturing the raw controller keeps the hot
+  // path lock-free; the sink is removed before the controller is ever
+  // swapped (DiskRestartInternal), under delivery quiescence.
+  persist::PersistController* p = persist_.get();
+  for (size_t k = 0; k < streams_.size(); ++k) {
+    streams_[k]->SetDurableSink(
+        [this, p, k](const std::vector<RedoRecord>& records) {
+          Status st = p->ArchiveBatch(k, records);
+          if (!st.ok()) NotePersistError(st);
+        });
+  }
+}
+
+void StandbyDb::BootPersistence() {
+  auto controller = std::make_unique<persist::PersistController>(
+      options_.persist, streams_.size());
+  Status st = controller->Open();
+  if (!st.ok()) {
+    NotePersistError(st);
+    return;  // Boot degrades to the all-RAM behavior; the error is latched.
+  }
+  {
+    std::lock_guard<std::mutex> g(persist_mu_);
+    persist_ = std::move(controller);
+  }
+  if (options_.persist.recover_on_start) {
+    st = RecoverFromDisk();
+    if (!st.ok()) {
+      NotePersistError(st);
+      std::lock_guard<std::mutex> g(persist_mu_);
+      persist_.reset();
+      return;
+    }
+    // Anything recovery replayed from the archive must not be re-applied by
+    // the pipeline: rewind each stream to its durable watermark so an
+    // attaching shipper's redelivery dedups against exactly that point.
+    for (size_t k = 0; k < streams_.size(); ++k) {
+      const Scn durable = persist_->DurableScn(k);
+      if (durable != kInvalidScn) streams_[k]->ResetToWatermark(durable);
+    }
+  }
+  InstallDurableSinks();
+}
+
+Status StandbyDb::RecoverFromDisk() {
+  std::unique_ptr<persist::CheckpointImage> ckpt;
+  std::unique_ptr<persist::ImcsSnapshotImage> snap;
+  STRATUS_RETURN_IF_ERROR(persist_->LoadLatest(&ckpt, &snap));
+  std::vector<std::vector<RedoRecord>> records;
+  STRATUS_RETURN_IF_ERROR(persist_->ReadArchives(&records));
+
+  persist::RecoveryHooks hooks;
+  hooks.restore_table = [this](const persist::TableImage& img) {
+    Schema schema(img.columns);
+    if (!catalog_.Exists(img.object_id)) {
+      // Cold start: the dictionary is rebuilt from the checkpoint at SCN 0
+      // (schema history below the checkpoint is not retained — flashback
+      // reads below the recovery floor are out of scope for a restart).
+      (void)catalog_.CreateTableWithId(
+          img.object_id, img.name, img.tenant, schema,
+          static_cast<ImService>(img.im_service), img.identity_index,
+          /*scn=*/0);
+    }
+    Table* t = FindOrNullTable(img.object_id);
+    if (t == nullptr) {
+      auto table = std::make_unique<Table>(img.object_id, img.tenant, img.name,
+                                           schema, &blocks_);
+      if (img.identity_index) table->CreateIdentityIndex();
+      t = table.get();
+      std::unique_lock<std::shared_mutex> g(tables_mu_);
+      tables_.emplace(img.object_id, std::move(table));
+    }
+    // The recorded list preserves scan order; NoteBlock discovery would not.
+    t->RestoreBlocks(img.blocks);
+  };
+  hooks.restore_block = [this](const persist::BlockImage& img) {
+    Table* t = FindOrNullTable(img.object_id);
+    auto* index = t != nullptr ? t->index() : nullptr;
+    for (size_t slot = 0; slot < img.chains.size(); ++slot) {
+      const SlotChainImage& chain = img.chains[slot];
+      if (chain.empty()) continue;
+      if (options_.apply_accounting) {
+        // Every surviving version was one successful apply; reconstructing
+        // the counters from chain length keeps the exactly-once audit exact
+        // across a disk restart.
+        std::lock_guard<std::mutex> g(accounting_mu_);
+        apply_accounting_[AccountingKey(img.dba, static_cast<SlotId>(slot))] =
+            chain.size();
+      }
+      if (index != nullptr) {
+        const RowVersionImage& oldest = chain.front();
+        if (!oldest.data.empty() && oldest.data[0].type() == ValueType::kInt) {
+          index->Insert(oldest.data[0].as_int(),
+                        RowId{img.dba, static_cast<SlotId>(slot)});
+        }
+      }
+    }
+  };
+  hooks.note_applied = [this](const ChangeVector& cv) {
+    Table* t = FindOrNullTable(cv.object_id);
+    if (t != nullptr) {
+      t->NoteBlock(cv.dba);
+      if (cv.kind == CvKind::kInsert && t->index() != nullptr &&
+          !cv.after.empty() && cv.after[0].type() == ValueType::kInt) {
+        t->index()->Insert(cv.after[0].as_int(), RowId{cv.dba, cv.slot});
+      }
+    }
+    if (options_.apply_accounting) {
+      std::lock_guard<std::mutex> g(accounting_mu_);
+      ++apply_accounting_[AccountingKey(cv.dba, cv.slot)];
+    }
+  };
+  hooks.apply_ddl = [this](const DdlMarker& marker, Scn scn) {
+    ApplyDdlDictionary(marker, scn);
+  };
+
+  persist::RecoveryManager manager(&blocks_, &txn_table_,
+                                   instances_[kMasterInstance].store.get(),
+                                   std::move(hooks));
+  auto result = manager.Recover(
+      ckpt.get(), snap.get(), std::move(records),
+      [this](ObjectId oid, Schema* out) {
+        if (!ImOnStandby(catalog_.CurrentImService(oid))) return false;
+        StatusOr<Schema> schema = catalog_.CurrentSchema(oid);
+        if (!schema.ok()) return false;
+        *out = std::move(*schema);
+        return true;
+      });
+  if (!result.ok()) return result.status();
+
+  persist_->NoteRecovery(*result);
+  {
+    std::lock_guard<std::mutex> g(persist_mu_);
+    last_recovery_ = *result;
+  }
+  const Scn recovered = (*result).recovered_scn;
+  disk_recovered_scn_.store(recovered, std::memory_order_release);
+  if (recovered != kInvalidScn) {
+    // Recovery certified the physical database complete through `recovered`:
+    // seed the monotonic marks so lag monitoring and the next checkpoint's
+    // recovery SCN never regress below it.
+    applied_high_scn_.store(
+        std::max(applied_high_scn_.load(std::memory_order_relaxed), recovered),
+        std::memory_order_release);
+    last_applied_scn_.store(
+        std::max(last_applied_scn_.load(std::memory_order_relaxed), recovered),
+        std::memory_order_release);
+  }
+  return Status::OK();
+}
+
+Status StandbyDb::TakeCheckpoint() {
+  persist::PersistController* p;
+  {
+    std::lock_guard<std::mutex> g(persist_mu_);
+    p = persist_.get();
+  }
+  if (p == nullptr)
+    return Status::FailedPrecondition("persistence not enabled");
+
+  persist::CheckpointImage img;
+  // Recovery-start SCN = published QuerySCN at capture BEGIN: the QuerySCN
+  // protocol guarantees every CV at or below it was applied before any block
+  // is captured below, so replay from here is complete. Right after a
+  // restart the pipeline may not have published yet — the recovered SCN is
+  // an equally valid floor (recovery certified completeness through it).
+  img.recovery_scn = std::max(published_query_scn(),
+                              disk_recovered_scn_.load(std::memory_order_acquire));
+  {
+    std::shared_lock<std::shared_mutex> g(tables_mu_);
+    img.tables.reserve(tables_.size());
+    for (const auto& [oid, table] : tables_) {
+      persist::TableImage t;
+      t.object_id = oid;
+      t.tenant = catalog_.TenantOf(oid);
+      StatusOr<std::string> name = catalog_.NameOf(oid);
+      if (name.ok()) t.name = std::move(*name);
+      StatusOr<Schema> schema = catalog_.CurrentSchema(oid);
+      if (schema.ok()) t.columns = schema->columns();
+      t.im_service = static_cast<uint8_t>(catalog_.CurrentImService(oid));
+      t.identity_index = catalog_.HasIdentityIndex(oid);
+      t.blocks = table->SnapshotBlocks();
+      img.tables.push_back(std::move(t));
+    }
+  }
+  // Fuzzy: each block captured under its own latch, apply running throughout;
+  // images come back frontier-ascending (oldest dirt first, ARIES-style).
+  persist::CaptureBlockImages(blocks_, &img.blocks);
+  img.txns = txn_table_.Snapshot();
+  img.end_scn = std::max(published_query_scn(), img.recovery_scn);
+  STRATUS_RETURN_IF_ERROR(p->WriteCheckpoint(&img));
+
+  if (options_.persist.snapshot_imcs && options_.standby_imadg_enabled) {
+    persist::ImcsSnapshotImage snap;
+    persist::CaptureImcsSnapshot(*instances_[kMasterInstance].store, &snap);
+    if (!snap.smus.empty())
+      STRATUS_RETURN_IF_ERROR(p->WriteImcsSnapshot(&snap));
+  }
+  return Status::OK();
+}
+
+Status StandbyDb::DiskRestart() { return DiskRestartInternal(false); }
+
+Status StandbyDb::CrashDiskRestart() { return DiskRestartInternal(true); }
+
+Status StandbyDb::DiskRestartInternal(bool crash) {
+  if (promoted_)
+    return Status::FailedPrecondition("promoted standby no longer applies redo");
+  if (persist_ == nullptr)
+    return Status::FailedPrecondition("persistence not enabled");
+  // PRECONDITION (documented on DiskRestart): no concurrent Deliver — the
+  // caller has stopped every shipper, so removing the tees and swapping the
+  // controller below cannot race the archive hot path.
+  persist_->StopCheckpointThread();
+  for (auto& s : streams_) s->SetDurableSink(nullptr);
+  if (started_) {
+    started_ = false;
+    if (crash) {
+      CrashTearDownPipeline();
+    } else {
+      TearDownPipeline();
+    }
+  }
+
+  // Simulated process death: EVERYTHING volatile goes — row store, txn
+  // table, table segments and identity indexes, IMCS, apply accounting.
+  // Only the catalog stays warm (table creation is a bootstrap call, not
+  // redo; the checkpoint's dictionary restores cold starts).
+  for (auto& inst : instances_) inst.store->Clear();
+  blocks_.Reset();
+  txn_table_.Reset();
+  {
+    std::unique_lock<std::shared_mutex> g(tables_mu_);
+    for (auto& [oid, table] : tables_) table->ResetSegment();
+  }
+  {
+    std::lock_guard<std::mutex> g(accounting_mu_);
+    apply_accounting_.clear();
+  }
+  last_query_scn_.store(kInvalidScn, std::memory_order_release);
+  last_applied_scn_.store(kInvalidScn, std::memory_order_release);
+  applied_high_scn_.store(kInvalidScn, std::memory_order_release);
+  disk_recovered_scn_.store(kInvalidScn, std::memory_order_release);
+
+  // Re-open the directory exactly as a fresh process would: segment rescan,
+  // CRC verification, torn-tail truncation — an honest cold boot, not a
+  // warm-state shortcut.
+  auto controller = std::make_unique<persist::PersistController>(
+      options_.persist, streams_.size());
+  STRATUS_RETURN_IF_ERROR(controller->Open());
+  {
+    std::lock_guard<std::mutex> g(persist_mu_);
+    persist_ = std::move(controller);
+  }
+  STRATUS_RETURN_IF_ERROR(RecoverFromDisk());
+  for (size_t k = 0; k < streams_.size(); ++k)
+    streams_[k]->ResetToWatermark(persist_->DurableScn(k));
+  InstallDurableSinks();
+
+  ResetHealthForRestart();
+  restarts_.fetch_add(1, std::memory_order_relaxed);
+  if (crash) crash_restarts_.fetch_add(1, std::memory_order_relaxed);
+  disk_restarts_.fetch_add(1, std::memory_order_relaxed);
+  Start();
+  return Status::OK();
 }
 
 void StandbyDb::ResetHealthForRestart() {
@@ -1265,6 +1612,52 @@ void AdgCluster::Stop() {
 
 void AdgCluster::SetShippingPaused(bool paused) {
   for (auto& s : shippers_) s->set_paused(paused);
+}
+
+Status AdgCluster::DiskRestartStandby(bool crash) {
+  if (!started_)
+    return Status::FailedPrecondition("cluster not started");
+  // Hold cursors pin the redo logs' retention across the shipper gap: the
+  // old shippers' ephemeral cursors die with them, and without a survivor a
+  // concurrent Append could trim redo the new shippers still need.
+  std::vector<uint64_t> hold;
+  hold.reserve(static_cast<size_t>(primary_.redo_threads()));
+  for (int i = 0; i < primary_.redo_threads(); ++i)
+    hold.push_back(primary_.redo_log(i)->RegisterCursor(0));
+
+  // Quiesce delivery (DiskRestart's precondition): stop and discard every
+  // shipper. The metrics callback detaches first so no scrape touches a
+  // dying channel.
+  shipper_metrics_cb_.Reset();
+  for (auto& s : shippers_) s->Stop();
+  shippers_.clear();
+
+  Status st = crash ? standby_.CrashDiskRestart() : standby_.DiskRestart();
+
+  // Fresh shippers re-ship from seq 0 even if recovery failed (the standby
+  // must keep receiving); the stream watermarks — rewound to the durable SCN
+  // — drop everything recovery already replayed from the archive.
+  ShipperOptions shipping = options_.shipping;
+  if (shipping.channel.registry == nullptr) shipping.channel.registry = registry_;
+  for (int i = 0; i < primary_.redo_threads(); ++i) {
+    shippers_.push_back(std::make_unique<LogShipper>(
+        primary_.redo_log(i), standby_.stream(i), shipping));
+    shippers_.back()->Start();
+  }
+  shipper_metrics_cb_.Attach(registry_, [this](obs::MetricsSink* sink) {
+    const obs::Labels labels{{"role", "transport"}};
+    uint64_t bytes = 0, records = 0;
+    for (const auto& s : shippers_) {
+      bytes += s->bytes_shipped();
+      records += s->records_shipped();
+      s->channel()->ExportMetrics(sink, labels);
+    }
+    sink->Counter("stratus_redo_shipped_bytes", labels, bytes);
+    sink->Counter("stratus_redo_shipped_records", labels, records);
+  });
+  for (int i = 0; i < primary_.redo_threads(); ++i)
+    primary_.redo_log(i)->UnregisterCursor(hold[static_cast<size_t>(i)]);
+  return st;
 }
 
 std::string AdgCluster::MetricsText() const { return registry_->ExportText(); }

@@ -20,6 +20,9 @@
 #include "imcs/population.h"
 #include "obs/lag_monitor.h"
 #include "obs/metrics.h"
+#include "persist/persist_controller.h"
+#include "persist/persist_options.h"
+#include "persist/recovery.h"
 #include "rac/home_location_map.h"
 #include "rac/transport.h"
 #include "redo/log_merger.h"
@@ -106,6 +109,12 @@ struct DatabaseOptions {
   /// auditor can prove no change vector was skipped or double-applied.
   /// Off by default (a mutex-guarded map on the apply path).
   bool apply_accounting = false;
+
+  /// Standby durability (the persist/ subsystem): file-backed redo archive,
+  /// fuzzy checkpoints and IMCS snapshot-resume restart. Disabled by default —
+  /// the historical all-RAM behavior is byte-for-byte unchanged unless a data
+  /// directory is configured.
+  persist::PersistOptions persist;
 };
 
 /// The primary database: row store, transactions, redo generation, and its
@@ -263,6 +272,53 @@ class StandbyDb : public ApplySink {
   /// state exactly as Restart() does, and rebuilds a fresh pipeline over the
   /// surviving ReceivedLogs.
   void CrashRestart();
+
+  // --- Durability (persist/ subsystem) ---------------------------------------
+  /// Takes one fuzzy checkpoint: captures the dictionary, every data block's
+  /// version chains (each under its own latch, apply running throughout), and
+  /// the transaction table; writes it atomically; then — if configured — an
+  /// IMCS snapshot of all ready SMUs. The recovery-start SCN is the published
+  /// QuerySCN at capture begin. Also runs on the background cadence when
+  /// `PersistOptions::checkpoint_interval_us` is set.
+  Status TakeCheckpoint();
+  /// Full disk restart: simulates process death (ALL volatile state is
+  /// discarded — row store, txn table, table segments, IMCS, apply
+  /// accounting), then re-opens the data directory exactly as a fresh boot
+  /// would (segment rescan, CRC verification, torn-tail truncation), restores
+  /// the last checkpoint, resumes the IMCS from its snapshot SCN, replays the
+  /// archived redo tail, and rebuilds the pipeline.
+  ///
+  /// PRECONDITION: delivery is quiescent — callers stop every shipper feeding
+  /// `stream(i)` first (AdgCluster::DiskRestartStandby and the fleet's disk
+  /// restart do). Each stream is rewound to its durable watermark so the
+  /// rejoining shipper redelivers exactly the redo recovery did not replay.
+  Status DiskRestart();
+  /// DiskRestart over the crash-safe teardown (post-CrashSignal pipelines).
+  Status CrashDiskRestart();
+  /// Durable (fsynced) archive watermark of stream `i`; kInvalidScn when
+  /// persistence is off. The fleet's durable-floor cursor gate reads this.
+  Scn DurableScn(size_t stream) const;
+  /// Non-null between a successful persistence boot and destruction (swapped
+  /// during DiskRestart; callers touching it must hold delivery quiescent).
+  persist::PersistController* persist() { return persist_.get(); }
+  bool persist_enabled() const { return options_.persist.enabled; }
+  /// Construction-time options (immutable; safe from any thread).
+  const DatabaseOptions& options() const { return options_; }
+  /// Point-in-time persist counters (zeroed struct when persistence is off);
+  /// safe to call from any thread, including during a concurrent DiskRestart.
+  persist::PersistStats PersistStatsSnapshot() const;
+  /// First error the durability layer latched (archive tee, boot, recovery);
+  /// OK while healthy.
+  Status persist_status() const;
+  /// Result of the last boot/disk-restart recovery pass.
+  persist::RecoveryResult last_recovery() const;
+  uint64_t disk_restarts() const {
+    return disk_restarts_.load(std::memory_order_relaxed);
+  }
+  /// SCN the last recovery pass certified complete (kInvalidScn before any).
+  Scn disk_recovered_scn() const {
+    return disk_recovered_scn_.load(std::memory_order_acquire);
+  }
 
   // --- Bootstrap (physically replicated dictionary) -------------------------
   Status MirrorCreateTable(ObjectId object_id, const std::string& name,
@@ -422,6 +478,17 @@ class StandbyDb : public ApplySink {
   void ExportPipelineMetrics(obs::MetricsSink* sink) const;
   Table* FindOrNullTable(ObjectId object) const;
   void ApplyDdlDictionary(const DdlMarker& marker, Scn scn);
+  /// First-Start persistence bootstrap: opens the data directory, runs
+  /// recovery (if configured), rewinds streams, installs the archive tees.
+  void BootPersistence();
+  /// Loads the latest checkpoint + IMCS snapshot and replays archived redo
+  /// through a RecoveryManager wired to this database's dictionary/index/
+  /// accounting hooks. Sets the apply marks and disk_recovered_scn_.
+  Status RecoverFromDisk();
+  /// Tees every stream's Deliver into the redo archive (archive-first).
+  void InstallDurableSinks();
+  Status DiskRestartInternal(bool crash);
+  void NotePersistError(const Status& st);
 
   DatabaseOptions options_;
   BlockStore blocks_;
@@ -481,6 +548,17 @@ class StandbyDb : public ApplySink {
 
   std::atomic<uint64_t> restarts_{0};
   std::atomic<uint64_t> crash_restarts_{0};
+  std::atomic<uint64_t> disk_restarts_{0};
+
+  // Durability. The controller pointer is swapped during DiskRestart (a fresh
+  // open models a fresh process); persist_mu_ guards the swap against
+  // concurrent metric scrapes. The archive tee captures the raw pointer and
+  // is removed before any swap, so the hot path takes no lock.
+  mutable std::mutex persist_mu_;
+  std::unique_ptr<persist::PersistController> persist_;  ///< persist_mu_ (swap).
+  Status persist_status_;                     ///< Guarded by persist_mu_.
+  persist::RecoveryResult last_recovery_;     ///< Guarded by persist_mu_.
+  std::atomic<Scn> disk_recovered_scn_{kInvalidScn};
 
   // Per-row apply accounting (chaos exactly-once audits). Survives restarts.
   mutable std::mutex accounting_mu_;
@@ -562,6 +640,15 @@ class AdgCluster {
   /// Fault injection: pause/resume every redo shipper (transport lag
   /// accumulates while paused; Stop() still drains).
   void SetShippingPaused(bool paused);
+
+  /// Kills the standby down to its data directory and recovers it from disk
+  /// (StandbyDb::DiskRestart, `crash` selects the crash-safe teardown). This
+  /// is the cluster-level orchestration that satisfies DiskRestart's
+  /// delivery-quiescence precondition: temporary hold cursors pin the redo
+  /// log's retention, the shippers stop and are discarded, the standby
+  /// recovers, and fresh shippers redeliver the tail — which the rewound
+  /// stream watermarks dedup against what recovery already replayed.
+  Status DiskRestartStandby(bool crash = false);
 
  private:
   DatabaseOptions options_;

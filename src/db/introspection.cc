@@ -192,6 +192,38 @@ std::string VTransportRow::ToJson() const {
   return out;
 }
 
+std::string VPersistRow::ToJson() const {
+  std::string out = "{";
+  out += "\"enabled\":" + std::string(enabled ? "true" : "false");
+  out += ",\"data_dir\":\"" + JsonEscape(data_dir) + "\"";
+  out += ",\"disk_restarts\":" + std::to_string(disk_restarts);
+  out += ",\"archived_records\":" + std::to_string(archived_records);
+  out += ",\"archived_bytes\":" + std::to_string(archived_bytes);
+  out += ",\"fsyncs\":" + std::to_string(fsyncs);
+  out += ",\"truncated_tails\":" + std::to_string(truncated_tails);
+  out += ",\"segments\":" + std::to_string(segments);
+  out += ",\"segments_recycled\":" + std::to_string(segments_recycled);
+  out += ",\"checkpoints\":" + std::to_string(checkpoints);
+  out += ",\"snapshots\":" + std::to_string(snapshots);
+  out += ",\"recoveries\":" + std::to_string(recoveries);
+  out += ",\"faults_injected\":" + std::to_string(faults_injected);
+  out += ",\"durable_scn\":" + ScnStr(durable_scn);
+  out += ",\"checkpoint_scn\":" + ScnStr(checkpoint_scn);
+  out += ",\"snapshot_scn\":" + ScnStr(snapshot_scn);
+  out += ",\"recovered_scn\":" + ScnStr(recovered_scn);
+  out += ",\"ckpt_loaded\":" + std::string(ckpt_loaded ? "true" : "false");
+  out += ",\"snap_loaded\":" + std::string(snap_loaded ? "true" : "false");
+  out += ",\"restored_blocks\":" + std::to_string(restored_blocks);
+  out += ",\"restored_smus\":" + std::to_string(restored_smus);
+  out += ",\"replayed_records\":" + std::to_string(replayed_records);
+  out += ",\"replayed_cvs\":" + std::to_string(replayed_cvs);
+  out += ",\"applied_cvs\":" + std::to_string(applied_cvs);
+  out += ",\"row_invalidations\":" + std::to_string(row_invalidations);
+  out += ",\"coarse_invalidations\":" + std::to_string(coarse_invalidations);
+  out += "}";
+  return out;
+}
+
 std::vector<VImSegmentsRow> CollectVImSegments(PrimaryDb* primary,
                                                StandbyDb* standby) {
   std::vector<VImSegmentsRow> rows;
@@ -255,6 +287,40 @@ std::vector<VTransportRow> CollectVTransport(AdgCluster* cluster) {
     rows.push_back(std::move(row));
   }
   return rows;
+}
+
+VPersistRow CollectVPersist(StandbyDb* standby) {
+  VPersistRow row;
+  if (standby == nullptr || !standby->persist_enabled()) return row;
+  row.enabled = true;
+  row.data_dir = standby->options().persist.data_dir;
+  row.disk_restarts = standby->disk_restarts();
+  const persist::PersistStats stats = standby->PersistStatsSnapshot();
+  row.archived_records = stats.archived_records;
+  row.archived_bytes = stats.archived_bytes;
+  row.fsyncs = stats.fsyncs;
+  row.truncated_tails = stats.truncated_tails;
+  row.segments = stats.segments;
+  row.segments_recycled = stats.segments_recycled;
+  row.checkpoints = stats.checkpoints;
+  row.snapshots = stats.snapshots;
+  row.recoveries = stats.recoveries;
+  row.faults_injected = stats.faults_injected;
+  row.durable_scn = stats.durable_scn;
+  row.checkpoint_scn = stats.checkpoint_scn;
+  row.snapshot_scn = stats.snapshot_scn;
+  row.recovered_scn = stats.recovered_scn;
+  const persist::RecoveryResult last = standby->last_recovery();
+  row.ckpt_loaded = last.checkpoint_loaded;
+  row.snap_loaded = last.snapshot_loaded;
+  row.restored_blocks = last.restored_blocks;
+  row.restored_smus = last.restored_smus;
+  row.replayed_records = last.replayed_records;
+  row.replayed_cvs = last.replayed_cvs;
+  row.applied_cvs = last.applied_cvs;
+  row.row_invalidations = last.row_invalidations;
+  row.coarse_invalidations = last.coarse_invalidations;
+  return row;
 }
 
 std::string VImSegmentsJson(const std::vector<VImSegmentsRow>& rows) {
@@ -333,10 +399,12 @@ obs::HttpResponse ClusterObservability::View(const std::string& view) const {
             .ToJson();
   } else if (view == "transport") {
     resp.body = VTransportJson(CollectVTransport(cluster_));
+  } else if (view == "persist") {
+    resp.body = CollectVPersist(cluster_->standby()).ToJson();
   } else {
     resp.status = 404;
     resp.body = "{\"error\":\"unknown view '" + JsonEscape(view) +
-                "'; try im_segments, standby_apply, transport\"}";
+                "'; try im_segments, standby_apply, transport, persist\"}";
   }
   return resp;
 }

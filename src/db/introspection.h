@@ -83,6 +83,46 @@ struct VTransportRow {
   std::string ToJson() const;
 };
 
+/// v$persist analog: the standby's durability layer in one row — archive,
+/// checkpoint/snapshot and recovery progress, plus the last recovery's
+/// breakdown. `enabled` is false (and everything else zero) for an all-RAM
+/// standby.
+struct VPersistRow {
+  bool enabled = false;
+  std::string data_dir;
+  uint64_t disk_restarts = 0;
+
+  uint64_t archived_records = 0;
+  uint64_t archived_bytes = 0;
+  uint64_t fsyncs = 0;
+  uint64_t truncated_tails = 0;
+  uint64_t segments = 0;
+  uint64_t segments_recycled = 0;
+  uint64_t checkpoints = 0;
+  uint64_t snapshots = 0;
+  uint64_t recoveries = 0;
+  uint64_t faults_injected = 0;
+
+  Scn durable_scn = kInvalidScn;
+  Scn checkpoint_scn = kInvalidScn;
+  Scn snapshot_scn = kInvalidScn;
+  Scn recovered_scn = kInvalidScn;
+
+  /// Last recovery breakdown (all zero until the first DiskRestart/boot
+  /// recovery actually ran).
+  bool ckpt_loaded = false;
+  bool snap_loaded = false;
+  uint64_t restored_blocks = 0;
+  uint64_t restored_smus = 0;
+  uint64_t replayed_records = 0;
+  uint64_t replayed_cvs = 0;
+  uint64_t applied_cvs = 0;
+  uint64_t row_invalidations = 0;
+  uint64_t coarse_invalidations = 0;
+
+  std::string ToJson() const;
+};
+
 /// Collectors. Either database may be null (the view just skips that role);
 /// a standalone standby passes monitor == nullptr and gets lag_valid = false.
 std::vector<VImSegmentsRow> CollectVImSegments(PrimaryDb* primary,
@@ -90,6 +130,7 @@ std::vector<VImSegmentsRow> CollectVImSegments(PrimaryDb* primary,
 VStandbyApplyRow CollectVStandbyApply(StandbyDb* standby,
                                       obs::LagMonitor* monitor);
 std::vector<VTransportRow> CollectVTransport(AdgCluster* cluster);
+VPersistRow CollectVPersist(StandbyDb* standby);
 
 /// JSON array renderers (the /v/<view> payloads).
 std::string VImSegmentsJson(const std::vector<VImSegmentsRow>& rows);
@@ -106,6 +147,7 @@ std::string VTransportJson(const std::vector<VTransportRow>& rows);
 ///   /v/im_segments  v$im_segments rows
 ///   /v/standby_apply v$standby_apply row
 ///   /v/transport    v$transport rows
+///   /v/persist      v$persist row (durability layer)
 ///
 /// The payload builders are public so tests exercise them without sockets.
 /// The cluster must outlive the server (Stop the server first).

@@ -90,6 +90,10 @@ DatabaseOptions FleetCluster::NodeOptions(int i) const {
   DatabaseOptions opts = options_.db;
   opts.registry = registry_;
   if (opts.standby_name.empty()) opts.standby_name = "sb" + std::to_string(i);
+  // Each node gets its own durable subtree: the template's data_dir is the
+  // fleet root, <root>/<node-name> is the node's PersistController home.
+  if (opts.persist.enabled && !opts.persist.data_dir.empty())
+    opts.persist.data_dir += "/" + opts.standby_name;
   return opts;
 }
 
@@ -103,8 +107,20 @@ void FleetCluster::Start() {
     // ever has. Registered before the first shipper so no redo is trimmed
     // in the window between primary start and shipper attach.
     node->cursor_ids_.clear();
-    for (int t = 0; t < primary_.redo_threads(); ++t)
-      node->cursor_ids_.push_back(primary_.redo_log(t)->RegisterCursor(0));
+    for (int t = 0; t < primary_.redo_threads(); ++t) {
+      // Seed the cursor from disk truth when the node persists: a persisted
+      // cursor position from this process's lifetime resumes shipping where
+      // the last shipper left off. Clamped to the log tail — after a cold
+      // fleet start the primary's in-memory log is fresh, so a stale
+      // persisted seq must not leap past records that were never shipped
+      // (the standby's durable watermark dedups the resulting redelivery).
+      uint64_t seq = 0;
+      persist::PersistController* p = node->db_.persist();
+      if (p != nullptr)
+        seq = std::min(p->CursorSeq(static_cast<size_t>(t)),
+                       primary_.redo_log(t)->NextSeq());
+      node->cursor_ids_.push_back(primary_.redo_log(t)->RegisterCursor(seq));
+    }
     StartShippers(node.get());
 
     obs::LagSources sources;
@@ -177,6 +193,20 @@ void FleetCluster::StartShippers(StandbyNode* node) {
     shipping.channel.peer = node->name_;
     if (shipping.channel.registry == nullptr)
       shipping.channel.registry = registry_;
+    if (node->db_.persist_enabled()) {
+      StandbyNode* n = node;
+      const size_t stream = static_cast<size_t>(t);
+      // Durability gate: the fleet cursor passes a batch only once the node
+      // reports its SCN fsynced, so a node killed between receive and
+      // archive is redelivered that redo after rejoin instead of losing it.
+      shipping.durable_floor = [n, stream] { return n->db_.DurableScn(stream); };
+      // Cursor positions as disk truth: every advance lands in the node's
+      // persist metadata (flushed with checkpoints into META).
+      shipping.cursor_note = [n, stream](uint64_t seq) {
+        persist::PersistController* p = n->db_.persist();
+        if (p != nullptr) p->NoteCursorSeq(stream, seq);
+      };
+    }
     node->shippers_.push_back(std::make_unique<LogShipper>(
         primary_.redo_log(t), node->db_.stream(static_cast<size_t>(t)),
         shipping));
@@ -243,6 +273,26 @@ void FleetCluster::RestartStandby(int i) {
   n->db()->Restart();
   StartShippers(n);
   n->set_accepting(true);
+}
+
+Status FleetCluster::DiskRestartStandby(int i, bool crash) {
+  StandbyNode* n = node(i);
+  if (!started_) return Status::FailedPrecondition("fleet not started");
+  if (!n->db()->persist_enabled())
+    return Status::FailedPrecondition("node " + n->name() +
+                                      " has no persistence configured");
+  n->set_accepting(false);
+  // Quiesce delivery before the database touches its persist state: the
+  // durable-sink tee and the cursor_note callback both run on shipper
+  // threads and must not observe the controller swap. The node's fleet
+  // cursors stay registered, pinning redo past its durable floor.
+  StopShippers(n);
+  Status st = crash ? n->db()->CrashDiskRestart() : n->db()->DiskRestart();
+  // Reattach shippers either way — a failed recovery leaves the node best-
+  // effort restarted and the caller decides; redo keeps flowing meanwhile.
+  StartShippers(n);
+  n->set_accepting(st.ok());
+  return st;
 }
 
 uint64_t FleetCluster::shipped_bytes() const {

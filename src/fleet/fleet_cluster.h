@@ -164,6 +164,15 @@ class FleetCluster {
   /// database (IMCS and IM-ADG state rebuilt from scratch), and attaches
   /// fresh shippers that resume from the node's persistent cursors.
   void RestartStandby(int i);
+  /// Durable restart of node `i` (requires the node's persistence enabled):
+  /// stops accepting and stops the shippers (the node's fleet cursors stay
+  /// registered, pinning undelivered redo), tears the database down
+  /// (crash = no final archive sync, exercising torn-tail truncation),
+  /// recovers it from its data directory, and reattaches shippers. The
+  /// shippers resume from the fleet cursors and the node's receive streams
+  /// are rewound to the persisted durable watermark, so the overlap window
+  /// is redelivered and deduplicated — never lost, never double-applied.
+  Status DiskRestartStandby(int i, bool crash = false);
 
   obs::MetricsRegistry* registry() const { return registry_; }
   std::string MetricsText() const { return registry_->ExportText(); }

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
+
+#include "common/checksum.h"
 
 namespace stratus {
 
@@ -33,10 +36,62 @@ BitPackedArray BitPackedArray::Pack(const std::vector<uint64_t>& values,
   return arr;
 }
 
+void BitPackedArray::Serialize(std::string* out) const {
+  PutVarint64(out, size_);
+  out->push_back(static_cast<char>(width_));
+  PutVarint64(out, words_.size());
+  // Raw little-endian words: the dense physical form, appended wholesale so
+  // resume avoids per-element varint work.
+  out->append(reinterpret_cast<const char*>(words_.data()),
+              words_.size() * sizeof(uint64_t));
+}
+
+bool BitPackedArray::Deserialize(const std::string& buf, size_t* pos,
+                                 BitPackedArray* out) {
+  uint64_t n = 0;
+  if (!GetVarint64(buf, pos, &n)) return false;
+  if (*pos >= buf.size()) return false;
+  const uint8_t width = static_cast<uint8_t>(buf[(*pos)++]);
+  if (width > 64) return false;
+  uint64_t nwords = 0;
+  if (!GetVarint64(buf, pos, &nwords)) return false;
+  const size_t bytes = nwords * sizeof(uint64_t);
+  if (*pos + bytes > buf.size()) return false;
+  // A width-w array over n values needs this many words (see Pack).
+  if (width != 0 && nwords != (n * width + 63) / 64 + 1) return false;
+  if (width == 0 && nwords != 0) return false;
+  out->size_ = n;
+  out->width_ = width;
+  out->mask_ = width == 0 ? 0 : (width >= 64 ? ~0ull : ((1ull << width) - 1));
+  out->words_.resize(nwords);
+  if (bytes != 0) std::memcpy(out->words_.data(), buf.data() + *pos, bytes);
+  *pos += bytes;
+  return true;
+}
+
 namespace {
 
 std::vector<uint64_t> MakeNullBitmap(size_t n) {
   return std::vector<uint64_t>((n + 63) / 64, 0);
+}
+
+// Column serialization type tags (on-disk; append-only list).
+inline constexpr uint8_t kColTagInt = 1;
+inline constexpr uint8_t kColTagString = 2;
+
+void PutRawWords(std::string* out, const std::vector<uint64_t>& words) {
+  out->append(reinterpret_cast<const char*>(words.data()),
+              words.size() * sizeof(uint64_t));
+}
+
+bool GetRawWords(const std::string& buf, size_t* pos, size_t nwords,
+                 std::vector<uint64_t>* out) {
+  const size_t bytes = nwords * sizeof(uint64_t);
+  if (*pos + bytes > buf.size()) return false;
+  out->resize(nwords);
+  if (bytes != 0) std::memcpy(out->data(), buf.data() + *pos, bytes);
+  *pos += bytes;
+  return true;
 }
 
 void SetBit(std::vector<uint64_t>* bm, size_t i) {
@@ -176,6 +231,37 @@ void IntColumnVector::Filter(PredOp op, const Value& value,
               [&](uint32_t i) { out->push_back(i); });
 }
 
+void IntColumnVector::SerializeTo(std::string* out) const {
+  out->push_back(static_cast<char>(kColTagInt));
+  PutVarint64(out, n_);
+  out->push_back(all_null_ ? 1 : 0);
+  PutVarint64(out, ZigzagEncode(base_));
+  PutVarint64(out, ZigzagEncode(min_));
+  PutVarint64(out, ZigzagEncode(max_));
+  packed_.Serialize(out);
+  PutRawWords(out, nulls_);
+}
+
+std::unique_ptr<IntColumnVector> IntColumnVector::Deserialize(
+    const std::string& buf, size_t* pos) {
+  std::unique_ptr<IntColumnVector> col(new IntColumnVector());
+  uint64_t v = 0;
+  if (!GetVarint64(buf, pos, &v)) return nullptr;
+  col->n_ = v;
+  if (*pos >= buf.size()) return nullptr;
+  col->all_null_ = buf[(*pos)++] != 0;
+  if (!GetVarint64(buf, pos, &v)) return nullptr;
+  col->base_ = ZigzagDecode(v);
+  if (!GetVarint64(buf, pos, &v)) return nullptr;
+  col->min_ = ZigzagDecode(v);
+  if (!GetVarint64(buf, pos, &v)) return nullptr;
+  col->max_ = ZigzagDecode(v);
+  if (!BitPackedArray::Deserialize(buf, pos, &col->packed_)) return nullptr;
+  if (col->packed_.size() != col->n_) return nullptr;
+  if (!GetRawWords(buf, pos, (col->n_ + 63) / 64, &col->nulls_)) return nullptr;
+  return col;
+}
+
 StringColumnVector::StringColumnVector(const std::vector<const std::string*>& values)
     : n_(values.size()), nulls_(MakeNullBitmap(values.size())) {
   dict_ = Dictionary::Build(values);
@@ -257,6 +343,51 @@ void StringColumnVector::Filter(PredOp op, const Value& value,
                   [&](uint32_t i) { out->push_back(i); });
       return;
   }
+}
+
+void StringColumnVector::SerializeTo(std::string* out) const {
+  out->push_back(static_cast<char>(kColTagString));
+  PutVarint64(out, n_);
+  out->push_back(all_null_ ? 1 : 0);
+  dict_.Serialize(out);
+  codes_.Serialize(out);
+  PutRawWords(out, nulls_);
+}
+
+std::unique_ptr<StringColumnVector> StringColumnVector::Deserialize(
+    const std::string& buf, size_t* pos) {
+  std::unique_ptr<StringColumnVector> col(new StringColumnVector());
+  uint64_t v = 0;
+  if (!GetVarint64(buf, pos, &v)) return nullptr;
+  col->n_ = v;
+  if (*pos >= buf.size()) return nullptr;
+  col->all_null_ = buf[(*pos)++] != 0;
+  if (!Dictionary::Deserialize(buf, pos, &col->dict_)) return nullptr;
+  if (col->all_null_ != col->dict_.empty()) return nullptr;
+  if (!BitPackedArray::Deserialize(buf, pos, &col->codes_)) return nullptr;
+  if (col->codes_.size() != col->n_) return nullptr;
+  if (!GetRawWords(buf, pos, (col->n_ + 63) / 64, &col->nulls_)) return nullptr;
+  // Every stored code must land inside the dictionary, else Get() would read
+  // out of bounds on a damaged (CRC-passing but decoder-mismatched) file.
+  const uint64_t max_code = col->codes_.width() >= 64
+                                ? ~0ull
+                                : (1ull << col->codes_.width()) - 1;
+  if (!col->dict_.empty() && max_code >= col->dict_.size()) {
+    for (size_t i = 0; i < col->n_; ++i) {
+      if (col->IsNull(i)) continue;
+      if (col->codes_.Get(i) >= col->dict_.size()) return nullptr;
+    }
+  }
+  return col;
+}
+
+std::unique_ptr<ColumnVector> DeserializeColumnVector(const std::string& buf,
+                                                      size_t* pos) {
+  if (*pos >= buf.size()) return nullptr;
+  const uint8_t tag = static_cast<uint8_t>(buf[(*pos)++]);
+  if (tag == kColTagInt) return IntColumnVector::Deserialize(buf, pos);
+  if (tag == kColTagString) return StringColumnVector::Deserialize(buf, pos);
+  return nullptr;
 }
 
 std::unique_ptr<ColumnVector> BuildColumnVector(

@@ -42,6 +42,12 @@ class BitPackedArray {
   uint8_t width() const { return width_; }
   size_t ApproxBytes() const { return words_.capacity() * sizeof(uint64_t); }
 
+  /// Appends the packed physical form (count, width, raw words) to `*out`.
+  void Serialize(std::string* out) const;
+  /// Reads a Serialize()d array back; false on truncation.
+  static bool Deserialize(const std::string& buf, size_t* pos,
+                          BitPackedArray* out);
+
  private:
   std::vector<uint64_t> words_;
   size_t size_ = 0;
@@ -71,6 +77,11 @@ class ColumnVector {
   /// Storage-index check: can any row of this column satisfy `op value`?
   /// (false ⇒ the valid portion of the IMCU can be pruned for this predicate.)
   virtual bool MightMatch(PredOp op, const Value& value) const = 0;
+
+  /// Appends a type tag plus the ENCODED physical form (bit-packed codes,
+  /// dictionary, null bitmap) to `*out`. DeserializeColumnVector() restores
+  /// the vector without re-encoding — the IMCS snapshot-resume fast path.
+  virtual void SerializeTo(std::string* out) const = 0;
 };
 
 /// Frame-of-reference + bit-packed integer column.
@@ -94,7 +105,14 @@ class IntColumnVector final : public ColumnVector {
   int64_t min_value() const { return min_; }
   int64_t max_value() const { return max_; }
 
+  void SerializeTo(std::string* out) const override;
+  /// nullptr on truncation/corruption.
+  static std::unique_ptr<IntColumnVector> Deserialize(const std::string& buf,
+                                                      size_t* pos);
+
  private:
+  IntColumnVector() = default;
+
   size_t n_ = 0;
   int64_t base_ = 0;  ///< Frame of reference (== min_).
   int64_t min_ = 0;
@@ -122,7 +140,14 @@ class StringColumnVector final : public ColumnVector {
 
   const Dictionary& dictionary() const { return dict_; }
 
+  void SerializeTo(std::string* out) const override;
+  /// nullptr on truncation/corruption.
+  static std::unique_ptr<StringColumnVector> Deserialize(const std::string& buf,
+                                                         size_t* pos);
+
  private:
+  StringColumnVector() = default;
+
   size_t n_ = 0;
   bool all_null_ = true;
   Dictionary dict_;
@@ -133,6 +158,11 @@ class StringColumnVector final : public ColumnVector {
 /// Builds the encoded column for `type` from a generic value accessor.
 std::unique_ptr<ColumnVector> BuildColumnVector(
     ValueType type, size_t n, const std::function<const Value*(size_t)>& get);
+
+/// Restores a column appended by ColumnVector::SerializeTo (tag dispatch).
+/// nullptr on truncation, corruption, or an unknown type tag.
+std::unique_ptr<ColumnVector> DeserializeColumnVector(const std::string& buf,
+                                                      size_t* pos);
 
 }  // namespace stratus
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/checksum.h"
+
 namespace stratus {
 
 Dictionary Dictionary::Build(const std::vector<const std::string*>& values) {
@@ -26,6 +28,31 @@ std::optional<uint32_t> Dictionary::Lookup(const std::string& s) const {
 uint32_t Dictionary::LowerBound(const std::string& s) const {
   auto it = std::lower_bound(entries_.begin(), entries_.end(), s);
   return static_cast<uint32_t>(it - entries_.begin());
+}
+
+void Dictionary::Serialize(std::string* out) const {
+  PutVarint64(out, entries_.size());
+  for (const std::string& s : entries_) {
+    PutVarint64(out, s.size());
+    out->append(s);
+  }
+}
+
+bool Dictionary::Deserialize(const std::string& buf, size_t* pos,
+                             Dictionary* out) {
+  uint64_t n = 0;
+  if (!GetVarint64(buf, pos, &n)) return false;
+  out->entries_.clear();
+  out->entries_.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t len = 0;
+    if (!GetVarint64(buf, pos, &len) || *pos + len > buf.size()) return false;
+    out->entries_.emplace_back(buf.data() + *pos, len);
+    *pos += len;
+    // Codes are order-preserving only if the entry list is sorted-unique.
+    if (i > 0 && out->entries_[i - 1] >= out->entries_[i]) return false;
+  }
+  return true;
 }
 
 size_t Dictionary::ApproxBytes() const {

@@ -32,6 +32,12 @@ class Dictionary {
 
   size_t ApproxBytes() const;
 
+  /// Appends the sorted entry list to `*out` (IMCS snapshot persistence).
+  void Serialize(std::string* out) const;
+  /// Reads a Serialize()d dictionary back; false on truncation or if the
+  /// entries are not sorted-unique (decoder mismatch guard).
+  static bool Deserialize(const std::string& buf, size_t* pos, Dictionary* out);
+
  private:
   std::vector<std::string> entries_;  // Sorted, unique.
 };

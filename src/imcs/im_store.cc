@@ -70,6 +70,14 @@ std::vector<std::shared_ptr<Smu>> ImStore::SmusForObject(ObjectId object_id) con
   return it->second;
 }
 
+std::vector<std::shared_ptr<Smu>> ImStore::AllSmus() const {
+  std::shared_lock<std::shared_mutex> g(mu_);
+  std::vector<std::shared_ptr<Smu>> out;
+  for (const auto& [oid, smus] : objects_)
+    out.insert(out.end(), smus.begin(), smus.end());
+  return out;
+}
+
 size_t ImStore::MarkRowInvalid(Dba dba, SlotId slot) {
   size_t marked = 0;
   for (const auto& smu : FindSmus(dba)) {
@@ -88,6 +96,12 @@ void ImStore::AbandonSmu(const std::shared_ptr<Smu>& smu) {
     vec.erase(std::remove(vec.begin(), vec.end(), smu), vec.end());
   }
   smu->set_state(SmuState::kDropped);
+  // Pre-attach abandons have no IMCU yet; an already-attached SMU (the
+  // seed-coverage pass retiring a mismatched snapshot SMU) gives back its
+  // accounted memory here.
+  const auto imcu = smu->imcu();
+  if (imcu != nullptr)
+    used_bytes_.fetch_sub(imcu->ApproxBytes(), std::memory_order_relaxed);
 }
 
 void ImStore::DropObject(ObjectId object_id) {

@@ -57,12 +57,17 @@ class ImStore {
   /// latter's blocks to the row path).
   std::vector<std::shared_ptr<Smu>> SmusForObject(ObjectId object_id) const;
 
+  /// Every SMU in the scan lists, all objects (IMCS snapshot capture).
+  std::vector<std::shared_ptr<Smu>> AllSmus() const;
+
   /// Marks one row invalid in every SMU covering `dba`. Returns the number of
   /// SMUs that recorded it.
   size_t MarkRowInvalid(Dba dba, SlotId slot);
 
-  /// Abandons a registered SMU whose population failed (e.g. the pool is
-  /// full): unmaps it and drops it from the scan list.
+  /// Abandons a registered SMU: unmaps it and drops it from the scan list.
+  /// Used both for failed populations (e.g. the pool is full) and to retire
+  /// an attached snapshot SMU that the seed-coverage pass could not match
+  /// into the table's current block tiling (its memory is un-accounted).
   void AbandonSmu(const std::shared_ptr<Smu>& smu);
 
   /// Drops every SMU/IMCU of an object (DDL, Section III.G).

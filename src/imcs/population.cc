@@ -1,6 +1,8 @@
 #include "imcs/population.h"
 
+#include <algorithm>
 #include <chrono>
+#include <unordered_set>
 
 #include "obs/trace.h"
 
@@ -20,6 +22,55 @@ void Populator::EnableObject(Table* table) {
   objects_.try_emplace(table->object_id(), ObjectState{table, 0, nullptr, 0});
 }
 
+void Populator::SeedCoverageFromStore() {
+  std::lock_guard<std::mutex> g(mu_);
+  const size_t bpi = static_cast<size_t>(options_.blocks_per_imcu);
+  for (auto& [oid, state] : objects_) {
+    if (state.full_covered != 0 || state.tail_smu != nullptr) continue;
+    const std::vector<Dba> blocks = state.table->SnapshotBlocks();
+    std::vector<std::shared_ptr<Smu>> ready;
+    for (const auto& smu : store_->SmusForObject(oid)) {
+      if (smu->state() == SmuState::kReady) ready.push_back(smu);
+    }
+    if (ready.empty()) continue;
+    // Chunks are consecutive DBA slices of the scan-order block list, so a
+    // loaded SMU counts only when its DBAs match the list exactly at the
+    // running offset.
+    std::unordered_map<Dba, std::shared_ptr<Smu>> by_first;
+    for (const auto& smu : ready) {
+      if (!smu->dbas().empty()) by_first.emplace(smu->dbas().front(), smu);
+    }
+    std::unordered_set<const Smu*> matched;
+    size_t pos = 0;
+    while (pos < blocks.size()) {
+      auto it = by_first.find(blocks[pos]);
+      if (it == by_first.end()) break;
+      const std::shared_ptr<Smu>& smu = it->second;
+      const std::vector<Dba>& dbas = smu->dbas();
+      const size_t n = dbas.size();
+      if (n == 0 || pos + n > blocks.size() ||
+          !std::equal(dbas.begin(), dbas.end(), blocks.begin() + pos)) {
+        break;
+      }
+      matched.insert(smu.get());
+      if (n == bpi) {
+        state.full_covered += n;
+        pos += n;
+        continue;
+      }
+      // Undersized chunk: adopt it as the partial tail. If the table grew
+      // past it after the snapshot, the normal pass extends or promotes it
+      // through the repopulating BuildChunk (replaces = the tail).
+      state.tail_smu = smu;
+      state.tail_blocks = n;
+      break;
+    }
+    for (const auto& smu : ready) {
+      if (matched.count(smu.get()) == 0) store_->AbandonSmu(smu);
+    }
+  }
+}
+
 void Populator::DisableObject(ObjectId object_id) {
   std::lock_guard<std::mutex> g(mu_);
   objects_.erase(object_id);
@@ -33,7 +84,11 @@ void Populator::Start() {
 }
 
 void Populator::Stop() {
-  stop_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> g(stop_mu_);
+    stop_.store(true, std::memory_order_release);
+  }
+  stop_cv_.notify_all();
   if (thread_.joinable()) thread_.join();
 }
 
@@ -41,7 +96,12 @@ void Populator::ManagerLoop() {
   try {
     while (!stop_.load(std::memory_order_acquire)) {
       RunOnePass();
-      std::this_thread::sleep_for(std::chrono::microseconds(options_.manager_interval_us));
+      // Interruptible sleep: Stop() must not stall a restart for up to a
+      // whole manager interval.
+      std::unique_lock<std::mutex> lock(stop_mu_);
+      stop_cv_.wait_for(
+          lock, std::chrono::microseconds(options_.manager_interval_us),
+          [this] { return stop_.load(std::memory_order_acquire); });
     }
   } catch (const chaos::CrashSignal&) {
     // The population "process" dies here, possibly having registered an SMU

@@ -2,6 +2,7 @@
 #define STRATUS_IMCS_POPULATION_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -148,6 +149,17 @@ class Populator {
   /// Marks `table` for population into this store. Idempotent.
   void EnableObject(Table* table);
 
+  /// Snapshot-resume restart: adopts SMUs already attached to the store (an
+  /// IMCS snapshot reloaded by disk recovery, before this populator existed)
+  /// as coverage, so restart extends from the snapshot instead of rebuilding
+  /// every IMCU. Ready SMUs that tile the table's block list from the front —
+  /// full chunks, then at most one undersized tail — are counted (the tail is
+  /// adopted and later extended in place); any loaded SMU that does not fit
+  /// the tiling is retired, because population will rebuild its blocks and
+  /// two scannable SMUs over one DBA would double-count rows. A no-op for
+  /// objects with coverage already, and on an empty store.
+  void SeedCoverageFromStore();
+
   /// Stops populating the object and drops its IMCUs.
   void DisableObject(ObjectId object_id);
 
@@ -199,6 +211,8 @@ class Populator {
 
   std::thread thread_;
   std::atomic<bool> stop_{false};
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
   std::atomic<bool> crashed_{false};
 
   mutable std::mutex stats_mu_;

@@ -5,38 +5,21 @@
 #include <cstdint>
 #include <string>
 
+#include "common/checksum.h"
 #include "common/status.h"
 #include "common/types.h"
 
 namespace stratus {
 namespace net {
 
-// ---------------------------------------------------------------------------
-// CRC32C (Castagnoli). Software slice-by-8; no hardware dependency, identical
-// results everywhere. Matches the standard CRC-32C test vectors (e.g.
-// Crc32c("123456789") == 0xE3069283).
-// ---------------------------------------------------------------------------
-uint32_t Crc32c(const char* data, size_t n, uint32_t crc = 0);
-inline uint32_t Crc32c(const std::string& s) { return Crc32c(s.data(), s.size()); }
-
-// ---------------------------------------------------------------------------
-// Varints (LEB128, unsigned) and zigzag for signed payloads. The wire codec
-// packs SCNs, DBAs, object ids and row values with these — redo records are
-// mostly small integers, so the varint form is several times denser than the
-// fixed-width accounting encoding in redo/change_vector.cc.
-// ---------------------------------------------------------------------------
-void PutVarint64(std::string* out, uint64_t v);
-bool GetVarint64(const char* data, size_t size, size_t* pos, uint64_t* v);
-inline bool GetVarint64(const std::string& buf, size_t* pos, uint64_t* v) {
-  return GetVarint64(buf.data(), buf.size(), pos, v);
-}
-
-inline uint64_t ZigzagEncode(int64_t v) {
-  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
-}
-inline int64_t ZigzagDecode(uint64_t v) {
-  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
-}
+// CRC32C, varints and zigzag live in common/checksum.h so the on-disk
+// persistence formats and the wire frames share one checked implementation.
+// Re-exported here so wire code keeps its historical net:: spelling.
+using ::stratus::Crc32c;
+using ::stratus::GetVarint64;
+using ::stratus::PutVarint64;
+using ::stratus::ZigzagDecode;
+using ::stratus::ZigzagEncode;
 
 // ---------------------------------------------------------------------------
 // Frames: the unit of transmission. Layout (little-endian):

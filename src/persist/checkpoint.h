@@ -1,0 +1,70 @@
+#ifndef STRATUS_PERSIST_CHECKPOINT_H_
+#define STRATUS_PERSIST_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/block.h"
+#include "storage/block_store.h"
+#include "storage/schema.h"
+#include "storage/visibility.h"
+
+namespace stratus {
+namespace persist {
+
+/// Dictionary entry for one table: enough to re-create the standby's segment
+/// (and identity index) on a cold start, plus the block list in scan order —
+/// NoteBlock records blocks in apply-discovery order, so scan order is only
+/// reproducible from this recorded list.
+struct TableImage {
+  ObjectId object_id = 0;
+  TenantId tenant = 0;
+  std::string name;
+  std::vector<ColumnDef> columns;  ///< Current schema (dropped cols = kNull).
+  uint8_t im_service = 0;          ///< db ImService enum, stored raw.
+  bool identity_index = false;
+  std::vector<Dba> blocks;         ///< Scan order.
+};
+
+/// Fuzzy capture of one data block: the version chains and the change
+/// frontier, taken atomically under the block latch (Block::SnapshotChains).
+/// Recovery replays archived redo with scn > frontier against it.
+struct BlockImage {
+  Dba dba = 0;
+  ObjectId object_id = 0;
+  TenantId tenant = 0;
+  Scn frontier = kInvalidScn;
+  std::vector<SlotChainImage> chains;
+};
+
+/// One fuzzy checkpoint. `recovery_scn` is the published QuerySCN at
+/// checkpoint begin: the QuerySCN protocol guarantees every CV at or below
+/// it was applied before any block was captured, so no block's frontier can
+/// hide redo below it — replay from recovery_scn is complete. `end_scn` is
+/// the QuerySCN at checkpoint end (the begin/end record pair of the classic
+/// ARIES layout, collapsed into one atomically-written file).
+struct CheckpointImage {
+  uint64_t seq = 0;
+  Scn recovery_scn = kInvalidScn;
+  Scn end_scn = kInvalidScn;
+  std::vector<TableImage> tables;
+  std::vector<BlockImage> blocks;  ///< Dirty blocks, LSN (frontier) ascending.
+  std::vector<std::pair<Xid, TxnStatusInfo>> txns;  ///< Captured at end.
+};
+
+void EncodeCheckpoint(const CheckpointImage& img, std::string* out);
+Status DecodeCheckpoint(const std::string& file, CheckpointImage* out);
+
+/// Captures every data block of `store` fuzzily — each under its own latch,
+/// apply continuing throughout — and orders the images by frontier (LSN)
+/// ascending, oldest dirt first.
+void CaptureBlockImages(const BlockStore& store, std::vector<BlockImage>* out);
+
+}  // namespace persist
+}  // namespace stratus
+
+#endif  // STRATUS_PERSIST_CHECKPOINT_H_

@@ -1,0 +1,68 @@
+#ifndef STRATUS_PERSIST_IMCS_SNAPSHOT_H_
+#define STRATUS_PERSIST_IMCS_SNAPSHOT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "imcs/im_store.h"
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace stratus {
+namespace persist {
+
+/// Serialized form of one ready SMU/IMCU pair: the columnar snapshot at its
+/// pinned snapshot SCN plus the SMU's invalidity bitmap as of capture time.
+/// The bitmap may run ahead of snapshot_scn (invalidation flush continued
+/// while we serialized) — extra invalid bits only send reads to the row path,
+/// which is always correct (invariant I3's conservative direction).
+struct SmuImage {
+  ObjectId object_id = 0;
+  TenantId tenant = 0;
+  Scn snapshot_scn = kInvalidScn;
+  std::vector<Dba> dbas;
+  std::vector<uint8_t> column_types;  ///< ValueType per IMCU column (schema
+                                      ///< columns first, then IM expressions).
+  std::vector<uint64_t> present_words;
+  std::vector<uint64_t> invalid_words;
+  /// Per-column ENCODED physical form (ColumnVector::SerializeTo): the
+  /// bit-packed codes, dictionary and null bitmap exactly as they sat in
+  /// memory. Resume deserializes these directly — no value boxing, no
+  /// dictionary rebuild — which is what makes snapshot-resume beat full
+  /// repopulation on restart.
+  std::vector<std::string> columns;
+};
+
+/// One IMCS snapshot file. `floor_scn` = min SMU snapshot SCN: recovery
+/// resumes invalidation mining from there instead of rebuilding the store.
+struct ImcsSnapshotImage {
+  uint64_t seq = 0;
+  Scn floor_scn = kInvalidScn;
+  std::vector<SmuImage> smus;
+};
+
+void EncodeImcsSnapshot(const ImcsSnapshotImage& img, std::string* out);
+Status DecodeImcsSnapshot(const std::string& file, ImcsSnapshotImage* out);
+
+/// Serializes every kReady SMU of `store`. Fuzzy like the block capture:
+/// each SMU's bitmap is snapshotted atomically, the set as a whole is not —
+/// safe for the same conservative reason.
+void CaptureImcsSnapshot(const ImStore& store, ImcsSnapshotImage* out);
+
+/// Rebuilds SMUs/IMCUs from `img` into `store` (recovery boot, before the
+/// apply pipeline starts — no concurrency). `schema_of` supplies the current
+/// schema for an object (from the restored dictionary); images of unknown
+/// objects are skipped, as are images that would exceed pool capacity.
+/// Returns the number of SMUs restored.
+StatusOr<size_t> LoadImcsSnapshot(
+    const ImcsSnapshotImage& img, ImStore* store,
+    const std::function<bool(ObjectId, Schema*)>& schema_of);
+
+}  // namespace persist
+}  // namespace stratus
+
+#endif  // STRATUS_PERSIST_IMCS_SNAPSHOT_H_

@@ -1,0 +1,62 @@
+#ifndef STRATUS_PERSIST_META_STORE_H_
+#define STRATUS_PERSIST_META_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "persist/persist_io.h"
+
+namespace stratus {
+namespace persist {
+
+/// The durable manifest: a tiny key → uint64 map rewritten atomically
+/// (tmp-file-then-rename) on every Flush(). It records which checkpoint and
+/// IMCS snapshot are current, per-stream durable redo watermarks, and the
+/// fleet shipper cursor positions — the single source of disk truth recovery
+/// starts from.
+///
+/// Keys in use:
+///   ckpt/seq, ckpt/scn          current checkpoint and its recovery SCN
+///   snap/seq, snap/scn          current IMCS snapshot and its floor SCN
+///   durable/s<k>                highest fsynced redo SCN, stream k
+///   cursor/s<k>                 fleet shipper cursor seq, stream k
+class MetaStore {
+ public:
+  /// Loads `path` if present and intact; a missing file starts empty, a
+  /// corrupt one starts empty and counts as a corrupt load (visible to
+  /// tests via corrupt_loads()).
+  static StatusOr<std::unique_ptr<MetaStore>> Open(const std::string& path,
+                                                   DiskFaultInjector* faults);
+
+  MetaStore(const MetaStore&) = delete;
+  MetaStore& operator=(const MetaStore&) = delete;
+
+  uint64_t Get(const std::string& key, uint64_t def) const;
+  bool Has(const std::string& key) const;
+  void Set(const std::string& key, uint64_t value);
+
+  /// Atomically rewrites the whole map.
+  Status Flush();
+
+  std::map<std::string, uint64_t> SnapshotAll() const;
+  uint64_t corrupt_loads() const { return corrupt_loads_; }
+
+ private:
+  MetaStore(std::string path, DiskFaultInjector* faults)
+      : path_(std::move(path)), faults_(faults) {}
+
+  std::string path_;
+  DiskFaultInjector* faults_;
+  mutable std::mutex mu_;
+  std::map<std::string, uint64_t> map_;
+  uint64_t corrupt_loads_ = 0;
+};
+
+}  // namespace persist
+}  // namespace stratus
+
+#endif  // STRATUS_PERSIST_META_STORE_H_

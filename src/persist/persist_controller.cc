@@ -1,0 +1,288 @@
+#include "persist/persist_controller.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "persist/persist_io.h"
+#include "persist/recovery.h"
+
+namespace stratus {
+namespace persist {
+
+namespace {
+
+std::string StreamKey(const char* prefix, size_t stream) {
+  return std::string(prefix) + "/s" + std::to_string(stream);
+}
+
+bool HasFaultConfig(const DiskFaultOptions& f) {
+  return f.short_write_pct != 0 || f.torn_write_pct != 0 ||
+         f.read_error_pct != 0 || f.sync_error_pct != 0;
+}
+
+}  // namespace
+
+PersistController::PersistController(const PersistOptions& options,
+                                     size_t num_streams)
+    : options_(options), configured_streams_(num_streams) {
+  if (HasFaultConfig(options_.faults))
+    faults_ = std::make_unique<DiskFaultInjector>(options_.faults);
+  cursor_seqs_.reserve(num_streams);
+  for (size_t k = 0; k < num_streams; ++k)
+    cursor_seqs_.push_back(std::make_unique<std::atomic<uint64_t>>(0));
+}
+
+PersistController::~PersistController() { StopCheckpointThread(); }
+
+Status PersistController::Open() {
+  STRATUS_RETURN_IF_ERROR(EnsureDir(options_.data_dir));
+  STRATUS_RETURN_IF_ERROR(EnsureDir(options_.data_dir + "/archive"));
+  auto meta = MetaStore::Open(options_.data_dir + "/META", faults_.get());
+  STRATUS_RETURN_IF_ERROR(meta.status());
+  meta_ = std::move(meta.value());
+  checkpoint_scn_.store(meta_->Get("ckpt/scn", kInvalidScn),
+                        std::memory_order_release);
+  snapshot_scn_.store(meta_->Get("snap/scn", kInvalidScn),
+                      std::memory_order_release);
+  // The seq keys count every checkpoint/snapshot ever taken against this data
+  // dir, so the counters survive a restart instead of restarting from zero.
+  checkpoints_.store(meta_->Get("ckpt/seq", 0), std::memory_order_relaxed);
+  snapshots_.store(meta_->Get("snap/seq", 0), std::memory_order_relaxed);
+  archives_.clear();
+  for (size_t k = 0; k < configured_streams_; ++k) {
+    RedoArchive::Options o;
+    o.dir = options_.data_dir + "/archive/s" + std::to_string(k);
+    o.stream = static_cast<uint32_t>(k);
+    o.sync = options_.sync;
+    o.segment_bytes = options_.segment_bytes;
+    o.faults = faults_.get();
+    auto archive = RedoArchive::Open(o);
+    STRATUS_RETURN_IF_ERROR(archive.status());
+    archives_.push_back(std::move(archive.value()));
+    cursor_seqs_[k]->store(meta_->Get(StreamKey("cursor", k), 0),
+                           std::memory_order_release);
+  }
+  return Status::OK();
+}
+
+void PersistController::StartCheckpointThread(
+    std::function<void()> take_checkpoint) {
+  if (options_.checkpoint_interval_us <= 0 || ckpt_thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(ckpt_thread_mu_);
+    ckpt_thread_stop_ = false;
+  }
+  ckpt_thread_ = std::thread([this, fn = std::move(take_checkpoint)] {
+    std::unique_lock<std::mutex> lock(ckpt_thread_mu_);
+    while (!ckpt_thread_stop_) {
+      if (ckpt_thread_cv_.wait_for(
+              lock, std::chrono::microseconds(options_.checkpoint_interval_us),
+              [this] { return ckpt_thread_stop_; })) {
+        break;
+      }
+      lock.unlock();
+      fn();
+      lock.lock();
+    }
+  });
+}
+
+void PersistController::StopCheckpointThread() {
+  {
+    std::lock_guard<std::mutex> lock(ckpt_thread_mu_);
+    ckpt_thread_stop_ = true;
+  }
+  ckpt_thread_cv_.notify_all();
+  if (ckpt_thread_.joinable()) ckpt_thread_.join();
+}
+
+Status PersistController::ArchiveBatch(size_t stream,
+                                       const std::vector<RedoRecord>& records) {
+  if (stream >= archives_.size())
+    return Status::InvalidArgument("unknown archive stream");
+  return archives_[stream]->Append(records);
+}
+
+Scn PersistController::DurableScn(size_t stream) const {
+  if (stream >= archives_.size()) return kInvalidScn;
+  return archives_[stream]->durable_scn();
+}
+
+Scn PersistController::MinDurableScn() const {
+  Scn min = kInvalidScn;
+  bool first = true;
+  for (const auto& a : archives_) {
+    const Scn d = a->durable_scn();
+    if (first || d < min) min = d;
+    first = false;
+  }
+  return min;
+}
+
+Status PersistController::SyncAll() {
+  for (const auto& a : archives_) STRATUS_RETURN_IF_ERROR(a->Sync());
+  return Status::OK();
+}
+
+std::string PersistController::CkptPath(uint64_t seq) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "ckpt-%08" PRIu64 ".ckpt", seq);
+  return options_.data_dir + "/" + name;
+}
+
+std::string PersistController::SnapPath(uint64_t seq) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "imcs-%08" PRIu64 ".snap", seq);
+  return options_.data_dir + "/" + name;
+}
+
+void PersistController::PruneFiles(const std::string& prefix,
+                                   const std::string& suffix,
+                                   uint64_t keep_seq) {
+  std::vector<std::string> names;
+  if (!ListDir(options_.data_dir, &names).ok()) return;
+  for (const std::string& name : names) {
+    if (name.size() <= prefix.size() + suffix.size()) continue;
+    if (name.compare(0, prefix.size(), prefix) != 0) continue;
+    if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0)
+      continue;
+    const uint64_t seq = std::strtoull(
+        name.c_str() + prefix.size(), nullptr, 10);
+    if (seq != keep_seq) RemoveFile(options_.data_dir + "/" + name);
+  }
+}
+
+Status PersistController::WriteCheckpoint(CheckpointImage* img) {
+  img->seq = meta_->Get("ckpt/seq", 0) + 1;
+  std::string file;
+  EncodeCheckpoint(*img, &file);
+  STRATUS_RETURN_IF_ERROR(AtomicWriteFile(CkptPath(img->seq), file, faults_.get()));
+  meta_->Set("ckpt/seq", img->seq);
+  meta_->Set("ckpt/scn", img->recovery_scn);
+  for (size_t k = 0; k < archives_.size(); ++k) {
+    meta_->Set(StreamKey("durable", k), archives_[k]->durable_scn());
+    meta_->Set(StreamKey("cursor", k),
+               cursor_seqs_[k]->load(std::memory_order_acquire));
+  }
+  STRATUS_RETURN_IF_ERROR(meta_->Flush());
+  // Only after the manifest points at the new checkpoint is the old one (and
+  // the redo below the new floor) dead weight.
+  PruneFiles("ckpt-", ".ckpt", img->seq);
+  checkpoints_.fetch_add(1, std::memory_order_relaxed);
+  checkpoint_scn_.store(img->recovery_scn, std::memory_order_release);
+  if (options_.recycle_segments) STRATUS_RETURN_IF_ERROR(RecycleArchives());
+  return Status::OK();
+}
+
+Status PersistController::WriteImcsSnapshot(ImcsSnapshotImage* img) {
+  img->seq = meta_->Get("snap/seq", 0) + 1;
+  std::string file;
+  EncodeImcsSnapshot(*img, &file);
+  STRATUS_RETURN_IF_ERROR(AtomicWriteFile(SnapPath(img->seq), file, faults_.get()));
+  meta_->Set("snap/seq", img->seq);
+  meta_->Set("snap/scn", img->floor_scn);
+  STRATUS_RETURN_IF_ERROR(meta_->Flush());
+  PruneFiles("imcs-", ".snap", img->seq);
+  snapshots_.fetch_add(1, std::memory_order_relaxed);
+  snapshot_scn_.store(img->floor_scn, std::memory_order_release);
+  return Status::OK();
+}
+
+Status PersistController::RecycleArchives() {
+  // Redo at or below min(checkpoint recovery SCN, snapshot floor) can never
+  // be replayed again; an absent snapshot (scn 0 = kInvalidScn) means the
+  // checkpoint alone sets the floor.
+  Scn floor = checkpoint_scn_.load(std::memory_order_acquire);
+  if (floor == kInvalidScn) return Status::OK();
+  const Scn snap = snapshot_scn_.load(std::memory_order_acquire);
+  if (options_.snapshot_imcs && snap != kInvalidScn && snap < floor)
+    floor = snap;
+  for (const auto& a : archives_) {
+    auto recycled = a->Recycle(floor);
+    STRATUS_RETURN_IF_ERROR(recycled.status());
+  }
+  return Status::OK();
+}
+
+Status PersistController::LoadLatest(std::unique_ptr<CheckpointImage>* ckpt,
+                                     std::unique_ptr<ImcsSnapshotImage>* snap) {
+  ckpt->reset();
+  snap->reset();
+  const uint64_t ckpt_seq = meta_->Get("ckpt/seq", 0);
+  if (ckpt_seq != 0) {
+    std::string file;
+    STRATUS_RETURN_IF_ERROR(ReadFileFully(CkptPath(ckpt_seq), &file, faults_.get()));
+    auto img = std::make_unique<CheckpointImage>();
+    STRATUS_RETURN_IF_ERROR(DecodeCheckpoint(file, img.get()));
+    *ckpt = std::move(img);
+  }
+  const uint64_t snap_seq = meta_->Get("snap/seq", 0);
+  if (snap_seq != 0 && options_.snapshot_imcs) {
+    std::string file;
+    STRATUS_RETURN_IF_ERROR(ReadFileFully(SnapPath(snap_seq), &file, faults_.get()));
+    auto img = std::make_unique<ImcsSnapshotImage>();
+    STRATUS_RETURN_IF_ERROR(DecodeImcsSnapshot(file, img.get()));
+    *snap = std::move(img);
+  }
+  return Status::OK();
+}
+
+Status PersistController::ReadArchives(
+    std::vector<std::vector<RedoRecord>>* per_stream) {
+  per_stream->assign(archives_.size(), {});
+  for (size_t k = 0; k < archives_.size(); ++k)
+    STRATUS_RETURN_IF_ERROR(archives_[k]->ReadAll(&(*per_stream)[k]));
+  return Status::OK();
+}
+
+void PersistController::NoteCursorSeq(size_t stream, uint64_t seq) {
+  if (stream >= cursor_seqs_.size()) return;
+  cursor_seqs_[stream]->store(seq, std::memory_order_release);
+}
+
+uint64_t PersistController::CursorSeq(size_t stream) const {
+  if (stream >= cursor_seqs_.size()) return 0;
+  return cursor_seqs_[stream]->load(std::memory_order_acquire);
+}
+
+void PersistController::NoteRecovery(const RecoveryResult& result) {
+  recoveries_.fetch_add(1, std::memory_order_relaxed);
+  replayed_records_.fetch_add(result.replayed_records,
+                              std::memory_order_relaxed);
+  restored_blocks_.fetch_add(result.restored_blocks, std::memory_order_relaxed);
+  restored_smus_.fetch_add(result.restored_smus, std::memory_order_relaxed);
+  recovered_scn_.store(result.recovered_scn, std::memory_order_release);
+}
+
+PersistStats PersistController::Stats() const {
+  PersistStats s;
+  for (const auto& a : archives_) {
+    s.archived_records += a->archived_records();
+    s.archived_bytes += a->archived_bytes();
+    s.fsyncs += a->fsyncs();
+    s.truncated_tails += a->truncated_tails();
+    s.segments += a->segment_count();
+    s.segments_recycled += a->segments_recycled();
+  }
+  s.checkpoints = checkpoints_.load(std::memory_order_relaxed);
+  s.snapshots = snapshots_.load(std::memory_order_relaxed);
+  s.recoveries = recoveries_.load(std::memory_order_relaxed);
+  s.replayed_records = replayed_records_.load(std::memory_order_relaxed);
+  s.restored_blocks = restored_blocks_.load(std::memory_order_relaxed);
+  s.restored_smus = restored_smus_.load(std::memory_order_relaxed);
+  s.durable_scn = MinDurableScn();
+  s.checkpoint_scn = checkpoint_scn_.load(std::memory_order_acquire);
+  s.snapshot_scn = snapshot_scn_.load(std::memory_order_acquire);
+  s.recovered_scn = recovered_scn_.load(std::memory_order_acquire);
+  if (faults_ != nullptr) {
+    s.faults_injected = faults_->short_writes() + faults_->torn_writes() +
+                        faults_->read_errors() + faults_->sync_errors();
+  }
+  return s;
+}
+
+}  // namespace persist
+}  // namespace stratus

@@ -1,0 +1,138 @@
+#ifndef STRATUS_PERSIST_PERSIST_CONTROLLER_H_
+#define STRATUS_PERSIST_PERSIST_CONTROLLER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "persist/checkpoint.h"
+#include "persist/imcs_snapshot.h"
+#include "persist/meta_store.h"
+#include "persist/persist_options.h"
+#include "persist/redo_archive.h"
+
+namespace stratus {
+namespace persist {
+
+/// Point-in-time counters for metrics export and the /v/persist view.
+struct PersistStats {
+  uint64_t archived_records = 0;
+  uint64_t archived_bytes = 0;
+  uint64_t fsyncs = 0;
+  uint64_t truncated_tails = 0;
+  uint64_t segments = 0;
+  uint64_t segments_recycled = 0;
+  uint64_t checkpoints = 0;
+  uint64_t snapshots = 0;
+  uint64_t recoveries = 0;
+  uint64_t replayed_records = 0;
+  uint64_t restored_blocks = 0;
+  uint64_t restored_smus = 0;
+  Scn durable_scn = kInvalidScn;     ///< Min across streams.
+  Scn checkpoint_scn = kInvalidScn;  ///< Recovery-start SCN of latest ckpt.
+  Scn snapshot_scn = kInvalidScn;
+  Scn recovered_scn = kInvalidScn;   ///< Last recovery's result.
+  uint64_t faults_injected = 0;
+};
+
+/// The standby's durability front door: owns the data directory layout — one
+/// RedoArchive per shipped stream, the checkpoint/snapshot files, the META
+/// manifest — plus the optional background checkpoint thread. Capture and
+/// restore of database state stay in the db layer (StandbyDb builds the
+/// images and runs the RecoveryManager); this class owns only files and
+/// scheduling, so it has no upward dependency.
+class PersistController {
+ public:
+  PersistController(const PersistOptions& options, size_t num_streams);
+  ~PersistController();
+
+  PersistController(const PersistController&) = delete;
+  PersistController& operator=(const PersistController&) = delete;
+
+  /// Creates the directory tree, opens META and every stream archive
+  /// (scanning segments and truncating torn tails).
+  Status Open();
+
+  /// Starts the background checkpoint thread if a cadence is configured.
+  /// `take_checkpoint` is the db-layer capture (StandbyDb::TakeCheckpoint).
+  void StartCheckpointThread(std::function<void()> take_checkpoint);
+  void StopCheckpointThread();
+
+  // -- Archiving (the ReceivedLog durable-sink tee calls this inline). ------
+  Status ArchiveBatch(size_t stream, const std::vector<RedoRecord>& records);
+  Scn DurableScn(size_t stream) const;
+  Scn MinDurableScn() const;
+  Status SyncAll();
+
+  // -- Checkpoint / snapshot persistence. -----------------------------------
+  /// Writes `img` (tmp+rename), updates META (ckpt/seq, ckpt/scn, durable
+  /// watermarks, cursor positions), prunes older checkpoint files, and
+  /// recycles archive segments below min(ckpt recovery SCN, snapshot floor).
+  Status WriteCheckpoint(CheckpointImage* img);
+  Status WriteImcsSnapshot(ImcsSnapshotImage* img);
+
+  /// Loads the manifest-current checkpoint / snapshot. Absent (or never
+  /// written) images come back as nullptr.
+  Status LoadLatest(std::unique_ptr<CheckpointImage>* ckpt,
+                    std::unique_ptr<ImcsSnapshotImage>* snap);
+
+  /// Reads every stream's surviving archived redo.
+  Status ReadArchives(std::vector<std::vector<RedoRecord>>* per_stream);
+
+  // -- Fleet metadata (satellite: cursor positions as disk truth). ----------
+  /// Remembers a shipper cursor position; persisted with the next checkpoint
+  /// (and on Close) rather than per-advance, keeping the hot path clean.
+  void NoteCursorSeq(size_t stream, uint64_t seq);
+  uint64_t CursorSeq(size_t stream) const;
+
+  void NoteRecovery(const struct RecoveryResult& result);
+
+  size_t num_streams() const { return archives_.size(); }
+  MetaStore* meta() { return meta_.get(); }
+  DiskFaultInjector* faults() { return faults_.get(); }
+  const PersistOptions& options() const { return options_; }
+  PersistStats Stats() const;
+
+ private:
+  std::string CkptPath(uint64_t seq) const;
+  std::string SnapPath(uint64_t seq) const;
+  Status RecycleArchives();
+  void PruneFiles(const std::string& prefix, const std::string& suffix,
+                  uint64_t keep_seq);
+
+  PersistOptions options_;
+  size_t configured_streams_;
+  std::unique_ptr<DiskFaultInjector> faults_;
+  std::unique_ptr<MetaStore> meta_;
+  std::vector<std::unique_ptr<RedoArchive>> archives_;
+
+  std::vector<std::unique_ptr<std::atomic<uint64_t>>> cursor_seqs_;
+
+  std::atomic<uint64_t> checkpoints_{0};
+  std::atomic<uint64_t> snapshots_{0};
+  std::atomic<uint64_t> recoveries_{0};
+  std::atomic<uint64_t> replayed_records_{0};
+  std::atomic<uint64_t> restored_blocks_{0};
+  std::atomic<uint64_t> restored_smus_{0};
+  std::atomic<Scn> checkpoint_scn_{kInvalidScn};
+  std::atomic<Scn> snapshot_scn_{kInvalidScn};
+  std::atomic<Scn> recovered_scn_{kInvalidScn};
+
+  std::mutex ckpt_thread_mu_;
+  std::condition_variable ckpt_thread_cv_;
+  std::thread ckpt_thread_;
+  bool ckpt_thread_stop_ = false;
+};
+
+}  // namespace persist
+}  // namespace stratus
+
+#endif  // STRATUS_PERSIST_PERSIST_CONTROLLER_H_

@@ -1,0 +1,85 @@
+#ifndef STRATUS_PERSIST_RECOVERY_H_
+#define STRATUS_PERSIST_RECOVERY_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "imcs/im_store.h"
+#include "persist/checkpoint.h"
+#include "persist/imcs_snapshot.h"
+#include "redo/change_vector.h"
+#include "storage/block_store.h"
+#include "txn/txn_table.h"
+
+namespace stratus {
+namespace persist {
+
+/// Callbacks into the database layer (RecoveryManager itself stays below db/
+/// so the dependency arrow points one way).
+struct RecoveryHooks {
+  /// Create-or-find the table for `img` and install its recorded block list
+  /// (scan order). Called once per checkpointed table, before block restore.
+  std::function<void(const TableImage&)> restore_table;
+  /// Called per restored block, after its chains are installed — identity
+  /// index rebuild and apply-accounting reconstruction read the image here.
+  std::function<void(const BlockImage&)> restore_block;
+  /// Called per replayed-and-applied data CV: segment discovery (NoteBlock),
+  /// identity index maintenance, apply accounting.
+  std::function<void(const ChangeVector&)> note_applied;
+  /// Dictionary DDL replay (kDdlMarker CVs past the checkpoint).
+  std::function<void(const DdlMarker&, Scn)> apply_ddl;
+};
+
+struct RecoveryResult {
+  bool checkpoint_loaded = false;
+  bool snapshot_loaded = false;
+  Scn checkpoint_scn = kInvalidScn;  ///< Recovery-start SCN (ckpt begin Q).
+  Scn snapshot_scn = kInvalidScn;    ///< IMCS snapshot floor.
+  Scn replay_floor = kInvalidScn;
+  Scn recovered_scn = kInvalidScn;   ///< State is complete through here.
+  uint64_t restored_blocks = 0;
+  uint64_t restored_smus = 0;
+  uint64_t replayed_records = 0;
+  uint64_t replayed_cvs = 0;
+  uint64_t applied_cvs = 0;          ///< Data CVs actually re-applied.
+  uint64_t row_invalidations = 0;    ///< Mining-lite IMCS invalidations.
+  uint64_t coarse_invalidations = 0; ///< Straddler fallbacks (whole tenant).
+};
+
+/// Boot-time recovery: restores the row store from the last fuzzy checkpoint,
+/// reloads the IMCS snapshot, then replays archived redo (merged across
+/// streams by SCN) from the recovery floor. Data CVs re-apply against a block
+/// only above its restored change frontier — one CV per redo record and
+/// per-record SCNs make that gate exact, so nothing is skipped or doubled.
+/// IMCS synchronization replays through a mining-lite pass: DML touches are
+/// journaled per transaction and invalidated at commit; a commit whose begin
+/// predates the replay floor falls back to coarse tenant invalidation,
+/// exactly like the online mining path's straddler handling.
+class RecoveryManager {
+ public:
+  RecoveryManager(BlockStore* blocks, TxnTable* txns, ImStore* im_store,
+                  RecoveryHooks hooks)
+      : blocks_(blocks), txns_(txns), im_store_(im_store), hooks_(std::move(hooks)) {}
+
+  /// `ckpt`/`snap` may be null (cold start / snapshotting disabled).
+  /// `stream_records` holds each stream's surviving archive, SCN-ascending.
+  /// `schema_of` resolves an object's current schema for IMCU rebuild.
+  StatusOr<RecoveryResult> Recover(
+      const CheckpointImage* ckpt, const ImcsSnapshotImage* snap,
+      std::vector<std::vector<RedoRecord>> stream_records,
+      const std::function<bool(ObjectId, Schema*)>& schema_of);
+
+ private:
+  BlockStore* blocks_;
+  TxnTable* txns_;
+  ImStore* im_store_;
+  RecoveryHooks hooks_;
+};
+
+}  // namespace persist
+}  // namespace stratus
+
+#endif  // STRATUS_PERSIST_RECOVERY_H_

@@ -14,6 +14,8 @@ namespace stratus {
 void ReceivedLog::Deliver(std::vector<RedoRecord> records) {
   if (records.empty()) return;
   std::lock_guard<std::mutex> g(mu_);
+  // Archive-first: the durable tee sees the batch before the merger can.
+  if (durable_sink_) durable_sink_(records);
   for (RedoRecord& rec : records) {
     if (rec.scn > watermark_.load(std::memory_order_relaxed))
       watermark_.store(rec.scn, std::memory_order_release);
@@ -31,6 +33,20 @@ void ReceivedLog::Close() {
 
 void ReceivedLog::Reopen() {
   std::lock_guard<std::mutex> g(mu_);
+  closed_.store(false, std::memory_order_release);
+  cv_.notify_all();
+}
+
+void ReceivedLog::SetDurableSink(
+    std::function<void(const std::vector<RedoRecord>&)> sink) {
+  std::lock_guard<std::mutex> g(mu_);
+  durable_sink_ = std::move(sink);
+}
+
+void ReceivedLog::ResetToWatermark(Scn watermark) {
+  std::lock_guard<std::mutex> g(mu_);
+  queue_.clear();
+  watermark_.store(watermark, std::memory_order_release);
   closed_.store(false, std::memory_order_release);
   cv_.notify_all();
 }
@@ -149,6 +165,9 @@ void LogShipper::Run() {
   // previous shipper on this (standby, thread) pair left a persistent one.
   uint64_t next_seq = source_->CursorSeq(cursor_id_);
   uint64_t last_heartbeat_us = NowMicros();
+  // Durability-gated cursor advancement: sent batches park here until the
+  // standby reports their SCN durable; only then may the cursor pass them.
+  std::deque<std::pair<uint64_t, Scn>> unacked;  // (seq_end, batch scn)
   bool draining = false;
   // Once stop is requested we drain up to the tail observed AT THAT MOMENT,
   // not the live tail: under a hot appender the live tail recedes forever
@@ -215,7 +234,40 @@ void LogShipper::Run() {
     last_shipped_scn_.store(batch_scn, std::memory_order_relaxed);
     // Advance our cursor; the log trims only what EVERY attached cursor has
     // passed, so a slow sibling shipper never loses records to a fast one.
-    source_->AdvanceCursor(cursor_id_, next_seq);
+    // With a durable floor configured, sent-but-not-yet-fsynced batches stay
+    // behind the cursor: a standby crash between receive and archive only
+    // costs a redelivery, never the redo itself.
+    if (options_.durable_floor) {
+      unacked.emplace_back(next_seq, batch_scn);
+      const Scn floor = options_.durable_floor();
+      uint64_t advance_to = 0;
+      while (!unacked.empty() && unacked.front().second <= floor) {
+        advance_to = unacked.front().first;
+        unacked.pop_front();
+      }
+      if (advance_to != 0) {
+        source_->AdvanceCursor(cursor_id_, advance_to);
+        if (options_.cursor_note) options_.cursor_note(advance_to);
+      }
+    } else {
+      source_->AdvanceCursor(cursor_id_, next_seq);
+      if (options_.cursor_note) options_.cursor_note(next_seq);
+    }
+  }
+  // Final gate check at drain: the standby may have archived everything
+  // between our last send and now (the channel drain in Stop() happens after
+  // this thread exits, so anything still unacked here stays retained).
+  if (options_.durable_floor && !unacked.empty()) {
+    const Scn floor = options_.durable_floor();
+    uint64_t advance_to = 0;
+    while (!unacked.empty() && unacked.front().second <= floor) {
+      advance_to = unacked.front().first;
+      unacked.pop_front();
+    }
+    if (advance_to != 0) {
+      source_->AdvanceCursor(cursor_id_, advance_to);
+      if (options_.cursor_note) options_.cursor_note(advance_to);
+    }
   }
 }
 

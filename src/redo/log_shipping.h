@@ -30,6 +30,18 @@ class ReceivedLog {
   /// what makes redelivery across the restart idempotent.
   void Reopen();
 
+  /// Installs a durability tee: every delivered batch is handed to `sink`
+  /// (the persist layer's redo archive) under the stream lock BEFORE it is
+  /// enqueued for apply, so anything the merger can consume is already on its
+  /// way to disk. Pass nullptr to remove. Install only while quiescent.
+  void SetDurableSink(std::function<void(const std::vector<RedoRecord>&)> sink);
+
+  /// Disk-restart reset: drops any queued-but-unapplied records and winds the
+  /// delivered watermark back to `watermark` (the persisted durable SCN), so
+  /// a rejoining shipper redelivers exactly the redo that recovery has not
+  /// already replayed from the archive. Also clears the closed flag.
+  void ResetToWatermark(Scn watermark);
+
   /// SCN of the next record, or kInvalidScn if the queue is empty.
   Scn PeekScn() const;
   /// Pops the head record; returns false if empty.
@@ -55,6 +67,7 @@ class ReceivedLog {
   mutable std::mutex mu_;
   mutable std::condition_variable cv_;
   std::deque<RedoRecord> queue_;
+  std::function<void(const std::vector<RedoRecord>&)> durable_sink_;
   std::atomic<Scn> watermark_{kInvalidScn};
   std::atomic<bool> closed_{false};
   std::atomic<uint64_t> delivered_records_{0};
@@ -83,6 +96,18 @@ struct ShipperOptions {
   /// and unregisters it on Stop — the historical single-standby behavior,
   /// where stopping the shipper releases all retention.
   uint64_t cursor_id = 0;
+  /// Durability gate for cursor advancement. When set, the shipper advances
+  /// its cursor only past batches whose SCN the standby reports durable
+  /// (persist layer fsync watermark) — so if the standby dies after receiving
+  /// but before archiving, the primary still retains that redo and the
+  /// rejoining shipper redelivers it from the cursor. Unset = advance on
+  /// send, the historical behavior.
+  std::function<Scn()> durable_floor;
+  /// Observer of cursor advancement: called with the new cursor sequence
+  /// after every AdvanceCursor. The fleet feeds this into the standby's
+  /// persist metadata (NoteCursorSeq) so a disk-restarted node re-registers
+  /// its cursor at disk truth. Called from the shipper thread.
+  std::function<void(uint64_t)> cursor_note;
 };
 
 /// Standby-side frame sink for one redo stream: decodes kRedoBatch frames,

@@ -1,5 +1,6 @@
 #include "storage/block.h"
 
+#include <algorithm>
 #include <mutex>
 
 namespace stratus {
@@ -202,6 +203,43 @@ size_t Block::Prune(Scn low_watermark, const VisibilityResolver& resolver) {
     }
   }
   return freed;
+}
+
+Scn Block::SnapshotChains(std::vector<SlotChainImage>* out) const {
+  std::shared_lock<std::shared_mutex> g(mu_);
+  out->clear();
+  out->resize(slots_.size());
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    SlotChainImage& chain = (*out)[i];
+    for (auto v = slots_[i]; v != nullptr; v = v->prev) {
+      RowVersionImage img;
+      img.xid = v->xid;
+      img.deleted = v->deleted;
+      img.data = v->data;
+      chain.push_back(std::move(img));
+    }
+    std::reverse(chain.begin(), chain.end());  // Stored newest-first; emit oldest-first.
+  }
+  return last_change_scn_.load(std::memory_order_acquire);
+}
+
+void Block::RestoreChains(const std::vector<SlotChainImage>& chains, Scn frontier) {
+  std::unique_lock<std::shared_mutex> g(mu_);
+  slots_.assign(chains.size(), nullptr);
+  for (size_t i = 0; i < chains.size(); ++i) {
+    std::shared_ptr<RowVersion> head;
+    for (const RowVersionImage& img : chains[i]) {
+      auto v = std::make_shared<RowVersion>();
+      v->xid = img.xid;
+      v->deleted = img.deleted;
+      v->data = img.data;
+      v->prev = std::move(head);
+      head = std::move(v);
+    }
+    slots_[i] = std::move(head);
+  }
+  used_slots_.store(static_cast<SlotId>(slots_.size()), std::memory_order_release);
+  last_change_scn_.store(frontier, std::memory_order_release);
 }
 
 size_t Block::ChainLength(SlotId slot) const {

@@ -35,6 +35,18 @@ struct RowVersion {
   std::atomic<Scn> cached_commit_scn{kInvalidScn};
 };
 
+/// A serialized image of one row version (fuzzy checkpointing). The cached
+/// visibility resolution is deliberately absent: restored versions re-resolve
+/// through the transaction table, which the checkpoint restores separately.
+struct RowVersionImage {
+  Xid xid = kInvalidXid;
+  bool deleted = false;
+  Row data;
+};
+
+/// Checkpoint capture of one slot's version chain, oldest-first.
+using SlotChainImage = std::vector<RowVersionImage>;
+
 /// A slotted, versioned data block. Both roles mutate blocks through the same
 /// three physical operations that redo change vectors describe (insert,
 /// update, delete carrying the after-image); the primary additionally checks
@@ -105,6 +117,16 @@ class Block {
 
   /// Length of the version chain at `slot` (diagnostics / GC tests).
   size_t ChainLength(SlotId slot) const;
+
+  /// Fuzzy-checkpoint capture: every slot's version chain (oldest-first) plus
+  /// the block's change frontier, taken atomically under the block latch.
+  /// Recovery replays redo with scn > the returned frontier against the
+  /// restored image; redo at or below it is already reflected in the chains.
+  Scn SnapshotChains(std::vector<SlotChainImage>* out) const;
+
+  /// Recovery: rebuilds the chains captured by SnapshotChains into this
+  /// (freshly created) block and sets the change frontier to `frontier`.
+  void RestoreChains(const std::vector<SlotChainImage>& chains, Scn frontier);
 
  private:
   /// Resolves a version's terminal state through `resolver`, caching it.

@@ -40,4 +40,10 @@ Dba BlockStore::HighWater() const {
   return next_dba_;
 }
 
+void BlockStore::Reset() {
+  std::unique_lock<std::shared_mutex> g(mu_);
+  blocks_.clear();
+  next_dba_ = kTxnTableDbaCount;
+}
+
 }  // namespace stratus

@@ -47,6 +47,11 @@ class BlockStore {
   /// One past the highest allocated DBA.
   Dba HighWater() const;
 
+  /// Drops every block and rewinds DBA allocation, returning the store to its
+  /// freshly-constructed state. Disk-recovery only: the caller has torn down
+  /// everything holding block pointers and rebuilds from the checkpoint.
+  void Reset();
+
  private:
   mutable std::shared_mutex mu_;
   std::deque<std::unique_ptr<Block>> blocks_;  // index = dba - kTxnTableDbaCount

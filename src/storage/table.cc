@@ -32,4 +32,20 @@ size_t Table::BlockCount() const {
   return blocks_.size();
 }
 
+void Table::ResetSegment() {
+  std::unique_lock<std::shared_mutex> g(mu_);
+  blocks_.clear();
+  block_set_.clear();
+  next_slot_ = kRowsPerBlock;
+  if (index_ != nullptr) index_ = std::make_unique<OrderedIndex>();
+}
+
+void Table::RestoreBlocks(const std::vector<Dba>& dbas) {
+  std::unique_lock<std::shared_mutex> g(mu_);
+  blocks_ = dbas;
+  block_set_.clear();
+  block_set_.insert(dbas.begin(), dbas.end());
+  next_slot_ = kRowsPerBlock;  // Standby segments never self-extend.
+}
+
 }  // namespace stratus

@@ -67,6 +67,15 @@ class Table {
   void CreateIdentityIndex() { index_ = std::make_unique<OrderedIndex>(); }
   OrderedIndex* index() const { return index_.get(); }
 
+  /// Disk-recovery: forgets every block (and empties the identity index, if
+  /// any) so the segment can be rebuilt from a checkpoint image.
+  void ResetSegment();
+
+  /// Disk-recovery: installs the block list captured by SnapshotBlocks().
+  /// Order matters — NoteBlock records blocks in apply-discovery order, so
+  /// scan order is only reproducible from the recorded list itself.
+  void RestoreBlocks(const std::vector<Dba>& dbas);
+
  private:
   ObjectId object_id_;
   TenantId tenant_;

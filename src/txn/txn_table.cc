@@ -65,4 +65,30 @@ size_t TxnTable::Sweep(Scn low_watermark) {
   return removed;
 }
 
+std::vector<std::pair<Xid, TxnStatusInfo>> TxnTable::Snapshot() const {
+  std::vector<std::pair<Xid, TxnStatusInfo>> out;
+  for (const Shard& s : shards_) {
+    std::shared_lock<std::shared_mutex> g(s.mu);
+    for (const auto& [xid, info] : s.map) out.emplace_back(xid, info);
+  }
+  return out;
+}
+
+void TxnTable::Restore(const std::vector<std::pair<Xid, TxnStatusInfo>>& entries) {
+  for (const auto& [xid, info] : entries) {
+    NoteXid(xid);
+    Shard& s = ShardFor(xid);
+    std::unique_lock<std::shared_mutex> g(s.mu);
+    s.map[xid] = info;
+  }
+}
+
+void TxnTable::Reset() {
+  for (Shard& s : shards_) {
+    std::unique_lock<std::shared_mutex> g(s.mu);
+    s.map.clear();
+  }
+  max_xid_.store(0, std::memory_order_release);
+}
+
 }  // namespace stratus

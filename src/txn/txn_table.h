@@ -5,6 +5,8 @@
 #include <atomic>
 #include <shared_mutex>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/types.h"
 #include "storage/visibility.h"
@@ -40,6 +42,16 @@ class TxnTable : public VisibilityResolver {
   /// whose versions have all been pruned. Conservative helper for long runs;
   /// the caller asserts no version can still reference these XIDs.
   size_t Sweep(Scn low_watermark);
+
+  /// Checkpoint capture: every entry, shard by shard. Taken at checkpoint end
+  /// so it covers every control CV applied before any block was captured.
+  std::vector<std::pair<Xid, TxnStatusInfo>> Snapshot() const;
+
+  /// Recovery: reloads a Snapshot() capture (the table must be fresh/Reset).
+  void Restore(const std::vector<std::pair<Xid, TxnStatusInfo>>& entries);
+
+  /// Drops every entry and rewinds max_xid. Disk-recovery only.
+  void Reset();
 
  private:
   static constexpr size_t kShards = 16;
