@@ -10,6 +10,7 @@
 #include "common/random.h"
 #include "imcs/population.h"
 #include "imcs/scan_engine.h"
+#include "imcs/scan_kernels.h"
 #include "obs/metrics.h"
 #include "txn/txn_manager.h"
 
@@ -182,6 +183,81 @@ void BM_ImcsScanWithInvalidRows(benchmark::State& state) {
 }
 BENCHMARK(BM_ImcsScanWithInvalidRows)->Unit(benchmark::kMicrosecond);
 
+// --- Scan-kernel sweep (scalar vs SWAR vs AVX2) ----------------------------
+//
+// The column-level predicate kernel in isolation: 1M rows of byte-wide
+// dictionary codes (domain 256 → width 8, the shape the paper's Q1
+// `WHERE n1 = :1` encodes to), selective equality probe, bitmap output.
+// This is the number the vectorization tentpole is judged on.
+
+constexpr size_t kKernelRows = 1u << 20;
+constexpr int64_t kKernelDomain = 256;
+
+const IntColumnVector& KernelColumn() {
+  static auto* col = [] {
+    Random rng(11);
+    std::vector<std::optional<int64_t>> values(kKernelRows);
+    for (auto& v : values)
+      v = static_cast<int64_t>(rng.Uniform(kKernelDomain));
+    return new IntColumnVector(values);
+  }();
+  return *col;
+}
+
+void BM_FilterBitmapKernel(benchmark::State& state) {
+  const ScanKernel kernel = static_cast<ScanKernel>(state.range(0));
+  if (kernel == ScanKernel::kAvx2 && !Avx2Supported()) {
+    state.SkipWithError("AVX2 not supported on this host");
+    return;
+  }
+  const IntColumnVector& col = KernelColumn();
+  std::vector<uint64_t> bm(BitmapWords(col.size()));
+  const Value pivot(int64_t{42});
+  for (auto _ : state) {
+    col.FilterBitmap(PredOp::kEq, pivot, kernel, bm.data(), nullptr);
+    benchmark::DoNotOptimize(bm.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kKernelRows);
+  state.SetLabel(ScanKernelName(kernel));
+}
+BENCHMARK(BM_FilterBitmapKernel)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMicrosecond);
+
+// The same sweep end-to-end: a selective encoded-predicate scan through the
+// whole engine (storage index, bitmap conjunction, merge) per kernel.
+void BM_ImcsScanKernel(benchmark::State& state) {
+  const ScanKernel kernel = static_cast<ScanKernel>(state.range(0));
+  if (kernel == ScanKernel::kAvx2 && !Avx2Supported()) {
+    state.SkipWithError("AVX2 not supported on this host");
+    return;
+  }
+  ScanFixture& f = Fixture();
+  ForceScanKernel(kernel);
+  Random rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.Scan(true, static_cast<int64_t>(rng.Uniform(ScanFixture::kDomain))));
+  }
+  ClearScanKernelOverride();
+  state.SetItemsProcessed(state.iterations() * 64 * kRowsPerBlock);
+  state.SetLabel(ScanKernelName(kernel));
+}
+BENCHMARK(BM_ImcsScanKernel)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMicrosecond);
+
+/// Best-of-k wall time of one FilterBitmap pass over the 1M-row column.
+uint64_t TimeKernelNs(ScanKernel kernel, int reps) {
+  const IntColumnVector& col = KernelColumn();
+  std::vector<uint64_t> bm(BitmapWords(col.size()));
+  const Value pivot(int64_t{42});
+  uint64_t best = ~uint64_t{0};
+  for (int r = 0; r < reps; ++r) {
+    const uint64_t t0 = NowNanos();
+    col.FilterBitmap(PredOp::kEq, pivot, kernel, bm.data(), nullptr);
+    benchmark::DoNotOptimize(bm.data());
+    best = std::min(best, NowNanos() - t0);
+  }
+  return best;
+}
+
 void BM_Population(benchmark::State& state) {
   // Cost of building IMCUs for a 4-block chunk (encoding + dictionaries).
   ScanFixture& f = Fixture();
@@ -213,10 +289,28 @@ struct MetricsDumper {
     BenchReport report("micro_scan");
     report.Config("rows", static_cast<int64_t>(64 * kRowsPerBlock));
     report.Config("domain", ScanFixture::kDomain);
+    report.Config("kernel_rows", static_cast<int64_t>(kKernelRows));
+    report.Config("kernel_domain", kKernelDomain);
+    report.Config("avx2_supported", static_cast<int64_t>(Avx2Supported()));
     report.Metric("scan_pool_tasks",
                   obs::MetricsRegistry::Global()
                       .GetCounter("stratus_scan_tasks", {})
                       ->Value());
+    // Single-thread kernel sweep on the selective encoded predicate: the
+    // vectorization acceptance numbers (speedup_* are vs the scalar Get()
+    // baseline over identical data, best-of-7 each).
+    const uint64_t scalar_ns = TimeKernelNs(ScanKernel::kScalar, 7);
+    const uint64_t swar_ns = TimeKernelNs(ScanKernel::kSwar, 7);
+    report.Metric("filter_scalar_ns", scalar_ns);
+    report.Metric("filter_swar_ns", swar_ns);
+    report.Metric("kernel_speedup_swar",
+                  static_cast<double>(scalar_ns) / static_cast<double>(swar_ns));
+    if (Avx2Supported()) {
+      const uint64_t avx2_ns = TimeKernelNs(ScanKernel::kAvx2, 7);
+      report.Metric("filter_avx2_ns", avx2_ns);
+      report.Metric("kernel_speedup_avx2", static_cast<double>(scalar_ns) /
+                                               static_cast<double>(avx2_ns));
+    }
     report.Write();
   }
 } g_metrics_dumper;

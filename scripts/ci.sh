@@ -38,9 +38,15 @@
 #           mid-apply, recovery from the archive, auditor certification).
 #           ASan guards the byte-level segment parsing; TSan the archive
 #           tee on the delivery hot path and the checkpoint thread.
+#   simd  : scan-kernel equivalence under ASan+UBSan — the SWAR/AVX2 filter
+#           kernels, the bitmap scan path, and the engine/cluster consistency
+#           sweeps, run twice: once with STRATUS_FORCE_SCALAR=1 (scalar
+#           reference path) and once with runtime dispatch (SWAR or AVX2).
+#           ASan+UBSan guard the packed-word tail reads, the shift
+#           extraction, and the unsigned code-translation arithmetic.
 #
 # Usage: scripts/ci.sh [stage] [build-dir-prefix]
-#   stage: all (default) | plain | tsan | asan | chaos | obs | fleet | persist
+#   stage: all (default) | plain | tsan | asan | chaos | obs | fleet | persist | simd
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -57,6 +63,7 @@ OBS_TESTS="obs_server_test query_profile_test lag_monitor_test"
 # wall-clock bound and balloons under TSan's serialization.
 FLEET_TESTS="fleet_fanout_test fleet_router_test consistency_test"
 PERSIST_TESTS="redo_archive_test checkpoint_test persist_recovery_test persist_chaos_test"
+SIMD_TESTS="scan_kernels_test column_vector_test imcu_test scan_engine_test consistency_test"
 
 run_plain() {
   echo "==> [plain] build + full test suite"
@@ -171,6 +178,23 @@ run_persist() {
     -R "^($(echo "${PERSIST_TESTS}" | tr ' ' '|'))\$"
 }
 
+run_simd() {
+  echo "==> [simd] scan-kernel suite under ASan+UBSan (${SIMD_TESTS})"
+  local flags="-fsanitize=address,undefined -fno-sanitize-recover=all -g -O1"
+  cmake -B "${PREFIX}-simd" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="${flags}" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" >/dev/null
+  # shellcheck disable=SC2086
+  cmake --build "${PREFIX}-simd" -j "${JOBS}" --target ${SIMD_TESTS}
+  echo "==> [simd] pass 1: forced scalar kernel (STRATUS_FORCE_SCALAR=1)"
+  STRATUS_FORCE_SCALAR=1 ctest --test-dir "${PREFIX}-simd" --output-on-failure \
+    -j "${JOBS}" -R "^($(echo "${SIMD_TESTS}" | tr ' ' '|'))\$"
+  echo "==> [simd] pass 2: runtime dispatch (SWAR / AVX2 where supported)"
+  ctest --test-dir "${PREFIX}-simd" --output-on-failure -j "${JOBS}" \
+    -R "^($(echo "${SIMD_TESTS}" | tr ' ' '|'))\$"
+}
+
 case "${STAGE}" in
   plain) run_plain ;;
   tsan) run_tsan ;;
@@ -179,6 +203,7 @@ case "${STAGE}" in
   obs) run_obs ;;
   fleet) run_fleet ;;
   persist) run_persist ;;
+  simd) run_simd ;;
   all)
     run_plain
     run_tsan
@@ -187,9 +212,10 @@ case "${STAGE}" in
     run_obs
     run_fleet
     run_persist
+    run_simd
     ;;
   *)
-    echo "unknown stage: ${STAGE} (want all|plain|tsan|asan|chaos|obs|fleet|persist)" >&2
+    echo "unknown stage: ${STAGE} (want all|plain|tsan|asan|chaos|obs|fleet|persist|simd)" >&2
     exit 2
     ;;
 esac

@@ -31,6 +31,12 @@ void ExportScanTotals(obs::MetricsSink* sink, const obs::Labels& labels,
                 t.invalid_rowpath.load(std::memory_order_relaxed));
   sink->Counter("stratus_scan_parallel_tasks", labels,
                 t.parallel_tasks.load(std::memory_order_relaxed));
+  sink->Counter("stratus_scan_kernel_swar_words", labels,
+                t.kernel_swar_words.load(std::memory_order_relaxed));
+  sink->Counter("stratus_scan_kernel_avx2_words", labels,
+                t.kernel_avx2_words.load(std::memory_order_relaxed));
+  sink->Counter("stratus_scan_kernel_scalar_rows", labels,
+                t.kernel_scalar_rows.load(std::memory_order_relaxed));
 }
 
 void ExportBufferCache(obs::MetricsSink* sink, const obs::Labels& labels,

@@ -109,6 +109,9 @@ struct ScanTotals {
   std::atomic<uint64_t> blocks_rowpath{0};
   std::atomic<uint64_t> invalid_rowpath{0};
   std::atomic<uint64_t> parallel_tasks{0};
+  std::atomic<uint64_t> kernel_swar_words{0};
+  std::atomic<uint64_t> kernel_avx2_words{0};
+  std::atomic<uint64_t> kernel_scalar_rows{0};
 
   void Add(const ScanStats& s) {
     rows_from_imcs.fetch_add(s.rows_from_imcs, std::memory_order_relaxed);
@@ -119,6 +122,10 @@ struct ScanTotals {
     blocks_rowpath.fetch_add(s.blocks_rowpath, std::memory_order_relaxed);
     invalid_rowpath.fetch_add(s.invalid_rowpath, std::memory_order_relaxed);
     parallel_tasks.fetch_add(s.parallel_tasks, std::memory_order_relaxed);
+    kernel_swar_words.fetch_add(s.kernel_swar_words, std::memory_order_relaxed);
+    kernel_avx2_words.fetch_add(s.kernel_avx2_words, std::memory_order_relaxed);
+    kernel_scalar_rows.fetch_add(s.kernel_scalar_rows,
+                                 std::memory_order_relaxed);
   }
 };
 

@@ -80,6 +80,13 @@ std::string QueryProfile::Explain() const {
                 static_cast<unsigned long long>(scan.invalid_rowpath));
   out += line;
   std::snprintf(line, sizeof(line),
+                "  kernel: %llu swar words, %llu avx2 words, "
+                "%llu scalar rows\n",
+                static_cast<unsigned long long>(scan.kernel_swar_words),
+                static_cast<unsigned long long>(scan.kernel_avx2_words),
+                static_cast<unsigned long long>(scan.kernel_scalar_rows));
+  out += line;
+  std::snprintf(line, sizeof(line),
                 "  parallel: dop %u, %llu tasks over %zu workers\n", dop,
                 static_cast<unsigned long long>(scan.parallel_tasks),
                 lanes.size());
@@ -137,6 +144,9 @@ std::string QueryProfile::ToJson() const {
   out += ",\"blocks_rowpath\":" + std::to_string(scan.blocks_rowpath);
   out += ",\"invalid_rowpath\":" + std::to_string(scan.invalid_rowpath);
   out += ",\"parallel_tasks\":" + std::to_string(scan.parallel_tasks);
+  out += ",\"kernel_swar_words\":" + std::to_string(scan.kernel_swar_words);
+  out += ",\"kernel_avx2_words\":" + std::to_string(scan.kernel_avx2_words);
+  out += ",\"kernel_scalar_rows\":" + std::to_string(scan.kernel_scalar_rows);
   out += ",\"dop\":" + std::to_string(dop);
   out += ",\"lanes\":[";
   for (size_t i = 0; i < lanes.size(); ++i) {

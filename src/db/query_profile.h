@@ -38,7 +38,8 @@ struct QueryProfile {
 
   /// Engine accounting: rows_from_imcs / rows_from_rowstore split,
   /// imcus_scanned / imcus_pruned / imcus_skipped, blocks_rowpath, the SMU
-  /// reconciliation hits (invalid_rowpath), and parallel_tasks.
+  /// reconciliation hits (invalid_rowpath), parallel_tasks, and the
+  /// kernel_* attribution of which filter kernel built the match bitmaps.
   ScanStats scan;
   uint64_t rows_returned = 0;  ///< Materialized rows handed back.
   uint64_t matches = 0;        ///< Matching rows (aggregates included).

@@ -98,49 +98,15 @@ void SetBit(std::vector<uint64_t>* bm, size_t i) {
   (*bm)[i >> 6] |= 1ull << (i & 63);
 }
 
-/// True if a code satisfying `op pivot_code` can exist given whether the
-/// probe value itself is present in the domain; used by both filter kernels.
-bool AnyBitSet(const std::vector<uint64_t>& words) {
-  for (uint64_t w : words) {
-    if (w != 0) return true;
-  }
-  return false;
-}
-
-template <bool kHasNulls, typename Emit>
-void FilterCodesImpl(const BitPackedArray& packed, const std::vector<uint64_t>& nulls,
-                     size_t n, PredOp op, uint64_t pivot, bool pivot_exact,
-                     const Emit& emit) {
-  for (size_t i = 0; i < n; ++i) {
-    if constexpr (kHasNulls) {
-      if ((nulls[i >> 6] >> (i & 63)) & 1) continue;
-    }
-    const uint64_t c = packed.Get(i);
-    bool match = false;
-    switch (op) {
-      case PredOp::kEq: match = pivot_exact && c == pivot; break;
-      case PredOp::kNe: match = !pivot_exact || c != pivot; break;
-      case PredOp::kLt: match = c < pivot; break;
-      case PredOp::kLe: match = c <= pivot; break;
-      case PredOp::kGt: match = c > pivot; break;
-      case PredOp::kGe: match = c >= pivot; break;
-    }
-    if (match) emit(static_cast<uint32_t>(i));
-  }
-}
-
-/// pivot is in code space. For kEq with !pivot_exact there is no match; for
-/// ordered ops with !pivot_exact, pivot is the lower-bound code and the
-/// comparisons are adjusted by the caller before calling.
-template <typename Emit>
-void FilterCodes(const BitPackedArray& packed, const std::vector<uint64_t>& nulls,
-                 size_t n, PredOp op, uint64_t pivot, bool pivot_exact,
-                 const Emit& emit) {
-  if (AnyBitSet(nulls)) {
-    FilterCodesImpl<true>(packed, nulls, n, op, pivot, pivot_exact, emit);
-  } else {
-    FilterCodesImpl<false>(packed, nulls, n, op, pivot, pivot_exact, emit);
-  }
+/// Shared tail of both FilterBitmap implementations: run the requested
+/// kernel over the packed codes, then mask out the NULL rows (a negated
+/// range would otherwise resurrect them — NULLs never match).
+void FilterCodesWithNulls(const BitPackedArray& packed, size_t n,
+                          const std::vector<uint64_t>& nulls,
+                          const CodeRange& range, ScanKernel kernel,
+                          uint64_t* out, KernelCounters* counters) {
+  FilterCodesBitmap(packed, n, range, kernel, out, counters);
+  BitmapAndNot(out, nulls.data(), std::min(BitmapWords(n), nulls.size()));
 }
 
 }  // namespace
@@ -185,7 +151,9 @@ bool IntColumnVector::MightMatch(PredOp op, const Value& value) const {
   const int64_t v = value.as_int();
   switch (op) {
     case PredOp::kEq: return v >= min_ && v <= max_;
-    case PredOp::kNe: return true;
+    // A constant column equal to the probe can't satisfy !=; everything else
+    // might (some row may differ even when the probe is inside [min, max]).
+    case PredOp::kNe: return !(min_ == max_ && v == min_);
     case PredOp::kLt: return min_ < v;
     case PredOp::kLe: return min_ <= v;
     case PredOp::kGt: return max_ > v;
@@ -196,39 +164,59 @@ bool IntColumnVector::MightMatch(PredOp op, const Value& value) const {
 
 void IntColumnVector::Filter(PredOp op, const Value& value,
                              std::vector<uint32_t>* out) const {
-  if (all_null_ || value.type() != ValueType::kInt) return;
+  if (n_ == 0) return;
+  std::vector<uint64_t> bm(BitmapWords(n_));
+  FilterBitmap(op, value, ActiveScanKernel(), bm.data(), nullptr);
+  BitmapToRows(bm.data(), bm.size(), out);
+}
+
+void IntColumnVector::FilterBitmap(PredOp op, const Value& value,
+                                   ScanKernel kernel, uint64_t* out,
+                                   KernelCounters* counters) const {
+  if (n_ == 0) return;
+  if (all_null_ || value.type() != ValueType::kInt) {
+    BitmapFill(out, n_, false);
+    return;
+  }
   const int64_t v = value.as_int();
-  // Translate into code (delta) space, clamping out-of-frame pivots.
-  if (!MightMatch(op, value) && op != PredOp::kNe) return;
-  int64_t pivot_signed;
-  bool exact = true;
-  if (v < min_) {
-    // All codes are > pivot.
-    switch (op) {
-      case PredOp::kEq: return;
-      case PredOp::kLt: case PredOp::kLe: return;
-      case PredOp::kNe: case PredOp::kGt: case PredOp::kGe:
-        pivot_signed = 0;
-        // Every non-null row matches >= min, encode as c >= 0.
-        FilterCodes(packed_, nulls_, n_, PredOp::kGe, 0, true,
-                    [&](uint32_t i) { out->push_back(i); });
-        return;
-    }
+  // Translate the pivot into code (delta) space once, clamping out-of-frame
+  // values to all/none. Unsigned subtraction: the difference of two in-frame
+  // int64s can overflow a signed subtraction, and wrap is defined here.
+  const uint64_t c =
+      static_cast<uint64_t>(v) - static_cast<uint64_t>(base_);
+  const uint64_t max_code =
+      static_cast<uint64_t>(max_) - static_cast<uint64_t>(min_);
+  CodeRange range = CodeRange::None();
+  switch (op) {
+    case PredOp::kEq:
+      if (v >= min_ && v <= max_) range = CodeRange::Exact(c);
+      break;
+    case PredOp::kNe:
+      if (v < min_ || v > max_) {
+        range = CodeRange::All();
+      } else if (min_ != max_) {
+        range = CodeRange::Exact(c);
+        range.negate = true;
+      }  // else: constant column equal to the probe — nothing matches.
+      break;
+    case PredOp::kLt:
+      if (v > max_) range = CodeRange::All();
+      else if (v > min_) range = CodeRange{0, c - 1, false, false};
+      break;
+    case PredOp::kLe:
+      if (v >= max_) range = CodeRange::All();
+      else if (v >= min_) range = CodeRange{0, c, false, false};
+      break;
+    case PredOp::kGt:
+      if (v < min_) range = CodeRange::All();
+      else if (v < max_) range = CodeRange{c + 1, max_code, false, false};
+      break;
+    case PredOp::kGe:
+      if (v <= min_) range = CodeRange::All();
+      else if (v <= max_) range = CodeRange{c, max_code, false, false};
+      break;
   }
-  if (v > max_) {
-    switch (op) {
-      case PredOp::kEq: return;
-      case PredOp::kGt: case PredOp::kGe: return;
-      case PredOp::kNe: case PredOp::kLt: case PredOp::kLe:
-        FilterCodes(packed_, nulls_, n_, PredOp::kGe, 0, true,
-                    [&](uint32_t i) { out->push_back(i); });
-        return;
-    }
-  }
-  pivot_signed = v - base_;
-  const uint64_t pivot = static_cast<uint64_t>(pivot_signed);
-  FilterCodes(packed_, nulls_, n_, op, pivot, exact,
-              [&](uint32_t i) { out->push_back(i); });
+  FilterCodesWithNulls(packed_, n_, nulls_, range, kernel, out, counters);
 }
 
 void IntColumnVector::SerializeTo(std::string* out) const {
@@ -294,7 +282,8 @@ bool StringColumnVector::MightMatch(PredOp op, const Value& value) const {
   const std::string& v = value.as_string();
   switch (op) {
     case PredOp::kEq: return v >= dict_.MinValue() && v <= dict_.MaxValue();
-    case PredOp::kNe: return true;
+    // A single-entry dictionary equal to the probe can't satisfy !=.
+    case PredOp::kNe: return !(dict_.size() == 1 && dict_.MinValue() == v);
     case PredOp::kLt: return dict_.MinValue() < v;
     case PredOp::kLe: return dict_.MinValue() <= v;
     case PredOp::kGt: return dict_.MaxValue() > v;
@@ -305,44 +294,60 @@ bool StringColumnVector::MightMatch(PredOp op, const Value& value) const {
 
 void StringColumnVector::Filter(PredOp op, const Value& value,
                                 std::vector<uint32_t>* out) const {
-  if (all_null_ || value.type() != ValueType::kString) return;
+  if (n_ == 0) return;
+  std::vector<uint64_t> bm(BitmapWords(n_));
+  FilterBitmap(op, value, ActiveScanKernel(), bm.data(), nullptr);
+  BitmapToRows(bm.data(), bm.size(), out);
+}
+
+void StringColumnVector::FilterBitmap(PredOp op, const Value& value,
+                                      ScanKernel kernel, uint64_t* out,
+                                      KernelCounters* counters) const {
+  if (n_ == 0) return;
+  if (all_null_ || value.type() != ValueType::kString) {
+    BitmapFill(out, n_, false);
+    return;
+  }
   const std::string& v = value.as_string();
   const std::optional<uint32_t> code = dict_.Lookup(v);
-  // Order-preserving codes: translate the string comparison into a code
-  // comparison against the lower bound.
-  const uint32_t lb = dict_.LowerBound(v);
+  // Order-preserving codes: the string comparison becomes a code-range check
+  // against the lower bound (smallest code whose string is >= v; dict size
+  // when every entry is smaller).
+  const uint64_t lb = dict_.LowerBound(v);
+  const uint64_t max_code = dict_.size() - 1;
+  CodeRange range = CodeRange::None();
   switch (op) {
     case PredOp::kEq:
-      if (!code.has_value()) return;
-      FilterCodes(codes_, nulls_, n_, PredOp::kEq, *code, true,
-                  [&](uint32_t i) { out->push_back(i); });
-      return;
+      if (code.has_value()) range = CodeRange::Exact(*code);
+      break;
     case PredOp::kNe:
-      FilterCodes(codes_, nulls_, n_, PredOp::kNe, code.value_or(0),
-                  code.has_value(), [&](uint32_t i) { out->push_back(i); });
-      return;
+      if (!code.has_value()) {
+        range = CodeRange::All();
+      } else if (dict_.size() > 1) {
+        range = CodeRange::Exact(*code);
+        range.negate = true;
+      }  // else: single-entry dictionary equal to the probe — no match.
+      break;
     case PredOp::kLt:
-      // value < v  ⇔  code < lb.
-      FilterCodes(codes_, nulls_, n_, PredOp::kLt, lb, true,
-                  [&](uint32_t i) { out->push_back(i); });
-      return;
+      // value < v ⇔ code < lb.
+      if (lb > 0) range = CodeRange{0, lb - 1, false, false};
+      break;
     case PredOp::kLe:
-      // value <= v ⇔ code < lb, or code == lb when dict[lb] == v.
-      FilterCodes(codes_, nulls_, n_,
-                  code.has_value() ? PredOp::kLe : PredOp::kLt, lb, true,
-                  [&](uint32_t i) { out->push_back(i); });
-      return;
-    case PredOp::kGt:
-      // value > v ⇔ code > lb when dict[lb]==v, else code >= lb.
-      FilterCodes(codes_, nulls_, n_,
-                  code.has_value() ? PredOp::kGt : PredOp::kGe, lb, true,
-                  [&](uint32_t i) { out->push_back(i); });
-      return;
+      // value <= v ⇔ code <= lb when dict[lb] == v, else code < lb.
+      if (code.has_value()) range = CodeRange{0, lb, false, false};
+      else if (lb > 0) range = CodeRange{0, lb - 1, false, false};
+      break;
+    case PredOp::kGt: {
+      // value > v ⇔ code > lb when dict[lb] == v, else code >= lb.
+      const uint64_t first = code.has_value() ? lb + 1 : lb;
+      if (first <= max_code) range = CodeRange{first, max_code, false, false};
+      break;
+    }
     case PredOp::kGe:
-      FilterCodes(codes_, nulls_, n_, PredOp::kGe, lb, true,
-                  [&](uint32_t i) { out->push_back(i); });
-      return;
+      if (lb <= max_code) range = CodeRange{lb, max_code, false, false};
+      break;
   }
+  FilterCodesWithNulls(codes_, n_, nulls_, range, kernel, out, counters);
 }
 
 void StringColumnVector::SerializeTo(std::string* out) const {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "imcs/dictionary.h"
+#include "imcs/scan_kernels.h"
 #include "storage/value.h"
 
 namespace stratus {
@@ -42,6 +43,11 @@ class BitPackedArray {
   uint8_t width() const { return width_; }
   size_t ApproxBytes() const { return words_.capacity() * sizeof(uint64_t); }
 
+  /// Raw packed words for the word-at-a-time kernels. Pack() appends one
+  /// guard word past the data, so kernels may read words()[i + 1] for any
+  /// word holding field bits. Empty when width() == 0.
+  const uint64_t* words() const { return words_.data(); }
+
   /// Appends the packed physical form (count, width, raw words) to `*out`.
   void Serialize(std::string* out) const;
   /// Reads a Serialize()d array back; false on truncation.
@@ -71,8 +77,17 @@ class ColumnVector {
   /// Appends to `*out` every row id whose value satisfies `op value`.
   /// NULLs never match (SQL semantics). Rows listed in the caller's skip set
   /// are still emitted — the scan engine filters invalid rows afterwards.
+  /// Implemented over FilterBitmap; kept for point lookups and tests.
   virtual void Filter(PredOp op, const Value& value,
                       std::vector<uint32_t>* out) const = 0;
+
+  /// Writes the match bitmap for `op value` into `out` (BitmapWords(size())
+  /// words, fully overwritten, tail bits cleared): the predicate constant is
+  /// translated into code space once, then the requested kernel compares the
+  /// bit-packed codes word-at-a-time. NULL rows never match. `counters`
+  /// (may be null) is credited with the kernel that actually ran.
+  virtual void FilterBitmap(PredOp op, const Value& value, ScanKernel kernel,
+                            uint64_t* out, KernelCounters* counters) const = 0;
 
   /// Storage-index check: can any row of this column satisfy `op value`?
   /// (false ⇒ the valid portion of the IMCU can be pruned for this predicate.)
@@ -100,6 +115,8 @@ class IntColumnVector final : public ColumnVector {
   size_t ApproxBytes() const override;
 
   void Filter(PredOp op, const Value& value, std::vector<uint32_t>* out) const override;
+  void FilterBitmap(PredOp op, const Value& value, ScanKernel kernel,
+                    uint64_t* out, KernelCounters* counters) const override;
   bool MightMatch(PredOp op, const Value& value) const override;
 
   int64_t min_value() const { return min_; }
@@ -136,6 +153,8 @@ class StringColumnVector final : public ColumnVector {
   size_t ApproxBytes() const override;
 
   void Filter(PredOp op, const Value& value, std::vector<uint32_t>* out) const override;
+  void FilterBitmap(PredOp op, const Value& value, ScanKernel kernel,
+                    uint64_t* out, KernelCounters* counters) const override;
   bool MightMatch(PredOp op, const Value& value) const override;
 
   const Dictionary& dictionary() const { return dict_; }

@@ -47,6 +47,10 @@ class Imcu {
     return (present_[row >> 6] >> (row & 63)) & 1;
   }
 
+  /// Present bitmap words ((num_rows + 63) / 64 of them) for the scan
+  /// engine's word-wise AND with predicate match bitmaps.
+  const std::vector<uint64_t>& present_words() const { return present_; }
+
   const ColumnVector& column(size_t i) const { return *columns_[i]; }
 
   /// Decodes the full row at local index `row`.

@@ -101,19 +101,10 @@ void ScanEngine::ScanSmuTask(const Smu& smu, const std::vector<Predicate>& preds
                              const RowSink& emit, ScanStats* stats,
                              AggState* agg_out) const {
   const auto imcu = smu.imcu();
-  ++stats->imcus_scanned;
 
-  // One consistent snapshot of the SMU's invalidity partitions the rows
-  // between the columnar pass and the row-store reconciliation pass; bits
-  // set by concurrent flushes (commits beyond this scan's snapshot SCN)
-  // must not split a row across both passes.
-  std::vector<uint64_t> invalid;
-  smu.SnapshotInvalid(&invalid);
-  const auto is_invalid = [&](uint32_t r) {
-    return ((invalid[r >> 6] >> (r & 63)) & 1) != 0;
-  };
-
-  // Storage index (min/max) pruning of the valid portion.
+  // Storage-index (min/max) pruning short-circuits before any vector work:
+  // a pruned IMCU contributes no columnar pass at all (its invalid rows are
+  // still reconciled below). Pruned IMCUs do not count as scanned.
   bool might_match = true;
   for (const Predicate& p : preds) {
     if (p.column >= imcu->num_columns() ||
@@ -122,37 +113,56 @@ void ScanEngine::ScanSmuTask(const Smu& smu, const std::vector<Predicate>& preds
       break;
     }
   }
-
-  // Columnar pass: candidate rows from the encoded first predicate (or all
-  // present rows for an unfiltered scan), re-checked against the remaining
-  // conjuncts with the same 3VL gate the row path uses. Collected (not
-  // emitted) so the two passes can be merged into row order below.
-  std::vector<uint32_t> matches;
   if (might_match) {
-    std::vector<uint32_t> candidates;
-    if (!preds.empty()) {
-      imcu->column(preds[0].column).Filter(preds[0].op, preds[0].value,
-                                           &candidates);
-    } else {
-      candidates.reserve(imcu->num_rows());
-      for (uint32_t r = 0; r < imcu->num_rows(); ++r) candidates.push_back(r);
-    }
-    for (uint32_t r : candidates) {
-      if (!imcu->Present(r)) continue;
-      if (is_invalid(r)) continue;  // Served by reconciliation below.
-      bool ok = true;
-      for (size_t pi = 1; pi < preds.size(); ++pi) {
-        const Predicate& p = preds[pi];
-        if (p.column >= imcu->num_columns() ||
-            !EvalPredicateValue(imcu->column(p.column).Get(r), p)) {
-          ok = false;
-          break;
-        }
-      }
-      if (ok) matches.push_back(r);
-    }
+    ++stats->imcus_scanned;
   } else {
     ++stats->imcus_pruned;
+  }
+
+  // One consistent snapshot of the SMU's invalidity partitions the rows
+  // between the columnar pass and the row-store reconciliation pass; bits
+  // set by concurrent flushes (commits beyond this scan's snapshot SCN)
+  // must not split a row across both passes.
+  std::vector<uint64_t> invalid;
+  smu.SnapshotInvalid(&invalid);
+
+  const size_t num_rows = smu.num_rows();
+  const size_t num_words = BitmapWords(num_rows);
+
+  // Columnar pass: every conjunct's encoded predicate becomes a match
+  // bitmap (pivot translated into code space once per IMCU, packed codes
+  // compared word-at-a-time by the active kernel), conjuncts AND together,
+  // then one AND keeps present rows and one AND-NOT hands invalid rows to
+  // reconciliation — no per-candidate rechecks, no row-id lists until the
+  // merge boundary below.
+  std::vector<uint64_t> match;
+  if (might_match) {
+    const ScanKernel kernel = ActiveScanKernel();
+    KernelCounters kc;
+    match.assign(num_words, 0);
+    if (preds.empty()) {
+      BitmapFill(match.data(), num_rows, true);
+    } else {
+      imcu->column(preds[0].column)
+          .FilterBitmap(preds[0].op, preds[0].value, kernel, match.data(),
+                        &kc);
+      std::vector<uint64_t> conjunct;
+      for (size_t pi = 1;
+           pi < preds.size() && BitmapAny(match.data(), num_words); ++pi) {
+        conjunct.resize(num_words);
+        imcu->column(preds[pi].column)
+            .FilterBitmap(preds[pi].op, preds[pi].value, kernel,
+                          conjunct.data(), &kc);
+        BitmapAnd(match.data(), conjunct.data(), num_words);
+      }
+    }
+    BitmapAnd(match.data(), imcu->present_words().data(),
+              std::min(num_words, imcu->present_words().size()));
+    BitmapAndNot(match.data(), invalid.data(),
+                 std::min(num_words, invalid.size()));
+    stats->kernel_swar_words += kc.swar_words;
+    stats->kernel_avx2_words += kc.avx2_words;
+    stats->kernel_scalar_rows += kc.scalar_rows;
   }
 
   // Reconciliation pass: invalid rows (changed after the IMCU snapshot)
@@ -161,8 +171,6 @@ void ScanEngine::ScanSmuTask(const Smu& smu, const std::vector<Predicate>& preds
   // Word-wise iteration keeps this cheap when invalidity is sparse.
   std::vector<std::pair<uint32_t, Row>> reconciled;
   {
-    const size_t num_rows = smu.num_rows();
-    const size_t num_words = (num_rows + 63) / 64;
     Row row;
     Dba cached_dba = kInvalidDba;
     Block* cached_block = nullptr;
@@ -192,10 +200,41 @@ void ScanEngine::ScanSmuTask(const Smu& smu, const std::vector<Predicate>& preds
     }
   }
 
-  // Merge the two passes into ascending row order. Both are already sorted
-  // by row index, so the IMCU's output order does not depend on *when* the
+  // Aggregation push-down ([11]): fold straight off the bitmap and the
+  // encoded column — COUNT by popcount, kSum/kMin/kMax off the packed codes
+  // via GetInt, with no Value materialization and no row-id list. Folding
+  // all columnar rows before the reconciled rows is safe: Fold is
+  // commutative and associative, so the result matches row-order folding.
+  if (agg.kind != AggKind::kNone) {
+    if (!match.empty()) {
+      const uint64_t mcount = BitmapCount(match.data(), num_words);
+      stats->rows_from_imcs += mcount;
+      agg_out->count += mcount;
+      if (agg.kind != AggKind::kCount && mcount != 0 &&
+          agg.column < imcu->num_columns()) {
+        const ColumnVector& col = imcu->column(agg.column);
+        if (col.type() == ValueType::kInt) {
+          const auto& icol = static_cast<const IntColumnVector&>(col);
+          ForEachSetBit(match.data(), num_words, [&](uint32_t r) {
+            if (!icol.IsNull(r)) agg_out->Fold(agg.kind, icol.GetInt(r));
+          });
+        }
+      }
+    }
+    for (auto& pr : reconciled) {
+      ++stats->rows_from_rowstore;
+      FoldRowMatch(agg, pr.second, agg_out);
+    }
+    return;
+  }
+
+  // Row emission: the bitmap becomes a row-id list only here, at the merge
+  // boundary with the reconciled rows. Both sides are ascending by row
+  // index, so the IMCU's output order does not depend on *when* the
   // invalidity snapshot was taken — a row moving from the columnar pass to
   // reconciliation keeps its position.
+  std::vector<uint32_t> matches;
+  if (!match.empty()) BitmapToRows(match.data(), num_words, &matches);
   size_t ci = 0, ri = 0;
   static const Row kEmpty;
   while (ci < matches.size() || ri < reconciled.size()) {
@@ -205,15 +244,7 @@ void ScanEngine::ScanSmuTask(const Smu& smu, const std::vector<Predicate>& preds
     if (columnar) {
       const uint32_t r = matches[ci++];
       ++stats->rows_from_imcs;
-      if (agg.kind != AggKind::kNone) {
-        // Aggregation push-down ([11]): fold straight off the encoded
-        // column, skipping materialization.
-        ++agg_out->count;
-        if (agg.kind != AggKind::kCount && agg.column < imcu->num_columns()) {
-          const Value v = imcu->column(agg.column).Get(r);
-          if (v.type() == ValueType::kInt) agg_out->Fold(agg.kind, v.as_int());
-        }
-      } else if (needs_rows) {
+      if (needs_rows) {
         emit(imcu->Materialize(r));
       } else {
         emit(kEmpty);
@@ -221,11 +252,7 @@ void ScanEngine::ScanSmuTask(const Smu& smu, const std::vector<Predicate>& preds
     } else {
       Row& row = reconciled[ri++].second;
       ++stats->rows_from_rowstore;
-      if (agg.kind != AggKind::kNone) {
-        FoldRowMatch(agg, row, agg_out);
-      } else {
-        emit(row);
-      }
+      emit(row);
     }
   }
 }

@@ -97,6 +97,11 @@ struct ScanStats {
   uint64_t invalid_rowpath = 0;   ///< Invalid IMCU rows re-fetched from blocks.
   uint64_t parallel_tasks = 0;    ///< Scan tasks (per-IMCU + row-path chunks);
                                   ///< identical at every DOP by construction.
+  // Which filter kernel built the match bitmaps (attribution of work done;
+  // these are the only fields allowed to differ across kernel variants).
+  uint64_t kernel_swar_words = 0;   ///< Bitmap words built by SWAR compares.
+  uint64_t kernel_avx2_words = 0;   ///< Bitmap words built by AVX2 compares.
+  uint64_t kernel_scalar_rows = 0;  ///< Rows evaluated one Get() at a time.
 
   void Add(const ScanStats& o) {
     rows_from_imcs += o.rows_from_imcs;
@@ -107,6 +112,9 @@ struct ScanStats {
     blocks_rowpath += o.blocks_rowpath;
     invalid_rowpath += o.invalid_rowpath;
     parallel_tasks += o.parallel_tasks;
+    kernel_swar_words += o.kernel_swar_words;
+    kernel_avx2_words += o.kernel_avx2_words;
+    kernel_scalar_rows += o.kernel_scalar_rows;
   }
 };
 

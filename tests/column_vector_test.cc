@@ -108,6 +108,30 @@ TEST(StorageIndexTest, MightMatchPrunes) {
   EXPECT_FALSE(col.MightMatch(PredOp::kLt, Value(int64_t{10})));
   EXPECT_TRUE(col.MightMatch(PredOp::kEq, Value(int64_t{20})));
   EXPECT_FALSE(col.MightMatch(PredOp::kEq, Value(std::string("20"))));
+  // != prunes only the constant-column case: min == max == probe.
+  EXPECT_TRUE(col.MightMatch(PredOp::kNe, Value(int64_t{20})));
+  std::vector<std::optional<int64_t>> constant(50, 20);
+  IntColumnVector ccol(constant);
+  EXPECT_FALSE(ccol.MightMatch(PredOp::kNe, Value(int64_t{20})));
+  EXPECT_TRUE(ccol.MightMatch(PredOp::kNe, Value(int64_t{21})));
+  std::vector<uint32_t> rows;
+  ccol.Filter(PredOp::kNe, Value(int64_t{20}), &rows);
+  EXPECT_TRUE(rows.empty());
+}
+
+TEST(StorageIndexTest, NeMightMatchPrunesConstantStringDict) {
+  const std::string solo = "only";
+  std::vector<const std::string*> values(20, &solo);
+  StringColumnVector col(values);
+  EXPECT_FALSE(col.MightMatch(PredOp::kNe, Value(std::string("only"))));
+  EXPECT_TRUE(col.MightMatch(PredOp::kNe, Value(std::string("other"))));
+  std::vector<uint32_t> rows;
+  col.Filter(PredOp::kNe, Value(std::string("only")), &rows);
+  EXPECT_TRUE(rows.empty());
+  const std::string two = "two";
+  std::vector<const std::string*> mixed = {&solo, &two};
+  StringColumnVector mcol(mixed);
+  EXPECT_TRUE(mcol.MightMatch(PredOp::kNe, Value(std::string("only"))));
 }
 
 // --- Property sweep: kernel filter ≡ naive row-at-a-time filter -------------

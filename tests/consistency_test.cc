@@ -8,6 +8,7 @@
 #include "db/database.h"
 #include "fleet/fleet_cluster.h"
 #include "fleet/fleet_router.h"
+#include "imcs/scan_kernels.h"
 
 namespace stratus {
 namespace {
@@ -175,11 +176,15 @@ TEST_P(ConsistencyTest, StandbyEqualsPrimaryAtEveryQueryScn) {
 
 /// The parallel-scan determinism property: with the snapshot SCN pinned, the
 /// QueryResult — rows, their order, count, aggregate — is byte-identical at
-/// every DOP, even while churn keeps invalidating rows and population keeps
-/// reshaping IMCU coverage between executions. The scan's global (block,
-/// slot) emission order makes the result independent of which path serves a
-/// row; only the path *split* in the stats may move (their sum must not).
+/// every DOP *and every scan kernel* (scalar, SWAR, AVX2), even while churn
+/// keeps invalidating rows and population keeps reshaping IMCU coverage
+/// between executions. The scan's global (block, slot) emission order makes
+/// the result independent of which path serves a row; only the path *split*
+/// in the stats may move (their sum must not).
 TEST_P(ConsistencyTest, DopSweepByteIdenticalUnderChurn) {
+  struct OverrideGuard {
+    ~OverrideGuard() { ClearScanKernelOverride(); }
+  } guard;
   const uint64_t seed = GetParam();
   ChurnHarness harness(seed);
   AdgCluster& cluster = *harness.cluster();
@@ -198,26 +203,34 @@ TEST_P(ConsistencyTest, DopSweepByteIdenticalUnderChurn) {
     if (scn == kInvalidScn) continue;
 
     q.dop = 1;
+    ForceScanKernel(ScanKernel::kScalar);
     const auto base = cluster.standby()->QueryAt(q, scn);
     ASSERT_TRUE(base.ok());
-    for (uint32_t dop : {2u, 8u}) {
-      q.dop = dop;
-      const auto result = cluster.standby()->QueryAt(q, scn);
-      ASSERT_TRUE(result.ok());
-      EXPECT_EQ(result->rows, base->rows)
-          << "seed=" << seed << " scn=" << scn << " dop=" << dop;
-      EXPECT_EQ(result->count, base->count)
-          << "seed=" << seed << " scn=" << scn << " dop=" << dop;
-      EXPECT_EQ(result->agg_int, base->agg_int)
-          << "seed=" << seed << " scn=" << scn << " dop=" << dop;
-      EXPECT_EQ(result->agg_valid, base->agg_valid);
-      // Between executions a concurrent flush may move rows from the
-      // columnar pass to reconciliation (never the data, only the path), so
-      // only the per-path *sum* is invariant under churn.
-      EXPECT_EQ(result->stats.rows_from_imcs + result->stats.rows_from_rowstore,
-                base->stats.rows_from_imcs + base->stats.rows_from_rowstore)
-          << "seed=" << seed << " scn=" << scn << " dop=" << dop;
+    for (const ScanKernel kernel :
+         {ScanKernel::kScalar, ScanKernel::kSwar, ScanKernel::kAvx2}) {
+      ForceScanKernel(kernel);
+      for (uint32_t dop : {1u, 2u, 8u}) {
+        if (kernel == ScanKernel::kScalar && dop == 1) continue;  // The base.
+        q.dop = dop;
+        const auto result = cluster.standby()->QueryAt(q, scn);
+        ASSERT_TRUE(result.ok());
+        const std::string ctx = std::string(" seed=") + std::to_string(seed) +
+                                " scn=" + std::to_string(scn) +
+                                " kernel=" + ScanKernelName(kernel) +
+                                " dop=" + std::to_string(dop);
+        EXPECT_EQ(result->rows, base->rows) << ctx;
+        EXPECT_EQ(result->count, base->count) << ctx;
+        EXPECT_EQ(result->agg_int, base->agg_int) << ctx;
+        EXPECT_EQ(result->agg_valid, base->agg_valid) << ctx;
+        // Between executions a concurrent flush may move rows from the
+        // columnar pass to reconciliation (never the data, only the path), so
+        // only the per-path *sum* is invariant under churn.
+        EXPECT_EQ(result->stats.rows_from_imcs + result->stats.rows_from_rowstore,
+                  base->stats.rows_from_imcs + base->stats.rows_from_rowstore)
+            << ctx;
+      }
     }
+    ClearScanKernelOverride();
     // Cross-check the pinned snapshot against the primary as well.
     q.dop = 1;
     const auto primary = cluster.primary()->QueryAt(q, scn);

@@ -6,6 +6,7 @@
 
 #include "common/random.h"
 #include "imcs/population.h"
+#include "imcs/scan_kernels.h"
 #include "txn/txn_manager.h"
 
 namespace stratus {
@@ -144,7 +145,36 @@ TEST_F(ScanEngineTest, StorageIndexPrunesImcus) {
   const auto ids = ScanIds(preds, true, &stats);
   EXPECT_TRUE(ids.empty());
   EXPECT_GT(stats.imcus_pruned, 0u);
+  // A pruned IMCU must not also be counted as scanned.
+  EXPECT_EQ(stats.imcus_scanned, 0u);
   EXPECT_EQ(stats.rows_from_imcs, 0u);
+}
+
+TEST_F(ScanEngineTest, NeOnConstantColumnPrunedByStorageIndex) {
+  // Every row carries the same value in column 1: `!= 5` can't match, and the
+  // storage index (min == max == probe) must prune without touching vectors.
+  Transaction txn = mgr_.Begin();
+  for (int i = 0; i < 2 * static_cast<int>(kRowsPerBlock); ++i) {
+    Row row{Value(static_cast<int64_t>(next_id_++)), Value(int64_t{5}),
+            Value(std::string("const"))};
+    ASSERT_TRUE(mgr_.Insert(&txn, &table_, std::move(row), nullptr).ok());
+  }
+  ASSERT_TRUE(mgr_.Commit(&txn).ok());
+  ASSERT_TRUE(populator_->PopulateNow(10).ok());
+
+  ScanStats stats;
+  const std::vector<Predicate> ne5 = {{1, PredOp::kNe, Value(int64_t{5})}};
+  EXPECT_TRUE(ScanIds(ne5, true, &stats).empty());
+  EXPECT_EQ(stats.imcus_scanned, 0u);
+  EXPECT_GT(stats.imcus_pruned, 0u);
+  EXPECT_TRUE(ScanIds(ne5, false).empty());
+
+  // A probe the column never equals still matches every row.
+  ScanStats stats6;
+  const std::vector<Predicate> ne6 = {{1, PredOp::kNe, Value(int64_t{6})}};
+  EXPECT_EQ(ScanIds(ne6, true, &stats6).size(), static_cast<size_t>(next_id_));
+  EXPECT_GT(stats6.imcus_scanned, 0u);
+  EXPECT_EQ(stats6.imcus_pruned, 0u);
 }
 
 TEST_F(ScanEngineTest, PopulatingSmuFallsBackToRowPath) {
@@ -441,6 +471,102 @@ TEST_F(ScanEngineTest, DopSweepProducesIdenticalResults) {
     EXPECT_EQ(base_agg.count, base_rows.size()) << "q=" << qi;
     if (!base_rows.empty()) {
       EXPECT_EQ(base_agg.acc, expected_sum) << "q=" << qi;
+    }
+  }
+}
+
+// --- Kernel sweep: scalar, SWAR, and AVX2 must be byte-identical at every
+// --- DOP. Kernel attribution counters are the only stats allowed to differ.
+
+TEST_F(ScanEngineTest, KernelSweepByteIdenticalAcrossDop) {
+  struct OverrideGuard {
+    ~OverrideGuard() { ClearScanKernelOverride(); }
+  } guard;
+
+  Random rng(2024);
+  InsertRows(3 * kRowsPerBlock, &rng);
+  ASSERT_TRUE(populator_->PopulateNow(10).ok());
+  // Churn: invalidated rows (reconciliation) and uncovered appended blocks
+  // (row-path chunks), so every execution path runs under every kernel.
+  Transaction txn = mgr_.Begin();
+  const Dba first_block = table_.SnapshotBlocks()[0];
+  for (int64_t id = 0; id < 25; ++id) {
+    const RowId rid{first_block, static_cast<SlotId>(id)};
+    Row row{Value(id), Value(int64_t{7}), Value(std::string("fresh"))};
+    ASSERT_TRUE(mgr_.Update(&txn, &table_, rid, std::move(row)).ok());
+  }
+  ASSERT_TRUE(mgr_.Commit(&txn).ok());
+  for (int64_t id = 0; id < 25; ++id)
+    im_store_.MarkRowInvalid(first_block, static_cast<SlotId>(id));
+  InsertRows(kRowsPerBlock + 11, &rng);
+
+  ScanEngine engine;
+  const ReadView view = ViewNow();
+  const std::vector<std::vector<Predicate>> queries = {
+      {{1, PredOp::kEq, Value(int64_t{7})}},
+      {{1, PredOp::kNe, Value(int64_t{3})}},
+      {{2, PredOp::kGe, Value(std::string("s2"))}},
+      {{1, PredOp::kLt, Value(int64_t{12})},
+       {2, PredOp::kNe, Value(std::string("s4"))}},
+  };
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    std::vector<Row> base_rows;
+    ScanStats base_stats;
+    AggState base_agg;
+    bool have_base = false;
+    for (const ScanKernel kernel :
+         {ScanKernel::kScalar, ScanKernel::kSwar, ScanKernel::kAvx2}) {
+      ForceScanKernel(kernel);
+      for (const size_t dop : {size_t{1}, size_t{2}, size_t{8}}) {
+        std::vector<Row> rows;
+        ScanStats stats;
+        ScanOptions options;
+        options.dop = dop;
+        ASSERT_TRUE(engine
+                        .Scan(table_, queries[qi], view, {&im_store_}, cache_,
+                              [&](const Row& r) { rows.push_back(r); }, &stats,
+                              /*needs_rows=*/true, /*expressions=*/nullptr,
+                              ScanAggregate{}, nullptr, options)
+                        .ok());
+        AggState agg;
+        ASSERT_TRUE(engine
+                        .Scan(table_, queries[qi], view, {&im_store_}, cache_,
+                              [](const Row&) {}, nullptr, /*needs_rows=*/false,
+                              /*expressions=*/nullptr,
+                              ScanAggregate{AggKind::kSum, 1}, &agg, options)
+                        .ok());
+        if (!have_base) {
+          base_rows = std::move(rows);
+          base_stats = stats;
+          base_agg = agg;
+          have_base = true;
+          EXPECT_FALSE(base_rows.empty()) << "q=" << qi;
+          continue;
+        }
+        const std::string ctx = "q=" + std::to_string(qi) +
+                                " kernel=" + ScanKernelName(kernel) +
+                                " dop=" + std::to_string(dop);
+        EXPECT_EQ(rows, base_rows) << ctx;
+        EXPECT_EQ(stats.rows_from_imcs, base_stats.rows_from_imcs) << ctx;
+        EXPECT_EQ(stats.rows_from_rowstore, base_stats.rows_from_rowstore) << ctx;
+        EXPECT_EQ(stats.imcus_scanned, base_stats.imcus_scanned) << ctx;
+        EXPECT_EQ(stats.imcus_pruned, base_stats.imcus_pruned) << ctx;
+        EXPECT_EQ(stats.imcus_skipped, base_stats.imcus_skipped) << ctx;
+        EXPECT_EQ(stats.blocks_rowpath, base_stats.blocks_rowpath) << ctx;
+        EXPECT_EQ(stats.invalid_rowpath, base_stats.invalid_rowpath) << ctx;
+        EXPECT_EQ(agg.count, base_agg.count) << ctx;
+        EXPECT_EQ(agg.acc, base_agg.acc) << ctx;
+        EXPECT_EQ(agg.started, base_agg.started) << ctx;
+        // The forced kernel must actually be attributed (AVX2 falls back to
+        // SWAR on machines without it — still nonzero vector words).
+        if (kernel == ScanKernel::kScalar) {
+          EXPECT_GT(stats.kernel_scalar_rows, 0u) << ctx;
+          EXPECT_EQ(stats.kernel_swar_words + stats.kernel_avx2_words, 0u) << ctx;
+        } else {
+          EXPECT_GT(stats.kernel_swar_words + stats.kernel_avx2_words, 0u) << ctx;
+          EXPECT_EQ(stats.kernel_scalar_rows, 0u) << ctx;
+        }
+      }
     }
   }
 }
