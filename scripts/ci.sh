@@ -55,7 +55,7 @@ STAGE="${1:-all}"
 PREFIX="${2:-build-ci}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-TSAN_TESTS="metrics_test latch_test thread_pool_test redo_apply_test scan_engine_test query_test consistency_test net_test lag_monitor_test query_profile_test obs_server_test"
+TSAN_TESTS="metrics_test latch_test thread_pool_test redo_apply_test scan_engine_test query_test executor_test consistency_test net_test lag_monitor_test query_profile_test obs_server_test"
 ASAN_TESTS="net_test log_shipping_test transport_test"
 CHAOS_TESTS="chaos_test chaos_matrix_test"
 OBS_TESTS="obs_server_test query_profile_test lag_monitor_test"
@@ -63,7 +63,7 @@ OBS_TESTS="obs_server_test query_profile_test lag_monitor_test"
 # wall-clock bound and balloons under TSan's serialization.
 FLEET_TESTS="fleet_fanout_test fleet_router_test consistency_test"
 PERSIST_TESTS="redo_archive_test checkpoint_test persist_recovery_test persist_chaos_test"
-SIMD_TESTS="scan_kernels_test column_vector_test imcu_test scan_engine_test consistency_test"
+SIMD_TESTS="scan_kernels_test column_vector_test imcu_test scan_engine_test executor_test consistency_test"
 
 run_plain() {
   echo "==> [plain] build + full test suite"
@@ -193,6 +193,15 @@ run_simd() {
   echo "==> [simd] pass 2: runtime dispatch (SWAR / AVX2 where supported)"
   ctest --test-dir "${PREFIX}-simd" --output-on-failure -j "${JOBS}" \
     -R "^($(echo "${SIMD_TESTS}" | tr ' ' '|'))\$"
+  echo "==> [simd] pass 3: planner forced to the row path (STRATUS_FORCE_ROWPATH=1)"
+  # Every query runs against the row store regardless of IMCS coverage:
+  # results must be byte-identical to the columnar passes above. The
+  # planner-choice tests assert specific path/reason outcomes, so they are
+  # filtered out of this pass (they pin their own overrides).
+  STRATUS_FORCE_ROWPATH=1 \
+    GTEST_FILTER="-*Planner*:*ForceRowpath*:*StagesVisible*" \
+    ctest --test-dir "${PREFIX}-simd" --output-on-failure \
+    -j "${JOBS}" -R "^($(echo "${SIMD_TESTS}" | tr ' ' '|'))\$"
 }
 
 case "${STAGE}" in

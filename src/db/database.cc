@@ -231,6 +231,7 @@ QueryContext PrimaryDb::MakeQueryContext() {
   ctx.snapshots = txn_mgr_.snapshots();
   ctx.expressions = &im_exprs_;
   ctx.default_dop = options_.scan_dop;
+  ctx.planner = options_.planner;
   ctx.role = "primary";
   ctx.slow_log = &slow_log_;
   ctx.annotate = [this](QueryProfile* prof) {
@@ -256,6 +257,15 @@ StatusOr<QueryResult> PrimaryDb::QueryAt(const ScanQuery& query, Scn snapshot) {
 
 StatusOr<QueryResult> PrimaryDb::Join(const JoinQuery& query) {
   return query_engine_.ExecuteJoin(MakeQueryContext(), query, current_scn());
+}
+
+StatusOr<QueryResult> PrimaryDb::MultiJoin(const MultiJoinQuery& query) {
+  return query_engine_.ExecuteMultiJoin(MakeQueryContext(), query, current_scn());
+}
+
+StatusOr<QueryResult> PrimaryDb::MultiJoinAt(const MultiJoinQuery& query,
+                                             Scn snapshot) {
+  return query_engine_.ExecuteMultiJoin(MakeQueryContext(), query, snapshot);
 }
 
 StatusOr<std::optional<Row>> PrimaryDb::Fetch(ObjectId object, int64_t key) {
@@ -1276,6 +1286,7 @@ QueryContext StandbyDb::MakeQueryContext() const {
   ctx.snapshots = const_cast<SnapshotRegistry*>(&snapshots_);
   ctx.expressions = &im_exprs_;
   ctx.default_dop = options_.scan_dop;
+  ctx.planner = options_.planner;
   ctx.role = "standby";
   ctx.slow_log = &slow_log_;
   ctx.annotate = [this](QueryProfile* prof) {
@@ -1333,6 +1344,21 @@ StatusOr<QueryResult> StandbyDb::JoinAt(const JoinQuery& query, Scn snapshot) {
   if (snapshot == kInvalidScn)
     return Status::InvalidArgument("invalid snapshot SCN");
   return query_engine_.ExecuteJoin(MakeQueryContext(), query, snapshot);
+}
+
+StatusOr<QueryResult> StandbyDb::MultiJoin(const MultiJoinQuery& query,
+                                           InstanceId instance) {
+  const Scn scn = query_scn(instance);
+  if (scn == kInvalidScn)
+    return Status::Unavailable("no QuerySCN published yet");
+  return query_engine_.ExecuteMultiJoin(MakeQueryContext(), query, scn);
+}
+
+StatusOr<QueryResult> StandbyDb::MultiJoinAt(const MultiJoinQuery& query,
+                                             Scn snapshot) {
+  if (snapshot == kInvalidScn)
+    return Status::InvalidArgument("invalid snapshot SCN");
+  return query_engine_.ExecuteMultiJoin(MakeQueryContext(), query, snapshot);
 }
 
 StatusOr<std::optional<Row>> StandbyDb::Fetch(ObjectId object, int64_t key,

@@ -81,6 +81,10 @@ struct DatabaseOptions {
   /// behavior); >1 fans each scan out over the shared ThreadPool.
   uint32_t scan_dop = 1;
 
+  /// Access-path planner knobs (per-table IMCS vs row-path choice from SMU
+  /// invalidity and storage-index statistics).
+  PlannerOptions planner;
+
   /// Metrics registry every component publishes into. Null means the
   /// process-wide obs::MetricsRegistry::Global(); tests pass their own for
   /// isolation.
@@ -152,6 +156,11 @@ class PrimaryDb {
   /// compare primary and standby results at the same consistency point).
   StatusOr<QueryResult> QueryAt(const ScanQuery& query, Scn snapshot);
   StatusOr<QueryResult> Join(const JoinQuery& query);
+  /// Star-schema chain of equi-joins with optional grouped aggregation.
+  StatusOr<QueryResult> MultiJoin(const MultiJoinQuery& query);
+  /// Multi-join at an explicit snapshot SCN (flashback-style read; the
+  /// standby-vs-primary consistency oracle).
+  StatusOr<QueryResult> MultiJoinAt(const MultiJoinQuery& query, Scn snapshot);
   StatusOr<std::optional<Row>> Fetch(ObjectId object, int64_t key);
 
   // --- Maintenance -----------------------------------------------------------
@@ -339,6 +348,11 @@ class StandbyDb : public ApplySink {
   StatusOr<QueryResult> QueryAt(const ScanQuery& query, Scn snapshot);
   StatusOr<QueryResult> Join(const JoinQuery& query,
                              InstanceId instance = kMasterInstance);
+  /// Star-schema chain of equi-joins at the live QuerySCN.
+  StatusOr<QueryResult> MultiJoin(const MultiJoinQuery& query,
+                                  InstanceId instance = 0);
+  /// Multi-join pinned at an explicit snapshot SCN.
+  StatusOr<QueryResult> MultiJoinAt(const MultiJoinQuery& query, Scn snapshot);
   /// Join pinned at an explicit snapshot SCN (QueryAt's join counterpart; the
   /// fleet router uses it for pinned-SCN contracts).
   StatusOr<QueryResult> JoinAt(const JoinQuery& query, Scn snapshot);

@@ -88,6 +88,12 @@ void CollectStoreRows(const std::string& role, InstanceId instance,
       row.invalid_fraction =
           static_cast<double>(row.rows_invalid) / row.rows_covered;
     }
+    const char* reason = "";
+    const AccessPath path =
+        PlannerVerdict(row.rows_covered, row.invalid_fraction,
+                       PlannerOptions{}.rowpath_invalid_threshold, &reason);
+    row.planner_path = path == AccessPath::kImcs ? "imcs" : "row";
+    row.planner_reason = reason;
     Table* table = table_of(object);
     if (table != nullptr) row.blocks_total = table->SnapshotBlocks().size();
     if (row.blocks_total > 0) {
@@ -122,6 +128,8 @@ std::string VImSegmentsRow::ToJson() const {
   out += ",\"bytes\":" + std::to_string(bytes);
   out += ",\"min_snapshot_scn\":" + ScnStr(min_snapshot_scn);
   out += ",\"max_snapshot_scn\":" + ScnStr(max_snapshot_scn);
+  out += ",\"planner_path\":\"" + JsonEscape(planner_path) + "\"";
+  out += ",\"planner_reason\":\"" + JsonEscape(planner_reason) + "\"";
   out += "}";
   return out;
 }

@@ -41,6 +41,14 @@ struct VImSegmentsRow {
   Scn min_snapshot_scn = kInvalidScn;  ///< Oldest ready-IMCU snapshot.
   Scn max_snapshot_scn = kInvalidScn;  ///< Newest ready-IMCU snapshot.
 
+  /// The planner's current verdict for this object: what access path would an
+  /// unforced scan take right now, and why ("imcs-covered",
+  /// "invalidity-crossover", "no-imcs-coverage", "env:STRATUS_FORCE_ROWPATH").
+  /// Same policy as the executor's cost model (PlannerVerdict), evaluated at
+  /// the default invalidity threshold.
+  std::string planner_path;    ///< "imcs" | "row".
+  std::string planner_reason;
+
   std::string ToJson() const;
 };
 

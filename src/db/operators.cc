@@ -1,0 +1,508 @@
+#include "db/operators.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+
+#include "common/clock.h"
+#include "common/thread_pool.h"
+#include "db/query.h"
+
+namespace stratus {
+
+namespace {
+
+constexpr size_t kBatchRows = 1024;
+
+/// FNV-style combine over a group-key tuple; NULL, int, and string values
+/// hash by (type tag, payload) so distinct-typed keys land in distinct
+/// groups just as Value::operator== separates them.
+struct RowHasher {
+  size_t operator()(const Row& key) const {
+    size_t h = 0x9e3779b97f4a7c15ULL ^ key.size();
+    for (const Value& v : key) {
+      size_t x = static_cast<size_t>(v.type());
+      switch (v.type()) {
+        case ValueType::kNull: break;
+        case ValueType::kInt:
+          x ^= std::hash<int64_t>{}(v.as_int());
+          break;
+        case ValueType::kString:
+          x ^= std::hash<std::string>{}(v.as_string());
+          break;
+      }
+      h ^= x + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+/// Drains every batch of `op` into `rows` (moving rows out of the batches).
+void DrainInto(Operator* op, std::vector<Row>* rows) {
+  std::vector<Row> batch;
+  while (op->NextBatch(&batch)) {
+    rows->reserve(rows->size() + batch.size());
+    for (Row& r : batch) rows->push_back(std::move(r));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scan leaf
+// ---------------------------------------------------------------------------
+
+/// Runs the scan engine over one table in Open (a leaf is always a pipeline
+/// source) and hands the buffered batches out through NextBatch. Carries the
+/// planner's access-path choice: the IMCS path consults the context's column
+/// stores, the row path passes none — the same mechanism the old
+/// force_row_store boolean used, now decided per table.
+class ScanOperator : public Operator {
+ public:
+  explicit ScanOperator(const PlanNode& node)
+      : object_(node.object),
+        predicates_(node.predicates),
+        access_(node.access),
+        pushdown_(node.pushdown) {}
+
+  Status Open(ExecContext* ec) override {
+    const QueryContext& ctx = *ec->ctx;
+    Table* table = ctx.table_lookup(object_);
+    if (table == nullptr) return Status::NotFound("no table object");
+
+    stage.op = "scan";
+    stage.object = object_;
+    stage.path = access_.path == AccessPath::kImcs ? "imcs" : "row";
+    stage.reason = access_.reason;
+    stage.invalid_fraction = access_.invalid_fraction;
+
+    std::vector<Expression> exprs;
+    if (ctx.expressions != nullptr) exprs = ctx.expressions->For(object_);
+    const std::vector<const ImStore*> stores =
+        access_.path == AccessPath::kImcs ? ctx.stores
+                                          : std::vector<const ImStore*>{};
+
+    // A side scan (any leaf but the driving table's) logs its own "scan"
+    // slow-log entry, like the legacy facade's nested build-side query.
+    const bool own_log = ec->log_side_scans && ec->ctx->slow_log != nullptr &&
+                         object_ != ec->driving_object;
+    const uint64_t qid =
+        own_log ? ctx.slow_log->Begin("scan", object_, ec->snapshot) : 0;
+    const uint64_t lookups0 = ec->commit_lookups ? ec->commit_lookups() : 0;
+    const uint64_t start_us = NowMicros();
+    const uint64_t cpu0_ns = ThreadCpuNanos();
+
+    const bool pushdown = pushdown_.kind != AggKind::kNone;
+    AggState agg_state;
+    ScanProfile local_profile;
+    ScanOptions options;
+    options.dop = ec->dop;
+    options.pool = ctx.pool;
+    options.profile = &local_profile;
+    options.batch_rows = kBatchRows;
+    if (!pushdown) {
+      options.batch_sink = [this](std::vector<Row>&& batch) {
+        rows_out_ += batch.size();
+        batches_.push_back(std::move(batch));
+      };
+    }
+    const RowSink null_sink = [](const Row&) {};
+    const Status st = ec->engine->Scan(
+        *table, predicates_, *ec->view, stores, *ctx.cache, null_sink,
+        &stage.scan, /*needs_rows=*/!pushdown,
+        exprs.empty() ? nullptr : &exprs, pushdown ? pushdown_ : ScanAggregate{},
+        pushdown ? &agg_state : nullptr, options);
+
+    stage.rows_out = rows_out_;
+    const uint64_t end_us = NowMicros();
+    stage.elapsed_us = end_us > start_us ? end_us - start_us : 0;
+    if (pushdown) {
+      has_agg = true;
+      first_agg_kind = pushdown_.kind;
+      first_agg = agg_state;
+      agg_overflow = agg_state.overflow;
+      input_matches = agg_state.count;
+    }
+    if (ec->scan_profile != nullptr) {
+      ec->scan_profile->tasks.insert(ec->scan_profile->tasks.end(),
+                                     local_profile.tasks.begin(),
+                                     local_profile.tasks.end());
+    }
+    if (own_log) {
+      QueryProfile side;
+      side.query_id = qid;
+      side.kind = "scan";
+      side.role = ctx.role;
+      side.object = object_;
+      side.snapshot = ec->snapshot;
+      side.scan = stage.scan;
+      side.stages.push_back(stage);
+      side.rows_returned = rows_out_;
+      side.matches = pushdown ? agg_state.count : rows_out_;
+      side.dop = static_cast<uint32_t>(ec->dop);
+      side.lanes = RollupLanes(local_profile);
+      side.commit_lookups =
+          ec->commit_lookups ? ec->commit_lookups() - lookups0 : 0;
+      side.started_at_us = start_us;
+      side.wall_us = stage.elapsed_us;
+      side.caller_cpu_us = (ThreadCpuNanos() - cpu0_ns) / 1000;
+      if (ctx.annotate) ctx.annotate(&side);
+      ctx.slow_log->End(qid, side);
+    }
+    return st;
+  }
+
+  bool NextBatch(std::vector<Row>* batch) override {
+    batch->clear();
+    if (next_ >= batches_.size()) return false;
+    *batch = std::move(batches_[next_]);
+    batches_[next_].clear();
+    ++next_;
+    return true;
+  }
+
+ private:
+  const ObjectId object_;
+  const std::vector<Predicate> predicates_;
+  const AccessPathChoice access_;
+  const ScanAggregate pushdown_;
+
+  std::vector<std::vector<Row>> batches_;
+  size_t next_ = 0;
+  uint64_t rows_out_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Filter (residual predicates over a joined layout)
+// ---------------------------------------------------------------------------
+
+class FilterOperator : public Operator {
+ public:
+  explicit FilterOperator(const PlanNode& node)
+      : predicates_(node.predicates) {}
+
+  Status Open(ExecContext* ec) override {
+    stage.op = "filter";
+    return children_[0]->Open(ec);
+  }
+
+  bool NextBatch(std::vector<Row>* batch) override {
+    batch->clear();
+    std::vector<Row> in;
+    while (children_[0]->NextBatch(&in)) {
+      const uint64_t t0 = NowMicros();
+      stage.rows_in += in.size();
+      for (Row& row : in) {
+        if (EvalPredicates(row, predicates_)) batch->push_back(std::move(row));
+      }
+      stage.rows_out += batch->size();
+      stage.elapsed_us += NowMicros() - t0;
+      if (!batch->empty()) return true;
+    }
+    return false;
+  }
+
+  const std::vector<Predicate> predicates_;
+};
+
+// ---------------------------------------------------------------------------
+// Project
+// ---------------------------------------------------------------------------
+
+class ProjectOperator : public Operator {
+ public:
+  explicit ProjectOperator(const PlanNode& node) : columns_(node.columns) {}
+
+  Status Open(ExecContext* ec) override {
+    stage.op = "project";
+    return children_[0]->Open(ec);
+  }
+
+  bool NextBatch(std::vector<Row>* batch) override {
+    batch->clear();
+    std::vector<Row> in;
+    if (!children_[0]->NextBatch(&in)) return false;
+    const uint64_t t0 = NowMicros();
+    stage.rows_in += in.size();
+    batch->reserve(in.size());
+    for (const Row& row : in) {
+      Row out;
+      out.reserve(columns_.size());
+      for (uint32_t c : columns_)
+        out.push_back(c < row.size() ? row[c] : Value());
+      batch->push_back(std::move(out));
+    }
+    stage.rows_out += batch->size();
+    stage.elapsed_us += NowMicros() - t0;
+    return true;
+  }
+
+  const std::vector<uint32_t> columns_;
+};
+
+// ---------------------------------------------------------------------------
+// Hash aggregate (GROUP BY)
+// ---------------------------------------------------------------------------
+
+/// Pipeline breaker: drains the child in Open, folds batches into per-worker
+/// partial group maps on the thread pool, merges partials in worker order,
+/// and emits one row per group — key values ++ aggregate values — sorted by
+/// key tuple. Every fold (COUNT increment, MIN/MAX lattice, exact-128-bit
+/// SUM) is order-independent, so the result is byte-identical at any DOP.
+class HashAggregateOperator : public Operator {
+ public:
+  explicit HashAggregateOperator(const PlanNode& node)
+      : group_by_(node.group_by), specs_(node.aggregates) {}
+
+  Status Open(ExecContext* ec) override {
+    stage.op = "hash_agg";
+    const Status st = children_[0]->Open(ec);
+    if (!st.ok()) return st;
+
+    std::vector<std::vector<Row>> batches;
+    {
+      std::vector<Row> batch;
+      while (children_[0]->NextBatch(&batch)) {
+        stage.rows_in += batch.size();
+        batches.push_back(std::move(batch));
+      }
+    }
+    const uint64_t t0 = NowMicros();
+
+    using GroupMap =
+        std::unordered_map<Row, std::vector<AggState>, RowHasher>;
+    const size_t dop = std::max<size_t>(1, ec->dop);
+    const size_t workers = std::min(dop, std::max<size_t>(1, batches.size()));
+    std::vector<GroupMap> partials(workers);
+    if (workers <= 1) {
+      for (const auto& batch : batches) FoldBatch(batch, &partials[0]);
+    } else {
+      // Fixed batch→worker assignment (round-robin by batch index) keeps the
+      // partials a function of the input split, not of scheduling; the merge
+      // below runs in worker order, and the folds themselves are
+      // order-independent anyway.
+      ThreadPool* pool =
+          ec->ctx->pool != nullptr ? ec->ctx->pool : ThreadPool::Shared();
+      pool->ParallelFor(workers, workers, [&](size_t w) {
+        for (size_t b = w; b < batches.size(); b += workers)
+          FoldBatch(batches[b], &partials[w]);
+      });
+    }
+    GroupMap groups = std::move(partials[0]);
+    for (size_t w = 1; w < partials.size(); ++w) {
+      for (auto& [key, states] : partials[w]) {
+        auto it = groups.find(key);
+        if (it == groups.end()) {
+          groups.emplace(std::move(key), std::move(states));
+        } else {
+          for (size_t i = 0; i < specs_.size(); ++i)
+            it->second[i].Merge(specs_[i].kind, states[i]);
+        }
+      }
+    }
+    // SQL semantics for an ungrouped aggregate over zero rows: one output
+    // row (COUNT = 0, SUM/MIN/MAX = NULL). Grouped: zero groups.
+    if (group_by_.empty() && groups.empty())
+      groups.emplace(Row{}, std::vector<AggState>(specs_.size()));
+
+    // Deterministic output: groups sorted by key tuple (Value's total order).
+    std::vector<const std::pair<const Row, std::vector<AggState>>*> sorted;
+    sorted.reserve(groups.size());
+    for (const auto& entry : groups) sorted.push_back(&entry);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto* a, const auto* b) { return a->first < b->first; });
+
+    rows_.reserve(sorted.size());
+    for (const auto* entry : sorted) {
+      Row out = entry->first;
+      out.reserve(out.size() + specs_.size());
+      for (size_t i = 0; i < specs_.size(); ++i) {
+        const AggState& st_i = entry->second[i];
+        if (specs_[i].kind == AggKind::kCount) {
+          out.push_back(Value(static_cast<int64_t>(st_i.count)));
+        } else {
+          out.push_back(st_i.started ? Value(st_i.acc) : Value());
+        }
+        if (specs_[i].kind == AggKind::kSum && st_i.overflow)
+          agg_overflow = true;
+      }
+      rows_.push_back(std::move(out));
+    }
+
+    stage.groups = sorted.size();
+    stage.rows_out = rows_.size();
+    stage.elapsed_us = NowMicros() - t0;
+    has_agg = true;
+    input_matches = stage.rows_in;
+    if (group_by_.empty() && !specs_.empty()) {
+      // Ungrouped: mirror the first aggregate into the legacy result fields.
+      first_agg_kind = specs_[0].kind;
+      first_agg = groups.begin()->second[0];
+    }
+    return Status::OK();
+  }
+
+  bool NextBatch(std::vector<Row>* batch) override {
+    batch->clear();
+    if (next_ >= rows_.size()) return false;
+    const size_t end = std::min(rows_.size(), next_ + kBatchRows);
+    batch->reserve(end - next_);
+    for (; next_ < end; ++next_) batch->push_back(std::move(rows_[next_]));
+    return true;
+  }
+
+ private:
+  void FoldBatch(const std::vector<Row>& batch,
+                 std::unordered_map<Row, std::vector<AggState>, RowHasher>*
+                     groups) const {
+    Row key;
+    for (const Row& row : batch) {
+      key.clear();
+      key.reserve(group_by_.size());
+      for (uint32_t g : group_by_)
+        key.push_back(g < row.size() ? row[g] : Value());
+      auto it = groups->find(key);
+      if (it == groups->end()) {
+        it = groups->emplace(key, std::vector<AggState>(specs_.size())).first;
+      }
+      for (size_t i = 0; i < specs_.size(); ++i) {
+        AggState& st = it->second[i];
+        ++st.count;
+        if (specs_[i].kind == AggKind::kCount) continue;
+        if (specs_[i].column >= row.size()) continue;
+        const Value& v = row[specs_[i].column];
+        if (v.type() == ValueType::kInt) st.Fold(specs_[i].kind, v.as_int());
+      }
+    }
+  }
+
+  const std::vector<uint32_t> group_by_;
+  const std::vector<AggSpec> specs_;
+
+  std::vector<Row> rows_;
+  size_t next_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Hash join
+// ---------------------------------------------------------------------------
+
+/// Pipeline breaker: materializes both inputs, builds the hash table on
+/// whichever side is smaller, and emits matches in canonical
+/// (probe-input order, joinee order) — so the build-side choice (and DOP,
+/// and each side's access path) never changes the output bytes. Output rows
+/// are always probe ++ joinee, whatever side was hashed. NULL and non-int
+/// join keys never match (SQL equi-join semantics).
+class HashJoinOperator : public Operator {
+ public:
+  explicit HashJoinOperator(const PlanNode& node)
+      : probe_column_(node.probe_column), build_column_(node.build_column) {}
+
+  Status Open(ExecContext* ec) override {
+    stage.op = "hash_join";
+    Status st = children_[0]->Open(ec);
+    if (!st.ok()) return st;
+    st = children_[1]->Open(ec);
+    if (!st.ok()) return st;
+    DrainInto(children_[0].get(), &left_rows_);
+    DrainInto(children_[1].get(), &right_rows_);
+    const uint64_t t0 = NowMicros();
+    stage.rows_in = left_rows_.size() + right_rows_.size();
+
+    // Build on the smaller materialized input (ties keep the legacy
+    // right-side build).
+    const bool build_left = left_rows_.size() < right_rows_.size();
+    stage.build_side = build_left ? "left" : "right";
+    stage.build_rows = build_left ? left_rows_.size() : right_rows_.size();
+    stage.probe_rows = build_left ? right_rows_.size() : left_rows_.size();
+
+    const std::vector<Row>& build = build_left ? left_rows_ : right_rows_;
+    const uint32_t build_key = build_left ? probe_column_ : build_column_;
+    std::unordered_map<int64_t, std::vector<uint32_t>> hash;
+    hash.reserve(build.size());
+    for (uint32_t i = 0; i < build.size(); ++i) {
+      const Row& r = build[i];
+      if (build_key < r.size() && r[build_key].type() == ValueType::kInt)
+        hash[r[build_key].as_int()].push_back(i);
+    }
+
+    const std::vector<Row>& probe = build_left ? right_rows_ : left_rows_;
+    const uint32_t probe_key = build_left ? build_column_ : probe_column_;
+    for (uint32_t i = 0; i < probe.size(); ++i) {
+      const Row& r = probe[i];
+      if (probe_key >= r.size() || r[probe_key].type() != ValueType::kInt)
+        continue;
+      const auto it = hash.find(r[probe_key].as_int());
+      if (it == hash.end()) continue;
+      for (uint32_t j : it->second) {
+        // Pairs are always (left index, right index) regardless of which
+        // side was hashed.
+        pairs_.emplace_back(build_left ? j : i, build_left ? i : j);
+      }
+    }
+    if (build_left) {
+      // Probing the right side emitted pairs in (right, left) order;
+      // restore the canonical (left, right) order.
+      std::sort(pairs_.begin(), pairs_.end());
+    }
+    stage.rows_out = pairs_.size();
+    stage.elapsed_us = NowMicros() - t0;
+    return Status::OK();
+  }
+
+  bool NextBatch(std::vector<Row>* batch) override {
+    batch->clear();
+    if (next_ >= pairs_.size()) return false;
+    const size_t end = std::min(pairs_.size(), next_ + kBatchRows);
+    batch->reserve(end - next_);
+    for (; next_ < end; ++next_) {
+      const Row& l = left_rows_[pairs_[next_].first];
+      const Row& r = right_rows_[pairs_[next_].second];
+      Row joined;
+      joined.reserve(l.size() + r.size());
+      joined.insert(joined.end(), l.begin(), l.end());
+      joined.insert(joined.end(), r.begin(), r.end());
+      batch->push_back(std::move(joined));
+    }
+    return true;
+  }
+
+ private:
+  const uint32_t probe_column_;
+  const uint32_t build_column_;
+
+  std::vector<Row> left_rows_;
+  std::vector<Row> right_rows_;
+  std::vector<std::pair<uint32_t, uint32_t>> pairs_;
+  size_t next_ = 0;
+};
+
+std::unique_ptr<Operator> MakeOperator(const PlanNode& node) {
+  switch (node.kind) {
+    case PlanNode::Kind::kScan:
+      return std::make_unique<ScanOperator>(node);
+    case PlanNode::Kind::kFilter:
+      return std::make_unique<FilterOperator>(node);
+    case PlanNode::Kind::kProject:
+      return std::make_unique<ProjectOperator>(node);
+    case PlanNode::Kind::kHashAggregate:
+      return std::make_unique<HashAggregateOperator>(node);
+    case PlanNode::Kind::kHashJoin:
+      return std::make_unique<HashJoinOperator>(node);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+void Operator::CollectStages(std::vector<OperatorStage>* out) const {
+  for (const auto& child : children_) child->CollectStages(out);
+  out->push_back(stage);
+}
+
+std::unique_ptr<Operator> BuildOperatorTree(const PlanNode& node) {
+  std::unique_ptr<Operator> op = MakeOperator(node);
+  for (const auto& child : node.children) op->AddChild(BuildOperatorTree(*child));
+  return op;
+}
+
+}  // namespace stratus

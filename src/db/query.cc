@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
-#include <unordered_map>
+#include <cstring>
+#include <utility>
 
 #include "common/clock.h"
+#include "db/operators.h"
 #include "obs/trace.h"
 
 namespace stratus {
@@ -44,19 +46,18 @@ struct ProfileTimer {
 
 }  // namespace
 
-StatusOr<QueryResult> QueryEngine::ExecuteScan(const QueryContext& ctx,
-                                               const ScanQuery& query,
+/// Shared executor behind every facade entry point: builds the operator tree
+/// for an already-planned query, runs it pinned to one snapshot SCN, and
+/// finalizes the result/profile/slow-log/totals bookkeeping. The operator
+/// tree's output is bit-reproducible at any DOP, on either access path, and
+/// under every scan kernel — planning decisions only change operator shape.
+StatusOr<QueryResult> QueryEngine::ExecutePlan(const QueryContext& ctx,
+                                               Plan plan, uint32_t query_dop,
                                                Scn snapshot) const {
-  STRATUS_SPAN(obs::Stage::kScan, snapshot);
-  if (!ctx.catalog->ExistsAt(query.object, snapshot))
-    return Status::NotFound("table does not exist at this snapshot");
-  Table* table = ctx.table_lookup(query.object);
-  if (table == nullptr) return Status::NotFound("no table object");
-
   const ProfileTimer timer;
   const uint64_t qid =
       ctx.slow_log != nullptr
-          ? ctx.slow_log->Begin("scan", query.object, snapshot)
+          ? ctx.slow_log->Begin(plan.kind, plan.object, snapshot)
           : 0;
 
   SnapshotGuard guard(ctx.snapshots, snapshot);
@@ -65,154 +66,111 @@ StatusOr<QueryResult> QueryEngine::ExecuteScan(const QueryContext& ctx,
   view.snapshot_scn = snapshot;
   view.resolver = &resolver;
 
+  ExecContext ec;
+  ec.ctx = &ctx;
+  ec.engine = &scan_engine_;
+  ec.snapshot = snapshot;
+  ec.view = &view;
+  ec.commit_lookups = [&resolver] { return resolver.count(); };
+  ec.dop = query_dop != 0 ? query_dop : std::max<uint32_t>(1, ctx.default_dop);
+  ScanProfile scan_profile;
+  ec.scan_profile = &scan_profile;
+  ec.log_side_scans = true;
+  ec.driving_object = plan.object;
+
+  std::unique_ptr<Operator> root = BuildOperatorTree(*plan.root);
   QueryResult result;
   result.snapshot = snapshot;
-  auto sink = [&](const Row& row) { result.rows.push_back(row); };
+  const Status exec_status = root->Open(&ec);
+  if (exec_status.ok()) {
+    std::vector<Row> batch;
+    while (root->NextBatch(&batch)) {
+      result.rows.reserve(result.rows.size() + batch.size());
+      for (Row& row : batch) result.rows.push_back(std::move(row));
+    }
+  }
 
-  // In-Memory Expressions registered for this object (virtual columns).
-  std::vector<Expression> exprs;
-  if (ctx.expressions != nullptr) exprs = ctx.expressions->For(query.object);
-
-  // Aggregation push-down ([11]): the scan engine counts and folds
-  // kSum/kMin/kMax per worker — straight off the encoded column for
-  // IMCS-served rows, skipping materialization — and merges the partials
-  // deterministically.
-  const ScanAggregate agg{query.agg, query.agg_column};
-  AggState agg_state;
-
-  const std::vector<const ImStore*> stores =
-      query.force_row_store ? std::vector<const ImStore*>{} : ctx.stores;
-  // COUNT needs no row images from the IMCS: skip materialization.
-  const bool needs_rows = query.agg != AggKind::kCount;
-  ScanOptions scan_options;
-  scan_options.dop = query.dop != 0 ? query.dop : ctx.default_dop;
-  scan_options.pool = ctx.pool;
-  ScanProfile scan_profile;
-  scan_options.profile = &scan_profile;
-  const Status scan_status = scan_engine_.Scan(
-      *table, query.predicates, view, stores, *ctx.cache, sink, &result.stats,
-      needs_rows, exprs.empty() ? nullptr : &exprs, agg, &agg_state,
-      scan_options);
+  // Engine accounting rolls up across every scan leaf; build-side leaves
+  // also count as standalone scans in the lifetime totals (they logged their
+  // own slow-log entries, like the legacy facade's nested build scan).
+  std::vector<OperatorStage> stages;
+  root->CollectStages(&stages);
+  uint64_t side_scans = 0;
+  for (const OperatorStage& s : stages) {
+    if (s.op != "scan") continue;
+    result.stats.Add(s.scan);
+    if (s.object != plan.object) ++side_scans;
+  }
 
   // The profile finalizes — and the in-flight entry clears — on every path,
   // success or failure.
   QueryProfile& prof = result.profile;
   prof.query_id = qid;
-  prof.kind = "scan";
+  prof.kind = plan.kind;
   prof.role = ctx.role;
-  prof.object = query.object;
+  prof.object = plan.object;
+  prof.join_right = plan.join_right;
   prof.snapshot = snapshot;
   prof.scan = result.stats;
+  prof.stages = std::move(stages);
   prof.rows_returned = result.rows.size();
-  prof.matches =
-      query.agg == AggKind::kNone ? result.rows.size() : agg_state.count;
-  prof.dop = static_cast<uint32_t>(scan_options.dop);
+  prof.matches = root->has_agg ? root->input_matches : result.rows.size();
+  prof.dop = static_cast<uint32_t>(ec.dop);
   prof.lanes = RollupLanes(scan_profile);
   prof.commit_lookups = resolver.count();
   timer.Finish(&prof);
   if (ctx.annotate) ctx.annotate(&prof);
   if (ctx.slow_log != nullptr) ctx.slow_log->End(qid, prof);
-  if (!scan_status.ok()) return scan_status;
+  if (!exec_status.ok()) return exec_status;
 
-  result.count =
-      query.agg == AggKind::kNone ? result.rows.size() : agg_state.count;
-  result.agg_int = agg_state.acc;
-  result.agg_valid = agg_state.started || query.agg == AggKind::kCount;
-  totals_.scans.fetch_add(1, std::memory_order_relaxed);
+  if (root->has_agg) {
+    // Push-down aggregates return no rows and count matching inputs;
+    // grouped/multi-aggregate queries return group rows and count those.
+    result.count =
+        result.rows.empty() && plan.root->kind == PlanNode::Kind::kScan
+            ? root->first_agg.count
+            : result.rows.size();
+    result.agg_int = root->first_agg.acc;
+    result.agg_valid =
+        root->first_agg.started || root->first_agg_kind == AggKind::kCount;
+    result.agg_overflow = root->agg_overflow;
+  } else {
+    result.count = result.rows.size();
+  }
+
+  if (std::strcmp(plan.kind, "scan") == 0) {
+    totals_.scans.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    totals_.joins.fetch_add(1, std::memory_order_relaxed);
+  }
+  totals_.scans.fetch_add(side_scans, std::memory_order_relaxed);
   totals_.Add(result.stats);
   return result;
+}
+
+StatusOr<QueryResult> QueryEngine::ExecuteScan(const QueryContext& ctx,
+                                               const ScanQuery& query,
+                                               Scn snapshot) const {
+  STRATUS_SPAN(obs::Stage::kScan, snapshot);
+  StatusOr<Plan> plan = planner_.PlanScan(ctx, query, snapshot);
+  if (!plan.ok()) return plan.status();
+  return ExecutePlan(ctx, std::move(*plan), query.dop, snapshot);
 }
 
 StatusOr<QueryResult> QueryEngine::ExecuteJoin(const QueryContext& ctx,
                                                const JoinQuery& query,
                                                Scn snapshot) const {
-  // Build side (right input). The baseline switch and DOP apply to both
-  // sides of the join.
-  ScanQuery build;
-  build.object = query.right;
-  build.predicates = query.right_predicates;
-  build.force_row_store = query.force_row_store;
-  build.dop = query.dop;
-  StatusOr<QueryResult> build_result = ExecuteScan(ctx, build, snapshot);
-  if (!build_result.ok()) return build_result.status();
+  StatusOr<Plan> plan = planner_.PlanJoin(ctx, query, snapshot);
+  if (!plan.ok()) return plan.status();
+  return ExecutePlan(ctx, std::move(*plan), query.dop, snapshot);
+}
 
-  std::unordered_multimap<int64_t, const Row*> hash;
-  hash.reserve(build_result->rows.size());
-  for (const Row& r : build_result->rows) {
-    if (query.right_column < r.size() &&
-        r[query.right_column].type() == ValueType::kInt) {
-      hash.emplace(r[query.right_column].as_int(), &r);
-    }
-  }
-
-  // Probe side (left input), streaming.
-  if (!ctx.catalog->ExistsAt(query.left, snapshot))
-    return Status::NotFound("left table does not exist at this snapshot");
-  Table* left = ctx.table_lookup(query.left);
-  if (left == nullptr) return Status::NotFound("no left table object");
-
-  // The join's own profile covers the probe scan; the build side logged its
-  // own "scan" entry through ExecuteScan above.
-  const ProfileTimer timer;
-  const uint64_t qid =
-      ctx.slow_log != nullptr
-          ? ctx.slow_log->Begin("join", query.left, snapshot)
-          : 0;
-
-  SnapshotGuard guard(ctx.snapshots, snapshot);
-  CountingResolver resolver(ctx.resolver);
-  ReadView view;
-  view.snapshot_scn = snapshot;
-  view.resolver = &resolver;
-
-  QueryResult result;
-  result.snapshot = snapshot;
-  auto sink = [&](const Row& row) {
-    if (query.left_column >= row.size() ||
-        row[query.left_column].type() != ValueType::kInt) {
-      return;
-    }
-    auto [lo, hi] = hash.equal_range(row[query.left_column].as_int());
-    for (auto it = lo; it != hi; ++it) {
-      Row joined = row;
-      joined.insert(joined.end(), it->second->begin(), it->second->end());
-      result.rows.push_back(std::move(joined));
-      ++result.count;
-    }
-  };
-  const std::vector<const ImStore*> probe_stores =
-      query.force_row_store ? std::vector<const ImStore*>{} : ctx.stores;
-  ScanOptions scan_options;
-  scan_options.dop = query.dop != 0 ? query.dop : ctx.default_dop;
-  scan_options.pool = ctx.pool;
-  ScanProfile scan_profile;
-  scan_options.profile = &scan_profile;
-  const Status scan_status = scan_engine_.Scan(
-      *left, query.left_predicates, view, probe_stores, *ctx.cache, sink,
-      &result.stats, /*needs_rows=*/true, /*expressions=*/nullptr,
-      ScanAggregate{}, nullptr, scan_options);
-
-  QueryProfile& prof = result.profile;
-  prof.query_id = qid;
-  prof.kind = "join";
-  prof.role = ctx.role;
-  prof.object = query.left;
-  prof.join_right = query.right;
-  prof.snapshot = snapshot;
-  prof.scan = result.stats;
-  prof.rows_returned = result.rows.size();
-  prof.matches = result.count;
-  prof.dop = static_cast<uint32_t>(scan_options.dop);
-  prof.lanes = RollupLanes(scan_profile);
-  prof.commit_lookups = resolver.count();
-  timer.Finish(&prof);
-  if (ctx.annotate) ctx.annotate(&prof);
-  if (ctx.slow_log != nullptr) ctx.slow_log->End(qid, prof);
-  if (!scan_status.ok()) return scan_status;
-
-  totals_.joins.fetch_add(1, std::memory_order_relaxed);
-  totals_.Add(result.stats);
-  return result;
+StatusOr<QueryResult> QueryEngine::ExecuteMultiJoin(const QueryContext& ctx,
+                                                    const MultiJoinQuery& query,
+                                                    Scn snapshot) const {
+  StatusOr<Plan> plan = planner_.PlanMultiJoin(ctx, query, snapshot);
+  if (!plan.ok()) return plan.status();
+  return ExecutePlan(ctx, std::move(*plan), query.dop, snapshot);
 }
 
 StatusOr<std::optional<Row>> QueryEngine::IndexFetch(const QueryContext& ctx,

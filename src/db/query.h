@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "db/catalog.h"
+#include "db/plan.h"
 #include "db/query_profile.h"
 #include "imcs/expression.h"
 #include "imcs/scan_engine.h"
@@ -23,14 +24,29 @@ namespace stratus {
 // the scan engine's workers); re-exported here for query authors.
 
 /// A filtered full-table scan, the query shape of the paper's evaluation
-/// (Table 1: `SELECT * FROM t WHERE n1 = :1` / `WHERE c1 = :2`).
+/// (Table 1: `SELECT * FROM t WHERE n1 = :1` / `WHERE c1 = :2`) — widened
+/// with grouped aggregation and projection for the operator-tree executor.
 struct ScanQuery {
   ObjectId object = kInvalidObjectId;
   std::vector<Predicate> predicates;
-  /// Bypass the IMCS (the paper's "without DBIM" baseline).
+  /// Bypass the IMCS (the paper's "without DBIM" baseline); overrides the
+  /// planner's per-table access-path choice.
   bool force_row_store = false;
+  /// Legacy single-aggregate surface (kept: push-down folds inside the scan
+  /// engine's workers). Ignored when `aggregates` is non-empty.
   AggKind agg = AggKind::kNone;
   uint32_t agg_column = 0;  ///< For kSum/kMin/kMax (integer columns).
+  /// GROUP BY key columns (schema or virtual). Requires `aggregates`.
+  /// Output rows are group key values ++ one value per aggregate, sorted by
+  /// key tuple (deterministic at any DOP).
+  std::vector<uint32_t> group_by;
+  /// Aggregates computed per group — or, with `group_by` empty, one global
+  /// output row of aggregate values (SQL semantics: COUNT of zero rows is 0,
+  /// SUM/MIN/MAX of zero rows is NULL).
+  std::vector<AggSpec> aggregates;
+  /// Columns kept in non-aggregated output (empty = all columns, including
+  /// registered In-Memory Expression virtual columns).
+  std::vector<uint32_t> projection;
   /// Degree of parallelism for the scan; 0 = the context's default DOP.
   uint32_t dop = 0;
 };
@@ -51,16 +67,65 @@ struct JoinQuery {
   uint32_t dop = 0;
 };
 
+/// One dimension hop of a multi-way join: equi-join the rows accumulated so
+/// far (probe side) against `object` (joinee) on
+/// `accumulated[probe_column] == object_row[build_column]`. Matching output
+/// rows are the concatenation accumulated ++ joinee row, so each hop widens
+/// the layout by the joinee's arity and later hops may probe on any column
+/// of any earlier table.
+struct JoinEdge {
+  ObjectId object = kInvalidObjectId;
+  uint32_t probe_column = 0;  ///< Index into the accumulated (joined) layout.
+  uint32_t build_column = 0;  ///< Index into `object`'s own layout.
+  /// Pushed into `object`'s scan (its own layout).
+  std::vector<Predicate> predicates;
+};
+
+/// A chain of 2+ equi-joins, star-schema style (the paper's Figure 2 mixed
+/// workload shape: fact table joined to several dimensions), with optional
+/// residual predicates, grouped aggregation, and projection over the final
+/// joined layout.
+struct MultiJoinQuery {
+  ObjectId fact = kInvalidObjectId;           ///< Driving (probe) table.
+  std::vector<Predicate> fact_predicates;     ///< Pushed into the fact scan.
+  std::vector<JoinEdge> joins;                ///< Applied in order.
+  /// Residual conjuncts over the fully joined layout (cross-table filters
+  /// that cannot push into any single scan).
+  std::vector<Predicate> joined_predicates;
+  /// Grouped aggregation over the joined layout (same semantics as
+  /// ScanQuery::group_by/aggregates).
+  std::vector<uint32_t> group_by;
+  std::vector<AggSpec> aggregates;
+  std::vector<uint32_t> projection;  ///< Over the joined layout; empty = all.
+  /// Bypass the IMCS on every table (planner override).
+  bool force_row_store = false;
+  /// Degree of parallelism for every scan; 0 = the context default.
+  uint32_t dop = 0;
+};
+
 /// Query execution outcome.
 struct QueryResult {
-  std::vector<Row> rows;     ///< Materialized rows (empty for aggregates).
-  uint64_t count = 0;        ///< Matching row count.
-  int64_t agg_int = 0;       ///< kSum/kMin/kMax result.
+  /// Materialized rows. Empty for single-aggregate queries; grouped queries
+  /// return one row per group (key values ++ aggregate values, sorted by key
+  /// tuple); ungrouped multi-aggregate queries return exactly one row of
+  /// aggregate values.
+  std::vector<Row> rows;
+  /// Matching row count for scans/joins and single aggregates; for grouped /
+  /// multi-aggregate queries this is rows.size() (the profile's `matches`
+  /// keeps the matching input-row count).
+  uint64_t count = 0;
+  int64_t agg_int = 0;       ///< kSum/kMin/kMax result (first aggregate).
   bool agg_valid = false;    ///< False when no non-null input reached the agg.
+  /// A kSum aggregate's exact total left the int64 range somewhere in this
+  /// query; the reported value is saturated at the bound. Identical across
+  /// IMCS/row paths, kernels, and DOP (the fold carries an exact 128-bit
+  /// sum).
+  bool agg_overflow = false;
   Scn snapshot = kInvalidScn;
   ScanStats stats;
   /// Execution profile (always populated): pruning/reconciliation counts,
-  /// per-worker lanes, commit lookups, freshness at execution.
+  /// per-operator stages, per-worker lanes, commit lookups, freshness at
+  /// execution.
   QueryProfile profile;
 };
 
@@ -81,6 +146,8 @@ struct QueryContext {
   uint32_t default_dop = 1;
   /// Worker pool for parallel scans; null = ThreadPool::Shared().
   ThreadPool* pool = nullptr;
+  /// Access-path planner knobs (from DatabaseOptions::planner).
+  PlannerOptions planner;
 
   // --- Observability ---------------------------------------------------------
   /// Role tag stamped into every QueryProfile.
@@ -139,9 +206,17 @@ class QueryEngine {
   StatusOr<QueryResult> ExecuteScan(const QueryContext& ctx, const ScanQuery& query,
                                     Scn snapshot) const;
 
-  /// Hash equi-join: builds on the right input, probes with the left.
+  /// Hash equi-join. The executor builds the hash table on whichever side
+  /// materialized fewer rows; output order stays canonical (probe-row order,
+  /// build matches in build order) so the choice never changes result bytes.
   StatusOr<QueryResult> ExecuteJoin(const QueryContext& ctx, const JoinQuery& query,
                                     Scn snapshot) const;
+
+  /// Star-schema chain of 2+ equi-joins with optional residual filters,
+  /// grouped aggregation, and projection over the joined layout.
+  StatusOr<QueryResult> ExecuteMultiJoin(const QueryContext& ctx,
+                                         const MultiJoinQuery& query,
+                                         Scn snapshot) const;
 
   /// Point lookup through the identity index (the OLTAP workload's "fetch").
   StatusOr<std::optional<Row>> IndexFetch(const QueryContext& ctx, ObjectId object,
@@ -151,7 +226,13 @@ class QueryEngine {
   const ScanTotals& totals() const { return totals_; }
 
  private:
+  /// Plans, builds the operator tree, executes it, and finalizes the shared
+  /// profile/slow-log/result bookkeeping for every facade entry point.
+  StatusOr<QueryResult> ExecutePlan(const QueryContext& ctx, Plan plan,
+                                    uint32_t query_dop, Scn snapshot) const;
+
   ScanEngine scan_engine_;
+  Planner planner_;
   mutable ScanTotals totals_;
 };
 

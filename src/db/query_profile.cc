@@ -54,6 +54,31 @@ std::vector<WorkerLane> RollupLanes(const ScanProfile& profile) {
   return lanes;
 }
 
+std::string OperatorStage::ToJson() const {
+  std::string out = "{";
+  out += "\"op\":\"" + JsonEscape(op) + "\"";
+  if (object != kInvalidObjectId)
+    out += ",\"object\":" + std::to_string(object);
+  if (!path.empty()) {
+    char frac[32];
+    std::snprintf(frac, sizeof(frac), "%.4f", invalid_fraction);
+    out += ",\"path\":\"" + JsonEscape(path) + "\"";
+    out += ",\"reason\":\"" + JsonEscape(reason) + "\"";
+    out += ",\"invalid_fraction\":" + std::string(frac);
+  }
+  out += ",\"rows_in\":" + std::to_string(rows_in);
+  out += ",\"rows_out\":" + std::to_string(rows_out);
+  if (op == "hash_agg") out += ",\"groups\":" + std::to_string(groups);
+  if (op == "hash_join") {
+    out += ",\"build_rows\":" + std::to_string(build_rows);
+    out += ",\"probe_rows\":" + std::to_string(probe_rows);
+    out += ",\"build_side\":\"" + JsonEscape(build_side) + "\"";
+  }
+  out += ",\"elapsed_us\":" + std::to_string(elapsed_us);
+  out += "}";
+  return out;
+}
+
 std::string QueryProfile::Explain() const {
   std::string out;
   char line[256];
@@ -62,6 +87,39 @@ std::string QueryProfile::Explain() const {
                 static_cast<unsigned long long>(object),
                 static_cast<unsigned long long>(snapshot), role.c_str());
   out += line;
+  for (const OperatorStage& s : stages) {
+    if (s.op == "scan") {
+      std::snprintf(line, sizeof(line),
+                    "  op scan object %llu path=%s (%s, invalid %.2f%%): "
+                    "%llu rows out, %llu us\n",
+                    static_cast<unsigned long long>(s.object), s.path.c_str(),
+                    s.reason.c_str(), s.invalid_fraction * 100.0,
+                    static_cast<unsigned long long>(s.rows_out),
+                    static_cast<unsigned long long>(s.elapsed_us));
+    } else if (s.op == "hash_join") {
+      std::snprintf(line, sizeof(line),
+                    "  op hash_join build=%s (%llu build rows, %llu probe "
+                    "rows): %llu rows out, %llu us\n",
+                    s.build_side.c_str(),
+                    static_cast<unsigned long long>(s.build_rows),
+                    static_cast<unsigned long long>(s.probe_rows),
+                    static_cast<unsigned long long>(s.rows_out),
+                    static_cast<unsigned long long>(s.elapsed_us));
+    } else if (s.op == "hash_agg") {
+      std::snprintf(line, sizeof(line),
+                    "  op hash_agg: %llu rows in, %llu groups, %llu us\n",
+                    static_cast<unsigned long long>(s.rows_in),
+                    static_cast<unsigned long long>(s.groups),
+                    static_cast<unsigned long long>(s.elapsed_us));
+    } else {
+      std::snprintf(line, sizeof(line),
+                    "  op %s: %llu rows in, %llu rows out, %llu us\n",
+                    s.op.c_str(), static_cast<unsigned long long>(s.rows_in),
+                    static_cast<unsigned long long>(s.rows_out),
+                    static_cast<unsigned long long>(s.elapsed_us));
+    }
+    out += line;
+  }
   std::snprintf(line, sizeof(line),
                 "  rows: %llu returned, %llu matched "
                 "(%llu from IMCS, %llu from row store)\n",
@@ -136,6 +194,14 @@ std::string QueryProfile::ToJson() const {
   out += ",\"snapshot\":" + ScnStr(snapshot);
   out += ",\"rows_returned\":" + std::to_string(rows_returned);
   out += ",\"matches\":" + std::to_string(matches);
+  if (!stages.empty()) {
+    out += ",\"stages\":[";
+    for (size_t i = 0; i < stages.size(); ++i) {
+      if (i != 0) out += ",";
+      out += stages[i].ToJson();
+    }
+    out += "]";
+  }
   out += ",\"rows_from_imcs\":" + std::to_string(scan.rows_from_imcs);
   out += ",\"rows_from_rowstore\":" + std::to_string(scan.rows_from_rowstore);
   out += ",\"imcus_scanned\":" + std::to_string(scan.imcus_scanned);

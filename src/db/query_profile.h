@@ -22,6 +22,29 @@ struct WorkerLane {
   uint64_t exec_us = 0;        ///< Summed task run time.
 };
 
+/// One operator's slice of a query's execution, recorded by the operator-tree
+/// executor in depth-first (leaves-first) order. Scan leaves carry the
+/// planner's access-path decision and the engine accounting for that table;
+/// joins record which side the hash table was built on; aggregates record
+/// group counts.
+struct OperatorStage {
+  std::string op;  ///< "scan" | "filter" | "project" | "hash_agg" | "hash_join".
+  ObjectId object = kInvalidObjectId;  ///< Scan leaves: the table scanned.
+  std::string path;    ///< Scan leaves: "imcs" | "row" (planner's choice).
+  std::string reason;  ///< Scan leaves: why the planner chose `path`.
+  double invalid_fraction = 0.0;  ///< Scan: SMU invalidity the planner saw.
+  uint64_t rows_in = 0;   ///< Rows pulled from the child (0 for leaves).
+  uint64_t rows_out = 0;  ///< Rows handed to the parent.
+  uint64_t groups = 0;       ///< hash_agg: distinct group keys.
+  uint64_t build_rows = 0;   ///< hash_join: hash-table side input rows.
+  uint64_t probe_rows = 0;   ///< hash_join: probe side input rows.
+  std::string build_side;    ///< hash_join: "left" | "right" (smaller input).
+  uint64_t elapsed_us = 0;   ///< Wall time attributable to this operator.
+  ScanStats scan;            ///< Scan leaves: engine accounting.
+
+  std::string ToJson() const;
+};
+
 /// The `Explain()`-style execution profile attached to every QueryResult:
 /// where the rows came from (IMCS vs row path), what pruned, what the SMU
 /// reconciliation re-fetched, how the parallel tasks spread over workers,
@@ -43,6 +66,10 @@ struct QueryProfile {
   ScanStats scan;
   uint64_t rows_returned = 0;  ///< Materialized rows handed back.
   uint64_t matches = 0;        ///< Matching rows (aggregates included).
+
+  /// Per-operator execution stages (operator-tree executor), depth-first
+  /// from the leaves — the EXPLAIN plan with live counters attached.
+  std::vector<OperatorStage> stages;
 
   uint32_t dop = 1;
   std::vector<WorkerLane> lanes;  ///< Per-worker rollup, sorted by worker.

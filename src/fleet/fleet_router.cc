@@ -309,5 +309,13 @@ StatusOr<RoutedResult> FleetRouter::Join(const JoinQuery& query,
   });
 }
 
+StatusOr<RoutedResult> FleetRouter::MultiJoin(
+    const MultiJoinQuery& query, const FreshnessContract& contract) {
+  return Route(contract, [&query](StandbyDb* db, Scn pin) {
+    return pin == kInvalidScn ? db->MultiJoin(query)
+                              : db->MultiJoinAt(query, pin);
+  });
+}
+
 }  // namespace fleet
 }  // namespace stratus

@@ -133,6 +133,10 @@ class FleetRouter {
                                const FreshnessContract& contract);
   StatusOr<RoutedResult> Join(const JoinQuery& query,
                               const FreshnessContract& contract);
+  /// Star-schema multi-join under the same freshness contracts (pinned
+  /// contracts execute through StandbyDb::MultiJoinAt).
+  StatusOr<RoutedResult> MultiJoin(const MultiJoinQuery& query,
+                                   const FreshnessContract& contract);
 
   RouterStats stats() const;
 

@@ -414,11 +414,29 @@ Status ScanEngine::Scan(const Table& table, const std::vector<Predicate>& preds,
   const size_t dop = std::max<size_t>(1, options.dop);
   if (dop == 1 || num_tasks <= 1) {
     // Inline path: stream straight into the sink — no buffering, no barrier.
+    // A batch consumer gets fixed-size flushes instead of per-row calls.
+    std::vector<Row> batch;
+    const size_t batch_rows = std::max<size_t>(1, options.batch_rows);
+    RowSink batched;
+    if (options.batch_sink) {
+      batch.reserve(batch_rows);
+      batched = [&](const Row& row) {
+        batch.push_back(row);
+        if (batch.size() >= batch_rows) {
+          options.batch_sink(std::move(batch));
+          batch.clear();
+          batch.reserve(batch_rows);
+        }
+      };
+    }
+    const RowSink& emit = options.batch_sink ? batched : sink;
     for (size_t t = 0; t < num_tasks; ++t) {
       const uint64_t start_us = profile != nullptr ? NowMicros() : 0;
-      run_task(t, sink, stats, agg_out);
+      run_task(t, emit, stats, agg_out);
       if (profile != nullptr) record_task(t, start_us);
     }
+    if (options.batch_sink && !batch.empty())
+      options.batch_sink(std::move(batch));
     finish_profile();
     return Status::OK();
   }
@@ -446,7 +464,13 @@ Status ScanEngine::Scan(const Table& table, const std::vector<Predicate>& preds,
   for (TaskOut& out : outs) {
     stats->Add(out.stats);
     agg_out->Merge(agg.kind, out.agg);
-    for (const Row& row : out.rows) sink(row);
+    if (options.batch_sink) {
+      // Batch consumers take the whole task buffer by move — the merge
+      // boundary costs nothing per row.
+      if (!out.rows.empty()) options.batch_sink(std::move(out.rows));
+    } else {
+      for (const Row& row : out.rows) sink(row);
+    }
   }
   finish_profile();
   return Status::OK();

@@ -49,17 +49,33 @@ struct ScanAggregate {
 };
 
 /// A partial (per-worker) or final aggregate accumulator.
+///
+/// kSum runs over an exact 128-bit running sum; `acc` is its projection into
+/// int64 (saturated at the range bounds, with `overflow` set). Because the
+/// exact sum — not the saturation — is what accumulates, the outcome depends
+/// only on the multiset of folded inputs, never on fold or merge order:
+/// intermediate excursions past the int64 range that later cancel do not
+/// latch the flag, so IMCS, row-path, and every kernel variant at every DOP
+/// produce identical (acc, overflow) pairs.
 struct AggState {
-  uint64_t count = 0;    ///< Matching rows (all paths).
-  int64_t acc = 0;       ///< kSum/kMin/kMax accumulator.
-  bool started = false;  ///< A non-null integer input reached the fold.
+  uint64_t count = 0;     ///< Matching rows (all paths).
+  int64_t acc = 0;        ///< kSum/kMin/kMax accumulator (kSum: saturated).
+  bool started = false;   ///< A non-null integer input reached the fold.
+  bool overflow = false;  ///< kSum only: exact sum left the int64 range.
 
   void Fold(AggKind kind, int64_t x) {
+    if (kind == AggKind::kSum) {
+      sum_hi_ += x < 0 ? -1 : 0;
+      const uint64_t lo = sum_lo_ + static_cast<uint64_t>(x);
+      sum_hi_ += lo < sum_lo_ ? 1 : 0;  // Carry out of the low word.
+      sum_lo_ = lo;
+      started = true;
+      ProjectSum();
+      return;
+    }
     if (!started) {
       acc = x;
       started = true;
-    } else if (kind == AggKind::kSum) {
-      acc += x;
     } else if (kind == AggKind::kMin) {
       acc = acc < x ? acc : x;
     } else if (kind == AggKind::kMax) {
@@ -67,23 +83,53 @@ struct AggState {
     }
   }
 
-  /// Folds another partial in. kSum/kMin/kMax are associative and
-  /// commutative, so merging in deterministic task order reproduces the
-  /// serial result exactly.
+  /// Folds another partial in. COUNT/MIN/MAX are associative and commutative,
+  /// and kSum merges the exact 128-bit partial sums, so merging in
+  /// deterministic task order reproduces the serial result exactly.
   void Merge(AggKind kind, const AggState& other) {
     count += other.count;
     if (!other.started) return;
+    if (kind == AggKind::kSum) {
+      sum_hi_ += other.sum_hi_;
+      const uint64_t lo = sum_lo_ + other.sum_lo_;
+      sum_hi_ += lo < sum_lo_ ? 1 : 0;
+      sum_lo_ = lo;
+      started = true;
+      ProjectSum();
+      return;
+    }
     if (!started) {
       acc = other.acc;
       started = true;
-    } else if (kind == AggKind::kSum) {
-      acc += other.acc;
     } else if (kind == AggKind::kMin) {
       acc = acc < other.acc ? acc : other.acc;
     } else if (kind == AggKind::kMax) {
       acc = acc < other.acc ? other.acc : acc;
     }
   }
+
+ private:
+  void ProjectSum() {
+    // The exact sum fits int64 iff the high word is a pure sign extension of
+    // the low word's top bit.
+    const uint64_t sign_ext = sum_lo_ >> 63 ? ~uint64_t{0} : 0;
+    if (sum_hi_ == sign_ext) {
+      acc = static_cast<int64_t>(sum_lo_);
+      overflow = false;
+    } else if (static_cast<int64_t>(sum_hi_) < 0) {
+      acc = INT64_MIN;
+      overflow = true;
+    } else {
+      acc = INT64_MAX;
+      overflow = true;
+    }
+  }
+
+  // Exact kSum running sum as a two-word (128-bit) two's-complement integer.
+  // With at most 2^64 folded rows of |x| <= 2^63 the true sum stays well
+  // inside 128 bits.
+  uint64_t sum_lo_ = 0;
+  uint64_t sum_hi_ = 0;
 };
 
 /// Per-scan statistics: where the rows actually came from.
@@ -154,6 +200,16 @@ struct ScanOptions {
   /// When non-null, receives per-task worker/wait/run records for this scan
   /// (appended; the QueryProfile plumbing passes a fresh one per query).
   ScanProfile* profile = nullptr;
+  /// Batch emission for operator-tree consumers: when set, matching rows are
+  /// delivered here instead of through the per-row sink, in the same global
+  /// (block, slot) order. The parallel path hands over each task's private
+  /// buffer by move — no per-row copy at the merge boundary — and the inline
+  /// path flushes every `batch_rows`. Batches are only ever delivered from
+  /// the calling thread.
+  std::function<void(std::vector<Row>&&)> batch_sink;
+  /// Inline-path flush threshold for `batch_sink` (parallel batches are task
+  /// buffers, whatever size the task produced).
+  size_t batch_rows = 1024;
 };
 
 /// The In-Memory Scan Engine (Section II.B): serves valid rows from the

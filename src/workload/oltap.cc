@@ -148,11 +148,35 @@ Status OltapWorkload::RunScanOnce(Random* rng, bool q2) {
   return cluster_->primary()->Query(query).status();
 }
 
+Status OltapWorkload::RunGroupScanOnce(Random* rng) {
+  // Q3: SELECT n1, COUNT(*), SUM(n2) WHERE n3 < :1 GROUP BY n1. The range
+  // predicate keeps selectivity varied; the grouped result is at most
+  // value_domain rows so harness memory stays flat.
+  ScanQuery query;
+  query.object = table_;
+  query.force_row_store = options_.scans_force_row_store;
+  query.dop = options_.scan_dop;
+  query.group_by.push_back(1);
+  query.aggregates.push_back(AggSpec{AggKind::kCount, 1});
+  if (options_.num_cols >= 2)
+    query.aggregates.push_back(AggSpec{AggKind::kSum, 2});
+  if (options_.num_cols >= 3) {
+    query.predicates.push_back(Predicate{
+        3, PredOp::kLt,
+        Value(static_cast<int64_t>(rng->Uniform(options_.value_domain)) + 1)});
+  }
+  if (options_.scans_on_standby) {
+    return cluster_->standby()->Query(query, options_.scan_instance).status();
+  }
+  return cluster_->primary()->Query(query).status();
+}
+
 void OltapWorkload::DoScan(Random* rng) {
-  const bool q2 = rng->Percent(50);
+  const bool q3 = rng->Percent(options_.group_scan_pct);
+  const bool q2 = !q3 && rng->Percent(50);
   Stopwatch watch;
   const uint64_t cpu_start = ThreadCpuNanos();
-  const Status st = RunScanOnce(rng, q2);
+  const Status st = q3 ? RunGroupScanOnce(rng) : RunScanOnce(rng, q2);
   if (!st.ok()) {
     stats_.errors.fetch_add(1, std::memory_order_relaxed);
     return;
@@ -162,7 +186,8 @@ void OltapWorkload::DoScan(Random* rng) {
   stats_.scan_cpu_ns.fetch_add(ThreadCpuNanos() - cpu_start,
                                std::memory_order_relaxed);
   stats_.scans_done.fetch_add(1, std::memory_order_relaxed);
-  (q2 ? stats_.q2_latency : stats_.q1_latency).Record(watch.ElapsedMicros());
+  (q3 ? stats_.q3_latency : q2 ? stats_.q2_latency : stats_.q1_latency)
+      .Record(watch.ElapsedMicros());
 }
 
 void OltapWorkload::WorkerLoop(int thread_idx) {

@@ -33,6 +33,10 @@ struct OltapOptions {
   uint32_t update_pct = 70;
   uint32_t insert_pct = 0;
   uint32_t scan_pct = 1;
+  /// Of the ad-hoc scans, how many run Q3 (GROUP BY n1 with COUNT + SUM)
+  /// instead of the Q1/Q2 filters. Exercises the hash-aggregate operator
+  /// under concurrent DML/churn.
+  uint32_t group_scan_pct = 20;
 
   int target_ops_per_sec = 4000;
   int duration_ms = 10'000;
@@ -54,6 +58,7 @@ struct OltapOptions {
 struct OltapStats {
   Histogram q1_latency;       ///< SELECT * WHERE n1 = :1 (microseconds).
   Histogram q2_latency;       ///< SELECT * WHERE c1 = :2.
+  Histogram q3_latency;       ///< SELECT n1, COUNT(*), SUM(n2) GROUP BY n1.
   Histogram update_latency;
   Histogram insert_latency;
   Histogram fetch_latency;
@@ -97,6 +102,10 @@ class OltapWorkload {
 
   /// One Q1 / Q2 execution (exposed for the scan-only experiments).
   Status RunScanOnce(Random* rng, bool q2);
+
+  /// One Q3 execution: GROUP BY n1 with COUNT(*) + SUM(n2) through the
+  /// hash-aggregate operator (exposed for the scan-only experiments).
+  Status RunGroupScanOnce(Random* rng);
 
   /// Runs `n` Q1 and `n` Q2 scans with no concurrent DML (the paper's scans
   /// had idle CPUs to run on; this isolates the raw scan gap from the

@@ -243,6 +243,167 @@ TEST_P(ConsistencyTest, DopSweepByteIdenticalUnderChurn) {
   EXPECT_GE(checks, 6);
 }
 
+/// The determinism property, extended to the hash-aggregate operator: a
+/// grouped aggregation at a pinned QuerySCN is byte-identical — group rows,
+/// their sort order, counts, sums — at every DOP, on both access paths, and
+/// under every scan kernel, while churn keeps invalidating and repopulating
+/// the standby IMCS. Cross-checked against the primary's flashback read at
+/// the same SCN.
+TEST_P(ConsistencyTest, GroupedAggByteIdenticalUnderChurn) {
+  struct OverrideGuard {
+    ~OverrideGuard() { ClearScanKernelOverride(); }
+  } guard;
+  const uint64_t seed = GetParam();
+  ChurnHarness harness(seed);
+  AdgCluster& cluster = *harness.cluster();
+  harness.StartChurn();
+
+  Random qrng(seed * 13 + 7);
+  int checks = 0;
+  const uint64_t deadline = NowMicros() + 15'000'000;
+  while (checks < 8 && NowMicros() < deadline) {
+    ScanQuery q = RandomQuery(harness.table(), &qrng);
+    q.group_by = {static_cast<uint32_t>(qrng.Percent(50) ? 1 : 3)};
+    q.aggregates = {{AggKind::kCount, 0}, {AggKind::kSum, 2}};
+    const Scn scn = cluster.standby()->query_scn();
+    if (scn == kInvalidScn) continue;
+
+    q.dop = 1;
+    q.force_row_store = false;
+    ForceScanKernel(ScanKernel::kScalar);
+    const auto base = cluster.standby()->QueryAt(q, scn);
+    ASSERT_TRUE(base.ok());
+    for (const ScanKernel kernel :
+         {ScanKernel::kScalar, ScanKernel::kSwar, ScanKernel::kAvx2}) {
+      ForceScanKernel(kernel);
+      for (const bool force_row : {false, true}) {
+        for (uint32_t dop : {1u, 2u, 8u}) {
+          q.dop = dop;
+          q.force_row_store = force_row;
+          const auto result = cluster.standby()->QueryAt(q, scn);
+          ASSERT_TRUE(result.ok());
+          const std::string ctx = std::string(" seed=") + std::to_string(seed) +
+                                  " scn=" + std::to_string(scn) +
+                                  " kernel=" + ScanKernelName(kernel) +
+                                  " force_row=" + std::to_string(force_row) +
+                                  " dop=" + std::to_string(dop);
+          EXPECT_EQ(result->rows, base->rows) << ctx;
+          EXPECT_EQ(result->count, base->count) << ctx;
+          EXPECT_EQ(result->agg_overflow, base->agg_overflow) << ctx;
+        }
+      }
+    }
+    ClearScanKernelOverride();
+    q.dop = 1;
+    q.force_row_store = false;
+    const auto primary = cluster.primary()->QueryAt(q, scn);
+    ASSERT_TRUE(primary.ok());
+    EXPECT_EQ(primary->rows, base->rows) << "seed=" << seed << " scn=" << scn;
+    ++checks;
+  }
+  harness.StopChurn();
+  EXPECT_GE(checks, 4);
+}
+
+/// And to the full operator tree: a 3-table star join (churning fact table
+/// joined to two static dimensions) with grouped aggregation on top, at a
+/// pinned QuerySCN, is byte-identical across DOP / access path / kernel and
+/// equals the primary's MultiJoinAt at the same SCN.
+TEST_P(ConsistencyTest, MultiJoinByteIdenticalUnderChurn) {
+  struct OverrideGuard {
+    ~OverrideGuard() { ClearScanKernelOverride(); }
+  } guard;
+  const uint64_t seed = GetParam();
+  ChurnHarness harness(seed);
+  AdgCluster& cluster = *harness.cluster();
+
+  // Two dimension tables keyed over the fact's n1/n2 domains ([0, 50)),
+  // created before churn starts so they stay static.
+  const ObjectId dim1 =
+      cluster.CreateTable("dim1", kDefaultTenant,
+                          Schema(std::vector<ColumnDef>{
+                              {"key", ValueType::kInt},
+                              {"label", ValueType::kString}}),
+                          ImService::kStandbyOnly, true)
+          .value();
+  const ObjectId dim2 =
+      cluster.CreateTable("dim2", kDefaultTenant,
+                          Schema(std::vector<ColumnDef>{
+                              {"key", ValueType::kInt},
+                              {"tag", ValueType::kString}}),
+                          ImService::kStandbyOnly, true)
+          .value();
+  Transaction txn = cluster.primary()->Begin();
+  for (int64_t k = 0; k < 50; ++k) {
+    ASSERT_TRUE(cluster.primary()
+                    ->Insert(&txn, dim1,
+                             Row{Value(k), Value(std::string("d") + std::to_string(k % 5))},
+                             nullptr)
+                    .ok());
+    ASSERT_TRUE(cluster.primary()
+                    ->Insert(&txn, dim2,
+                             Row{Value(k), Value(std::string("t") + std::to_string(k % 3))},
+                             nullptr)
+                    .ok());
+  }
+  ASSERT_TRUE(cluster.primary()->Commit(&txn).ok());
+  cluster.WaitForCatchup();
+  ASSERT_TRUE(cluster.standby()->PopulateNow(dim1).ok());
+  ASSERT_TRUE(cluster.standby()->PopulateNow(dim2).ok());
+  harness.StartChurn();
+
+  MultiJoinQuery mj;
+  mj.fact = harness.table();
+  // Fact layout: id, n1, n2, c1 (4 columns); after hop 1 the joined layout is
+  // 6 wide, so hop 2 still probes fact.n2 at index 2.
+  mj.joins = {{dim1, /*probe_column=*/1, /*build_column=*/0, {}},
+              {dim2, /*probe_column=*/2, /*build_column=*/0, {}}};
+  mj.group_by = {5};  // dim1.label.
+  mj.aggregates = {{AggKind::kCount, 0}, {AggKind::kSum, 2}};
+
+  Random qrng(seed * 17 + 9);
+  int checks = 0;
+  const uint64_t deadline = NowMicros() + 15'000'000;
+  while (checks < 4 && NowMicros() < deadline) {
+    const Scn scn = cluster.standby()->query_scn();
+    if (scn == kInvalidScn) continue;
+
+    mj.dop = 1;
+    mj.force_row_store = false;
+    ForceScanKernel(ScanKernel::kScalar);
+    const auto base = cluster.standby()->MultiJoinAt(mj, scn);
+    ASSERT_TRUE(base.ok());
+    for (const ScanKernel kernel :
+         {ScanKernel::kScalar, ScanKernel::kSwar, ScanKernel::kAvx2}) {
+      ForceScanKernel(kernel);
+      for (const bool force_row : {false, true}) {
+        for (uint32_t dop : {1u, 2u, 8u}) {
+          mj.dop = dop;
+          mj.force_row_store = force_row;
+          const auto result = cluster.standby()->MultiJoinAt(mj, scn);
+          ASSERT_TRUE(result.ok());
+          const std::string ctx = std::string(" seed=") + std::to_string(seed) +
+                                  " scn=" + std::to_string(scn) +
+                                  " kernel=" + ScanKernelName(kernel) +
+                                  " force_row=" + std::to_string(force_row) +
+                                  " dop=" + std::to_string(dop);
+          EXPECT_EQ(result->rows, base->rows) << ctx;
+          EXPECT_EQ(result->count, base->count) << ctx;
+        }
+      }
+    }
+    ClearScanKernelOverride();
+    mj.dop = 1;
+    mj.force_row_store = false;
+    const auto primary = cluster.primary()->MultiJoinAt(mj, scn);
+    ASSERT_TRUE(primary.ok());
+    EXPECT_EQ(primary->rows, base->rows) << "seed=" << seed << " scn=" << scn;
+    ++checks;
+  }
+  harness.StopChurn();
+  EXPECT_GE(checks, 3);
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, ConsistencyTest, ::testing::Values(1, 2, 3));
 
 /// The ChurnHarness, scaled out: one primary fanned to a 3-standby fleet,

@@ -1,0 +1,680 @@
+// Operator-tree executor tests: hash group-by, multi-way joins, the
+// cost-based IMCS/row access-path planner, and the determinism contract —
+// results are byte-identical at any DOP, on either access path, under every
+// scan kernel.
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "db/database.h"
+#include "db/query.h"
+#include "imcs/scan_kernels.h"
+
+namespace stratus {
+namespace {
+
+/// Primary-only fixture: WideTable(2, 1) — id, n1, n2, c1 — with 200 rows,
+/// n1 = id % 10, n2 = id % 7, c1 = "g<id % 4>". Repopulation is disabled so
+/// the planner's invalidity view is exactly what the tests created.
+class ExecutorTest : public ::testing::Test {
+ protected:
+  ExecutorTest() : db_(MakeOptions()) {
+    db_.Start();
+    table_ = db_.CreateTable("t", kDefaultTenant, Schema::WideTable(2, 1),
+                             ImService::kPrimaryOnly, /*identity_index=*/true)
+                 .value();
+    Transaction txn = db_.Begin();
+    for (int64_t id = 0; id < 200; ++id) {
+      Row row{Value(id), Value(id % 10), Value(id % 7),
+              Value(std::string("g") + std::to_string(id % 4))};
+      EXPECT_TRUE(db_.Insert(&txn, table_, std::move(row), nullptr).ok());
+    }
+    EXPECT_TRUE(db_.Commit(&txn).ok());
+  }
+
+  static DatabaseOptions MakeOptions() {
+    DatabaseOptions options;
+    // Keep repopulation out of the picture: planner tests control invalidity.
+    options.population.repop_invalid_threshold = 2.0;
+    options.population.repop_staleness_us = 0;
+    options.population.manager_interval_us = 60'000'000;
+    return options;
+  }
+
+  ObjectId MakeDims(const std::string& name, int64_t keys,
+                    const std::string& prefix) {
+    const ObjectId dims =
+        db_.CreateTable(name, kDefaultTenant,
+                        Schema(std::vector<ColumnDef>{
+                            {"key", ValueType::kInt},
+                            {"label", ValueType::kString}}),
+                        ImService::kNone, false)
+            .value();
+    Transaction txn = db_.Begin();
+    for (int64_t k = 0; k < keys; ++k) {
+      EXPECT_TRUE(db_.Insert(&txn, dims,
+                             Row{Value(k), Value(prefix + std::to_string(k))},
+                             nullptr)
+                      .ok());
+    }
+    EXPECT_TRUE(db_.Commit(&txn).ok());
+    return dims;
+  }
+
+  /// The scan leaf's stage for `object` out of a result profile.
+  static const OperatorStage* ScanStage(const QueryResult& result,
+                                        ObjectId object) {
+    for (const OperatorStage& s : result.profile.stages) {
+      if (s.op == "scan" && s.object == object) return &s;
+    }
+    return nullptr;
+  }
+
+  PrimaryDb db_;
+  ObjectId table_ = kInvalidObjectId;
+};
+
+TEST_F(ExecutorTest, GroupedCountSumPerGroup) {
+  ScanQuery q;
+  q.object = table_;
+  q.group_by = {1};
+  q.aggregates = {{AggKind::kCount, 0}, {AggKind::kSum, 0}};
+  const auto result = db_.Query(q);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 10u);
+  EXPECT_EQ(result->count, 10u);
+  EXPECT_EQ(result->profile.matches, 200u);  // Input rows, not groups.
+  for (int64_t k = 0; k < 10; ++k) {
+    const Row& row = result->rows[static_cast<size_t>(k)];
+    ASSERT_EQ(row.size(), 3u);  // key ++ COUNT ++ SUM.
+    EXPECT_EQ(row[0].as_int(), k);  // Sorted by key tuple.
+    EXPECT_EQ(row[1].as_int(), 20);
+    // ids {k, k+10, ..., k+190}: sum = 20k + 10*(0+...+19)*... = 20k + 1900.
+    EXPECT_EQ(row[2].as_int(), 20 * k + 1900);
+  }
+}
+
+TEST_F(ExecutorTest, GroupByStringKeySorted) {
+  ScanQuery q;
+  q.object = table_;
+  q.group_by = {3};
+  q.aggregates = {{AggKind::kCount, 0}};
+  const auto result = db_.Query(q);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 4u);
+  for (int64_t g = 0; g < 4; ++g) {
+    EXPECT_EQ(result->rows[static_cast<size_t>(g)][0].as_string(),
+              "g" + std::to_string(g));
+    EXPECT_EQ(result->rows[static_cast<size_t>(g)][1].as_int(), 50);
+  }
+}
+
+TEST_F(ExecutorTest, UngroupedMultiAggregateReturnsOneRow) {
+  ScanQuery q;
+  q.object = table_;
+  q.aggregates = {{AggKind::kCount, 0},
+                  {AggKind::kSum, 1},
+                  {AggKind::kMin, 0},
+                  {AggKind::kMax, 0}};
+  const auto result = db_.Query(q);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 1u);
+  const Row& row = result->rows[0];
+  ASSERT_EQ(row.size(), 4u);
+  EXPECT_EQ(row[0].as_int(), 200);
+  EXPECT_EQ(row[1].as_int(), 20 * (0 + 1 + 2 + 3 + 4 + 5 + 6 + 7 + 8 + 9));
+  EXPECT_EQ(row[2].as_int(), 0);
+  EXPECT_EQ(row[3].as_int(), 199);
+  EXPECT_TRUE(result->agg_valid);  // First aggregate (COUNT) is defined.
+}
+
+TEST_F(ExecutorTest, GroupedAggOverEmptyInput) {
+  ScanQuery q;
+  q.object = table_;
+  q.predicates = {{0, PredOp::kGt, Value(int64_t{100000})}};
+  q.group_by = {1};
+  q.aggregates = {{AggKind::kCount, 0}};
+  const auto grouped = db_.Query(q);
+  ASSERT_TRUE(grouped.ok());
+  EXPECT_TRUE(grouped->rows.empty());  // Grouped: zero groups.
+  EXPECT_EQ(grouped->count, 0u);
+
+  // Ungrouped multi-aggregate: SQL semantics give ONE row (COUNT = 0,
+  // SUM = NULL) even over zero input rows.
+  q.group_by.clear();
+  q.aggregates = {{AggKind::kSum, 1}, {AggKind::kCount, 0}};
+  const auto ungrouped = db_.Query(q);
+  ASSERT_TRUE(ungrouped.ok());
+  ASSERT_EQ(ungrouped->rows.size(), 1u);
+  EXPECT_TRUE(ungrouped->rows[0][0].is_null());
+  EXPECT_EQ(ungrouped->rows[0][1].as_int(), 0);
+}
+
+TEST_F(ExecutorTest, GroupByRequiresAggregates) {
+  ScanQuery q;
+  q.object = table_;
+  q.group_by = {1};
+  EXPECT_TRUE(db_.Query(q).status().code() == Code::kInvalidArgument);
+}
+
+// The grouped-aggregation oracle property: random group keys and aggregate
+// inputs (both with NULLs), folded by hand over the row-store rows, must
+// match the hash-aggregate operator exactly — at every DOP, on both access
+// paths, under every kernel.
+TEST_F(ExecutorTest, GroupedAggMatchesRowOracleWithNulls) {
+  struct OverrideGuard {
+    ~OverrideGuard() { ClearScanKernelOverride(); }
+  } guard;
+  const ObjectId rnd =
+      db_.CreateTable("rnd", kDefaultTenant, Schema::WideTable(2, 1),
+                      ImService::kPrimaryOnly, true)
+          .value();
+  Random rng(2024);
+  Transaction txn = db_.Begin();
+  for (int64_t id = 0; id < 400; ++id) {
+    const Value key = rng.Percent(15)
+                          ? Value()
+                          : Value(static_cast<int64_t>(rng.Uniform(8)));
+    const Value v = rng.Percent(10) ? Value() : Value(rng.UniformInt(-50, 50));
+    Row row{Value(id), key, v,
+            Value(std::string("s") + std::to_string(rng.Uniform(3)))};
+    ASSERT_TRUE(db_.Insert(&txn, rnd, std::move(row), nullptr).ok());
+  }
+  ASSERT_TRUE(db_.Commit(&txn).ok());
+  ASSERT_TRUE(db_.PopulateNow(rnd).ok());
+
+  ScanQuery q;
+  q.object = rnd;
+  q.group_by = {1};
+  q.aggregates = {{AggKind::kCount, 0},
+                  {AggKind::kSum, 2},
+                  {AggKind::kMin, 2},
+                  {AggKind::kMax, 2}};
+
+  // Oracle: fold the raw rows by hand (COUNT counts every row of the group;
+  // SUM/MIN/MAX skip NULL inputs and are NULL when nothing folded).
+  ScanQuery raw;
+  raw.object = rnd;
+  raw.force_row_store = true;
+  const auto all = db_.Query(raw);
+  ASSERT_TRUE(all.ok());
+  struct OracleAgg {
+    int64_t count = 0;
+    int64_t sum = 0;
+    int64_t min = 0;
+    int64_t max = 0;
+    bool started = false;
+  };
+  std::map<Row, OracleAgg> oracle;
+  for (const Row& row : all->rows) {
+    OracleAgg& agg = oracle[Row{row[1]}];
+    ++agg.count;
+    if (row[2].type() != ValueType::kInt) continue;
+    const int64_t v = row[2].as_int();
+    if (!agg.started) {
+      agg.sum = agg.min = agg.max = v;
+      agg.started = true;
+    } else {
+      agg.sum += v;
+      agg.min = std::min(agg.min, v);
+      agg.max = std::max(agg.max, v);
+    }
+  }
+
+  for (const ScanKernel kernel :
+       {ScanKernel::kScalar, ScanKernel::kSwar, ScanKernel::kAvx2}) {
+    ForceScanKernel(kernel);
+    for (const bool force_row : {false, true}) {
+      for (const uint32_t dop : {1u, 2u, 8u}) {
+        q.force_row_store = force_row;
+        q.dop = dop;
+        const auto result = db_.Query(q);
+        ASSERT_TRUE(result.ok());
+        const std::string ctx = std::string(" kernel=") +
+                                ScanKernelName(kernel) +
+                                " force_row=" + std::to_string(force_row) +
+                                " dop=" + std::to_string(dop);
+        ASSERT_EQ(result->rows.size(), oracle.size()) << ctx;
+        size_t i = 0;
+        for (const auto& [key, agg] : oracle) {
+          const Row& row = result->rows[i++];
+          ASSERT_EQ(row.size(), 5u) << ctx;
+          EXPECT_EQ(row[0], key[0]) << ctx;
+          EXPECT_EQ(row[1], Value(agg.count)) << ctx;
+          EXPECT_EQ(row[2], agg.started ? Value(agg.sum) : Value()) << ctx;
+          EXPECT_EQ(row[3], agg.started ? Value(agg.min) : Value()) << ctx;
+          EXPECT_EQ(row[4], agg.started ? Value(agg.max) : Value()) << ctx;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(ExecutorTest, ThreeTableMultiJoin) {
+  const ObjectId dims1 = MakeDims("dims1", 4, "d");
+  const ObjectId dims2 = MakeDims("dims2", 7, "t");
+
+  MultiJoinQuery mj;
+  mj.fact = table_;
+  mj.joins = {{dims1, /*probe_column=*/1, /*build_column=*/0, {}},
+              {dims2, /*probe_column=*/2, /*build_column=*/0, {}}};
+  const auto result = db_.MultiJoin(mj);
+  ASSERT_TRUE(result.ok());
+  // n1 in {0..3}: 20 rows each → 80 fact rows survive hop 1; n2 in [0, 7)
+  // always matches dims2, so 80 joined rows of width 4 + 2 + 2.
+  EXPECT_EQ(result->count, 80u);
+  ASSERT_EQ(result->rows.size(), 80u);
+  for (const Row& row : result->rows) {
+    ASSERT_EQ(row.size(), 8u);
+    EXPECT_EQ(row[1], row[4]);  // fact.n1 == dims1.key.
+    EXPECT_EQ(row[5].as_string(), "d" + std::to_string(row[1].as_int()));
+    EXPECT_EQ(row[2], row[6]);  // fact.n2 == dims2.key.
+  }
+  EXPECT_EQ(result->profile.kind, "multijoin");
+}
+
+TEST_F(ExecutorTest, MultiJoinGroupedAggregation) {
+  const ObjectId dims1 = MakeDims("dims1g", 4, "d");
+  MultiJoinQuery mj;
+  mj.fact = table_;
+  mj.joins = {{dims1, 1, 0, {}}};
+  mj.group_by = {5};  // dims1.label in the joined layout.
+  mj.aggregates = {{AggKind::kCount, 0}, {AggKind::kSum, 0}};
+  const auto result = db_.MultiJoin(mj);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 4u);
+  for (int64_t g = 0; g < 4; ++g) {
+    const Row& row = result->rows[static_cast<size_t>(g)];
+    EXPECT_EQ(row[0].as_string(), "d" + std::to_string(g));
+    EXPECT_EQ(row[1].as_int(), 20);
+  }
+}
+
+TEST_F(ExecutorTest, MultiJoinResidualPredicateAndProjection) {
+  const ObjectId dims1 = MakeDims("dims1r", 4, "d");
+  MultiJoinQuery mj;
+  mj.fact = table_;
+  mj.joins = {{dims1, 1, 0, {}}};
+  // Residual filter over the joined layout, then project (fact.id, label).
+  mj.joined_predicates = {{0, PredOp::kLt, Value(int64_t{50})}};
+  mj.projection = {0, 5};
+  const auto result = db_.MultiJoin(mj);
+  ASSERT_TRUE(result.ok());
+  // ids 0..49 with n1 = id % 10 in {0..3}: 20 rows.
+  EXPECT_EQ(result->count, 20u);
+  for (const Row& row : result->rows) {
+    ASSERT_EQ(row.size(), 2u);
+    EXPECT_LT(row[0].as_int(), 50);
+    EXPECT_EQ(row[1].as_string(),
+              "d" + std::to_string(row[0].as_int() % 10));
+  }
+}
+
+TEST_F(ExecutorTest, MultiJoinNeedsAtLeastOneEdge) {
+  MultiJoinQuery mj;
+  mj.fact = table_;
+  EXPECT_TRUE(db_.MultiJoin(mj).status().code() == Code::kInvalidArgument);
+}
+
+TEST_F(ExecutorTest, NullJoinKeyNeverMatches) {
+  const ObjectId facts =
+      db_.CreateTable("nulls", kDefaultTenant,
+                      Schema(std::vector<ColumnDef>{
+                          {"id", ValueType::kInt}, {"k", ValueType::kInt}}),
+                      ImService::kNone, false)
+          .value();
+  const ObjectId dims =
+      db_.CreateTable("nulldims", kDefaultTenant,
+                      Schema(std::vector<ColumnDef>{
+                          {"k", ValueType::kInt},
+                          {"label", ValueType::kString}}),
+                      ImService::kNone, false)
+          .value();
+  Transaction txn = db_.Begin();
+  ASSERT_TRUE(db_.Insert(&txn, facts, Row{Value(int64_t{0}), Value(int64_t{1})},
+                         nullptr)
+                  .ok());
+  ASSERT_TRUE(db_.Insert(&txn, facts, Row{Value(int64_t{1}), Value()}, nullptr)
+                  .ok());
+  ASSERT_TRUE(db_.Insert(&txn, facts, Row{Value(int64_t{2}), Value(int64_t{2})},
+                         nullptr)
+                  .ok());
+  ASSERT_TRUE(db_.Insert(&txn, dims,
+                         Row{Value(int64_t{1}), Value(std::string("a"))},
+                         nullptr)
+                  .ok());
+  // A NULL build key must not pair with the NULL probe key (SQL equi-join).
+  ASSERT_TRUE(
+      db_.Insert(&txn, dims, Row{Value(), Value(std::string("x"))}, nullptr)
+          .ok());
+  ASSERT_TRUE(db_.Insert(&txn, dims,
+                         Row{Value(int64_t{2}), Value(std::string("b"))},
+                         nullptr)
+                  .ok());
+  ASSERT_TRUE(db_.Commit(&txn).ok());
+
+  JoinQuery join;
+  join.left = facts;
+  join.right = dims;
+  join.left_column = 1;
+  join.right_column = 0;
+  const auto result = db_.Join(join);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->count, 2u);
+  for (const Row& row : result->rows) {
+    EXPECT_FALSE(row[1].is_null());
+    EXPECT_EQ(row[1], row[2]);
+  }
+}
+
+// kSum overflow saturates at the int64 bound and raises agg_overflow — and
+// because the fold carries an exact 128-bit sum, the surfaced value is
+// identical at every DOP, on both access paths, under every kernel (a
+// wrapping i64 accumulator would make the result depend on fold order).
+TEST_F(ExecutorTest, SumOverflowSaturatesIdenticallyEverywhere) {
+  struct OverrideGuard {
+    ~OverrideGuard() { ClearScanKernelOverride(); }
+  } guard;
+  const ObjectId big =
+      db_.CreateTable("big", kDefaultTenant, Schema::WideTable(2, 1),
+                      ImService::kPrimaryOnly, true)
+          .value();
+  Transaction txn = db_.Begin();
+  for (int64_t id = 0; id < 6; ++id) {
+    const int64_t v = std::numeric_limits<int64_t>::max() - 2;
+    ASSERT_TRUE(db_.Insert(&txn, big,
+                           Row{Value(id), Value(v), Value(int64_t{1}),
+                               Value(std::string("x"))},
+                           nullptr)
+                    .ok());
+  }
+  ASSERT_TRUE(db_.Commit(&txn).ok());
+  ASSERT_TRUE(db_.PopulateNow(big).ok());
+
+  // Push-down (single ungrouped SUM), grouped, and multi-aggregate shapes.
+  for (const ScanKernel kernel :
+       {ScanKernel::kScalar, ScanKernel::kSwar, ScanKernel::kAvx2}) {
+    ForceScanKernel(kernel);
+    for (const bool force_row : {false, true}) {
+      for (const uint32_t dop : {1u, 2u, 8u}) {
+        const std::string ctx = std::string(" kernel=") +
+                                ScanKernelName(kernel) +
+                                " force_row=" + std::to_string(force_row) +
+                                " dop=" + std::to_string(dop);
+        ScanQuery q;
+        q.object = big;
+        q.agg = AggKind::kSum;
+        q.agg_column = 1;
+        q.force_row_store = force_row;
+        q.dop = dop;
+        const auto pushdown = db_.Query(q);
+        ASSERT_TRUE(pushdown.ok()) << ctx;
+        EXPECT_TRUE(pushdown->agg_valid) << ctx;
+        EXPECT_TRUE(pushdown->agg_overflow) << ctx;
+        EXPECT_EQ(pushdown->agg_int, std::numeric_limits<int64_t>::max())
+            << ctx;
+
+        ScanQuery grouped = q;
+        grouped.agg = AggKind::kNone;
+        grouped.group_by = {2};  // All six rows share n2 = 1: one group.
+        grouped.aggregates = {{AggKind::kSum, 1}, {AggKind::kCount, 0}};
+        const auto hashed = db_.Query(grouped);
+        ASSERT_TRUE(hashed.ok()) << ctx;
+        ASSERT_EQ(hashed->rows.size(), 1u) << ctx;
+        EXPECT_EQ(hashed->rows[0][1].as_int(),
+                  std::numeric_limits<int64_t>::max())
+            << ctx;
+        EXPECT_EQ(hashed->rows[0][2].as_int(), 6) << ctx;
+        EXPECT_TRUE(hashed->agg_overflow) << ctx;
+      }
+    }
+  }
+
+  // Negative overflow saturates at the minimum.
+  Transaction neg = db_.Begin();
+  for (int64_t id = 6; id < 20; ++id) {
+    ASSERT_TRUE(db_.Insert(&neg, big,
+                           Row{Value(id),
+                               Value(std::numeric_limits<int64_t>::min() + 2),
+                               Value(int64_t{1}), Value(std::string("x"))},
+                           nullptr)
+                    .ok());
+  }
+  ASSERT_TRUE(db_.Commit(&neg).ok());
+  ScanQuery q;
+  q.object = big;
+  q.predicates = {{0, PredOp::kGe, Value(int64_t{6})}};
+  q.agg = AggKind::kSum;
+  q.agg_column = 1;
+  const auto low = db_.Query(q);
+  ASSERT_TRUE(low.ok());
+  EXPECT_TRUE(low->agg_overflow);
+  EXPECT_EQ(low->agg_int, std::numeric_limits<int64_t>::min());
+}
+
+TEST_F(ExecutorTest, PlannerChoosesImcsWhenCoveredAndFresh) {
+  ASSERT_TRUE(db_.PopulateNow(table_).ok());
+  ScanQuery q;
+  q.object = table_;
+  const auto result = db_.Query(q);
+  ASSERT_TRUE(result.ok());
+  const OperatorStage* scan = ScanStage(*result, table_);
+  ASSERT_NE(scan, nullptr);
+  EXPECT_EQ(scan->path, "imcs");
+  EXPECT_EQ(scan->reason, "imcs-covered");
+  EXPECT_GT(result->stats.rows_from_imcs, 0u);
+}
+
+TEST_F(ExecutorTest, PlannerFallsBackWithoutCoverage) {
+  // No PopulateNow: zero ready IMCUs.
+  ScanQuery q;
+  q.object = table_;
+  const auto result = db_.Query(q);
+  ASSERT_TRUE(result.ok());
+  const OperatorStage* scan = ScanStage(*result, table_);
+  ASSERT_NE(scan, nullptr);
+  EXPECT_EQ(scan->path, "row");
+  EXPECT_EQ(scan->reason, "no-imcs-coverage");
+}
+
+// The tentpole planner property: once churn pushes a table's SMU invalidity
+// past the threshold, the planner flips its scans to the row path — visible
+// in the profile stage — and flips back semantics-free (results identical).
+TEST_F(ExecutorTest, PlannerCrossesToRowPathOnInvalidity) {
+  ASSERT_TRUE(db_.PopulateNow(table_).ok());
+  ScanQuery q;
+  q.object = table_;
+  const auto before = db_.Query(q);
+  ASSERT_TRUE(before.ok());
+  ASSERT_EQ(ScanStage(*before, table_)->path, "imcs");
+
+  // Invalidate 60% of the rows (repopulation is disabled in this fixture).
+  Transaction txn = db_.Begin();
+  for (int64_t id = 0; id < 120; ++id) {
+    ASSERT_TRUE(db_.UpdateByKey(&txn, table_, id,
+                                Row{Value(id), Value(id % 10), Value(id % 7),
+                                    Value(std::string("u"))})
+                    .ok());
+  }
+  ASSERT_TRUE(db_.Commit(&txn).ok());
+
+  const auto after = db_.Query(q);
+  ASSERT_TRUE(after.ok());
+  const OperatorStage* scan = ScanStage(*after, table_);
+  ASSERT_NE(scan, nullptr);
+  EXPECT_EQ(scan->path, "row");
+  EXPECT_EQ(scan->reason, "invalidity-crossover");
+  EXPECT_GE(scan->invalid_fraction, 0.40);
+  EXPECT_EQ(after->stats.rows_from_imcs, 0u);
+  EXPECT_EQ(after->count, before->count);
+}
+
+TEST_F(ExecutorTest, ForceRowpathEnvOverridesPlanner) {
+  ASSERT_TRUE(db_.PopulateNow(table_).ok());
+  ScanQuery q;
+  q.object = table_;
+
+  ::setenv("STRATUS_FORCE_ROWPATH", "1", 1);
+  const auto forced = db_.Query(q);
+  ::unsetenv("STRATUS_FORCE_ROWPATH");
+  ASSERT_TRUE(forced.ok());
+  const OperatorStage* scan = ScanStage(*forced, table_);
+  ASSERT_NE(scan, nullptr);
+  EXPECT_EQ(scan->path, "row");
+  EXPECT_EQ(scan->reason, "env:STRATUS_FORCE_ROWPATH");
+  EXPECT_EQ(forced->stats.rows_from_imcs, 0u);
+
+  // "0" disables the override; query-level force_row_store still wins.
+  ::setenv("STRATUS_FORCE_ROWPATH", "0", 1);
+  const auto unforced = db_.Query(q);
+  ::unsetenv("STRATUS_FORCE_ROWPATH");
+  ASSERT_TRUE(unforced.ok());
+  EXPECT_EQ(ScanStage(*unforced, table_)->path, "imcs");
+
+  q.force_row_store = true;
+  const auto explicit_force = db_.Query(q);
+  ASSERT_TRUE(explicit_force.ok());
+  EXPECT_EQ(ScanStage(*explicit_force, table_)->reason, "force_row_store");
+  EXPECT_EQ(explicit_force->rows, forced->rows);
+}
+
+TEST_F(ExecutorTest, PlannerPathPinnedAcrossDopAndKernels) {
+  struct OverrideGuard {
+    ~OverrideGuard() { ClearScanKernelOverride(); }
+  } guard;
+  ASSERT_TRUE(db_.PopulateNow(table_).ok());
+  ScanQuery q;
+  q.object = table_;
+  q.predicates = {{1, PredOp::kLt, Value(int64_t{5})}};
+  q.dop = 1;
+  ForceScanKernel(ScanKernel::kScalar);
+  const auto base = db_.Query(q);
+  ASSERT_TRUE(base.ok());
+  EXPECT_EQ(ScanStage(*base, table_)->path, "imcs");
+  for (const ScanKernel kernel :
+       {ScanKernel::kScalar, ScanKernel::kSwar, ScanKernel::kAvx2}) {
+    ForceScanKernel(kernel);
+    for (const uint32_t dop : {1u, 2u, 8u}) {
+      q.dop = dop;
+      const auto result = db_.Query(q);
+      ASSERT_TRUE(result.ok());
+      // The planner's decision is a function of (context, query, snapshot)
+      // only — never of DOP or kernel dispatch.
+      EXPECT_EQ(ScanStage(*result, table_)->path, "imcs")
+          << ScanKernelName(kernel) << " dop=" << dop;
+      EXPECT_EQ(result->rows, base->rows)
+          << ScanKernelName(kernel) << " dop=" << dop;
+    }
+  }
+}
+
+TEST_F(ExecutorTest, JoinBuildsOnSmallerInput) {
+  const ObjectId dims = MakeDims("dimsb", 4, "d");
+  JoinQuery join;
+  join.left = table_;  // 200 rows.
+  join.right = dims;   // 4 rows → build side.
+  join.left_column = 1;
+  join.right_column = 0;
+  const auto big_left = db_.Join(join);
+  ASSERT_TRUE(big_left.ok());
+  const OperatorStage* stage = nullptr;
+  for (const OperatorStage& s : big_left->profile.stages) {
+    if (s.op == "hash_join") stage = &s;
+  }
+  ASSERT_NE(stage, nullptr);
+  EXPECT_EQ(stage->build_side, "right");
+  EXPECT_EQ(stage->build_rows, 4u);
+  EXPECT_EQ(stage->probe_rows, 200u);
+
+  // Swapped: the smaller side is now the left (probe) input — the executor
+  // hashes it instead, and the canonical output order hides the difference.
+  JoinQuery swapped;
+  swapped.left = dims;
+  swapped.right = table_;
+  swapped.left_column = 0;
+  swapped.right_column = 1;
+  const auto small_left = db_.Join(swapped);
+  ASSERT_TRUE(small_left.ok());
+  stage = nullptr;
+  for (const OperatorStage& s : small_left->profile.stages) {
+    if (s.op == "hash_join") stage = &s;
+  }
+  ASSERT_NE(stage, nullptr);
+  EXPECT_EQ(stage->build_side, "left");
+  EXPECT_EQ(small_left->count, big_left->count);
+}
+
+TEST_F(ExecutorTest, ProjectionSelectsColumns) {
+  ScanQuery q;
+  q.object = table_;
+  q.predicates = {{0, PredOp::kLt, Value(int64_t{3})}};
+  q.projection = {3, 0};
+  const auto result = db_.Query(q);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 3u);
+  for (int64_t id = 0; id < 3; ++id) {
+    const Row& row = result->rows[static_cast<size_t>(id)];
+    ASSERT_EQ(row.size(), 2u);
+    EXPECT_EQ(row[0].as_string(), "g" + std::to_string(id % 4));
+    EXPECT_EQ(row[1].as_int(), id);
+  }
+}
+
+TEST_F(ExecutorTest, StagesVisibleInProfileExplainAndJson) {
+  ASSERT_TRUE(db_.PopulateNow(table_).ok());
+  ScanQuery q;
+  q.object = table_;
+  q.group_by = {1};
+  q.aggregates = {{AggKind::kCount, 0}};
+  const auto result = db_.Query(q);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->profile.stages.size(), 2u);
+  EXPECT_EQ(result->profile.stages[0].op, "scan");
+  EXPECT_EQ(result->profile.stages[1].op, "hash_agg");
+  EXPECT_EQ(result->profile.stages[1].groups, 10u);
+  EXPECT_EQ(result->profile.stages[1].rows_in, 200u);
+
+  const std::string explain = result->profile.Explain();
+  EXPECT_NE(explain.find("hash_agg"), std::string::npos);
+  EXPECT_NE(explain.find("imcs"), std::string::npos);
+  const std::string json = result->profile.ToJson();
+  EXPECT_NE(json.find("\"stages\":["), std::string::npos);
+  EXPECT_NE(json.find("\"groups\":10"), std::string::npos);
+}
+
+TEST_F(ExecutorTest, MultiJoinDopSweepIdentical) {
+  const ObjectId dims1 = MakeDims("dims1d", 4, "d");
+  const ObjectId dims2 = MakeDims("dims2d", 7, "t");
+  ASSERT_TRUE(db_.PopulateNow(table_).ok());
+
+  MultiJoinQuery mj;
+  mj.fact = table_;
+  mj.joins = {{dims1, 1, 0, {}}, {dims2, 2, 0, {}}};
+  mj.group_by = {5};
+  mj.aggregates = {{AggKind::kCount, 0}, {AggKind::kSum, 0}};
+  mj.dop = 1;
+  const auto base = db_.MultiJoin(mj);
+  ASSERT_TRUE(base.ok());
+  ASSERT_EQ(base->rows.size(), 4u);
+  for (const uint32_t dop : {2u, 8u}) {
+    for (const bool force_row : {false, true}) {
+      mj.dop = dop;
+      mj.force_row_store = force_row;
+      const auto result = db_.MultiJoin(mj);
+      ASSERT_TRUE(result.ok());
+      EXPECT_EQ(result->rows, base->rows)
+          << "dop=" << dop << " force_row=" << force_row;
+      EXPECT_EQ(result->count, base->count);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace stratus

@@ -285,5 +285,73 @@ TEST_F(QueryTest, QueryAtOldSnapshotSeesOldData) {
   EXPECT_EQ(db_.QueryAt(q, before)->count, 0u);
 }
 
+// Regression: the old ExecuteJoin built its probe-side scan with a null
+// expression registry, so a join predicate on a registered In-Memory
+// Expression virtual column was silently dropped (the probe rows simply had
+// no column at that index and nothing matched — or, worse, everything did).
+// Both join sides must resolve virtual columns exactly like plain scans.
+TEST_F(QueryTest, JoinHonorsVirtualColumnPredicates) {
+  // Virtual column 3 = n1 * 2 on the fact table (WideTable(1, 1) has 3
+  // schema columns).
+  const auto vcol = db_.RegisterImExpression(
+      table_, Expression::Mul(Expression::Column(1),
+                              Expression::Const(Value(int64_t{2}))));
+  ASSERT_TRUE(vcol.ok());
+  ASSERT_EQ(*vcol, 3u);
+
+  const ObjectId dims =
+      db_.CreateTable("dimsv", kDefaultTenant,
+                      Schema(std::vector<ColumnDef>{
+                          {"gid", ValueType::kInt},
+                          {"label", ValueType::kString}}),
+                      ImService::kNone, false)
+          .value();
+  Transaction txn = db_.Begin();
+  for (int64_t g = 0; g < 4; ++g) {
+    ASSERT_TRUE(db_.Insert(&txn, dims,
+                           Row{Value(g), Value(std::string("grp") + std::to_string(g))},
+                           nullptr)
+                    .ok());
+  }
+  ASSERT_TRUE(db_.Commit(&txn).ok());
+
+  JoinQuery join;
+  join.left = table_;
+  join.right = dims;
+  join.left_column = 1;
+  join.right_column = 0;
+  // n1 * 2 == 6 → n1 == 3 → 10 fact rows, each matching exactly one dims row.
+  join.left_predicates = {{3, PredOp::kEq, Value(int64_t{6})}};
+  const auto result = db_.Join(join);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->count, 10u);
+  for (const Row& row : result->rows) EXPECT_EQ(row[1].as_int(), 3);
+
+  // Same contract on the forced row path.
+  join.force_row_store = true;
+  const auto row_path = db_.Join(join);
+  ASSERT_TRUE(row_path.ok());
+  EXPECT_EQ(row_path->rows, result->rows);
+}
+
+// Regression: aggregate-only scans must not materialize result rows the
+// caller never sees — on either access path.
+TEST_F(QueryTest, AggregateScanMaterializesNoRows) {
+  ASSERT_TRUE(db_.PopulateNow(table_).ok());
+  for (const bool force_row : {false, true}) {
+    ScanQuery q;
+    q.object = table_;
+    q.agg = AggKind::kSum;
+    q.agg_column = 1;
+    q.force_row_store = force_row;
+    const auto result = db_.Query(q);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result->rows.empty()) << "force_row=" << force_row;
+    EXPECT_TRUE(result->agg_valid);
+    EXPECT_EQ(result->agg_int, 450);
+    EXPECT_EQ(result->count, 100u);
+  }
+}
+
 }  // namespace
 }  // namespace stratus
